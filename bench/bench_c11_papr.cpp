@@ -1,0 +1,81 @@
+// C11 — OFDM PAPR and power-amplifier efficiency.
+//
+// Paper: "beginning with the introduction of OFDM, the high
+// peak-to-average ratios characteristic of spectrally efficient
+// modulation have resulted in low power efficiency of the power amplifier
+// and other components in order to achieve the necessary high linearity."
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wlan.h"
+#include "dsp/ops.h"
+
+int main() {
+  using namespace wlan;
+  namespace bu = benchutil;
+
+  bu::title("C11: waveform PAPR and the PA efficiency it costs",
+            "OFDM's ~10 dB PAPR forces PA backoff that collapses "
+            "efficiency vs the near-constant-envelope DSSS era");
+
+  Rng rng(11);
+
+  // Build long representative waveforms per generation.
+  struct Waveform {
+    const char* name;
+    CVec samples;
+  };
+  std::vector<Waveform> waves;
+  {
+    const phy::DsssModem dsss({phy::DsssRate::k2Mbps, true});
+    waves.push_back({"802.11 DSSS", dsss.modulate(rng.random_bits(20000))});
+    const phy::CckModem cck(phy::CckRate::k11Mbps);
+    waves.push_back({"802.11b CCK", cck.modulate(rng.random_bits(20000))});
+    const phy::OfdmPhy ofdm(phy::OfdmMcs::k54Mbps);
+    CVec w;
+    for (int p = 0; p < 8; ++p) {
+      const CVec pkt = ofdm.transmit(rng.random_bytes(1000));
+      w.insert(w.end(), pkt.begin(), pkt.end());
+    }
+    waves.push_back({"802.11a OFDM", std::move(w)});
+  }
+
+  const RVec thresholds = {3.0, 5.0, 7.0, 9.0, 11.0};
+  bu::section("CCDF of instantaneous power above average (fraction of samples)");
+  std::printf("%-14s", "dB above avg:");
+  for (const double t : thresholds) std::printf(" %9.0f", t);
+  std::printf(" %10s\n", "PAPR(dB)");
+
+  std::vector<double> paprs;
+  for (const Waveform& w : waves) {
+    const RVec ccdf = dsp::power_ccdf(w.samples, thresholds);
+    std::printf("%-14s", w.name);
+    for (const double c : ccdf) std::printf(" %9.5f", c);
+    const double papr = dsp::papr_db(w.samples);
+    paprs.push_back(papr);
+    std::printf(" %10.1f\n", papr);
+  }
+
+  bu::section("PA consequences (class-AB, 40% peak efficiency, same 15 dBm avg)");
+  power::PaModel pa;
+  std::printf("%-14s %12s %14s %14s\n", "waveform", "backoff(dB)",
+              "efficiency", "PA DC power");
+  std::vector<double> effs;
+  for (std::size_t i = 0; i < waves.size(); ++i) {
+    // Back off to the waveform's PAPR (headroom for undistorted peaks).
+    const double backoff = std::min(paprs[i], 10.0);
+    const double eff = pa.efficiency_at_backoff_db(backoff);
+    effs.push_back(eff);
+    std::printf("%-14s %12.1f %13.1f%% %11.0f mW\n", waves[i].name, backoff,
+                eff * 100.0, pa.dc_power_w(15.0, backoff) * 1e3);
+  }
+
+  const bool papr_shape = paprs[0] < 4.0 && paprs[2] > 8.0;
+  const bool eff_shape = effs[0] > 2.0 * effs[2];
+  bu::verdict(papr_shape && eff_shape,
+              "DSSS %.1f dB vs OFDM %.1f dB PAPR; PA efficiency falls from "
+              "%.0f%% to %.0f%% — a %.1fx DC power penalty at equal output",
+              paprs[0], paprs[2], effs[0] * 100.0, effs[2] * 100.0,
+              effs[0] / effs[2]);
+  return papr_shape && eff_shape ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Extension bench — hidden terminals and the RTS/CTS tradeoff, on the
+// event-driven network simulator (per-node carrier sense, SINR capture).
+//
+// Not a numbered claim of the paper, but the mechanism behind its MAC
+// efficiency narrative: CSMA works when stations hear each other, and the
+// protocol machinery (virtual carrier sense) exists for when they don't.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/wlan.h"
+
+int main() {
+  using namespace wlan;
+  namespace bu = benchutil;
+
+  bu::title("EXT: hidden terminals, capture, and RTS/CTS",
+            "two saturated senders around one receiver; spacing controls "
+            "whether carrier sense works");
+
+  bu::section("throughput and data-loss vs sender spacing (1000 B @ 24 Mbps)");
+  std::printf("%12s | %12s %12s | %12s %12s %12s\n", "spacing (m)",
+              "basic thr", "data loss", "RTS thr", "data loss", "RTS loss");
+  double basic_loss_hidden = 0.0;
+  double rts_loss_hidden = 0.0;
+  for (const double d : {30.0, 60.0, 100.0, 130.0, 160.0}) {
+    const auto setup = net::make_hidden_terminal_setup(d);
+    net::NetworkConfig cfg;
+    cfg.duration_s = 3.0;
+    Rng r1(7);
+    const auto basic = net::simulate_network(cfg, setup.nodes, setup.flows, r1);
+    cfg.rts_cts = true;
+    Rng r2(7);
+    const auto rts = net::simulate_network(cfg, setup.nodes, setup.flows, r2);
+    const double rts_frame_loss =
+        rts.rts_tx_count ? static_cast<double>(rts.rts_failures) /
+                               static_cast<double>(rts.rts_tx_count)
+                         : 0.0;
+    // 100 m: senders hidden from each other, but the AP's CTS still
+    // reaches both — the regime RTS/CTS was designed for. (At 130 m+ the
+    // CTS itself drops below the far sender's carrier-sense floor and the
+    // protection genuinely erodes; the table shows that too.)
+    if (d == 100.0) {
+      basic_loss_hidden = basic.data_failure_rate();
+      rts_loss_hidden = rts.data_failure_rate();
+    }
+    std::printf("%12.0f | %10.1f M %12.3f | %10.1f M %12.3f %12.3f\n", d,
+                basic.aggregate_throughput_mbps, basic.data_failure_rate(),
+                rts.aggregate_throughput_mbps, rts.data_failure_rate(),
+                rts_frame_loss);
+  }
+
+  bu::section("contention scaling with everyone in range (AP + N stations)");
+  std::printf("%10s %14s %18s\n", "stations", "agg thr", "same-slot starts");
+  for (const std::size_t n_sta : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<net::NodeConfig> nodes(n_sta + 1);
+    std::vector<net::Flow> flows;
+    for (std::size_t i = 0; i < n_sta; ++i) {
+      const double angle = 6.2832 * static_cast<double>(i) /
+                           static_cast<double>(n_sta);
+      nodes[i].position = {10.0 * std::cos(angle), 10.0 * std::sin(angle)};
+      flows.push_back({i, n_sta});
+    }
+    net::NetworkConfig cfg;
+    cfg.duration_s = 1.5;
+    Rng rng(21 + n_sta);
+    const auto r = net::simulate_network(cfg, nodes, flows, rng);
+    std::printf("%10zu %12.1f M %18zu\n", n_sta, r.aggregate_throughput_mbps,
+                static_cast<std::size_t>(r.simultaneous_starts));
+  }
+
+  bu::section("latency vs offered load (Poisson uplink, one station)");
+  std::printf("%14s %14s %16s\n", "load (pkt/s)", "delivered", "mean delay");
+  for (const double pps : {100.0, 500.0, 1000.0, 1500.0, 1800.0}) {
+    std::vector<net::NodeConfig> nodes(2);
+    nodes[1].position = {10.0, 0.0};
+    net::NetworkConfig cfg;
+    cfg.duration_s = 3.0;
+    Rng rng(5);
+    const auto r = net::simulate_network(cfg, nodes, {{0, 1, pps}}, rng);
+    std::printf("%14.0f %12.1f M %13.2f ms\n", pps,
+                r.flows[0].throughput_mbps, r.flows[0].mean_delay_s * 1e3);
+  }
+  std::printf("  (the knee sits where offered load meets the ~15 Mbps DCF\n"
+              "   service rate — classic M/G/1-ish queueing behaviour)\n");
+
+  const bool ok = basic_loss_hidden > 0.1 && rts_loss_hidden < 0.05;
+  bu::verdict(ok,
+              "hidden senders lose %.0f%% of data frames under basic CSMA "
+              "but %.1f%% with RTS/CTS — the virtual-carrier-sense fix "
+              "works where physical carrier sense cannot",
+              basic_loss_hidden * 100.0, rts_loss_hidden * 100.0);
+  return ok ? 0 : 1;
+}

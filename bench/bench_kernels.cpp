@@ -1,0 +1,141 @@
+// Microbenchmarks of the library's hot kernels (google-benchmark).
+//
+// These are engineering benchmarks, not paper claims: they size the
+// Monte-Carlo budgets the C1..C13 benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "channel/mimo.h"
+#include "common/rng.h"
+#include "core/link.h"
+#include "dsp/fft.h"
+#include "linalg/decompose.h"
+#include "phy/cck.h"
+#include "phy/convolutional.h"
+#include "phy/ldpc.h"
+#include "phy/ofdm.h"
+
+namespace {
+
+using namespace wlan;
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  CVec x(n);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  for (auto _ : state) {
+    CVec y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(64)->Arg(128)->Arg(1024);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  const std::size_t n_info = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Bits info = rng.random_bits(n_info);
+  for (std::size_t i = n_info - 6; i < n_info; ++i) info[i] = 0;
+  const Bits coded = phy::convolutional_encode(info);
+  RVec llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -1.0 : 1.0;
+  }
+  for (auto _ : state) {
+    Bits out = phy::viterbi_decode(llrs, true);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_info));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(1000)->Arg(8000);
+
+void BM_LdpcDecode(benchmark::State& state) {
+  const phy::LdpcCode code(648, 324, 11);
+  Rng rng(3);
+  const Bits info = rng.random_bits(324);
+  const Bits cw = code.encode(info);
+  RVec llrs(648);
+  const double sigma = 0.8;
+  for (std::size_t i = 0; i < 648; ++i) {
+    llrs[i] = 2.0 * ((cw[i] ? -1.0 : 1.0) + sigma * rng.gaussian()) /
+              (sigma * sigma);
+  }
+  for (auto _ : state) {
+    auto out = code.decode(llrs, 40);
+    benchmark::DoNotOptimize(out.info.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 324);
+}
+BENCHMARK(BM_LdpcDecode);
+
+void BM_CckDemodulate(benchmark::State& state) {
+  const phy::CckModem modem(phy::CckRate::k11Mbps);
+  Rng rng(4);
+  const Bits bits = rng.random_bits(8 * 200);
+  const CVec chips = modem.modulate(bits);
+  for (auto _ : state) {
+    Bits out = modem.demodulate(chips);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_CckDemodulate);
+
+void BM_MmseDetectorSetup(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const auto h = channel::iid_rayleigh_matrix(rng, n, n);
+  for (auto _ : state) {
+    linalg::CMatrix gram = h.hermitian() * h;
+    for (std::size_t i = 0; i < n; ++i) gram(i, i) += 0.1;
+    linalg::CMatrix g = linalg::inverse(gram) * h.hermitian();
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_MmseDetectorSetup)->Arg(2)->Arg(4);
+
+void BM_Svd4x4(benchmark::State& state) {
+  Rng rng(6);
+  const auto h = channel::iid_rayleigh_matrix(rng, 4, 4);
+  for (auto _ : state) {
+    auto dec = linalg::svd(h);
+    benchmark::DoNotOptimize(dec.s.data());
+  }
+}
+BENCHMARK(BM_Svd4x4);
+
+void BM_OfdmPacket54(benchmark::State& state) {
+  const phy::OfdmPhy phy(phy::OfdmMcs::k54Mbps);
+  Rng rng(7);
+  const Bytes psdu = rng.random_bytes(1000);
+  for (auto _ : state) {
+    CVec wave = phy.transmit(psdu);
+    Bytes out = phy.receive(wave, psdu.size(), 1e-6);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8000);
+}
+BENCHMARK(BM_OfdmPacket54);
+
+void BM_HtPacket2x2(benchmark::State& state) {
+  phy::HtConfig cfg;
+  cfg.mcs = 15;
+  const phy::HtPhy phy(cfg);
+  Rng rng(8);
+  const Bytes psdu = rng.random_bytes(1000);
+  const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+  for (auto _ : state) {
+    Bytes out = phy.simulate_link(psdu, tones, 40.0, rng);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8000);
+}
+BENCHMARK(BM_HtPacket2x2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Shared helpers for the paper-claim benchmark binaries (C1..C13).
+//
+// Each bench prints a self-contained report: the claim quoted from the
+// paper, the series the experiment produces, and a PASS/SHAPE-note line
+// summarizing whether the measured shape matches the claim.
+#pragma once
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wlan::benchutil {
+
+inline void title(const char* id, const char* claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", id);
+  std::printf("claim: %s\n", claim);
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+inline void section(const char* name) { std::printf("\n-- %s --\n", name); }
+
+inline void verdict(bool ok, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::printf("\n[%s] ", ok ? "REPRODUCED" : "MISMATCH");
+  std::vprintf(fmt, args);
+  std::printf("\n\n");
+  va_end(args);
+}
+
+/// Linear interpolation of the x where series y crosses `target`
+/// (y assumed monotone along x). Returns NaN if no crossing.
+inline double crossing(const std::vector<double>& xs,
+                       const std::vector<double>& ys, double target) {
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const bool between = (ys[i] - target) * (ys[i + 1] - target) <= 0.0;
+    if (!between || ys[i] == ys[i + 1]) continue;
+    const double t = (target - ys[i]) / (ys[i + 1] - ys[i]);
+    return xs[i] + t * (xs[i + 1] - xs[i]);
+  }
+  return std::nan("");
+}
+
+}  // namespace wlan::benchutil

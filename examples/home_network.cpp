@@ -1,0 +1,109 @@
+// Home-network scenario: a notebook moving away from its access point.
+//
+// For each generation (802.11b CCK, 802.11a/g OFDM, 802.11n 2x2 MIMO) the
+// example picks the best MCS at each distance and reports the delivered
+// goodput — the "rate vs range" tradeoff the paper's historical narrative
+// is about. 802.11n's diversity keeps it on the rate ladder far beyond
+// the SISO generations.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/wlan.h"
+
+namespace {
+
+using namespace wlan;
+
+// Best CCK/DSSS goodput at a mean SNR (flat Rayleigh fading, 1000-byte
+// packets mapped to modem bits).
+double best_11b_goodput(double snr_db, Rng& rng) {
+  struct Mode {
+    phy::CckRate rate;
+    double mbps;
+  };
+  double best = 0.0;
+  for (const Mode mode : {Mode{phy::CckRate::k11Mbps, 11.0},
+                          Mode{phy::CckRate::k5_5Mbps, 5.5}}) {
+    const LinkResult r = run_cck_link(mode.rate, 2000, 40, snr_db, rng,
+                                      ChannelSpec::flat_rayleigh());
+    best = std::max(best, r.goodput_mbps(mode.mbps));
+  }
+  // Fall back to 2 Mbps DSSS if CCK is dead.
+  const LinkResult r = run_dsss_link({phy::DsssRate::k2Mbps, true}, 2000, 40,
+                                     snr_db, rng, {},
+                                     ChannelSpec::flat_rayleigh());
+  return std::max(best, r.goodput_mbps(2.0));
+}
+
+double best_11ag_goodput(double snr_db, Rng& rng) {
+  double best = 0.0;
+  for (const phy::OfdmMcs mcs : phy::kAllOfdmMcs) {
+    const double rate = phy::ofdm_mcs_info(mcs).data_rate_mbps;
+    if (rate <= best) continue;  // cannot beat current best
+    const LinkResult r = run_ofdm_link(
+        mcs, 1000, 40, snr_db, rng,
+        ChannelSpec::tdl(channel::DelayProfile::kResidential));
+    best = std::max(best, r.goodput_mbps(rate));
+  }
+  return best;
+}
+
+double best_11n_goodput(double snr_db, Rng& rng) {
+  double best = 0.0;
+  for (unsigned mcs = 8; mcs < 16; ++mcs) {  // 2-stream modes
+    phy::HtConfig cfg;
+    cfg.mcs = mcs;
+    cfg.n_rx = 2;
+    const phy::HtPhy phy(cfg);
+    const double rate = phy.data_rate_mbps();
+    if (rate <= best) continue;
+    const LinkResult r = run_ht_link(cfg, 1000, 40, snr_db, rng,
+                                     channel::DelayProfile::kResidential);
+    best = std::max(best, r.goodput_mbps(rate));
+  }
+  // Below the 2-stream floor, drop to 1 stream with 2-branch MRC.
+  for (unsigned mcs = 0; mcs < 4; ++mcs) {
+    phy::HtConfig cfg;
+    cfg.mcs = mcs;
+    cfg.scheme = phy::SpatialScheme::kMrc;
+    cfg.n_rx = 2;
+    const phy::HtPhy phy(cfg);
+    const double rate = phy.data_rate_mbps();
+    if (rate <= best) continue;
+    const LinkResult r = run_ht_link(cfg, 1000, 40, snr_db, rng,
+                                     channel::DelayProfile::kResidential);
+    best = std::max(best, r.goodput_mbps(rate));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlan;
+  std::printf("Home network: notebook vs distance from the AP\n");
+  std::printf("(17 dBm TX, 2.4/5 GHz dual-slope path loss, residential "
+              "multipath)\n\n");
+
+  channel::PathLossModel pl24;
+  pl24.carrier_hz = 2.4e9;
+  channel::PathLossModel pl52;  // defaults to 5.2 GHz
+
+  Rng rng(7);
+  std::printf("%10s | %14s %14s %14s\n", "dist (m)", "11b (Mbps)",
+              "11a/g (Mbps)", "11n 2x2 (Mbps)");
+  for (const double d : {3.0, 8.0, 15.0, 25.0, 40.0, 60.0}) {
+    const double snr_24 = snr_at_distance_db(pl24, d, 17.0, 20e6);
+    const double snr_52 = snr_at_distance_db(pl52, d, 17.0, 20e6);
+    const double t_11b = best_11b_goodput(snr_24, rng);
+    const double t_11ag = best_11ag_goodput(snr_52, rng);
+    const double t_11n = best_11n_goodput(snr_52, rng);
+    std::printf("%10.0f | %14.1f %14.1f %14.1f\n", d, t_11b, t_11ag, t_11n);
+  }
+
+  std::printf("\nNote how each generation multiplies peak rate near the AP,\n"
+              "and how 11n's spatial diversity holds the link together at\n"
+              "distances where the SISO OFDM link has already collapsed.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Office-floor scenario on the event-driven network simulator.
+//
+// An AP serves stations scattered over a floor; one distant pair cannot
+// hear each other (hidden terminals). The example shows the uplink
+// capacity split, the damage hidden nodes do, and what turning RTS/CTS on
+// costs and buys — the MAC-layer reality behind the paper's PHY-rate
+// story.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/wlan.h"
+
+int main() {
+  using namespace wlan;
+
+  std::printf("Office floor: one AP, six stations, saturated uplink\n\n");
+
+  // AP at the center; four nearby stations; two at opposite far corners
+  // (hidden from each other, both in range of the AP).
+  std::vector<net::NodeConfig> nodes(7);
+  nodes[6].position = {0.0, 0.0};  // AP
+  const double near = 12.0;
+  for (int i = 0; i < 4; ++i) {
+    const double angle = 1.5708 * i + 0.4;
+    nodes[static_cast<std::size_t>(i)].position = {near * std::cos(angle),
+                                                   near * std::sin(angle)};
+  }
+  nodes[4].position = {-50.0, 0.0};
+  nodes[5].position = {50.0, 0.0};
+
+  std::vector<net::Flow> flows;
+  for (std::size_t i = 0; i < 6; ++i) flows.push_back({i, 6});
+
+  net::NetworkConfig cfg;
+  cfg.duration_s = 3.0;
+  cfg.data_rate_mbps = 24.0;
+  cfg.payload_bytes = 1000;
+
+  for (const bool rts : {false, true}) {
+    cfg.rts_cts = rts;
+    Rng rng(2005);
+    const auto r = net::simulate_network(cfg, nodes, flows, rng);
+    std::printf("---- %s ----\n", rts ? "RTS/CTS enabled" : "basic CSMA/CA");
+    std::printf("  aggregate throughput : %5.1f Mbps\n",
+                r.aggregate_throughput_mbps);
+    std::printf("  data frames lost     : %5.1f %%\n",
+                100.0 * r.data_failure_rate());
+    std::printf("  per-station goodput  :");
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      std::printf(" %4.1f", r.flows[i].throughput_mbps);
+    }
+    std::printf("  (last two are the far corners)\n\n");
+  }
+
+  std::printf("The far stations collide at the AP under basic CSMA because\n"
+              "they cannot carrier-sense each other; RTS/CTS moves those\n"
+              "collisions onto 20-byte frames and gives the corners their\n"
+              "airtime back.\n");
+  return 0;
+}

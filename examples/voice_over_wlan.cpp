@@ -1,0 +1,51 @@
+// Voice over WLAN: why 802.11e EDCA exists.
+//
+// A VoIP stream (small frames, tight delay budget) shares an AP with
+// saturated file transfers. Under plain DCF every queue contends equally
+// and voice delay explodes; with EDCA's priority parameters voice keeps
+// its ~milliseconds access delay no matter how many bulk stations pile
+// on. This is the protocol-evolution direction the paper's closing
+// section points at: the air interface needed more than raw rate.
+#include <cstdio>
+#include <vector>
+
+#include "core/wlan.h"
+
+int main() {
+  using namespace wlan;
+  using mac::AccessCategory;
+
+  std::printf("VoIP stream vs N saturated bulk transfers (24 Mbps PHY)\n\n");
+  std::printf("%8s | %14s %14s | %14s %14s\n", "bulk N", "DCF voice dly",
+              "DCF voice Mb", "EDCA voice dly", "EDCA voice Mb");
+
+  for (const int n_bulk : {1, 2, 4, 8}) {
+    // "DCF": voice contends as best effort, same parameters as the bulk.
+    mac::EdcaConfig cfg;
+    cfg.duration_s = 4.0;
+    std::vector<mac::EdcaStation> dcf;
+    dcf.push_back({AccessCategory::kBestEffort, 160});  // G.711-ish frames
+    for (int i = 0; i < n_bulk; ++i) {
+      dcf.push_back({AccessCategory::kBestEffort, 1500});
+    }
+    Rng r1(42);
+    const auto plain = mac::simulate_edca(cfg, dcf, r1);
+
+    std::vector<mac::EdcaStation> edca = dcf;
+    edca[0].category = AccessCategory::kVoice;
+    Rng r2(42);
+    const auto prio = mac::simulate_edca(cfg, edca, r2);
+
+    std::printf("%8d | %11.1f ms %12.2f | %11.1f ms %12.2f\n", n_bulk,
+                plain.stations[0].mean_access_delay_s * 1e3,
+                plain.stations[0].throughput_mbps,
+                prio.stations[0].mean_access_delay_s * 1e3,
+                prio.stations[0].throughput_mbps);
+  }
+
+  std::printf("\nUnder plain DCF the voice queue's access delay and airtime\n"
+              "share degrade with every added competitor; under EDCA both\n"
+              "stay flat no matter how many bulk stations pile on — the\n"
+              "jitter budget of a voice call depends on that flatness.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "channel/awgn.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/units.h"
+#include "dsp/ops.h"
+
+namespace wlan::channel {
+
+void add_awgn(CVec& x, Rng& rng, double noise_variance) {
+  if (noise_variance <= 0.0) return;
+  for (auto& v : x) v += rng.cgaussian(noise_variance);
+}
+
+double add_awgn_snr(CVec& x, Rng& rng, double snr_db) {
+  const double signal_power = dsp::mean_power(x);
+  const double noise_variance = signal_power / db_to_lin(snr_db);
+  add_awgn(x, rng, noise_variance);
+  return noise_variance;
+}
+
+void add_phase_noise(CVec& x, Rng& rng, double linewidth_hz,
+                     double sample_rate_hz) {
+  if (linewidth_hz <= 0.0) return;
+  const double step_var =
+      2.0 * std::numbers::pi * linewidth_hz / sample_rate_hz;
+  const double sigma = std::sqrt(step_var);
+  double phase = 0.0;
+  for (auto& v : x) {
+    phase += sigma * rng.gaussian();
+    v *= Cplx{std::cos(phase), std::sin(phase)};
+  }
+}
+
+void add_tone_interferer(CVec& x, Rng& rng, double power, double freq_norm) {
+  const double amp = std::sqrt(power);
+  const double phase0 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double arg =
+        2.0 * std::numbers::pi * freq_norm * static_cast<double>(n) + phase0;
+    x[n] += amp * Cplx{std::cos(arg), std::sin(arg)};
+  }
+}
+
+}  // namespace wlan::channel

@@ -1,0 +1,30 @@
+// Additive white Gaussian noise and narrowband interference.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wlan::channel {
+
+/// Adds complex AWGN of the given variance (per complex sample) in place.
+void add_awgn(CVec& x, Rng& rng, double noise_variance);
+
+/// Adds AWGN so the resulting SNR relative to the waveform's *current*
+/// mean power equals snr_db. Returns the noise variance used.
+double add_awgn_snr(CVec& x, Rng& rng, double snr_db);
+
+/// A complex-tone narrowband interferer: power `power` concentrated at
+/// normalized frequency `freq_norm` (cycles per sample, in (-0.5, 0.5)),
+/// random initial phase. Added in place starting at sample 0.
+void add_tone_interferer(CVec& x, Rng& rng, double power, double freq_norm);
+
+/// Oscillator phase noise as a Wiener process: the phase random-walks
+/// with variance 2*pi*linewidth/sample_rate per sample (Lorentzian
+/// spectrum of 3-dB linewidth `linewidth_hz`). Rotates the waveform in
+/// place; the OFDM pilots' common-phase-error tracker is what fights it.
+void add_phase_noise(CVec& x, Rng& rng, double linewidth_hz,
+                     double sample_rate_hz);
+
+}  // namespace wlan::channel

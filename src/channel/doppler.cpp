@@ -1,0 +1,44 @@
+#include "channel/doppler.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace wlan::channel {
+
+JakesFader::JakesFader(Rng& rng, double doppler_hz, std::size_t n_oscillators)
+    : doppler_hz_(doppler_hz) {
+  check(doppler_hz > 0.0, "JakesFader requires positive Doppler");
+  check(n_oscillators >= 4, "JakesFader requires >= 4 oscillators");
+  freq_hz_.resize(n_oscillators);
+  phase_.resize(n_oscillators);
+  for (std::size_t n = 0; n < n_oscillators; ++n) {
+    // Uniform arrival angles give the Clarke spectrum in expectation.
+    const double alpha = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    freq_hz_[n] = doppler_hz * std::cos(alpha);
+    phase_[n] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  norm_ = 1.0 / std::sqrt(static_cast<double>(n_oscillators));
+}
+
+Cplx JakesFader::at(double t) const {
+  Cplx acc{0.0, 0.0};
+  for (std::size_t n = 0; n < freq_hz_.size(); ++n) {
+    const double arg = 2.0 * std::numbers::pi * freq_hz_[n] * t + phase_[n];
+    acc += Cplx{std::cos(arg), std::sin(arg)};
+  }
+  return norm_ * acc;
+}
+
+CVec JakesFader::series(double t0, double dt, std::size_t n) const {
+  CVec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = at(t0 + dt * static_cast<double>(i));
+  }
+  return out;
+}
+
+double JakesFader::coherence_time_s() const { return 0.423 / doppler_hz_; }
+
+}  // namespace wlan::channel

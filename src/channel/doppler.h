@@ -1,0 +1,44 @@
+// Time-varying flat fading: Clarke/Jakes sum-of-sinusoids model.
+//
+// Block fading (one draw per packet) is the right model for a single
+// packet, but rate adaptation and power policies live on the timescale
+// where the channel *changes*. This generator produces a continuous
+// fading process h(t) with E[|h|^2] = 1 and the classic Clarke
+// autocorrelation J0(2 pi fD tau), parameterized by the Doppler spread
+// (fD = v/lambda; ~5 Hz for walking speed at 5 GHz).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wlan::channel {
+
+/// Sum-of-sinusoids Rayleigh fader.
+class JakesFader {
+ public:
+  /// `doppler_hz` is the maximum Doppler shift fD. More oscillators give
+  /// a better Gaussian approximation (16 is plenty for link studies).
+  JakesFader(Rng& rng, double doppler_hz, std::size_t n_oscillators = 16);
+
+  double doppler_hz() const { return doppler_hz_; }
+
+  /// Fading coefficient at absolute time t (seconds). Deterministic for a
+  /// given construction; callers may sample any time grid.
+  Cplx at(double t) const;
+
+  /// Convenience: n samples starting at t0 with spacing dt.
+  CVec series(double t0, double dt, std::size_t n) const;
+
+  /// Coherence time heuristic 0.423 / fD (50% correlation).
+  double coherence_time_s() const;
+
+ private:
+  double doppler_hz_;
+  std::vector<double> freq_hz_;  // fD cos(alpha_n)
+  std::vector<double> phase_;    // phi_n
+  double norm_;
+};
+
+}  // namespace wlan::channel

@@ -1,0 +1,58 @@
+// Small-scale fading models: flat Rayleigh/Rician and tapped-delay-line
+// frequency-selective channels with TGn-flavoured exponential power-delay
+// profiles.
+//
+// Block fading is assumed: the channel is constant over one packet and
+// redrawn per packet, matching indoor WLAN coherence times (tens of ms)
+// versus packet durations (sub-ms).
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wlan::channel {
+
+/// One flat-fading coefficient: Rayleigh when k_factor_db = -inf
+/// (use rician_k_db <= -100 to mean pure Rayleigh), Rician otherwise.
+/// Normalized so E[|h|^2] = 1.
+Cplx flat_fading_coefficient(Rng& rng, double rician_k_db = -200.0);
+
+/// Named multipath severities; delay spreads follow the IEEE 802.11 TGn
+/// channel model suite.
+enum class DelayProfile {
+  kFlat,        ///< single tap (TGn model A)
+  kResidential, ///< ~15 ns rms (TGn model B)
+  kOffice,      ///< ~30 ns rms (TGn model D-ish)
+  kLargeOpen,   ///< ~50 ns rms (TGn model E-ish)
+};
+
+/// rms delay spread in seconds for a profile.
+double rms_delay_spread_s(DelayProfile profile);
+
+/// A realized tapped-delay-line channel (SISO).
+struct Tdl {
+  CVec taps;  ///< complex tap gains at the sample rate, E[sum |h_l|^2] = 1
+
+  /// Applies the channel to a waveform (linear convolution, output
+  /// length x.size() + taps.size() - 1).
+  CVec apply(std::span<const Cplx> x) const;
+
+  /// Frequency response on an n-point FFT grid.
+  CVec frequency_response(std::size_t n_fft) const;
+};
+
+/// Draws a TDL realization with an exponential power-delay profile whose
+/// rms delay spread matches `profile` at the given sample rate. A Rayleigh
+/// draw per tap; taps truncated at ~5x the rms spread. A finite
+/// `first_tap_k_db` makes the first tap Rician (TGn LOS models D/E give
+/// the direct path a K-factor); <= -100 dB means pure Rayleigh.
+Tdl make_tdl(Rng& rng, DelayProfile profile, double sample_rate_hz,
+             double first_tap_k_db = -200.0);
+
+/// Average SNR -> instantaneous SNR for Rayleigh: gamma = |h|^2 * mean.
+/// Convenience used by link-abstraction code.
+double rayleigh_instant_snr(Rng& rng, double mean_snr_linear);
+
+}  // namespace wlan::channel

@@ -1,0 +1,61 @@
+#include "channel/mimo.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/decompose.h"
+
+namespace wlan::channel {
+
+linalg::CMatrix iid_rayleigh_matrix(Rng& rng, std::size_t nrx, std::size_t ntx) {
+  check(nrx > 0 && ntx > 0, "channel dimensions must be positive");
+  linalg::CMatrix h(nrx, ntx);
+  for (std::size_t r = 0; r < nrx; ++r) {
+    for (std::size_t t = 0; t < ntx; ++t) {
+      h(r, t) = rng.cgaussian(1.0);
+    }
+  }
+  return h;
+}
+
+linalg::CMatrix exponential_correlation(std::size_t n, double rho) {
+  check(rho >= 0.0 && rho < 1.0, "correlation rho must be in [0, 1)");
+  linalg::CMatrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      r(i, j) = std::pow(rho, std::abs(static_cast<double>(i) -
+                                       static_cast<double>(j)));
+    }
+  }
+  return r;
+}
+
+linalg::CMatrix kronecker_channel(Rng& rng, std::size_t nrx, std::size_t ntx,
+                                  double rho_rx, double rho_tx) {
+  const linalg::CMatrix hw = iid_rayleigh_matrix(rng, nrx, ntx);
+  if (rho_rx <= 0.0 && rho_tx <= 0.0) return hw;
+  const linalg::CMatrix lrx = linalg::cholesky(exponential_correlation(nrx, rho_rx));
+  const linalg::CMatrix ltx = linalg::cholesky(exponential_correlation(ntx, rho_tx));
+  return lrx * hw * ltx.hermitian();
+}
+
+std::vector<linalg::CMatrix> mimo_ofdm_channel(Rng& rng, std::size_t nrx,
+                                               std::size_t ntx,
+                                               DelayProfile profile,
+                                               double sample_rate_hz,
+                                               std::size_t n_fft) {
+  check(nrx > 0 && ntx > 0, "channel dimensions must be positive");
+  std::vector<linalg::CMatrix> tones(n_fft, linalg::CMatrix(nrx, ntx));
+  for (std::size_t r = 0; r < nrx; ++r) {
+    for (std::size_t t = 0; t < ntx; ++t) {
+      const Tdl tdl = make_tdl(rng, profile, sample_rate_hz);
+      const CVec freq = tdl.frequency_response(n_fft);
+      for (std::size_t k = 0; k < n_fft; ++k) {
+        tones[k](r, t) = freq[k];
+      }
+    }
+  }
+  return tones;
+}
+
+}  // namespace wlan::channel

@@ -1,0 +1,37 @@
+// MIMO channel generation.
+//
+// Flat MIMO matrices (i.i.d. Rayleigh or Kronecker-correlated) for
+// capacity/detection studies, and per-subcarrier frequency responses for
+// MIMO-OFDM link simulation (each antenna pair gets an independent TDL;
+// spatial correlation applied via the Kronecker model).
+#pragma once
+
+#include <vector>
+
+#include "channel/fading.h"
+#include "common/rng.h"
+#include "linalg/cmatrix.h"
+
+namespace wlan::channel {
+
+/// nrx x ntx i.i.d. CN(0,1) channel matrix.
+linalg::CMatrix iid_rayleigh_matrix(Rng& rng, std::size_t nrx, std::size_t ntx);
+
+/// Exponential correlation matrix: R(i,j) = rho^|i-j| (real rho in [0,1)).
+linalg::CMatrix exponential_correlation(std::size_t n, double rho);
+
+/// Kronecker-correlated channel: H = Rrx^{1/2} Hw Rtx^{1/2}; square roots
+/// via Cholesky. rho_rx/rho_tx in [0, 1).
+linalg::CMatrix kronecker_channel(Rng& rng, std::size_t nrx, std::size_t ntx,
+                                  double rho_rx, double rho_tx);
+
+/// Per-subcarrier channel matrices for MIMO-OFDM: element (r,t) of tone k
+/// is the k-th FFT bin of an independent TDL realization for that antenna
+/// pair. Returns n_fft matrices of size nrx x ntx.
+std::vector<linalg::CMatrix> mimo_ofdm_channel(Rng& rng, std::size_t nrx,
+                                               std::size_t ntx,
+                                               DelayProfile profile,
+                                               double sample_rate_hz,
+                                               std::size_t n_fft);
+
+}  // namespace wlan::channel

@@ -1,0 +1,54 @@
+#include "channel/pathloss.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace wlan::channel {
+
+double free_space_path_loss_db(double distance_m, double carrier_hz) {
+  check(distance_m > 0.0 && carrier_hz > 0.0,
+        "free_space_path_loss_db requires positive arguments");
+  const double wavelength = kSpeedOfLight / carrier_hz;
+  return 20.0 * std::log10(4.0 * std::numbers::pi * distance_m / wavelength);
+}
+
+double PathLossModel::path_loss_db(double distance_m) const {
+  check(distance_m > 0.0, "path_loss_db requires positive distance");
+  const double d = std::max(distance_m, 0.1);
+  if (d <= breakpoint_m) {
+    return free_space_path_loss_db(d, carrier_hz);
+  }
+  return free_space_path_loss_db(breakpoint_m, carrier_hz) +
+         10.0 * exponent_after * std::log10(d / breakpoint_m);
+}
+
+double PathLossModel::path_loss_db(double distance_m, Rng& rng) const {
+  double loss = path_loss_db(distance_m);
+  if (shadowing_sigma_db > 0.0) {
+    loss += rng.gaussian(0.0, shadowing_sigma_db);
+  }
+  return loss;
+}
+
+double PathLossModel::distance_for_path_loss(double loss_db) const {
+  const double loss_at_bp = free_space_path_loss_db(breakpoint_m, carrier_hz);
+  if (loss_db <= loss_at_bp) {
+    // Invert free-space: loss = 20 log10(4 pi d / lambda).
+    const double wavelength = kSpeedOfLight / carrier_hz;
+    return std::pow(10.0, loss_db / 20.0) * wavelength /
+           (4.0 * std::numbers::pi);
+  }
+  return breakpoint_m *
+         std::pow(10.0, (loss_db - loss_at_bp) / (10.0 * exponent_after));
+}
+
+double link_snr_db(double tx_power_dbm, double path_loss_db, double bandwidth_hz,
+                   double noise_figure_db) {
+  return tx_power_dbm - path_loss_db -
+         thermal_noise_dbm(bandwidth_hz, noise_figure_db);
+}
+
+}  // namespace wlan::channel

@@ -1,0 +1,41 @@
+// Large-scale propagation models.
+//
+// The IEEE 802.11 TGn channel models specify free-space propagation
+// (exponent 2) up to a breakpoint distance and a steeper slope (3.5)
+// beyond it, plus lognormal shadowing. These are the models under which
+// the paper's range claims (MIMO "several-fold" extension, LDPC reach)
+// are evaluated.
+#pragma once
+
+#include "common/rng.h"
+
+namespace wlan::channel {
+
+/// Free-space path loss in dB at distance d (m) and carrier f (Hz).
+double free_space_path_loss_db(double distance_m, double carrier_hz);
+
+/// TGn-style dual-slope model parameters.
+struct PathLossModel {
+  double carrier_hz = 5.2e9;     ///< carrier frequency
+  double breakpoint_m = 5.0;     ///< free-space up to here (TGn model B/C)
+  double exponent_after = 3.5;   ///< slope beyond breakpoint
+  double shadowing_sigma_db = 0; ///< lognormal shadowing std-dev (0 = off)
+
+  /// Deterministic path loss (no shadowing) in dB at distance d.
+  double path_loss_db(double distance_m) const;
+
+  /// Path loss with a lognormal shadowing draw.
+  double path_loss_db(double distance_m, Rng& rng) const;
+
+  /// Inverts the deterministic model: distance at which the given path
+  /// loss occurs. Used to convert coding/diversity gain (dB) into a range
+  /// multiple.
+  double distance_for_path_loss(double loss_db) const;
+};
+
+/// Mean SNR (dB) at the receiver for a link budget:
+/// tx power - path loss - thermal noise(bandwidth, noise figure).
+double link_snr_db(double tx_power_dbm, double path_loss_db, double bandwidth_hz,
+                   double noise_figure_db = 6.0);
+
+}  // namespace wlan::channel

@@ -1,0 +1,51 @@
+#include "common/bits.h"
+
+#include "common/check.h"
+
+namespace wlan {
+
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (const std::uint8_t byte : bytes) {
+    for (int i = 0; i < 8; ++i) {
+      bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1u));
+    }
+  }
+  return bits;
+}
+
+Bytes bits_to_bytes(std::span<const std::uint8_t> bits) {
+  check(bits.size() % 8 == 0, "bits_to_bytes requires a multiple of 8 bits");
+  Bytes bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1u) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  check(a.size() == b.size(), "hamming_distance requires equal lengths");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+std::uint8_t parity(std::span<const std::uint8_t> bits) {
+  std::uint8_t p = 0;
+  for (const std::uint8_t b : bits) p ^= (b & 1u);
+  return p;
+}
+
+std::uint32_t reverse_bits(std::uint32_t value, int width) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    out = (out << 1) | ((value >> i) & 1u);
+  }
+  return out;
+}
+
+}  // namespace wlan

@@ -1,0 +1,32 @@
+// Bit/byte manipulation utilities shared by the PHY and MAC layers.
+//
+// 802.11 serializes bytes LSB-first on the air; all pack/unpack helpers here
+// follow that convention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan {
+
+/// Unpacks bytes into bits, LSB of each byte first (802.11 order).
+Bits bytes_to_bits(std::span<const std::uint8_t> bytes);
+
+/// Packs bits (LSB-first per byte) into bytes. Requires size % 8 == 0.
+Bytes bits_to_bytes(std::span<const std::uint8_t> bits);
+
+/// Number of positions at which the two sequences differ.
+/// Requires equal lengths.
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+/// XOR-parity (0 or 1) of the bit sequence.
+std::uint8_t parity(std::span<const std::uint8_t> bits);
+
+/// Reverses the lowest `width` bits of `value` (bit-reversal permutation).
+std::uint32_t reverse_bits(std::uint32_t value, int width);
+
+}  // namespace wlan

@@ -1,0 +1,27 @@
+// Lightweight precondition checking for public API boundaries.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace wlan {
+
+/// Thrown when a public API precondition is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Verifies a precondition; throws ContractError with source location on
+/// failure. Used at public API boundaries where the cost is negligible
+/// relative to the work performed.
+inline void check(bool condition, const std::string& what,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw ContractError(std::string(loc.file_name()) + ":" +
+                        std::to_string(loc.line()) + ": " + what);
+  }
+}
+
+}  // namespace wlan

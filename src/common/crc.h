@@ -1,0 +1,20 @@
+// CRC implementations used by 802.11 frames.
+//
+// - CRC-32 (IEEE 802.3 polynomial): the FCS appended to every MAC frame.
+// - CRC-16-CCITT: the PLCP header check in the 802.11b long/short preamble.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wlan {
+
+/// IEEE 802.3 / 802.11 FCS: reflected CRC-32, poly 0x04C11DB7,
+/// init 0xFFFFFFFF, final XOR 0xFFFFFFFF.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// CRC-16-CCITT as used by the 802.11b PLCP header (poly 0x1021,
+/// init 0xFFFF, output complemented).
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> data);
+
+}  // namespace wlan

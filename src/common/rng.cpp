@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace wlan {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  check(n > 0, "uniform_int requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+Cplx Rng::cgaussian(double variance) {
+  const double s = std::sqrt(variance / 2.0);
+  return {s * gaussian(), s * gaussian()};
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+Bits Rng::random_bits(std::size_t n) {
+  Bits b(n);
+  for (auto& bit : b) bit = static_cast<std::uint8_t>(next_u64() & 1u);
+  return b;
+}
+
+Bytes Rng::random_bytes(std::size_t n) {
+  Bytes b(n);
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(next_u64() & 0xFFu);
+  return b;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace wlan

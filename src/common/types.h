@@ -1,0 +1,26 @@
+// Fundamental value types shared by every holtwlan subsystem.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace wlan {
+
+/// Complex baseband sample. All PHY processing is done at double precision;
+/// the library models algorithms, not fixed-point implementations.
+using Cplx = std::complex<double>;
+
+/// A complex baseband waveform (one antenna / one stream).
+using CVec = std::vector<Cplx>;
+
+/// A real-valued vector (LLRs, power profiles, metrics).
+using RVec = std::vector<double>;
+
+/// An unpacked bit sequence, one bit per element (value 0 or 1).
+using Bits = std::vector<std::uint8_t>;
+
+/// A packed byte sequence (MAC payloads, PSDUs).
+using Bytes = std::vector<std::uint8_t>;
+
+}  // namespace wlan

@@ -1,0 +1,29 @@
+// Unit conversions used throughout the link-budget and PHY code.
+#pragma once
+
+#include <cmath>
+
+namespace wlan {
+
+/// Converts a power ratio in decibels to linear scale.
+inline double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Converts a linear power ratio to decibels.
+inline double lin_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+/// Converts dBm to watts.
+inline double dbm_to_watt(double dbm) { return std::pow(10.0, (dbm - 30.0) / 10.0); }
+
+/// Converts watts to dBm.
+inline double watt_to_dbm(double watt) { return 10.0 * std::log10(watt) + 30.0; }
+
+/// Thermal noise power in dBm for a given bandwidth (Hz) at T = 290 K.
+/// kT = -174 dBm/Hz.
+inline double thermal_noise_dbm(double bandwidth_hz, double noise_figure_db = 0.0) {
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+/// Speed of light in m/s, used by free-space path loss.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+}  // namespace wlan

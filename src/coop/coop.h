@@ -1,0 +1,58 @@
+// Cooperative diversity: decode-and-forward relaying.
+//
+// The paper describes cooperation as "somewhat of a cross between MIMO
+// techniques and mesh networking": a third party that decodes an ongoing
+// exchange regenerates and relays it, improving the effective link
+// quality. We implement the classic two-slot decode-and-forward protocol
+// (Laneman/Tse/Wornell) over Rayleigh block fading and measure outage
+// probability and mean capacity by Monte Carlo, plus the transmit-energy
+// split between source and relay (the paper's "share some of the power
+// burden" opportunity).
+#pragma once
+
+#include <cstdint>
+
+#include "channel/pathloss.h"
+#include "common/rng.h"
+
+namespace wlan::coop {
+
+/// Transmission schemes compared by the cooperative experiments.
+enum class Scheme {
+  kDirect,        ///< S -> D only, full time slot
+  kDfRepetition,  ///< two slots; relay forwards if it decodes, else the
+                  ///< source repeats (receiver MRC-combines both copies)
+  kDfSelection,   ///< two slots; relay forwards if it decodes, else the
+                  ///< source uses both slots itself
+};
+
+struct CoopConfig {
+  Scheme scheme = Scheme::kDfSelection;
+  double target_rate_bps_hz = 1.0;  ///< end-to-end spectral efficiency R
+  double mean_snr_sd_db = 10.0;     ///< source -> destination
+  double mean_snr_sr_db = 15.0;     ///< source -> relay
+  double mean_snr_rd_db = 15.0;     ///< relay -> destination
+};
+
+struct CoopResult {
+  double outage_probability = 0.0;
+  double mean_capacity_bps_hz = 0.0;
+  double relay_decode_fraction = 0.0;  ///< how often the relay helped
+  /// Mean transmit airtime fraction carried by the relay (0 for direct):
+  /// the power burden shifted off the (battery-powered) source.
+  double relay_airtime_fraction = 0.0;
+};
+
+/// Monte-Carlo outage simulation over independent Rayleigh links.
+CoopResult simulate(const CoopConfig& config, std::size_t n_trials, Rng& rng);
+
+/// Builds link SNRs for a source-destination pair `d_sd` metres apart with
+/// the relay on the line between them at fraction `relay_position` (0 =
+/// at source, 1 = at destination), under the given path-loss model.
+CoopConfig geometry_config(Scheme scheme, double target_rate_bps_hz,
+                           double d_sd_m, double relay_position,
+                           const channel::PathLossModel& pathloss,
+                           double tx_power_dbm, double bandwidth_hz = 20e6,
+                           double noise_figure_db = 6.0);
+
+}  // namespace wlan::coop

@@ -1,0 +1,56 @@
+#include "core/abstraction.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace wlan {
+
+double eesm_effective_snr_db(std::span<const double> tone_snrs_db, double beta) {
+  check(!tone_snrs_db.empty(), "EESM requires at least one tone");
+  check(beta > 0.0, "EESM beta must be positive");
+  double acc = 0.0;
+  for (const double snr_db : tone_snrs_db) {
+    acc += std::exp(-db_to_lin(snr_db) / beta);
+  }
+  acc /= static_cast<double>(tone_snrs_db.size());
+  return lin_to_db(-beta * std::log(acc));
+}
+
+double eesm_beta(phy::OfdmMcs mcs) {
+  // Standard calibration ballpark: ~1.5 for BPSK/QPSK up to ~25 for
+  // 64-QAM (3GPP/802.11 evaluation methodology values).
+  switch (phy::ofdm_mcs_info(mcs).mod) {
+    case phy::Modulation::kBpsk: return 1.5;
+    case phy::Modulation::kQpsk: return 2.5;
+    case phy::Modulation::kQam16: return 7.0;
+    case phy::Modulation::kQam64: return 22.0;
+  }
+  return 2.0;
+}
+
+double ofdm_awgn_per(phy::OfdmMcs mcs, double snr_db) {
+  // Logistic fits to bench_c4's measured 500-byte waterfalls.
+  static constexpr std::array<double, 8> kMidpoints = {
+      1.2, 3.1, 3.1, 6.8, 9.2, 12.9, 17.0, 18.6};
+  constexpr double kSlope = 1.6;
+  const double mid = kMidpoints[static_cast<std::size_t>(mcs)];
+  return 1.0 / (1.0 + std::exp(kSlope * (snr_db - mid)));
+}
+
+double predict_ofdm_per(phy::OfdmMcs mcs, const channel::Tdl& tdl,
+                        double mean_snr_db) {
+  const CVec freq = tdl.frequency_response(phy::OfdmPhy::kNfft);
+  const auto& tones = phy::ofdm_data_tones();
+  RVec snrs;
+  snrs.reserve(tones.size());
+  for (const int tone : tones) {
+    const double gain = std::max(std::norm(freq[phy::ofdm_tone_bin(tone)]), 1e-12);
+    snrs.push_back(mean_snr_db + lin_to_db(gain));
+  }
+  const double eff = eesm_effective_snr_db(snrs, eesm_beta(mcs));
+  return ofdm_awgn_per(mcs, eff);
+}
+
+}  // namespace wlan

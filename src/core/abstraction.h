@@ -1,0 +1,34 @@
+// Link-to-system abstraction: EESM effective SNR and fast PER prediction.
+//
+// Full waveform simulation is the ground truth but costs milliseconds per
+// packet; network-scale studies (mesh, DCF with many stations) need PER
+// in nanoseconds. The standard bridge — used by the 802.11n proposal
+// evaluations themselves — is the Exponential Effective SNR Mapping:
+// compress the per-subcarrier SNRs of a frequency-selective realization
+// into one AWGN-equivalent SNR, then look up an AWGN PER curve.
+#pragma once
+
+#include <span>
+
+#include "channel/fading.h"
+#include "phy/ofdm.h"
+
+namespace wlan {
+
+/// EESM: snr_eff = -beta * ln( mean_k exp(-snr_k / beta) ), all linear.
+/// Inputs and output in dB.
+double eesm_effective_snr_db(std::span<const double> tone_snrs_db, double beta);
+
+/// Calibrated beta per OFDM MCS (grows with constellation density).
+double eesm_beta(phy::OfdmMcs mcs);
+
+/// AWGN PER reference curve for an MCS (logistic fit to this library's
+/// measured waterfalls at 500-byte PSDUs).
+double ofdm_awgn_per(phy::OfdmMcs mcs, double snr_db);
+
+/// Fast PER prediction for one TDL realization at a mean SNR: per-tone
+/// SNRs from the channel's frequency response -> EESM -> AWGN curve.
+double predict_ofdm_per(phy::OfdmMcs mcs, const channel::Tdl& tdl,
+                        double mean_snr_db);
+
+}  // namespace wlan

@@ -1,0 +1,153 @@
+#include "core/link.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "dsp/ops.h"
+
+namespace wlan {
+namespace {
+
+// Applies the selected channel to a waveform; returns the (possibly
+// lengthened) received signal before noise.
+CVec apply_channel(const CVec& tx, ChannelSpec spec, double sample_rate_hz,
+                   Rng& rng) {
+  switch (spec.kind) {
+    case ChannelSpec::Kind::kAwgn:
+      return tx;
+    case ChannelSpec::Kind::kFlatRayleigh: {
+      const Cplx h = channel::flat_fading_coefficient(rng);
+      CVec out(tx.size());
+      for (std::size_t i = 0; i < tx.size(); ++i) out[i] = h * tx[i];
+      return out;
+    }
+    case ChannelSpec::Kind::kTdl: {
+      const channel::Tdl tdl = channel::make_tdl(rng, spec.profile, sample_rate_hz);
+      return tdl.apply(tx);
+    }
+  }
+  return tx;
+}
+
+void count_bit_errors(std::span<const std::uint8_t> a,
+                      std::span<const std::uint8_t> b, LinkResult& result) {
+  const std::size_t errors = hamming_distance(a, b);
+  result.bits += a.size();
+  result.bit_errors += errors;
+  ++result.packets;
+  if (errors > 0) ++result.packet_errors;
+}
+
+void count_byte_errors(const Bytes& sent, const Bytes& got, LinkResult& result) {
+  std::size_t bit_errors = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    bit_errors += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(sent[i] ^ got[i])));
+  }
+  result.bits += 8 * sent.size();
+  result.bit_errors += bit_errors;
+  ++result.packets;
+  if (bit_errors > 0) ++result.packet_errors;
+}
+
+}  // namespace
+
+LinkResult run_dsss_link(const phy::DsssModem::Config& config,
+                         std::size_t bits_per_packet, std::size_t n_packets,
+                         double snr_db, Rng& rng,
+                         std::optional<ToneInterference> interference,
+                         ChannelSpec channel) {
+  check(bits_per_packet > 0 && n_packets > 0, "empty DSSS link run");
+  const phy::DsssModem modem(config);
+  LinkResult result;
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const Bits tx_bits = rng.random_bits(bits_per_packet);
+    CVec wave = modem.modulate(tx_bits);
+    const double signal_power = dsp::mean_power(wave);
+    wave = apply_channel(wave, channel, 11e6, rng);
+    if (interference) {
+      const double jam_power = signal_power / db_to_lin(interference->sir_db);
+      channel::add_tone_interferer(wave, rng, jam_power, interference->freq_norm);
+    }
+    channel::add_awgn(wave, rng, signal_power / db_to_lin(snr_db));
+    // Keep only the modem's symbol lattice (TDL tails are discarded; the
+    // Barker correlation absorbs within-symbol dispersion).
+    const std::size_t expected =
+        (bits_per_packet / phy::dsss_bits_per_symbol(config.rate) + 1) *
+        modem.chips_per_symbol();
+    wave.resize(expected);
+    const Bits rx_bits = modem.demodulate(wave);
+    count_bit_errors(tx_bits, rx_bits, result);
+  }
+  return result;
+}
+
+LinkResult run_cck_link(phy::CckRate rate, std::size_t bits_per_packet,
+                        std::size_t n_packets, double snr_db, Rng& rng,
+                        ChannelSpec channel) {
+  check(bits_per_packet > 0 && n_packets > 0, "empty CCK link run");
+  const phy::CckModem modem(rate);
+  LinkResult result;
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const Bits tx_bits = rng.random_bits(bits_per_packet);
+    CVec wave = modem.modulate(tx_bits);
+    const double signal_power = dsp::mean_power(wave);
+    wave = apply_channel(wave, channel, 11e6, rng);
+    channel::add_awgn(wave, rng, signal_power / db_to_lin(snr_db));
+    const std::size_t expected =
+        (bits_per_packet / phy::cck_bits_per_symbol(rate) + 1) * 8;
+    wave.resize(expected);
+    const Bits rx_bits = modem.demodulate(wave);
+    count_bit_errors(tx_bits, rx_bits, result);
+  }
+  return result;
+}
+
+LinkResult run_ofdm_link(phy::OfdmMcs mcs, std::size_t psdu_bytes,
+                         std::size_t n_packets, double snr_db, Rng& rng,
+                         ChannelSpec channel) {
+  check(psdu_bytes > 0 && n_packets > 0, "empty OFDM link run");
+  const phy::OfdmPhy phy(mcs);
+  LinkResult result;
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const Bytes psdu = rng.random_bytes(psdu_bytes);
+    CVec wave = phy.transmit(psdu);
+    const double signal_power = dsp::mean_power(wave);
+    const std::size_t tx_len = wave.size();
+    wave = apply_channel(wave, channel, phy::OfdmPhy::kSampleRateHz, rng);
+    const double noise_var = signal_power / db_to_lin(snr_db);
+    channel::add_awgn(wave, rng, noise_var);
+    wave.resize(tx_len);  // drop the TDL tail beyond the frame
+    const Bytes decoded = phy.receive(wave, psdu_bytes, noise_var);
+    count_byte_errors(psdu, decoded, result);
+  }
+  return result;
+}
+
+LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
+                       std::size_t n_packets, double snr_db, Rng& rng,
+                       channel::DelayProfile profile) {
+  check(psdu_bytes > 0 && n_packets > 0, "empty HT link run");
+  const phy::HtPhy phy(config);
+  LinkResult result;
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const Bytes psdu = rng.random_bytes(psdu_bytes);
+    const auto tones = phy.draw_channel(rng, profile);
+    const Bytes decoded = phy.simulate_link(psdu, tones, snr_db, rng);
+    count_byte_errors(psdu, decoded, result);
+  }
+  return result;
+}
+
+double snr_at_distance_db(const channel::PathLossModel& pathloss,
+                          double distance_m, double tx_power_dbm,
+                          double bandwidth_hz, double noise_figure_db) {
+  return channel::link_snr_db(tx_power_dbm, pathloss.path_loss_db(distance_m),
+                              bandwidth_hz, noise_figure_db);
+}
+
+}  // namespace wlan

@@ -1,0 +1,53 @@
+#include "core/standards.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "phy/ht.h"
+
+namespace wlan {
+namespace {
+
+constexpr std::array<StandardInfo, 5> kStandards = {{
+    {Standard::k80211, "802.11-1997", 1997, 2.4, 20.0, "DSSS (Barker/DPSK)", 2.0},
+    {Standard::k80211b, "802.11b", 1999, 2.4, 22.0, "CCK", 11.0},
+    {Standard::k80211a, "802.11a", 1999, 5.2, 20.0, "OFDM", 54.0},
+    {Standard::k80211g, "802.11g", 2003, 2.4, 20.0, "OFDM", 54.0},
+    {Standard::k80211n, "802.11n (draft)", 2005, 5.2, 40.0, "MIMO-OFDM", 600.0},
+}};
+
+}  // namespace
+
+const StandardInfo& standard_info(Standard standard) {
+  for (const auto& info : kStandards) {
+    if (info.standard == standard) return info;
+  }
+  check(false, "unknown standard");
+  return kStandards[0];
+}
+
+std::span<const StandardInfo> all_standards() { return kStandards; }
+
+std::vector<double> supported_rates_mbps(Standard standard) {
+  switch (standard) {
+    case Standard::k80211: return {1.0, 2.0};
+    case Standard::k80211b: return {1.0, 2.0, 5.5, 11.0};
+    case Standard::k80211a:
+    case Standard::k80211g:
+      return {6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0};
+    case Standard::k80211n: {
+      // All 32 MCS at 40 MHz / short GI (the generation's headline mode).
+      std::vector<double> rates;
+      for (unsigned mcs = 0; mcs < 32; ++mcs) {
+        rates.push_back(phy::ht_data_rate_mbps(mcs, phy::HtBandwidth::k40MHz,
+                                               phy::HtGuardInterval::kShort));
+      }
+      std::sort(rates.begin(), rates.end());
+      return rates;
+    }
+  }
+  return {};
+}
+
+}  // namespace wlan

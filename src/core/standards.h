@@ -1,0 +1,42 @@
+// Registry of the 802.11 generations the paper retraces, with the
+// headline numbers the C1 experiment reproduces from simulation.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace wlan {
+
+enum class Standard {
+  k80211,    ///< 1997: DSSS/FHSS, 1-2 Mbps
+  k80211b,   ///< 1999: CCK, up to 11 Mbps
+  k80211a,   ///< 1999: OFDM @ 5 GHz, up to 54 Mbps
+  k80211g,   ///< 2003: OFDM @ 2.4 GHz, up to 54 Mbps
+  k80211n,   ///< draft in 2005: MIMO-OFDM, up to 600 Mbps
+};
+
+struct StandardInfo {
+  Standard standard;
+  std::string_view name;
+  int year;
+  double carrier_ghz;
+  double channel_width_mhz;
+  std::string_view modulation;
+  double max_rate_mbps;
+  /// Peak spectral efficiency = max rate / channel width.
+  double spectral_efficiency_bps_hz() const {
+    return max_rate_mbps / channel_width_mhz;
+  }
+};
+
+/// Static facts about a generation (the paper's numbers).
+const StandardInfo& standard_info(Standard standard);
+
+/// All generations in chronological order.
+std::span<const StandardInfo> all_standards();
+
+/// The PHY rates a generation supports, ascending (Mbps).
+std::vector<double> supported_rates_mbps(Standard standard);
+
+}  // namespace wlan

@@ -1,0 +1,65 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace wlan::dsp {
+namespace {
+
+// Iterative Cooley-Tukey; direction +1 for forward (e^{-j...}), -1 inverse.
+void transform(CVec& x, int direction) {
+  const std::size_t n = x.size();
+  check(is_power_of_two(n), "FFT size must be a power of two");
+  int log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = wlan::reverse_bits(static_cast<std::uint32_t>(i), log2n);
+    if (j > i) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        -2.0 * std::numbers::pi / static_cast<double>(len) * direction;
+    const Cplx wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = x[i + k];
+        const Cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(CVec& x) { transform(x, +1); }
+
+void ifft_inplace(CVec& x) {
+  transform(x, -1);
+  const double inv = 1.0 / static_cast<double>(x.size());
+  for (auto& v : x) v *= inv;
+}
+
+CVec fft(CVec x) {
+  fft_inplace(x);
+  return x;
+}
+
+CVec ifft(CVec x) {
+  ifft_inplace(x);
+  return x;
+}
+
+}  // namespace wlan::dsp

@@ -1,0 +1,25 @@
+// Radix-2 complex FFT used by the OFDM modulator/demodulator.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace wlan::dsp {
+
+/// Returns true when n is a power of two (and > 0).
+bool is_power_of_two(std::size_t n);
+
+/// In-place forward DFT (no normalization). Requires power-of-two size.
+void fft_inplace(CVec& x);
+
+/// In-place inverse DFT, normalized by 1/N. Requires power-of-two size.
+void ifft_inplace(CVec& x);
+
+/// Out-of-place forward DFT.
+CVec fft(CVec x);
+
+/// Out-of-place inverse DFT (1/N normalized).
+CVec ifft(CVec x);
+
+}  // namespace wlan::dsp

@@ -1,0 +1,78 @@
+#include "dsp/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace wlan::dsp {
+
+CVec convolve(std::span<const Cplx> a, std::span<const Cplx> b) {
+  if (a.empty() || b.empty()) return {};
+  CVec out(a.size() + b.size() - 1, Cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == Cplx{0.0, 0.0}) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+CVec cross_correlate(std::span<const Cplx> x, std::span<const Cplx> ref) {
+  check(!ref.empty(), "cross_correlate requires a non-empty reference");
+  if (x.size() < ref.size()) return {};
+  CVec out(x.size() - ref.size() + 1, Cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      acc += x[k + i] * std::conj(ref[i]);
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+double mean_power(std::span<const Cplx> x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Cplx& v : x) sum += std::norm(v);
+  return sum / static_cast<double>(x.size());
+}
+
+double peak_power(std::span<const Cplx> x) {
+  double peak = 0.0;
+  for (const Cplx& v : x) peak = std::max(peak, std::norm(v));
+  return peak;
+}
+
+double papr_db(std::span<const Cplx> x) {
+  const double mean = mean_power(x);
+  check(mean > 0.0, "papr_db requires non-zero mean power");
+  return lin_to_db(peak_power(x) / mean);
+}
+
+void normalize_power(CVec& x, double target_power) {
+  const double mean = mean_power(x);
+  if (mean <= 0.0) return;
+  const double scale = std::sqrt(target_power / mean);
+  for (auto& v : x) v *= scale;
+}
+
+RVec power_ccdf(std::span<const Cplx> x, std::span<const double> thresholds_db) {
+  RVec out(thresholds_db.size(), 0.0);
+  const double mean = mean_power(x);
+  if (mean <= 0.0 || x.empty()) return out;
+  for (std::size_t t = 0; t < thresholds_db.size(); ++t) {
+    const double threshold = mean * db_to_lin(thresholds_db[t]);
+    std::size_t count = 0;
+    for (const Cplx& v : x) {
+      if (std::norm(v) > threshold) ++count;
+    }
+    out[t] = static_cast<double>(count) / static_cast<double>(x.size());
+  }
+  return out;
+}
+
+}  // namespace wlan::dsp

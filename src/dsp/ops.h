@@ -1,0 +1,35 @@
+// Waveform-level signal processing helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::dsp {
+
+/// Full linear convolution; output length a.size() + b.size() - 1.
+CVec convolve(std::span<const Cplx> a, std::span<const Cplx> b);
+
+/// Sliding cross-correlation of `x` against `ref` (conjugated reference):
+/// out[k] = sum_i x[k+i] * conj(ref[i]), for k in [0, x.size()-ref.size()].
+CVec cross_correlate(std::span<const Cplx> x, std::span<const Cplx> ref);
+
+/// Mean power (E[|x|^2]) of a waveform; 0 for empty input.
+double mean_power(std::span<const Cplx> x);
+
+/// Peak instantaneous power of a waveform; 0 for empty input.
+double peak_power(std::span<const Cplx> x);
+
+/// Peak-to-average power ratio in dB. Requires non-zero mean power.
+double papr_db(std::span<const Cplx> x);
+
+/// Scales the waveform so its mean power is `target_power` (in place).
+void normalize_power(CVec& x, double target_power = 1.0);
+
+/// Complementary CDF of the per-sample PAPR-like statistic: for each
+/// threshold (dB above mean power), the fraction of samples whose
+/// instantaneous power exceeds it. Used for PAPR CCDF plots.
+RVec power_ccdf(std::span<const Cplx> x, std::span<const double> thresholds_db);
+
+}  // namespace wlan::dsp

@@ -1,0 +1,95 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "dsp/fft.h"
+
+namespace wlan::dsp {
+
+RVec welch_psd(std::span<const Cplx> x, std::size_t n_fft) {
+  check(is_power_of_two(n_fft), "welch_psd requires a power-of-two FFT size");
+  check(x.size() >= n_fft, "welch_psd input shorter than one segment");
+
+  // Hann window and its energy for normalization.
+  RVec window(n_fft);
+  double window_energy = 0.0;
+  for (std::size_t i = 0; i < n_fft; ++i) {
+    window[i] = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(n_fft - 1)));
+    window_energy += window[i] * window[i];
+  }
+
+  RVec psd(n_fft, 0.0);
+  const std::size_t hop = n_fft / 2;
+  std::size_t segments = 0;
+  CVec seg(n_fft);
+  for (std::size_t start = 0; start + n_fft <= x.size(); start += hop) {
+    for (std::size_t i = 0; i < n_fft; ++i) {
+      seg[i] = x[start + i] * window[i];
+    }
+    fft_inplace(seg);
+    for (std::size_t k = 0; k < n_fft; ++k) {
+      psd[k] += std::norm(seg[k]);
+    }
+    ++segments;
+  }
+  const double norm = 1.0 / (static_cast<double>(segments) * window_energy);
+  for (auto& v : psd) v *= norm;
+  return psd;
+}
+
+RVec fft_shift(std::span<const double> psd) {
+  const std::size_t n = psd.size();
+  RVec out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = psd[(i + half) % n];
+  }
+  return out;
+}
+
+double power_within_band(std::span<const double> psd, double fraction) {
+  check(fraction > 0.0 && fraction <= 1.0, "band fraction must be in (0, 1]");
+  const std::size_t n = psd.size();
+  double total = 0.0;
+  for (const double v : psd) total += v;
+  if (total <= 0.0) return 0.0;
+  // Bins 0..n/2 are positive frequencies, n/2..n negative.
+  const auto limit = static_cast<std::size_t>(fraction * static_cast<double>(n) / 2.0);
+  double inside = psd[0];
+  for (std::size_t k = 1; k <= limit && k < n / 2; ++k) {
+    inside += psd[k] + psd[n - k];
+  }
+  return inside / total;
+}
+
+double occupied_bandwidth_fraction(std::span<const double> psd,
+                                   double containment) {
+  check(containment > 0.0 && containment < 1.0, "containment must be in (0,1)");
+  for (std::size_t half_bins = 1; half_bins <= psd.size() / 2; ++half_bins) {
+    const double frac = 2.0 * static_cast<double>(half_bins) /
+                        static_cast<double>(psd.size());
+    if (power_within_band(psd, frac) >= containment) return frac;
+  }
+  return 1.0;
+}
+
+double spectral_similarity(std::span<const double> a, std::span<const double> b) {
+  check(a.size() == b.size() && !a.empty(), "PSD size mismatch");
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  double cross = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum_a += a[i];
+    sum_b += b[i];
+    cross += std::sqrt(std::max(a[i], 0.0) * std::max(b[i], 0.0));
+  }
+  const double denom = std::sqrt(sum_a * sum_b);
+  return denom > 0.0 ? cross / denom : 0.0;
+}
+
+}  // namespace wlan::dsp

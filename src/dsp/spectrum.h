@@ -1,0 +1,37 @@
+// Spectral estimation: Welch periodogram and derived measures.
+//
+// Used to verify the spectral claims of the early standards — CCK keeping
+// a "DSSS like signature to other users of the unlicensed band", OFDM's
+// brick-wall occupancy — directly from the transmitted waveforms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::dsp {
+
+/// Welch power spectral density estimate with a Hann window and 50%
+/// overlap. Returns `n_fft` bins of linear power, DC at bin 0 (use
+/// fftshift-style indexing for plots). Input must be at least n_fft long.
+RVec welch_psd(std::span<const Cplx> x, std::size_t n_fft);
+
+/// Reorders a PSD so negative frequencies come first (bin 0 = -fs/2).
+RVec fft_shift(std::span<const double> psd);
+
+/// Fraction of total power inside |f| <= `fraction` * fs/2.
+double power_within_band(std::span<const double> psd, double fraction);
+
+/// Occupied bandwidth: the two-sided band (as a fraction of fs) holding
+/// `containment` (e.g. 0.99) of the total power, growing symmetrically
+/// from DC.
+double occupied_bandwidth_fraction(std::span<const double> psd,
+                                   double containment = 0.99);
+
+/// Normalized spectral correlation between two PSDs (1 = identical
+/// shape): sum(sqrt(a_i b_i)) / sqrt(sum a * sum b) — the Bhattacharyya
+/// coefficient of the normalized spectra.
+double spectral_similarity(std::span<const double> a, std::span<const double> b);
+
+}  // namespace wlan::dsp

@@ -1,0 +1,132 @@
+#include "linalg/cmatrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wlan::linalg {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Cplx{0.0, 0.0}) {}
+
+CMatrix::CMatrix(std::initializer_list<std::initializer_list<Cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    check(row.size() == cols_, "CMatrix initializer rows must have equal length");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = std::conj((*this)(r, c));
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::transpose() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+CMatrix CMatrix::conj() const {
+  CMatrix out = *this;
+  for (auto& v : out.data_) v = std::conj(v);
+  return out;
+}
+
+double CMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const auto& v : data_) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+CVec CMatrix::column(std::size_t c) const {
+  check(c < cols_, "column index out of range");
+  CVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+CVec CMatrix::row(std::size_t r) const {
+  check(r < rows_, "row index out of range");
+  CVec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+void CMatrix::set_column(std::size_t c, const CVec& v) {
+  check(c < cols_ && v.size() == rows_, "set_column size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+CMatrix& CMatrix::operator+=(const CMatrix& other) {
+  check(rows_ == other.rows_ && cols_ == other.cols_, "matrix size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator-=(const CMatrix& other) {
+  check(rows_ == other.rows_ && cols_ == other.cols_, "matrix size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+CMatrix& CMatrix::operator*=(Cplx scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+CMatrix operator*(const CMatrix& a, const CMatrix& b) {
+  check(a.cols() == b.rows(), "matrix product size mismatch");
+  CMatrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const Cplx ark = a(r, k);
+      if (ark == Cplx{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        out(r, c) += ark * b(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+CVec operator*(const CMatrix& a, const CVec& x) {
+  check(a.cols() == x.size(), "matrix-vector size mismatch");
+  CVec out(a.rows(), Cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += a(r, c) * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double max_abs_diff(const CMatrix& a, const CMatrix& b) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "matrix size mismatch");
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      m = std::max(m, std::abs(a(r, c) - b(r, c)));
+    }
+  }
+  return m;
+}
+
+}  // namespace wlan::linalg

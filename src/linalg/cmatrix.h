@@ -1,0 +1,88 @@
+// Dense complex matrix for small MIMO problems (<= 8x8 typical).
+//
+// This is deliberately a simple row-major dense type: 802.11n MIMO work
+// involves tiny matrices (antennas x streams), so cache blocking and
+// expression templates would be over-engineering (Core Guidelines Per.3:
+// don't optimize without need).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlan::linalg {
+
+/// Row-major dense complex matrix.
+class CMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CMatrix() = default;
+
+  /// rows x cols matrix of zeros.
+  CMatrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer lists: CMatrix{{a,b},{c,d}}.
+  CMatrix(std::initializer_list<std::initializer_list<Cplx>> rows);
+
+  /// n x n identity.
+  static CMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Element access (bounds-checked in debug via vector::operator[] UB-free
+  /// index computation; callers validated at API boundaries).
+  Cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const Cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Conjugate transpose.
+  CMatrix hermitian() const;
+
+  /// Plain transpose (no conjugation).
+  CMatrix transpose() const;
+
+  /// Elementwise conjugate.
+  CMatrix conj() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Extracts column c as a vector.
+  CVec column(std::size_t c) const;
+
+  /// Extracts row r as a vector.
+  CVec row(std::size_t r) const;
+
+  /// Sets column c from a vector of length rows().
+  void set_column(std::size_t c, const CVec& v);
+
+  CMatrix& operator+=(const CMatrix& other);
+  CMatrix& operator-=(const CMatrix& other);
+  CMatrix& operator*=(Cplx scalar);
+
+  friend CMatrix operator+(CMatrix a, const CMatrix& b) { return a += b; }
+  friend CMatrix operator-(CMatrix a, const CMatrix& b) { return a -= b; }
+  friend CMatrix operator*(CMatrix a, Cplx s) { return a *= s; }
+  friend CMatrix operator*(Cplx s, CMatrix a) { return a *= s; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Cplx> data_;
+};
+
+/// Matrix product. Requires a.cols() == b.rows().
+CMatrix operator*(const CMatrix& a, const CMatrix& b);
+
+/// Matrix-vector product. Requires a.cols() == x.size().
+CVec operator*(const CMatrix& a, const CVec& x);
+
+/// Maximum absolute elementwise difference (for tests and convergence checks).
+double max_abs_diff(const CMatrix& a, const CMatrix& b);
+
+}  // namespace wlan::linalg

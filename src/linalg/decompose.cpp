@@ -1,0 +1,253 @@
+#include "linalg/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace wlan::linalg {
+namespace {
+
+struct Lu {
+  CMatrix lu;                    // combined L (unit diagonal) and U
+  std::vector<std::size_t> piv;  // row permutation
+  int sign = 1;                  // permutation sign
+  bool singular = false;
+};
+
+Lu lu_factor(CMatrix a) {
+  const std::size_t n = a.rows();
+  Lu f{std::move(a), {}, 1, false};
+  f.piv.resize(n);
+  std::iota(f.piv.begin(), f.piv.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot = k;
+    double best = std::abs(f.lu(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(f.lu(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      f.singular = true;
+      return f;
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(f.lu(k, c), f.lu(pivot, c));
+      std::swap(f.piv[k], f.piv[pivot]);
+      f.sign = -f.sign;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Cplx m = f.lu(r, k) / f.lu(k, k);
+      f.lu(r, k) = m;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        f.lu(r, c) -= m * f.lu(k, c);
+      }
+    }
+  }
+  return f;
+}
+
+CVec lu_solve(const Lu& f, const CVec& b) {
+  const std::size_t n = f.lu.rows();
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[f.piv[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= f.lu(i, j) * x[j];
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= f.lu(ii, j) * x[j];
+    x[ii] /= f.lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+CVec solve(const CMatrix& a, const CVec& b) {
+  check(a.rows() == a.cols(), "solve requires a square matrix");
+  check(b.size() == a.rows(), "solve rhs size mismatch");
+  const Lu f = lu_factor(a);
+  check(!f.singular, "solve: singular matrix");
+  return lu_solve(f, b);
+}
+
+CMatrix inverse(const CMatrix& a) {
+  check(a.rows() == a.cols(), "inverse requires a square matrix");
+  const std::size_t n = a.rows();
+  const Lu f = lu_factor(a);
+  check(!f.singular, "inverse: singular matrix");
+  CMatrix out(n, n);
+  CVec e(n, Cplx{0.0, 0.0});
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    out.set_column(c, lu_solve(f, e));
+    e[c] = 0.0;
+  }
+  return out;
+}
+
+Cplx determinant(const CMatrix& a) {
+  check(a.rows() == a.cols(), "determinant requires a square matrix");
+  const Lu f = lu_factor(a);
+  if (f.singular) return {0.0, 0.0};
+  Cplx det = static_cast<double>(f.sign);
+  for (std::size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+  return det;
+}
+
+CMatrix cholesky(const CMatrix& a) {
+  check(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  CMatrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j).real();
+    for (std::size_t k = 0; k < j; ++k) diag -= std::norm(l(j, k));
+    check(diag > 0.0, "cholesky: matrix not positive definite");
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      Cplx sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * std::conj(l(j, k));
+      l(i, j) = sum / l(j, j).real();
+    }
+  }
+  return l;
+}
+
+double log2_det_hermitian(const CMatrix& a) {
+  const CMatrix l = cholesky(a);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) acc += std::log2(l(i, i).real());
+  return 2.0 * acc;
+}
+
+Svd svd(const CMatrix& a) {
+  if (a.rows() < a.cols()) {
+    // Work on the transpose-conjugate and swap the factors back.
+    Svd t = svd(a.hermitian());
+    return Svd{std::move(t.v), std::move(t.s), std::move(t.u)};
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  CMatrix work = a;
+  CMatrix v = CMatrix::identity(n);
+
+  constexpr double kTol = 1e-13;
+  constexpr int kMaxSweeps = 60;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // 2x2 Gram entries for columns p, q.
+        double app = 0.0;
+        double aqq = 0.0;
+        Cplx apq{0.0, 0.0};
+        for (std::size_t r = 0; r < m; ++r) {
+          app += std::norm(work(r, p));
+          aqq += std::norm(work(r, q));
+          apq += std::conj(work(r, p)) * work(r, q);
+        }
+        const double off = std::abs(apq);
+        if (off <= kTol * std::sqrt(app * aqq) || off == 0.0) continue;
+        converged = false;
+        // Fold out the phase so the 2x2 problem is real, then rotate.
+        const Cplx phase = apq / off;
+        const double tau = (aqq - app) / (2.0 * off);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c0 = 1.0 / std::sqrt(1.0 + t * t);
+        const double s0 = t * c0;
+        const Cplx ph_conj = std::conj(phase);
+        for (std::size_t r = 0; r < m; ++r) {
+          const Cplx xp = work(r, p);
+          const Cplx xq = work(r, q);
+          work(r, p) = c0 * xp - s0 * ph_conj * xq;
+          work(r, q) = s0 * xp + c0 * ph_conj * xq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const Cplx vp = v(r, p);
+          const Cplx vq = v(r, q);
+          v(r, p) = c0 * vp - s0 * ph_conj * vq;
+          v(r, q) = s0 * vp + c0 * ph_conj * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Singular values are the column norms; U columns are the normalized
+  // rotated columns.
+  RVec s(n, 0.0);
+  CMatrix u(m, n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t c = 0; c < n; ++c) {
+    double norm2 = 0.0;
+    for (std::size_t r = 0; r < m; ++r) norm2 += std::norm(work(r, c));
+    s[c] = std::sqrt(norm2);
+  }
+  std::sort(order.begin(), order.end(),
+            [&s](std::size_t i, std::size_t j) { return s[i] > s[j]; });
+
+  Svd out;
+  out.s.resize(n);
+  out.u = CMatrix(m, n);
+  out.v = CMatrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t src = order[c];
+    out.s[c] = s[src];
+    const double inv = s[src] > 1e-300 ? 1.0 / s[src] : 0.0;
+    for (std::size_t r = 0; r < m; ++r) out.u(r, c) = work(r, src) * inv;
+    for (std::size_t r = 0; r < n; ++r) out.v(r, c) = v(r, src);
+  }
+  return out;
+}
+
+double mimo_capacity_bps_hz(const CMatrix& h, double snr_linear) {
+  check(!h.empty(), "mimo_capacity requires a non-empty channel");
+  const std::size_t nrx = h.rows();
+  const std::size_t ntx = h.cols();
+  const CMatrix hh = h * h.hermitian();
+  CMatrix m = CMatrix::identity(nrx);
+  const double scale = snr_linear / static_cast<double>(ntx);
+  for (std::size_t r = 0; r < nrx; ++r) {
+    for (std::size_t c = 0; c < nrx; ++c) {
+      m(r, c) += scale * hh(r, c);
+    }
+  }
+  return log2_det_hermitian(m);
+}
+
+double waterfilling_capacity_bps_hz(const RVec& singular_values, double snr_linear) {
+  check(!singular_values.empty(), "waterfilling requires singular values");
+  // Eigenmode gains g_i = s_i^2; find water level mu with
+  // sum_i max(0, mu - 1/g_i) = snr.
+  RVec gains;
+  for (const double s : singular_values) {
+    if (s > 1e-12) gains.push_back(s * s);
+  }
+  if (gains.empty()) return 0.0;
+  std::sort(gains.begin(), gains.end(), std::greater<>());
+  // Try using the k strongest modes, largest k first that keeps powers >= 0.
+  for (std::size_t k = gains.size(); k >= 1; --k) {
+    double inv_sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) inv_sum += 1.0 / gains[i];
+    const double mu = (snr_linear + inv_sum) / static_cast<double>(k);
+    if (mu - 1.0 / gains[k - 1] >= 0.0) {
+      double cap = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        cap += std::log2(mu * gains[i]);
+      }
+      return cap;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace wlan::linalg

@@ -1,0 +1,52 @@
+// Decompositions and solvers for small complex matrices.
+//
+// Everything here targets the tiny, well-conditioned systems that arise in
+// MIMO detection (antenna-count dimensions): LU with partial pivoting,
+// Cholesky, and a one-sided Jacobi SVD (simple, numerically robust, and
+// more than fast enough at 4x4).
+#pragma once
+
+#include "linalg/cmatrix.h"
+
+namespace wlan::linalg {
+
+/// Solves A x = b by LU with partial pivoting. Requires A square,
+/// b.size() == A.rows(). Throws ContractError on singular A.
+CVec solve(const CMatrix& a, const CVec& b);
+
+/// Matrix inverse via LU. Requires square, nonsingular.
+CMatrix inverse(const CMatrix& a);
+
+/// Determinant via LU (0 for singular).
+Cplx determinant(const CMatrix& a);
+
+/// Cholesky factor L (lower triangular, L L^H = A) of a Hermitian
+/// positive-definite matrix. Throws ContractError if not HPD.
+CMatrix cholesky(const CMatrix& a);
+
+/// log2(det(A)) for Hermitian positive-definite A, via Cholesky.
+double log2_det_hermitian(const CMatrix& a);
+
+/// Singular value decomposition A = U * diag(s) * V^H.
+/// U is rows x k, V is cols x k, s has k = min(rows, cols) entries in
+/// descending order.
+struct Svd {
+  CMatrix u;
+  RVec s;
+  CMatrix v;
+};
+
+/// One-sided Jacobi SVD. Works for any shape.
+Svd svd(const CMatrix& a);
+
+/// Shannon capacity in bps/Hz of a MIMO channel H with per-receive-antenna
+/// SNR `snr_linear` and equal power allocation across the Ntx transmit
+/// antennas: log2 det(I + snr/Ntx * H H^H).
+double mimo_capacity_bps_hz(const CMatrix& h, double snr_linear);
+
+/// Water-filling capacity in bps/Hz given the channel's singular values and
+/// total SNR budget (transmit-side channel knowledge, as with closed-loop
+/// beamforming). Equal total power constraint: sum p_i = snr_linear.
+double waterfilling_capacity_bps_hz(const RVec& singular_values, double snr_linear);
+
+}  // namespace wlan::linalg

@@ -1,0 +1,86 @@
+#include "mac/bianchi.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wlan::mac {
+
+BianchiResult bianchi_saturation(const BianchiInput& input) {
+  check(input.n_stations >= 1, "bianchi model needs stations");
+  const MacTiming t = mac_timing(input.generation);
+  const double w = static_cast<double>(t.cw_min) + 1.0;  // W = CWmin + 1
+  // Number of doubling stages until CWmax.
+  int m = 0;
+  {
+    unsigned cw = t.cw_min;
+    while (cw < t.cw_max) {
+      cw = 2 * cw + 1;
+      ++m;
+    }
+  }
+  const auto n = static_cast<double>(input.n_stations);
+
+  // Fixed point: tau(p) from the Markov chain, p(tau) = 1-(1-tau)^(n-1).
+  double p = 0.1;
+  double tau = 0.0;
+  for (int iter = 0; iter < 10000; ++iter) {
+    const double two_p = 2.0 * p;
+    double tau_new;
+    if (std::abs(1.0 - two_p) < 1e-12) {
+      tau_new = 2.0 / (w + 1.0 + p * w * m);
+    } else {
+      tau_new = 2.0 * (1.0 - two_p) /
+                ((1.0 - two_p) * (w + 1.0) +
+                 p * w * (1.0 - std::pow(two_p, m)));
+    }
+    const double p_new = 1.0 - std::pow(1.0 - tau_new, n - 1.0);
+    const double damped = 0.5 * p + 0.5 * p_new;
+    if (std::abs(damped - p) < 1e-12) {
+      p = damped;
+      tau = tau_new;
+      break;
+    }
+    p = damped;
+    tau = tau_new;
+  }
+
+  // Slot-type probabilities.
+  const double p_tr = 1.0 - std::pow(1.0 - tau, n);
+  const double p_s =
+      p_tr > 0.0 ? n * tau * std::pow(1.0 - tau, n - 1.0) / p_tr : 0.0;
+
+  // Slot durations.
+  const std::size_t mpdu = input.payload_bytes + kDataHeaderBytes;
+  const double t_data =
+      data_ppdu_duration_s(input.generation, input.data_rate_mbps, mpdu);
+  const double t_ack =
+      control_duration_s(input.generation, kAckBytes, input.basic_rate_mbps);
+  const double t_rts =
+      control_duration_s(input.generation, kRtsBytes, input.basic_rate_mbps);
+  const double t_cts =
+      control_duration_s(input.generation, kCtsBytes, input.basic_rate_mbps);
+  double ts;  // successful-slot duration
+  double tc;  // collision-slot duration
+  if (input.rts_cts) {
+    ts = t_rts + t.sifs_s + t_cts + t.sifs_s + t_data + t.sifs_s + t_ack +
+         t.difs_s();
+    tc = t_rts + t.sifs_s + t_ack + t.difs_s();  // EIFS-ish
+  } else {
+    ts = t_data + t.sifs_s + t_ack + t.difs_s();
+    tc = t_data + t.sifs_s + t_ack + t.difs_s();
+  }
+
+  const double payload_bits = 8.0 * static_cast<double>(input.payload_bytes);
+  const double denom = (1.0 - p_tr) * t.slot_s + p_tr * p_s * ts +
+                       p_tr * (1.0 - p_s) * tc;
+
+  BianchiResult result;
+  result.tau = tau;
+  result.collision_probability = p;
+  result.throughput_mbps =
+      denom > 0.0 ? p_tr * p_s * payload_bits / denom / 1e6 : 0.0;
+  return result;
+}
+
+}  // namespace wlan::mac

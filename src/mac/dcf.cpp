@@ -1,0 +1,154 @@
+#include "mac/dcf.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/stats.h"
+
+namespace wlan::mac {
+namespace {
+
+struct Station {
+  unsigned cw;
+  unsigned backoff;
+  unsigned retries = 0;
+  double head_since = 0.0;  // when the current head-of-queue frame arrived
+};
+
+struct Durations {
+  double success;    // busy time of a successful exchange (incl. DIFS)
+  double failure;    // busy time when data or ack is lost
+  double collision;  // busy time after a collision
+  double payload_bits_per_frame;
+};
+
+Durations compute_durations(const DcfConfig& c) {
+  const MacTiming t = mac_timing(c.generation);
+  const bool aggregated = c.ampdu_frames > 1;
+  const std::size_t header =
+      c.generation == PhyGeneration::kHt ? kQosDataHeaderBytes : kDataHeaderBytes;
+  const std::size_t mpdu = c.payload_bytes + header;
+  const std::size_t ppdu_bytes =
+      aggregated ? c.ampdu_frames * (mpdu + kMpduDelimiterBytes) : mpdu;
+
+  const double t_data = data_ppdu_duration_s(c.generation, c.data_rate_mbps,
+                                             ppdu_bytes, c.n_ss, c.short_gi);
+  const std::size_t ack_bytes = aggregated ? kBlockAckBytes : kAckBytes;
+  const double t_ack =
+      control_duration_s(c.generation, ack_bytes, c.basic_rate_mbps);
+  const double t_rts = control_duration_s(c.generation, kRtsBytes, c.basic_rate_mbps);
+  const double t_cts = control_duration_s(c.generation, kCtsBytes, c.basic_rate_mbps);
+  const double eifs = t.sifs_s + t_ack + t.difs_s();
+
+  Durations d{};
+  const double rts_overhead = c.rts_cts ? t_rts + t.sifs_s + t_cts + t.sifs_s : 0.0;
+  d.success = rts_overhead + t_data + t.sifs_s + t_ack + t.difs_s();
+  d.failure = rts_overhead + t_data + eifs;
+  d.collision = c.rts_cts ? t_rts + eifs : t_data + eifs;
+  d.payload_bits_per_frame = 8.0 * static_cast<double>(c.payload_bytes);
+  return d;
+}
+
+}  // namespace
+
+DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
+  check(config.n_stations >= 1, "simulate_dcf requires at least one station");
+  check(config.duration_s > 0.0, "simulate_dcf requires positive duration");
+  const MacTiming timing = mac_timing(config.generation);
+  const Durations dur = compute_durations(config);
+
+  std::vector<Station> stations(config.n_stations);
+  for (auto& s : stations) {
+    s.cw = timing.cw_min;
+    s.backoff = static_cast<unsigned>(rng.uniform_int(s.cw + 1));
+  }
+
+  DcfResult result;
+  sim::Tally delay;
+  double t = timing.difs_s();  // initial medium sensing
+  double busy = 0.0;
+  std::vector<std::size_t> transmitters;
+
+  auto on_failure = [&](Station& s, double now) {
+    ++s.retries;
+    if (s.retries > config.retry_limit) {
+      ++result.dropped;
+      s.retries = 0;
+      s.cw = timing.cw_min;
+      s.head_since = now;  // next frame becomes head of queue
+    } else {
+      s.cw = std::min(2 * s.cw + 1, timing.cw_max);
+    }
+    s.backoff = static_cast<unsigned>(rng.uniform_int(s.cw + 1));
+  };
+
+  while (t < config.duration_s) {
+    // Advance to the next transmission.
+    unsigned m = stations[0].backoff;
+    for (const auto& s : stations) m = std::min(m, s.backoff);
+    t += static_cast<double>(m) * timing.slot_s;
+    if (t >= config.duration_s) break;
+    transmitters.clear();
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      stations[i].backoff -= m;
+      if (stations[i].backoff == 0) transmitters.push_back(i);
+    }
+
+    result.attempts += transmitters.size();
+    if (transmitters.size() == 1) {
+      Station& s = stations[transmitters[0]];
+      // Channel errors thin the delivered MPDUs of an A-MPDU.
+      std::uint64_t ok = 0;
+      for (std::size_t f = 0; f < config.ampdu_frames; ++f) {
+        if (!rng.bernoulli(config.packet_error_rate)) ++ok;
+      }
+      if (ok > 0) {
+        result.delivered_frames += ok;
+        const double done = t + dur.success;
+        delay.add(done - s.head_since);
+        s.retries = 0;
+        s.cw = timing.cw_min;
+        s.backoff = static_cast<unsigned>(rng.uniform_int(s.cw + 1));
+        s.head_since = done;
+        t = done;
+        busy += dur.success;
+      } else {
+        on_failure(s, t + dur.failure);
+        t += dur.failure;
+        busy += dur.failure;
+      }
+    } else {
+      result.collisions += transmitters.size();
+      for (const std::size_t i : transmitters) {
+        on_failure(stations[i], t + dur.collision);
+      }
+      t += dur.collision;
+      busy += dur.collision;
+    }
+  }
+
+  const double elapsed = std::max(t, config.duration_s);
+  result.throughput_mbps = static_cast<double>(result.delivered_frames) *
+                           dur.payload_bits_per_frame / elapsed / 1e6;
+  result.collision_probability =
+      result.attempts > 0
+          ? static_cast<double>(result.collisions) /
+                static_cast<double>(result.attempts)
+          : 0.0;
+  result.mean_access_delay_s = delay.mean();
+  result.busy_airtime_fraction = busy / elapsed;
+  return result;
+}
+
+double dcf_single_station_goodput_mbps(const DcfConfig& config) {
+  const MacTiming t = mac_timing(config.generation);
+  const Durations dur = compute_durations(config);
+  const double mean_backoff =
+      static_cast<double>(t.cw_min) / 2.0 * t.slot_s;
+  const double cycle = mean_backoff + dur.success;
+  return static_cast<double>(config.ampdu_frames) * dur.payload_bits_per_frame /
+         cycle / 1e6;
+}
+
+}  // namespace wlan::mac

@@ -1,0 +1,55 @@
+// DCF (CSMA/CA) saturation simulator.
+//
+// Classic slotted model of the 802.11 distributed coordination function:
+// saturated stations contend with binary exponential backoff; one
+// transmitter in a slot is a success (subject to a channel packet-error
+// probability), two or more collide. RTS/CTS and 802.11n A-MPDU
+// aggregation with block ack are supported. The slot-synchronous
+// abstraction is the standard one (Bianchi 2000) and is exact for
+// saturated DCF at slot resolution.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "mac/timing.h"
+
+namespace wlan::mac {
+
+struct DcfConfig {
+  PhyGeneration generation = PhyGeneration::kOfdm;
+  double data_rate_mbps = 54.0;
+  double basic_rate_mbps = 24.0;  ///< control-frame rate
+  std::size_t payload_bytes = 1500;
+  std::size_t n_stations = 1;
+  unsigned retry_limit = 7;
+  bool rts_cts = false;
+  double packet_error_rate = 0.0;  ///< channel PER applied per (A-)MPDU
+  double duration_s = 2.0;
+
+  // 802.11n extras.
+  std::size_t n_ss = 1;
+  bool short_gi = false;
+  std::size_t ampdu_frames = 1;  ///< >1 enables A-MPDU + block ack
+};
+
+struct DcfResult {
+  double throughput_mbps = 0.0;        ///< delivered payload bits / time
+  double collision_probability = 0.0;  ///< colliding tx / all tx attempts
+  double mean_access_delay_s = 0.0;    ///< head-of-queue to delivery
+  double busy_airtime_fraction = 0.0;
+  std::uint64_t delivered_frames = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Runs the saturated-DCF simulation.
+DcfResult simulate_dcf(const DcfConfig& config, Rng& rng);
+
+/// Theoretical upper bound on MAC goodput for a single station with no
+/// contention (DIFS + backoff(mean) + data + SIFS + ACK cycle). Useful as
+/// a sanity reference for the simulator and for MAC-efficiency tables.
+double dcf_single_station_goodput_mbps(const DcfConfig& config);
+
+}  // namespace wlan::mac

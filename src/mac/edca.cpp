@@ -1,0 +1,134 @@
+#include "mac/edca.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/stats.h"
+
+namespace wlan::mac {
+
+EdcaParams edca_defaults(AccessCategory ac) {
+  // 802.11e defaults for aCWmin = 15, aCWmax = 1023 (OFDM PHYs).
+  switch (ac) {
+    case AccessCategory::kVoice: return {2, 3, 7, 1.504e-3};
+    case AccessCategory::kVideo: return {2, 7, 15, 3.008e-3};
+    case AccessCategory::kBestEffort: return {3, 15, 1023, 0.0};
+    case AccessCategory::kBackground: return {7, 15, 1023, 0.0};
+  }
+  return {3, 15, 1023, 0.0};
+}
+
+EdcaResult simulate_edca(const EdcaConfig& config,
+                         const std::vector<EdcaStation>& stations, Rng& rng) {
+  check(!stations.empty(), "simulate_edca requires stations");
+  check(config.duration_s > 0.0, "simulate_edca requires positive duration");
+  const MacTiming timing = mac_timing(config.generation);
+
+  struct State {
+    EdcaParams params;
+    unsigned aifs_slots;  // slots beyond SIFS before counting
+    unsigned cw;
+    unsigned backoff;
+    unsigned retries = 0;
+    double head_since = 0.0;
+    std::size_t burst_frames = 1;
+    double exchange_s = 0.0;      // one data+SIFS+ACK exchange
+    double payload_bits = 0.0;
+    sim::Tally delay;
+    EdcaStationResult result;
+  };
+
+  const double t_ack =
+      control_duration_s(config.generation, kAckBytes, config.basic_rate_mbps);
+
+  std::vector<State> sta(stations.size());
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    State& s = sta[i];
+    s.params = edca_defaults(stations[i].category);
+    s.aifs_slots = s.params.aifsn;
+    s.cw = s.params.cw_min;
+    s.backoff = static_cast<unsigned>(rng.uniform_int(s.cw + 1));
+    const double t_data = data_ppdu_duration_s(
+        config.generation, config.data_rate_mbps,
+        stations[i].payload_bytes + kQosDataHeaderBytes);
+    s.exchange_s = t_data + timing.sifs_s + t_ack + timing.sifs_s;
+    s.payload_bits = 8.0 * static_cast<double>(stations[i].payload_bytes);
+    if (s.params.txop_s > 0.0) {
+      s.burst_frames = std::max<std::size_t>(
+          1, static_cast<std::size_t>(s.params.txop_s / s.exchange_s));
+    }
+  }
+
+  double t = 0.0;
+  std::vector<std::size_t> winners;
+  while (t < config.duration_s) {
+    // Each station becomes ready after its AIFS plus its remaining
+    // backoff slots of idle time.
+    unsigned m = ~0u;
+    for (const State& s : sta) {
+      m = std::min(m, s.aifs_slots + s.backoff);
+    }
+    t += timing.sifs_s + static_cast<double>(m) * timing.slot_s;
+    if (t >= config.duration_s) break;
+
+    winners.clear();
+    for (std::size_t i = 0; i < sta.size(); ++i) {
+      State& s = sta[i];
+      const unsigned wait = s.aifs_slots + s.backoff;
+      if (wait == m) {
+        winners.push_back(i);
+      } else {
+        // Only slots beyond this station's AIFS count as backoff spent.
+        const unsigned counted = m > s.aifs_slots ? m - s.aifs_slots : 0;
+        s.backoff -= std::min(counted, s.backoff);
+      }
+    }
+
+    if (winners.size() == 1) {
+      State& s = sta[winners[0]];
+      const double busy =
+          static_cast<double>(s.burst_frames) * s.exchange_s;
+      t += busy;
+      s.result.delivered += s.burst_frames;
+      s.delay.add(t - s.head_since);
+      s.head_since = t;
+      s.retries = 0;
+      s.cw = s.params.cw_min;
+      s.backoff = static_cast<unsigned>(rng.uniform_int(s.cw + 1));
+    } else {
+      // Collision: the longest frame (first exchange) occupies the air.
+      double busy = 0.0;
+      for (const std::size_t i : winners) {
+        busy = std::max(busy, sta[i].exchange_s);
+      }
+      t += busy + timing.slot_s;
+      for (const std::size_t i : winners) {
+        State& s = sta[i];
+        ++s.result.collisions;
+        if (++s.retries > config.retry_limit) {
+          s.retries = 0;
+          s.cw = s.params.cw_min;
+          s.head_since = t;  // dropped; next frame becomes head
+        } else {
+          s.cw = std::min(2 * s.cw + 1, s.params.cw_max);
+        }
+        s.backoff = static_cast<unsigned>(rng.uniform_int(s.cw + 1));
+      }
+    }
+  }
+
+  EdcaResult result;
+  result.stations.resize(sta.size());
+  for (std::size_t i = 0; i < sta.size(); ++i) {
+    EdcaStationResult& r = result.stations[i];
+    r = sta[i].result;
+    r.throughput_mbps = static_cast<double>(r.delivered) *
+                        sta[i].payload_bits / config.duration_s / 1e6;
+    r.mean_access_delay_s = sta[i].delay.mean();
+    result.aggregate_throughput_mbps += r.throughput_mbps;
+  }
+  return result;
+}
+
+}  // namespace wlan::mac

@@ -1,0 +1,68 @@
+// 802.11e EDCA: prioritized channel access.
+//
+// The paper closes by arguing future WLAN standards need more protocol
+// attention (it names power; QoS was the other big 11e lever being
+// standardized alongside). EDCA differentiates four access categories by
+// AIFS (longer inter-frame deferral for lower priority), CWmin/CWmax
+// (shorter backoff for higher priority), and TXOP (burst time for
+// voice/video). This module extends the slotted DCF saturation model to
+// multiple categories and reproduces the canonical result: under load,
+// voice/video keep their throughput and access delay while best-effort
+// and background absorb the congestion.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mac/timing.h"
+
+namespace wlan::mac {
+
+/// The four EDCA access categories.
+enum class AccessCategory { kVoice, kVideo, kBestEffort, kBackground };
+
+/// EDCA parameter set for one category (802.11e defaults for OFDM PHYs).
+struct EdcaParams {
+  unsigned aifsn;    ///< AIFS = SIFS + aifsn * slot
+  unsigned cw_min;
+  unsigned cw_max;
+  double txop_s;     ///< burst limit; 0 = one MPDU per access
+};
+
+/// The standard's default parameter set for a category.
+EdcaParams edca_defaults(AccessCategory ac);
+
+/// One contending EDCA station (a single category queue, saturated).
+struct EdcaStation {
+  AccessCategory category = AccessCategory::kBestEffort;
+  std::size_t payload_bytes = 1000;
+};
+
+struct EdcaConfig {
+  PhyGeneration generation = PhyGeneration::kOfdm;
+  double data_rate_mbps = 24.0;
+  double basic_rate_mbps = 6.0;
+  unsigned retry_limit = 7;
+  double duration_s = 2.0;
+};
+
+struct EdcaStationResult {
+  double throughput_mbps = 0.0;
+  double mean_access_delay_s = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t collisions = 0;
+};
+
+struct EdcaResult {
+  std::vector<EdcaStationResult> stations;
+  double aggregate_throughput_mbps = 0.0;
+};
+
+/// Slotted saturation simulation of EDCA contention between independent
+/// stations (one category queue each).
+EdcaResult simulate_edca(const EdcaConfig& config,
+                         const std::vector<EdcaStation>& stations, Rng& rng);
+
+}  // namespace wlan::mac

@@ -1,0 +1,156 @@
+#include "mac/frames.h"
+
+#include "common/check.h"
+#include "common/crc.h"
+
+namespace wlan::mac {
+namespace {
+
+// Frame-control first octet: subtype(4) | type(2) | version(2).
+constexpr std::uint8_t kFcData = 0x08;    // type 2, subtype 0
+constexpr std::uint8_t kFcAck = 0xD4;     // type 1, subtype 13
+constexpr std::uint8_t kFcRts = 0xB4;     // type 1, subtype 11
+constexpr std::uint8_t kFcCts = 0xC4;     // type 1, subtype 12
+constexpr std::uint8_t kFcBeacon = 0x80;  // type 0, subtype 8
+constexpr std::uint8_t kRetryBit = 0x08;  // frame-control second octet
+
+std::optional<FrameType> type_from_fc(std::uint8_t fc0) {
+  switch (fc0) {
+    case kFcData: return FrameType::kData;
+    case kFcAck: return FrameType::kAck;
+    case kFcRts: return FrameType::kRts;
+    case kFcCts: return FrameType::kCts;
+    case kFcBeacon: return FrameType::kBeacon;
+    default: return std::nullopt;
+  }
+}
+
+std::uint8_t fc_for(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return kFcData;
+    case FrameType::kAck: return kFcAck;
+    case FrameType::kRts: return kFcRts;
+    case FrameType::kCts: return kFcCts;
+    case FrameType::kBeacon: return kFcBeacon;
+  }
+  return kFcData;
+}
+
+std::size_t header_bytes(FrameType type) {
+  switch (type) {
+    case FrameType::kData:
+    case FrameType::kBeacon:
+      return 24;  // FC + dur + 3 addr + seq
+    case FrameType::kRts:
+      return 16;  // FC + dur + 2 addr
+    case FrameType::kAck:
+    case FrameType::kCts:
+      return 10;  // FC + dur + 1 addr
+  }
+  return 24;
+}
+
+void push_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t read_u16(std::span<const std::uint8_t> data, std::size_t pos) {
+  return static_cast<std::uint16_t>(data[pos] |
+                                    (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+}
+
+void push_addr(Bytes& out, const MacAddress& addr) {
+  out.insert(out.end(), addr.octets.begin(), addr.octets.end());
+}
+
+MacAddress read_addr(std::span<const std::uint8_t> data, std::size_t pos) {
+  MacAddress a;
+  for (std::size_t i = 0; i < 6; ++i) a.octets[i] = data[pos + i];
+  return a;
+}
+
+}  // namespace
+
+MacAddress MacAddress::from_station_id(std::uint32_t id) {
+  MacAddress a;
+  a.octets = {0x02, 0x00,  // locally administered
+              static_cast<std::uint8_t>(id >> 24),
+              static_cast<std::uint8_t>(id >> 16),
+              static_cast<std::uint8_t>(id >> 8),
+              static_cast<std::uint8_t>(id)};
+  return a;
+}
+
+std::size_t mpdu_size_bytes(FrameType type, std::size_t payload_bytes) {
+  const bool carries_payload =
+      type == FrameType::kData || type == FrameType::kBeacon;
+  return header_bytes(type) + (carries_payload ? payload_bytes : 0) + 4;
+}
+
+Bytes encode_frame(const Frame& frame) {
+  const bool carries_payload =
+      frame.type == FrameType::kData || frame.type == FrameType::kBeacon;
+  check(carries_payload || frame.payload.empty(),
+        "control frames carry no payload");
+
+  Bytes out;
+  out.reserve(mpdu_size_bytes(frame.type, frame.payload.size()));
+  out.push_back(fc_for(frame.type));
+  out.push_back(frame.retry ? kRetryBit : 0x00);
+  push_u16(out, frame.duration_us);
+  push_addr(out, frame.addr1);
+  if (frame.type == FrameType::kRts || carries_payload) {
+    push_addr(out, frame.addr2);
+  }
+  if (carries_payload) {
+    push_addr(out, frame.addr3);
+    push_u16(out, static_cast<std::uint16_t>(frame.sequence << 4));
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  }
+  const std::uint32_t fcs = crc32(out);
+  out.push_back(static_cast<std::uint8_t>(fcs & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((fcs >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((fcs >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((fcs >> 24) & 0xFF));
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> mpdu) {
+  if (mpdu.size() < 14) return std::nullopt;  // smallest: ACK/CTS
+  const auto type = type_from_fc(mpdu[0]);
+  if (!type) return std::nullopt;
+  const std::size_t header = header_bytes(*type);
+  if (mpdu.size() < header + 4) return std::nullopt;
+
+  // FCS check over everything but the trailing 4 bytes.
+  const std::span<const std::uint8_t> body = mpdu.first(mpdu.size() - 4);
+  const std::uint32_t fcs = crc32(body);
+  const std::size_t f = mpdu.size() - 4;
+  const std::uint32_t received =
+      static_cast<std::uint32_t>(mpdu[f]) |
+      (static_cast<std::uint32_t>(mpdu[f + 1]) << 8) |
+      (static_cast<std::uint32_t>(mpdu[f + 2]) << 16) |
+      (static_cast<std::uint32_t>(mpdu[f + 3]) << 24);
+  if (fcs != received) return std::nullopt;
+
+  Frame frame;
+  frame.type = *type;
+  frame.retry = (mpdu[1] & kRetryBit) != 0;
+  frame.duration_us = read_u16(mpdu, 2);
+  frame.addr1 = read_addr(mpdu, 4);
+  const bool carries_payload =
+      frame.type == FrameType::kData || frame.type == FrameType::kBeacon;
+  if (frame.type == FrameType::kRts || carries_payload) {
+    frame.addr2 = read_addr(mpdu, 10);
+  }
+  if (carries_payload) {
+    frame.addr3 = read_addr(mpdu, 16);
+    frame.sequence = static_cast<std::uint16_t>(read_u16(mpdu, 22) >> 4);
+    frame.payload.assign(mpdu.begin() + static_cast<std::ptrdiff_t>(header),
+                         mpdu.end() - 4);
+  }
+  return frame;
+}
+
+}  // namespace wlan::mac

@@ -1,0 +1,58 @@
+// 802.11 MAC frame encoding/decoding with FCS.
+//
+// Real byte-level MPDUs: frame control, duration, addresses, sequence
+// control, payload, CRC-32 FCS — enough to carry the simulators' traffic
+// as actual octets and to exercise FCS-based error detection end to end
+// (a corrupted PSDU out of the PHY is rejected exactly the way hardware
+// rejects it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::mac {
+
+/// 48-bit MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  static MacAddress from_station_id(std::uint32_t id);
+  bool operator==(const MacAddress&) const = default;
+};
+
+enum class FrameType : std::uint8_t {
+  kData,
+  kAck,
+  kRts,
+  kCts,
+  kBeacon,
+};
+
+/// A parsed MAC frame.
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint16_t duration_us = 0;
+  MacAddress addr1;  ///< receiver
+  MacAddress addr2;  ///< transmitter (absent in ACK/CTS)
+  MacAddress addr3;  ///< BSSID (data/beacon only)
+  std::uint16_t sequence = 0;
+  bool retry = false;
+  Bytes payload;  ///< MSDU (data/beacon only)
+};
+
+/// Serializes a frame to an MPDU (header + payload + FCS).
+Bytes encode_frame(const Frame& frame);
+
+/// Parses and FCS-checks an MPDU. Returns nullopt when the FCS fails or
+/// the frame is malformed.
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> mpdu);
+
+/// MPDU size in bytes for a frame type and payload length (for airtime
+/// calculations that want exact numbers).
+std::size_t mpdu_size_bytes(FrameType type, std::size_t payload_bytes);
+
+}  // namespace wlan::mac

@@ -1,0 +1,82 @@
+// Rate adaptation over a time-varying channel.
+//
+// The paper's rate story ("highest data rates ... migrate from 2 Mbps to
+// 11 Mbps and now to 54 Mbps") is only realized in the field through rate
+// adaptation. Two classic controllers are provided:
+//
+//  - ARF (Auto Rate Fallback, the original Lucent WaveLAN-II scheme):
+//    step up after a streak of successes, step down on consecutive
+//    failures. Purely ACK-driven.
+//  - SNR-ideal: picks the best rate for the (genie) instantaneous SNR —
+//    the upper bound a closed-loop scheme approaches.
+//
+// The channel is a Jakes fader over a mean link SNR; packet success is
+// drawn from a logistic PER-vs-SNR model fitted to this library's own
+// 802.11a waterfalls (see bench_c4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/doppler.h"
+#include "common/rng.h"
+
+namespace wlan::mac {
+
+/// A rate option with its PER model: per(snr) =
+/// 1 / (1 + exp(slope * (snr_db - midpoint_db))).
+struct RateOption {
+  double rate_mbps;
+  double per_midpoint_db;  ///< SNR of 50% PER
+  double per_slope = 1.6;  ///< logistic steepness per dB
+};
+
+/// The 802.11a ladder with midpoints measured from this library's own
+/// AWGN waterfalls (bench_c4).
+std::vector<RateOption> ofdm_rate_options();
+
+/// Packet error probability of an option at an instantaneous SNR.
+double rate_option_per(const RateOption& option, double snr_db);
+
+/// ARF controller state machine.
+class ArfController {
+ public:
+  ArfController(std::size_t n_rates, std::size_t success_threshold = 10);
+
+  std::size_t current() const { return index_; }
+  void on_success();
+  void on_failure();
+
+ private:
+  std::size_t n_rates_;
+  std::size_t success_threshold_;
+  std::size_t index_ = 0;
+  std::size_t success_streak_ = 0;
+  std::size_t failure_streak_ = 0;
+  bool probing_ = false;  // the first packet after a rate increase
+};
+
+enum class RateControl { kFixedMax, kArf, kSnrIdeal };
+
+struct RateAdaptConfig {
+  RateControl control = RateControl::kArf;
+  double mean_snr_db = 18.0;
+  double doppler_hz = 5.0;        ///< walking-speed channel dynamics
+  double packet_interval_s = 2e-3;
+  std::size_t n_packets = 5000;
+  std::size_t payload_bytes = 1000;
+};
+
+struct RateAdaptResult {
+  double goodput_mbps = 0.0;       ///< delivered payload over airtime
+  double per = 0.0;                ///< fraction of failed transmissions
+  double mean_rate_mbps = 0.0;     ///< average selected PHY rate
+  std::uint64_t delivered = 0;
+  std::uint64_t attempts = 0;
+};
+
+/// Runs packets through the fading process under the chosen controller.
+RateAdaptResult simulate_rate_adaptation(const RateAdaptConfig& config,
+                                         Rng& rng);
+
+}  // namespace wlan::mac

@@ -1,0 +1,75 @@
+#include "mac/timing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace wlan::mac {
+
+MacTiming mac_timing(PhyGeneration gen) {
+  switch (gen) {
+    case PhyGeneration::kDsss:
+    case PhyGeneration::kHrDsss:
+      return MacTiming{20e-6, 10e-6, 31, 1023};
+    case PhyGeneration::kOfdm:
+    case PhyGeneration::kHt:
+      return MacTiming{9e-6, 16e-6, 15, 1023};
+  }
+  return MacTiming{20e-6, 10e-6, 31, 1023};
+}
+
+double dsss_ppdu_duration_s(double rate_mbps, std::size_t mpdu_bytes,
+                            bool short_preamble) {
+  check(rate_mbps > 0.0, "rate must be positive");
+  const double plcp = short_preamble ? 96e-6 : 192e-6;
+  return plcp + static_cast<double>(mpdu_bytes) * 8.0 / (rate_mbps * 1e6);
+}
+
+double ofdm_ppdu_duration_s(double rate_mbps, std::size_t mpdu_bytes) {
+  check(rate_mbps > 0.0, "rate must be positive");
+  const double n_dbps = rate_mbps * 4.0;  // bits per 4 us symbol
+  const double payload_bits = 16.0 + 8.0 * static_cast<double>(mpdu_bytes) + 6.0;
+  return 20e-6 + std::ceil(payload_bits / n_dbps) * 4e-6;
+}
+
+double ht_ppdu_duration_s(double rate_mbps, std::size_t mpdu_bytes,
+                          std::size_t n_ss, bool short_gi) {
+  check(rate_mbps > 0.0 && n_ss >= 1 && n_ss <= 4, "bad HT parameters");
+  const double t_sym = short_gi ? 3.6e-6 : 4e-6;
+  const double n_dbps = rate_mbps * t_sym * 1e6;
+  const double payload_bits = 16.0 + 8.0 * static_cast<double>(mpdu_bytes) + 6.0;
+  const std::size_t n_ltf = n_ss == 3 ? 4 : n_ss;
+  const double preamble = 32e-6 + 4e-6 * static_cast<double>(n_ltf);
+  return preamble + std::ceil(payload_bits / n_dbps) * t_sym;
+}
+
+double data_ppdu_duration_s(PhyGeneration gen, double rate_mbps,
+                            std::size_t mpdu_bytes, std::size_t n_ss,
+                            bool short_gi) {
+  switch (gen) {
+    case PhyGeneration::kDsss:
+    case PhyGeneration::kHrDsss:
+      return dsss_ppdu_duration_s(rate_mbps, mpdu_bytes);
+    case PhyGeneration::kOfdm:
+      return ofdm_ppdu_duration_s(rate_mbps, mpdu_bytes);
+    case PhyGeneration::kHt:
+      return ht_ppdu_duration_s(rate_mbps, mpdu_bytes, n_ss, short_gi);
+  }
+  return 0.0;
+}
+
+double control_duration_s(PhyGeneration gen, std::size_t frame_bytes,
+                          double basic_rate_mbps) {
+  switch (gen) {
+    case PhyGeneration::kDsss:
+    case PhyGeneration::kHrDsss:
+      return dsss_ppdu_duration_s(basic_rate_mbps, frame_bytes);
+    case PhyGeneration::kOfdm:
+    case PhyGeneration::kHt:
+      // Control frames use legacy OFDM format.
+      return ofdm_ppdu_duration_s(basic_rate_mbps, frame_bytes);
+  }
+  return 0.0;
+}
+
+}  // namespace wlan::mac

@@ -1,0 +1,63 @@
+// 802.11 MAC timing constants and PPDU airtime calculators per PHY
+// generation. These drive both the DCF simulator and the power/energy
+// accounting.
+#pragma once
+
+#include <cstddef>
+
+namespace wlan::mac {
+
+/// PHY generation, as the MAC sees it.
+enum class PhyGeneration {
+  kDsss,    ///< 802.11-1997 DSSS, 1-2 Mbps
+  kHrDsss,  ///< 802.11b CCK, 5.5-11 Mbps
+  kOfdm,    ///< 802.11a/g OFDM, 6-54 Mbps
+  kHt,      ///< 802.11n HT, up to 600 Mbps
+};
+
+/// MAC slot/IFS/contention-window parameters.
+struct MacTiming {
+  double slot_s;
+  double sifs_s;
+  unsigned cw_min;
+  unsigned cw_max;
+
+  double difs_s() const { return sifs_s + 2.0 * slot_s; }
+};
+
+MacTiming mac_timing(PhyGeneration gen);
+
+// MAC frame sizes (bytes, including FCS).
+inline constexpr std::size_t kDataHeaderBytes = 28;  // 24 header + 4 FCS
+inline constexpr std::size_t kQosDataHeaderBytes = 30;
+inline constexpr std::size_t kAckBytes = 14;
+inline constexpr std::size_t kRtsBytes = 20;
+inline constexpr std::size_t kCtsBytes = 14;
+inline constexpr std::size_t kBlockAckBytes = 32;
+inline constexpr std::size_t kBeaconBytes = 100;
+inline constexpr std::size_t kMpduDelimiterBytes = 4;
+
+/// DSSS/CCK PPDU airtime: long (192 us) or short (96 us) PLCP preamble +
+/// header, payload at `rate_mbps`.
+double dsss_ppdu_duration_s(double rate_mbps, std::size_t mpdu_bytes,
+                            bool short_preamble = false);
+
+/// 802.11a/g PPDU airtime: 20 us preamble+SIGNAL, 4 us symbols.
+double ofdm_ppdu_duration_s(double rate_mbps, std::size_t mpdu_bytes);
+
+/// 802.11n mixed-format PPDU airtime. `n_ss` sets the HT-LTF count;
+/// `short_gi` selects 3.6 us symbols. `rate_mbps` must correspond to the
+/// same GI choice.
+double ht_ppdu_duration_s(double rate_mbps, std::size_t mpdu_bytes,
+                          std::size_t n_ss, bool short_gi);
+
+/// Airtime of a data PPDU for a generation at a given PHY rate.
+double data_ppdu_duration_s(PhyGeneration gen, double rate_mbps,
+                            std::size_t mpdu_bytes, std::size_t n_ss = 1,
+                            bool short_gi = false);
+
+/// Airtime of a control frame (ACK/CTS/...) at the generation's basic rate.
+double control_duration_s(PhyGeneration gen, std::size_t frame_bytes,
+                          double basic_rate_mbps);
+
+}  // namespace wlan::mac

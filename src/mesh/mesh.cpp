@@ -1,0 +1,157 @@
+#include "mesh/mesh.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wlan::mesh {
+namespace {
+
+// 802.11a/g rate ladder: {required SNR (dB), rate (Mbps)} for 10% PER at
+// 1000-byte frames over AWGN (typical receiver sensitivities).
+constexpr std::array<std::pair<double, double>, 8> kRateLadder = {{
+    {24.0, 54.0},
+    {21.0, 48.0},
+    {17.0, 36.0},
+    {14.0, 24.0},
+    {10.0, 18.0},
+    {7.0, 12.0},
+    {5.0, 9.0},
+    {3.0, 6.0},
+}};
+
+}  // namespace
+
+double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double snr_to_rate_mbps(double snr_db) {
+  for (const auto& [snr_req, rate] : kRateLadder) {
+    if (snr_db >= snr_req) return rate;
+  }
+  return 0.0;
+}
+
+MeshNetwork::MeshNetwork(std::vector<Point> nodes,
+                         channel::PathLossModel pathloss, double tx_power_dbm,
+                         double bandwidth_hz, double noise_figure_db)
+    : nodes_(std::move(nodes)),
+      pathloss_(pathloss),
+      tx_power_dbm_(tx_power_dbm),
+      bandwidth_hz_(bandwidth_hz),
+      noise_figure_db_(noise_figure_db) {
+  check(nodes_.size() >= 2, "MeshNetwork requires at least two nodes");
+}
+
+MeshNetwork MeshNetwork::random(Rng& rng, std::size_t n_nodes, double side_m,
+                                channel::PathLossModel pathloss,
+                                double tx_power_dbm) {
+  check(n_nodes >= 2, "random mesh requires at least two nodes");
+  std::vector<Point> pts(n_nodes);
+  pts[0] = {side_m / 2.0, side_m / 2.0};
+  for (std::size_t i = 1; i < n_nodes; ++i) {
+    pts[i] = {rng.uniform(0.0, side_m), rng.uniform(0.0, side_m)};
+  }
+  return MeshNetwork(std::move(pts), pathloss, tx_power_dbm);
+}
+
+double MeshNetwork::link_snr_db(std::size_t i, std::size_t j) const {
+  check(i < nodes_.size() && j < nodes_.size() && i != j, "bad link indices");
+  const double d = std::max(distance(nodes_[i], nodes_[j]), 0.5);
+  return channel::link_snr_db(tx_power_dbm_, pathloss_.path_loss_db(d),
+                              bandwidth_hz_, noise_figure_db_);
+}
+
+double MeshNetwork::link_rate_mbps(std::size_t i, std::size_t j) const {
+  return snr_to_rate_mbps(link_snr_db(i, j));
+}
+
+MeshNetwork::Route MeshNetwork::direct_route(std::size_t src,
+                                             std::size_t dst) const {
+  Route r;
+  const double rate = link_rate_mbps(src, dst);
+  if (rate <= 0.0) return r;
+  r.path = {src, dst};
+  r.end_to_end_mbps = rate;
+  return r;
+}
+
+MeshNetwork::Route MeshNetwork::shortest_route(std::size_t src, std::size_t dst,
+                                               Metric metric) const {
+  check(src < nodes_.size() && dst < nodes_.size() && src != dst,
+        "bad route endpoints");
+  const std::size_t n = nodes_.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Edge cost under the metric; airtime is per-bit seconds (1/rate),
+  // hop count uses 1 per edge with a small airtime tiebreak.
+  auto edge_cost = [&](std::size_t a, std::size_t b) {
+    const double rate = link_rate_mbps(a, b);
+    if (rate <= 0.0) return kInf;
+    const double airtime = 1.0 / rate;
+    return metric == Metric::kAirtime ? airtime : 1.0 + 1e-4 * airtime;
+  };
+
+  std::vector<double> dist(n, kInf);
+  std::vector<std::size_t> prev(n, n);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == u) continue;
+      const double c = edge_cost(u, v);
+      if (c == kInf) continue;
+      if (d + c < dist[v]) {
+        dist[v] = d + c;
+        prev[v] = u;
+        pq.push({dist[v], v});
+      }
+    }
+  }
+
+  Route r;
+  if (dist[dst] == kInf) return r;
+  for (std::size_t v = dst; v != src; v = prev[v]) {
+    check(v < n, "route reconstruction failed");
+    r.path.push_back(v);
+  }
+  r.path.push_back(src);
+  std::reverse(r.path.begin(), r.path.end());
+
+  double airtime_per_bit = 0.0;
+  for (std::size_t h = 0; h + 1 < r.path.size(); ++h) {
+    airtime_per_bit += 1.0 / link_rate_mbps(r.path[h], r.path[h + 1]);
+  }
+  r.end_to_end_mbps = airtime_per_bit > 0.0 ? 1.0 / airtime_per_bit : 0.0;
+  return r;
+}
+
+MeshNetwork::Coverage MeshNetwork::coverage(std::size_t gateway) const {
+  check(gateway < nodes_.size(), "bad gateway index");
+  Coverage cov;
+  std::size_t direct = 0;
+  std::size_t meshed = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i == gateway) continue;
+    if (link_rate_mbps(gateway, i) > 0.0) ++direct;
+    if (shortest_route(gateway, i, Metric::kAirtime).reachable()) ++meshed;
+  }
+  const double denom = static_cast<double>(nodes_.size() - 1);
+  cov.direct_fraction = static_cast<double>(direct) / denom;
+  cov.mesh_fraction = static_cast<double>(meshed) / denom;
+  return cov;
+}
+
+}  // namespace wlan::mesh

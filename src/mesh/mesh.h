@@ -1,0 +1,99 @@
+// Mesh networking: multi-hop topologies, routing metrics, and end-to-end
+// throughput analysis.
+//
+// The paper's mesh claim: "Mesh networks even have the potential, with
+// sufficiently intelligent routing algorithms, to boost overall spectral
+// efficiencies attained by selecting multiple hops over high capacity
+// links rather than single hops over low capacity links." We model nodes
+// on a plane, derive each link's sustainable PHY rate from its SNR via a
+// rate table (802.11a/g-style adaptation), and compare routing policies:
+//
+//  - direct:   one hop source -> destination (if reachable at all)
+//  - min hop:  Dijkstra on hop count (naive mesh routing)
+//  - airtime:  Dijkstra on per-bit airtime (802.11s-style ALM), which
+//              prefers several fast hops over one slow hop
+//
+// End-to-end throughput of a path assumes hops share one channel (airtime
+// division): 1 / sum_i (1 / rate_i).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "channel/pathloss.h"
+#include "common/rng.h"
+
+namespace wlan::mesh {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+/// Maps link SNR to a sustainable PHY rate (Mbps). Thresholds follow the
+/// 802.11a/g MCS sensitivity ladder; returns 0 when even the lowest rate
+/// cannot be sustained.
+double snr_to_rate_mbps(double snr_db);
+
+/// A mesh network: node positions plus the propagation model that turns
+/// geometry into link rates.
+class MeshNetwork {
+ public:
+  MeshNetwork(std::vector<Point> nodes, channel::PathLossModel pathloss,
+              double tx_power_dbm = 17.0, double bandwidth_hz = 20e6,
+              double noise_figure_db = 6.0);
+
+  /// Uniform random nodes in a square of the given side, node 0 pinned at
+  /// the center (acting as gateway in coverage studies).
+  static MeshNetwork random(Rng& rng, std::size_t n_nodes, double side_m,
+                            channel::PathLossModel pathloss,
+                            double tx_power_dbm = 17.0);
+
+  std::size_t size() const { return nodes_.size(); }
+  const Point& node(std::size_t i) const { return nodes_[i]; }
+
+  /// Mean SNR of link i -> j from the link budget (no fading draw).
+  double link_snr_db(std::size_t i, std::size_t j) const;
+
+  /// Sustainable PHY rate of link i -> j; 0 if unusable.
+  double link_rate_mbps(std::size_t i, std::size_t j) const;
+
+  /// Routing objective.
+  enum class Metric {
+    kHopCount,  ///< fewest hops, ties by airtime
+    kAirtime,   ///< minimum total per-bit airtime (sum of 1/rate)
+  };
+
+  struct Route {
+    std::vector<std::size_t> path;   ///< node indices, source..dest
+    double end_to_end_mbps = 0.0;    ///< 1 / sum(1/rate_i), 0 if unreachable
+    bool reachable() const { return !path.empty(); }
+    std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+  };
+
+  /// Single-hop "route" (empty if the direct link is unusable).
+  Route direct_route(std::size_t src, std::size_t dst) const;
+
+  /// Dijkstra under the chosen metric.
+  Route shortest_route(std::size_t src, std::size_t dst, Metric metric) const;
+
+  /// Fraction of nodes that can reach `gateway` (any number of hops),
+  /// and via a direct link only — the paper's "area served" comparison.
+  struct Coverage {
+    double direct_fraction = 0.0;
+    double mesh_fraction = 0.0;
+  };
+  Coverage coverage(std::size_t gateway) const;
+
+ private:
+  std::vector<Point> nodes_;
+  channel::PathLossModel pathloss_;
+  double tx_power_dbm_;
+  double bandwidth_hz_;
+  double noise_figure_db_;
+};
+
+}  // namespace wlan::mesh

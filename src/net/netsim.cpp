@@ -1,0 +1,489 @@
+#include "net/netsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "mac/frames.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+
+namespace wlan::net {
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+struct Transmission {
+  std::size_t id;
+  std::size_t tx_node;
+  std::size_t dest;  // addressed node (kNone for none)
+  mac::FrameType kind;
+  std::size_t flow = kNone;
+  double start_s;
+  double end_s;
+  double nav_until_s;  // what the duration field promises
+  // Reception tracking at the addressed node.
+  double current_interference_w = 0.0;
+  double worst_interference_w = 0.0;
+  bool rx_was_transmitting = false;
+};
+
+enum class WaitKind { kNone, kCts, kAck };
+
+struct Station {
+  // Traffic.
+  std::size_t flow = kNone;  // flow this node sources (one max)
+  std::size_t dest = kNone;
+  bool saturated = true;
+  std::deque<double> queue;  // arrival times of backlogged packets (Poisson)
+  // Contention state.
+  unsigned cw = 15;
+  unsigned retries = 0;
+  unsigned slots_remaining = 0;
+  bool counting = false;
+  double count_start_s = 0.0;
+  std::uint64_t timer_version = 0;
+  // Medium state.
+  bool busy_prev = false;
+  double nav_until_s = 0.0;
+  // Exchange state.
+  bool transmitting = false;
+  WaitKind waiting = WaitKind::kNone;
+  std::uint64_t wait_version = 0;
+  std::uint16_t sequence = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const NetworkConfig& config, const std::vector<NodeConfig>& nodes,
+            const std::vector<Flow>& flows, Rng& rng)
+      : config_(config), nodes_(nodes), flows_(flows), rng_(rng) {
+    check(nodes.size() >= 2, "network needs at least two nodes");
+    check(!flows.empty(), "network needs at least one flow");
+    timing_ = mac::mac_timing(config.generation);
+    noise_w_.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      noise_w_[i] = dbm_to_watt(
+          thermal_noise_dbm(config.bandwidth_hz, nodes[i].noise_figure_db));
+    }
+    // Pairwise received powers (deterministic path loss).
+    gain_w_.assign(nodes.size(), std::vector<double>(nodes.size(), 0.0));
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = 0; j < nodes.size(); ++j) {
+        if (i == j) continue;
+        const double d = std::max(
+            mesh::distance(nodes[i].position, nodes[j].position), 0.5);
+        gain_w_[i][j] = dbm_to_watt(nodes[i].tx_power_dbm -
+                                    config.pathloss.path_loss_db(d));
+      }
+    }
+    stations_.resize(nodes.size());
+    result_.flows.resize(flows.size());
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      check(flows[f].source < nodes.size() && flows[f].destination < nodes.size(),
+            "flow endpoints out of range");
+      check(stations_[flows[f].source].flow == kNone,
+            "each node may source at most one flow");
+      stations_[flows[f].source].flow = f;
+      stations_[flows[f].source].dest = flows[f].destination;
+      stations_[flows[f].source].cw = timing_.cw_min;
+      stations_[flows[f].source].slots_remaining = draw_backoff(flows[f].source);
+      stations_[flows[f].source].saturated = flows[f].arrival_rate_pps <= 0.0;
+    }
+    delay_tallies_.resize(flows.size());
+
+    // Frame airtimes.
+    const std::size_t data_mpdu =
+        mac::mpdu_size_bytes(mac::FrameType::kData, config.payload_bytes);
+    t_data_ = mac::data_ppdu_duration_s(config.generation,
+                                        config.data_rate_mbps, data_mpdu);
+    t_ack_ = mac::control_duration_s(config.generation, mac::kAckBytes,
+                                     config.basic_rate_mbps);
+    t_rts_ = mac::control_duration_s(config.generation, mac::kRtsBytes,
+                                     config.basic_rate_mbps);
+    t_cts_ = mac::control_duration_s(config.generation, mac::kCtsBytes,
+                                     config.basic_rate_mbps);
+  }
+
+  NetworkResult run() {
+    // Poisson arrival processes for non-saturated flows.
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      if (flows_[f].arrival_rate_pps > 0.0) {
+        schedule_arrival(flows_[f].source, flows_[f].arrival_rate_pps);
+      }
+    }
+    for (std::size_t n = 0; n < stations_.size(); ++n) {
+      maybe_start_countdown(n);
+    }
+    sched_.run_until(config_.duration_s);
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      result_.flows[f].mean_delay_s = delay_tallies_[f].mean();
+      result_.flows[f].throughput_mbps =
+          static_cast<double>(result_.flows[f].delivered) *
+          static_cast<double>(config_.payload_bytes) * 8.0 /
+          config_.duration_s / 1e6;
+      result_.total_delivered += result_.flows[f].delivered;
+      result_.aggregate_throughput_mbps += result_.flows[f].throughput_mbps;
+    }
+    return result_;
+  }
+
+ private:
+  unsigned draw_backoff(std::size_t n) {
+    return static_cast<unsigned>(rng_.uniform_int(stations_[n].cw + 1));
+  }
+
+  double rx_power_w(std::size_t from, std::size_t to) const {
+    return gain_w_[from][to];
+  }
+
+  double total_power_at(std::size_t n) const {
+    double p = 0.0;
+    for (const Transmission& t : active_) {
+      if (t.tx_node != n) p += rx_power_w(t.tx_node, n);
+    }
+    return p;
+  }
+
+  bool medium_busy(std::size_t n) const {
+    if (stations_[n].transmitting) return true;
+    if (sched_.now() < stations_[n].nav_until_s) return true;
+    return total_power_at(n) >= dbm_to_watt(nodes_[n].cs_threshold_dbm);
+  }
+
+  // ---- contention ----
+
+  // Freezes a counting station. Returns true when the station's counter
+  // had already reached zero at this exact instant — i.e. it transmits
+  // simultaneously with whatever made the medium busy (a real collision),
+  // because it cannot sense a transmission that starts in the same slot.
+  [[nodiscard]] bool freeze(std::size_t n) {
+    Station& s = stations_[n];
+    if (!s.counting) return false;
+    const double elapsed = sched_.now() - s.count_start_s - timing_.difs_s();
+    if (elapsed > 0.0) {
+      const auto used =
+          static_cast<unsigned>(std::floor(elapsed / timing_.slot_s + 1e-9));
+      s.slots_remaining -= std::min(used, s.slots_remaining);
+    }
+    s.counting = false;
+    ++s.timer_version;
+    return s.slots_remaining == 0 && elapsed >= -1e-12;
+  }
+
+  bool has_traffic(std::size_t n) const {
+    const Station& s = stations_[n];
+    return s.flow != kNone && (s.saturated || !s.queue.empty());
+  }
+
+  void schedule_arrival(std::size_t n, double rate_pps) {
+    sched_.schedule(rng_.exponential(1.0 / rate_pps), [this, n, rate_pps] {
+      stations_[n].queue.push_back(sched_.now());
+      maybe_start_countdown(n);
+      schedule_arrival(n, rate_pps);
+    });
+  }
+
+  void maybe_start_countdown(std::size_t n) {
+    Station& s = stations_[n];
+    if (!has_traffic(n) || s.counting || s.transmitting ||
+        s.waiting != WaitKind::kNone) {
+      return;
+    }
+    if (medium_busy(n)) return;
+    s.counting = true;
+    s.count_start_s = sched_.now();
+    const std::uint64_t version = ++s.timer_version;
+    const double delay =
+        timing_.difs_s() +
+        static_cast<double>(s.slots_remaining) * timing_.slot_s;
+    sched_.schedule(delay, [this, n, version] {
+      Station& st = stations_[n];
+      if (!st.counting || st.timer_version != version) return;
+      st.counting = false;
+      st.slots_remaining = 0;
+      begin_exchange(n);
+    });
+    // If the NAV is what ends later, it was already accounted: medium_busy
+    // checked NAV; NAV can only start via frame ends which re-evaluate.
+  }
+
+  void update_all_media() {
+    std::vector<std::size_t> fire_now;
+    for (std::size_t n = 0; n < stations_.size(); ++n) {
+      const bool busy = medium_busy(n);
+      Station& s = stations_[n];
+      if (busy && !s.busy_prev) {
+        if (freeze(n)) fire_now.push_back(n);
+      } else if (!busy) {
+        // Idle (or just became idle): an eligible station may (re)start.
+        maybe_start_countdown(n);
+      }
+      s.busy_prev = busy;
+    }
+    // Stations whose counters expired in the very slot the medium went
+    // busy transmit anyway — the collision DCF is built around.
+    result_.simultaneous_starts += fire_now.size();
+    for (const std::size_t n : fire_now) {
+      begin_exchange(n);
+    }
+  }
+
+  // ---- transmissions ----
+
+  void start_transmission(std::size_t n, std::size_t dest,
+                          mac::FrameType kind, std::size_t flow,
+                          double duration_s, double nav_until_s) {
+    Station& s = stations_[n];
+    s.transmitting = true;
+    Transmission t;
+    t.id = next_id_++;
+    t.tx_node = n;
+    t.dest = dest;
+    t.kind = kind;
+    t.flow = flow;
+    t.start_s = sched_.now();
+    t.end_s = sched_.now() + duration_s;
+    t.nav_until_s = nav_until_s;
+    if (dest != kNone) {
+      // This frame is not yet in active_, so the total power at the
+      // destination is exactly the interference it will see.
+      t.current_interference_w = total_power_at(dest);
+      // A destination that is itself transmitting cannot receive.
+      if (stations_[dest].transmitting) t.rx_was_transmitting = true;
+      t.worst_interference_w = t.current_interference_w;
+    }
+    // This transmission interferes with every other ongoing reception.
+    for (Transmission& other : active_) {
+      if (other.dest == kNone || other.dest == n) continue;
+      other.current_interference_w += rx_power_w(n, other.dest);
+      other.worst_interference_w =
+          std::max(other.worst_interference_w, other.current_interference_w);
+    }
+    // And if any ongoing reception is addressed to us, it is now lost.
+    for (Transmission& other : active_) {
+      if (other.dest == n) other.rx_was_transmitting = true;
+    }
+    const std::size_t id = t.id;
+    active_.push_back(std::move(t));
+    update_all_media();
+    sched_.schedule(duration_s, [this, id] { end_transmission(id); });
+  }
+
+  void end_transmission(std::size_t id) {
+    const auto it = std::find_if(active_.begin(), active_.end(),
+                                 [id](const Transmission& t) { return t.id == id; });
+    check(it != active_.end(), "transmission bookkeeping lost");
+    const Transmission t = *it;
+    active_.erase(it);
+    stations_[t.tx_node].transmitting = false;
+
+    // Remove this signal from other ongoing receptions' interference.
+    for (Transmission& other : active_) {
+      if (other.dest == kNone || other.dest == t.tx_node) continue;
+      other.current_interference_w -= rx_power_w(t.tx_node, other.dest);
+    }
+
+    // Reception outcome at the addressed node.
+    bool delivered = false;
+    if (t.dest != kNone && !t.rx_was_transmitting &&
+        !stations_[t.dest].transmitting) {
+      const double signal = rx_power_w(t.tx_node, t.dest);
+      const double sinr =
+          signal / (noise_w_[t.dest] + t.worst_interference_w);
+      const double required = t.kind == mac::FrameType::kData
+                                  ? db_to_lin(config_.sinr_threshold_db)
+                                  : db_to_lin(config_.control_sinr_db);
+      delivered = sinr >= required;
+    }
+
+    // Overhearing nodes set their NAV from the duration field.
+    for (std::size_t n = 0; n < stations_.size(); ++n) {
+      if (n == t.tx_node || n == t.dest) continue;
+      if (rx_power_w(t.tx_node, n) >=
+          dbm_to_watt(nodes_[n].cs_threshold_dbm)) {
+        if (t.nav_until_s > stations_[n].nav_until_s) {
+          stations_[n].nav_until_s = t.nav_until_s;
+          // Re-evaluate this node when its NAV expires.
+          sched_.schedule_at(t.nav_until_s, [this, n] { update_all_media(); });
+        }
+      }
+    }
+
+    handle_frame_outcome(t, delivered);
+    update_all_media();
+  }
+
+  // ---- protocol ----
+
+  void begin_exchange(std::size_t n) {
+    Station& s = stations_[n];
+    check(s.flow != kNone, "contention won by a node without traffic");
+    ++result_.flows[s.flow].attempts;
+    if (config_.rts_cts) {
+      const double nav = sched_.now() + t_rts_ + 3.0 * timing_.sifs_s +
+                         t_cts_ + t_data_ + t_ack_;
+      ++result_.rts_tx_count;
+      start_transmission(n, s.dest, mac::FrameType::kRts, s.flow, t_rts_, nav);
+      arm_timeout(n, WaitKind::kCts, t_rts_ + timing_.sifs_s + t_cts_ +
+                                         timing_.slot_s);
+    } else {
+      const double nav = sched_.now() + t_data_ + timing_.sifs_s + t_ack_;
+      ++result_.data_tx_count;
+      start_transmission(n, s.dest, mac::FrameType::kData, s.flow, t_data_, nav);
+      arm_timeout(n, WaitKind::kAck, t_data_ + timing_.sifs_s + t_ack_ +
+                                         timing_.slot_s);
+    }
+  }
+
+  void arm_timeout(std::size_t n, WaitKind kind, double delay_s) {
+    Station& s = stations_[n];
+    s.waiting = kind;
+    const std::uint64_t version = ++s.wait_version;
+    sched_.schedule(delay_s, [this, n, version, kind] {
+      Station& st = stations_[n];
+      if (st.wait_version != version || st.waiting == WaitKind::kNone) return;
+      st.waiting = WaitKind::kNone;
+      on_exchange_failed(n, kind);
+    });
+  }
+
+  void on_exchange_failed(std::size_t n, WaitKind kind) {
+    Station& s = stations_[n];
+    if (kind == WaitKind::kAck) {
+      ++result_.data_failures;
+    } else {
+      ++result_.rts_failures;
+    }
+    ++s.retries;
+    ++result_.flows[s.flow].retries;
+    if (s.retries > config_.retry_limit) {
+      ++result_.flows[s.flow].drops;
+      s.retries = 0;
+      s.cw = timing_.cw_min;
+      if (!s.saturated && !s.queue.empty()) s.queue.pop_front();  // dropped
+    } else {
+      s.cw = std::min(2 * s.cw + 1, timing_.cw_max);
+    }
+    s.slots_remaining = draw_backoff(n);
+    maybe_start_countdown(n);
+  }
+
+  void on_exchange_succeeded(std::size_t n) {
+    Station& s = stations_[n];
+    ++result_.flows[s.flow].delivered;
+    if (!s.saturated && !s.queue.empty()) {
+      delay_tallies_[s.flow].add(sched_.now() - s.queue.front());
+      s.queue.pop_front();
+    }
+    s.retries = 0;
+    s.cw = timing_.cw_min;
+    ++s.sequence;
+    s.slots_remaining = draw_backoff(n);  // next packet, if any
+    maybe_start_countdown(n);
+  }
+
+  void handle_frame_outcome(const Transmission& t, bool delivered) {
+    switch (t.kind) {
+      case mac::FrameType::kRts: {
+        if (!delivered) return;  // source's CTS timeout handles it
+        // Destination answers CTS after SIFS.
+        const std::size_t rx = t.dest;
+        const std::size_t src = t.tx_node;
+        const double nav = t.nav_until_s;
+        sched_.schedule(timing_.sifs_s, [this, rx, src, nav] {
+          start_transmission(rx, src, mac::FrameType::kCts, kNone, t_cts_, nav);
+        });
+        break;
+      }
+      case mac::FrameType::kCts: {
+        // The CTS is addressed to the data source; on reception it sends
+        // the data frame after SIFS.
+        const std::size_t src = t.dest;
+        Station& s = stations_[src];
+        if (!delivered || s.waiting != WaitKind::kCts) return;
+        s.waiting = WaitKind::kNone;
+        ++s.wait_version;
+        const double nav = t.nav_until_s;
+        sched_.schedule(timing_.sifs_s, [this, src, nav] {
+          Station& st = stations_[src];
+          ++result_.data_tx_count;
+          start_transmission(src, st.dest, mac::FrameType::kData, st.flow,
+                             t_data_, nav);
+          arm_timeout(src, WaitKind::kAck,
+                      t_data_ + timing_.sifs_s + t_ack_ + timing_.slot_s);
+        });
+        break;
+      }
+      case mac::FrameType::kData: {
+        if (!delivered) return;  // ACK timeout at the source handles it
+        const std::size_t rx = t.dest;
+        const std::size_t src = t.tx_node;
+        sched_.schedule(timing_.sifs_s, [this, rx, src] {
+          start_transmission(rx, src, mac::FrameType::kAck, kNone, t_ack_,
+                             sched_.now() + t_ack_);
+        });
+        break;
+      }
+      case mac::FrameType::kAck: {
+        const std::size_t src = t.dest;
+        Station& s = stations_[src];
+        if (!delivered || s.waiting != WaitKind::kAck) return;
+        s.waiting = WaitKind::kNone;
+        ++s.wait_version;
+        on_exchange_succeeded(src);
+        break;
+      }
+      case mac::FrameType::kBeacon:
+        break;
+    }
+  }
+
+  NetworkConfig config_;
+  std::vector<NodeConfig> nodes_;
+  std::vector<Flow> flows_;
+  Rng& rng_;
+  mac::MacTiming timing_{};
+  sim::Scheduler sched_;
+  std::vector<Station> stations_;
+  std::vector<std::vector<double>> gain_w_;
+  std::vector<double> noise_w_;
+  std::vector<Transmission> active_;
+  std::size_t next_id_ = 0;
+  std::vector<sim::Tally> delay_tallies_;
+  double t_data_ = 0.0;
+  double t_ack_ = 0.0;
+  double t_rts_ = 0.0;
+  double t_cts_ = 0.0;
+  NetworkResult result_;
+};
+
+}  // namespace
+
+NetworkResult simulate_network(const NetworkConfig& config,
+                               const std::vector<NodeConfig>& nodes,
+                               const std::vector<Flow>& flows, Rng& rng) {
+  Simulator sim(config, nodes, flows, rng);
+  return sim.run();
+}
+
+HiddenTerminalSetup make_hidden_terminal_setup(double sender_spacing_m) {
+  HiddenTerminalSetup setup;
+  // Senders at the ends, receiver in the middle. With enough spacing the
+  // senders fall below each other's CS threshold while both still reach
+  // the receiver.
+  NodeConfig a;
+  a.position = {0.0, 0.0};
+  NodeConfig b;
+  b.position = {sender_spacing_m, 0.0};
+  NodeConfig ap;
+  ap.position = {sender_spacing_m / 2.0, 0.0};
+  setup.nodes = {a, b, ap};
+  setup.flows = {{0, 2}, {1, 2}};
+  return setup;
+}
+
+}  // namespace wlan::net

@@ -1,0 +1,176 @@
+#include "phy/cck.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wlan::phy {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr std::size_t kChips = 8;
+
+Cplx expj(double phase) { return {std::cos(phase), std::sin(phase)}; }
+
+// Gray DQPSK for the differential (d0, d1) -> delta phi1.
+double dqpsk_phase(std::uint8_t b0, std::uint8_t b1) {
+  const int pattern = (b0 << 1) | b1;
+  switch (pattern) {
+    case 0b00: return 0.0;
+    case 0b01: return kPi / 2.0;
+    case 0b11: return kPi;
+    default: return 3.0 * kPi / 2.0;
+  }
+}
+
+void dqpsk_bits(double phase, std::uint8_t* b0, std::uint8_t* b1) {
+  double p = std::fmod(phase, 2.0 * kPi);
+  if (p < 0.0) p += 2.0 * kPi;
+  const int quadrant = static_cast<int>(std::floor(p / (kPi / 2.0) + 0.5)) % 4;
+  switch (quadrant) {
+    case 0: *b0 = 0; *b1 = 0; break;
+    case 1: *b0 = 0; *b1 = 1; break;
+    case 2: *b0 = 1; *b1 = 1; break;
+    default: *b0 = 1; *b1 = 0; break;
+  }
+}
+
+// 802.11b QPSK encoding for (phi2..phi4) dibits: 00->0, 01->pi/2,
+// 10->pi, 11->3pi/2.
+double qpsk_phase(std::uint8_t b0, std::uint8_t b1) {
+  return kPi / 2.0 * static_cast<double>((b0 << 1) | b1);
+}
+
+struct Candidate {
+  std::array<Cplx, kChips> chips;
+  std::array<std::uint8_t, 6> bits;  // the non-phi1 data bits (up to 6)
+};
+
+// Enumerates the codeword set for a rate (64 entries at 11 Mbps, 4 at 5.5).
+std::vector<Candidate> make_candidates(CckRate rate) {
+  std::vector<Candidate> set;
+  if (rate == CckRate::k11Mbps) {
+    set.resize(64);
+    std::size_t idx = 0;
+    for (int p2 = 0; p2 < 4; ++p2) {
+      for (int p3 = 0; p3 < 4; ++p3) {
+        for (int p4 = 0; p4 < 4; ++p4) {
+          Candidate& c = set[idx++];
+          CckModem::base_codeword(kPi / 2.0 * p2, kPi / 2.0 * p3,
+                                  kPi / 2.0 * p4, c.chips.data());
+          c.bits = {static_cast<std::uint8_t>((p2 >> 1) & 1),
+                    static_cast<std::uint8_t>(p2 & 1),
+                    static_cast<std::uint8_t>((p3 >> 1) & 1),
+                    static_cast<std::uint8_t>(p3 & 1),
+                    static_cast<std::uint8_t>((p4 >> 1) & 1),
+                    static_cast<std::uint8_t>(p4 & 1)};
+        }
+      }
+    }
+  } else {
+    set.resize(4);
+    std::size_t idx = 0;
+    for (int d2 = 0; d2 < 2; ++d2) {
+      for (int d3 = 0; d3 < 2; ++d3) {
+        Candidate& c = set[idx++];
+        CckModem::base_codeword(d2 * kPi + kPi / 2.0, 0.0, d3 * kPi,
+                                c.chips.data());
+        c.bits = {static_cast<std::uint8_t>(d2), static_cast<std::uint8_t>(d3),
+                  0, 0, 0, 0};
+      }
+    }
+  }
+  return set;
+}
+
+}  // namespace
+
+std::size_t cck_bits_per_symbol(CckRate rate) {
+  return rate == CckRate::k11Mbps ? 8 : 4;
+}
+
+void CckModem::base_codeword(double phi2, double phi3, double phi4, Cplx out[8]) {
+  out[0] = expj(phi2 + phi3 + phi4);
+  out[1] = expj(phi3 + phi4);
+  out[2] = expj(phi2 + phi4);
+  out[3] = -expj(phi4);
+  out[4] = expj(phi2 + phi3);
+  out[5] = expj(phi3);
+  out[6] = -expj(phi2);
+  out[7] = Cplx{1.0, 0.0};
+}
+
+CckModem::CckModem(CckRate rate) : rate_(rate) {}
+
+CVec CckModem::modulate(std::span<const std::uint8_t> bits) const {
+  const std::size_t bps = cck_bits_per_symbol(rate_);
+  check(bits.size() % bps == 0, "CCK modulate: bit count not a symbol multiple");
+  const std::size_t n_symbols = bits.size() / bps;
+
+  CVec out;
+  out.reserve((n_symbols + 1) * kChips);
+  double phi1 = 0.0;
+
+  // Reference symbol: candidate-set entry 0 with phi1 = 0.
+  const auto candidates = make_candidates(rate_);
+  for (const Cplx& c : candidates[0].chips) out.push_back(c);
+
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const auto sym = bits.subspan(s * bps, bps);
+    phi1 += dqpsk_phase(sym[0], sym[1]);
+    Cplx base[kChips];
+    if (rate_ == CckRate::k11Mbps) {
+      base_codeword(qpsk_phase(sym[2], sym[3]), qpsk_phase(sym[4], sym[5]),
+                    qpsk_phase(sym[6], sym[7]), base);
+    } else {
+      base_codeword(sym[2] * kPi + kPi / 2.0, 0.0, sym[3] * kPi, base);
+    }
+    const Cplx rot = expj(phi1);
+    for (const Cplx& c : base) out.push_back(rot * c);
+  }
+  return out;
+}
+
+Bits CckModem::demodulate(std::span<const Cplx> chips) const {
+  check(chips.size() % kChips == 0 && chips.size() >= 2 * kChips,
+        "CCK demodulate: waveform layout mismatch");
+  const std::size_t n_symbols = chips.size() / kChips - 1;
+  const std::size_t bps = cck_bits_per_symbol(rate_);
+  const auto candidates = make_candidates(rate_);
+
+  auto correlate = [&](std::size_t symbol, const Candidate& cand) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < kChips; ++i) {
+      acc += chips[symbol * kChips + i] * std::conj(cand.chips[i]);
+    }
+    return acc;
+  };
+
+  Bits bits(n_symbols * bps);
+  // The reference symbol is known to be candidate 0 at phi1 = 0.
+  Cplx prev = correlate(0, candidates[0]);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    double best_mag = -1.0;
+    Cplx best_corr{0.0, 0.0};
+    const Candidate* best = nullptr;
+    for (const Candidate& cand : candidates) {
+      const Cplx z = correlate(s + 1, cand);
+      const double mag = std::norm(z);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best_corr = z;
+        best = &cand;
+      }
+    }
+    std::uint8_t* out = &bits[s * bps];
+    dqpsk_bits(std::arg(best_corr * std::conj(prev)), &out[0], &out[1]);
+    for (std::size_t b = 2; b < bps; ++b) out[b] = best->bits[b - 2];
+    prev = best_corr;
+  }
+  return bits;
+}
+
+}  // namespace wlan::phy

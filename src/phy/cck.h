@@ -1,0 +1,42 @@
+// 802.11b CCK (Complementary Code Keying): 5.5 and 11 Mbps.
+//
+// Eight-chip complex codewords at 11 Mchip/s keep a DSSS-like spectral
+// signature while carrying 4 (5.5 Mbps) or 8 (11 Mbps) bits per symbol —
+// the paper's "combined modulation and coding scheme known as CCK" that
+// raised efficiency fivefold over Barker DSSS.
+//
+// The odd-symbol extra pi rotation of the standard is omitted (it only
+// shapes the spectrum); phase mappings otherwise follow 802.11b-1999
+// section 18.4.6.5.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::phy {
+
+enum class CckRate { k5_5Mbps, k11Mbps };
+
+/// Data bits carried per 8-chip CCK symbol.
+std::size_t cck_bits_per_symbol(CckRate rate);
+
+/// CCK modem with differential phi1 (a reference symbol is prepended).
+class CckModem {
+ public:
+  explicit CckModem(CckRate rate);
+
+  /// Modulates bits to chips; output (1 + n_symbols) * 8 chips.
+  CVec modulate(std::span<const std::uint8_t> bits) const;
+
+  /// Maximum-likelihood codeword correlation receiver.
+  Bits demodulate(std::span<const Cplx> chips) const;
+
+  /// The 8-chip base codeword for given (phi2, phi3, phi4) with phi1 = 0.
+  static void base_codeword(double phi2, double phi3, double phi4, Cplx out[8]);
+
+ private:
+  CckRate rate_;
+};
+
+}  // namespace wlan::phy

@@ -1,0 +1,184 @@
+#include "phy/convolutional.h"
+
+#include <array>
+#include <limits>
+
+#include "common/check.h"
+
+namespace wlan::phy {
+namespace {
+
+constexpr std::uint32_t kG0 = 0b1011011;  // 133 octal
+constexpr std::uint32_t kG1 = 0b1111001;  // 171 octal
+constexpr int kNumStates = 64;
+
+std::uint8_t parity7(std::uint32_t v) {
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return static_cast<std::uint8_t>(v & 1u);
+}
+
+// Puncture pattern: keep[i % period] over the A/B interleaved stream.
+struct Pattern {
+  std::size_t period;
+  std::array<bool, 10> keep;
+};
+
+Pattern pattern_for(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kR12:
+      return {2, {true, true}};
+    case CodeRate::kR23:  // A1 B1 A2 (B2 stolen)
+      return {4, {true, true, true, false}};
+    case CodeRate::kR34:  // A1 B1 A2 B3
+      return {6, {true, true, true, false, false, true}};
+    case CodeRate::kR56:  // A1 B1 A2 B3 A4 B5
+      return {10, {true, true, true, false, false, true, true, false, false, true}};
+  }
+  return {2, {true, true}};
+}
+
+}  // namespace
+
+double code_rate_value(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kR12: return 0.5;
+    case CodeRate::kR23: return 2.0 / 3.0;
+    case CodeRate::kR34: return 0.75;
+    case CodeRate::kR56: return 5.0 / 6.0;
+  }
+  return 0.5;
+}
+
+Bits convolutional_encode(std::span<const std::uint8_t> bits) {
+  Bits out;
+  out.reserve(bits.size() * 2);
+  std::uint32_t state = 0;  // last 6 input bits, newest at bit 5
+  for (const std::uint8_t b : bits) {
+    const std::uint32_t reg = (static_cast<std::uint32_t>(b & 1u) << 6) | state;
+    out.push_back(parity7(reg & kG0));
+    out.push_back(parity7(reg & kG1));
+    state = reg >> 1;
+  }
+  return out;
+}
+
+Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
+  const Pattern p = pattern_for(rate);
+  Bits out;
+  out.reserve(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (p.keep[i % p.period]) out.push_back(coded[i]);
+  }
+  return out;
+}
+
+RVec depuncture(std::span<const double> llrs, CodeRate rate,
+                std::size_t n_info_bits) {
+  const Pattern p = pattern_for(rate);
+  RVec out(2 * n_info_bits, 0.0);
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (p.keep[i % p.period]) {
+      check(src < llrs.size(), "depuncture: not enough LLRs");
+      out[i] = llrs[src++];
+    }
+  }
+  check(src == llrs.size(), "depuncture: LLR count mismatch");
+  return out;
+}
+
+std::size_t coded_length(std::size_t n_info_bits, CodeRate rate) {
+  const Pattern p = pattern_for(rate);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < 2 * n_info_bits; ++i) {
+    if (p.keep[i % p.period]) ++n;
+  }
+  return n;
+}
+
+Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
+  check(llrs.size() % 2 == 0, "viterbi_decode requires an even LLR count");
+  const std::size_t n_steps = llrs.size() / 2;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  // Precompute per (state, input) the expected coded pair.
+  std::array<std::array<std::uint8_t, 2>, kNumStates * 2> expected{};
+  for (int s = 0; s < kNumStates; ++s) {
+    for (int b = 0; b < 2; ++b) {
+      const std::uint32_t reg =
+          (static_cast<std::uint32_t>(b) << 6) | static_cast<std::uint32_t>(s);
+      expected[static_cast<std::size_t>(s * 2 + b)] = {parity7(reg & kG0),
+                                                       parity7(reg & kG1)};
+    }
+  }
+
+  std::array<double, kNumStates> metric{};
+  metric.fill(kNegInf);
+  metric[0] = 0.0;  // encoder starts at state 0
+
+  // One survivor bit per state per step: the oldest-bit choice of the
+  // winning predecessor.
+  std::vector<std::uint64_t> survivors(n_steps, 0);
+
+  std::array<double, kNumStates> next{};
+  for (std::size_t t = 0; t < n_steps; ++t) {
+    const double l0 = llrs[2 * t];
+    const double l1 = llrs[2 * t + 1];
+    next.fill(kNegInf);
+    std::uint64_t surv = 0;
+    for (int sp = 0; sp < kNumStates; ++sp) {
+      // Predecessors of new state sp: s = ((sp & 0x1F) << 1) | old for
+      // old in {0, 1}; the consumed input bit is sp >> 5.
+      const int b = sp >> 5;
+      const int base = (sp & 0x1F) << 1;
+      double best = kNegInf;
+      int best_old = 0;
+      for (int old = 0; old < 2; ++old) {
+        const int s = base | old;
+        if (metric[static_cast<std::size_t>(s)] == kNegInf) continue;
+        const auto& e = expected[static_cast<std::size_t>(s * 2 + b)];
+        const double branch = (e[0] ? -l0 : l0) + (e[1] ? -l1 : l1);
+        const double m = metric[static_cast<std::size_t>(s)] + branch;
+        if (m > best) {
+          best = m;
+          best_old = old;
+        }
+      }
+      next[static_cast<std::size_t>(sp)] = best;
+      if (best_old) surv |= (std::uint64_t{1} << sp);
+    }
+    metric = next;
+    survivors[t] = surv;
+  }
+
+  // Traceback from the terminal state.
+  int state = 0;
+  if (!terminated) {
+    double best = kNegInf;
+    for (int s = 0; s < kNumStates; ++s) {
+      if (metric[static_cast<std::size_t>(s)] > best) {
+        best = metric[static_cast<std::size_t>(s)];
+        state = s;
+      }
+    }
+  }
+  Bits decoded(n_steps);
+  for (std::size_t t = n_steps; t-- > 0;) {
+    decoded[t] = static_cast<std::uint8_t>(state >> 5);
+    const int old = static_cast<int>((survivors[t] >> state) & 1u);
+    state = ((state & 0x1F) << 1) | old;
+  }
+  return decoded;
+}
+
+Bits viterbi_decode_hard(std::span<const std::uint8_t> coded_bits, bool terminated) {
+  RVec llrs(coded_bits.size());
+  for (std::size_t i = 0; i < coded_bits.size(); ++i) {
+    llrs[i] = coded_bits[i] ? -1.0 : 1.0;
+  }
+  return viterbi_decode(llrs, terminated);
+}
+
+}  // namespace wlan::phy

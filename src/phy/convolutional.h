@@ -1,0 +1,50 @@
+// 802.11 convolutional code: K = 7, generators 133/171 (octal), with the
+// standard puncturing patterns for rates 2/3, 3/4, and (802.11n) 5/6, and
+// a soft-decision Viterbi decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::phy {
+
+/// Code rate after puncturing the mother rate-1/2 code.
+enum class CodeRate { kR12, kR23, kR34, kR56 };
+
+/// Numerator/denominator of a code rate.
+double code_rate_value(CodeRate rate);
+
+/// Encodes `bits` with the rate-1/2 K=7 code (no tail appended; callers
+/// append 6 zero tail bits themselves, as 802.11 does). Output has
+/// 2 * bits.size() coded bits, ordered A0 B0 A1 B1 ...
+Bits convolutional_encode(std::span<const std::uint8_t> bits);
+
+/// Applies the 802.11 puncturing pattern for `rate` to a rate-1/2 coded
+/// sequence (A/B interleaved).
+Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate);
+
+/// Inserts zero-LLR erasures at punctured positions, restoring the
+/// rate-1/2 lattice for the decoder. `n_info_bits` is the number of
+/// information bits the sequence encodes (so output size is known).
+RVec depuncture(std::span<const double> llrs, CodeRate rate,
+                std::size_t n_info_bits);
+
+/// Number of coded bits produced for n_info_bits at `rate`
+/// (post-puncturing).
+std::size_t coded_length(std::size_t n_info_bits, CodeRate rate);
+
+/// Soft-decision Viterbi decoder for the rate-1/2 lattice.
+///
+/// `llrs` holds one LLR per coded bit (positive = bit 0 more likely),
+/// length 2 * n_info_bits. When `terminated` is true the encoder is
+/// assumed to have been driven back to state 0 by tail bits included in
+/// the info sequence (the decoder then forces the final state).
+Bits viterbi_decode(std::span<const double> llrs, bool terminated = true);
+
+/// Convenience: hard-decision decode (bits -> ±1 LLRs).
+Bits viterbi_decode_hard(std::span<const std::uint8_t> coded_bits,
+                         bool terminated = true);
+
+}  // namespace wlan::phy

@@ -1,0 +1,113 @@
+#include "phy/dsss.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace wlan::phy {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Gray DQPSK phase increments for dibits (b0, b1):
+// 00 -> 0, 01 -> pi/2, 11 -> pi, 10 -> 3pi/2.
+double dqpsk_phase(std::uint8_t b0, std::uint8_t b1) {
+  const int pattern = (b0 << 1) | b1;
+  switch (pattern) {
+    case 0b00: return 0.0;
+    case 0b01: return kPi / 2.0;
+    case 0b11: return kPi;
+    default: return 3.0 * kPi / 2.0;  // 0b10
+  }
+}
+
+void dqpsk_bits(double phase, std::uint8_t* b0, std::uint8_t* b1) {
+  // Quantize to the nearest multiple of pi/2 and invert the Gray map.
+  double p = std::fmod(phase, 2.0 * kPi);
+  if (p < 0.0) p += 2.0 * kPi;
+  const int quadrant = static_cast<int>(std::floor(p / (kPi / 2.0) + 0.5)) % 4;
+  switch (quadrant) {
+    case 0: *b0 = 0; *b1 = 0; break;
+    case 1: *b0 = 0; *b1 = 1; break;
+    case 2: *b0 = 1; *b1 = 1; break;
+    default: *b0 = 1; *b1 = 0; break;
+  }
+}
+
+}  // namespace
+
+std::size_t dsss_bits_per_symbol(DsssRate rate) {
+  return rate == DsssRate::k1Mbps ? 1 : 2;
+}
+
+DsssModem::DsssModem(const Config& config) : config_(config) {}
+
+std::size_t DsssModem::chips_per_symbol() const {
+  return config_.spread ? kBarker11.size() : 1;
+}
+
+CVec DsssModem::modulate(std::span<const std::uint8_t> bits) const {
+  const std::size_t bps = dsss_bits_per_symbol(config_.rate);
+  check(bits.size() % bps == 0, "DSSS modulate: bit count not a symbol multiple");
+  const std::size_t n_symbols = bits.size() / bps;
+  const std::size_t cps = chips_per_symbol();
+
+  CVec out;
+  out.reserve((n_symbols + 1) * cps);
+  double phase = 0.0;  // reference symbol phase
+
+  auto emit_symbol = [&](double ph) {
+    const Cplx rot{std::cos(ph), std::sin(ph)};
+    if (config_.spread) {
+      for (const double chip : kBarker11) out.push_back(rot * chip);
+    } else {
+      out.push_back(rot);
+    }
+  };
+
+  emit_symbol(phase);  // reference
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    if (config_.rate == DsssRate::k1Mbps) {
+      phase += bits[s] ? kPi : 0.0;  // DBPSK
+    } else {
+      phase += dqpsk_phase(bits[2 * s], bits[2 * s + 1]);
+    }
+    emit_symbol(phase);
+  }
+  return out;
+}
+
+Bits DsssModem::demodulate(std::span<const Cplx> chips) const {
+  const std::size_t cps = chips_per_symbol();
+  check(chips.size() % cps == 0 && chips.size() >= 2 * cps,
+        "DSSS demodulate: waveform layout mismatch");
+  const std::size_t n_symbols = chips.size() / cps - 1;
+  const std::size_t bps = dsss_bits_per_symbol(config_.rate);
+
+  // Despread each symbol window against the Barker sequence.
+  auto despread = [&](std::size_t symbol) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < cps; ++i) {
+      const double ref = config_.spread ? kBarker11[i] : 1.0;
+      acc += chips[symbol * cps + i] * ref;
+    }
+    return acc;
+  };
+
+  Bits bits(n_symbols * bps);
+  Cplx prev = despread(0);
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    const Cplx cur = despread(s + 1);
+    const Cplx d = cur * std::conj(prev);
+    if (config_.rate == DsssRate::k1Mbps) {
+      bits[s] = d.real() < 0.0 ? 1 : 0;
+    } else {
+      dqpsk_bits(std::arg(d), &bits[2 * s], &bits[2 * s + 1]);
+    }
+    prev = cur;
+  }
+  return bits;
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,51 @@
+// 802.11 (1997) DSSS PHY: Barker-11 spreading with DBPSK (1 Mbps) and
+// DQPSK (2 Mbps) at 11 Mchip/s in a ~20 MHz channel.
+//
+// The `spread` switch exists for the processing-gain experiment (C2): with
+// spreading off, one chip carries one symbol, which is the narrowband
+// system the FCC rules were designed to discourage.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::phy {
+
+/// The 11-chip Barker sequence used by 802.11 DSSS.
+inline constexpr std::array<double, 11> kBarker11 = {
+    1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1};
+
+/// DSSS data rates.
+enum class DsssRate { k1Mbps, k2Mbps };
+
+/// Bits carried per DSSS symbol.
+std::size_t dsss_bits_per_symbol(DsssRate rate);
+
+/// Differential PSK + Barker spreading modem. A known reference symbol is
+/// prepended so the first data symbol can be detected differentially.
+class DsssModem {
+ public:
+  struct Config {
+    DsssRate rate = DsssRate::k1Mbps;
+    bool spread = true;  ///< false -> 1 chip/symbol (no processing gain)
+  };
+
+  explicit DsssModem(const Config& config);
+
+  std::size_t chips_per_symbol() const;
+
+  /// Modulates bits to chips at 11 Mchip/s (or symbol rate when unspread).
+  /// Output length = (1 + n_symbols) * chips_per_symbol().
+  CVec modulate(std::span<const std::uint8_t> bits) const;
+
+  /// Demodulates chips back to bits (correlation despread + differential
+  /// detection). Requires the waveform layout produced by modulate().
+  Bits demodulate(std::span<const Cplx> chips) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace wlan::phy

@@ -1,0 +1,164 @@
+#include "phy/fhss.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "channel/awgn.h"
+#include "common/check.h"
+
+namespace wlan::phy {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Gray-coded frequency deviation levels (in units of the peak deviation).
+double deviation_level(FhssRate rate, std::span<const std::uint8_t> bits) {
+  if (rate == FhssRate::k1Mbps) {
+    return bits[0] ? 1.0 : -1.0;
+  }
+  const int pattern = (bits[0] << 1) | bits[1];
+  switch (pattern) {
+    case 0b00: return -1.0;
+    case 0b01: return -1.0 / 3.0;
+    case 0b11: return 1.0 / 3.0;
+    default: return 1.0;  // 0b10
+  }
+}
+
+void level_to_bits(FhssRate rate, double level, std::uint8_t* out) {
+  if (rate == FhssRate::k1Mbps) {
+    out[0] = level > 0.0 ? 1 : 0;
+    return;
+  }
+  if (level < -2.0 / 3.0) {
+    out[0] = 0;
+    out[1] = 0;
+  } else if (level < 0.0) {
+    out[0] = 0;
+    out[1] = 1;
+  } else if (level < 2.0 / 3.0) {
+    out[0] = 1;
+    out[1] = 1;
+  } else {
+    out[0] = 1;
+    out[1] = 0;
+  }
+}
+
+}  // namespace
+
+std::size_t fhss_bits_per_symbol(FhssRate rate) {
+  return rate == FhssRate::k1Mbps ? 1 : 2;
+}
+
+std::size_t fhss_hop_channel(std::size_t hop_index, std::size_t base) {
+  return (base + hop_index * 7) % kFhssChannels;
+}
+
+FhssModem::FhssModem(const Config& config) : config_(config) {
+  check(config_.samples_per_symbol >= 2, "FHSS needs >= 2 samples/symbol");
+  check(config_.symbols_per_hop >= 1, "FHSS needs >= 1 symbol per hop");
+  check(config_.modulation_index > 0.0 && config_.modulation_index < 1.0,
+        "FHSS modulation index out of range");
+}
+
+std::size_t FhssModem::hops_for_bits(std::size_t n_bits) const {
+  const std::size_t bps = fhss_bits_per_symbol(config_.rate);
+  const std::size_t bits_per_hop = bps * config_.symbols_per_hop;
+  return (n_bits + bits_per_hop - 1) / bits_per_hop;
+}
+
+std::vector<CVec> FhssModem::modulate(std::span<const std::uint8_t> bits) const {
+  const std::size_t bps = fhss_bits_per_symbol(config_.rate);
+  const std::size_t n_hops = hops_for_bits(bits.size());
+  const std::size_t bits_per_hop = bps * config_.symbols_per_hop;
+
+  // Peak per-sample phase increment: pi * h / samples_per_symbol.
+  const double step =
+      kPi * config_.modulation_index / static_cast<double>(config_.samples_per_symbol);
+
+  std::vector<CVec> hops(n_hops);
+  std::size_t bit_pos = 0;
+  for (std::size_t hop = 0; hop < n_hops; ++hop) {
+    CVec& wave = hops[hop];
+    wave.reserve(config_.symbols_per_hop * config_.samples_per_symbol);
+    double phase = 0.0;  // continuous phase within the dwell
+    for (std::size_t s = 0; s < config_.symbols_per_hop; ++s) {
+      std::uint8_t sym_bits[2] = {0, 0};
+      for (std::size_t b = 0; b < bps; ++b) {
+        sym_bits[b] = bit_pos < bits.size() ? bits[bit_pos] : 0;
+        ++bit_pos;
+      }
+      const double level =
+          deviation_level(config_.rate, std::span<const std::uint8_t>(sym_bits, bps));
+      for (std::size_t i = 0; i < config_.samples_per_symbol; ++i) {
+        phase += level * step;
+        wave.push_back({std::cos(phase), std::sin(phase)});
+      }
+    }
+    (void)bits_per_hop;
+  }
+  return hops;
+}
+
+Bits FhssModem::demodulate(std::span<const CVec> hops) const {
+  const std::size_t bps = fhss_bits_per_symbol(config_.rate);
+  const double step =
+      kPi * config_.modulation_index / static_cast<double>(config_.samples_per_symbol);
+  Bits bits;
+  bits.reserve(hops.size() * config_.symbols_per_hop * bps);
+  for (const CVec& wave : hops) {
+    check(wave.size() == config_.symbols_per_hop * config_.samples_per_symbol,
+          "FHSS hop waveform length mismatch");
+    for (std::size_t s = 0; s < config_.symbols_per_hop; ++s) {
+      // Discriminator: average phase increment over the symbol.
+      double acc = 0.0;
+      int terms = 0;
+      for (std::size_t i = 1; i < config_.samples_per_symbol; ++i) {
+        const std::size_t idx = s * config_.samples_per_symbol + i;
+        acc += std::arg(wave[idx] * std::conj(wave[idx - 1]));
+        ++terms;
+      }
+      const double level = acc / (static_cast<double>(terms) * step);
+      std::uint8_t sym_bits[2] = {0, 0};
+      level_to_bits(config_.rate, level, sym_bits);
+      for (std::size_t b = 0; b < bps; ++b) bits.push_back(sym_bits[b]);
+    }
+  }
+  return bits;
+}
+
+FhssLinkResult run_fhss_link(const FhssModem::Config& config,
+                             std::size_t n_bits, double snr_db, Rng& rng,
+                             int jammed_channel, double jam_power) {
+  check(n_bits > 0, "run_fhss_link requires bits");
+  const FhssModem modem(config);
+  const Bits tx_bits = rng.random_bits(n_bits);
+  std::vector<CVec> hops = modem.modulate(tx_bits);
+
+  FhssLinkResult result;
+  result.total_hops = hops.size();
+  const double noise_var = std::pow(10.0, -snr_db / 10.0);  // unit chip power
+  for (std::size_t h = 0; h < hops.size(); ++h) {
+    // Each hop retunes the synthesizer: random carrier phase.
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const Cplx rot{std::cos(phi), std::sin(phi)};
+    for (auto& v : hops[h]) v *= rot;
+    if (jammed_channel >= 0 &&
+        fhss_hop_channel(h, config.hop_base) ==
+            static_cast<std::size_t>(jammed_channel)) {
+      ++result.jammed_hops;
+      channel::add_tone_interferer(hops[h], rng, jam_power, 0.05);
+    }
+    channel::add_awgn(hops[h], rng, noise_var);
+  }
+
+  const Bits rx_bits = modem.demodulate(hops);
+  result.bits = n_bits;
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    if (rx_bits[i] != tx_bits[i]) ++result.bit_errors;
+  }
+  return result;
+}
+
+}  // namespace wlan::phy

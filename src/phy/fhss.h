@@ -1,0 +1,86 @@
+// 802.11-1997 FHSS PHY: 2- and 4-level GFSK at 1 Mchip/s, hopping over
+// 79 1-MHz channels.
+//
+// Paper: "Both direct-sequence (DSSS) and frequency hopping (FHSS) forms
+// of spread spectrum were standardized as alternative means of complying
+// with the mandated 10 dB processing gain requirement." FHSS achieves its
+// robustness by hopping away from a narrowband interferer rather than by
+// despreading over it: a jammer parked on one channel corrupts only the
+// hops that land there.
+//
+// The modem is simulated at baseband per hop: GFSK symbols (frequency
+// deviations), noncoherent discriminator detection, and a deterministic
+// pseudo-random hop pattern over the 79 channels. An interferer is
+// modeled per channel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace wlan::phy {
+
+/// FHSS data rates: 1 Mbps (2GFSK) and 2 Mbps (4GFSK).
+enum class FhssRate { k1Mbps, k2Mbps };
+
+std::size_t fhss_bits_per_symbol(FhssRate rate);
+
+/// Number of hop channels in the US/ETSI band plan.
+inline constexpr std::size_t kFhssChannels = 79;
+
+/// Deterministic 802.11-style hop sequence: ch(i) = (base + i * 7) % 79
+/// visits every channel (7 and 79 are coprime), with adjacent hops at
+/// least 6 channels apart as the standard requires.
+std::size_t fhss_hop_channel(std::size_t hop_index, std::size_t base = 0);
+
+/// One-link FHSS modem with per-hop GFSK modulation.
+class FhssModem {
+ public:
+  struct Config {
+    FhssRate rate = FhssRate::k1Mbps;
+    std::size_t samples_per_symbol = 8;  ///< oversampling per GFSK symbol
+    std::size_t symbols_per_hop = 100;   ///< dwell length in symbols
+    std::size_t hop_base = 0;            ///< hop-sequence offset
+    double modulation_index = 0.32;      ///< GFSK deviation (h)
+  };
+
+  explicit FhssModem(const Config& config);
+
+  const Config& config() const { return config_; }
+
+  /// Modulates bits into per-hop baseband waveforms. Hop k of the result
+  /// is transmitted on channel fhss_hop_channel(k, hop_base).
+  std::vector<CVec> modulate(std::span<const std::uint8_t> bits) const;
+
+  /// Noncoherent discriminator demodulation of the hop waveforms.
+  Bits demodulate(std::span<const CVec> hops) const;
+
+  /// Number of hops needed for a bit count.
+  std::size_t hops_for_bits(std::size_t n_bits) const;
+
+ private:
+  Config config_;
+};
+
+/// Monte-Carlo FHSS link with AWGN and an optional single-channel jammer:
+/// hops that land on `jammed_channel` receive interference of power
+/// `jam_power` (relative to unit signal power). Returns the bit error
+/// count out of `bits.size()`.
+struct FhssLinkResult {
+  std::size_t bits = 0;
+  std::size_t bit_errors = 0;
+  std::size_t jammed_hops = 0;
+  std::size_t total_hops = 0;
+  double ber() const {
+    return bits ? static_cast<double>(bit_errors) / static_cast<double>(bits)
+                : 0.0;
+  }
+};
+
+FhssLinkResult run_fhss_link(const FhssModem::Config& config,
+                             std::size_t n_bits, double snr_db, Rng& rng,
+                             int jammed_channel = -1, double jam_power = 0.0);
+
+}  // namespace wlan::phy

@@ -1,0 +1,39 @@
+#include "phy/interleaver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wlan::phy {
+
+Interleaver::Interleaver(std::size_t n_cbps, std::size_t n_bpsc, std::size_t n_col) {
+  check(n_col > 0 && n_cbps > 0 && n_cbps % n_col == 0,
+        "n_cbps must be a positive multiple of the column count");
+  check(n_bpsc > 0, "n_bpsc must be positive");
+  const std::size_t s = std::max<std::size_t>(n_bpsc / 2, 1);
+  table_.resize(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    // First permutation (eq. 17-16 in the standard, generalized columns).
+    const std::size_t i = (n_cbps / n_col) * (k % n_col) + k / n_col;
+    // Second permutation (eq. 17-17).
+    const std::size_t j =
+        s * (i / s) + (i + n_cbps - (n_col * i) / n_cbps) % s;
+    table_[k] = j;
+  }
+}
+
+Bits Interleaver::interleave(std::span<const std::uint8_t> bits) const {
+  check(bits.size() == table_.size(), "interleave block size mismatch");
+  Bits out(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k) out[table_[k]] = bits[k];
+  return out;
+}
+
+RVec Interleaver::deinterleave(std::span<const double> llrs) const {
+  check(llrs.size() == table_.size(), "deinterleave block size mismatch");
+  RVec out(llrs.size());
+  for (std::size_t k = 0; k < llrs.size(); ++k) out[k] = llrs[table_[k]];
+  return out;
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,36 @@
+// 802.11a/g/n block interleaver (two-permutation, per OFDM symbol).
+//
+// The first permutation spreads adjacent coded bits across non-adjacent
+// subcarriers; the second alternates bits between more and less
+// significant constellation positions. 802.11a uses 16 columns; 802.11n
+// uses 13 (20 MHz) or 18 (40 MHz).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlan::phy {
+
+/// Interleaving table for one OFDM symbol.
+class Interleaver {
+ public:
+  /// n_cbps: coded bits per symbol (per stream); n_bpsc: coded bits per
+  /// subcarrier; n_col: interleaver columns (16 for 11a, 13/18 for 11n).
+  Interleaver(std::size_t n_cbps, std::size_t n_bpsc, std::size_t n_col = 16);
+
+  std::size_t block_size() const { return table_.size(); }
+
+  /// Interleaves one symbol's worth of bits. Size must equal block_size().
+  Bits interleave(std::span<const std::uint8_t> bits) const;
+
+  /// De-interleaves one symbol's worth of LLRs.
+  RVec deinterleave(std::span<const double> llrs) const;
+
+ private:
+  std::vector<std::size_t> table_;  // table_[k] = output index of input bit k
+};
+
+}  // namespace wlan::phy

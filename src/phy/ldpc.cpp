@@ -1,0 +1,230 @@
+#include "phy/ldpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace wlan::phy {
+namespace {
+
+// Dense GF(2) row as 64-bit words.
+using Row = std::vector<std::uint64_t>;
+
+bool get_bit(const Row& row, std::size_t c) {
+  return (row[c / 64] >> (c % 64)) & 1u;
+}
+
+void set_bit(Row& row, std::size_t c) { row[c / 64] |= std::uint64_t{1} << (c % 64); }
+
+void xor_rows(Row& dst, const Row& src) {
+  for (std::size_t w = 0; w < dst.size(); ++w) dst[w] ^= src[w];
+}
+
+}  // namespace
+
+LdpcCode::LdpcCode(std::size_t n, std::size_t k, std::uint64_t seed,
+                   int column_weight)
+    : n_(n), k_(k), m_(n - k) {
+  check(n > k && k > 0, "LdpcCode requires 0 < k < n");
+  check(column_weight >= 2 && static_cast<std::size_t>(column_weight) <= m_,
+        "LdpcCode column weight infeasible");
+
+  // Retry construction with successive seeds until the parity matrix has
+  // full row rank (virtually always the first try for wc >= 3).
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    Rng rng(seed + attempt * 0x9E37u);
+    // --- Random regular construction, balancing check degrees and
+    // avoiding 4-cycles (two variables sharing two checks) where possible.
+    std::vector<std::vector<std::uint32_t>> var_checks(n);
+    std::vector<std::uint32_t> degree(m_, 0);
+    std::unordered_set<std::uint64_t> used_pairs;
+    auto pair_key = [this](std::uint32_t a, std::uint32_t b) {
+      if (a > b) std::swap(a, b);
+      return static_cast<std::uint64_t>(a) * m_ + b;
+    };
+    for (std::size_t v = 0; v < n; ++v) {
+      for (int e = 0; e < column_weight; ++e) {
+        auto creates_4cycle = [&](std::uint32_t c) {
+          for (const std::uint32_t prev : var_checks[v]) {
+            if (used_pairs.contains(pair_key(c, prev))) return true;
+          }
+          return false;
+        };
+        // Two passes: first restrict to checks that keep girth > 4, then
+        // relax if that leaves no candidate.
+        std::vector<std::uint32_t> candidates;
+        for (const bool avoid_cycles : {true, false}) {
+          std::uint32_t best_deg = 0xFFFFFFFFu;
+          for (std::size_t c = 0; c < m_; ++c) {
+            const auto cc = static_cast<std::uint32_t>(c);
+            if (std::find(var_checks[v].begin(), var_checks[v].end(), cc) !=
+                var_checks[v].end()) {
+              continue;
+            }
+            if (avoid_cycles && creates_4cycle(cc)) continue;
+            if (degree[c] < best_deg) {
+              best_deg = degree[c];
+              candidates.clear();
+            }
+            if (degree[c] == best_deg) candidates.push_back(cc);
+          }
+          if (!candidates.empty()) break;
+        }
+        const std::uint32_t c = candidates[rng.uniform_int(candidates.size())];
+        var_checks[v].push_back(c);
+        ++degree[c];
+      }
+      for (std::size_t i = 0; i < var_checks[v].size(); ++i) {
+        for (std::size_t j = i + 1; j < var_checks[v].size(); ++j) {
+          used_pairs.insert(pair_key(var_checks[v][i], var_checks[v][j]));
+        }
+      }
+    }
+
+    // --- Dense copy for rank check / RREF. ---
+    const std::size_t words = (n + 63) / 64;
+    std::vector<Row> h(m_, Row(words, 0));
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::uint32_t c : var_checks[v]) set_bit(h[c], v);
+    }
+
+    // RREF with pivot tracking.
+    std::vector<std::int64_t> pivot_col_of_row(m_, -1);
+    std::vector<bool> is_pivot_col(n, false);
+    std::size_t row = 0;
+    for (std::size_t col = 0; col < n && row < m_; ++col) {
+      std::size_t sel = row;
+      while (sel < m_ && !get_bit(h[sel], col)) ++sel;
+      if (sel == m_) continue;
+      std::swap(h[sel], h[row]);
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r != row && get_bit(h[r], col)) xor_rows(h[r], h[row]);
+      }
+      pivot_col_of_row[row] = static_cast<std::int64_t>(col);
+      is_pivot_col[col] = true;
+      ++row;
+    }
+    if (row < m_) continue;  // rank deficient; retry with a new seed
+
+    // --- Extract encoder structure from the RREF. ---
+    info_cols_.clear();
+    parity_cols_.clear();
+    parity_deps_.assign(m_, {});
+    std::vector<std::uint32_t> info_index_of_col(n, 0xFFFFFFFFu);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!is_pivot_col[c]) {
+        info_index_of_col[c] = static_cast<std::uint32_t>(info_cols_.size());
+        info_cols_.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+    check(info_cols_.size() == k_, "LdpcCode internal: info position count");
+    for (std::size_t r = 0; r < m_; ++r) {
+      parity_cols_.push_back(static_cast<std::uint32_t>(pivot_col_of_row[r]));
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!is_pivot_col[c] && get_bit(h[r], c)) {
+          parity_deps_[r].push_back(info_index_of_col[c]);
+        }
+      }
+    }
+
+    // --- Decoder adjacency (original sparse H, not the RREF). ---
+    check_vars_.assign(m_, {});
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::uint32_t c : var_checks[v]) {
+        check_vars_[c].push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+    return;
+  }
+}
+
+Bits LdpcCode::encode(std::span<const std::uint8_t> info) const {
+  check(info.size() == k_, "LdpcCode::encode info length mismatch");
+  Bits codeword(n_, 0);
+  for (std::size_t i = 0; i < k_; ++i) codeword[info_cols_[i]] = info[i] & 1u;
+  for (std::size_t r = 0; r < m_; ++r) {
+    std::uint8_t p = 0;
+    for (const std::uint32_t idx : parity_deps_[r]) p ^= info[idx] & 1u;
+    codeword[parity_cols_[r]] = p;
+  }
+  return codeword;
+}
+
+bool LdpcCode::satisfies_parity(std::span<const std::uint8_t> codeword) const {
+  check(codeword.size() == n_, "satisfies_parity length mismatch");
+  for (const auto& vars : check_vars_) {
+    std::uint8_t p = 0;
+    for (const std::uint32_t v : vars) p ^= codeword[v] & 1u;
+    if (p) return false;
+  }
+  return true;
+}
+
+LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
+                                        int max_iterations,
+                                        double normalization) const {
+  check(llrs.size() == n_, "LdpcCode::decode LLR length mismatch");
+
+  // Edge-indexed min-sum. msg[c][e] = check-to-variable message for edge e
+  // of check c.
+  std::vector<std::vector<double>> c2v(m_);
+  for (std::size_t c = 0; c < m_; ++c) c2v[c].assign(check_vars_[c].size(), 0.0);
+
+  RVec posterior(llrs.begin(), llrs.end());
+  Bits hard(n_, 0);
+  int iter = 0;
+  bool ok = false;
+  for (iter = 0; iter < max_iterations; ++iter) {
+    // Check-node update with normalized min-sum, using posteriors minus the
+    // incoming edge message (standard flooding schedule).
+    for (std::size_t c = 0; c < m_; ++c) {
+      const auto& vars = check_vars_[c];
+      const std::size_t deg = vars.size();
+      // Gather variable-to-check messages.
+      double min1 = 1e300;
+      double min2 = 1e300;
+      std::size_t min_pos = 0;
+      int sign_product = 1;
+      static thread_local std::vector<double> v2c;
+      v2c.resize(deg);
+      for (std::size_t e = 0; e < deg; ++e) {
+        const double msg = posterior[vars[e]] - c2v[c][e];
+        v2c[e] = msg;
+        const double mag = std::abs(msg);
+        if (mag < min1) {
+          min2 = min1;
+          min1 = mag;
+          min_pos = e;
+        } else if (mag < min2) {
+          min2 = mag;
+        }
+        if (msg < 0.0) sign_product = -sign_product;
+      }
+      for (std::size_t e = 0; e < deg; ++e) {
+        const double mag = (e == min_pos ? min2 : min1) * normalization;
+        const int sign = v2c[e] < 0.0 ? -sign_product : sign_product;
+        const double new_msg = sign * mag;
+        posterior[vars[e]] = v2c[e] + new_msg;
+        c2v[c][e] = new_msg;
+      }
+    }
+    for (std::size_t v = 0; v < n_; ++v) hard[v] = posterior[v] < 0.0 ? 1 : 0;
+    if (satisfies_parity(hard)) {
+      ok = true;
+      ++iter;
+      break;
+    }
+  }
+
+  DecodeResult result;
+  result.parity_ok = ok;
+  result.iterations = iter;
+  result.info.resize(k_);
+  for (std::size_t i = 0; i < k_; ++i) result.info[i] = hard[info_cols_[i]];
+  return result;
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,215 @@
+#include "phy/modulation.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace wlan::phy {
+namespace {
+
+// Per-axis Gray mappings (802.11 Table 17-x conventions), unnormalized.
+constexpr std::array<double, 2> kLevels1 = {-1.0, 1.0};           // bit: 0,1
+constexpr std::array<double, 4> kLevels2 = {-3.0, -1.0, 1.0, 3.0};
+constexpr std::array<double, 8> kLevels4 = {-7.0, -5.0, -3.0, -1.0,
+                                            1.0,  3.0,  5.0,  7.0};
+
+// Gray index per bit pattern: pattern -> level index.
+// 2 bits: 00->-3 01->-1 11->+1 10->+3.
+constexpr std::array<int, 4> kGray2 = {0, 1, 3, 2};
+// 3 bits: 000->-7 001->-5 011->-3 010->-1 110->+1 111->+3 101->+5 100->+7.
+constexpr std::array<int, 8> kGray3 = {0, 1, 3, 2, 7, 6, 4, 5};
+
+struct AxisSpec {
+  int bits_per_axis;  // 0 means axis unused (BPSK Q axis)
+  double norm;        // amplitude normalization factor
+};
+
+AxisSpec axis_spec(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return {1, 1.0};
+    case Modulation::kQpsk: return {1, 1.0 / std::sqrt(2.0)};
+    case Modulation::kQam16: return {2, 1.0 / std::sqrt(10.0)};
+    case Modulation::kQam64: return {3, 1.0 / std::sqrt(42.0)};
+  }
+  return {1, 1.0};
+}
+
+double map_axis(std::span<const std::uint8_t> bits, int n) {
+  // bits[0] is the most significant (first transmitted) bit on the axis.
+  int pattern = 0;
+  for (int i = 0; i < n; ++i) pattern = (pattern << 1) | (bits[i] & 1);
+  switch (n) {
+    case 1: return kLevels1[static_cast<std::size_t>(pattern)];
+    case 2: return kLevels2[static_cast<std::size_t>(kGray2[static_cast<std::size_t>(pattern)])];
+    case 3: return kLevels4[static_cast<std::size_t>(kGray3[static_cast<std::size_t>(pattern)])];
+    default: return 0.0;
+  }
+}
+
+// For hard/soft demapping: enumerate the axis levels and the bit pattern of
+// each level.
+void axis_levels(int n, std::span<const double>& levels,
+                 std::array<int, 8>& pattern_of_level) {
+  static constexpr std::array<double, 2> l1 = kLevels1;
+  static constexpr std::array<double, 4> l2 = kLevels2;
+  static constexpr std::array<double, 8> l4 = kLevels4;
+  switch (n) {
+    case 1:
+      levels = l1;
+      pattern_of_level = {0, 1, 0, 0, 0, 0, 0, 0};
+      break;
+    case 2: {
+      levels = l2;
+      // invert kGray2: level index -> pattern
+      for (int p = 0; p < 4; ++p) pattern_of_level[static_cast<std::size_t>(kGray2[static_cast<std::size_t>(p)])] = p;
+      break;
+    }
+    case 3: {
+      levels = l4;
+      for (int p = 0; p < 8; ++p) pattern_of_level[static_cast<std::size_t>(kGray3[static_cast<std::size_t>(p)])] = p;
+      break;
+    }
+    default:
+      levels = {};
+      break;
+  }
+}
+
+}  // namespace
+
+std::size_t bits_per_symbol(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 1;
+}
+
+CVec modulate(std::span<const std::uint8_t> bits, Modulation mod) {
+  const std::size_t n_bpsc = bits_per_symbol(mod);
+  check(bits.size() % n_bpsc == 0, "modulate: bits not a multiple of bits/symbol");
+  const AxisSpec spec = axis_spec(mod);
+  const bool has_q = mod != Modulation::kBpsk;
+  CVec out(bits.size() / n_bpsc);
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    const auto sym_bits = bits.subspan(s * n_bpsc, n_bpsc);
+    const double i_val =
+        map_axis(sym_bits.first(static_cast<std::size_t>(spec.bits_per_axis)),
+                 spec.bits_per_axis) *
+        spec.norm;
+    double q_val = 0.0;
+    if (has_q) {
+      q_val = map_axis(sym_bits.subspan(static_cast<std::size_t>(spec.bits_per_axis)),
+                       spec.bits_per_axis) *
+              spec.norm;
+    }
+    out[s] = {i_val, q_val};
+  }
+  return out;
+}
+
+namespace {
+
+void demap_axis_llr(double y, int n, double norm, double sigma2_axis,
+                    double* llr_out) {
+  std::span<const double> levels;
+  std::array<int, 8> pattern_of_level{};
+  axis_levels(n, levels, pattern_of_level);
+  const int n_levels = 1 << n;
+  // min distance^2 separately for bit=0 and bit=1 per bit position.
+  std::array<double, 3> d0{};
+  std::array<double, 3> d1{};
+  d0.fill(std::numeric_limits<double>::infinity());
+  d1.fill(std::numeric_limits<double>::infinity());
+  for (int li = 0; li < n_levels; ++li) {
+    const double s = levels[static_cast<std::size_t>(li)] * norm;
+    const double d = (y - s) * (y - s);
+    const int pattern = pattern_of_level[static_cast<std::size_t>(li)];
+    for (int b = 0; b < n; ++b) {
+      const int bit = (pattern >> (n - 1 - b)) & 1;
+      if (bit == 0) {
+        d0[static_cast<std::size_t>(b)] = std::min(d0[static_cast<std::size_t>(b)], d);
+      } else {
+        d1[static_cast<std::size_t>(b)] = std::min(d1[static_cast<std::size_t>(b)], d);
+      }
+    }
+  }
+  const double inv = sigma2_axis > 0.0 ? 1.0 / (2.0 * sigma2_axis) : 1e12;
+  for (int b = 0; b < n; ++b) {
+    llr_out[b] = (d1[static_cast<std::size_t>(b)] - d0[static_cast<std::size_t>(b)]) * inv;
+  }
+}
+
+}  // namespace
+
+Bits demodulate_hard(std::span<const Cplx> symbols, Modulation mod) {
+  const RVec llrs = demodulate_llr(symbols, mod, 1.0);
+  Bits out(llrs.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i) out[i] = llrs[i] < 0.0 ? 1 : 0;
+  return out;
+}
+
+RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
+                    std::span<const double> noise_variance) {
+  check(noise_variance.size() == symbols.size(),
+        "demodulate_llr: per-symbol noise variance size mismatch");
+  const std::size_t n_bpsc = bits_per_symbol(mod);
+  const AxisSpec spec = axis_spec(mod);
+  const bool has_q = mod != Modulation::kBpsk;
+  RVec llrs(symbols.size() * n_bpsc);
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const double sigma2_axis = std::max(noise_variance[s], 1e-12) / 2.0;
+    double* out = &llrs[s * n_bpsc];
+    demap_axis_llr(symbols[s].real(), spec.bits_per_axis, spec.norm, sigma2_axis,
+                   out);
+    if (has_q) {
+      demap_axis_llr(symbols[s].imag(), spec.bits_per_axis, spec.norm,
+                     sigma2_axis, out + spec.bits_per_axis);
+    }
+  }
+  return llrs;
+}
+
+RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
+                    double noise_variance) {
+  const RVec nv(symbols.size(), noise_variance);
+  return demodulate_llr(symbols, mod, nv);
+}
+
+namespace {
+
+double slice_axis(double y, int n, double norm) {
+  std::span<const double> levels;
+  std::array<int, 8> pattern_of_level{};
+  axis_levels(n, levels, pattern_of_level);
+  double best = levels[0] * norm;
+  double best_d = std::abs(y - best);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    const double s = levels[i] * norm;
+    const double d = std::abs(y - s);
+    if (d < best_d) {
+      best_d = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Cplx slice_symbol(Cplx observation, Modulation mod) {
+  const AxisSpec spec = axis_spec(mod);
+  const double i_val = slice_axis(observation.real(), spec.bits_per_axis, spec.norm);
+  const double q_val = mod == Modulation::kBpsk
+                           ? 0.0
+                           : slice_axis(observation.imag(), spec.bits_per_axis,
+                                        spec.norm);
+  return {i_val, q_val};
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,41 @@
+// Gray-mapped constellations used by 802.11a/g/n: BPSK, QPSK, 16-QAM,
+// 64-QAM, with a max-log LLR soft demapper.
+//
+// The Gray mapping is separable (independent I/Q axes), which both matches
+// the standard and lets the demapper work per axis in O(levels).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::phy {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Coded bits carried per modulated symbol (N_BPSC).
+std::size_t bits_per_symbol(Modulation mod);
+
+/// Maps bits to unit-average-energy constellation points. Size must be a
+/// multiple of bits_per_symbol(mod).
+CVec modulate(std::span<const std::uint8_t> bits, Modulation mod);
+
+/// Hard-decision demapping back to bits.
+Bits demodulate_hard(std::span<const Cplx> symbols, Modulation mod);
+
+/// Max-log LLRs for each coded bit. `noise_variance` is the complex noise
+/// variance per symbol (E[|n|^2]); per-symbol values allow per-subcarrier
+/// CSI weighting. Positive LLR means bit 0 is more likely.
+RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
+                    std::span<const double> noise_variance);
+
+/// Convenience overload with one shared noise variance.
+RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
+                    double noise_variance);
+
+/// Nearest constellation point to an observation (hard slicing, used by
+/// decision-directed receivers such as SIC).
+Cplx slice_symbol(Cplx observation, Modulation mod);
+
+}  // namespace wlan::phy

@@ -1,0 +1,267 @@
+#include "phy/ofdm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "dsp/fft.h"
+#include "phy/interleaver.h"
+#include "phy/scrambler.h"
+
+namespace wlan::phy {
+namespace {
+
+constexpr std::uint8_t kScramblerSeed = 0x5D;
+constexpr std::size_t kServiceBits = 16;
+constexpr std::size_t kTailBits = 6;
+
+const std::array<OfdmMcsInfo, 8> kMcsTable = {{
+    {Modulation::kBpsk, CodeRate::kR12, 1, 48, 24, 6.0},
+    {Modulation::kBpsk, CodeRate::kR34, 1, 48, 36, 9.0},
+    {Modulation::kQpsk, CodeRate::kR12, 2, 96, 48, 12.0},
+    {Modulation::kQpsk, CodeRate::kR34, 2, 96, 72, 18.0},
+    {Modulation::kQam16, CodeRate::kR12, 4, 192, 96, 24.0},
+    {Modulation::kQam16, CodeRate::kR34, 4, 192, 144, 36.0},
+    {Modulation::kQam64, CodeRate::kR23, 6, 288, 192, 48.0},
+    {Modulation::kQam64, CodeRate::kR34, 6, 288, 216, 54.0},
+}};
+
+// 802.11a long training sequence on tones -26..+26 (DC = 0).
+constexpr std::array<int, 53> kLtfSequence = {
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1,
+    1, -1, 1, -1, 1, 1, 1, 1,
+    0,
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1,
+    -1, 1, -1, 1, -1, 1, 1, 1, 1};
+
+constexpr std::array<int, 4> kPilotTones = {-21, -7, 7, 21};
+constexpr std::array<double, 4> kPilotValues = {1.0, 1.0, 1.0, -1.0};
+
+bool is_pilot(int tone) {
+  return tone == -21 || tone == -7 || tone == 7 || tone == 21;
+}
+
+}  // namespace
+
+const OfdmMcsInfo& ofdm_mcs_info(OfdmMcs mcs) {
+  return kMcsTable[static_cast<std::size_t>(mcs)];
+}
+
+const std::array<int, OfdmPhy::kDataTones>& ofdm_data_tones() {
+  static const std::array<int, OfdmPhy::kDataTones> tones = [] {
+    std::array<int, OfdmPhy::kDataTones> t{};
+    std::size_t i = 0;
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0 || is_pilot(k)) continue;
+      t[i++] = k;
+    }
+    return t;
+  }();
+  return tones;
+}
+
+std::size_t ofdm_tone_bin(int tone) {
+  return static_cast<std::size_t>((tone + static_cast<int>(OfdmPhy::kNfft)) %
+                                  static_cast<int>(OfdmPhy::kNfft));
+}
+
+const std::vector<double>& ofdm_pilot_polarity() {
+  static const std::vector<double> polarity = [] {
+    const Bits zeros(127, 0);
+    const Bits seq = scramble(zeros, 0x7F);
+    std::vector<double> p(127);
+    for (std::size_t i = 0; i < 127; ++i) p[i] = seq[i] ? -1.0 : 1.0;
+    return p;
+  }();
+  return polarity;
+}
+
+CVec ofdm_build_symbol(std::span<const Cplx> data_tones, double pilot_polarity) {
+  check(data_tones.size() == OfdmPhy::kDataTones,
+        "ofdm_build_symbol requires 48 data-tone values");
+  const auto& tones = ofdm_data_tones();
+  CVec freq(OfdmPhy::kNfft, Cplx{0.0, 0.0});
+  for (std::size_t t = 0; t < OfdmPhy::kDataTones; ++t) {
+    freq[ofdm_tone_bin(tones[t])] = data_tones[t];
+  }
+  for (std::size_t t = 0; t < kPilotTones.size(); ++t) {
+    freq[ofdm_tone_bin(kPilotTones[t])] = pilot_polarity * kPilotValues[t];
+  }
+  CVec time = dsp::ifft(std::move(freq));
+  CVec out;
+  out.reserve(OfdmPhy::kSymbolLen);
+  for (std::size_t i = 0; i < OfdmPhy::kCpLen; ++i) {
+    out.push_back(time[OfdmPhy::kNfft - OfdmPhy::kCpLen + i]);
+  }
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+CVec ofdm_ltf_waveform() {
+  CVec freq(OfdmPhy::kNfft, Cplx{0.0, 0.0});
+  for (int k = -26; k <= 26; ++k) {
+    freq[ofdm_tone_bin(k)] =
+        static_cast<double>(kLtfSequence[static_cast<std::size_t>(k + 26)]);
+  }
+  CVec time = dsp::ifft(std::move(freq));
+  CVec out;
+  out.reserve(2 * OfdmPhy::kSymbolLen);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (std::size_t i = 0; i < OfdmPhy::kCpLen; ++i) {
+      out.push_back(time[OfdmPhy::kNfft - OfdmPhy::kCpLen + i]);
+    }
+    out.insert(out.end(), time.begin(), time.end());
+  }
+  return out;
+}
+
+CVec ofdm_extract_symbol(std::span<const Cplx> samples, std::size_t index) {
+  const std::size_t start = index * OfdmPhy::kSymbolLen + OfdmPhy::kCpLen;
+  check(start + OfdmPhy::kNfft <= samples.size(),
+        "ofdm_extract_symbol: waveform too short");
+  CVec time(OfdmPhy::kNfft);
+  std::copy(samples.begin() + static_cast<std::ptrdiff_t>(start),
+            samples.begin() + static_cast<std::ptrdiff_t>(start + OfdmPhy::kNfft),
+            time.begin());
+  return dsp::fft(std::move(time));
+}
+
+CVec ofdm_estimate_channel(std::span<const Cplx> samples) {
+  const CVec ltf1 = ofdm_extract_symbol(samples, 0);
+  const CVec ltf2 = ofdm_extract_symbol(samples, 1);
+  CVec h(OfdmPhy::kNfft, Cplx{1.0, 0.0});
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    const double ref =
+        static_cast<double>(kLtfSequence[static_cast<std::size_t>(k + 26)]);
+    const std::size_t bin = ofdm_tone_bin(k);
+    h[bin] = (ltf1[bin] + ltf2[bin]) / (2.0 * ref);
+  }
+  return h;
+}
+
+OfdmPhy::OfdmPhy(OfdmMcs mcs) : mcs_(mcs), info_(&ofdm_mcs_info(mcs)) {}
+
+std::size_t OfdmPhy::n_symbols_for_psdu(std::size_t psdu_bytes) const {
+  const std::size_t payload_bits = kServiceBits + 8 * psdu_bytes + kTailBits;
+  return (payload_bits + info_->n_dbps - 1) / info_->n_dbps;
+}
+
+double OfdmPhy::ppdu_duration_s(std::size_t psdu_bytes) const {
+  // 8 us STF + 8 us LTF + 4 us SIGNAL + data symbols.
+  return 20e-6 + static_cast<double>(n_symbols_for_psdu(psdu_bytes)) *
+                     kSymbolDurationS;
+}
+
+std::size_t OfdmPhy::waveform_length(std::size_t psdu_bytes) const {
+  return (kLtfSymbols + n_symbols_for_psdu(psdu_bytes)) * kSymbolLen;
+}
+
+CVec OfdmPhy::transmit(std::span<const std::uint8_t> psdu) const {
+  const std::size_t n_sym = n_symbols_for_psdu(psdu.size());
+  const std::size_t n_data_bits = n_sym * info_->n_dbps;
+
+  // SERVICE (zeros) + PSDU + tail + pad.
+  Bits data(n_data_bits, 0);
+  {
+    std::size_t pos = kServiceBits;
+    for (const std::uint8_t byte : psdu) {
+      for (int i = 0; i < 8; ++i) {
+        data[pos++] = static_cast<std::uint8_t>((byte >> i) & 1u);
+      }
+    }
+  }
+  Bits scrambled = scramble(data, kScramblerSeed);
+  // Only the 6 tail bits are forced back to zero after scrambling (17.3.5.3):
+  // the encoder passes through state 0 right after them, and the pad bits
+  // stay scrambled (this matters for the waveform's PAPR statistics).
+  const std::size_t tail_pos = kServiceBits + 8 * psdu.size();
+  for (std::size_t i = 0; i < kTailBits; ++i) scrambled[tail_pos + i] = 0;
+
+  const Bits coded = puncture(convolutional_encode(scrambled), info_->rate);
+  check(coded.size() == n_sym * info_->n_cbps, "OFDM TX coded length mismatch");
+
+  const Interleaver interleaver(info_->n_cbps, info_->n_bpsc);
+  const auto& polarity = ofdm_pilot_polarity();
+
+  CVec out;
+  out.reserve(waveform_length(psdu.size()));
+  const CVec ltf = ofdm_ltf_waveform();
+  out.insert(out.end(), ltf.begin(), ltf.end());
+
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const Bits inter = interleaver.interleave(
+        std::span(coded).subspan(s * info_->n_cbps, info_->n_cbps));
+    const CVec symbols = modulate(inter, info_->mod);
+    const CVec sym = ofdm_build_symbol(symbols, polarity[s % polarity.size()]);
+    out.insert(out.end(), sym.begin(), sym.end());
+  }
+  return out;
+}
+
+Bytes OfdmPhy::receive(std::span<const Cplx> samples, std::size_t psdu_bytes,
+                       double noise_variance) const {
+  const std::size_t n_sym = n_symbols_for_psdu(psdu_bytes);
+  check(samples.size() >= (kLtfSymbols + n_sym) * kSymbolLen,
+        "OFDM receive: waveform too short");
+
+  const CVec h = ofdm_estimate_channel(samples);
+
+  // Noise variance per FFT bin (unnormalized forward FFT). The LTF average
+  // halves estimation noise; treat the estimate as exact for LLR purposes.
+  const double bin_noise = noise_variance * static_cast<double>(kNfft);
+
+  const Interleaver interleaver(info_->n_cbps, info_->n_bpsc);
+  const auto& tones = ofdm_data_tones();
+
+  RVec all_llrs;
+  all_llrs.reserve(n_sym * info_->n_cbps);
+  CVec eq(kDataTones);
+  RVec nv(kDataTones);
+  const auto& polarity = ofdm_pilot_polarity();
+  for (std::size_t s = 0; s < n_sym; ++s) {
+    const CVec freq = ofdm_extract_symbol(samples, kLtfSymbols + s);
+    // Pilot-based common phase error tracking: residual CFO or phase
+    // noise rotates every tone of a symbol equally; the four pilots
+    // measure the rotation and the equalizer removes it.
+    Cplx cpe{0.0, 0.0};
+    const double p = polarity[s % polarity.size()];
+    for (std::size_t t = 0; t < kPilotTones.size(); ++t) {
+      const std::size_t bin = ofdm_tone_bin(kPilotTones[t]);
+      const Cplx expected = h[bin] * (p * kPilotValues[t]);
+      cpe += freq[bin] * std::conj(expected);
+    }
+    const double cpe_mag = std::abs(cpe);
+    const Cplx derotate = cpe_mag > 1e-12 ? std::conj(cpe) / cpe_mag
+                                          : Cplx{1.0, 0.0};
+    for (std::size_t t = 0; t < kDataTones; ++t) {
+      const std::size_t bin = ofdm_tone_bin(tones[t]);
+      const Cplx hk = h[bin];
+      const double mag2 = std::max(std::norm(hk), 1e-12);
+      eq[t] = freq[bin] / hk * derotate;
+      nv[t] = bin_noise / mag2;
+    }
+    const RVec llrs = demodulate_llr(eq, info_->mod, nv);
+    const RVec deinter = interleaver.deinterleave(llrs);
+    all_llrs.insert(all_llrs.end(), deinter.begin(), deinter.end());
+  }
+
+  const std::size_t n_info = n_sym * info_->n_dbps;
+  RVec unpunctured = depuncture(all_llrs, info_->rate, n_info);
+  // The encoder is in state 0 immediately after the tail bits, so decode
+  // exactly the service + PSDU + tail prefix with a terminated trellis and
+  // ignore the (scrambled, random) pad bits.
+  const std::size_t decoded_bits = kServiceBits + 8 * psdu_bytes + kTailBits;
+  unpunctured.resize(2 * decoded_bits);
+  const Bits decoded = viterbi_decode(unpunctured, /*terminated=*/true);
+  const Bits descrambled = scramble(decoded, kScramblerSeed);
+
+  Bytes psdu(psdu_bytes, 0);
+  for (std::size_t i = 0; i < 8 * psdu_bytes; ++i) {
+    if (descrambled[kServiceBits + i] & 1u) {
+      psdu[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  return psdu;
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,302 @@
+#include "phy/plcp.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/crc.h"
+#include "phy/convolutional.h"
+#include "phy/dsss.h"
+#include "phy/interleaver.h"
+#include "phy/scrambler.h"
+
+namespace wlan::phy {
+namespace {
+
+// RATE codes of the 802.11a SIGNAL field (Table 17-6), LSB first on air.
+constexpr std::array<std::uint8_t, 8> kRateCodes = {
+    0b1101,  // 6
+    0b1111,  // 9
+    0b0101,  // 12
+    0b0111,  // 18
+    0b1001,  // 24
+    0b1011,  // 36
+    0b0001,  // 48
+    0b0011,  // 54
+};
+
+constexpr std::size_t kSignalBits = 24;
+
+}  // namespace
+
+Bits encode_signal_field(OfdmMcs mcs, std::size_t length_bytes) {
+  check(length_bytes > 0 && length_bytes < 4096,
+        "SIGNAL LENGTH must fit 12 bits");
+  Bits bits(kSignalBits, 0);
+  const std::uint8_t rate = kRateCodes[static_cast<std::size_t>(mcs)];
+  for (int i = 0; i < 4; ++i) {
+    bits[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((rate >> (3 - i)) & 1u);
+  }
+  // bits[4] reserved = 0; LENGTH LSB-first in bits 5..16.
+  for (int i = 0; i < 12; ++i) {
+    bits[5 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((length_bytes >> i) & 1u);
+  }
+  // Even parity over bits 0..16 goes in bit 17; tail bits 18..23 stay 0.
+  std::uint8_t p = 0;
+  for (std::size_t i = 0; i < 17; ++i) p ^= bits[i];
+  bits[17] = p;
+  return bits;
+}
+
+std::optional<SignalField> decode_signal_field(
+    std::span<const std::uint8_t> bits) {
+  check(bits.size() == kSignalBits, "SIGNAL field must be 24 bits");
+  std::uint8_t parity_acc = 0;
+  for (std::size_t i = 0; i < 18; ++i) parity_acc ^= bits[i];
+  if (parity_acc != 0) return std::nullopt;
+  std::uint8_t rate = 0;
+  for (int i = 0; i < 4; ++i) {
+    rate = static_cast<std::uint8_t>((rate << 1) | (bits[static_cast<std::size_t>(i)] & 1u));
+  }
+  std::size_t length = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (bits[5 + static_cast<std::size_t>(i)] & 1u) length |= std::size_t{1} << i;
+  }
+  if (length == 0) return std::nullopt;
+  for (std::size_t m = 0; m < kRateCodes.size(); ++m) {
+    if (kRateCodes[m] == rate) {
+      return SignalField{static_cast<OfdmMcs>(m), length};
+    }
+  }
+  return std::nullopt;
+}
+
+CVec ofdm_transmit_ppdu(OfdmMcs mcs, std::span<const std::uint8_t> psdu) {
+  const OfdmPhy phy(mcs);
+  // SIGNAL symbol: rate-1/2 coded, interleaved, BPSK, pilot polarity p_0;
+  // the data field then starts the polarity sequence at index 1 — our
+  // data path starts it at 0, which the pilot-agnostic receiver ignores.
+  const Bits signal = encode_signal_field(mcs, psdu.size());
+  const Bits coded = convolutional_encode(signal);  // 48 bits, rate 1/2
+  const Interleaver interleaver(48, 1);
+  const CVec bpsk = modulate(interleaver.interleave(coded), Modulation::kBpsk);
+  const CVec signal_symbol = ofdm_build_symbol(bpsk, 1.0);
+
+  const CVec body = phy.transmit(psdu);  // LTF + data symbols
+  CVec out;
+  out.reserve(body.size() + signal_symbol.size());
+  const std::size_t ltf_len = OfdmPhy::kLtfSymbols * OfdmPhy::kSymbolLen;
+  out.insert(out.end(), body.begin(), body.begin() + static_cast<std::ptrdiff_t>(ltf_len));
+  out.insert(out.end(), signal_symbol.begin(), signal_symbol.end());
+  out.insert(out.end(), body.begin() + static_cast<std::ptrdiff_t>(ltf_len), body.end());
+  return out;
+}
+
+std::optional<Bytes> ofdm_receive_ppdu(std::span<const Cplx> samples,
+                                       double noise_variance) {
+  check(samples.size() >= 3 * OfdmPhy::kSymbolLen,
+        "PPDU too short for LTF + SIGNAL");
+  const CVec h = ofdm_estimate_channel(samples);
+  const double bin_noise =
+      noise_variance * static_cast<double>(OfdmPhy::kNfft);
+
+  // Decode the SIGNAL symbol (index 2, right after the two LTFs).
+  const CVec freq = ofdm_extract_symbol(samples, OfdmPhy::kLtfSymbols);
+  const auto& tones = ofdm_data_tones();
+  CVec eq(OfdmPhy::kDataTones);
+  RVec nv(OfdmPhy::kDataTones);
+  for (std::size_t t = 0; t < OfdmPhy::kDataTones; ++t) {
+    const std::size_t bin = ofdm_tone_bin(tones[t]);
+    const double mag2 = std::max(std::norm(h[bin]), 1e-12);
+    eq[t] = freq[bin] / h[bin];
+    nv[t] = bin_noise / mag2;
+  }
+  const Interleaver interleaver(48, 1);
+  const RVec llrs =
+      interleaver.deinterleave(demodulate_llr(eq, Modulation::kBpsk, nv));
+  const Bits signal_bits = viterbi_decode(llrs, /*terminated=*/true);
+  const auto signal = decode_signal_field(signal_bits);
+  if (!signal) return std::nullopt;
+
+  // Hand the data field (everything after the SIGNAL symbol, plus a fresh
+  // copy of the LTF for channel estimation) to the MCS-specific receiver.
+  const OfdmPhy phy(signal->mcs);
+  const std::size_t ltf_len = OfdmPhy::kLtfSymbols * OfdmPhy::kSymbolLen;
+  const std::size_t data_start = ltf_len + OfdmPhy::kSymbolLen;
+  if (samples.size() < data_start + phy.n_symbols_for_psdu(signal->length_bytes) *
+                                        OfdmPhy::kSymbolLen) {
+    return std::nullopt;
+  }
+  CVec body;
+  body.reserve(samples.size() - OfdmPhy::kSymbolLen);
+  body.insert(body.end(), samples.begin(),
+              samples.begin() + static_cast<std::ptrdiff_t>(ltf_len));
+  body.insert(body.end(), samples.begin() + static_cast<std::ptrdiff_t>(data_start),
+              samples.end());
+  return phy.receive(body, signal->length_bytes, noise_variance);
+}
+
+// ---------------------------------------------------------------------------
+// 802.11b PLCP
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kSyncBits = 128;
+constexpr std::size_t kSfdBits = 16;
+constexpr std::size_t kHeaderBits = 48;
+// SFD for the long preamble: 0xF3A0, transmitted LSB first.
+constexpr std::uint16_t kSfd = 0xF3A0;
+constexpr std::uint8_t kHrScramblerSeed = 0x6C;  // 802.11b long-preamble seed
+
+std::uint8_t hr_signal_code(HrRate rate) {
+  switch (rate) {
+    case HrRate::k1Mbps: return 0x0A;   // 1 Mbps in 100 kbps units
+    case HrRate::k2Mbps: return 0x14;
+    case HrRate::k5_5Mbps: return 0x37;
+    case HrRate::k11Mbps: return 0x6E;
+  }
+  return 0x0A;
+}
+
+double hr_rate_mbps(HrRate rate) {
+  switch (rate) {
+    case HrRate::k1Mbps: return 1.0;
+    case HrRate::k2Mbps: return 2.0;
+    case HrRate::k5_5Mbps: return 5.5;
+    case HrRate::k11Mbps: return 11.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Bits encode_plcp_header(HrRate rate, std::size_t psdu_bytes) {
+  check(psdu_bytes > 0, "PLCP header requires a payload");
+  // LENGTH is the payload airtime in microseconds. At 11 Mbps the
+  // microsecond granularity is coarser than a byte, so the standard's
+  // length-extension bit (SERVICE bit 7) disambiguates.
+  const std::size_t length_us = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(psdu_bytes) * 8.0 / hr_rate_mbps(rate)));
+  check(length_us < 65536, "PLCP LENGTH overflow");
+  std::uint8_t service = 0x00;
+  if (rate == HrRate::k11Mbps &&
+      static_cast<std::size_t>(std::floor(static_cast<double>(length_us) *
+                                          11.0 / 8.0)) != psdu_bytes) {
+    service |= 0x80;
+  }
+
+  Bytes header_bytes = {hr_signal_code(rate), service,
+                        static_cast<std::uint8_t>(length_us & 0xFF),
+                        static_cast<std::uint8_t>((length_us >> 8) & 0xFF)};
+  const std::uint16_t crc = crc16_ccitt(header_bytes);
+  header_bytes.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  header_bytes.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFF));
+  return bytes_to_bits(header_bytes);
+}
+
+std::optional<PlcpHeader> decode_plcp_header(
+    std::span<const std::uint8_t> bits) {
+  check(bits.size() == kHeaderBits, "PLCP header must be 48 bits");
+  const Bytes bytes = bits_to_bytes(bits);
+  const std::uint16_t crc =
+      crc16_ccitt(std::span(bytes).first(4));
+  const std::uint16_t received = static_cast<std::uint16_t>(
+      bytes[4] | (static_cast<std::uint16_t>(bytes[5]) << 8));
+  if (crc != received) return std::nullopt;
+
+  HrRate rate;
+  switch (bytes[0]) {
+    case 0x0A: rate = HrRate::k1Mbps; break;
+    case 0x14: rate = HrRate::k2Mbps; break;
+    case 0x37: rate = HrRate::k5_5Mbps; break;
+    case 0x6E: rate = HrRate::k11Mbps; break;
+    default: return std::nullopt;
+  }
+  const std::size_t length_us =
+      bytes[2] | (static_cast<std::size_t>(bytes[3]) << 8);
+  std::size_t psdu_bytes = static_cast<std::size_t>(
+      std::floor(static_cast<double>(length_us) * hr_rate_mbps(rate) / 8.0));
+  if (rate == HrRate::k11Mbps && (bytes[1] & 0x80u)) --psdu_bytes;
+  return PlcpHeader{rate, psdu_bytes};
+}
+
+CVec hr_transmit_ppdu(CckRate rate, std::span<const std::uint8_t> psdu) {
+  check(!psdu.empty(), "hr_transmit_ppdu requires a payload");
+  // Preamble + header bits, scrambled, at 1 Mbps DBPSK/Barker.
+  Bits pre(kSyncBits, 1);
+  for (std::size_t i = 0; i < kSfdBits; ++i) {
+    pre.push_back(static_cast<std::uint8_t>((kSfd >> i) & 1u));
+  }
+  const HrRate hr =
+      rate == CckRate::k11Mbps ? HrRate::k11Mbps : HrRate::k5_5Mbps;
+  const Bits header = encode_plcp_header(hr, psdu.size());
+  pre.insert(pre.end(), header.begin(), header.end());
+  const Bits scrambled = scramble(pre, kHrScramblerSeed);
+
+  const DsssModem barker({DsssRate::k1Mbps, true});
+  CVec out = barker.modulate(scrambled);
+
+  // Payload at the CCK rate (its own differential reference symbol).
+  const CckModem cck(rate);
+  const CVec payload = cck.modulate(bytes_to_bits(psdu));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Bytes> hr_receive_ppdu(std::span<const Cplx> chips) {
+  const DsssModem barker({DsssRate::k1Mbps, true});
+  const std::size_t preamble_symbols = 1 + kSyncBits + kSfdBits + kHeaderBits;
+  const std::size_t preamble_chips = preamble_symbols * 11;
+  if (chips.size() < preamble_chips + 2 * 8) return std::nullopt;
+
+  // Demodulate the 1 Mbps section and descramble it.
+  const Bits scrambled =
+      barker.demodulate(chips.first(preamble_chips));
+  const Bits bits = scramble(scrambled, kHrScramblerSeed);
+
+  // Locate the SFD: it should sit right after the 128 SYNC bits; search a
+  // small window to tolerate detection ambiguity.
+  std::size_t sfd_pos = kSyncBits;
+  bool found = false;
+  for (std::size_t start = 0; start + kSfdBits + kHeaderBits <= bits.size();
+       ++start) {
+    std::uint16_t v = 0;
+    for (std::size_t i = 0; i < kSfdBits; ++i) {
+      if (bits[start + i] & 1u) v |= static_cast<std::uint16_t>(1u << i);
+    }
+    if (v == kSfd) {
+      sfd_pos = start;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  const auto header = decode_plcp_header(
+      std::span(bits).subspan(sfd_pos + kSfdBits, kHeaderBits));
+  if (!header) return std::nullopt;
+  if (header->rate != HrRate::k5_5Mbps && header->rate != HrRate::k11Mbps) {
+    return std::nullopt;  // this framer only carries CCK payloads
+  }
+
+  const CckRate rate = header->rate == HrRate::k11Mbps ? CckRate::k11Mbps
+                                                       : CckRate::k5_5Mbps;
+  const CckModem cck(rate);
+  const std::size_t payload_bits = header->length_bytes * 8;
+  const std::size_t payload_chips =
+      (payload_bits / cck_bits_per_symbol(rate) + 1) * 8;
+  // Payload starts where the 1 Mbps section ends: after the reference
+  // symbol + SYNC + SFD + header symbols.
+  const std::size_t payload_start = (1 + sfd_pos + kSfdBits + kHeaderBits) * 11;
+  if (chips.size() < payload_start + payload_chips) return std::nullopt;
+  const Bits payload =
+      cck.demodulate(chips.subspan(payload_start, payload_chips));
+  return bits_to_bytes(std::span(payload).first(payload_bits));
+}
+
+}  // namespace wlan::phy

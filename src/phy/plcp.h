@@ -1,0 +1,78 @@
+// PLCP framing: the headers that make a PPDU self-describing.
+//
+// - 802.11a SIGNAL field: 24 bits (RATE, LENGTH, parity, tail) sent as one
+//   BPSK rate-1/2 OFDM symbol. With it, ofdm_receive_ppdu() discovers the
+//   MCS and PSDU length from the waveform alone.
+// - 802.11b PLCP preamble + header: 128-bit scrambled-ones SYNC, 16-bit
+//   SFD, then SIGNAL/SERVICE/LENGTH/CRC-16 at 1 Mbps DSSS. The receiver
+//   locates the SFD by correlation and validates the header CRC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+#include "phy/cck.h"
+#include "phy/ofdm.h"
+
+namespace wlan::phy {
+
+// ---------------------------------------------------------------------------
+// 802.11a SIGNAL field
+// ---------------------------------------------------------------------------
+
+/// Encodes the 24-bit SIGNAL field (RATE | reserved | LENGTH | parity |
+/// tail). `length_bytes` must fit the 12-bit LENGTH field.
+Bits encode_signal_field(OfdmMcs mcs, std::size_t length_bytes);
+
+/// Parsed SIGNAL contents.
+struct SignalField {
+  OfdmMcs mcs;
+  std::size_t length_bytes;
+};
+
+/// Decodes 24 SIGNAL bits; empty if the parity fails or the rate code is
+/// invalid.
+std::optional<SignalField> decode_signal_field(std::span<const std::uint8_t> bits);
+
+/// Full self-describing 802.11a PPDU: LTF + SIGNAL symbol + data field.
+CVec ofdm_transmit_ppdu(OfdmMcs mcs, std::span<const std::uint8_t> psdu);
+
+/// Receives a self-describing PPDU: decodes SIGNAL (one BPSK-1/2 symbol),
+/// checks parity, then decodes the data field at the announced MCS/length.
+/// Returns nullopt when the SIGNAL field is unusable.
+std::optional<Bytes> ofdm_receive_ppdu(std::span<const Cplx> samples,
+                                       double noise_variance);
+
+// ---------------------------------------------------------------------------
+// 802.11b PLCP (long preamble)
+// ---------------------------------------------------------------------------
+
+/// Rates announced in the 802.11b SIGNAL octet.
+enum class HrRate { k1Mbps, k2Mbps, k5_5Mbps, k11Mbps };
+
+/// PLCP header contents.
+struct PlcpHeader {
+  HrRate rate;
+  std::size_t length_bytes;
+};
+
+/// Builds the 48-bit PLCP header (SIGNAL, SERVICE, LENGTH in us, CRC-16).
+Bits encode_plcp_header(HrRate rate, std::size_t psdu_bytes);
+
+/// Parses and CRC-checks a 48-bit PLCP header.
+std::optional<PlcpHeader> decode_plcp_header(std::span<const std::uint8_t> bits);
+
+/// Full 802.11b PPDU at 11 Mchip/s: scrambled-ones SYNC (128 bits), SFD,
+/// PLCP header at 1 Mbps Barker/DBPSK, then the PSDU at the given CCK
+/// rate. (1/2 Mbps payloads use the DSSS modem directly; this framer
+/// covers the CCK generation.)
+CVec hr_transmit_ppdu(CckRate rate, std::span<const std::uint8_t> psdu);
+
+/// Receives an 802.11b PPDU: finds the SFD by despread correlation,
+/// decodes and CRC-checks the header, then demodulates the CCK payload.
+/// Returns nullopt if acquisition or the header CRC fails.
+std::optional<Bytes> hr_receive_ppdu(std::span<const Cplx> chips);
+
+}  // namespace wlan::phy

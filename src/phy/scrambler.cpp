@@ -1,0 +1,21 @@
+#include "phy/scrambler.h"
+
+#include "common/check.h"
+
+namespace wlan::phy {
+
+Bits scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
+  check((seed & 0x7Fu) != 0, "scrambler seed must be a nonzero 7-bit value");
+  std::uint8_t state = seed & 0x7Fu;  // bits x1..x7 in LSBs
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Feedback bit = x7 xor x4 (bit 6 and bit 3 of the register).
+    const std::uint8_t fb =
+        static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1u);
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ fb) & 1u);
+    state = static_cast<std::uint8_t>(((state << 1) | fb) & 0x7Fu);
+  }
+  return out;
+}
+
+}  // namespace wlan::phy

@@ -1,0 +1,182 @@
+#include "phy/sync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "dsp/fft.h"
+#include "phy/ofdm.h"
+
+namespace wlan::phy {
+namespace {
+
+constexpr std::size_t kStfPeriod = 16;
+constexpr std::size_t kStfLen = 160;
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// STF tone values at subcarriers -24..24 in steps of 4 (Table 17-9),
+// scaled by sqrt(13/6).
+struct StfTone {
+  int tone;
+  double sign;  // multiplies (1 + j)
+};
+constexpr std::array<StfTone, 12> kStfTones = {{{-24, 1.0},
+                                                {-20, -1.0},
+                                                {-16, 1.0},
+                                                {-12, -1.0},
+                                                {-8, -1.0},
+                                                {-4, 1.0},
+                                                {4, -1.0},
+                                                {8, -1.0},
+                                                {12, 1.0},
+                                                {16, 1.0},
+                                                {20, 1.0},
+                                                {24, 1.0}}};
+
+// The 64-sample body of one LTF symbol (for cross-correlation).
+const CVec& ltf_body() {
+  static const CVec body = [] {
+    const CVec full = ofdm_ltf_waveform();  // CP16 + 64 + CP16 + 64
+    return CVec(full.begin() + 16, full.begin() + 80);
+  }();
+  return body;
+}
+
+}  // namespace
+
+CVec ofdm_stf_waveform() {
+  CVec freq(OfdmPhy::kNfft, Cplx{0.0, 0.0});
+  const double scale = std::sqrt(13.0 / 6.0);
+  for (const StfTone& t : kStfTones) {
+    freq[ofdm_tone_bin(t.tone)] = scale * t.sign * Cplx{1.0, 1.0};
+  }
+  const CVec period64 = dsp::ifft(std::move(freq));
+  // The 64-sample IFFT is 16-periodic (tones are multiples of 4); emit
+  // ten periods = 160 samples.
+  CVec out;
+  out.reserve(kStfLen);
+  for (std::size_t i = 0; i < kStfLen; ++i) {
+    out.push_back(period64[i % OfdmPhy::kNfft]);
+  }
+  return out;
+}
+
+void apply_cfo(CVec& samples, double cfo_norm, double initial_phase) {
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    const double arg = kTwoPi * cfo_norm * static_cast<double>(n) + initial_phase;
+    samples[n] *= Cplx{std::cos(arg), std::sin(arg)};
+  }
+}
+
+CVec prepend_stf(const CVec& ppdu) {
+  CVec out = ofdm_stf_waveform();
+  out.insert(out.end(), ppdu.begin(), ppdu.end());
+  return out;
+}
+
+std::optional<SyncResult> detect_ppdu(std::span<const Cplx> samples,
+                                      double detection_threshold) {
+  check(detection_threshold > 0.0 && detection_threshold < 1.0,
+        "detection threshold must be in (0,1)");
+  const std::size_t window = 4 * kStfPeriod;  // correlation span
+  if (samples.size() < kStfLen + 4 * OfdmPhy::kSymbolLen) return std::nullopt;
+
+  // Schmidl-Cox style: normalized lag-16 autocorrelation plateau.
+  std::size_t plateau_start = 0;
+  std::size_t run = 0;
+  bool detected = false;
+  Cplx p_acc{0.0, 0.0};
+  for (std::size_t d = 0; d + window + kStfPeriod < samples.size(); ++d) {
+    Cplx p{0.0, 0.0};
+    double r = 0.0;
+    for (std::size_t i = 0; i < window; ++i) {
+      p += samples[d + i] * std::conj(samples[d + i + kStfPeriod]);
+      r += std::norm(samples[d + i + kStfPeriod]);
+    }
+    const double metric = r > 0.0 ? std::norm(p) / (r * r) : 0.0;
+    if (metric > detection_threshold) {
+      if (run == 0) {
+        plateau_start = d;
+        p_acc = Cplx{0.0, 0.0};
+      }
+      p_acc += p;
+      ++run;
+      if (run >= 2 * kStfPeriod) {
+        detected = true;
+        break;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  if (!detected) return std::nullopt;
+
+  // Coarse CFO from the accumulated lag-16 phase: the STF repeats every 16
+  // samples, so arg = -2 pi f * 16.
+  const double coarse_cfo =
+      -std::arg(p_acc) / (kTwoPi * static_cast<double>(kStfPeriod));
+
+  // Fine timing: cross-correlate a CFO-corrected slice with the known LTF
+  // body. Search from the plateau start through the expected preamble.
+  const std::size_t search_begin = plateau_start;
+  const std::size_t search_len =
+      std::min(samples.size() - search_begin,
+               kStfLen + 3 * OfdmPhy::kSymbolLen);
+  CVec slice(samples.begin() + static_cast<std::ptrdiff_t>(search_begin),
+             samples.begin() + static_cast<std::ptrdiff_t>(search_begin + search_len));
+  apply_cfo(slice, -coarse_cfo);
+
+  const CVec& ref = ltf_body();
+  double best_mag = 0.0;
+  std::size_t best_pos = 0;
+  std::vector<double> corr(slice.size() > ref.size()
+                               ? slice.size() - ref.size() + 1
+                               : 0);
+  for (std::size_t k = 0; k < corr.size(); ++k) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      acc += slice[k + i] * std::conj(ref[i]);
+    }
+    corr[k] = std::abs(acc);
+    if (corr[k] > best_mag) {
+      best_mag = corr[k];
+      best_pos = k;
+    }
+  }
+  if (best_mag <= 0.0) return std::nullopt;
+  // Two repetitions produce two peaks one symbol (80 samples) apart; lock
+  // to the first.
+  if (best_pos >= OfdmPhy::kSymbolLen &&
+      corr[best_pos - OfdmPhy::kSymbolLen] > 0.9 * best_mag) {
+    best_pos -= OfdmPhy::kSymbolLen;
+  }
+  // The peak marks the first LTF body; the LTF (with its CP) starts 16
+  // samples earlier.
+  if (best_pos < OfdmPhy::kCpLen) return std::nullopt;
+  const std::size_t ltf_start = search_begin + best_pos - OfdmPhy::kCpLen;
+
+  // Fine CFO from the lag-64 correlation between the two LTF bodies.
+  double fine_cfo = 0.0;
+  {
+    const std::size_t first = search_begin + best_pos;
+    if (first + 2 * OfdmPhy::kNfft + OfdmPhy::kCpLen <= samples.size()) {
+      Cplx acc{0.0, 0.0};
+      for (std::size_t i = 0; i < OfdmPhy::kNfft; ++i) {
+        // Use the CFO-corrected slice for the residual estimate.
+        const std::size_t a = best_pos + i;
+        const std::size_t b = a + OfdmPhy::kNfft + OfdmPhy::kCpLen;
+        if (b < slice.size()) acc += slice[a] * std::conj(slice[b]);
+      }
+      fine_cfo = -std::arg(acc) /
+                 (kTwoPi * static_cast<double>(OfdmPhy::kNfft + OfdmPhy::kCpLen));
+    }
+  }
+
+  SyncResult result;
+  result.ltf_start = ltf_start;
+  result.cfo_norm = coarse_cfo + fine_cfo;
+  return result;
+}
+
+}  // namespace wlan::phy

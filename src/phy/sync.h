@@ -1,0 +1,43 @@
+// Packet acquisition for the OFDM PHY: short training field generation,
+// Schmidl-Cox style detection, carrier-frequency-offset estimation and
+// correction, and LTF-based fine timing.
+//
+// The link simulators elsewhere assume ideal synchronization (standard
+// PHY-evaluation practice); this module implements the acquisition chain
+// so that assumption is backed by code: an 802.11a PPDU with a random
+// start offset and oscillator error can be found, corrected, and decoded.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/types.h"
+
+namespace wlan::phy {
+
+/// The 160-sample 802.11a short training field (ten repetitions of a
+/// 16-sample pattern built from 12 pilot tones at indices +-4k).
+CVec ofdm_stf_waveform();
+
+/// Applies a carrier frequency offset of `cfo_norm` cycles per sample
+/// (CFO_Hz / sample_rate) in place.
+void apply_cfo(CVec& samples, double cfo_norm, double initial_phase = 0.0);
+
+/// Result of packet acquisition.
+struct SyncResult {
+  std::size_t ltf_start = 0;  ///< sample index where the LTF begins
+  double cfo_norm = 0.0;      ///< estimated CFO, cycles/sample
+};
+
+/// Detects an 802.11a preamble: finds the STF by its 16-sample
+/// periodicity, estimates coarse CFO from the STF autocorrelation, then
+/// refines timing with an LTF cross-correlation and CFO with the LTF's
+/// 64-sample lag. Returns nullopt when no plateau clears the threshold.
+std::optional<SyncResult> detect_ppdu(std::span<const Cplx> samples,
+                                      double detection_threshold = 0.5);
+
+/// Convenience: prepends an STF to a PPDU waveform (making it
+/// acquirable), as the transmitter would.
+CVec prepend_stf(const CVec& ppdu);
+
+}  // namespace wlan::phy

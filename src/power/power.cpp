@@ -1,0 +1,77 @@
+#include "power/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace wlan::power {
+
+double PaModel::efficiency_at_backoff_db(double backoff_db) const {
+  check(backoff_db >= 0.0, "backoff must be non-negative");
+  const double exponent =
+      pa_class == PaClass::kClassA ? backoff_db / 10.0 : backoff_db / 20.0;
+  return peak_efficiency * std::pow(10.0, -exponent);
+}
+
+double PaModel::dc_power_w(double avg_output_dbm, double backoff_db) const {
+  check(avg_output_dbm + backoff_db <= max_output_dbm + 1e-9,
+        "requested output + headroom exceeds PA saturation");
+  const double out_w = dbm_to_watt(avg_output_dbm);
+  return out_w / efficiency_at_backoff_db(backoff_db);
+}
+
+double RadioPowerModel::tx_power_w(std::size_t n_chains,
+                                   double per_chain_output_dbm,
+                                   double backoff_db) const {
+  check(n_chains >= 1, "tx_power_w requires at least one chain");
+  const double per_chain =
+      pa.dc_power_w(per_chain_output_dbm, backoff_db) + tx_chain_w;
+  return baseband_fixed_w +
+         baseband_per_stream_w * static_cast<double>(n_chains) +
+         per_chain * static_cast<double>(n_chains);
+}
+
+double RadioPowerModel::rx_power_w(std::size_t n_chains,
+                                   std::size_t n_streams) const {
+  check(n_chains >= 1 && n_streams >= 1, "rx_power_w requires active chains");
+  return baseband_fixed_w +
+         baseband_per_stream_w * static_cast<double>(n_streams) +
+         rx_chain_w * static_cast<double>(n_chains);
+}
+
+double chain_switching_rx_power_w(const RadioPowerModel& model,
+                                  std::size_t n_chains, std::size_t n_streams,
+                                  double active_fraction) {
+  check(active_fraction >= 0.0 && active_fraction <= 1.0,
+        "active fraction must be in [0, 1]");
+  const double listening = model.idle_listen_w;  // one chain + light digital
+  const double active = model.rx_power_w(n_chains, n_streams);
+  return (1.0 - active_fraction) * listening + active_fraction * active;
+}
+
+double beamforming_tx_power_dbm(double baseline_dbm, std::size_t n_tx) {
+  check(n_tx >= 1, "beamforming requires at least one antenna");
+  return baseline_dbm - 10.0 * std::log10(static_cast<double>(n_tx));
+}
+
+double tx_energy_per_bit_j(const RadioPowerModel& model, std::size_t n_chains,
+                           double per_chain_output_dbm, double backoff_db,
+                           double rate_mbps) {
+  check(rate_mbps > 0.0, "rate must be positive");
+  const double p = model.tx_power_w(n_chains, per_chain_output_dbm, backoff_db);
+  return p / (rate_mbps * 1e6);
+}
+
+double psm_energy_j(const RadioPowerModel& model,
+                    const mac::PsmResult& breakdown, double tx_output_dbm,
+                    double tx_backoff_db) {
+  const double p_tx = model.tx_power_w(1, tx_output_dbm, tx_backoff_db);
+  const double p_rx = model.rx_power_w(1, 1);
+  return p_tx * breakdown.time_tx_s + p_rx * breakdown.time_rx_s +
+         model.idle_listen_w * breakdown.time_idle_s +
+         model.doze_w * breakdown.time_doze_s;
+}
+
+}  // namespace wlan::power

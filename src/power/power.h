@@ -1,0 +1,92 @@
+// Component power models for wireless LAN devices.
+//
+// The paper's low-power section makes four architectural points, each of
+// which this module exposes as a parameter or policy:
+//  1. OFDM's high PAPR forces power-amplifier backoff, collapsing PA
+//     efficiency (PaModel::efficiency_at_backoff_db).
+//  2. MIMO multiplies RF-chain and baseband power (RadioPowerModel's
+//     per-chain / per-stream terms).
+//  3. Chain switching: listen on one receive chain, enable the rest only
+//     while decoding (chain_switching_rx_power_w).
+//  4. Beamforming array gain can be spent as transmit power reduction
+//     (beamforming_tx_power_dbm).
+//
+// Default component figures are representative of mid-2000s 802.11
+// chipsets (CMOS radios, 0.3-1 W active) — the absolute numbers are
+// parameters; the experiments depend on the ratios.
+#pragma once
+
+#include <cstddef>
+
+#include "mac/psm.h"
+
+namespace wlan::power {
+
+/// Power-amplifier class, which sets how efficiency decays with backoff.
+enum class PaClass {
+  kClassA,   ///< efficiency ~ 10^(-backoff/10): halves every 3 dB
+  kClassAB,  ///< efficiency ~ 10^(-backoff/20): halves every 6 dB
+};
+
+/// A transmit power amplifier.
+struct PaModel {
+  PaClass pa_class = PaClass::kClassAB;
+  double peak_efficiency = 0.40;  ///< drain efficiency at saturation
+  double max_output_dbm = 25.0;   ///< saturated output power
+
+  /// Drain efficiency when the average output is backed off from
+  /// saturation by `backoff_db` (>= 0).
+  double efficiency_at_backoff_db(double backoff_db) const;
+
+  /// DC input power (W) to produce `avg_output_dbm` average output, given
+  /// the waveform requires `backoff_db` of headroom to its peaks.
+  double dc_power_w(double avg_output_dbm, double backoff_db) const;
+};
+
+/// Full-radio power decomposition.
+struct RadioPowerModel {
+  PaModel pa;
+  double tx_chain_w = 0.15;           ///< per-chain TX circuitry (excl. PA)
+  double rx_chain_w = 0.30;           ///< per-chain RX front end + ADC
+  double baseband_fixed_w = 0.20;     ///< always-on digital
+  double baseband_per_stream_w = 0.25;///< per spatial stream decode logic
+  double idle_listen_w = 0.40;        ///< single-chain carrier sense
+  double doze_w = 0.01;               ///< PSM doze
+
+  /// Total device power while transmitting `n_chains` streams at
+  /// `per_chain_output_dbm` average output each, with PA backoff set by
+  /// the waveform PAPR.
+  double tx_power_w(std::size_t n_chains, double per_chain_output_dbm,
+                    double backoff_db) const;
+
+  /// Total device power while receiving with `n_chains` active chains and
+  /// `n_streams` decoded streams.
+  double rx_power_w(std::size_t n_chains, std::size_t n_streams) const;
+};
+
+/// Mean receive power under the chain-switching policy: one chain listens;
+/// all `n_chains` (and `n_streams` decoders) are active for the fraction
+/// `active_fraction` of time spent receiving packets.
+double chain_switching_rx_power_w(const RadioPowerModel& model,
+                                  std::size_t n_chains, std::size_t n_streams,
+                                  double active_fraction);
+
+/// Transmit power target when closed-loop beamforming with `n_tx` antennas
+/// provides its array gain: the same delivered SNR needs
+/// 10*log10(n_tx) dB less radiated power.
+double beamforming_tx_power_dbm(double baseline_dbm, std::size_t n_tx);
+
+/// Transmit energy per delivered information bit (J/bit) for a link at
+/// `rate_mbps` with the given radio state.
+double tx_energy_per_bit_j(const RadioPowerModel& model, std::size_t n_chains,
+                           double per_chain_output_dbm, double backoff_db,
+                           double rate_mbps);
+
+/// Attaches energy to a PSM simulation's radio-state breakdown. The
+/// defaults (15 dBm average output, 9 dB OFDM headroom) fit inside the
+/// default PA's 25 dBm saturation.
+double psm_energy_j(const RadioPowerModel& model,
+                    const mac::PsmResult& breakdown,
+                    double tx_output_dbm = 15.0, double tx_backoff_db = 9.0);
+
+}  // namespace wlan::power

@@ -1,0 +1,43 @@
+#include "sim/scheduler.h"
+
+#include "common/check.h"
+
+namespace wlan::sim {
+
+void Scheduler::schedule(double delay, Action action) {
+  check(delay >= 0.0, "Scheduler::schedule requires non-negative delay");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+}
+
+void Scheduler::schedule_at(double time, Action action) {
+  check(time >= now_, "Scheduler::schedule_at requires a future time");
+  queue_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+std::size_t Scheduler::run_until(double end_time) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    // Copy out before pop so the action may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++executed;
+  }
+  if (now_ < end_time) now_ = end_time;
+  return executed;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace wlan::sim

@@ -1,0 +1,56 @@
+// Discrete-event simulation core: a time-ordered event queue.
+//
+// Events at equal timestamps run in scheduling (FIFO) order, which keeps
+// protocol simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wlan::sim {
+
+/// Simulation clock and event queue. Times are in seconds.
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time.
+  double now() const { return now_; }
+
+  /// Schedules an action `delay` seconds from now (delay >= 0).
+  void schedule(double delay, Action action);
+
+  /// Schedules an action at an absolute time (>= now()).
+  void schedule_at(double time, Action action);
+
+  /// Runs events until the queue is empty or the clock passes `end_time`.
+  /// Returns the number of events executed.
+  std::size_t run_until(double end_time);
+
+  /// Runs until the queue drains completely.
+  std::size_t run();
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wlan::sim

@@ -1,0 +1,38 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wlan::sim {
+
+void Tally::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void TimeAverage::update(double time, double value) {
+  if (!started_) {
+    started_ = true;
+    t0_ = time;
+    last_time_ = time;
+    current_ = value;
+    return;
+  }
+  check(time >= last_time_, "TimeAverage updates must be time-ordered");
+  integral_ += current_ * (time - last_time_);
+  last_time_ = time;
+  current_ = value;
+}
+
+double TimeAverage::average() const {
+  const double span = last_time_ - t0_;
+  return span > 0.0 ? integral_ / span : current_;
+}
+
+}  // namespace wlan::sim

@@ -1,0 +1,52 @@
+// Statistics collectors for simulations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace wlan::sim {
+
+/// Running mean/variance/min/max over scalar samples (Welford).
+class Tally {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double total() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue length,
+/// power state).
+class TimeAverage {
+ public:
+  /// Records that the signal had `value` from the last update until `time`.
+  void update(double time, double value);
+
+  /// Average up to the time of the last update.
+  double average() const;
+
+  /// Integral of the signal (value x time), e.g. energy from power.
+  double integral() const { return integral_; }
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double current_ = 0.0;
+  double integral_ = 0.0;
+  double t0_ = 0.0;
+};
+
+}  // namespace wlan::sim

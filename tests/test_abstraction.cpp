@@ -1,0 +1,134 @@
+// Tests for the EESM link abstraction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "channel/awgn.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/abstraction.h"
+#include "core/link.h"
+
+namespace wlan {
+namespace {
+
+TEST(Eesm, FlatChannelIsIdentity) {
+  const RVec snrs(48, 14.0);
+  for (const double beta : {1.5, 7.0, 22.0}) {
+    EXPECT_NEAR(eesm_effective_snr_db(snrs, beta), 14.0, 1e-9);
+  }
+}
+
+TEST(Eesm, EffectiveSnrBelowMeanForSelectiveChannels) {
+  // Jensen: the exponential average penalizes dips more than peaks help.
+  RVec snrs;
+  for (int i = 0; i < 24; ++i) {
+    snrs.push_back(10.0);
+    snrs.push_back(20.0);
+  }
+  const double eff = eesm_effective_snr_db(snrs, 2.5);
+  EXPECT_LT(eff, 15.0);
+  EXPECT_GT(eff, 10.0);
+}
+
+TEST(Eesm, LargerBetaIsMoreForgiving) {
+  RVec snrs;
+  for (int i = 0; i < 24; ++i) {
+    snrs.push_back(5.0);
+    snrs.push_back(25.0);
+  }
+  EXPECT_LT(eesm_effective_snr_db(snrs, 1.5), eesm_effective_snr_db(snrs, 22.0));
+}
+
+TEST(Eesm, DominatedByWorstToneAtSmallBeta) {
+  RVec snrs(47, 30.0);
+  snrs.push_back(3.0);
+  const double eff = eesm_effective_snr_db(snrs, 0.5);
+  // One deep notch pins the effective SNR far below the mean.
+  EXPECT_LT(eff, 25.0);
+}
+
+TEST(Eesm, BetaGrowsWithConstellation) {
+  EXPECT_LT(eesm_beta(phy::OfdmMcs::k6Mbps), eesm_beta(phy::OfdmMcs::k24Mbps));
+  EXPECT_LT(eesm_beta(phy::OfdmMcs::k24Mbps), eesm_beta(phy::OfdmMcs::k54Mbps));
+}
+
+TEST(Eesm, Validation) {
+  EXPECT_THROW(eesm_effective_snr_db({}, 1.0), ContractError);
+  const RVec snrs(4, 10.0);
+  EXPECT_THROW(eesm_effective_snr_db(snrs, 0.0), ContractError);
+}
+
+TEST(AwgnPerModel, MatchesMeasuredWaterfallShape) {
+  // The logistic reference must agree with the waveform simulation at the
+  // three SNRs per MCS where we checked it: deep failure, midpoint-ish,
+  // and clean. Spot check 24 Mbps.
+  EXPECT_GT(ofdm_awgn_per(phy::OfdmMcs::k24Mbps, 5.0), 0.95);
+  EXPECT_LT(ofdm_awgn_per(phy::OfdmMcs::k24Mbps, 15.0), 0.05);
+  const double mid = ofdm_awgn_per(phy::OfdmMcs::k24Mbps, 9.2);
+  EXPECT_NEAR(mid, 0.5, 0.02);
+}
+
+TEST(PredictPer, FlatUnitChannelMatchesAwgnCurve) {
+  channel::Tdl tdl;
+  tdl.taps = {Cplx{1.0, 0.0}};
+  for (const double snr : {5.0, 10.0, 20.0}) {
+    EXPECT_NEAR(predict_ofdm_per(phy::OfdmMcs::k24Mbps, tdl, snr),
+                ofdm_awgn_per(phy::OfdmMcs::k24Mbps, snr), 1e-9);
+  }
+}
+
+TEST(PredictPer, MonotoneInSnr) {
+  Rng rng(1);
+  const channel::Tdl tdl =
+      channel::make_tdl(rng, channel::DelayProfile::kOffice, 20e6);
+  double prev = 1.0;
+  for (double snr = 0.0; snr <= 30.0; snr += 2.0) {
+    const double per = predict_ofdm_per(phy::OfdmMcs::k36Mbps, tdl, snr);
+    EXPECT_LE(per, prev + 1e-12);
+    prev = per;
+  }
+}
+
+TEST(PredictPer, TracksFullSimulationAcrossRealizations) {
+  // The abstraction's purpose: realizations the predictor calls bad must
+  // actually fail more often in the waveform simulation. Compare mean
+  // predicted PER with simulated PER over many TDL draws near the
+  // waterfall.
+  Rng rng(2);
+  const phy::OfdmMcs mcs = phy::OfdmMcs::k24Mbps;
+  const double snr = 13.0;
+  double predicted = 0.0;
+  int simulated_errors = 0;
+  int packets = 0;
+  for (int r = 0; r < 40; ++r) {
+    Rng draw = rng.fork();
+    const channel::Tdl tdl =
+        channel::make_tdl(draw, channel::DelayProfile::kOffice, 20e6);
+    predicted += predict_ofdm_per(mcs, tdl, snr);
+    // Simulate a few packets over this exact realization by reusing the
+    // fixed-channel path: TX, convolve, AWGN.
+    const phy::OfdmPhy phy(mcs);
+    for (int p = 0; p < 5; ++p) {
+      const Bytes psdu = draw.random_bytes(500);
+      CVec wave = phy.transmit(psdu);
+      const double power = 52.0 / 4096.0;  // per-sample mean of the body
+      CVec rx = tdl.apply(wave);
+      const double nv = power / db_to_lin(snr);
+      channel::add_awgn(rx, draw, nv);
+      rx.resize(wave.size());
+      if (phy.receive(rx, psdu.size(), nv) != psdu) ++simulated_errors;
+      ++packets;
+    }
+  }
+  predicted /= 40.0;
+  const double simulated =
+      static_cast<double>(simulated_errors) / static_cast<double>(packets);
+  // Coarse agreement is the requirement (the published EESM calibrations
+  // claim ~0.5 dB): both should sit in the same PER decade.
+  EXPECT_NEAR(predicted, simulated, 0.25);
+}
+
+}  // namespace
+}  // namespace wlan

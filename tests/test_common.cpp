@@ -1,0 +1,238 @@
+// Unit tests for the common substrate: RNG, bits, CRC, units, contracts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/crc.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace wlan {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), ContractError);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianMeanStddev) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(3.0, 2.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(23);
+  double power = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) power += std::norm(rng.cgaussian(2.0));
+  EXPECT_NEAR(power / n, 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, RandomBitsAreBinaryAndBalanced) {
+  Rng rng(37);
+  const Bits b = rng.random_bits(100000);
+  std::size_t ones = 0;
+  for (const auto bit : b) {
+    ASSERT_LE(bit, 1);
+    ones += bit;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / b.size(), 0.5, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng forked = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(99);
+  b.next_u64();  // parent consumed one value to create the fork
+  EXPECT_NE(forked.next_u64(), b.next_u64());
+}
+
+TEST(Bits, BytesToBitsLsbFirst) {
+  const Bytes bytes = {0x01, 0x80};
+  const Bits bits = bytes_to_bits(bytes);
+  ASSERT_EQ(bits.size(), 16u);
+  EXPECT_EQ(bits[0], 1);  // LSB of 0x01 first
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(bits[i], 0);
+  for (int i = 8; i < 15; ++i) EXPECT_EQ(bits[i], 0);
+  EXPECT_EQ(bits[15], 1);  // MSB of 0x80 last
+}
+
+TEST(Bits, RoundTrip) {
+  Rng rng(5);
+  const Bytes original = rng.random_bytes(257);
+  EXPECT_EQ(bits_to_bytes(bytes_to_bits(original)), original);
+}
+
+TEST(Bits, BitsToBytesRejectsRaggedInput) {
+  const Bits bits(9, 0);
+  EXPECT_THROW(bits_to_bytes(bits), ContractError);
+}
+
+TEST(Bits, HammingDistance) {
+  const Bits a = {0, 1, 1, 0};
+  const Bits b = {1, 1, 0, 0};
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+}
+
+TEST(Bits, HammingDistanceRejectsLengthMismatch) {
+  const Bits a(3, 0);
+  const Bits b(4, 0);
+  EXPECT_THROW(hamming_distance(a, b), ContractError);
+}
+
+TEST(Bits, Parity) {
+  EXPECT_EQ(parity(Bits{1, 1, 1}), 1);
+  EXPECT_EQ(parity(Bits{1, 1}), 0);
+  EXPECT_EQ(parity(Bits{}), 0);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b1101, 4), 0b1011u);
+  EXPECT_EQ(reverse_bits(1, 1), 1u);
+}
+
+TEST(Crc, Crc32KnownVector) {
+  const char* msg = "123456789";
+  const std::span<const std::uint8_t> data(
+      reinterpret_cast<const std::uint8_t*>(msg), std::strlen(msg));
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc, Crc32DetectsSingleBitFlip) {
+  Rng rng(3);
+  Bytes data = rng.random_bytes(64);
+  const std::uint32_t original = crc32(data);
+  data[10] ^= 0x04;
+  EXPECT_NE(crc32(data), original);
+}
+
+TEST(Crc, Crc16DetectsCorruption) {
+  Rng rng(4);
+  Bytes data = rng.random_bytes(6);
+  const std::uint16_t original = crc16_ccitt(data);
+  data[0] ^= 0x01;
+  EXPECT_NE(crc16_ccitt(data), original);
+}
+
+TEST(Units, DbConversionsRoundTrip) {
+  EXPECT_NEAR(db_to_lin(3.0), 1.995, 0.01);
+  EXPECT_NEAR(lin_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(lin_to_db(db_to_lin(7.3)), 7.3, 1e-12);
+}
+
+TEST(Units, DbmWattConversions) {
+  EXPECT_NEAR(dbm_to_watt(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_watt(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(watt_to_dbm(0.1), 20.0, 1e-12);
+}
+
+TEST(Units, ThermalNoise20MHz) {
+  // -174 + 10log10(20e6) = -101 dBm.
+  EXPECT_NEAR(thermal_noise_dbm(20e6), -101.0, 0.05);
+  EXPECT_NEAR(thermal_noise_dbm(20e6, 6.0), -95.0, 0.05);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(check(false, "boom"), ContractError);
+  try {
+    check(false, "boom");
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(check(true, "fine")); }
+
+}  // namespace
+}  // namespace wlan

@@ -1,0 +1,142 @@
+// Tests for cooperative (decode-and-forward) diversity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "coop/coop.h"
+
+namespace wlan::coop {
+namespace {
+
+TEST(Coop, DirectOutageMatchesClosedForm) {
+  // Rayleigh: P_out = 1 - exp(-(2^R - 1)/gamma).
+  CoopConfig cfg;
+  cfg.scheme = Scheme::kDirect;
+  cfg.target_rate_bps_hz = 2.0;
+  cfg.mean_snr_sd_db = 10.0;
+  Rng rng(1);
+  const CoopResult r = simulate(cfg, 200000, rng);
+  const double gamma = db_to_lin(10.0);
+  const double theory = 1.0 - std::exp(-(std::pow(2.0, 2.0) - 1.0) / gamma);
+  EXPECT_NEAR(r.outage_probability, theory, 0.01);
+}
+
+TEST(Coop, DirectHasNoRelayAirtime) {
+  CoopConfig cfg;
+  cfg.scheme = Scheme::kDirect;
+  Rng rng(2);
+  const CoopResult r = simulate(cfg, 1000, rng);
+  EXPECT_DOUBLE_EQ(r.relay_airtime_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.relay_decode_fraction, 0.0);
+}
+
+TEST(Coop, CooperationImprovesOutageAtHighSnr) {
+  Rng rng(3);
+  CoopConfig direct;
+  direct.scheme = Scheme::kDirect;
+  direct.target_rate_bps_hz = 1.0;
+  direct.mean_snr_sd_db = 15.0;
+  CoopConfig coop = direct;
+  coop.scheme = Scheme::kDfSelection;
+  coop.mean_snr_sr_db = 20.0;
+  coop.mean_snr_rd_db = 20.0;
+  const CoopResult rd = simulate(direct, 100000, rng);
+  const CoopResult rc = simulate(coop, 100000, rng);
+  EXPECT_LT(rc.outage_probability, rd.outage_probability * 0.5);
+}
+
+TEST(Coop, DiversityOrderTwoSlope) {
+  // Doubling SNR (in dB steps) should drop cooperative outage ~quadratically
+  // but direct outage only ~linearly: check the slopes between 12 and 18 dB.
+  Rng rng(4);
+  auto outage = [&](Scheme scheme, double snr_db) {
+    CoopConfig cfg;
+    cfg.scheme = scheme;
+    cfg.target_rate_bps_hz = 1.0;
+    cfg.mean_snr_sd_db = snr_db;
+    cfg.mean_snr_sr_db = snr_db + 5.0;
+    cfg.mean_snr_rd_db = snr_db + 5.0;
+    return simulate(cfg, 400000, rng).outage_probability;
+  };
+  const double d1 = outage(Scheme::kDirect, 12.0);
+  const double d2 = outage(Scheme::kDirect, 18.0);
+  const double c1 = outage(Scheme::kDfRepetition, 12.0);
+  const double c2 = outage(Scheme::kDfRepetition, 18.0);
+  const double direct_slope = std::log10(d1 / d2) / 0.6;   // per 10 dB
+  const double coop_slope = std::log10(c1 / c2) / 0.6;
+  EXPECT_NEAR(direct_slope, 1.0, 0.35);
+  EXPECT_GT(coop_slope, 1.5);  // diversity order ~2
+}
+
+TEST(Coop, RelayDecodesMoreOftenWithBetterSourceRelayLink) {
+  Rng rng(5);
+  CoopConfig weak;
+  weak.scheme = Scheme::kDfSelection;
+  weak.mean_snr_sr_db = 5.0;
+  CoopConfig strong = weak;
+  strong.mean_snr_sr_db = 25.0;
+  const CoopResult rw = simulate(weak, 50000, rng);
+  const CoopResult rs = simulate(strong, 50000, rng);
+  EXPECT_GT(rs.relay_decode_fraction, rw.relay_decode_fraction);
+  EXPECT_GT(rs.relay_decode_fraction, 0.9);
+}
+
+TEST(Coop, RelayCarriesAirtimeWhenItDecodes) {
+  Rng rng(6);
+  CoopConfig cfg;
+  cfg.scheme = Scheme::kDfSelection;
+  cfg.mean_snr_sr_db = 30.0;  // relay almost always decodes
+  const CoopResult r = simulate(cfg, 20000, rng);
+  EXPECT_NEAR(r.relay_airtime_fraction, 0.5 * r.relay_decode_fraction, 1e-9);
+  EXPECT_GT(r.relay_airtime_fraction, 0.45);
+}
+
+TEST(Coop, HalfDuplexRatePenaltyVisibleAtHighSnr) {
+  // When the direct link is already strong, the two-slot protocol halves
+  // the usable rate: cooperation should show HIGHER mean capacity loss.
+  Rng rng(7);
+  CoopConfig direct;
+  direct.scheme = Scheme::kDirect;
+  direct.mean_snr_sd_db = 30.0;
+  CoopConfig coop = direct;
+  coop.scheme = Scheme::kDfRepetition;
+  coop.mean_snr_sr_db = 30.0;
+  coop.mean_snr_rd_db = 30.0;
+  const CoopResult rd = simulate(direct, 50000, rng);
+  const CoopResult rc = simulate(coop, 50000, rng);
+  EXPECT_GT(rd.mean_capacity_bps_hz, rc.mean_capacity_bps_hz);
+}
+
+TEST(Coop, GeometryConfigOrdersLinkSnrs) {
+  channel::PathLossModel pl;
+  const CoopConfig cfg = geometry_config(Scheme::kDfSelection, 1.0, 60.0, 0.5,
+                                         pl, 17.0);
+  // Relay at midpoint: both relay links stronger than the direct link.
+  EXPECT_GT(cfg.mean_snr_sr_db, cfg.mean_snr_sd_db);
+  EXPECT_GT(cfg.mean_snr_rd_db, cfg.mean_snr_sd_db);
+  EXPECT_NEAR(cfg.mean_snr_sr_db, cfg.mean_snr_rd_db, 1e-9);
+}
+
+TEST(Coop, GeometryValidatesRelayPosition) {
+  channel::PathLossModel pl;
+  EXPECT_THROW(geometry_config(Scheme::kDirect, 1.0, 60.0, 0.0, pl, 17.0),
+               wlan::ContractError);
+  EXPECT_THROW(geometry_config(Scheme::kDirect, 1.0, 60.0, 1.0, pl, 17.0),
+               wlan::ContractError);
+  EXPECT_THROW(geometry_config(Scheme::kDirect, 1.0, -5.0, 0.5, pl, 17.0),
+               wlan::ContractError);
+}
+
+TEST(Coop, RejectsDegenerateInputs) {
+  CoopConfig cfg;
+  Rng rng(8);
+  EXPECT_THROW(simulate(cfg, 0, rng), wlan::ContractError);
+  cfg.target_rate_bps_hz = 0.0;
+  EXPECT_THROW(simulate(cfg, 10, rng), wlan::ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::coop

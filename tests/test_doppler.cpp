@@ -1,0 +1,110 @@
+// Tests for the Jakes sum-of-sinusoids fader.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "channel/doppler.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace wlan::channel {
+namespace {
+
+TEST(Jakes, UnitMeanPowerAcrossRealizations) {
+  Rng rng(1);
+  double power = 0.0;
+  const int realizations = 400;
+  for (int r = 0; r < realizations; ++r) {
+    const JakesFader fader(rng, 10.0);
+    power += std::norm(fader.at(0.123));
+  }
+  EXPECT_NEAR(power / realizations, 1.0, 0.1);
+}
+
+TEST(Jakes, DeterministicGivenConstruction) {
+  Rng rng(2);
+  const JakesFader fader(rng, 5.0);
+  const Cplx a = fader.at(1.0);
+  const Cplx b = fader.at(1.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Jakes, SeriesMatchesPointEvaluation) {
+  Rng rng(3);
+  const JakesFader fader(rng, 20.0);
+  const CVec s = fader.series(0.5, 1e-3, 10);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], fader.at(0.5 + 1e-3 * static_cast<double>(i)));
+  }
+}
+
+TEST(Jakes, CorrelatedWithinCoherenceTime) {
+  // Samples far closer than Tc must be nearly identical; samples many Tc
+  // apart must decorrelate (averaged over realizations).
+  Rng rng(4);
+  const double fd = 10.0;
+  double near_corr = 0.0;
+  double far_corr = 0.0;
+  double power = 0.0;
+  const int realizations = 300;
+  for (int r = 0; r < realizations; ++r) {
+    const JakesFader fader(rng, fd);
+    const Cplx h0 = fader.at(0.0);
+    near_corr += (h0 * std::conj(fader.at(0.423 / fd / 50.0))).real();
+    far_corr += (h0 * std::conj(fader.at(10.0 / fd))).real();
+    power += std::norm(h0);
+  }
+  EXPECT_GT(near_corr / power, 0.95);
+  EXPECT_LT(std::abs(far_corr) / power, 0.2);
+}
+
+TEST(Jakes, AutocorrelationFollowsBesselZero) {
+  // E[h(t) h*(t+tau)] = J0(2 pi fD tau); the first zero of J0 is at
+  // 2 pi fD tau ~ 2.405. Check the empirical correlation crosses near it.
+  Rng rng(5);
+  const double fd = 10.0;
+  const double tau_zero = 2.405 / (2.0 * std::numbers::pi * fd);
+  double at_zero = 0.0;
+  double at_half = 0.0;
+  double power = 0.0;
+  const int realizations = 2000;
+  for (int r = 0; r < realizations; ++r) {
+    const JakesFader fader(rng, fd);
+    const Cplx h0 = fader.at(0.0);
+    at_zero += (h0 * std::conj(fader.at(tau_zero))).real();
+    at_half += (h0 * std::conj(fader.at(tau_zero / 2.0))).real();
+    power += std::norm(h0);
+  }
+  // J0(1.2025) ~ 0.67 at half the first zero; ~0 at the zero itself.
+  EXPECT_NEAR(at_half / power, 0.67, 0.12);
+  EXPECT_NEAR(at_zero / power, 0.0, 0.1);
+}
+
+TEST(Jakes, RayleighEnvelopeStatistics) {
+  // P(|h|^2 < x) = 1 - exp(-x) for Rayleigh fading with unit power.
+  Rng rng(6);
+  int below_median = 0;
+  const int realizations = 4000;
+  const double median = std::log(2.0);
+  for (int r = 0; r < realizations; ++r) {
+    const JakesFader fader(rng, 7.0);
+    if (std::norm(fader.at(0.37)) < median) ++below_median;
+  }
+  EXPECT_NEAR(static_cast<double>(below_median) / realizations, 0.5, 0.04);
+}
+
+TEST(Jakes, CoherenceTimeHeuristic) {
+  Rng rng(7);
+  const JakesFader fader(rng, 10.0);
+  EXPECT_NEAR(fader.coherence_time_s(), 0.0423, 1e-6);
+}
+
+TEST(Jakes, Validation) {
+  Rng rng(8);
+  EXPECT_THROW(JakesFader(rng, 0.0), ContractError);
+  EXPECT_THROW(JakesFader(rng, 10.0, 2), ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::channel

@@ -1,0 +1,186 @@
+// Unit tests for the DSP substrate: FFT, convolution, correlation, PAPR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "dsp/fft.h"
+#include "dsp/ops.h"
+
+namespace wlan::dsp {
+namespace {
+
+TEST(Fft, PowerOfTwoPredicate) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_TRUE(is_power_of_two(128));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_FALSE(is_power_of_two(63));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  CVec x(48, Cplx{1.0, 0.0});
+  EXPECT_THROW(fft_inplace(x), ContractError);
+}
+
+TEST(Fft, ImpulseIsFlat) {
+  CVec x(64, Cplx{0.0, 0.0});
+  x[0] = 1.0;
+  const CVec y = fft(x);
+  for (const auto& v : y) EXPECT_NEAR(std::abs(v - Cplx(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Fft, DcGoesToBinZero) {
+  CVec x(32, Cplx{1.0, 0.0});
+  const CVec y = fft(x);
+  EXPECT_NEAR(std::abs(y[0] - Cplx(32.0, 0.0)), 0.0, 1e-10);
+  for (std::size_t k = 1; k < 32; ++k) EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-10);
+}
+
+TEST(Fft, ComplexExponentialHitsItsBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double arg = 2.0 * std::numbers::pi * static_cast<double>(bin * i) /
+                       static_cast<double>(n);
+    x[i] = {std::cos(arg), std::sin(arg)};
+  }
+  const CVec y = fft(x);
+  EXPECT_NEAR(std::abs(y[bin]), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != bin) {
+      EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(Fft, IfftRoundTrip) {
+  Rng rng(1);
+  CVec x(128);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  const CVec y = ifft(fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, Linearity) {
+  Rng rng(2);
+  CVec a(64);
+  CVec b(64);
+  for (auto& v : a) v = rng.cgaussian(1.0);
+  for (auto& v : b) v = rng.cgaussian(1.0);
+  CVec sum(64);
+  for (std::size_t i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + b[i];
+  const CVec fa = fft(a);
+  const CVec fb = fft(b);
+  const CVec fsum = fft(sum);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(fsum[i] - (2.0 * fa[i] + fb[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, Parseval) {
+  Rng rng(3);
+  CVec x(256);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  const CVec y = fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-8 * time_energy);
+}
+
+TEST(Ops, ConvolveKnown) {
+  const CVec a = {Cplx{1, 0}, Cplx{2, 0}};
+  const CVec b = {Cplx{1, 0}, Cplx{0, 0}, Cplx{3, 0}};
+  const CVec c = convolve(a, b);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c[0].real(), 1.0, 1e-14);
+  EXPECT_NEAR(c[1].real(), 2.0, 1e-14);
+  EXPECT_NEAR(c[2].real(), 3.0, 1e-14);
+  EXPECT_NEAR(c[3].real(), 6.0, 1e-14);
+}
+
+TEST(Ops, ConvolveIdentity) {
+  Rng rng(4);
+  CVec x(20);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  const CVec delta = {Cplx{1, 0}};
+  const CVec y = convolve(x, delta);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-14);
+  }
+}
+
+TEST(Ops, CrossCorrelatePeakAtAlignment) {
+  Rng rng(5);
+  CVec ref(16);
+  for (auto& v : ref) v = rng.cgaussian(1.0);
+  CVec x(64, Cplx{0.0, 0.0});
+  const std::size_t offset = 23;
+  for (std::size_t i = 0; i < ref.size(); ++i) x[offset + i] = ref[i];
+  const CVec corr = cross_correlate(x, ref);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < corr.size(); ++k) {
+    if (std::abs(corr[k]) > std::abs(corr[peak])) peak = k;
+  }
+  EXPECT_EQ(peak, offset);
+}
+
+TEST(Ops, MeanAndPeakPower) {
+  const CVec x = {Cplx{1, 0}, Cplx{0, 2}, Cplx{1, 0}};
+  EXPECT_NEAR(mean_power(x), (1.0 + 4.0 + 1.0) / 3.0, 1e-14);
+  EXPECT_NEAR(peak_power(x), 4.0, 1e-14);
+  EXPECT_EQ(mean_power(CVec{}), 0.0);
+}
+
+TEST(Ops, PaprOfConstantEnvelopeIsZeroDb) {
+  CVec x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double arg = 0.1 * static_cast<double>(i);
+    x[i] = {std::cos(arg), std::sin(arg)};
+  }
+  EXPECT_NEAR(papr_db(x), 0.0, 1e-10);
+}
+
+TEST(Ops, PaprOfTwoToneIs3Db) {
+  // Sum of two equal tones: peak power 4, mean power 2 -> 3 dB.
+  CVec x(1024);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a1 = 2.0 * std::numbers::pi * 3.0 * static_cast<double>(i) / 1024.0;
+    const double a2 = 2.0 * std::numbers::pi * 7.0 * static_cast<double>(i) / 1024.0;
+    x[i] = Cplx{std::cos(a1), std::sin(a1)} + Cplx{std::cos(a2), std::sin(a2)};
+  }
+  EXPECT_NEAR(papr_db(x), 3.01, 0.05);
+}
+
+TEST(Ops, NormalizePower) {
+  Rng rng(6);
+  CVec x(1000);
+  for (auto& v : x) v = rng.cgaussian(5.0);
+  normalize_power(x, 2.0);
+  EXPECT_NEAR(mean_power(x), 2.0, 1e-12);
+}
+
+TEST(Ops, PowerCcdfMonotoneNonIncreasing) {
+  Rng rng(7);
+  CVec x(20000);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  const RVec thresholds = {0.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+  const RVec ccdf = power_ccdf(x, thresholds);
+  for (std::size_t i = 0; i + 1 < ccdf.size(); ++i) {
+    EXPECT_GE(ccdf[i], ccdf[i + 1]);
+  }
+  // Complex Gaussian: P(|x|^2 > mean) = 1/e.
+  EXPECT_NEAR(ccdf[0], std::exp(-1.0), 0.02);
+}
+
+}  // namespace
+}  // namespace wlan::dsp

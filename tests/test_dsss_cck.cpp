@@ -1,0 +1,225 @@
+// Tests for the DSSS (Barker) and CCK modems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "dsp/ops.h"
+#include "phy/cck.h"
+#include "phy/dsss.h"
+
+namespace wlan::phy {
+namespace {
+
+TEST(Barker, AutocorrelationSidelobesBoundedByOne) {
+  // The defining Barker property: aperiodic autocorrelation sidelobes have
+  // magnitude <= 1 (they alternate 0 and -1 for length 11), against a
+  // mainlobe of 11.
+  for (int shift = 1; shift < 11; ++shift) {
+    double acc = 0.0;
+    for (int i = 0; i + shift < 11; ++i) {
+      acc += kBarker11[static_cast<std::size_t>(i)] *
+             kBarker11[static_cast<std::size_t>(i + shift)];
+    }
+    EXPECT_LE(std::abs(acc), 1.0 + 1e-12) << "shift " << shift;
+    const double expected = (shift % 2 == 0) ? -1.0 : 0.0;
+    EXPECT_NEAR(acc, expected, 1e-12) << "shift " << shift;
+  }
+}
+
+class DsssRates : public ::testing::TestWithParam<DsssRate> {};
+
+TEST_P(DsssRates, NoiselessRoundTrip) {
+  const DsssModem modem({GetParam(), true});
+  Rng rng(1);
+  const Bits bits = rng.random_bits(400);
+  const CVec chips = modem.modulate(bits);
+  EXPECT_EQ(modem.demodulate(chips), bits);
+}
+
+TEST_P(DsssRates, UnspreadRoundTrip) {
+  const DsssModem modem({GetParam(), false});
+  Rng rng(2);
+  const Bits bits = rng.random_bits(200);
+  EXPECT_EQ(modem.demodulate(modem.modulate(bits)), bits);
+}
+
+TEST_P(DsssRates, HighSnrRoundTrip) {
+  const DsssModem modem({GetParam(), true});
+  Rng rng(3);
+  const Bits bits = rng.random_bits(500);
+  CVec chips = modem.modulate(bits);
+  channel::add_awgn_snr(chips, rng, 15.0);
+  EXPECT_EQ(modem.demodulate(chips), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRates, DsssRates,
+                         ::testing::Values(DsssRate::k1Mbps, DsssRate::k2Mbps));
+
+TEST(Dsss, ChipCountsAndLayout) {
+  const DsssModem spread({DsssRate::k1Mbps, true});
+  EXPECT_EQ(spread.chips_per_symbol(), 11u);
+  const DsssModem narrow({DsssRate::k1Mbps, false});
+  EXPECT_EQ(narrow.chips_per_symbol(), 1u);
+  const CVec wave = spread.modulate(Bits{1, 0, 1});
+  EXPECT_EQ(wave.size(), 4u * 11u);  // reference + 3 data symbols
+}
+
+TEST(Dsss, ConstantEnvelopeChips) {
+  const DsssModem modem({DsssRate::k2Mbps, true});
+  Rng rng(4);
+  const CVec wave = modem.modulate(rng.random_bits(100));
+  for (const auto& chip : wave) EXPECT_NEAR(std::abs(chip), 1.0, 1e-12);
+}
+
+TEST(Dsss, DbpskBerNearTheory) {
+  // DBPSK BER = 0.5 exp(-Eb/N0). Despreading integrates 11 chips, so
+  // Eb/N0 = 11 * chip SNR.
+  Rng rng(5);
+  const DsssModem modem({DsssRate::k1Mbps, true});
+  const double chip_snr_db = -3.0;  // Eb/N0 ~ 7.4 dB
+  std::size_t errors = 0;
+  std::size_t total = 0;
+  for (int p = 0; p < 40; ++p) {
+    const Bits bits = rng.random_bits(500);
+    CVec chips = modem.modulate(bits);
+    channel::add_awgn_snr(chips, rng, chip_snr_db);
+    errors += hamming_distance(modem.demodulate(chips), bits);
+    total += bits.size();
+  }
+  const double ber = static_cast<double>(errors) / static_cast<double>(total);
+  const double ebn0 = 11.0 * db_to_lin(chip_snr_db);
+  const double theory = 0.5 * std::exp(-ebn0);
+  EXPECT_GT(ber, theory * 0.3);
+  EXPECT_LT(ber, theory * 3.0);
+}
+
+TEST(Dsss, ProcessingGainAgainstToneJammer) {
+  // C2 in miniature: with a tone jammer at SIR = -4 dB (jammer stronger
+  // than signal), the spread system still demodulates while the unspread
+  // one breaks. Noise is kept negligible to isolate the jammer.
+  Rng rng(6);
+  const Bits bits = rng.random_bits(600);
+
+  const DsssModem spread({DsssRate::k1Mbps, true});
+  CVec wave = spread.modulate(bits);
+  const double p_sig = dsp::mean_power(wave);
+  channel::add_tone_interferer(wave, rng, p_sig * db_to_lin(4.0), 0.23);
+  channel::add_awgn(wave, rng, p_sig * 1e-4);
+  const std::size_t spread_errors =
+      hamming_distance(spread.demodulate(wave), bits);
+
+  const DsssModem narrow({DsssRate::k1Mbps, false});
+  CVec wave2 = narrow.modulate(bits);
+  const double p_sig2 = dsp::mean_power(wave2);
+  channel::add_tone_interferer(wave2, rng, p_sig2 * db_to_lin(4.0), 0.23);
+  channel::add_awgn(wave2, rng, p_sig2 * 1e-4);
+  const std::size_t narrow_errors =
+      hamming_distance(narrow.demodulate(wave2), bits);
+
+  EXPECT_EQ(spread_errors, 0u);
+  EXPECT_GT(narrow_errors, 50u);
+}
+
+TEST(Cck, BitsPerSymbol) {
+  EXPECT_EQ(cck_bits_per_symbol(CckRate::k5_5Mbps), 4u);
+  EXPECT_EQ(cck_bits_per_symbol(CckRate::k11Mbps), 8u);
+}
+
+TEST(Cck, BaseCodewordUnitModulusChips) {
+  Cplx chips[8];
+  CckModem::base_codeword(0.3, 1.1, 2.5, chips);
+  for (const auto& c : chips) EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Cck, CodewordSetHasGoodCrossCorrelation) {
+  // Distinct (phi2, phi3, phi4) codewords must correlate weakly compared
+  // with the autocorrelation of 8.
+  Cplx a[8];
+  Cplx b[8];
+  CckModem::base_codeword(0.0, 0.0, 0.0, a);
+  double max_cross = 0.0;
+  for (int p2 = 0; p2 < 4; ++p2) {
+    for (int p3 = 0; p3 < 4; ++p3) {
+      for (int p4 = 0; p4 < 4; ++p4) {
+        if (p2 == 0 && p3 == 0 && p4 == 0) continue;
+        CckModem::base_codeword(p2 * 1.5707963, p3 * 1.5707963, p4 * 1.5707963, b);
+        Cplx acc{0.0, 0.0};
+        for (int i = 0; i < 8; ++i) acc += a[i] * std::conj(b[i]);
+        max_cross = std::max(max_cross, std::abs(acc));
+      }
+    }
+  }
+  EXPECT_LT(max_cross, 8.0 * 0.75);
+}
+
+class CckRates : public ::testing::TestWithParam<CckRate> {};
+
+TEST_P(CckRates, NoiselessRoundTrip) {
+  const CckModem modem(GetParam());
+  Rng rng(7);
+  const Bits bits = rng.random_bits(cck_bits_per_symbol(GetParam()) * 150);
+  EXPECT_EQ(modem.demodulate(modem.modulate(bits)), bits);
+}
+
+TEST_P(CckRates, ModerateSnrRoundTrip) {
+  const CckModem modem(GetParam());
+  Rng rng(8);
+  const Bits bits = rng.random_bits(cck_bits_per_symbol(GetParam()) * 200);
+  CVec chips = modem.modulate(bits);
+  channel::add_awgn_snr(chips, rng, 12.0);
+  const std::size_t errors = hamming_distance(modem.demodulate(chips), bits);
+  EXPECT_EQ(errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRates, CckRates,
+                         ::testing::Values(CckRate::k5_5Mbps, CckRate::k11Mbps));
+
+TEST(Cck, ElevenMbpsNeedsMoreSnrThanFiveFive) {
+  // Denser signal set -> worse BER at equal chip SNR.
+  Rng rng(9);
+  const double snr_db = 5.0;
+  std::size_t errors55 = 0;
+  std::size_t errors11 = 0;
+  std::size_t bits55 = 0;
+  std::size_t bits11 = 0;
+  for (int p = 0; p < 30; ++p) {
+    {
+      const CckModem modem(CckRate::k5_5Mbps);
+      const Bits bits = rng.random_bits(4 * 100);
+      CVec chips = modem.modulate(bits);
+      channel::add_awgn_snr(chips, rng, snr_db);
+      errors55 += hamming_distance(modem.demodulate(chips), bits);
+      bits55 += bits.size();
+    }
+    {
+      const CckModem modem(CckRate::k11Mbps);
+      const Bits bits = rng.random_bits(8 * 100);
+      CVec chips = modem.modulate(bits);
+      channel::add_awgn_snr(chips, rng, snr_db);
+      errors11 += hamming_distance(modem.demodulate(chips), bits);
+      bits11 += bits.size();
+    }
+  }
+  const double ber55 = static_cast<double>(errors55) / bits55;
+  const double ber11 = static_cast<double>(errors11) / bits11;
+  EXPECT_LT(ber55, ber11);
+}
+
+TEST(Cck, WaveformLayout) {
+  const CckModem modem(CckRate::k11Mbps);
+  const CVec wave = modem.modulate(Bits(16, 0));
+  EXPECT_EQ(wave.size(), (2u + 1u) * 8u);  // reference + 2 symbols
+}
+
+TEST(Cck, RejectsRaggedBitCount) {
+  const CckModem modem(CckRate::k11Mbps);
+  EXPECT_THROW(modem.modulate(Bits(12, 0)), ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::phy

@@ -1,0 +1,218 @@
+// Edge cases and failure-injection across modules: the inputs that break
+// sloppy implementations (tiny/huge payloads, degenerate configs, total
+// channel loss, boundary sizes).
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/link.h"
+#include "dsp/ops.h"
+#include "mac/dcf.h"
+#include "mac/psm.h"
+#include "phy/ht.h"
+#include "phy/ldpc.h"
+#include "phy/ofdm.h"
+#include "phy/plcp.h"
+
+namespace wlan {
+namespace {
+
+class OfdmTinyPsdu : public ::testing::TestWithParam<phy::OfdmMcs> {};
+
+TEST_P(OfdmTinyPsdu, OneBytePsduRoundTrips) {
+  const phy::OfdmPhy phy(GetParam());
+  Rng rng(1);
+  const Bytes psdu = rng.random_bytes(1);
+  const CVec wave = phy.transmit(psdu);
+  EXPECT_EQ(phy.receive(wave, 1, 1e-9), psdu);
+  // One byte always fits one symbol at any MCS.
+  EXPECT_EQ(phy.n_symbols_for_psdu(1),
+            (16 + 8 + 6 + phy.info().n_dbps - 1) / phy.info().n_dbps);
+}
+
+TEST_P(OfdmTinyPsdu, MaxLengthPsduRoundTrips) {
+  const phy::OfdmPhy phy(GetParam());
+  Rng rng(2);
+  const Bytes psdu = rng.random_bytes(2304);  // max MSDU-ish size
+  const CVec wave = phy.transmit(psdu);
+  EXPECT_EQ(phy.receive(wave, psdu.size(), 1e-9), psdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, OfdmTinyPsdu,
+                         ::testing::Values(phy::OfdmMcs::k6Mbps,
+                                           phy::OfdmMcs::k24Mbps,
+                                           phy::OfdmMcs::k54Mbps));
+
+TEST(OfdmEdge, MinimalPaddingCase) {
+  // Choose a size leaving the fewest possible pad bits at 6 Mbps
+  // (n_dbps 24: 16+8B+6 mod 24 maximal): verify the prefix decode is
+  // insensitive to the pad count.
+  const phy::OfdmPhy phy(phy::OfdmMcs::k6Mbps);
+  Rng rng(3);
+  for (std::size_t bytes = 1; bytes <= 12; ++bytes) {
+    const Bytes psdu = rng.random_bytes(bytes);
+    const CVec wave = phy.transmit(psdu);
+    EXPECT_EQ(phy.receive(wave, bytes, 1e-9), psdu) << bytes << " bytes";
+  }
+}
+
+TEST(HtEdge, OneByteAndOddSizes) {
+  for (const std::size_t bytes : {1u, 3u, 17u, 255u}) {
+    phy::HtConfig cfg;
+    cfg.mcs = 15;
+    const phy::HtPhy phy(cfg);
+    Rng rng(4 + bytes);
+    const Bytes psdu = rng.random_bytes(bytes);
+    const auto tones = phy.draw_channel(rng, channel::DelayProfile::kFlat);
+    EXPECT_EQ(phy.simulate_link(psdu, tones, 55.0, rng), psdu)
+        << bytes << " bytes";
+  }
+}
+
+TEST(HtEdge, ExtraReceiveAntennasAllStreamCounts) {
+  // n_rx strictly greater than n_ss for every stream count.
+  for (const unsigned mcs : {0u, 8u, 16u, 24u}) {
+    phy::HtConfig cfg;
+    cfg.mcs = mcs;
+    cfg.n_rx = phy::ht_mcs_info(mcs).n_ss + 2;
+    const phy::HtPhy phy(cfg);
+    Rng rng(50 + mcs);
+    const Bytes psdu = rng.random_bytes(64);
+    const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+    EXPECT_EQ(phy.simulate_link(psdu, tones, 45.0, rng), psdu) << "mcs " << mcs;
+  }
+}
+
+TEST(HtEdge, LdpcWithTinyPayloadPadsWholeCodeword) {
+  phy::HtConfig cfg;
+  cfg.mcs = 0;
+  cfg.coding = phy::HtCoding::kLdpc;
+  const phy::HtPhy phy(cfg);
+  Rng rng(5);
+  const Bytes psdu = rng.random_bytes(2);
+  const auto tones = phy.draw_channel(rng, channel::DelayProfile::kFlat);
+  EXPECT_EQ(phy.simulate_link(psdu, tones, 40.0, rng), psdu);
+}
+
+TEST(DsssEdge, SingleBitPayload) {
+  const phy::DsssModem modem({phy::DsssRate::k1Mbps, true});
+  const Bits bits = {1};
+  EXPECT_EQ(modem.demodulate(modem.modulate(bits)), bits);
+}
+
+TEST(CckEdge, SingleSymbolPayload) {
+  const phy::CckModem modem(phy::CckRate::k11Mbps);
+  Rng rng(6);
+  const Bits bits = rng.random_bits(8);
+  EXPECT_EQ(modem.demodulate(modem.modulate(bits)), bits);
+}
+
+TEST(PlcpEdge, OneBytePsduOverHrPpdu) {
+  Rng rng(7);
+  const Bytes psdu = {0xA5};
+  CVec chips = phy::hr_transmit_ppdu(phy::CckRate::k5_5Mbps, psdu);
+  channel::add_awgn_snr(chips, rng, 18.0);
+  const auto decoded = phy::hr_receive_ppdu(chips);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, psdu);
+}
+
+TEST(PlcpEdge, LengthExtensionBoundaryBytes) {
+  // Sizes around the 11 Mbps microsecond-granularity ambiguity.
+  Rng rng(8);
+  for (const std::size_t bytes : {3u, 4u, 11u, 12u, 13u, 1499u, 1500u}) {
+    const Bits header = phy::encode_plcp_header(phy::HrRate::k11Mbps, bytes);
+    const auto decoded = phy::decode_plcp_header(header);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->length_bytes, bytes) << bytes;
+  }
+}
+
+TEST(LdpcEdge, ConstructionAcrossSeedsStaysFullRank) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 99u, 1234u}) {
+    const phy::LdpcCode code(324, 162, seed);
+    Rng rng(seed);
+    const Bits info = rng.random_bits(162);
+    EXPECT_TRUE(code.satisfies_parity(code.encode(info))) << "seed " << seed;
+  }
+}
+
+TEST(LdpcEdge, HighRateCodeStillWorks) {
+  // Rate 5/6 leaves few checks; construction and decoding must hold up.
+  const phy::LdpcCode code(648, 540, 7);
+  Rng rng(9);
+  const Bits info = rng.random_bits(540);
+  const Bits cw = code.encode(info);
+  RVec llrs(648);
+  for (std::size_t i = 0; i < 648; ++i) llrs[i] = cw[i] ? -6.0 : 6.0;
+  const auto res = code.decode(llrs);
+  EXPECT_TRUE(res.parity_ok);
+  EXPECT_EQ(res.info, info);
+}
+
+TEST(DcfEdge, ZeroRetryLimitDropsOnFirstFailure) {
+  Rng rng(10);
+  mac::DcfConfig cfg;
+  cfg.retry_limit = 0;
+  cfg.packet_error_rate = 0.5;
+  cfg.duration_s = 1.0;
+  const auto r = mac::simulate_dcf(cfg, rng);
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_GT(r.delivered_frames, 0u);
+}
+
+TEST(DcfEdge, TotalLossDeliversNothing) {
+  Rng rng(11);
+  mac::DcfConfig cfg;
+  cfg.packet_error_rate = 1.0;
+  cfg.duration_s = 0.5;
+  const auto r = mac::simulate_dcf(cfg, rng);
+  EXPECT_EQ(r.delivered_frames, 0u);
+  EXPECT_EQ(r.throughput_mbps, 0.0);
+  EXPECT_GT(r.dropped, 0u);
+}
+
+TEST(DcfEdge, VeryShortRunIsSane) {
+  Rng rng(12);
+  mac::DcfConfig cfg;
+  cfg.duration_s = 1e-3;  // barely one exchange
+  const auto r = mac::simulate_dcf(cfg, rng);
+  EXPECT_LE(r.delivered_frames, 3u);
+}
+
+TEST(PsmEdge, ZeroTrafficDozesAlmostAlways) {
+  Rng rng(13);
+  mac::PsmConfig cfg;
+  cfg.psm_enabled = true;
+  cfg.arrival_rate_pps = 0.0;
+  cfg.duration_s = 10.0;
+  const auto r = mac::simulate_psm(cfg, rng);
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_GT(r.time_doze_s / cfg.duration_s, 0.95);
+}
+
+TEST(LinkEdge, ZeroSnrStillRuns) {
+  Rng rng(14);
+  const LinkResult r = run_ofdm_link(phy::OfdmMcs::k6Mbps, 50, 5, 0.0, rng);
+  EXPECT_EQ(r.packets, 5u);
+}
+
+TEST(LinkEdge, ExtremeNegativeSnrIsAllErrors) {
+  Rng rng(15);
+  const LinkResult r = run_ofdm_link(phy::OfdmMcs::k54Mbps, 100, 5, -20.0, rng);
+  EXPECT_EQ(r.packet_errors, 5u);
+  EXPECT_GT(r.ber(), 0.2);
+}
+
+TEST(WaveformEdge, NormalizeEmptyAndZeroIsSafe) {
+  CVec empty;
+  dsp::normalize_power(empty);
+  CVec zeros(8, Cplx{0.0, 0.0});
+  dsp::normalize_power(zeros, 5.0);
+  for (const auto& v : zeros) EXPECT_EQ(v, Cplx(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace wlan

@@ -1,0 +1,131 @@
+// Tests for MAC frame encoding/decoding with FCS.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mac/frames.h"
+
+namespace wlan::mac {
+namespace {
+
+MacAddress addr(std::uint32_t id) { return MacAddress::from_station_id(id); }
+
+TEST(MacAddressTest, StationIdsAreDistinct) {
+  EXPECT_EQ(addr(7), addr(7));
+  EXPECT_FALSE(addr(7) == addr(8));
+  EXPECT_EQ(addr(1).octets[0], 0x02);  // locally administered bit
+}
+
+TEST(Frames, DataRoundTrip) {
+  Rng rng(1);
+  Frame f;
+  f.type = FrameType::kData;
+  f.duration_us = 314;
+  f.addr1 = addr(1);
+  f.addr2 = addr(2);
+  f.addr3 = addr(3);
+  f.sequence = 777;
+  f.retry = true;
+  f.payload = rng.random_bytes(1500);
+  const Bytes mpdu = encode_frame(f);
+  EXPECT_EQ(mpdu.size(), mpdu_size_bytes(FrameType::kData, 1500));
+  const auto decoded = decode_frame(mpdu);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kData);
+  EXPECT_EQ(decoded->duration_us, 314);
+  EXPECT_EQ(decoded->addr1, f.addr1);
+  EXPECT_EQ(decoded->addr2, f.addr2);
+  EXPECT_EQ(decoded->addr3, f.addr3);
+  EXPECT_EQ(decoded->sequence, 777);
+  EXPECT_TRUE(decoded->retry);
+  EXPECT_EQ(decoded->payload, f.payload);
+}
+
+class ControlFrames : public ::testing::TestWithParam<FrameType> {};
+
+TEST_P(ControlFrames, RoundTrip) {
+  Frame f;
+  f.type = GetParam();
+  f.duration_us = 44;
+  f.addr1 = addr(9);
+  if (GetParam() == FrameType::kRts) f.addr2 = addr(10);
+  const Bytes mpdu = encode_frame(f);
+  const auto decoded = decode_frame(mpdu);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, GetParam());
+  EXPECT_EQ(decoded->addr1, f.addr1);
+  EXPECT_EQ(decoded->duration_us, 44);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, ControlFrames,
+                         ::testing::Values(FrameType::kAck, FrameType::kRts,
+                                           FrameType::kCts));
+
+TEST(Frames, BeaconCarriesPayload) {
+  Frame f;
+  f.type = FrameType::kBeacon;
+  f.addr1 = addr(0xFFFFFF);
+  f.addr2 = addr(1);
+  f.addr3 = addr(1);
+  f.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto decoded = decode_frame(encode_frame(f));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kBeacon);
+  EXPECT_EQ(decoded->payload, f.payload);
+}
+
+TEST(Frames, KnownSizes) {
+  EXPECT_EQ(mpdu_size_bytes(FrameType::kAck, 0), 14u);
+  EXPECT_EQ(mpdu_size_bytes(FrameType::kCts, 0), 14u);
+  EXPECT_EQ(mpdu_size_bytes(FrameType::kRts, 0), 20u);
+  EXPECT_EQ(mpdu_size_bytes(FrameType::kData, 1500), 1528u);
+}
+
+TEST(Frames, FcsDetectsEveryTestedCorruption) {
+  Rng rng(2);
+  Frame f;
+  f.type = FrameType::kData;
+  f.addr1 = addr(1);
+  f.addr2 = addr(2);
+  f.addr3 = addr(3);
+  f.payload = rng.random_bytes(100);
+  const Bytes clean = encode_frame(f);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes corrupt = clean;
+    const std::size_t pos = rng.uniform_int(corrupt.size());
+    corrupt[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    EXPECT_FALSE(decode_frame(corrupt).has_value()) << "flip at " << pos;
+  }
+}
+
+TEST(Frames, ControlFramesRejectPayload) {
+  Frame f;
+  f.type = FrameType::kAck;
+  f.payload = {1, 2, 3};
+  EXPECT_THROW(encode_frame(f), ContractError);
+}
+
+TEST(Frames, ShortOrGarbageInputRejected) {
+  EXPECT_FALSE(decode_frame(Bytes(5, 0)).has_value());
+  Rng rng(3);
+  const Bytes garbage = rng.random_bytes(64);
+  EXPECT_FALSE(decode_frame(garbage).has_value());
+}
+
+TEST(Frames, SequenceNumberField) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.addr1 = addr(1);
+  f.addr2 = addr(2);
+  f.addr3 = addr(3);
+  f.payload = {0x42};
+  for (const std::uint16_t seq : {0u, 1u, 4095u}) {
+    f.sequence = seq;
+    const auto decoded = decode_frame(encode_frame(f));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->sequence, seq);
+  }
+}
+
+}  // namespace
+}  // namespace wlan::mac

@@ -1,0 +1,359 @@
+// Tests for the 802.11n HT MIMO PHY.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/mimo.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "phy/ht.h"
+
+namespace wlan::phy {
+namespace {
+
+TEST(HtMcsTable, HeadlineRates) {
+  // MCS 7: 64-QAM 5/6, 1 stream, 20 MHz long GI = 65 Mbps.
+  EXPECT_NEAR(ht_data_rate_mbps(7, HtBandwidth::k20MHz, HtGuardInterval::kLong),
+              65.0, 1e-9);
+  // MCS 15: 2 streams, 40 MHz short GI = 300 Mbps.
+  EXPECT_NEAR(ht_data_rate_mbps(15, HtBandwidth::k40MHz, HtGuardInterval::kShort),
+              300.0, 1e-9);
+  // MCS 31: 4 streams, 40 MHz short GI = 600 Mbps — the paper's headline.
+  EXPECT_NEAR(ht_data_rate_mbps(31, HtBandwidth::k40MHz, HtGuardInterval::kShort),
+              600.0, 1e-9);
+  // MCS 0: BPSK 1/2 single stream = 6.5 Mbps.
+  EXPECT_NEAR(ht_data_rate_mbps(0, HtBandwidth::k20MHz, HtGuardInterval::kLong),
+              6.5, 1e-9);
+}
+
+TEST(HtMcsTable, StreamsFromIndex) {
+  EXPECT_EQ(ht_mcs_info(0).n_ss, 1u);
+  EXPECT_EQ(ht_mcs_info(8).n_ss, 2u);
+  EXPECT_EQ(ht_mcs_info(23).n_ss, 3u);
+  EXPECT_EQ(ht_mcs_info(31).n_ss, 4u);
+  EXPECT_THROW(ht_mcs_info(32), wlan::ContractError);
+}
+
+TEST(HtMcsTable, ToneCountsAndSymbolDurations) {
+  EXPECT_EQ(ht_data_tones(HtBandwidth::k20MHz), 52u);
+  EXPECT_EQ(ht_data_tones(HtBandwidth::k40MHz), 108u);
+  EXPECT_EQ(ht_fft_size(HtBandwidth::k20MHz), 64u);
+  EXPECT_EQ(ht_fft_size(HtBandwidth::k40MHz), 128u);
+  EXPECT_DOUBLE_EQ(ht_symbol_duration_s(HtGuardInterval::kLong), 4e-6);
+  EXPECT_DOUBLE_EQ(ht_symbol_duration_s(HtGuardInterval::kShort), 3.6e-6);
+}
+
+TEST(HtPhy, SpectralEfficiencyReaches15) {
+  HtConfig cfg;
+  cfg.mcs = 31;
+  cfg.bandwidth = HtBandwidth::k40MHz;
+  cfg.guard = HtGuardInterval::kShort;
+  cfg.n_rx = 4;
+  const HtPhy phy(cfg);
+  EXPECT_NEAR(phy.spectral_efficiency_bps_hz(), 15.0, 1e-9);
+}
+
+TEST(HtPhy, ConfigValidation) {
+  HtConfig bad;
+  bad.mcs = 8;  // 2 streams
+  bad.n_rx = 1; // fewer rx antennas than streams
+  EXPECT_THROW(HtPhy{bad}, wlan::ContractError);
+
+  HtConfig stbc;
+  stbc.mcs = 9;  // 2 streams not allowed for STBC mode
+  stbc.scheme = SpatialScheme::kStbc;
+  EXPECT_THROW(HtPhy{stbc}, wlan::ContractError);
+}
+
+TEST(HtPhy, AntennaDefaults) {
+  HtConfig cfg;
+  cfg.mcs = 16;  // 3 streams
+  const HtPhy phy(cfg);
+  EXPECT_EQ(phy.n_tx(), 3u);
+  EXPECT_EQ(phy.n_rx(), 3u);
+
+  HtConfig mrc;
+  mrc.mcs = 0;
+  mrc.scheme = SpatialScheme::kMrc;
+  mrc.n_rx = 4;
+  const HtPhy phy2(mrc);
+  EXPECT_EQ(phy2.n_tx(), 1u);
+  EXPECT_EQ(phy2.n_rx(), 4u);
+}
+
+struct HtCase {
+  unsigned mcs;
+  HtBandwidth bw;
+  HtGuardInterval gi;
+  HtCoding coding;
+};
+
+class HtLoopback : public ::testing::TestWithParam<HtCase> {};
+
+TEST_P(HtLoopback, HighSnrFlatChannelRoundTrip) {
+  const auto param = GetParam();
+  HtConfig cfg;
+  cfg.mcs = param.mcs;
+  cfg.bandwidth = param.bw;
+  cfg.guard = param.gi;
+  cfg.coding = param.coding;
+  const HtPhy phy(cfg);
+  Rng rng(10 + param.mcs);
+  const Bytes psdu = rng.random_bytes(300);
+  const auto tones = phy.draw_channel(rng, channel::DelayProfile::kFlat);
+  const Bytes decoded = phy.simulate_link(psdu, tones, 60.0, rng);
+  EXPECT_EQ(decoded, psdu);
+}
+
+TEST_P(HtLoopback, HighSnrMultipathRoundTrip) {
+  const auto param = GetParam();
+  HtConfig cfg;
+  cfg.mcs = param.mcs;
+  cfg.bandwidth = param.bw;
+  cfg.guard = param.gi;
+  cfg.coding = param.coding;
+  const HtPhy phy(cfg);
+  Rng rng(100 + param.mcs);
+  const Bytes psdu = rng.random_bytes(200);
+  const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+  const Bytes decoded = phy.simulate_link(psdu, tones, 55.0, rng);
+  EXPECT_EQ(decoded, psdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    McsSweep, HtLoopback,
+    ::testing::Values(
+        HtCase{0, HtBandwidth::k20MHz, HtGuardInterval::kLong, HtCoding::kBcc},
+        HtCase{3, HtBandwidth::k20MHz, HtGuardInterval::kLong, HtCoding::kBcc},
+        HtCase{7, HtBandwidth::k20MHz, HtGuardInterval::kShort, HtCoding::kBcc},
+        HtCase{8, HtBandwidth::k20MHz, HtGuardInterval::kLong, HtCoding::kBcc},
+        HtCase{15, HtBandwidth::k40MHz, HtGuardInterval::kShort, HtCoding::kBcc},
+        HtCase{21, HtBandwidth::k20MHz, HtGuardInterval::kLong, HtCoding::kBcc},
+        HtCase{31, HtBandwidth::k40MHz, HtGuardInterval::kShort, HtCoding::kBcc},
+        HtCase{0, HtBandwidth::k20MHz, HtGuardInterval::kLong, HtCoding::kLdpc},
+        HtCase{12, HtBandwidth::k20MHz, HtGuardInterval::kLong, HtCoding::kLdpc},
+        HtCase{31, HtBandwidth::k40MHz, HtGuardInterval::kShort, HtCoding::kLdpc}));
+
+// Exhaustive property sweep: every one of the 32 HT MCS indices must
+// round-trip at high SNR with its default antenna configuration.
+class HtEveryMcs : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HtEveryMcs, DecodesAtHighSnr) {
+  HtConfig cfg;
+  cfg.mcs = GetParam();
+  const HtPhy phy(cfg);
+  Rng rng(1000 + GetParam());
+  const Bytes psdu = rng.random_bytes(120);
+  const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+  EXPECT_EQ(phy.simulate_link(psdu, tones, 55.0, rng), psdu);
+}
+
+TEST_P(HtEveryMcs, RateConsistentWithComposition) {
+  const HtMcsInfo info = ht_mcs_info(GetParam());
+  const double rate =
+      ht_data_rate_mbps(GetParam(), HtBandwidth::k20MHz, HtGuardInterval::kLong);
+  const double expected = static_cast<double>(52 * info.n_bpsc * info.n_ss) *
+                          code_rate_value(info.rate) / 4.0;
+  EXPECT_NEAR(rate, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(All32, HtEveryMcs, ::testing::Range(0u, 32u));
+
+TEST(HtPhy, ZfAndMmseBothDecodeCleanChannels) {
+  for (const MimoDetector det : {MimoDetector::kZeroForcing, MimoDetector::kMmse}) {
+    HtConfig cfg;
+    cfg.mcs = 11;  // 2 streams 16-QAM 1/2
+    cfg.detector = det;
+    const HtPhy phy(cfg);
+    Rng rng(42);
+    const Bytes psdu = rng.random_bytes(150);
+    const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+    EXPECT_EQ(phy.simulate_link(psdu, tones, 50.0, rng), psdu);
+  }
+}
+
+TEST(HtPhy, SicDecodesCleanChannels) {
+  HtConfig cfg;
+  cfg.mcs = 12;  // 16-QAM 3/4, 2 streams
+  cfg.detector = MimoDetector::kMmseSic;
+  const HtPhy phy(cfg);
+  Rng rng(52);
+  const Bytes psdu = rng.random_bytes(200);
+  const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+  EXPECT_EQ(phy.simulate_link(psdu, tones, 50.0, rng), psdu);
+}
+
+TEST(HtPhy, SicErrorPropagationShowsInCodedPer) {
+  // The ablation finding this test pins down: hard-decision ordered SIC
+  // improves raw symbol detection, but in a *coded* block-fading link the
+  // wrong-slice cancellations corrupt whole tones with overconfident
+  // LLRs, so soft one-shot MMSE wins at the waterfall. (The literature's
+  // V-BLAST gains are uncoded-SER gains.) SIC must still work — its PER
+  // has to fall with SNR — it just should not be reported as a free win.
+  Rng rng(53);
+  auto per_with = [&](MimoDetector det, double snr) {
+    HtConfig cfg;
+    cfg.mcs = 11;  // 2 streams 16-QAM 1/2
+    cfg.detector = det;
+    const HtPhy phy(cfg);
+    int errors = 0;
+    const int packets = 100;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(100);
+      const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+      if (phy.simulate_link(psdu, tones, snr, rng) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  const double sic_low = per_with(MimoDetector::kMmseSic, 14.0);
+  const double sic_high = per_with(MimoDetector::kMmseSic, 23.0);
+  const double mmse_high = per_with(MimoDetector::kMmse, 23.0);
+  EXPECT_LT(sic_high, sic_low);        // SIC improves with SNR
+  EXPECT_LE(mmse_high, sic_high);      // soft MMSE wins the coded contest
+}
+
+TEST(HtPhy, MmseBeatsZfAtLowSnr) {
+  // 2x2 spatial multiplexing in fading: MMSE should lose fewer packets.
+  Rng rng(43);
+  auto per_with = [&](MimoDetector det) {
+    HtConfig cfg;
+    cfg.mcs = 9;  // QPSK 1/2, 2 streams
+    cfg.detector = det;
+    const HtPhy phy(cfg);
+    int errors = 0;
+    const int packets = 60;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(100);
+      const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+      if (phy.simulate_link(psdu, tones, 12.0, rng) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  const double per_zf = per_with(MimoDetector::kZeroForcing);
+  const double per_mmse = per_with(MimoDetector::kMmse);
+  EXPECT_LE(per_mmse, per_zf + 0.05);
+}
+
+TEST(HtPhy, DiversitySchemesBeatSisoInFading) {
+  // At an SNR where SISO fades badly, MRC/STBC must cut PER sharply
+  // (the paper's range-extension mechanism).
+  Rng rng(44);
+  auto per_for = [&](SpatialScheme scheme, std::size_t n_rx) {
+    HtConfig cfg;
+    cfg.mcs = 3;  // 16-QAM 1/2, single stream
+    cfg.scheme = scheme;
+    cfg.n_rx = n_rx;
+    const HtPhy phy(cfg);
+    int errors = 0;
+    const int packets = 80;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(100);
+      const auto tones = phy.draw_channel(rng, channel::DelayProfile::kFlat);
+      if (phy.simulate_link(psdu, tones, 14.0, rng) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  const double per_siso = per_for(SpatialScheme::kDirectMap, 1);
+  const double per_mrc = per_for(SpatialScheme::kMrc, 2);
+  const double per_stbc = per_for(SpatialScheme::kStbc, 1);
+  EXPECT_GT(per_siso, 0.1);            // flat Rayleigh hurts SISO
+  EXPECT_LT(per_mrc, per_siso * 0.5);  // diversity order 2
+  EXPECT_LT(per_stbc, per_siso);       // order 2 but 3 dB power split
+}
+
+TEST(HtPhy, BeamformingBeatsOpenLoopSingleStream) {
+  Rng rng(45);
+  auto per_for = [&](SpatialScheme scheme, std::size_t n_tx, std::size_t n_rx) {
+    HtConfig cfg;
+    cfg.mcs = 3;
+    cfg.scheme = scheme;
+    cfg.n_tx = n_tx;
+    cfg.n_rx = n_rx;
+    const HtPhy phy(cfg);
+    int errors = 0;
+    const int packets = 60;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(100);
+      const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+      if (phy.simulate_link(psdu, tones, 10.0, rng) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  // 2x1 SVD beamforming vs 1x1.
+  const double per_bf = per_for(SpatialScheme::kBeamforming, 2, 1);
+  const double per_siso = per_for(SpatialScheme::kDirectMap, 0, 1);
+  EXPECT_LT(per_bf, per_siso);
+}
+
+TEST(HtPhy, EstimatedCsiStillDecodesAtHighSnr) {
+  HtConfig cfg;
+  cfg.mcs = 12;  // 2 streams
+  cfg.ideal_csi = false;
+  const HtPhy phy(cfg);
+  Rng rng(60);
+  const Bytes psdu = rng.random_bytes(200);
+  const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+  EXPECT_EQ(phy.simulate_link(psdu, tones, 45.0, rng), psdu);
+}
+
+TEST(HtPhy, EstimatedCsiCostsAFractionOfADecibel) {
+  // HT-LTF estimation noise should cost a little PER at the waterfall —
+  // measurably worse than genie CSI, but nowhere near a collapse.
+  Rng rng(61);
+  auto per_with = [&](bool ideal) {
+    HtConfig cfg;
+    cfg.mcs = 11;  // 16-QAM 1/2, 2 streams
+    cfg.ideal_csi = ideal;
+    const HtPhy phy(cfg);
+    int errors = 0;
+    const int packets = 150;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(100);
+      const auto tones = phy.draw_channel(rng, channel::DelayProfile::kOffice);
+      if (phy.simulate_link(psdu, tones, 17.0, rng) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  const double per_genie = per_with(true);
+  const double per_est = per_with(false);
+  EXPECT_GE(per_est, per_genie - 0.03);  // estimation never helps
+  EXPECT_LT(per_est, per_genie + 0.25);  // and costs only a little
+}
+
+TEST(HtPhy, SymbolCountLdpcVsBcc) {
+  HtConfig bcc;
+  bcc.mcs = 0;
+  const HtPhy phy_bcc(bcc);
+  HtConfig ldpc = bcc;
+  ldpc.coding = HtCoding::kLdpc;
+  const HtPhy phy_ldpc(ldpc);
+  // Both must cover the PSDU; LDPC pads to whole codewords.
+  EXPECT_GE(phy_ldpc.n_symbols_for_psdu(500) + 2,
+            phy_bcc.n_symbols_for_psdu(500));
+}
+
+TEST(HtPhy, PpduDurationIncludesHtPreamble) {
+  HtConfig cfg;
+  cfg.mcs = 31;
+  cfg.bandwidth = HtBandwidth::k40MHz;
+  cfg.guard = HtGuardInterval::kShort;
+  cfg.n_rx = 4;
+  const HtPhy phy(cfg);
+  // Preamble: 32 us + 4 LTFs x 4 us = 48 us minimum.
+  EXPECT_GT(phy.ppdu_duration_s(100), 48e-6);
+}
+
+TEST(HtPhy, ChannelDimensionMismatchThrows) {
+  HtConfig cfg;
+  cfg.mcs = 8;  // 2 streams
+  const HtPhy phy(cfg);
+  Rng rng(46);
+  // Wrong antenna count.
+  const auto tones =
+      channel::mimo_ofdm_channel(rng, 1, 1, channel::DelayProfile::kFlat, 20e6, 64);
+  const Bytes psdu(10, 0);
+  EXPECT_THROW(phy.simulate_link(psdu, tones, 30.0, rng), wlan::ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::phy

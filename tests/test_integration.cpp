@@ -1,0 +1,175 @@
+// Cross-layer integration tests: MAC frames carried over the waveform
+// PHYs through channels, with FCS deciding delivery — the full stack a
+// real NIC runs, end to end.
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "channel/fading.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/abstraction.h"
+#include "core/link.h"
+#include "dsp/ops.h"
+#include "mac/frames.h"
+#include "mesh/mesh.h"
+#include "phy/plcp.h"
+#include "phy/sync.h"
+
+namespace wlan {
+namespace {
+
+mac::Frame make_data_frame(Rng& rng, std::size_t payload) {
+  mac::Frame f;
+  f.type = mac::FrameType::kData;
+  f.addr1 = mac::MacAddress::from_station_id(1);
+  f.addr2 = mac::MacAddress::from_station_id(2);
+  f.addr3 = mac::MacAddress::from_station_id(3);
+  f.sequence = 42;
+  f.payload = rng.random_bytes(payload);
+  return f;
+}
+
+TEST(Integration, MacFrameOverOfdmPpduCleanChannel) {
+  Rng rng(1);
+  const mac::Frame frame = make_data_frame(rng, 700);
+  const Bytes mpdu = mac::encode_frame(frame);
+  CVec wave = phy::ofdm_transmit_ppdu(phy::OfdmMcs::k36Mbps, mpdu);
+  const double nv = dsp::mean_power(wave) / db_to_lin(28.0);
+  channel::add_awgn(wave, rng, nv);
+  const auto psdu = phy::ofdm_receive_ppdu(wave, nv);
+  ASSERT_TRUE(psdu.has_value());
+  const auto decoded = mac::decode_frame(*psdu);
+  ASSERT_TRUE(decoded.has_value()) << "FCS failed after PHY decode";
+  EXPECT_EQ(decoded->payload, frame.payload);
+  EXPECT_EQ(decoded->sequence, frame.sequence);
+  EXPECT_EQ(decoded->addr1, frame.addr1);
+}
+
+TEST(Integration, FcsCatchesResidualPhyErrors) {
+  // At a marginal SNR some PPDUs decode with bit errors; every such PSDU
+  // must be rejected by the FCS — no corrupted frame may pass.
+  Rng rng(2);
+  int delivered = 0;
+  int fcs_rejected = 0;
+  int corrupted_accepted = 0;
+  for (int p = 0; p < 40; ++p) {
+    const mac::Frame frame = make_data_frame(rng, 300);
+    const Bytes mpdu = mac::encode_frame(frame);
+    const phy::OfdmPhy phy(phy::OfdmMcs::k36Mbps);
+    CVec wave = phy.transmit(mpdu);
+    const double nv = dsp::mean_power(wave) / db_to_lin(13.2);
+    channel::add_awgn(wave, rng, nv);
+    const Bytes rx = phy.receive(wave, mpdu.size(), nv);
+    const auto decoded = mac::decode_frame(rx);
+    if (!decoded) {
+      ++fcs_rejected;
+    } else if (decoded->payload == frame.payload) {
+      ++delivered;
+    } else {
+      ++corrupted_accepted;
+    }
+  }
+  EXPECT_EQ(corrupted_accepted, 0);
+  EXPECT_GT(fcs_rejected, 0);
+  EXPECT_GT(delivered, 0);
+}
+
+TEST(Integration, MacFrameOver11bPlcpAndCck) {
+  Rng rng(3);
+  const mac::Frame frame = make_data_frame(rng, 400);
+  const Bytes mpdu = mac::encode_frame(frame);
+  CVec chips = phy::hr_transmit_ppdu(phy::CckRate::k11Mbps, mpdu);
+  channel::add_awgn_snr(chips, rng, 14.0);
+  const auto psdu = phy::hr_receive_ppdu(chips);
+  ASSERT_TRUE(psdu.has_value());
+  const auto decoded = mac::decode_frame(*psdu);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(Integration, FullAcquisitionChainCarriesAMacFrame) {
+  // STF detection + CFO correction + SIGNAL decode + data decode + FCS:
+  // the complete receive path from cold RF samples to a validated frame.
+  Rng rng(4);
+  const mac::Frame frame = make_data_frame(rng, 256);
+  const Bytes mpdu = mac::encode_frame(frame);
+  CVec wave = phy::prepend_stf(
+      phy::ofdm_transmit_ppdu(phy::OfdmMcs::k24Mbps, mpdu));
+  const double power = dsp::mean_power(wave);
+  phy::apply_cfo(wave, 0.006);
+  CVec samples(400, Cplx{0.0, 0.0});
+  samples.insert(samples.end(), wave.begin(), wave.end());
+  const double nv = power / db_to_lin(25.0);
+  channel::add_awgn(samples, rng, nv);
+
+  const auto sync = phy::detect_ppdu(samples);
+  ASSERT_TRUE(sync.has_value());
+  CVec corrected(samples.begin() + static_cast<std::ptrdiff_t>(sync->ltf_start),
+                 samples.end());
+  phy::apply_cfo(corrected, -sync->cfo_norm);
+  const auto psdu = phy::ofdm_receive_ppdu(corrected, nv);
+  ASSERT_TRUE(psdu.has_value());
+  const auto decoded = mac::decode_frame(*psdu);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(Integration, EesmPredictionTracksWaveformPerThroughMultipath) {
+  // The link abstraction must rank channel realizations like the real
+  // receiver does: correlate predicted and realized failures.
+  Rng rng(5);
+  const phy::OfdmMcs mcs = phy::OfdmMcs::k36Mbps;
+  const double snr = 16.0;
+  int agree = 0;
+  int total = 0;
+  for (int r = 0; r < 30; ++r) {
+    Rng draw = rng.fork();
+    const channel::Tdl tdl =
+        channel::make_tdl(draw, channel::DelayProfile::kLargeOpen, 20e6);
+    const double predicted = predict_ofdm_per(mcs, tdl, snr);
+    // Majority vote over a few packets through the same realization.
+    const phy::OfdmPhy phy(mcs);
+    int errors = 0;
+    for (int p = 0; p < 5; ++p) {
+      const Bytes psdu = draw.random_bytes(500);
+      CVec wave = phy.transmit(psdu);
+      const double power = dsp::mean_power(wave);
+      CVec rx = tdl.apply(wave);
+      const double nv = power / db_to_lin(snr);
+      channel::add_awgn(rx, draw, nv);
+      rx.resize(wave.size());
+      if (phy.receive(rx, psdu.size(), nv) != psdu) ++errors;
+    }
+    const bool sim_bad = errors >= 3;
+    const bool pred_bad = predicted >= 0.5;
+    if (sim_bad == pred_bad) ++agree;
+    ++total;
+  }
+  EXPECT_GE(agree, total * 3 / 4);
+}
+
+TEST(Integration, RateLadderConsistentWithMeshThresholds) {
+  // mesh::snr_to_rate_mbps claims each rate works at its threshold SNR:
+  // verify against the actual waveform simulation (PER < 35% at threshold
+  // + small margin over AWGN).
+  Rng rng(6);
+  struct Step {
+    double snr_db;
+    phy::OfdmMcs mcs;
+    double rate;
+  };
+  const Step steps[] = {{24.0, phy::OfdmMcs::k54Mbps, 54.0},
+                        {14.0, phy::OfdmMcs::k24Mbps, 24.0},
+                        {7.0, phy::OfdmMcs::k12Mbps, 12.0},
+                        {3.0, phy::OfdmMcs::k6Mbps, 6.0}};
+  for (const Step& step : steps) {
+    ASSERT_DOUBLE_EQ(mesh::snr_to_rate_mbps(step.snr_db), step.rate);
+    const LinkResult r =
+        run_ofdm_link(step.mcs, 1000, 30, step.snr_db + 1.0, rng);
+    EXPECT_LT(r.per(), 0.35) << "rate " << step.rate << " at its threshold";
+  }
+}
+
+}  // namespace
+}  // namespace wlan

@@ -1,0 +1,117 @@
+// Tests for the 802.11a/n block interleaver.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "phy/interleaver.h"
+
+namespace wlan::phy {
+namespace {
+
+struct InterleaverCase {
+  std::size_t n_cbps;
+  std::size_t n_bpsc;
+  std::size_t n_col;
+};
+
+class InterleaverSizes : public ::testing::TestWithParam<InterleaverCase> {};
+
+TEST_P(InterleaverSizes, IsAPermutation) {
+  const auto [n_cbps, n_bpsc, n_col] = GetParam();
+  const Interleaver il(n_cbps, n_bpsc, n_col);
+  // Interleave the identity sequence of indices encoded as bits 0/1 is not
+  // enough: instead feed each unit vector and verify it lands somewhere
+  // unique (i.e. the map is a bijection).
+  Bits probe(n_cbps, 0);
+  std::set<std::size_t> targets;
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    probe[k] = 1;
+    const Bits out = il.interleave(probe);
+    probe[k] = 0;
+    std::size_t pos = n_cbps;
+    for (std::size_t j = 0; j < n_cbps; ++j) {
+      if (out[j]) {
+        pos = j;
+        break;
+      }
+    }
+    ASSERT_LT(pos, n_cbps);
+    targets.insert(pos);
+  }
+  EXPECT_EQ(targets.size(), n_cbps);
+}
+
+TEST_P(InterleaverSizes, DeinterleaveInvertsInterleave) {
+  const auto [n_cbps, n_bpsc, n_col] = GetParam();
+  const Interleaver il(n_cbps, n_bpsc, n_col);
+  Rng rng(1);
+  const Bits bits = rng.random_bits(n_cbps);
+  const Bits inter = il.interleave(bits);
+  // Deinterleave operates on LLRs; encode bits as +-1.
+  RVec llrs(n_cbps);
+  for (std::size_t i = 0; i < n_cbps; ++i) llrs[i] = inter[i] ? -1.0 : 1.0;
+  const RVec restored = il.deinterleave(llrs);
+  for (std::size_t i = 0; i < n_cbps; ++i) {
+    EXPECT_EQ(restored[i] < 0.0 ? 1 : 0, bits[i]) << "position " << i;
+  }
+}
+
+TEST_P(InterleaverSizes, AdjacentBitsLandFarApart) {
+  // The first permutation must separate adjacent coded bits by at least
+  // one interleaver row (n_cbps / n_col positions modulo wrap).
+  const auto [n_cbps, n_bpsc, n_col] = GetParam();
+  const Interleaver il(n_cbps, n_bpsc, n_col);
+  Bits probe(n_cbps, 0);
+  std::vector<std::size_t> pos(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    probe[k] = 1;
+    const Bits out = il.interleave(probe);
+    probe[k] = 0;
+    for (std::size_t j = 0; j < n_cbps; ++j) {
+      if (out[j]) pos[k] = j;
+    }
+  }
+  const std::size_t n_bits_per_tone = n_bpsc;
+  std::size_t min_sep = n_cbps;
+  for (std::size_t k = 0; k + 1 < n_cbps; ++k) {
+    const std::size_t tone_a = pos[k] / n_bits_per_tone;
+    const std::size_t tone_b = pos[k + 1] / n_bits_per_tone;
+    const std::size_t sep =
+        tone_a > tone_b ? tone_a - tone_b : tone_b - tone_a;
+    if (sep > 0) min_sep = std::min(min_sep, sep);
+    // Adjacent coded bits never share a subcarrier.
+    EXPECT_NE(tone_a, tone_b) << "adjacent bits on one tone, k=" << k;
+  }
+  EXPECT_GE(min_sep, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardSizes, InterleaverSizes,
+    ::testing::Values(InterleaverCase{48, 1, 16},    // 11a BPSK
+                      InterleaverCase{96, 2, 16},    // 11a QPSK
+                      InterleaverCase{192, 4, 16},   // 11a 16-QAM
+                      InterleaverCase{288, 6, 16},   // 11a 64-QAM
+                      InterleaverCase{52, 1, 13},    // 11n 20 MHz BPSK
+                      InterleaverCase{312, 6, 13},   // 11n 20 MHz 64-QAM
+                      InterleaverCase{108, 1, 18},   // 11n 40 MHz BPSK
+                      InterleaverCase{648, 6, 18})); // 11n 40 MHz 64-QAM
+
+TEST(Interleaver, RejectsBadGeometry) {
+  EXPECT_THROW(Interleaver(50, 1, 16), ContractError);   // not multiple of 16
+  EXPECT_THROW(Interleaver(0, 1, 16), ContractError);
+  EXPECT_THROW(Interleaver(48, 0, 16), ContractError);
+}
+
+TEST(Interleaver, RejectsWrongBlockSize) {
+  const Interleaver il(48, 1);
+  const Bits bits(47, 0);
+  EXPECT_THROW(il.interleave(bits), ContractError);
+  const RVec llrs(49, 0.0);
+  EXPECT_THROW(il.deinterleave(llrs), ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::phy

@@ -1,0 +1,277 @@
+// Unit + property tests for the complex linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/mimo.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/cmatrix.h"
+#include "linalg/decompose.h"
+
+namespace wlan::linalg {
+namespace {
+
+CMatrix random_matrix(Rng& rng, std::size_t r, std::size_t c) {
+  CMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.cgaussian(1.0);
+  }
+  return m;
+}
+
+TEST(CMatrixTest, IdentityMultiplication) {
+  Rng rng(1);
+  const CMatrix a = random_matrix(rng, 3, 3);
+  const CMatrix i = CMatrix::identity(3);
+  EXPECT_LT(max_abs_diff(a * i, a), 1e-12);
+  EXPECT_LT(max_abs_diff(i * a, a), 1e-12);
+}
+
+TEST(CMatrixTest, InitializerList) {
+  const CMatrix m{{Cplx{1, 0}, Cplx{2, 0}}, {Cplx{3, 0}, Cplx{4, 0}}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0).real(), 3.0);
+}
+
+TEST(CMatrixTest, RaggedInitializerRejected) {
+  EXPECT_THROW((CMatrix{{Cplx{1, 0}}, {Cplx{1, 0}, Cplx{2, 0}}}), ContractError);
+}
+
+TEST(CMatrixTest, HermitianConjugates) {
+  const CMatrix m{{Cplx{1, 2}, Cplx{3, -4}}, {Cplx{0, 1}, Cplx{5, 0}}};
+  const CMatrix h = m.hermitian();
+  EXPECT_EQ(h(0, 1), std::conj(m(1, 0)));
+  EXPECT_EQ(h(1, 0), std::conj(m(0, 1)));
+}
+
+TEST(CMatrixTest, TransposeVsHermitianOnReal) {
+  Rng rng(2);
+  CMatrix m(2, 3);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = rng.gaussian();
+  }
+  EXPECT_LT(max_abs_diff(m.transpose(), m.hermitian()), 1e-15);
+}
+
+TEST(CMatrixTest, SizeMismatchThrows) {
+  CMatrix a(2, 2);
+  const CMatrix b(3, 3);
+  EXPECT_THROW(a += b, ContractError);
+  EXPECT_THROW(a * b, ContractError);
+}
+
+TEST(CMatrixTest, MatrixVectorProduct) {
+  const CMatrix m{{Cplx{1, 0}, Cplx{0, 1}}, {Cplx{2, 0}, Cplx{0, 0}}};
+  const CVec x = {Cplx{1, 0}, Cplx{1, 0}};
+  const CVec y = m * x;
+  EXPECT_NEAR(std::abs(y[0] - Cplx(1, 1)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(y[1] - Cplx(2, 0)), 0.0, 1e-14);
+}
+
+TEST(CMatrixTest, FrobeniusNorm) {
+  const CMatrix m{{Cplx{3, 0}, Cplx{0, 4}}};
+  EXPECT_NEAR(m.frobenius_norm(), 5.0, 1e-12);
+}
+
+TEST(SolveTest, RecoversKnownSolution) {
+  Rng rng(3);
+  for (std::size_t n : {2u, 3u, 4u, 6u}) {
+    const CMatrix a = random_matrix(rng, n, n);
+    CVec x_true(n);
+    for (auto& v : x_true) v = rng.cgaussian(1.0);
+    const CVec b = a * x_true;
+    const CVec x = solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(SolveTest, SingularThrows) {
+  CMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;  // rank 1
+  a(0, 1) = 3.0;
+  a(1, 1) = 6.0;
+  const CVec b = {Cplx{1, 0}, Cplx{0, 0}};
+  EXPECT_THROW(solve(a, b), ContractError);
+}
+
+TEST(InverseTest, RoundTrip) {
+  Rng rng(4);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    const CMatrix a = random_matrix(rng, n, n);
+    const CMatrix ainv = inverse(a);
+    EXPECT_LT(max_abs_diff(a * ainv, CMatrix::identity(n)), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(DeterminantTest, KnownValues) {
+  const CMatrix a{{Cplx{2, 0}, Cplx{0, 0}}, {Cplx{0, 0}, Cplx{3, 0}}};
+  EXPECT_NEAR(std::abs(determinant(a) - Cplx(6, 0)), 0.0, 1e-12);
+  const CMatrix rot{{Cplx{0, 1}, Cplx{0, 0}}, {Cplx{0, 0}, Cplx{0, 1}}};
+  EXPECT_NEAR(std::abs(determinant(rot) - Cplx(-1, 0)), 0.0, 1e-12);
+}
+
+TEST(DeterminantTest, ProductRule) {
+  Rng rng(5);
+  const CMatrix a = random_matrix(rng, 3, 3);
+  const CMatrix b = random_matrix(rng, 3, 3);
+  const Cplx lhs = determinant(a * b);
+  const Cplx rhs = determinant(a) * determinant(b);
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-8 * std::abs(rhs) + 1e-10);
+}
+
+TEST(CholeskyTest, ReconstructsHpdMatrix) {
+  Rng rng(6);
+  const CMatrix b = random_matrix(rng, 4, 4);
+  CMatrix a = b * b.hermitian();
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 0.5;  // ensure PD
+  const CMatrix l = cholesky(a);
+  EXPECT_LT(max_abs_diff(l * l.hermitian(), a), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  CMatrix a = CMatrix::identity(2);
+  a(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(a), ContractError);
+}
+
+TEST(LogDetTest, MatchesDeterminant) {
+  Rng rng(7);
+  const CMatrix b = random_matrix(rng, 3, 3);
+  CMatrix a = b * b.hermitian();
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) += 1.0;
+  const double direct = std::log2(std::abs(determinant(a)));
+  EXPECT_NEAR(log2_det_hermitian(a), direct, 1e-8);
+}
+
+class SvdShapes : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SvdShapes, ReconstructionAndOrthonormality) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(100 + rows * 10 + cols);
+  const CMatrix a = random_matrix(rng, rows, cols);
+  const Svd dec = svd(a);
+  const std::size_t k = std::min(rows, cols);
+  ASSERT_EQ(dec.s.size(), k);
+  // Singular values descending and non-negative.
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    EXPECT_GE(dec.s[i], dec.s[i + 1]);
+  }
+  for (const double s : dec.s) EXPECT_GE(s, 0.0);
+  // Reconstruction U diag(s) V^H = A.
+  CMatrix usv(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Cplx acc{0.0, 0.0};
+      for (std::size_t i = 0; i < k; ++i) {
+        acc += dec.u(r, i) * dec.s[i] * std::conj(dec.v(c, i));
+      }
+      usv(r, c) = acc;
+    }
+  }
+  EXPECT_LT(max_abs_diff(usv, a), 1e-8);
+  // U^H U = I and V^H V = I.
+  EXPECT_LT(max_abs_diff(dec.u.hermitian() * dec.u, CMatrix::identity(k)), 1e-8);
+  EXPECT_LT(max_abs_diff(dec.v.hermitian() * dec.v, CMatrix::identity(k)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, SvdShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{3, 3},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{2, 4},
+                      std::pair<std::size_t, std::size_t>{6, 3}));
+
+TEST(SvdTest, DiagonalMatrix) {
+  CMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const Svd dec = svd(a);
+  EXPECT_NEAR(dec.s[0], 3.0, 1e-10);
+  EXPECT_NEAR(dec.s[1], 2.0, 1e-10);
+  EXPECT_NEAR(dec.s[2], 1.0, 1e-10);
+}
+
+TEST(SvdTest, FrobeniusEqualsSingularValueEnergy) {
+  Rng rng(8);
+  const CMatrix a = random_matrix(rng, 4, 4);
+  const Svd dec = svd(a);
+  double energy = 0.0;
+  for (const double s : dec.s) energy += s * s;
+  EXPECT_NEAR(std::sqrt(energy), a.frobenius_norm(), 1e-9);
+}
+
+TEST(CapacityTest, SisoMatchesShannon) {
+  CMatrix h(1, 1);
+  h(0, 0) = 1.0;
+  for (const double snr_db : {0.0, 10.0, 20.0}) {
+    const double snr = std::pow(10.0, snr_db / 10.0);
+    EXPECT_NEAR(mimo_capacity_bps_hz(h, snr), std::log2(1.0 + snr), 1e-12);
+  }
+}
+
+TEST(CapacityTest, GrowsRoughlyLinearlyInAntennas) {
+  // Ergodic capacity at 20 dB: 4x4 should be close to 4x the 1x1 value.
+  Rng rng(9);
+  const double snr = 100.0;
+  const int trials = 400;
+  double c1 = 0.0;
+  double c4 = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    c1 += mimo_capacity_bps_hz(channel::iid_rayleigh_matrix(rng, 1, 1), snr);
+    c4 += mimo_capacity_bps_hz(channel::iid_rayleigh_matrix(rng, 4, 4), snr);
+  }
+  c1 /= trials;
+  c4 /= trials;
+  EXPECT_GT(c4, 3.0 * c1);
+  EXPECT_LT(c4, 5.0 * c1);
+}
+
+TEST(CapacityTest, MonotoneInSnr) {
+  Rng rng(10);
+  const CMatrix h = channel::iid_rayleigh_matrix(rng, 2, 2);
+  double prev = 0.0;
+  for (double snr_db = 0.0; snr_db <= 30.0; snr_db += 5.0) {
+    const double c = mimo_capacity_bps_hz(h, std::pow(10.0, snr_db / 10.0));
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(WaterfillingTest, NeverWorseThanEqualPower) {
+  Rng rng(11);
+  for (int t = 0; t < 50; ++t) {
+    const CMatrix h = channel::iid_rayleigh_matrix(rng, 3, 3);
+    const Svd dec = svd(h);
+    const double snr = 10.0;
+    const double equal = mimo_capacity_bps_hz(h, snr);
+    const double wf = waterfilling_capacity_bps_hz(dec.s, snr);
+    EXPECT_GE(wf, equal - 1e-9);
+  }
+}
+
+TEST(WaterfillingTest, SingleModeMatchesShannon) {
+  const RVec s = {2.0};
+  const double snr = 5.0;
+  EXPECT_NEAR(waterfilling_capacity_bps_hz(s, snr), std::log2(1.0 + 4.0 * snr),
+              1e-12);
+}
+
+TEST(WaterfillingTest, LowSnrUsesOnlyStrongestMode) {
+  // At very low SNR all power goes to the best eigenmode.
+  const RVec s = {2.0, 0.1};
+  const double snr = 0.01;
+  EXPECT_NEAR(waterfilling_capacity_bps_hz(s, snr),
+              std::log2(1.0 + 4.0 * snr), 1e-6);
+}
+
+}  // namespace
+}  // namespace wlan::linalg

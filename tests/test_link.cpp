@@ -1,0 +1,144 @@
+// Integration tests for the unified link simulators (core).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/link.h"
+
+namespace wlan {
+namespace {
+
+TEST(LinkResult, Accessors) {
+  LinkResult r;
+  r.packets = 10;
+  r.packet_errors = 2;
+  r.bits = 1000;
+  r.bit_errors = 5;
+  EXPECT_DOUBLE_EQ(r.per(), 0.2);
+  EXPECT_DOUBLE_EQ(r.ber(), 0.005);
+  EXPECT_DOUBLE_EQ(r.goodput_mbps(54.0), 54.0 * 0.8);
+  const LinkResult empty;
+  EXPECT_DOUBLE_EQ(empty.per(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ber(), 0.0);
+}
+
+TEST(DsssLink, CleanAtHighSnr) {
+  Rng rng(1);
+  const LinkResult r =
+      run_dsss_link({phy::DsssRate::k2Mbps, true}, 800, 20, 15.0, rng);
+  EXPECT_EQ(r.packet_errors, 0u);
+  EXPECT_EQ(r.packets, 20u);
+}
+
+TEST(DsssLink, BreaksAtVeryLowSnr) {
+  Rng rng(2);
+  const LinkResult r =
+      run_dsss_link({phy::DsssRate::k2Mbps, true}, 800, 20, -15.0, rng);
+  EXPECT_GT(r.per(), 0.9);
+}
+
+TEST(DsssLink, ProcessingGainUnderInterference) {
+  // SIR where the spread system lives and the unspread one dies.
+  Rng rng(3);
+  const ToneInterference jam{-2.0, 0.21};
+  const LinkResult spread = run_dsss_link({phy::DsssRate::k1Mbps, true}, 500,
+                                          20, 30.0, rng, jam);
+  const LinkResult narrow = run_dsss_link({phy::DsssRate::k1Mbps, false}, 500,
+                                          20, 30.0, rng, jam);
+  EXPECT_LT(spread.per(), 0.2);
+  EXPECT_GT(narrow.per(), 0.8);
+}
+
+TEST(DsssLink, FlatRayleighWorseThanAwgn) {
+  Rng rng(4);
+  const LinkResult awgn = run_dsss_link({phy::DsssRate::k1Mbps, true}, 500, 40,
+                                        2.0, rng);
+  const LinkResult fading =
+      run_dsss_link({phy::DsssRate::k1Mbps, true}, 500, 40, 2.0, rng, {},
+                    ChannelSpec::flat_rayleigh());
+  EXPECT_GE(fading.ber(), awgn.ber());
+}
+
+TEST(CckLink, CleanAtHighSnr) {
+  Rng rng(5);
+  const LinkResult r = run_cck_link(phy::CckRate::k11Mbps, 800, 20, 15.0, rng);
+  EXPECT_EQ(r.packet_errors, 0u);
+}
+
+TEST(CckLink, PerOrderedBySnr) {
+  Rng rng(6);
+  const LinkResult low = run_cck_link(phy::CckRate::k11Mbps, 800, 25, 2.0, rng);
+  const LinkResult high = run_cck_link(phy::CckRate::k11Mbps, 800, 25, 10.0, rng);
+  EXPECT_GE(low.per(), high.per());
+  EXPECT_GT(low.per(), 0.3);
+}
+
+TEST(OfdmLink, CleanAtHighSnr) {
+  Rng rng(7);
+  const LinkResult r = run_ofdm_link(phy::OfdmMcs::k54Mbps, 300, 15, 30.0, rng);
+  EXPECT_EQ(r.packet_errors, 0u);
+}
+
+TEST(OfdmLink, CollapsesBelowSensitivity) {
+  Rng rng(8);
+  const LinkResult r = run_ofdm_link(phy::OfdmMcs::k54Mbps, 300, 15, 10.0, rng);
+  EXPECT_GT(r.per(), 0.9);
+}
+
+TEST(OfdmLink, TdlChannelRaisesRequiredSnr) {
+  Rng rng(9);
+  const double snr = 22.0;
+  const LinkResult awgn = run_ofdm_link(phy::OfdmMcs::k54Mbps, 200, 30, snr, rng);
+  const LinkResult tdl = run_ofdm_link(phy::OfdmMcs::k54Mbps, 200, 30, snr, rng,
+                                       ChannelSpec::tdl(channel::DelayProfile::kOffice));
+  EXPECT_GE(tdl.per(), awgn.per());
+}
+
+TEST(HtLink, CleanAtHighSnr2x2) {
+  Rng rng(10);
+  phy::HtConfig cfg;
+  cfg.mcs = 15;  // 64-QAM 5/6, 2 streams
+  const LinkResult r = run_ht_link(cfg, 300, 10, 45.0, rng);
+  EXPECT_EQ(r.packet_errors, 0u);
+}
+
+TEST(HtLink, MoreRxAntennasHelp) {
+  Rng rng(11);
+  phy::HtConfig two_rx;
+  two_rx.mcs = 11;  // 2 streams 16-QAM
+  two_rx.n_rx = 2;
+  phy::HtConfig three_rx = two_rx;
+  three_rx.n_rx = 3;
+  const LinkResult r2 = run_ht_link(two_rx, 200, 50, 16.0, rng);
+  const LinkResult r3 = run_ht_link(three_rx, 200, 50, 16.0, rng);
+  EXPECT_LE(r3.per(), r2.per());
+}
+
+TEST(SnrAtDistance, MonotoneDecreasing) {
+  channel::PathLossModel pl;
+  double prev = 1e9;
+  for (const double d : {2.0, 5.0, 10.0, 30.0, 100.0}) {
+    const double snr = snr_at_distance_db(pl, d, 17.0, 20e6);
+    EXPECT_LT(snr, prev);
+    prev = snr;
+  }
+}
+
+TEST(SnrAtDistance, TypicalIndoorValue) {
+  channel::PathLossModel pl;  // 5.2 GHz, breakpoint 5 m
+  // At 5 m: 17 dBm - ~60.8 dB + 95 dB noise floor = ~51 dB SNR.
+  EXPECT_NEAR(snr_at_distance_db(pl, 5.0, 17.0, 20e6), 51.2, 1.0);
+}
+
+TEST(Links, RejectDegenerateRuns) {
+  Rng rng(12);
+  EXPECT_THROW(run_ofdm_link(phy::OfdmMcs::k6Mbps, 0, 5, 10.0, rng),
+               ContractError);
+  EXPECT_THROW(run_cck_link(phy::CckRate::k11Mbps, 100, 0, 10.0, rng),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace wlan

@@ -1,0 +1,242 @@
+// Tests for MAC timing, the DCF simulator, and power-save mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mac/dcf.h"
+#include "mac/psm.h"
+#include "mac/timing.h"
+
+namespace wlan::mac {
+namespace {
+
+TEST(Timing, IfsValues) {
+  const MacTiming dsss = mac_timing(PhyGeneration::kDsss);
+  EXPECT_DOUBLE_EQ(dsss.sifs_s, 10e-6);
+  EXPECT_DOUBLE_EQ(dsss.slot_s, 20e-6);
+  EXPECT_DOUBLE_EQ(dsss.difs_s(), 50e-6);
+  const MacTiming ofdm = mac_timing(PhyGeneration::kOfdm);
+  EXPECT_DOUBLE_EQ(ofdm.sifs_s, 16e-6);
+  EXPECT_DOUBLE_EQ(ofdm.difs_s(), 34e-6);
+  EXPECT_EQ(ofdm.cw_min, 15u);
+  EXPECT_EQ(dsss.cw_min, 31u);
+}
+
+TEST(Timing, DsssPpduDuration) {
+  // 1500+28 bytes at 1 Mbps + 192 us preamble.
+  const double t = dsss_ppdu_duration_s(1.0, 1528);
+  EXPECT_NEAR(t, 192e-6 + 1528 * 8e-6, 1e-12);
+  EXPECT_NEAR(dsss_ppdu_duration_s(11.0, 1528, true),
+              96e-6 + 1528 * 8.0 / 11e6, 1e-12);
+}
+
+TEST(Timing, OfdmPpduMatchesPhyExample) {
+  // Same example as the PHY test: 1000 bytes at 54 Mbps = 172 us, with
+  // MAC header 28 bytes -> 1028 bytes: ceil(8246/216) = 39 symbols.
+  EXPECT_NEAR(ofdm_ppdu_duration_s(54.0, 1028), 20e-6 + 39 * 4e-6, 1e-12);
+}
+
+TEST(Timing, HtPreambleGrowsWithStreams) {
+  const double one = ht_ppdu_duration_s(65.0, 1000, 1, false);
+  const double four = ht_ppdu_duration_s(260.0, 1000, 4, false);
+  // 3 extra HT-LTFs = 12 us more preamble (data part shrinks with rate).
+  EXPECT_GT(four, 32e-6 + 16e-6);
+  EXPECT_GT(one, 32e-6 + 4e-6);
+}
+
+TEST(Timing, ControlFrameUsesLegacyOfdm) {
+  const double ack = control_duration_s(PhyGeneration::kHt, kAckBytes, 24.0);
+  // 14 bytes at 24 Mbps: 20 + ceil(134/96)*4 = 28 us.
+  EXPECT_NEAR(ack, 28e-6, 1e-12);
+}
+
+TEST(Dcf, SingleStationMatchesAnalyticBound) {
+  DcfConfig cfg;
+  cfg.n_stations = 1;
+  cfg.duration_s = 4.0;
+  Rng rng(1);
+  const DcfResult r = simulate_dcf(cfg, rng);
+  const double bound = dcf_single_station_goodput_mbps(cfg);
+  EXPECT_NEAR(r.throughput_mbps, bound, bound * 0.03);
+  EXPECT_EQ(r.collisions, 0u);
+  EXPECT_EQ(r.dropped, 0u);
+}
+
+TEST(Dcf, MacEfficiencyWellBelowPhyRate) {
+  // The classic result: 54 Mbps PHY yields roughly 25-30 Mbps of MAC
+  // goodput for 1500-byte frames.
+  DcfConfig cfg;
+  cfg.n_stations = 1;
+  cfg.duration_s = 4.0;
+  Rng rng(2);
+  const DcfResult r = simulate_dcf(cfg, rng);
+  EXPECT_GT(r.throughput_mbps, 20.0);
+  EXPECT_LT(r.throughput_mbps, 35.0);
+}
+
+TEST(Dcf, CollisionProbabilityGrowsWithStations) {
+  Rng rng(3);
+  double prev = 0.0;
+  for (const std::size_t n : {2u, 5u, 15u, 40u}) {
+    DcfConfig cfg;
+    cfg.n_stations = n;
+    cfg.duration_s = 2.0;
+    const DcfResult r = simulate_dcf(cfg, rng);
+    EXPECT_GT(r.collision_probability, prev);
+    prev = r.collision_probability;
+  }
+  EXPECT_GT(prev, 0.15);
+}
+
+TEST(Dcf, AggregateThroughputDegradesGracefully) {
+  Rng rng(4);
+  DcfConfig one;
+  one.n_stations = 1;
+  one.duration_s = 2.0;
+  DcfConfig many = one;
+  many.n_stations = 30;
+  const double t1 = simulate_dcf(one, rng).throughput_mbps;
+  const double t30 = simulate_dcf(many, rng).throughput_mbps;
+  EXPECT_LT(t30, t1);
+  EXPECT_GT(t30, t1 * 0.5);  // DCF degrades but does not collapse
+}
+
+TEST(Dcf, RtsCtsHelpsWhenCollisionsAreExpensive) {
+  Rng rng(5);
+  DcfConfig base;
+  base.n_stations = 40;
+  base.payload_bytes = 2000;
+  base.duration_s = 2.0;
+  DcfConfig rts = base;
+  rts.rts_cts = true;
+  const DcfResult r_base = simulate_dcf(base, rng);
+  const DcfResult r_rts = simulate_dcf(rts, rng);
+  // With many stations and large frames, RTS/CTS throughput should be at
+  // least competitive (collisions cost a 20-byte RTS, not a 2 KB frame).
+  EXPECT_GT(r_rts.throughput_mbps, r_base.throughput_mbps * 0.9);
+}
+
+TEST(Dcf, PacketErrorsReduceThroughputAndCauseRetries) {
+  Rng rng(6);
+  DcfConfig clean;
+  clean.n_stations = 1;
+  clean.duration_s = 2.0;
+  DcfConfig lossy = clean;
+  lossy.packet_error_rate = 0.3;
+  const DcfResult r_clean = simulate_dcf(clean, rng);
+  const DcfResult r_lossy = simulate_dcf(lossy, rng);
+  EXPECT_LT(r_lossy.throughput_mbps, r_clean.throughput_mbps * 0.85);
+}
+
+TEST(Dcf, HeavyLossCausesDrops) {
+  Rng rng(7);
+  DcfConfig cfg;
+  cfg.n_stations = 1;
+  cfg.packet_error_rate = 0.95;
+  cfg.retry_limit = 4;
+  cfg.duration_s = 2.0;
+  const DcfResult r = simulate_dcf(cfg, rng);
+  EXPECT_GT(r.dropped, 0u);
+}
+
+TEST(Dcf, AmpduAggregationRecoversMacEfficiency) {
+  // The 802.11n insight: at high PHY rates, per-frame overhead dominates;
+  // aggregating 16 MPDUs must raise goodput dramatically.
+  Rng rng(8);
+  DcfConfig single;
+  single.generation = PhyGeneration::kHt;
+  single.data_rate_mbps = 300.0;
+  single.n_ss = 2;
+  single.short_gi = true;
+  single.n_stations = 1;
+  single.duration_s = 2.0;
+  DcfConfig aggregated = single;
+  aggregated.ampdu_frames = 16;
+  const double t1 = simulate_dcf(single, rng).throughput_mbps;
+  const double t16 = simulate_dcf(aggregated, rng).throughput_mbps;
+  EXPECT_GT(t16, 2.0 * t1);
+  EXPECT_GT(t16, 100.0);
+}
+
+TEST(Dcf, BusyAirtimeFractionSaneAndSaturated) {
+  Rng rng(9);
+  DcfConfig cfg;
+  cfg.n_stations = 10;
+  cfg.duration_s = 1.0;
+  const DcfResult r = simulate_dcf(cfg, rng);
+  EXPECT_GT(r.busy_airtime_fraction, 0.7);
+  EXPECT_LE(r.busy_airtime_fraction, 1.0 + 1e-9);
+}
+
+TEST(Psm, CamIsAlwaysAwake) {
+  PsmConfig cfg;
+  cfg.psm_enabled = false;
+  cfg.duration_s = 10.0;
+  Rng rng(10);
+  const PsmResult r = simulate_psm(cfg, rng);
+  EXPECT_DOUBLE_EQ(r.time_doze_s, 0.0);
+  EXPECT_NEAR(r.time_rx_s + r.time_tx_s + r.time_idle_s, 10.0, 1e-6);
+}
+
+TEST(Psm, PsmDozesMostOfTheTimeAtLightLoad) {
+  PsmConfig cfg;
+  cfg.psm_enabled = true;
+  cfg.arrival_rate_pps = 5.0;
+  cfg.duration_s = 20.0;
+  Rng rng(11);
+  const PsmResult r = simulate_psm(cfg, rng);
+  EXPECT_GT(r.time_doze_s / cfg.duration_s, 0.9);
+  EXPECT_GT(r.delivered, 50u);
+}
+
+TEST(Psm, DelayBoundedByBeaconInterval) {
+  PsmConfig cfg;
+  cfg.psm_enabled = true;
+  cfg.arrival_rate_pps = 2.0;
+  cfg.duration_s = 30.0;
+  Rng rng(12);
+  const PsmResult r = simulate_psm(cfg, rng);
+  EXPECT_LE(r.max_delay_s, cfg.beacon_interval_s * 1.2);
+  EXPECT_GT(r.mean_delay_s, 0.01);  // buffering costs tens of ms
+}
+
+TEST(Psm, CamDeliversNearInstantly) {
+  PsmConfig cfg;
+  cfg.psm_enabled = false;
+  cfg.arrival_rate_pps = 2.0;
+  cfg.duration_s = 30.0;
+  Rng rng(13);
+  const PsmResult r = simulate_psm(cfg, rng);
+  EXPECT_LT(r.mean_delay_s, 1e-3);
+}
+
+TEST(Psm, ListenIntervalTradesDelayForDoze) {
+  Rng rng(14);
+  PsmConfig every;
+  every.psm_enabled = true;
+  every.arrival_rate_pps = 1.0;
+  every.duration_s = 40.0;
+  PsmConfig sparse = every;
+  sparse.listen_interval = 4;
+  const PsmResult r1 = simulate_psm(every, rng);
+  const PsmResult r4 = simulate_psm(sparse, rng);
+  EXPECT_GT(r4.mean_delay_s, r1.mean_delay_s);
+  EXPECT_GT(r4.time_doze_s, r1.time_doze_s);
+}
+
+TEST(Psm, DeliveryCountsTrackArrivals) {
+  PsmConfig cfg;
+  cfg.psm_enabled = true;
+  cfg.arrival_rate_pps = 20.0;
+  cfg.duration_s = 20.0;
+  Rng rng(15);
+  const PsmResult r = simulate_psm(cfg, rng);
+  // ~400 expected; allow generous Poisson + tail slack.
+  EXPECT_GT(r.delivered, 300u);
+  EXPECT_LT(r.delivered, 500u);
+}
+
+}  // namespace
+}  // namespace wlan::mac

@@ -1,0 +1,170 @@
+// Tests for mesh topologies, routing metrics, and coverage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mesh/mesh.h"
+
+namespace wlan::mesh {
+namespace {
+
+channel::PathLossModel indoor_model() {
+  channel::PathLossModel m;
+  m.carrier_hz = 5.2e9;
+  m.breakpoint_m = 5.0;
+  m.exponent_after = 3.5;
+  return m;
+}
+
+TEST(Mesh, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Mesh, SnrToRateLadder) {
+  EXPECT_DOUBLE_EQ(snr_to_rate_mbps(30.0), 54.0);
+  EXPECT_DOUBLE_EQ(snr_to_rate_mbps(24.0), 54.0);
+  EXPECT_DOUBLE_EQ(snr_to_rate_mbps(15.0), 24.0);
+  EXPECT_DOUBLE_EQ(snr_to_rate_mbps(3.5), 6.0);
+  EXPECT_DOUBLE_EQ(snr_to_rate_mbps(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snr_to_rate_mbps(-10.0), 0.0);
+}
+
+TEST(Mesh, LinkSnrDecreasesWithDistance) {
+  const MeshNetwork net({{0, 0}, {10, 0}, {50, 0}}, indoor_model());
+  EXPECT_GT(net.link_snr_db(0, 1), net.link_snr_db(0, 2));
+}
+
+TEST(Mesh, DirectRouteWhenClose) {
+  const MeshNetwork net({{0, 0}, {5, 0}}, indoor_model());
+  const auto route = net.direct_route(0, 1);
+  ASSERT_TRUE(route.reachable());
+  EXPECT_EQ(route.hops(), 1u);
+  EXPECT_DOUBLE_EQ(route.end_to_end_mbps, 54.0);
+}
+
+TEST(Mesh, DirectRouteEmptyWhenOutOfRange) {
+  const MeshNetwork net({{0, 0}, {2000, 0}}, indoor_model());
+  EXPECT_FALSE(net.direct_route(0, 1).reachable());
+}
+
+TEST(Mesh, AirtimeMetricPrefersFastHops) {
+  // The paper's core mesh claim: 0 --- 1 --- 2 in a line, where the direct
+  // 0->2 link only sustains the lowest rate but each half sustains a high
+  // rate. The airtime route must relay via 1 and beat the direct rate.
+  // Geometry chosen so d(0,2) only supports a low rate.
+  const MeshNetwork net({{0, 0}, {50, 0}, {100, 0}}, indoor_model());
+  const double direct_rate = net.link_rate_mbps(0, 2);
+  ASSERT_GT(direct_rate, 0.0);
+  ASSERT_LE(direct_rate, 9.0);
+  const auto airtime = net.shortest_route(0, 2, MeshNetwork::Metric::kAirtime);
+  ASSERT_TRUE(airtime.reachable());
+  EXPECT_EQ(airtime.hops(), 2u);
+  EXPECT_GT(airtime.end_to_end_mbps, direct_rate);
+}
+
+TEST(Mesh, HopCountMetricTakesDirectLink) {
+  const MeshNetwork net({{0, 0}, {50, 0}, {100, 0}}, indoor_model());
+  const auto hops = net.shortest_route(0, 2, MeshNetwork::Metric::kHopCount);
+  ASSERT_TRUE(hops.reachable());
+  EXPECT_EQ(hops.hops(), 1u);  // min-hop ignores the rate penalty
+}
+
+TEST(Mesh, MultiHopReachesBeyondDirectRange) {
+  // Chain of relays: direct 0->4 is unreachable, mesh works.
+  const MeshNetwork net({{0, 0}, {60, 0}, {120, 0}, {180, 0}, {240, 0}},
+                        indoor_model());
+  EXPECT_FALSE(net.direct_route(0, 4).reachable());
+  const auto route = net.shortest_route(0, 4, MeshNetwork::Metric::kAirtime);
+  ASSERT_TRUE(route.reachable());
+  EXPECT_GE(route.hops(), 2u);
+  EXPECT_GT(route.end_to_end_mbps, 0.0);
+}
+
+TEST(Mesh, RouteEndpointsValidated) {
+  const MeshNetwork net({{0, 0}, {10, 0}}, indoor_model());
+  EXPECT_THROW(net.shortest_route(0, 0, MeshNetwork::Metric::kAirtime),
+               wlan::ContractError);
+  EXPECT_THROW(net.shortest_route(0, 5, MeshNetwork::Metric::kAirtime),
+               wlan::ContractError);
+}
+
+TEST(Mesh, CoverageMeshAtLeastDirect) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const MeshNetwork net =
+        MeshNetwork::random(rng, 30, 400.0, indoor_model());
+    const auto cov = net.coverage(0);
+    EXPECT_GE(cov.mesh_fraction, cov.direct_fraction);
+    EXPECT_GE(cov.direct_fraction, 0.0);
+    EXPECT_LE(cov.mesh_fraction, 1.0);
+  }
+}
+
+TEST(Mesh, DenseMeshExtendsCoverageDramatically) {
+  // A large area with many nodes: direct coverage from the center is
+  // partial; mesh coverage should approach 1.
+  Rng rng(2);
+  const MeshNetwork net = MeshNetwork::random(rng, 60, 600.0, indoor_model());
+  const auto cov = net.coverage(0);
+  EXPECT_LT(cov.direct_fraction, 0.9);
+  EXPECT_GT(cov.mesh_fraction, cov.direct_fraction * 1.2);
+}
+
+class MeshRouteProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeshRouteProperties, RoutesAreValidPaths) {
+  Rng rng(GetParam());
+  const MeshNetwork net = MeshNetwork::random(rng, 25, 300.0, indoor_model());
+  for (std::size_t dst = 1; dst < 6; ++dst) {
+    for (const auto metric :
+         {MeshNetwork::Metric::kHopCount, MeshNetwork::Metric::kAirtime}) {
+      const auto route = net.shortest_route(0, dst, metric);
+      if (!route.reachable()) continue;
+      EXPECT_EQ(route.path.front(), 0u);
+      EXPECT_EQ(route.path.back(), dst);
+      // Every hop must be a usable link, and no node repeats.
+      std::set<std::size_t> seen;
+      for (std::size_t h = 0; h < route.path.size(); ++h) {
+        EXPECT_TRUE(seen.insert(route.path[h]).second);
+        if (h + 1 < route.path.size()) {
+          EXPECT_GT(net.link_rate_mbps(route.path[h], route.path[h + 1]), 0.0);
+        }
+      }
+      // End-to-end throughput can never exceed the slowest hop.
+      double min_rate = 1e9;
+      for (std::size_t h = 0; h + 1 < route.path.size(); ++h) {
+        min_rate = std::min(min_rate,
+                            net.link_rate_mbps(route.path[h], route.path[h + 1]));
+      }
+      EXPECT_LE(route.end_to_end_mbps, min_rate + 1e-9);
+    }
+  }
+}
+
+TEST_P(MeshRouteProperties, AirtimeNeverWorseThanHopCount) {
+  Rng rng(GetParam() + 1000);
+  const MeshNetwork net = MeshNetwork::random(rng, 25, 300.0, indoor_model());
+  for (std::size_t dst = 1; dst < 8; ++dst) {
+    const auto air = net.shortest_route(0, dst, MeshNetwork::Metric::kAirtime);
+    const auto hop = net.shortest_route(0, dst, MeshNetwork::Metric::kHopCount);
+    if (!air.reachable() || !hop.reachable()) {
+      EXPECT_EQ(air.reachable(), hop.reachable());
+      continue;
+    }
+    EXPECT_GE(air.end_to_end_mbps, hop.end_to_end_mbps - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeshRouteProperties,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Mesh, RequiresTwoNodes) {
+  EXPECT_THROW(MeshNetwork({{0, 0}}, indoor_model()), wlan::ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::mesh

@@ -1,0 +1,168 @@
+// Tests for the QAM mapper / LLR demapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "phy/modulation.h"
+
+namespace wlan::phy {
+namespace {
+
+const std::array<Modulation, 4> kAllMods = {Modulation::kBpsk, Modulation::kQpsk,
+                                            Modulation::kQam16, Modulation::kQam64};
+
+TEST(Modulation, BitsPerSymbol) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6u);
+}
+
+class ModRoundTrip : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModRoundTrip, NoiselessHardDecisionExact) {
+  const Modulation mod = GetParam();
+  Rng rng(1);
+  const std::size_t n_bits = bits_per_symbol(mod) * 500;
+  const Bits bits = rng.random_bits(n_bits);
+  const CVec symbols = modulate(bits, mod);
+  EXPECT_EQ(symbols.size(), 500u);
+  EXPECT_EQ(demodulate_hard(symbols, mod), bits);
+}
+
+TEST_P(ModRoundTrip, UnitAverageEnergy) {
+  const Modulation mod = GetParam();
+  Rng rng(2);
+  const Bits bits = rng.random_bits(bits_per_symbol(mod) * 20000);
+  const CVec symbols = modulate(bits, mod);
+  double power = 0.0;
+  for (const auto& s : symbols) power += std::norm(s);
+  EXPECT_NEAR(power / static_cast<double>(symbols.size()), 1.0, 0.02);
+}
+
+TEST_P(ModRoundTrip, LlrSignsMatchBits) {
+  const Modulation mod = GetParam();
+  Rng rng(3);
+  const Bits bits = rng.random_bits(bits_per_symbol(mod) * 200);
+  const CVec symbols = modulate(bits, mod);
+  const RVec llrs = demodulate_llr(symbols, mod, 0.1);
+  ASSERT_EQ(llrs.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Positive LLR = bit 0; noiseless so signs must be decisive.
+    EXPECT_EQ(llrs[i] < 0.0 ? 1 : 0, bits[i]) << "bit " << i;
+    EXPECT_GT(std::abs(llrs[i]), 0.1);
+  }
+}
+
+TEST_P(ModRoundTrip, ConstellationIsGrayMapped) {
+  // Minimum-distance neighbors must differ in exactly one bit: enumerate
+  // all symbol pairs and check the property for every nearest neighbor.
+  const Modulation mod = GetParam();
+  const std::size_t n_bpsc = bits_per_symbol(mod);
+  const std::size_t n_points = std::size_t{1} << n_bpsc;
+  std::vector<Bits> labels;
+  CVec points;
+  for (std::size_t v = 0; v < n_points; ++v) {
+    Bits b(n_bpsc);
+    for (std::size_t i = 0; i < n_bpsc; ++i) b[i] = (v >> i) & 1u;
+    labels.push_back(b);
+    points.push_back(modulate(b, mod)[0]);
+  }
+  // Find the minimum pairwise distance.
+  double dmin = 1e300;
+  for (std::size_t i = 0; i < n_points; ++i) {
+    for (std::size_t j = i + 1; j < n_points; ++j) {
+      dmin = std::min(dmin, std::abs(points[i] - points[j]));
+    }
+  }
+  for (std::size_t i = 0; i < n_points; ++i) {
+    for (std::size_t j = i + 1; j < n_points; ++j) {
+      if (std::abs(points[i] - points[j]) < dmin * 1.01) {
+        std::size_t diff = 0;
+        for (std::size_t b = 0; b < n_bpsc; ++b) {
+          if (labels[i][b] != labels[j][b]) ++diff;
+        }
+        EXPECT_EQ(diff, 1u) << "non-Gray neighbor pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, ModRoundTrip,
+                         ::testing::ValuesIn(kAllMods));
+
+TEST(Modulation, BpskPointsAreReal) {
+  const CVec pts = modulate(Bits{0, 1}, Modulation::kBpsk);
+  EXPECT_NEAR(pts[0].real(), -1.0, 1e-14);
+  EXPECT_NEAR(pts[0].imag(), 0.0, 1e-14);
+  EXPECT_NEAR(pts[1].real(), 1.0, 1e-14);
+}
+
+TEST(Modulation, QpskQuadrants) {
+  const CVec pts = modulate(Bits{0, 0, 1, 1}, Modulation::kQpsk);
+  EXPECT_LT(pts[0].real(), 0.0);
+  EXPECT_LT(pts[0].imag(), 0.0);
+  EXPECT_GT(pts[1].real(), 0.0);
+  EXPECT_GT(pts[1].imag(), 0.0);
+}
+
+TEST(Modulation, RejectsRaggedBitCount) {
+  EXPECT_THROW(modulate(Bits{1, 0, 1}, Modulation::kQpsk), ContractError);
+  EXPECT_THROW(modulate(Bits{1, 0, 1, 0, 1}, Modulation::kQam16), ContractError);
+}
+
+TEST(Modulation, LlrScalesInverselyWithNoise) {
+  const Bits bits = {0, 0, 0, 0, 1, 1};
+  const CVec sym = modulate(bits, Modulation::kQam64);
+  const RVec quiet = demodulate_llr(sym, Modulation::kQam64, 0.01);
+  const RVec loud = demodulate_llr(sym, Modulation::kQam64, 1.0);
+  for (std::size_t i = 0; i < quiet.size(); ++i) {
+    EXPECT_NEAR(quiet[i] / loud[i], 100.0, 1.0);
+  }
+}
+
+TEST(Modulation, PerSymbolNoiseVarianceWeighting) {
+  // A symbol with worse CSI must produce proportionally weaker LLRs.
+  const Bits bits = {0, 1, 0, 1};
+  const CVec sym = modulate(bits, Modulation::kQpsk);
+  const RVec nv = {0.1, 10.0};
+  const RVec llrs = demodulate_llr(sym, Modulation::kQpsk, nv);
+  EXPECT_GT(std::abs(llrs[0]), 10.0 * std::abs(llrs[2]));
+}
+
+TEST(Modulation, HardDemodUnderModerateNoise) {
+  // QPSK at 10 dB SNR: symbol error rate should be low but nonzero-safe.
+  Rng rng(5);
+  const Bits bits = rng.random_bits(2 * 5000);
+  CVec sym = modulate(bits, Modulation::kQpsk);
+  for (auto& s : sym) s += rng.cgaussian(0.1);
+  const Bits out = demodulate_hard(sym, Modulation::kQpsk);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != out[i]) ++errors;
+  }
+  // Q(sqrt(10)) ~ 7.8e-4 per bit.
+  EXPECT_LT(static_cast<double>(errors) / static_cast<double>(bits.size()), 5e-3);
+}
+
+TEST(Modulation, Qam16AmplitudeLevels) {
+  // All four amplitude levels +-1/sqrt(10), +-3/sqrt(10) must appear.
+  Rng rng(6);
+  const Bits bits = rng.random_bits(4 * 1000);
+  const CVec sym = modulate(bits, Modulation::kQam16);
+  std::map<int, int> level_counts;
+  for (const auto& s : sym) {
+    level_counts[static_cast<int>(std::round(s.real() * std::sqrt(10.0)))]++;
+  }
+  EXPECT_EQ(level_counts.size(), 4u);
+  for (const auto& [level, count] : level_counts) {
+    EXPECT_TRUE(level == -3 || level == -1 || level == 1 || level == 3);
+    EXPECT_GT(count, 150);
+  }
+}
+
+}  // namespace
+}  // namespace wlan::phy

@@ -1,0 +1,293 @@
+// Tests for the event-driven network simulator.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mac/bianchi.h"
+#include "net/netsim.h"
+
+namespace wlan::net {
+namespace {
+
+NetworkConfig base_config() {
+  NetworkConfig cfg;
+  cfg.duration_s = 0.5;
+  return cfg;
+}
+
+std::vector<NodeConfig> pair_topology(double separation_m) {
+  std::vector<NodeConfig> nodes(2);
+  nodes[0].position = {0.0, 0.0};
+  nodes[1].position = {separation_m, 0.0};
+  return nodes;
+}
+
+TEST(NetSim, SingleFlowApproachesAnalyticDcfBound) {
+  Rng rng(1);
+  const auto r =
+      simulate_network(base_config(), pair_topology(10.0), {{0, 1}}, rng);
+  // 24 Mbps PHY, 1000-byte payloads, DIFS+backoff+data+SIFS+ACK cycle:
+  // ~15-16 Mbps of MAC goodput.
+  EXPECT_GT(r.aggregate_throughput_mbps, 13.0);
+  EXPECT_LT(r.aggregate_throughput_mbps, 18.0);
+  EXPECT_EQ(r.data_failures, 0u);
+  EXPECT_GT(r.total_delivered, 500u);
+}
+
+TEST(NetSim, OutOfRangeLinkDeliversNothing) {
+  Rng rng(2);
+  const auto r =
+      simulate_network(base_config(), pair_topology(2000.0), {{0, 1}}, rng);
+  EXPECT_EQ(r.total_delivered, 0u);
+}
+
+TEST(NetSim, TwoVisibleContendersShareAndCollide) {
+  Rng rng(3);
+  std::vector<NodeConfig> nodes(3);
+  nodes[0].position = {0.0, 0.0};
+  nodes[1].position = {5.0, 0.0};
+  nodes[2].position = {2.5, 4.0};
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 2.0;
+  const auto r = simulate_network(cfg, nodes, {{0, 2}, {1, 2}}, rng);
+  // Both flows get a fair share.
+  const double t0 = r.flows[0].throughput_mbps;
+  const double t1 = r.flows[1].throughput_mbps;
+  EXPECT_GT(t0, 0.3 * t1);
+  EXPECT_GT(t1, 0.3 * t0);
+  // Same-slot collisions occur at roughly 1/(CWmin+1) of attempts and
+  // fail both frames.
+  EXPECT_GT(r.simultaneous_starts, 10u);
+  EXPECT_GT(r.data_failures, r.simultaneous_starts);
+  EXPECT_GT(r.flows[0].retries + r.flows[1].retries, 10u);
+}
+
+TEST(NetSim, HiddenTerminalsCollideWithoutRtsCts) {
+  Rng rng(4);
+  const auto setup = make_hidden_terminal_setup(120.0);
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 2.0;
+  const auto r = simulate_network(cfg, setup.nodes, setup.flows, rng);
+  // The senders cannot hear each other: data frames overlap and die at
+  // the receiver far more often than CSMA would ever allow.
+  EXPECT_GT(r.data_failure_rate(), 0.1);
+}
+
+TEST(NetSim, RtsCtsProtectsHiddenTerminals) {
+  Rng rng(5);
+  const auto setup = make_hidden_terminal_setup(120.0);
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 2.0;
+  cfg.rts_cts = true;
+  const auto r = simulate_network(cfg, setup.nodes, setup.flows, rng);
+  // Collisions move to the cheap RTS frames; the data frames survive.
+  EXPECT_LT(r.data_failure_rate(), 0.05);
+  EXPECT_GT(r.rts_failures, 0u);
+  EXPECT_GT(r.aggregate_throughput_mbps, 5.0);
+}
+
+TEST(NetSim, VisibleContendersDontNeedRts) {
+  // When everyone hears everyone, RTS/CTS only adds overhead.
+  std::vector<NodeConfig> nodes(3);
+  nodes[0].position = {0.0, 0.0};
+  nodes[1].position = {5.0, 0.0};
+  nodes[2].position = {2.5, 4.0};
+  NetworkConfig basic = base_config();
+  basic.duration_s = 2.0;
+  NetworkConfig rts = basic;
+  rts.rts_cts = true;
+  Rng r1(6);
+  Rng r2(6);
+  const auto rb = simulate_network(basic, nodes, {{0, 2}, {1, 2}}, r1);
+  const auto rr = simulate_network(rts, nodes, {{0, 2}, {1, 2}}, r2);
+  EXPECT_GT(rb.aggregate_throughput_mbps, rr.aggregate_throughput_mbps);
+}
+
+TEST(NetSim, HigherPhyRateRaisesThroughput) {
+  Rng rng(7);
+  NetworkConfig slow = base_config();
+  slow.data_rate_mbps = 6.0;
+  slow.sinr_threshold_db = 3.0;
+  NetworkConfig fast = base_config();
+  fast.data_rate_mbps = 54.0;
+  fast.sinr_threshold_db = 20.0;
+  const auto rs = simulate_network(slow, pair_topology(10.0), {{0, 1}}, rng);
+  const auto rf = simulate_network(fast, pair_topology(10.0), {{0, 1}}, rng);
+  EXPECT_GT(rf.aggregate_throughput_mbps, 1.5 * rs.aggregate_throughput_mbps);
+}
+
+TEST(NetSim, ManyContendersStillDeliver) {
+  Rng rng(8);
+  // Eight stations around an AP, all within carrier sense.
+  std::vector<NodeConfig> nodes(9);
+  nodes[8].position = {0.0, 0.0};
+  std::vector<Flow> flows;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double angle = static_cast<double>(i) * 0.785;
+    nodes[i].position = {8.0 * std::cos(angle), 8.0 * std::sin(angle)};
+    flows.push_back({i, 8});
+  }
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 1.0;
+  const auto r = simulate_network(cfg, nodes, flows, rng);
+  EXPECT_GT(r.aggregate_throughput_mbps, 8.0);
+  // Every flow makes progress (no starvation).
+  for (const auto& f : r.flows) {
+    EXPECT_GT(f.delivered, 10u) << "a flow starved";
+  }
+}
+
+TEST(NetSim, CaptureLetsTheStrongFrameSurvive) {
+  // One sender is much closer to the receiver: even with overlap its
+  // frame clears the SINR threshold and captures.
+  Rng rng(9);
+  std::vector<NodeConfig> nodes(3);
+  nodes[0].position = {197.0, 0.0};  // near the receiver
+  nodes[1].position = {0.0, 0.0};    // far (hidden from node 0)
+  nodes[2].position = {200.0, 0.0};  // receiver
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 2.0;
+  const auto r = simulate_network(cfg, nodes, {{0, 2}, {1, 2}}, rng);
+  // The near flow rides over the far one's interference.
+  EXPECT_GT(r.flows[0].throughput_mbps, 10.0 * std::max(r.flows[1].throughput_mbps, 0.01));
+}
+
+TEST(NetSim, FairnessIndexNearOneForSymmetricContenders) {
+  Rng rng(31);
+  std::vector<NodeConfig> nodes(5);
+  std::vector<Flow> flows;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double angle = 1.5708 * static_cast<double>(i);
+    nodes[i].position = {9.0 * std::cos(angle), 9.0 * std::sin(angle)};
+    flows.push_back({i, 4});
+  }
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 2.0;
+  const auto r = simulate_network(cfg, nodes, flows, rng);
+  EXPECT_GT(r.jain_fairness(), 0.9);
+}
+
+TEST(NetSim, FairnessCollapsesUnderCapture) {
+  Rng rng(32);
+  std::vector<NodeConfig> nodes(3);
+  nodes[0].position = {197.0, 0.0};
+  nodes[1].position = {0.0, 0.0};
+  nodes[2].position = {200.0, 0.0};
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 2.0;
+  const auto r = simulate_network(cfg, nodes, {{0, 2}, {1, 2}}, rng);
+  EXPECT_LT(r.jain_fairness(), 0.75);
+}
+
+TEST(NetSim, AgreesWithBianchiWhenEveryoneHearsEveryone) {
+  // The event-driven simulator collapses to classic single-cell DCF when
+  // all stations are in carrier-sense range: its aggregate throughput
+  // must sit near the Bianchi closed form.
+  Rng rng(30);
+  const std::size_t n_sta = 8;
+  std::vector<NodeConfig> nodes(n_sta + 1);
+  std::vector<Flow> flows;
+  for (std::size_t i = 0; i < n_sta; ++i) {
+    const double angle = 6.2832 * static_cast<double>(i) / n_sta;
+    nodes[i].position = {8.0 * std::cos(angle), 8.0 * std::sin(angle)};
+    flows.push_back({i, n_sta});
+  }
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 3.0;
+  const auto sim = simulate_network(cfg, nodes, flows, rng);
+
+  mac::BianchiInput model;
+  model.n_stations = n_sta;
+  model.data_rate_mbps = cfg.data_rate_mbps;
+  model.basic_rate_mbps = cfg.basic_rate_mbps;
+  model.payload_bytes = cfg.payload_bytes;
+  const auto theory = mac::bianchi_saturation(model);
+
+  EXPECT_NEAR(sim.aggregate_throughput_mbps, theory.throughput_mbps,
+              0.25 * theory.throughput_mbps);
+}
+
+TEST(NetSim, PoissonFlowDeliversItsOfferedLoad) {
+  Rng rng(20);
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 4.0;
+  const auto r = simulate_network(cfg, pair_topology(10.0),
+                                  {{0, 1, 200.0}}, rng);
+  // 200 pkt/s of 1000 B = 1.6 Mbps offered on a ~15 Mbps link: nearly all
+  // delivered, with small queueing delay.
+  EXPECT_GT(r.flows[0].delivered, 600u);
+  EXPECT_NEAR(r.flows[0].throughput_mbps, 1.6, 0.4);
+  EXPECT_GT(r.flows[0].mean_delay_s, 1e-4);
+  EXPECT_LT(r.flows[0].mean_delay_s, 5e-3);
+}
+
+TEST(NetSim, QueueingDelayGrowsWithLoad) {
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 4.0;
+  Rng r1(21);
+  const auto light = simulate_network(cfg, pair_topology(10.0),
+                                      {{0, 1, 100.0}}, r1);
+  Rng r2(21);
+  const auto heavy = simulate_network(cfg, pair_topology(10.0),
+                                      {{0, 1, 1500.0}}, r2);
+  EXPECT_GT(heavy.flows[0].mean_delay_s, light.flows[0].mean_delay_s);
+}
+
+TEST(NetSim, OverloadedPoissonFlowSaturates) {
+  Rng rng(22);
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 2.0;
+  // Offer 10x what the link can carry: throughput pins at the saturation
+  // rate and delay blows up.
+  const auto r = simulate_network(cfg, pair_topology(10.0),
+                                  {{0, 1, 20000.0}}, rng);
+  EXPECT_GT(r.flows[0].throughput_mbps, 13.0);
+  EXPECT_LT(r.flows[0].throughput_mbps, 18.0);
+  EXPECT_GT(r.flows[0].mean_delay_s, 0.05);
+}
+
+TEST(NetSim, LightPoissonCoexistsWithSaturatedNeighbor) {
+  Rng rng(23);
+  std::vector<NodeConfig> nodes(3);
+  nodes[0].position = {0.0, 0.0};
+  nodes[1].position = {5.0, 0.0};
+  nodes[2].position = {2.5, 4.0};
+  NetworkConfig cfg = base_config();
+  cfg.duration_s = 3.0;
+  const auto r = simulate_network(cfg, nodes,
+                                  {{0, 2, 0.0}, {1, 2, 50.0}}, rng);
+  // The light flow should still get essentially all its packets through.
+  const double offered = 50.0 * 1000.0 * 8.0 / 1e6;
+  EXPECT_GT(r.flows[1].throughput_mbps, 0.8 * offered);
+}
+
+TEST(NetSim, Validation) {
+  Rng rng(10);
+  const NetworkConfig cfg = base_config();
+  EXPECT_THROW(simulate_network(cfg, {NodeConfig{}}, {{0, 0}}, rng),
+               ContractError);
+  EXPECT_THROW(
+      simulate_network(cfg, pair_topology(10.0), std::vector<Flow>{}, rng),
+      ContractError);
+  EXPECT_THROW(simulate_network(cfg, pair_topology(10.0), {{0, 5}}, rng),
+               ContractError);
+  // Two flows from the same source are rejected.
+  std::vector<NodeConfig> nodes(3);
+  nodes[1].position = {5.0, 0.0};
+  nodes[2].position = {0.0, 5.0};
+  EXPECT_THROW(simulate_network(cfg, nodes, {{0, 1}, {0, 2}}, rng),
+               ContractError);
+}
+
+TEST(NetSim, HiddenSetupGeometry) {
+  const auto setup = make_hidden_terminal_setup(100.0);
+  ASSERT_EQ(setup.nodes.size(), 3u);
+  ASSERT_EQ(setup.flows.size(), 2u);
+  EXPECT_DOUBLE_EQ(mesh::distance(setup.nodes[0].position,
+                                  setup.nodes[1].position), 100.0);
+  EXPECT_DOUBLE_EQ(mesh::distance(setup.nodes[0].position,
+                                  setup.nodes[2].position), 50.0);
+}
+
+}  // namespace
+}  // namespace wlan::net

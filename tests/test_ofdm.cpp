@@ -1,0 +1,220 @@
+// Tests for the 802.11a/g OFDM PHY.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "channel/awgn.h"
+#include "channel/fading.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "dsp/ops.h"
+#include "phy/ofdm.h"
+
+namespace wlan::phy {
+namespace {
+
+TEST(OfdmMcsTable, RatesAndBitCounts) {
+  EXPECT_DOUBLE_EQ(ofdm_mcs_info(OfdmMcs::k6Mbps).data_rate_mbps, 6.0);
+  EXPECT_DOUBLE_EQ(ofdm_mcs_info(OfdmMcs::k54Mbps).data_rate_mbps, 54.0);
+  EXPECT_EQ(ofdm_mcs_info(OfdmMcs::k54Mbps).n_dbps, 216u);
+  EXPECT_EQ(ofdm_mcs_info(OfdmMcs::k24Mbps).n_cbps, 192u);
+  // Rate = n_dbps / 4 us for every MCS.
+  for (const OfdmMcs mcs : kAllOfdmMcs) {
+    const auto& info = ofdm_mcs_info(mcs);
+    EXPECT_NEAR(info.data_rate_mbps, static_cast<double>(info.n_dbps) / 4.0,
+                1e-12);
+    EXPECT_EQ(info.n_cbps, 48u * info.n_bpsc);
+  }
+}
+
+TEST(OfdmPhy, SymbolCountMatchesStandardFormula) {
+  const OfdmPhy phy(OfdmMcs::k54Mbps);
+  // 1000-byte PSDU: ceil((16 + 8000 + 6) / 216) = 38 symbols.
+  EXPECT_EQ(phy.n_symbols_for_psdu(1000), 38u);
+  const OfdmPhy slow(OfdmMcs::k6Mbps);
+  // ceil(8022 / 24) = 335.
+  EXPECT_EQ(slow.n_symbols_for_psdu(1000), 335u);
+}
+
+TEST(OfdmPhy, PpduDurationExample) {
+  // Known 802.11a example: 1000 bytes at 54 Mbps = 20 + 38*4 = 172 us.
+  const OfdmPhy phy(OfdmMcs::k54Mbps);
+  EXPECT_NEAR(phy.ppdu_duration_s(1000), 172e-6, 1e-9);
+}
+
+TEST(OfdmPhy, WaveformLengthMatches) {
+  const OfdmPhy phy(OfdmMcs::k24Mbps);
+  Rng rng(1);
+  const Bytes psdu = rng.random_bytes(100);
+  const CVec wave = phy.transmit(psdu);
+  EXPECT_EQ(wave.size(), phy.waveform_length(100));
+}
+
+class OfdmLoopback : public ::testing::TestWithParam<OfdmMcs> {};
+
+TEST_P(OfdmLoopback, NoiselessRoundTrip) {
+  const OfdmPhy phy(GetParam());
+  Rng rng(2);
+  const Bytes psdu = rng.random_bytes(250);
+  const CVec wave = phy.transmit(psdu);
+  EXPECT_EQ(phy.receive(wave, psdu.size(), 1e-9), psdu);
+}
+
+TEST_P(OfdmLoopback, HighSnrAwgnRoundTrip) {
+  const OfdmPhy phy(GetParam());
+  Rng rng(3);
+  const Bytes psdu = rng.random_bytes(200);
+  CVec wave = phy.transmit(psdu);
+  const double nv = dsp::mean_power(wave) / db_to_lin(35.0);
+  channel::add_awgn(wave, rng, nv);
+  EXPECT_EQ(phy.receive(wave, psdu.size(), nv), psdu);
+}
+
+TEST_P(OfdmLoopback, MultipathHighSnrRoundTrip) {
+  // LTF-based estimation + one-tap equalizer must absorb a TGn-style
+  // channel entirely within the cyclic prefix.
+  const OfdmPhy phy(GetParam());
+  Rng rng(4);
+  const Bytes psdu = rng.random_bytes(120);
+  const CVec tx = phy.transmit(psdu);
+  const channel::Tdl tdl = channel::make_tdl(rng, channel::DelayProfile::kResidential,
+                                             OfdmPhy::kSampleRateHz);
+  CVec rx = tdl.apply(tx);
+  const double nv = dsp::mean_power(tx) / db_to_lin(45.0);
+  channel::add_awgn(rx, rng, nv);
+  rx.resize(tx.size());
+  EXPECT_EQ(phy.receive(rx, psdu.size(), nv), psdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, OfdmLoopback, ::testing::ValuesIn(kAllOfdmMcs));
+
+TEST(OfdmPhy, PerIsMonotoneInSnr) {
+  const OfdmPhy phy(OfdmMcs::k36Mbps);
+  Rng rng(5);
+  auto per_at = [&](double snr_db) {
+    int errors = 0;
+    const int packets = 40;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(100);
+      CVec wave = phy.transmit(psdu);
+      const double nv = dsp::mean_power(wave) / db_to_lin(snr_db);
+      channel::add_awgn(wave, rng, nv);
+      if (phy.receive(wave, psdu.size(), nv) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  const double low = per_at(8.0);
+  const double mid = per_at(14.0);
+  const double high = per_at(25.0);
+  EXPECT_GE(low, mid);
+  EXPECT_GE(mid, high);
+  EXPECT_GT(low, 0.8);   // 16-QAM 3/4 collapses at 8 dB
+  EXPECT_EQ(high, 0.0);  // and is clean at 25 dB
+}
+
+TEST(OfdmPhy, LowerMcsSurvivesWhereHigherFails) {
+  Rng rng(6);
+  const double snr_db = 9.0;
+  auto per_for = [&](OfdmMcs mcs) {
+    const OfdmPhy phy(mcs);
+    int errors = 0;
+    const int packets = 30;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(100);
+      CVec wave = phy.transmit(psdu);
+      const double nv = dsp::mean_power(wave) / db_to_lin(snr_db);
+      channel::add_awgn(wave, rng, nv);
+      if (phy.receive(wave, psdu.size(), nv) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  EXPECT_LT(per_for(OfdmMcs::k12Mbps), 0.1);
+  EXPECT_GT(per_for(OfdmMcs::k54Mbps), 0.9);
+}
+
+TEST(OfdmPhy, WaveformHasHighPapr) {
+  // The paper's PA argument: OFDM PAPR is far above constant envelope.
+  const OfdmPhy phy(OfdmMcs::k54Mbps);
+  Rng rng(7);
+  const CVec wave = phy.transmit(rng.random_bytes(500));
+  EXPECT_GT(dsp::papr_db(wave), 8.0);
+}
+
+TEST(OfdmPhy, SpectralEfficiencyIs2Point7) {
+  EXPECT_NEAR(ofdm_mcs_info(OfdmMcs::k54Mbps).data_rate_mbps * 1e6 /
+                  OfdmPhy::kChannelWidthHz,
+              2.7, 1e-12);
+}
+
+TEST(OfdmPhy, ReceiveRejectsShortWaveform) {
+  const OfdmPhy phy(OfdmMcs::k6Mbps);
+  const CVec wave(100, Cplx{0.0, 0.0});
+  EXPECT_THROW(phy.receive(wave, 1000, 0.1), wlan::ContractError);
+}
+
+TEST(OfdmPhy, PilotTrackingAbsorbsResidualCfo) {
+  // A small residual CFO (post-acquisition) rotates every symbol by a
+  // growing common phase; the pilot-based tracker must remove it. At
+  // 64-QAM even ~1e-4 cycles/sample of leftover rotation is fatal without
+  // tracking.
+  Rng rng(9);
+  const OfdmPhy phy(OfdmMcs::k48Mbps);
+  int ok = 0;
+  const int packets = 10;
+  for (int p = 0; p < packets; ++p) {
+    const Bytes psdu = rng.random_bytes(300);
+    CVec wave = phy.transmit(psdu);
+    // Apply the residual rotation e^{j 2 pi f n}.
+    const double f = 1.2e-4;
+    for (std::size_t n = 0; n < wave.size(); ++n) {
+      const double arg = 2.0 * std::numbers::pi * f * static_cast<double>(n);
+      wave[n] *= Cplx{std::cos(arg), std::sin(arg)};
+    }
+    const double nv = dsp::mean_power(wave) / db_to_lin(35.0);
+    channel::add_awgn(wave, rng, nv);
+    if (phy.receive(wave, psdu.size(), nv) == psdu) ++ok;
+  }
+  EXPECT_GE(ok, packets - 1);
+}
+
+TEST(OfdmPhy, PilotTrackingFightsOscillatorPhaseNoise) {
+  // A modest Lorentzian linewidth (Wiener phase noise) is absorbed by the
+  // common-phase-error tracker; a wild oscillator is not. Both directions
+  // checked so the impairment and the tracker are each doing real work.
+  Rng rng(10);
+  const OfdmPhy phy(OfdmMcs::k24Mbps);
+  auto per_with_linewidth = [&](double linewidth_hz) {
+    int errors = 0;
+    const int packets = 12;
+    for (int p = 0; p < packets; ++p) {
+      const Bytes psdu = rng.random_bytes(300);
+      CVec wave = phy.transmit(psdu);
+      channel::add_phase_noise(wave, rng, linewidth_hz,
+                               OfdmPhy::kSampleRateHz);
+      const double nv = dsp::mean_power(wave) / db_to_lin(30.0);
+      channel::add_awgn(wave, rng, nv);
+      if (phy.receive(wave, psdu.size(), nv) != psdu) ++errors;
+    }
+    return static_cast<double>(errors) / packets;
+  };
+  EXPECT_LT(per_with_linewidth(100.0), 0.2);    // clean oscillator
+  EXPECT_GT(per_with_linewidth(50e3), 0.5);     // hopeless oscillator
+}
+
+TEST(OfdmPhy, DifferentPsdusProduceDifferentWaveforms) {
+  const OfdmPhy phy(OfdmMcs::k12Mbps);
+  Rng rng(8);
+  const Bytes a = rng.random_bytes(50);
+  Bytes b = a;
+  b[0] ^= 0xFF;
+  const CVec wa = phy.transmit(a);
+  const CVec wb = phy.transmit(b);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < wa.size(); ++i) diff += std::abs(wa[i] - wb[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+}  // namespace
+}  // namespace wlan::phy

@@ -1,0 +1,159 @@
+// Tests for PLCP framing: 802.11a SIGNAL field and 802.11b preamble/header.
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "channel/fading.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "dsp/ops.h"
+#include "phy/plcp.h"
+
+namespace wlan::phy {
+namespace {
+
+class SignalFieldAllMcs : public ::testing::TestWithParam<OfdmMcs> {};
+
+TEST_P(SignalFieldAllMcs, EncodeDecodeRoundTrip) {
+  for (const std::size_t len : {1u, 14u, 1000u, 4095u}) {
+    const Bits bits = encode_signal_field(GetParam(), len);
+    ASSERT_EQ(bits.size(), 24u);
+    const auto decoded = decode_signal_field(bits);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->mcs, GetParam());
+    EXPECT_EQ(decoded->length_bytes, len);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, SignalFieldAllMcs,
+                         ::testing::ValuesIn(kAllOfdmMcs));
+
+TEST(SignalField, ParityDetectsSingleBitError) {
+  Bits bits = encode_signal_field(OfdmMcs::k24Mbps, 100);
+  bits[7] ^= 1;
+  EXPECT_FALSE(decode_signal_field(bits).has_value());
+}
+
+TEST(SignalField, TailBitsAreZero) {
+  const Bits bits = encode_signal_field(OfdmMcs::k6Mbps, 1);
+  for (std::size_t i = 18; i < 24; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(SignalField, RejectsBadLength) {
+  EXPECT_THROW(encode_signal_field(OfdmMcs::k6Mbps, 0), ContractError);
+  EXPECT_THROW(encode_signal_field(OfdmMcs::k6Mbps, 4096), ContractError);
+}
+
+class OfdmPpduAllMcs : public ::testing::TestWithParam<OfdmMcs> {};
+
+TEST_P(OfdmPpduAllMcs, SelfDescribingReceive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  const Bytes psdu = rng.random_bytes(300);
+  CVec wave = ofdm_transmit_ppdu(GetParam(), psdu);
+  const double nv = dsp::mean_power(wave) / db_to_lin(30.0);
+  channel::add_awgn(wave, rng, nv);
+  const auto decoded = ofdm_receive_ppdu(wave, nv);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, psdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, OfdmPpduAllMcs,
+                         ::testing::ValuesIn(kAllOfdmMcs));
+
+TEST(OfdmPpdu, WorksThroughMultipath) {
+  Rng rng(7);
+  const Bytes psdu = rng.random_bytes(200);
+  const CVec tx = ofdm_transmit_ppdu(OfdmMcs::k24Mbps, psdu);
+  const channel::Tdl tdl =
+      channel::make_tdl(rng, channel::DelayProfile::kResidential, 20e6);
+  CVec rx = tdl.apply(tx);
+  const double nv = dsp::mean_power(tx) / db_to_lin(35.0);
+  channel::add_awgn(rx, rng, nv);
+  rx.resize(tx.size());
+  const auto decoded = ofdm_receive_ppdu(rx, nv);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, psdu);
+}
+
+TEST(OfdmPpdu, GarbageDoesNotDecode) {
+  Rng rng(8);
+  CVec noise(1000);
+  for (auto& v : noise) v = rng.cgaussian(1.0);
+  EXPECT_FALSE(ofdm_receive_ppdu(noise, 1.0).has_value());
+}
+
+TEST(OfdmPpdu, SignalSymbolAddsOneSymbolOfAirtime) {
+  Rng rng(9);
+  const Bytes psdu = rng.random_bytes(100);
+  const OfdmPhy phy(OfdmMcs::k12Mbps);
+  const CVec plain = phy.transmit(psdu);
+  const CVec framed = ofdm_transmit_ppdu(OfdmMcs::k12Mbps, psdu);
+  EXPECT_EQ(framed.size(), plain.size() + OfdmPhy::kSymbolLen);
+}
+
+TEST(PlcpHeader, RoundTripAllRates) {
+  for (const HrRate rate : {HrRate::k1Mbps, HrRate::k2Mbps, HrRate::k5_5Mbps,
+                            HrRate::k11Mbps}) {
+    for (const std::size_t bytes : {1u, 13u, 100u, 1500u, 2312u}) {
+      const Bits header = encode_plcp_header(rate, bytes);
+      ASSERT_EQ(header.size(), 48u);
+      const auto decoded = decode_plcp_header(header);
+      ASSERT_TRUE(decoded.has_value())
+          << "rate " << static_cast<int>(rate) << " bytes " << bytes;
+      EXPECT_EQ(decoded->rate, rate);
+      EXPECT_EQ(decoded->length_bytes, bytes);
+    }
+  }
+}
+
+TEST(PlcpHeader, CrcDetectsCorruption) {
+  Bits header = encode_plcp_header(HrRate::k11Mbps, 500);
+  header[3] ^= 1;
+  EXPECT_FALSE(decode_plcp_header(header).has_value());
+}
+
+class HrPpduRates : public ::testing::TestWithParam<CckRate> {};
+
+TEST_P(HrPpduRates, SelfDescribingReceive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 21);
+  for (const std::size_t bytes : {13u, 100u, 1500u}) {
+    const Bytes psdu = rng.random_bytes(bytes);
+    CVec wave = hr_transmit_ppdu(GetParam(), psdu);
+    channel::add_awgn_snr(wave, rng, 15.0);
+    const auto decoded = hr_receive_ppdu(wave);
+    ASSERT_TRUE(decoded.has_value()) << "bytes " << bytes;
+    EXPECT_EQ(*decoded, psdu);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRates, HrPpduRates,
+                         ::testing::Values(CckRate::k5_5Mbps, CckRate::k11Mbps));
+
+TEST(HrPpdu, HeaderIsMoreRobustThanPayload) {
+  // The PLCP header rides at 1 Mbps Barker: at an SNR where CCK-11
+  // payload bits fail, the header should still parse (or the PPDU is
+  // reported unusable rather than mis-parsed).
+  Rng rng(22);
+  int header_ok = 0;
+  int payload_ok = 0;
+  for (int t = 0; t < 20; ++t) {
+    const Bytes psdu = rng.random_bytes(200);
+    CVec wave = hr_transmit_ppdu(CckRate::k11Mbps, psdu);
+    channel::add_awgn_snr(wave, rng, 3.0);
+    const auto decoded = hr_receive_ppdu(wave);
+    if (decoded.has_value()) {
+      ++header_ok;
+      if (*decoded == psdu) ++payload_ok;
+    }
+  }
+  EXPECT_GT(header_ok, 15);
+  EXPECT_LT(payload_ok, header_ok);
+}
+
+TEST(HrPpdu, TooShortWaveformRejected) {
+  const CVec wave(100, Cplx{1.0, 0.0});
+  EXPECT_FALSE(hr_receive_ppdu(wave).has_value());
+}
+
+}  // namespace
+}  // namespace wlan::phy

@@ -1,0 +1,170 @@
+// Tests for the PA and radio power models and the low-power policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mac/psm.h"
+#include "power/power.h"
+
+namespace wlan::power {
+namespace {
+
+TEST(Pa, PeakEfficiencyAtZeroBackoff) {
+  PaModel pa;
+  pa.peak_efficiency = 0.4;
+  EXPECT_DOUBLE_EQ(pa.efficiency_at_backoff_db(0.0), 0.4);
+}
+
+TEST(Pa, ClassAHalvesEvery3Db) {
+  PaModel pa;
+  pa.pa_class = PaClass::kClassA;
+  pa.peak_efficiency = 0.5;
+  EXPECT_NEAR(pa.efficiency_at_backoff_db(3.0), 0.25, 0.003);
+  EXPECT_NEAR(pa.efficiency_at_backoff_db(10.0), 0.05, 1e-9);
+}
+
+TEST(Pa, ClassAbHalvesEvery6Db) {
+  PaModel pa;
+  pa.pa_class = PaClass::kClassAB;
+  pa.peak_efficiency = 0.5;
+  EXPECT_NEAR(pa.efficiency_at_backoff_db(6.0), 0.25, 0.003);
+  EXPECT_NEAR(pa.efficiency_at_backoff_db(20.0), 0.05, 1e-9);
+}
+
+TEST(Pa, DcPowerKnownValue) {
+  PaModel pa;
+  pa.pa_class = PaClass::kClassAB;
+  pa.peak_efficiency = 0.4;
+  // 17 dBm = 50 mW at 8 dB backoff: eff = 0.4 * 10^-0.4 ~ 0.1592.
+  const double p = pa.dc_power_w(17.0, 8.0);
+  EXPECT_NEAR(p, 0.050 / 0.1592, 0.01);
+}
+
+TEST(Pa, RejectsOutputBeyondSaturation) {
+  PaModel pa;
+  pa.max_output_dbm = 25.0;
+  EXPECT_THROW(pa.dc_power_w(20.0, 8.0), wlan::ContractError);
+  EXPECT_NO_THROW(pa.dc_power_w(17.0, 8.0));
+}
+
+TEST(Pa, NegativeBackoffRejected) {
+  PaModel pa;
+  EXPECT_THROW(pa.efficiency_at_backoff_db(-1.0), wlan::ContractError);
+}
+
+TEST(Radio, TxPowerScalesWithChains) {
+  RadioPowerModel model;
+  const double p1 = model.tx_power_w(1, 14.0, 8.0);
+  const double p2 = model.tx_power_w(2, 14.0, 8.0);
+  const double p4 = model.tx_power_w(4, 14.0, 8.0);
+  EXPECT_GT(p2, 1.6 * p1 - model.baseband_fixed_w);
+  EXPECT_GT(p4, p2);
+  // Per-chain contributions are linear: p4 - p2 = 2 * (p2 - p1) exactly.
+  EXPECT_NEAR(p4 - p2, 2.0 * (p2 - p1), 1e-12);
+}
+
+TEST(Radio, RxPowerScalesWithChains) {
+  RadioPowerModel model;
+  const double r1 = model.rx_power_w(1, 1);
+  const double r4 = model.rx_power_w(4, 4);
+  EXPECT_GT(r4, 2.0 * r1);
+}
+
+TEST(Radio, PaprBackoffCostVisible) {
+  // The C11 mechanism: the same radiated power costs much more PA DC input
+  // when the waveform needs 10 dB of headroom (OFDM) than 3 dB
+  // (DSSS-like). At the PA the class-AB penalty is 10^(7/20) ~ 2.2x.
+  RadioPowerModel model;
+  const double ofdm_pa = model.pa.dc_power_w(14.0, 10.0);
+  const double dsss_pa = model.pa.dc_power_w(14.0, 3.0);
+  EXPECT_GT(ofdm_pa, 2.0 * dsss_pa);
+  // At the device level the fixed overheads dilute but do not erase it.
+  EXPECT_GT(model.tx_power_w(1, 14.0, 10.0), model.tx_power_w(1, 14.0, 3.0));
+}
+
+TEST(Policy, ChainSwitchingInterpolates) {
+  RadioPowerModel model;
+  const double always_on = chain_switching_rx_power_w(model, 4, 4, 1.0);
+  const double never_on = chain_switching_rx_power_w(model, 4, 4, 0.0);
+  const double duty10 = chain_switching_rx_power_w(model, 4, 4, 0.1);
+  EXPECT_DOUBLE_EQ(never_on, model.idle_listen_w);
+  EXPECT_DOUBLE_EQ(always_on, model.rx_power_w(4, 4));
+  EXPECT_GT(duty10, never_on);
+  EXPECT_LT(duty10, 0.25 * always_on + never_on);
+}
+
+TEST(Policy, ChainSwitchingSavesAtLightLoad) {
+  // At 5% RX duty cycle a 4x4 radio under chain switching should burn
+  // less than half the always-on listening power.
+  RadioPowerModel model;
+  const double switched = chain_switching_rx_power_w(model, 4, 4, 0.05);
+  const double always = model.rx_power_w(4, 4);
+  EXPECT_LT(switched, 0.5 * always);
+}
+
+TEST(Policy, BeamformingPowerReduction) {
+  EXPECT_NEAR(beamforming_tx_power_dbm(17.0, 2), 17.0 - 3.01, 0.02);
+  EXPECT_NEAR(beamforming_tx_power_dbm(17.0, 4), 17.0 - 6.02, 0.02);
+  EXPECT_DOUBLE_EQ(beamforming_tx_power_dbm(17.0, 1), 17.0);
+}
+
+TEST(Policy, EnergyPerBitFallsWithRate) {
+  RadioPowerModel model;
+  const double slow = tx_energy_per_bit_j(model, 1, 14.0, 8.0, 6.0);
+  const double fast = tx_energy_per_bit_j(model, 1, 14.0, 8.0, 54.0);
+  EXPECT_NEAR(slow / fast, 9.0, 1e-9);
+}
+
+TEST(Policy, MimoEnergyPerBitCanWinViaRate) {
+  // 4 chains cost more power, but if they carry 4x the rate the energy
+  // per bit is comparable or better at high utilization.
+  RadioPowerModel model;
+  const double siso = tx_energy_per_bit_j(model, 1, 14.0, 10.0, 65.0);
+  const double mimo = tx_energy_per_bit_j(model, 4, 14.0, 10.0, 260.0);
+  EXPECT_LT(mimo, 1.3 * siso);
+}
+
+TEST(Psm, PsmEnergyFarBelowCam) {
+  Rng rng(1);
+  mac::PsmConfig cam;
+  cam.psm_enabled = false;
+  cam.arrival_rate_pps = 5.0;
+  cam.duration_s = 20.0;
+  mac::PsmConfig psm = cam;
+  psm.psm_enabled = true;
+  const mac::PsmResult r_cam = mac::simulate_psm(cam, rng);
+  const mac::PsmResult r_psm = mac::simulate_psm(psm, rng);
+  RadioPowerModel model;
+  const double e_cam = psm_energy_j(model, r_cam);
+  const double e_psm = psm_energy_j(model, r_psm);
+  EXPECT_LT(e_psm, 0.3 * e_cam);
+  EXPECT_GT(e_psm, 0.0);
+}
+
+TEST(Psm, EnergyBreakdownAdditive) {
+  RadioPowerModel model;
+  mac::PsmResult breakdown;
+  breakdown.time_rx_s = 1.0;
+  breakdown.time_tx_s = 1.0;
+  breakdown.time_idle_s = 1.0;
+  breakdown.time_doze_s = 1.0;
+  const double total = psm_energy_j(model, breakdown, 15.0, 9.0);
+  const double expected = model.tx_power_w(1, 15.0, 9.0) +
+                          model.rx_power_w(1, 1) + model.idle_listen_w +
+                          model.doze_w;
+  EXPECT_NEAR(total, expected, 1e-12);
+}
+
+TEST(Radio, ValidationOfDegenerateArgs) {
+  RadioPowerModel model;
+  EXPECT_THROW(model.tx_power_w(0, 14.0, 8.0), wlan::ContractError);
+  EXPECT_THROW(model.rx_power_w(0, 1), wlan::ContractError);
+  EXPECT_THROW(chain_switching_rx_power_w(model, 2, 2, 1.5), wlan::ContractError);
+  EXPECT_THROW(tx_energy_per_bit_j(model, 1, 14.0, 8.0, 0.0), wlan::ContractError);
+  EXPECT_THROW(beamforming_tx_power_dbm(17.0, 0), wlan::ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::power

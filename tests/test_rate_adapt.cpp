@@ -1,0 +1,152 @@
+// Tests for ARF / SNR-ideal rate adaptation.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mac/rate_adapt.h"
+
+namespace wlan::mac {
+namespace {
+
+TEST(RateOptions, LadderIsOrdered) {
+  const auto rates = ofdm_rate_options();
+  ASSERT_EQ(rates.size(), 8u);
+  for (std::size_t i = 0; i + 1 < rates.size(); ++i) {
+    EXPECT_LE(rates[i].rate_mbps, rates[i + 1].rate_mbps);
+    EXPECT_LE(rates[i].per_midpoint_db, rates[i + 1].per_midpoint_db);
+  }
+}
+
+TEST(RateOptions, PerModelShape) {
+  const RateOption option{54.0, 18.6, 1.6};
+  EXPECT_NEAR(rate_option_per(option, 18.6), 0.5, 1e-12);
+  EXPECT_GT(rate_option_per(option, 10.0), 0.99);
+  EXPECT_LT(rate_option_per(option, 28.0), 0.01);
+  // Monotone decreasing in SNR.
+  double prev = 1.0;
+  for (double snr = 0.0; snr <= 30.0; snr += 1.0) {
+    const double per = rate_option_per(option, snr);
+    EXPECT_LE(per, prev);
+    prev = per;
+  }
+}
+
+TEST(Arf, ClimbsOnSuccessStreaks) {
+  ArfController arf(8, 10);
+  EXPECT_EQ(arf.current(), 0u);
+  for (int i = 0; i < 10; ++i) arf.on_success();
+  EXPECT_EQ(arf.current(), 1u);
+  for (int i = 0; i < 10; ++i) arf.on_success();
+  EXPECT_EQ(arf.current(), 2u);
+}
+
+TEST(Arf, ProbeFailureFallsStraightBack) {
+  ArfController arf(8, 10);
+  for (int i = 0; i < 10; ++i) arf.on_success();
+  ASSERT_EQ(arf.current(), 1u);
+  arf.on_failure();  // first packet at the new rate fails -> back down
+  EXPECT_EQ(arf.current(), 0u);
+}
+
+TEST(Arf, TwoConsecutiveFailuresStepDown) {
+  ArfController arf(8, 10);
+  for (int i = 0; i < 20; ++i) arf.on_success();
+  ASSERT_EQ(arf.current(), 2u);
+  arf.on_success();
+  arf.on_failure();
+  EXPECT_EQ(arf.current(), 2u);  // one failure alone is tolerated
+  arf.on_failure();
+  EXPECT_EQ(arf.current(), 1u);
+}
+
+TEST(Arf, ClampsAtLadderEnds) {
+  ArfController arf(3, 2);
+  arf.on_failure();
+  arf.on_failure();
+  EXPECT_EQ(arf.current(), 0u);
+  for (int i = 0; i < 100; ++i) arf.on_success();
+  EXPECT_EQ(arf.current(), 2u);
+  for (int i = 0; i < 10; ++i) arf.on_success();
+  EXPECT_EQ(arf.current(), 2u);
+}
+
+TEST(Simulate, ArfBeatsFixedMaxInFading) {
+  // At a mean SNR where 54 Mbps often fails, ARF should deliver far more
+  // packets than pinning the top rate.
+  Rng rng(1);
+  RateAdaptConfig cfg;
+  cfg.mean_snr_db = 15.0;
+  cfg.n_packets = 8000;
+  cfg.control = RateControl::kFixedMax;
+  const auto fixed = simulate_rate_adaptation(cfg, rng);
+  cfg.control = RateControl::kArf;
+  const auto arf = simulate_rate_adaptation(cfg, rng);
+  EXPECT_LT(arf.per, fixed.per * 0.7);
+  EXPECT_GT(arf.delivered, fixed.delivered);
+}
+
+TEST(Simulate, SnrIdealUpperBoundsArf) {
+  // Paired seeds: both controllers face the same channel realization.
+  RateAdaptConfig cfg;
+  cfg.mean_snr_db = 15.0;
+  cfg.n_packets = 8000;
+  cfg.control = RateControl::kArf;
+  Rng r1(2);
+  const auto arf = simulate_rate_adaptation(cfg, r1);
+  cfg.control = RateControl::kSnrIdeal;
+  Rng r2(2);
+  const auto ideal = simulate_rate_adaptation(cfg, r2);
+  EXPECT_GE(ideal.goodput_mbps, arf.goodput_mbps * 0.95);
+  EXPECT_LT(ideal.per, 0.35);
+}
+
+TEST(Simulate, HighSnrConvergesToTopRate) {
+  Rng rng(3);
+  RateAdaptConfig cfg;
+  cfg.mean_snr_db = 35.0;
+  cfg.n_packets = 4000;
+  cfg.control = RateControl::kArf;
+  const auto r = simulate_rate_adaptation(cfg, rng);
+  EXPECT_GT(r.mean_rate_mbps, 45.0);
+  EXPECT_LT(r.per, 0.05);
+}
+
+TEST(Simulate, LowSnrFallsToRobustRates) {
+  Rng rng(4);
+  RateAdaptConfig cfg;
+  cfg.mean_snr_db = 5.0;
+  cfg.n_packets = 4000;
+  cfg.control = RateControl::kArf;
+  const auto r = simulate_rate_adaptation(cfg, rng);
+  EXPECT_LT(r.mean_rate_mbps, 20.0);
+}
+
+TEST(Simulate, ArfTracksSlowFadingBetterThanFast) {
+  // ARF reacts on packet timescales: in slow fading it stays close to the
+  // genie controller, in fast fading its feedback is stale and the gap to
+  // the genie widens.
+  auto gap_at = [](double doppler_hz, std::uint64_t seed) {
+    RateAdaptConfig cfg;
+    cfg.mean_snr_db = 15.0;
+    cfg.doppler_hz = doppler_hz;
+    cfg.n_packets = 20000;
+    cfg.control = RateControl::kArf;
+    Rng r1(seed);
+    const auto arf = simulate_rate_adaptation(cfg, r1);
+    cfg.control = RateControl::kSnrIdeal;
+    Rng r2(seed);
+    const auto ideal = simulate_rate_adaptation(cfg, r2);
+    return ideal.goodput_mbps - arf.goodput_mbps;
+  };
+  EXPECT_GT(gap_at(50.0, 5), gap_at(1.0, 5));
+}
+
+TEST(Simulate, Validation) {
+  Rng rng(6);
+  RateAdaptConfig cfg;
+  cfg.n_packets = 0;
+  EXPECT_THROW(simulate_rate_adaptation(cfg, rng), ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::mac

@@ -1,0 +1,128 @@
+// Tests for the discrete-event scheduler and statistics collectors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+
+namespace wlan::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule(3.0, [&] { order.push_back(3); });
+  sched.schedule(1.0, [&] { order.push_back(1); });
+  sched.schedule(2.0, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, FifoAtEqualTimes) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, NowAdvancesWithEvents) {
+  Scheduler sched;
+  double seen = -1.0;
+  sched.schedule(2.5, [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sched.now(), 2.5);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) sched.schedule(1.0, tick);
+  };
+  sched.schedule(1.0, tick);
+  sched.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sched.now(), 10.0);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  int executed = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sched.schedule(static_cast<double>(i), [&] { ++executed; });
+  }
+  const std::size_t n = sched.run_until(5.0);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(executed, 5);
+  EXPECT_DOUBLE_EQ(sched.now(), 5.0);
+  EXPECT_EQ(sched.pending(), 5u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenQueueEmpty) {
+  Scheduler sched;
+  sched.run_until(7.0);
+  EXPECT_DOUBLE_EQ(sched.now(), 7.0);
+}
+
+TEST(Scheduler, NegativeDelayRejected) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule(-1.0, [] {}), wlan::ContractError);
+}
+
+TEST(Scheduler, ScheduleAtPastRejected) {
+  Scheduler sched;
+  sched.schedule(5.0, [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(4.0, [] {}), wlan::ContractError);
+}
+
+TEST(Tally, BasicStatistics) {
+  Tally t;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) t.add(x);
+  EXPECT_EQ(t.count(), 4u);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(t.min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max(), 4.0);
+  EXPECT_DOUBLE_EQ(t.total(), 10.0);
+  EXPECT_NEAR(t.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Tally, EmptyIsSafe) {
+  const Tally t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+}
+
+TEST(Tally, SingleSampleVarianceZero) {
+  Tally t;
+  t.add(7.0);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 7.0);
+}
+
+TEST(TimeAverage, PiecewiseConstantSignal) {
+  TimeAverage ta;
+  ta.update(0.0, 2.0);  // value 2 from t=0
+  ta.update(1.0, 4.0);  // value 4 from t=1
+  ta.update(3.0, 0.0);  // measured up to t=3
+  // Integral = 2*1 + 4*2 = 10 over 3 seconds.
+  EXPECT_DOUBLE_EQ(ta.integral(), 10.0);
+  EXPECT_NEAR(ta.average(), 10.0 / 3.0, 1e-12);
+}
+
+TEST(TimeAverage, OutOfOrderRejected) {
+  TimeAverage ta;
+  ta.update(2.0, 1.0);
+  EXPECT_THROW(ta.update(1.0, 1.0), wlan::ContractError);
+}
+
+}  // namespace
+}  // namespace wlan::sim

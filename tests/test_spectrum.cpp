@@ -1,0 +1,141 @@
+// Tests for spectral estimation and the waveform spectral signatures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "dsp/spectrum.h"
+#include "phy/cck.h"
+#include "phy/dsss.h"
+#include "phy/ofdm.h"
+
+namespace wlan::dsp {
+namespace {
+
+TEST(Welch, ToneConcentratesInItsBin) {
+  const std::size_t n = 64;
+  CVec x(4096);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double arg = 2.0 * std::numbers::pi * 8.0 * static_cast<double>(i) /
+                       static_cast<double>(n);
+    x[i] = {std::cos(arg), std::sin(arg)};
+  }
+  const RVec psd = welch_psd(x, n);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (psd[k] > psd[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 8u);
+  // Most power within the peak and its window-leakage neighbors.
+  const double local = psd[7] + psd[8] + psd[9];
+  double total = 0.0;
+  for (const double v : psd) total += v;
+  EXPECT_GT(local / total, 0.9);
+}
+
+TEST(Welch, WhiteNoiseIsFlat) {
+  Rng rng(1);
+  CVec x(65536);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  const RVec psd = welch_psd(x, 64);
+  double mn = 1e300;
+  double mx = 0.0;
+  for (const double v : psd) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mx / mn, 1.6);  // flat within +-2 dB over many averages
+}
+
+TEST(Welch, InputValidation) {
+  CVec x(100, Cplx{1.0, 0.0});
+  EXPECT_THROW(welch_psd(x, 48), wlan::ContractError);
+  EXPECT_THROW(welch_psd(CVec(10, Cplx{}), 64), wlan::ContractError);
+}
+
+TEST(FftShiftTest, SwapsHalves) {
+  const RVec psd = {1, 2, 3, 4};
+  const RVec shifted = fft_shift(psd);
+  EXPECT_EQ(shifted, (RVec{3, 4, 1, 2}));
+}
+
+TEST(Band, FullBandIsEverything) {
+  Rng rng(2);
+  CVec x(8192);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  const RVec psd = welch_psd(x, 64);
+  EXPECT_NEAR(power_within_band(psd, 1.0), 1.0, 0.02);
+}
+
+TEST(Band, NarrowbandSignalOccupiesLittle) {
+  CVec x(8192);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double arg = 2.0 * std::numbers::pi * 2.0 * static_cast<double>(i) / 64.0;
+    x[i] = {std::cos(arg), std::sin(arg)};
+  }
+  const RVec psd = welch_psd(x, 64);
+  EXPECT_LT(occupied_bandwidth_fraction(psd, 0.99), 0.25);
+}
+
+TEST(Similarity, IdenticalSpectraScoreOne) {
+  Rng rng(3);
+  CVec x(8192);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  const RVec psd = welch_psd(x, 64);
+  EXPECT_NEAR(spectral_similarity(psd, psd), 1.0, 1e-12);
+}
+
+TEST(Similarity, DisjointSpectraScoreLow) {
+  RVec a(64, 0.0);
+  RVec b(64, 0.0);
+  a[3] = 1.0;
+  b[40] = 1.0;
+  EXPECT_NEAR(spectral_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(Signatures, CckLooksLikeBarkerDsss) {
+  // The paper's C3 premise: CCK was designed to keep "a DSSS like
+  // signature". Both run 11 Mchip/s with similar chip spectra, so their
+  // PSDs should be highly similar — far more similar than either is to
+  // OFDM's.
+  Rng rng(4);
+  const phy::DsssModem dsss({phy::DsssRate::k2Mbps, true});
+  const phy::CckModem cck(phy::CckRate::k11Mbps);
+  const phy::OfdmPhy ofdm(phy::OfdmMcs::k54Mbps);
+
+  const CVec w_dsss = dsss.modulate(rng.random_bits(8000));
+  const CVec w_cck = cck.modulate(rng.random_bits(8000));
+  CVec w_ofdm;
+  for (int p = 0; p < 4; ++p) {
+    const CVec pkt = ofdm.transmit(rng.random_bytes(500));
+    w_ofdm.insert(w_ofdm.end(), pkt.begin(), pkt.end());
+  }
+  const RVec p_dsss = welch_psd(w_dsss, 64);
+  const RVec p_cck = welch_psd(w_cck, 64);
+  const RVec p_ofdm = welch_psd(w_ofdm, 64);
+
+  const double cck_vs_dsss = spectral_similarity(p_cck, p_dsss);
+  const double cck_vs_ofdm = spectral_similarity(p_cck, p_ofdm);
+  EXPECT_GT(cck_vs_dsss, 0.97);
+  EXPECT_GT(cck_vs_dsss, cck_vs_ofdm + 0.01);
+}
+
+TEST(Signatures, OfdmOccupiesMostOfItsChannel) {
+  // 52 used tones of 64: ~81% of the sampled band.
+  Rng rng(5);
+  const phy::OfdmPhy ofdm(phy::OfdmMcs::k36Mbps);
+  CVec w;
+  for (int p = 0; p < 4; ++p) {
+    const CVec pkt = ofdm.transmit(rng.random_bytes(500));
+    w.insert(w.end(), pkt.begin(), pkt.end());
+  }
+  const RVec psd = welch_psd(w, 64);
+  const double occ = occupied_bandwidth_fraction(psd, 0.99);
+  EXPECT_GT(occ, 0.7);
+  EXPECT_LT(occ, 0.95);
+}
+
+}  // namespace
+}  // namespace wlan::dsp

@@ -1,0 +1,65 @@
+// Tests for the standards registry — the paper's C1 numbers.
+#include <gtest/gtest.h>
+
+#include "core/standards.h"
+
+namespace wlan {
+namespace {
+
+TEST(Standards, HeadlineRates) {
+  EXPECT_DOUBLE_EQ(standard_info(Standard::k80211).max_rate_mbps, 2.0);
+  EXPECT_DOUBLE_EQ(standard_info(Standard::k80211b).max_rate_mbps, 11.0);
+  EXPECT_DOUBLE_EQ(standard_info(Standard::k80211a).max_rate_mbps, 54.0);
+  EXPECT_DOUBLE_EQ(standard_info(Standard::k80211g).max_rate_mbps, 54.0);
+  EXPECT_DOUBLE_EQ(standard_info(Standard::k80211n).max_rate_mbps, 600.0);
+}
+
+TEST(Standards, SpectralEfficienciesMatchPaper) {
+  EXPECT_NEAR(standard_info(Standard::k80211).spectral_efficiency_bps_hz(), 0.1,
+              1e-12);
+  EXPECT_NEAR(standard_info(Standard::k80211b).spectral_efficiency_bps_hz(), 0.5,
+              1e-12);
+  EXPECT_NEAR(standard_info(Standard::k80211a).spectral_efficiency_bps_hz(), 2.7,
+              1e-12);
+  EXPECT_NEAR(standard_info(Standard::k80211n).spectral_efficiency_bps_hz(), 15.0,
+              1e-12);
+}
+
+TEST(Standards, FivefoldProgression) {
+  // "maintains the historical trend of fivefold increases with each new
+  // standard" — check the efficiency ratios are ~5x.
+  const double e0 = standard_info(Standard::k80211).spectral_efficiency_bps_hz();
+  const double e1 = standard_info(Standard::k80211b).spectral_efficiency_bps_hz();
+  const double e2 = standard_info(Standard::k80211a).spectral_efficiency_bps_hz();
+  const double e3 = standard_info(Standard::k80211n).spectral_efficiency_bps_hz();
+  EXPECT_NEAR(e1 / e0, 5.0, 0.1);
+  EXPECT_NEAR(e2 / e1, 5.4, 0.1);
+  EXPECT_NEAR(e3 / e2, 5.6, 0.1);
+}
+
+TEST(Standards, ChronologicalOrder) {
+  const auto all = all_standards();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_LE(all[i].year, all[i + 1].year);
+  }
+}
+
+TEST(Standards, SupportedRatesAscendAndPeakCorrectly) {
+  for (const auto& info : all_standards()) {
+    const auto rates = supported_rates_mbps(info.standard);
+    ASSERT_FALSE(rates.empty());
+    for (std::size_t i = 0; i + 1 < rates.size(); ++i) {
+      EXPECT_LE(rates[i], rates[i + 1]);
+    }
+    EXPECT_DOUBLE_EQ(rates.back(), info.max_rate_mbps);
+  }
+}
+
+TEST(Standards, OfdmGenerationsShareRateSet) {
+  EXPECT_EQ(supported_rates_mbps(Standard::k80211a),
+            supported_rates_mbps(Standard::k80211g));
+}
+
+}  // namespace
+}  // namespace wlan
