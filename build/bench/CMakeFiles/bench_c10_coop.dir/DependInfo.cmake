@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c10_coop.cpp" "bench/CMakeFiles/bench_c10_coop.dir/bench_c10_coop.cpp.o" "gcc" "bench/CMakeFiles/bench_c10_coop.dir/bench_c10_coop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wlan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wlan_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wlan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wlan_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/coop/CMakeFiles/wlan_coop.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wlan_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wlan_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wlan_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wlan_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wlan_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wlan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_coop.dir/bench_c10_coop.cpp.o"
+  "CMakeFiles/bench_c10_coop.dir/bench_c10_coop.cpp.o.d"
+  "bench_c10_coop"
+  "bench_c10_coop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_coop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_papr.dir/bench_c11_papr.cpp.o"
+  "CMakeFiles/bench_c11_papr.dir/bench_c11_papr.cpp.o.d"
+  "bench_c11_papr"
+  "bench_c11_papr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_papr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c12_power.dir/bench_c12_power.cpp.o"
+  "CMakeFiles/bench_c12_power.dir/bench_c12_power.cpp.o.d"
+  "bench_c12_power"
+  "bench_c12_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c12_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c13_psm.dir/bench_c13_psm.cpp.o"
+  "CMakeFiles/bench_c13_psm.dir/bench_c13_psm.cpp.o.d"
+  "bench_c13_psm"
+  "bench_c13_psm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c13_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_generations.dir/bench_c1_generations.cpp.o"
+  "CMakeFiles/bench_c1_generations.dir/bench_c1_generations.cpp.o.d"
+  "bench_c1_generations"
+  "bench_c1_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

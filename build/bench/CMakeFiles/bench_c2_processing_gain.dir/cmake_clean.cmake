@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_processing_gain.dir/bench_c2_processing_gain.cpp.o"
+  "CMakeFiles/bench_c2_processing_gain.dir/bench_c2_processing_gain.cpp.o.d"
+  "bench_c2_processing_gain"
+  "bench_c2_processing_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_processing_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

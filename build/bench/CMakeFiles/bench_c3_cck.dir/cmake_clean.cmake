@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_cck.dir/bench_c3_cck.cpp.o"
+  "CMakeFiles/bench_c3_cck.dir/bench_c3_cck.cpp.o.d"
+  "bench_c3_cck"
+  "bench_c3_cck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_cck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_ofdm.dir/bench_c4_ofdm.cpp.o"
+  "CMakeFiles/bench_c4_ofdm.dir/bench_c4_ofdm.cpp.o.d"
+  "bench_c4_ofdm"
+  "bench_c4_ofdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

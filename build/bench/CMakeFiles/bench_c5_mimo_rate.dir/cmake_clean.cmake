@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_mimo_rate.dir/bench_c5_mimo_rate.cpp.o"
+  "CMakeFiles/bench_c5_mimo_rate.dir/bench_c5_mimo_rate.cpp.o.d"
+  "bench_c5_mimo_rate"
+  "bench_c5_mimo_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_mimo_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_mimo_range.dir/bench_c6_mimo_range.cpp.o"
+  "CMakeFiles/bench_c6_mimo_range.dir/bench_c6_mimo_range.cpp.o.d"
+  "bench_c6_mimo_range"
+  "bench_c6_mimo_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_mimo_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_ldpc.dir/bench_c7_ldpc.cpp.o"
+  "CMakeFiles/bench_c7_ldpc.dir/bench_c7_ldpc.cpp.o.d"
+  "bench_c7_ldpc"
+  "bench_c7_ldpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_ldpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_beamforming.dir/bench_c8_beamforming.cpp.o"
+  "CMakeFiles/bench_c8_beamforming.dir/bench_c8_beamforming.cpp.o.d"
+  "bench_c8_beamforming"
+  "bench_c8_beamforming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_beamforming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_mesh.dir/bench_c9_mesh.cpp.o"
+  "CMakeFiles/bench_c9_mesh.dir/bench_c9_mesh.cpp.o.d"
+  "bench_c9_mesh"
+  "bench_c9_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_campus.dir/mesh_campus.cpp.o"
+  "CMakeFiles/mesh_campus.dir/mesh_campus.cpp.o.d"
+  "mesh_campus"
+  "mesh_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

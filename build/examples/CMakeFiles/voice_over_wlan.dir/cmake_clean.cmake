@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_over_wlan.dir/voice_over_wlan.cpp.o"
+  "CMakeFiles/voice_over_wlan.dir/voice_over_wlan.cpp.o.d"
+  "voice_over_wlan"
+  "voice_over_wlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_over_wlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

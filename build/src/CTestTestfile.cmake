@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("dsp")
+subdirs("channel")
+subdirs("phy")
+subdirs("sim")
+subdirs("mac")
+subdirs("net")
+subdirs("mesh")
+subdirs("coop")
+subdirs("power")
+subdirs("core")

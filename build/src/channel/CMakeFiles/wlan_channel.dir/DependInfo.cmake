@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/awgn.cpp" "src/channel/CMakeFiles/wlan_channel.dir/awgn.cpp.o" "gcc" "src/channel/CMakeFiles/wlan_channel.dir/awgn.cpp.o.d"
+  "/root/repo/src/channel/doppler.cpp" "src/channel/CMakeFiles/wlan_channel.dir/doppler.cpp.o" "gcc" "src/channel/CMakeFiles/wlan_channel.dir/doppler.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "src/channel/CMakeFiles/wlan_channel.dir/fading.cpp.o" "gcc" "src/channel/CMakeFiles/wlan_channel.dir/fading.cpp.o.d"
+  "/root/repo/src/channel/mimo.cpp" "src/channel/CMakeFiles/wlan_channel.dir/mimo.cpp.o" "gcc" "src/channel/CMakeFiles/wlan_channel.dir/mimo.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/wlan_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/wlan_channel.dir/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wlan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wlan_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wlan_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

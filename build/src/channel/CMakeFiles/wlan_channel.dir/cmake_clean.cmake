@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_channel.dir/awgn.cpp.o"
+  "CMakeFiles/wlan_channel.dir/awgn.cpp.o.d"
+  "CMakeFiles/wlan_channel.dir/doppler.cpp.o"
+  "CMakeFiles/wlan_channel.dir/doppler.cpp.o.d"
+  "CMakeFiles/wlan_channel.dir/fading.cpp.o"
+  "CMakeFiles/wlan_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/wlan_channel.dir/mimo.cpp.o"
+  "CMakeFiles/wlan_channel.dir/mimo.cpp.o.d"
+  "CMakeFiles/wlan_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/wlan_channel.dir/pathloss.cpp.o.d"
+  "libwlan_channel.a"
+  "libwlan_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

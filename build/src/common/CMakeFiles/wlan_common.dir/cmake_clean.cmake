@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_common.dir/bits.cpp.o"
+  "CMakeFiles/wlan_common.dir/bits.cpp.o.d"
+  "CMakeFiles/wlan_common.dir/crc.cpp.o"
+  "CMakeFiles/wlan_common.dir/crc.cpp.o.d"
+  "CMakeFiles/wlan_common.dir/rng.cpp.o"
+  "CMakeFiles/wlan_common.dir/rng.cpp.o.d"
+  "libwlan_common.a"
+  "libwlan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_coop.dir/coop.cpp.o"
+  "CMakeFiles/wlan_coop.dir/coop.cpp.o.d"
+  "libwlan_coop.a"
+  "libwlan_coop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_coop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

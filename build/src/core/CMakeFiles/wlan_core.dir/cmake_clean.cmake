@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_core.dir/abstraction.cpp.o"
+  "CMakeFiles/wlan_core.dir/abstraction.cpp.o.d"
+  "CMakeFiles/wlan_core.dir/link.cpp.o"
+  "CMakeFiles/wlan_core.dir/link.cpp.o.d"
+  "CMakeFiles/wlan_core.dir/standards.cpp.o"
+  "CMakeFiles/wlan_core.dir/standards.cpp.o.d"
+  "libwlan_core.a"
+  "libwlan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

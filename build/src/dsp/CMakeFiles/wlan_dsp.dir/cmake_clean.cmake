@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_dsp.dir/fft.cpp.o"
+  "CMakeFiles/wlan_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/wlan_dsp.dir/ops.cpp.o"
+  "CMakeFiles/wlan_dsp.dir/ops.cpp.o.d"
+  "CMakeFiles/wlan_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/wlan_dsp.dir/spectrum.cpp.o.d"
+  "libwlan_dsp.a"
+  "libwlan_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_linalg.dir/cmatrix.cpp.o"
+  "CMakeFiles/wlan_linalg.dir/cmatrix.cpp.o.d"
+  "CMakeFiles/wlan_linalg.dir/decompose.cpp.o"
+  "CMakeFiles/wlan_linalg.dir/decompose.cpp.o.d"
+  "libwlan_linalg.a"
+  "libwlan_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

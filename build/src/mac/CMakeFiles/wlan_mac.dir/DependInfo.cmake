@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/bianchi.cpp" "src/mac/CMakeFiles/wlan_mac.dir/bianchi.cpp.o" "gcc" "src/mac/CMakeFiles/wlan_mac.dir/bianchi.cpp.o.d"
+  "/root/repo/src/mac/dcf.cpp" "src/mac/CMakeFiles/wlan_mac.dir/dcf.cpp.o" "gcc" "src/mac/CMakeFiles/wlan_mac.dir/dcf.cpp.o.d"
+  "/root/repo/src/mac/edca.cpp" "src/mac/CMakeFiles/wlan_mac.dir/edca.cpp.o" "gcc" "src/mac/CMakeFiles/wlan_mac.dir/edca.cpp.o.d"
+  "/root/repo/src/mac/frames.cpp" "src/mac/CMakeFiles/wlan_mac.dir/frames.cpp.o" "gcc" "src/mac/CMakeFiles/wlan_mac.dir/frames.cpp.o.d"
+  "/root/repo/src/mac/psm.cpp" "src/mac/CMakeFiles/wlan_mac.dir/psm.cpp.o" "gcc" "src/mac/CMakeFiles/wlan_mac.dir/psm.cpp.o.d"
+  "/root/repo/src/mac/rate_adapt.cpp" "src/mac/CMakeFiles/wlan_mac.dir/rate_adapt.cpp.o" "gcc" "src/mac/CMakeFiles/wlan_mac.dir/rate_adapt.cpp.o.d"
+  "/root/repo/src/mac/timing.cpp" "src/mac/CMakeFiles/wlan_mac.dir/timing.cpp.o" "gcc" "src/mac/CMakeFiles/wlan_mac.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wlan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wlan_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wlan_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wlan_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_mac.dir/bianchi.cpp.o"
+  "CMakeFiles/wlan_mac.dir/bianchi.cpp.o.d"
+  "CMakeFiles/wlan_mac.dir/dcf.cpp.o"
+  "CMakeFiles/wlan_mac.dir/dcf.cpp.o.d"
+  "CMakeFiles/wlan_mac.dir/edca.cpp.o"
+  "CMakeFiles/wlan_mac.dir/edca.cpp.o.d"
+  "CMakeFiles/wlan_mac.dir/frames.cpp.o"
+  "CMakeFiles/wlan_mac.dir/frames.cpp.o.d"
+  "CMakeFiles/wlan_mac.dir/psm.cpp.o"
+  "CMakeFiles/wlan_mac.dir/psm.cpp.o.d"
+  "CMakeFiles/wlan_mac.dir/rate_adapt.cpp.o"
+  "CMakeFiles/wlan_mac.dir/rate_adapt.cpp.o.d"
+  "CMakeFiles/wlan_mac.dir/timing.cpp.o"
+  "CMakeFiles/wlan_mac.dir/timing.cpp.o.d"
+  "libwlan_mac.a"
+  "libwlan_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

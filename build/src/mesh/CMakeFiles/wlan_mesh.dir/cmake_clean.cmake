@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/wlan_mesh.dir/mesh.cpp.o.d"
+  "libwlan_mesh.a"
+  "libwlan_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

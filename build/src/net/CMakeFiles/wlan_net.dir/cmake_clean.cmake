@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_net.dir/netsim.cpp.o"
+  "CMakeFiles/wlan_net.dir/netsim.cpp.o.d"
+  "libwlan_net.a"
+  "libwlan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/cck.cpp" "src/phy/CMakeFiles/wlan_phy.dir/cck.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/cck.cpp.o.d"
+  "/root/repo/src/phy/convolutional.cpp" "src/phy/CMakeFiles/wlan_phy.dir/convolutional.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/convolutional.cpp.o.d"
+  "/root/repo/src/phy/dsss.cpp" "src/phy/CMakeFiles/wlan_phy.dir/dsss.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/dsss.cpp.o.d"
+  "/root/repo/src/phy/fhss.cpp" "src/phy/CMakeFiles/wlan_phy.dir/fhss.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/fhss.cpp.o.d"
+  "/root/repo/src/phy/ht.cpp" "src/phy/CMakeFiles/wlan_phy.dir/ht.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/ht.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/wlan_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/ldpc.cpp" "src/phy/CMakeFiles/wlan_phy.dir/ldpc.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/ldpc.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/wlan_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/wlan_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/plcp.cpp" "src/phy/CMakeFiles/wlan_phy.dir/plcp.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/plcp.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/wlan_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/wlan_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/wlan_phy.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wlan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/wlan_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/wlan_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wlan_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_phy.dir/cck.cpp.o"
+  "CMakeFiles/wlan_phy.dir/cck.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/convolutional.cpp.o"
+  "CMakeFiles/wlan_phy.dir/convolutional.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/dsss.cpp.o"
+  "CMakeFiles/wlan_phy.dir/dsss.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/fhss.cpp.o"
+  "CMakeFiles/wlan_phy.dir/fhss.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/ht.cpp.o"
+  "CMakeFiles/wlan_phy.dir/ht.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/wlan_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/ldpc.cpp.o"
+  "CMakeFiles/wlan_phy.dir/ldpc.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/modulation.cpp.o"
+  "CMakeFiles/wlan_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/wlan_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/plcp.cpp.o"
+  "CMakeFiles/wlan_phy.dir/plcp.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/wlan_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/wlan_phy.dir/sync.cpp.o"
+  "CMakeFiles/wlan_phy.dir/sync.cpp.o.d"
+  "libwlan_phy.a"
+  "libwlan_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_power.dir/power.cpp.o"
+  "CMakeFiles/wlan_power.dir/power.cpp.o.d"
+  "libwlan_power.a"
+  "libwlan_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/wlan_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wlan_sim.dir/stats.cpp.o"
+  "CMakeFiles/wlan_sim.dir/stats.cpp.o.d"
+  "libwlan_sim.a"
+  "libwlan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coop.dir/test_coop.cpp.o"
+  "CMakeFiles/test_coop.dir/test_coop.cpp.o.d"
+  "test_coop"
+  "test_coop.pdb"
+  "test_coop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

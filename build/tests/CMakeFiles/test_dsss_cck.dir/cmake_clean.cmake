@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsss_cck.dir/test_dsss_cck.cpp.o"
+  "CMakeFiles/test_dsss_cck.dir/test_dsss_cck.cpp.o.d"
+  "test_dsss_cck"
+  "test_dsss_cck.pdb"
+  "test_dsss_cck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsss_cck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edca.dir/test_edca.cpp.o"
+  "CMakeFiles/test_edca.dir/test_edca.cpp.o.d"
+  "test_edca"
+  "test_edca.pdb"
+  "test_edca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

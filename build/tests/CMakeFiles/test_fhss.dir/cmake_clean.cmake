@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fhss.dir/test_fhss.cpp.o"
+  "CMakeFiles/test_fhss.dir/test_fhss.cpp.o.d"
+  "test_fhss"
+  "test_fhss.pdb"
+  "test_fhss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fhss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ht.dir/test_ht.cpp.o"
+  "CMakeFiles/test_ht.dir/test_ht.cpp.o.d"
+  "test_ht"
+  "test_ht.pdb"
+  "test_ht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ldpc.
+# This may be replaced when dependencies are built.

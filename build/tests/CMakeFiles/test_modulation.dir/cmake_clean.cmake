@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modulation.dir/test_modulation.cpp.o"
+  "CMakeFiles/test_modulation.dir/test_modulation.cpp.o.d"
+  "test_modulation"
+  "test_modulation.pdb"
+  "test_modulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

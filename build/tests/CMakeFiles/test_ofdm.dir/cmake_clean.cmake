@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ofdm.dir/test_ofdm.cpp.o"
+  "CMakeFiles/test_ofdm.dir/test_ofdm.cpp.o.d"
+  "test_ofdm"
+  "test_ofdm.pdb"
+  "test_ofdm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ofdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

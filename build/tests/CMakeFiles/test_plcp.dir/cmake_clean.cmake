@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plcp.dir/test_plcp.cpp.o"
+  "CMakeFiles/test_plcp.dir/test_plcp.cpp.o.d"
+  "test_plcp"
+  "test_plcp.pdb"
+  "test_plcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

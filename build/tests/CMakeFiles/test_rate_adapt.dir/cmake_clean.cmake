@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_adapt.dir/test_rate_adapt.cpp.o"
+  "CMakeFiles/test_rate_adapt.dir/test_rate_adapt.cpp.o.d"
+  "test_rate_adapt"
+  "test_rate_adapt.pdb"
+  "test_rate_adapt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_standards.dir/test_standards.cpp.o"
+  "CMakeFiles/test_standards.dir/test_standards.cpp.o.d"
+  "test_standards"
+  "test_standards.pdb"
+  "test_standards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_standards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
