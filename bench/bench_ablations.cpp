@@ -12,9 +12,10 @@
 #include "core/wlan.h"
 #include "mac/edca.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("Ablations", "design choices and what they are worth");
 
@@ -45,6 +46,8 @@ int main() {
                 static_cast<double>(soft_err) / total,
                 static_cast<double>(hard_err) / total,
                 static_cast<double>(hard_err) / std::max<std::size_t>(soft_err, 1));
+    bu::metric("viterbi_soft_ber_at_4db", static_cast<double>(soft_err) / total);
+    bu::metric("viterbi_hard_ber_at_4db", static_cast<double>(hard_err) / total);
   }
 
   bu::section("MMSE vs zero-forcing (2x2 spatial multiplexing, PER vs SNR)");
@@ -140,6 +143,8 @@ int main() {
   {
     std::printf("%12s %16s %14s\n", "aggregation", "goodput(Mbps)",
                 "MAC efficiency");
+    std::vector<double> depths;
+    std::vector<double> goodputs;
     for (const std::size_t frames : {1u, 4u, 16u, 64u}) {
       mac::DcfConfig cfg;
       cfg.generation = mac::PhyGeneration::kHt;
@@ -149,9 +154,12 @@ int main() {
       cfg.ampdu_frames = frames;
       cfg.duration_s = 2.0;
       const auto r = mac::simulate_dcf(cfg, rng);
+      depths.push_back(static_cast<double>(frames));
+      goodputs.push_back(r.throughput_mbps);
       std::printf("%12zu %16.1f %13.0f%%\n", frames, r.throughput_mbps,
                   100.0 * r.throughput_mbps / 300.0);
     }
+    bu::series("goodput_vs_ampdu_depth", "frames", depths, "mbps", goodputs);
   }
 
   std::printf("\n(Each winning choice above is what the main benches use: "

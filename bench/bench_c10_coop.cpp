@@ -10,9 +10,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C10: decode-and-forward cooperative diversity",
             "a relaying third party steepens the outage curve (diversity "
@@ -51,6 +52,10 @@ int main() {
                 rr.outage_probability, rs.outage_probability);
   }
 
+  bu::series("outage_vs_snr_direct", "snr_db", snrs, "outage", out_direct);
+  bu::series("outage_vs_snr_df_repetition", "snr_db", snrs, "outage", out_rep);
+  bu::series("outage_vs_snr_df_selection", "snr_db", snrs, "outage", out_sel);
+
   // Diversity order = slope of log10(outage) per decade of SNR.
   auto slope = [&](const std::vector<double>& outage) {
     const double lo = outage[2];   // 8 dB
@@ -86,6 +91,10 @@ int main() {
     best_outage = best_outage / std::max(r.outage_probability, 1e-9);
   }
 
+  bu::metric("diversity_order_direct", d_direct);
+  bu::metric("diversity_order_df_repetition", d_rep);
+  bu::metric("diversity_order_df_selection", d_sel);
+  bu::metric("best_outage_ratio_vs_direct", best_outage);
   const bool ok = d_direct < 1.4 && d_rep > 1.5 && d_sel > 1.5;
   bu::verdict(ok,
               "cooperation doubles the diversity order (%.1f -> %.1f) and a "

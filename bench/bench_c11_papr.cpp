@@ -10,9 +10,10 @@
 #include "core/wlan.h"
 #include "dsp/ops.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C11: waveform PAPR and the PA efficiency it costs",
             "OFDM's ~10 dB PAPR forces PA backoff that collapses "
@@ -47,13 +48,19 @@ int main() {
   std::printf(" %10s\n", "PAPR(dB)");
 
   std::vector<double> paprs;
-  for (const Waveform& w : waves) {
+  const std::vector<std::string> wave_keys = {"dsss", "cck", "ofdm"};
+  for (std::size_t i = 0; i < waves.size(); ++i) {
+    const Waveform& w = waves[i];
     const RVec ccdf = dsp::power_ccdf(w.samples, thresholds);
     std::printf("%-14s", w.name);
     for (const double c : ccdf) std::printf(" %9.5f", c);
     const double papr = dsp::papr_db(w.samples);
     paprs.push_back(papr);
     std::printf(" %10.1f\n", papr);
+    bu::series("power_ccdf_" + wave_keys[i], "threshold_db",
+               std::vector<double>(thresholds.begin(), thresholds.end()),
+               "fraction", std::vector<double>(ccdf.begin(), ccdf.end()));
+    bu::metric("papr_db_" + wave_keys[i], papr);
   }
 
   bu::section("PA consequences (class-AB, 40% peak efficiency, same 15 dBm avg)");
@@ -70,6 +77,9 @@ int main() {
                 eff * 100.0, pa.dc_power_w(15.0, backoff) * 1e3);
   }
 
+  for (std::size_t i = 0; i < waves.size(); ++i) {
+    bu::metric("pa_efficiency_" + wave_keys[i], effs[i]);
+  }
   const bool papr_shape = paprs[0] < 4.0 && paprs[2] > 8.0;
   const bool eff_shape = effs[0] > 2.0 * effs[2];
   bu::verdict(papr_shape && eff_shape,

@@ -12,9 +12,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C12: the power cost of MIMO, and three mitigations",
             "N chains cost ~Nx RF power; chain switching, beamforming TX "
@@ -116,6 +117,14 @@ int main() {
               "energy) off the source battery\n",
               r.relay_decode_fraction * 100.0, r.relay_airtime_fraction * 100.0);
 
+  bu::series("tx_power_w_vs_chains", "chains", {1.0, 2.0, 3.0, 4.0}, "watts",
+             tx_w);
+  bu::series("rx_power_w_vs_chains", "chains", {1.0, 2.0, 3.0, 4.0}, "watts",
+             rx_w);
+  bu::metric("tx_power_ratio_4x4_vs_1x1", tx_w[3] / tx_w[0]);
+  bu::metric("rx_power_ratio_4x4_vs_1x1", rx_w[3] / rx_w[0]);
+  bu::metric("chain_switching_saving_at_5pct_duty", saving_at_5pct);
+  bu::metric("relay_airtime_fraction", r.relay_airtime_fraction);
   const bool cost_shape = tx_w[3] > 2.5 * tx_w[0] && rx_w[3] > 2.0 * rx_w[0];
   const bool mitigations = saving_at_5pct > 2.0 && pa_4 < 1.2 * pa_1 &&
                            r.relay_airtime_fraction > 0.3;

@@ -10,9 +10,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C13: power-save mode — energy vs latency at the protocol level",
             "continuous listening dominates the energy budget; PSM doze "
@@ -26,6 +27,10 @@ int main() {
   std::printf("%10s | %12s %12s | %12s %12s %12s\n", "pkts/s", "CAM power",
               "CAM delay", "PSM power", "PSM delay", "saving");
   double saving_light = 0.0;
+  std::vector<double> ppss;
+  std::vector<double> cam_power_w;
+  std::vector<double> psm_power_w;
+  std::vector<double> psm_delay_ms;
   for (const double pps : {1.0, 10.0, 50.0, 200.0}) {
     mac::PsmConfig cam;
     cam.psm_enabled = false;
@@ -38,10 +43,18 @@ int main() {
     const double p_cam = power::psm_energy_j(radio, r_cam) / cam.duration_s;
     const double p_psm = power::psm_energy_j(radio, r_psm) / psm.duration_s;
     if (pps == 1.0) saving_light = p_cam / p_psm;
+    ppss.push_back(pps);
+    cam_power_w.push_back(p_cam);
+    psm_power_w.push_back(p_psm);
+    psm_delay_ms.push_back(r_psm.mean_delay_s * 1e3);
     std::printf("%10.0f | %9.0f mW %9.2f ms | %9.0f mW %9.0f ms %11.1fx\n",
                 pps, p_cam * 1e3, r_cam.mean_delay_s * 1e3, p_psm * 1e3,
                 r_psm.mean_delay_s * 1e3, p_cam / p_psm);
   }
+  bu::series("cam_power_w_vs_pps", "pkts_per_s", ppss, "watts", cam_power_w);
+  bu::series("psm_power_w_vs_pps", "pkts_per_s", ppss, "watts", psm_power_w);
+  bu::series("psm_delay_ms_vs_pps", "pkts_per_s", ppss, "ms", psm_delay_ms);
+  bu::metric("psm_saving_at_1pps", saving_light);
 
   bu::section("listen interval: trading more latency for more doze (10 pkt/s)");
   std::printf("%16s %12s %12s %14s\n", "listen interval", "power",

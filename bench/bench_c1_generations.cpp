@@ -15,9 +15,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C1: generations of 802.11 — rate and spectral efficiency",
             "each generation multiplies spectral efficiency ~5x: "
@@ -81,11 +82,26 @@ int main() {
                 row.measured_mbps, row.width_mhz, e, row.per_at_op_snr);
   }
 
+  {
+    std::vector<double> gen;
+    std::vector<double> rate;
+    std::vector<double> per;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      gen.push_back(static_cast<double>(i));
+      rate.push_back(rows[i].measured_mbps);
+      per.push_back(rows[i].per_at_op_snr);
+    }
+    bu::series("spectral_efficiency", "generation", gen, "bps_per_hz", eff);
+    bu::series("top_rate", "generation", gen, "mbps", rate);
+    bu::series("per_at_operating_snr", "generation", gen, "per", per);
+  }
+
   bu::section("efficiency ratios between consecutive generations");
   bool fivefold = true;
   for (std::size_t i = 1; i < eff.size(); ++i) {
     const double ratio = eff[i] / eff[i - 1];
     std::printf("  %s / %s = %.1fx\n", rows[i].name, rows[i - 1].name, ratio);
+    bu::metric(std::string("efficiency_ratio_") + std::to_string(i), ratio);
     if (ratio < 4.0 || ratio > 7.0) fivefold = false;
   }
 

@@ -12,9 +12,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C2: DSSS processing gain vs narrowband tone jammer",
             "Barker-11 spreading buys ~10.4 dB of tolerance to a "
@@ -43,10 +44,14 @@ int main() {
     std::printf("%10.1f %16.5f %16.5f\n", sir, s.ber(), n.ber());
   }
 
+  bu::series("ber_vs_sir_spread", "sir_db", sirs, "ber", ber_spread);
+  bu::series("ber_vs_sir_unspread", "sir_db", sirs, "ber", ber_narrow);
+
   // BER decreases with SIR; find the 1e-2 crossings.
   const double sir_spread = bu::crossing(sirs, ber_spread, 1e-2);
   const double sir_narrow = bu::crossing(sirs, ber_narrow, 1e-2);
   const double gain = sir_narrow - sir_spread;
+  bu::metric("processing_gain_db", gain);
 
   bu::section("operating points");
   std::printf("  SIR @ BER=1e-2, spread   : %6.1f dB\n", sir_spread);
@@ -69,6 +74,7 @@ int main() {
               "1/79 of the band)\n",
               hop_jammed.ber(), hop_jammed.jammed_hops, hop_jammed.total_hops);
 
+  bu::metric("fhss_jammed_ber", hop_jammed.ber());
   const bool ok = gain > 7.0 && gain < 14.0;
   const bool fhss_ok = hop_jammed.ber() < 0.05 && hop_clean.bit_errors == 0;
   bu::verdict(ok && fhss_ok,

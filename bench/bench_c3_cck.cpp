@@ -10,9 +10,10 @@
 #include "core/wlan.h"
 #include "dsp/spectrum.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C3: 802.11b CCK vs 802.11 DSSS",
             "CCK carries 11 Mbps (0.5 bps/Hz) in the same 11 Mchip/s "
@@ -51,6 +52,9 @@ int main() {
     ber11.push_back(c11.ber());
   }
 
+  bu::series("ber_vs_snr_dsss_1m", "snr_db", snrs, "ber", ber1);
+  bu::series("ber_vs_snr_cck_11m", "snr_db", snrs, "ber", ber11);
+
   // CCK trades SNR for rate: its waterfall sits right of DSSS-1M but
   // within a few dB (the CCK codeword distance does real coding work).
   const double snr1 = bu::crossing(snrs, ber1, 1e-3);
@@ -81,6 +85,9 @@ int main() {
   std::printf("  CCK vs Barker DSSS : %.3f\n", sig_dsss);
   std::printf("  CCK vs OFDM        : %.3f (for contrast)\n", sig_ofdm);
 
+  bu::metric("snr_delta_db_at_ber_1e3", snr11 - snr1);
+  bu::metric("spectral_similarity_cck_dsss", sig_dsss);
+  bu::metric("spectral_similarity_cck_ofdm", sig_ofdm);
   const bool ok = snr11 - snr1 > 0.0 && snr11 - snr1 < 14.0;
   const bool signature = sig_dsss > 0.95;
   bu::verdict(ok && signature,

@@ -10,9 +10,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C4: 802.11a/g OFDM rate ladder",
             "eight MCS from 6 to 54 Mbps; 54 Mbps / 20 MHz = 2.7 bps/Hz, "
@@ -61,6 +62,13 @@ int main() {
     top_goodput = std::max(top_goodput, best);
     std::printf("%9.1f %14.1f %9.0fM\n", snrs[s], best, best_rate);
   }
+
+  for (std::size_t m = 0; m < phy::kAllOfdmMcs.size(); ++m) {
+    const double rate = phy::ofdm_mcs_info(phy::kAllOfdmMcs[m]).data_rate_mbps;
+    bu::series("per_vs_snr_mcs_" + std::to_string(static_cast<int>(rate)) + "m",
+               "snr_db", snrs, "per", per[m]);
+  }
+  bu::metric("peak_goodput_mbps", top_goodput);
 
   // Sensitivity ladder: each step up the MCS list needs more SNR.
   bu::section("SNR required for PER <= 10% per MCS");

@@ -11,9 +11,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C5: MIMO spatial multiplexing — capacity and 802.11n throughput",
             "capacity grows ~linearly in min(Ntx,Nrx); the 4-stream 40 MHz "
@@ -25,8 +26,11 @@ int main() {
   std::printf("%9s %8s %8s %8s %8s\n", "SNR(dB)", "1x1", "2x2", "3x3", "4x4");
   const int trials = 300;
   std::vector<double> cap4_at20;
+  std::vector<double> cap_snrs;
+  std::vector<std::vector<double>> caps(4);
   for (const double snr_db : {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
     const double snr = db_to_lin(snr_db);
+    cap_snrs.push_back(snr_db);
     std::printf("%9.1f", snr_db);
     for (const std::size_t n : {1u, 2u, 3u, 4u}) {
       double c = 0.0;
@@ -35,10 +39,16 @@ int main() {
             channel::iid_rayleigh_matrix(rng, n, n), snr);
       }
       c /= trials;
+      caps[n - 1].push_back(c);
       std::printf(" %8.2f", c);
       if (snr_db == 20.0 && n == 4) cap4_at20.push_back(c);
     }
     std::printf("\n");
+  }
+  for (std::size_t n = 1; n <= 4; ++n) {
+    bu::series("capacity_bps_hz_" + std::to_string(n) + "x" +
+                   std::to_string(n),
+               "snr_db", cap_snrs, "bps_hz", caps[n - 1]);
   }
 
   bu::section("802.11n throughput vs SNR (40 MHz, short GI, office channel)");
@@ -71,6 +81,10 @@ int main() {
   }
 
   const double eff = best600 / 40.0;
+  bu::metric("capacity_4x4_at_20db_bps_hz",
+             cap4_at20.empty() ? 0.0 : cap4_at20[0]);
+  bu::metric("best_goodput_mcs31_40mhz_mbps", best600);
+  bu::metric("spectral_efficiency_bps_hz", eff);
   bu::section("headline mode");
   std::printf("  MCS31 @ 40 MHz + short GI: PHY rate %.0f Mbps, measured "
               "goodput %.0f Mbps, %.1f bps/Hz\n",

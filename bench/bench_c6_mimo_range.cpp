@@ -26,9 +26,10 @@ double per_at(const phy::HtConfig& cfg, double snr_db, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C6: MIMO range extension in a fading environment",
             "spatial diversity extends range several-fold over SISO");
@@ -89,12 +90,18 @@ int main() {
     std::printf("\n");
   }
 
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    bu::series(std::string("per_vs_distance_") + schemes[s].name, "distance_m",
+               dists, "per", per[s]);
+  }
+
   bu::section("range at PER = 10%");
   std::vector<double> range(schemes.size());
   for (std::size_t s = 0; s < schemes.size(); ++s) {
     range[s] = bu::crossing(dists, per[s], 0.10);
     std::printf("  %-10s: %5.0f m (%.1fx SISO)\n", schemes[s].name, range[s],
                 range[s] / range[0]);
+    bu::metric(std::string("range_m_") + schemes[s].name, range[s]);
   }
 
   const double best_multiple =

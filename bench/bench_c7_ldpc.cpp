@@ -15,9 +15,10 @@
 #include "common/bits.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C7: LDPC vs convolutional coding — gain and range",
             "LDPC's coding gain over the K=7 convolutional code extends "
@@ -65,6 +66,8 @@ int main() {
     ber_ldpc.push_back(bl);
     std::printf("%12.1f %14.6f %14.6f\n", ebn0_db, bc, bl);
   }
+  bu::series("ber_vs_ebn0_conv_k7", "ebn0_db", ebn0s, "ber", ber_conv);
+  bu::series("ber_vs_ebn0_ldpc_648", "ebn0_db", ebn0s, "ber", ber_ldpc);
   const double req_conv = bu::crossing(ebn0s, ber_conv, 1e-4);
   const double req_ldpc = bu::crossing(ebn0s, ber_ldpc, 1e-4);
   const double gain_db = req_conv - req_ldpc;
@@ -94,6 +97,8 @@ int main() {
     per_ldpc.push_back(rl.per());
     std::printf("%10.1f %10.2f %10.2f\n", snr, rb.per(), rl.per());
   }
+  bu::series("per_vs_snr_bcc_mcs3", "snr_db", snrs, "per", per_bcc);
+  bu::series("per_vs_snr_ldpc_mcs3", "snr_db", snrs, "per", per_ldpc);
   const double snr_bcc = bu::crossing(snrs, per_bcc, 0.10);
   const double snr_ldpc = bu::crossing(snrs, per_ldpc, 0.10);
   const double link_gain = snr_bcc - snr_ldpc;
@@ -110,6 +115,9 @@ int main() {
   std::printf("  range multiple via 3.5-exponent path loss: %.2fx\n",
               range_multiple);
 
+  bu::metric("coding_gain_db_at_ber_1e4", gain_db);
+  bu::metric("link_gain_db_at_per_10pct", link_gain);
+  bu::metric("range_multiple", range_multiple);
   const bool ok = gain_db > 0.5 && link_gain > -0.5;
   bu::verdict(ok,
               "LDPC gains %.1f dB on coded BPSK and %.1f dB at the 11n link "

@@ -11,9 +11,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C8: closed-loop SVD beamforming",
             "transmit-side channel knowledge improves both rate "
@@ -70,6 +71,9 @@ int main() {
                 r4.per());
   }
 
+  bu::series("per_vs_snr_siso_1x1", "snr_db", snrs, "per", per_siso);
+  bu::series("per_vs_snr_bf_2x1", "snr_db", snrs, "per", per_bf2);
+  bu::series("per_vs_snr_bf_4x1", "snr_db", snrs, "per", per_bf4);
   const double s_siso = bu::crossing(snrs, per_siso, 0.10);
   const double s_bf2 = bu::crossing(snrs, per_bf2, 0.10);
   const double s_bf4 = bu::crossing(snrs, per_bf4, 0.10);
@@ -87,6 +91,8 @@ int main() {
 
   // Expected: ~3 dB array gain for 2 antennas, ~6 dB for 4, plus the
   // diversity slope change in fading.
+  bu::metric("array_gain_db_2x1", s_siso - s_bf2);
+  bu::metric("array_gain_db_4x1", s_siso - s_bf4);
   const bool ok = (s_siso - s_bf2) > 1.5 && (s_bf2 - s_bf4) > 0.5;
   bu::verdict(ok,
               "beamforming gains %.1f dB (2 antennas) and %.1f dB "

@@ -10,9 +10,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("C9: mesh coverage and airtime-aware routing",
             "mesh dramatically grows served area; airtime routing beats "
@@ -27,6 +28,9 @@ int main() {
   std::printf("%12s %14s %14s %10s\n", "side (m)", "direct cover",
               "mesh cover", "gain");
   double cover_gain_at_600 = 0.0;
+  std::vector<double> sides;
+  std::vector<double> direct_cover;
+  std::vector<double> mesh_cover;
   for (const double side : {200.0, 400.0, 600.0, 800.0}) {
     double direct = 0.0;
     double meshed = 0.0;
@@ -39,9 +43,14 @@ int main() {
     direct /= topologies;
     meshed /= topologies;
     if (side == 600.0) cover_gain_at_600 = meshed / direct;
+    sides.push_back(side);
+    direct_cover.push_back(direct);
+    mesh_cover.push_back(meshed);
     std::printf("%12.0f %13.0f%% %13.0f%% %9.1fx\n", side, 100.0 * direct,
                 100.0 * meshed, meshed / direct);
   }
+  bu::series("direct_cover_vs_side", "side_m", sides, "fraction", direct_cover);
+  bu::series("mesh_cover_vs_side", "side_m", sides, "fraction", mesh_cover);
 
   bu::section("end-to-end throughput by routing policy (600 m deployments)");
   std::printf("%16s %12s %12s %12s\n", "", "direct", "min-hop", "airtime");
@@ -73,6 +82,10 @@ int main() {
   std::printf("\n  pairs where several fast hops beat a usable direct link: "
               "%d\n", airtime_multihop_wins);
 
+  bu::metric("cover_gain_at_600m", cover_gain_at_600);
+  bu::metric("mean_mbps_direct", sum_direct / pairs);
+  bu::metric("mean_mbps_min_hop", sum_hop / pairs);
+  bu::metric("mean_mbps_airtime", sum_air / pairs);
   const bool covers = cover_gain_at_600 > 1.5;
   const bool routing_wins =
       sum_air >= sum_hop && sum_air > sum_direct && airtime_multihop_wins > 0;

@@ -9,9 +9,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("EXT: hidden terminals, capture, and RTS/CTS",
             "two saturated senders around one receiver; spacing controls "
@@ -22,6 +23,11 @@ int main() {
               "basic thr", "data loss", "RTS thr", "data loss", "RTS loss");
   double basic_loss_hidden = 0.0;
   double rts_loss_hidden = 0.0;
+  std::vector<double> spacings;
+  std::vector<double> basic_thr;
+  std::vector<double> rts_thr;
+  std::vector<double> basic_loss;
+  std::vector<double> rts_loss;
   for (const double d : {30.0, 60.0, 100.0, 130.0, 160.0}) {
     const auto setup = net::make_hidden_terminal_setup(d);
     net::NetworkConfig cfg;
@@ -43,11 +49,22 @@ int main() {
       basic_loss_hidden = basic.data_failure_rate();
       rts_loss_hidden = rts.data_failure_rate();
     }
+    spacings.push_back(d);
+    basic_thr.push_back(basic.aggregate_throughput_mbps);
+    rts_thr.push_back(rts.aggregate_throughput_mbps);
+    basic_loss.push_back(basic.data_failure_rate());
+    rts_loss.push_back(rts.data_failure_rate());
     std::printf("%12.0f | %10.1f M %12.3f | %10.1f M %12.3f %12.3f\n", d,
                 basic.aggregate_throughput_mbps, basic.data_failure_rate(),
                 rts.aggregate_throughput_mbps, rts.data_failure_rate(),
                 rts_frame_loss);
   }
+  bu::series("basic_thr_vs_spacing", "spacing_m", spacings, "mbps", basic_thr);
+  bu::series("rts_thr_vs_spacing", "spacing_m", spacings, "mbps", rts_thr);
+  bu::series("basic_loss_vs_spacing", "spacing_m", spacings, "fraction",
+             basic_loss);
+  bu::series("rts_loss_vs_spacing", "spacing_m", spacings, "fraction",
+             rts_loss);
 
   bu::section("contention scaling with everyone in range (AP + N stations)");
   std::printf("%10s %14s %18s\n", "stations", "agg thr", "same-slot starts");
@@ -83,6 +100,8 @@ int main() {
   std::printf("  (the knee sits where offered load meets the ~15 Mbps DCF\n"
               "   service rate — classic M/G/1-ish queueing behaviour)\n");
 
+  bu::metric("basic_loss_at_100m", basic_loss_hidden);
+  bu::metric("rts_loss_at_100m", rts_loss_hidden);
   const bool ok = basic_loss_hidden > 0.1 && rts_loss_hidden < 0.05;
   bu::verdict(ok,
               "hidden senders lose %.0f%% of data frames under basic CSMA "

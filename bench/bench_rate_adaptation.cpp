@@ -9,9 +9,10 @@
 #include "bench_util.h"
 #include "core/wlan.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wlan;
   namespace bu = benchutil;
+  bu::args(argc, argv);
 
   bu::title("EXT: rate adaptation (ARF vs fixed vs genie) over Jakes fading",
             "adaptation is what turns the standards' rate ladders into "
@@ -24,6 +25,10 @@ int main() {
   std::printf("%10s %12s %12s %12s | %10s\n", "SNR(dB)", "fixed 54M", "ARF",
               "genie", "ARF PER");
   std::uint64_t seed = 14;
+  std::vector<double> snrs;
+  std::vector<double> gp_fixed;
+  std::vector<double> gp_arf;
+  std::vector<double> gp_genie;
   for (const double snr : {8.0, 12.0, 16.0, 20.0, 24.0, 30.0}) {
     ++seed;
     mac::RateAdaptConfig cfg;
@@ -38,10 +43,17 @@ int main() {
     cfg.control = mac::RateControl::kSnrIdeal;
     Rng r3(seed);
     const auto genie = mac::simulate_rate_adaptation(cfg, r3);
+    snrs.push_back(snr);
+    gp_fixed.push_back(fixed.goodput_mbps);
+    gp_arf.push_back(arf.goodput_mbps);
+    gp_genie.push_back(genie.goodput_mbps);
     std::printf("%10.1f %12.1f %12.1f %12.1f | %10.2f\n", snr,
                 fixed.goodput_mbps, arf.goodput_mbps, genie.goodput_mbps,
                 arf.per);
   }
+  bu::series("goodput_vs_snr_fixed_54m", "snr_db", snrs, "mbps", gp_fixed);
+  bu::series("goodput_vs_snr_arf", "snr_db", snrs, "mbps", gp_arf);
+  bu::series("goodput_vs_snr_genie", "snr_db", snrs, "mbps", gp_genie);
 
   bu::section("channel dynamics: ARF's gap to the genie vs Doppler (16 dB "
               "mean SNR)");
@@ -67,6 +79,8 @@ int main() {
                 genie.goodput_mbps, gap);
   }
 
+  bu::metric("genie_gap_mbps_doppler_0_5hz", gap_slow);
+  bu::metric("genie_gap_mbps_doppler_50hz", gap_fast);
   const bool ok = gap_fast > gap_slow;
   bu::verdict(ok,
               "ARF trails the genie by %.1f Mbps in slow fading but %.1f "

@@ -3,17 +3,156 @@
 // Each bench prints a self-contained report: the claim quoted from the
 // paper, the series the experiment produces, and a PASS/SHAPE-note line
 // summarizing whether the measured shape matches the claim.
+//
+// Machine-readable output: every bench's main() starts with
+// `benchutil::args(argc, argv)`. With `--json <path>` the run also
+// writes a structured report at exit — claim id, recorded series and
+// scalar metrics, verdict, and wall-time histograms of the hot kernels
+// (FFT, Viterbi, LDPC, fading taps; profiled automatically when --json
+// is on, or on demand with --profile). scripts/run_benches.sh
+// aggregates these into BENCH_<tag>.json.
 #pragma once
 
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace wlan::benchutil {
 
+/// One recorded (x, y) curve of the experiment.
+struct Series {
+  std::string name;
+  std::string x_label;
+  std::string y_label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Accumulated report state for the running bench (one per process).
+struct Report {
+  std::string json_path;
+  std::string id;          // "C1", "EXT", ... — text before ':' in the title
+  std::string title;
+  std::string claim;
+  std::vector<Series> series;
+  std::vector<std::pair<std::string, double>> metrics;
+  bool has_verdict = false;
+  bool ok = false;
+  std::string verdict_detail;
+  obs::Registry registry;  // kernel-profiling histograms live here
+};
+
+inline Report& report() {
+  static Report r;
+  return r;
+}
+
+inline void write_report() {
+  const Report& r = report();
+  if (r.json_path.empty()) return;
+  std::ofstream out(r.json_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "benchutil: cannot write %s\n", r.json_path.c_str());
+    return;
+  }
+  using obs::json_escape;
+  using obs::json_number;
+  out << "{\"schema\":\"holtwlan-bench-v1\"";
+  out << ",\"id\":\"" << json_escape(r.id) << '"';
+  out << ",\"title\":\"" << json_escape(r.title) << '"';
+  out << ",\"claim\":\"" << json_escape(r.claim) << '"';
+  out << ",\"verdict\":\""
+      << (r.has_verdict ? (r.ok ? "REPRODUCED" : "MISMATCH") : "NONE") << '"';
+  out << ",\"ok\":" << (!r.has_verdict || r.ok ? "true" : "false");
+  out << ",\"detail\":\"" << json_escape(r.verdict_detail) << '"';
+  out << ",\"series\":[";
+  for (std::size_t s = 0; s < r.series.size(); ++s) {
+    const Series& ser = r.series[s];
+    if (s) out << ',';
+    out << "{\"name\":\"" << json_escape(ser.name) << "\",\"x_label\":\""
+        << json_escape(ser.x_label) << "\",\"y_label\":\""
+        << json_escape(ser.y_label) << "\",\"x\":[";
+    for (std::size_t i = 0; i < ser.x.size(); ++i) {
+      if (i) out << ',';
+      json_number(out, ser.x[i]);
+    }
+    out << "],\"y\":[";
+    for (std::size_t i = 0; i < ser.y.size(); ++i) {
+      if (i) out << ',';
+      json_number(out, ser.y[i]);
+    }
+    out << "]}";
+  }
+  out << "],\"metrics\":{";
+  for (std::size_t i = 0; i < r.metrics.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << json_escape(r.metrics[i].first) << "\":";
+    json_number(out, r.metrics[i].second);
+  }
+  out << "},\"kernels\":[";
+  bool first = true;
+  for (std::size_t k = 0; k < obs::kKernelCount; ++k) {
+    const auto kernel = static_cast<obs::Kernel>(k);
+    const obs::Histogram* h =
+        r.registry.find_histogram(obs::kernel_metric_name(kernel));
+    if (!h || h->count() == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << obs::kernel_metric_name(kernel)
+        << "\",\"count\":" << h->count() << ",\"mean_s\":";
+    json_number(out, h->mean());
+    out << ",\"p50_s\":";
+    json_number(out, h->percentile(50.0));
+    out << ",\"p90_s\":";
+    json_number(out, h->percentile(90.0));
+    out << ",\"p99_s\":";
+    json_number(out, h->percentile(99.0));
+    out << ",\"max_s\":";
+    json_number(out, h->max());
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+/// Parses bench CLI flags: `--json <path>` (write the structured report
+/// there; also enables kernel profiling) and `--profile` (kernel
+/// profiling without a report, dumped nowhere — useful with a debugger).
+/// Call first thing in main().
+inline void args(int argc, char** argv) {
+  Report& r = report();
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      r.json_path = argv[++i];
+    } else if (a == "--profile") {
+      obs::enable_kernel_profiling(r.registry);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--profile]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  if (!r.json_path.empty()) {
+    obs::enable_kernel_profiling(r.registry);
+    std::atexit(write_report);
+  }
+}
+
 inline void title(const char* id, const char* claim) {
+  Report& r = report();
+  r.title = id;
+  r.claim = claim;
+  const std::string t = id;
+  const std::size_t colon = t.find(':');
+  r.id = colon == std::string::npos ? t : t.substr(0, colon);
   std::printf("==============================================================="
               "=================\n");
   std::printf("%s\n", id);
@@ -24,22 +163,44 @@ inline void title(const char* id, const char* claim) {
 
 inline void section(const char* name) { std::printf("\n-- %s --\n", name); }
 
+/// Records a curve into the JSON report (printing stays with the bench).
+inline void series(std::string name, std::string x_label,
+                   std::vector<double> xs, std::string y_label,
+                   std::vector<double> ys) {
+  report().series.push_back(Series{std::move(name), std::move(x_label),
+                                   std::move(y_label), std::move(xs),
+                                   std::move(ys)});
+}
+
+/// Records one scalar result into the JSON report.
+inline void metric(std::string name, double value) {
+  report().metrics.emplace_back(std::move(name), value);
+}
+
 inline void verdict(bool ok, const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);
-  std::printf("\n[%s] ", ok ? "REPRODUCED" : "MISMATCH");
-  std::vprintf(fmt, args);
-  std::printf("\n\n");
+  char detail[1024];
+  std::vsnprintf(detail, sizeof detail, fmt, args);
   va_end(args);
+  Report& r = report();
+  r.has_verdict = true;
+  r.ok = ok;
+  r.verdict_detail = detail;
+  std::printf("\n[%s] %s\n\n", ok ? "REPRODUCED" : "MISMATCH", detail);
 }
 
 /// Linear interpolation of the x where series y crosses `target`
-/// (y assumed monotone along x). Returns NaN if no crossing.
+/// (y assumed monotone along x). An exact hit (ys[i] == target, including
+/// a flat run at the target or a hit on the first/last sample) returns
+/// the first such x. Returns NaN if no crossing.
 inline double crossing(const std::vector<double>& xs,
                        const std::vector<double>& ys, double target) {
-  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
-    const bool between = (ys[i] - target) * (ys[i + 1] - target) <= 0.0;
-    if (!between || ys[i] == ys[i + 1]) continue;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (ys[i] == target) return xs[i];
+    if (i + 1 >= ys.size()) break;
+    const bool between = (ys[i] - target) * (ys[i + 1] - target) < 0.0;
+    if (!between) continue;
     const double t = (target - ys[i]) / (ys[i + 1] - ys[i]);
     return xs[i] + t * (xs[i + 1] - xs[i]);
   }

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Builds the Release tree, runs every claim bench (C1-C13 plus the
+# extensions) with --json, and aggregates the per-bench reports into
+# bench-out/BENCH_PR.json. Exits nonzero if any bench reports MISMATCH
+# (a bench that crashes or fails to produce a report also fails the run).
+#
+# Usage: scripts/run_benches.sh [build-dir] [out-dir]
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-bench}"
+OUT="${2:-$ROOT/bench-out}"
+
+BENCHES=(
+  bench_c1_generations
+  bench_c2_processing_gain
+  bench_c3_cck
+  bench_c4_ofdm
+  bench_c5_mimo_rate
+  bench_c6_mimo_range
+  bench_c7_ldpc
+  bench_c8_beamforming
+  bench_c9_mesh
+  bench_c10_coop
+  bench_c11_papr
+  bench_c12_power
+  bench_c13_psm
+  bench_rate_adaptation
+  bench_hidden_terminal
+  bench_ablations
+)
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release || exit 1
+cmake --build "$BUILD" -j "$(nproc)" --target "${BENCHES[@]}" bench_kernels \
+  || exit 1
+
+mkdir -p "$OUT"
+failures=0
+mismatches=0
+
+for bench in "${BENCHES[@]}"; do
+  json="$OUT/$bench.json"
+  log="$OUT/$bench.log"
+  echo "== $bench"
+  "$BUILD/bench/$bench" --json "$json" > "$log" 2>&1
+  status=$?
+  if [[ ! -s "$json" ]]; then
+    echo "   FAILED: no report written (exit $status); see $log"
+    failures=$((failures + 1))
+    continue
+  fi
+  if grep -q '"verdict":"MISMATCH"' "$json"; then
+    echo "   MISMATCH (exit $status)"
+    mismatches=$((mismatches + 1))
+  else
+    echo "   ok (exit $status)"
+  fi
+done
+
+# Kernel microbenchmarks via google-benchmark's native JSON reporter.
+echo "== bench_kernels"
+"$BUILD/bench/bench_kernels" \
+  --benchmark_out="$OUT/bench_kernels.json" \
+  --benchmark_out_format=json > "$OUT/bench_kernels.log" 2>&1 \
+  || echo "   FAILED (see $OUT/bench_kernels.log)"
+
+# Aggregate: one JSON array of the per-bench report objects.
+agg="$OUT/BENCH_PR.json"
+{
+  echo '{"schema":"holtwlan-bench-aggregate-v1","reports":['
+  first=1
+  for bench in "${BENCHES[@]}"; do
+    json="$OUT/$bench.json"
+    [[ -s "$json" ]] || continue
+    [[ $first -eq 1 ]] || echo ','
+    first=0
+    cat "$json"
+  done
+  echo ']}'
+} > "$agg"
+
+echo
+echo "aggregate report: $agg"
+if [[ $failures -gt 0 || $mismatches -gt 0 ]]; then
+  echo "RESULT: $mismatches mismatch(es), $failures failure(s)"
+  exit 1
+fi
+echo "RESULT: all benches reproduced"

@@ -6,12 +6,14 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "obs/timer.h"
 
 namespace wlan::dsp {
 namespace {
 
 // Iterative Cooley-Tukey; direction +1 for forward (e^{-j...}), -1 inverse.
 void transform(CVec& x, int direction) {
+  const obs::ScopedTimer timer(obs::kernel_histogram(obs::Kernel::kFft));
   const std::size_t n = x.size();
   check(is_power_of_two(n), "FFT size must be a power of two");
   int log2n = 0;

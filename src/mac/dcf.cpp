@@ -70,10 +70,25 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
   double busy = 0.0;
   std::vector<std::size_t> transmitters;
 
+  auto emit = [&](obs::EventType type, std::size_t station, double time,
+                  double value) {
+    if (!config.trace) return;
+    obs::TraceEvent e;
+    e.time_s = time;
+    e.type = type;
+    e.node = static_cast<std::int32_t>(station);
+    e.value = value;
+    e.detail = "DCF";
+    config.trace->record(e);
+  };
+
   auto on_failure = [&](Station& s, double now) {
     ++s.retries;
     if (s.retries > config.retry_limit) {
       ++result.dropped;
+      emit(obs::EventType::kDrop,
+           static_cast<std::size_t>(&s - stations.data()), now,
+           static_cast<double>(s.retries));
       s.retries = 0;
       s.cw = timing.cw_min;
       s.head_since = now;  // next frame becomes head of queue
@@ -98,11 +113,14 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
     result.attempts += transmitters.size();
     if (transmitters.size() == 1) {
       Station& s = stations[transmitters[0]];
+      emit(obs::EventType::kTxStart, transmitters[0], t, dur.success);
       // Channel errors thin the delivered MPDUs of an A-MPDU.
       std::uint64_t ok = 0;
       for (std::size_t f = 0; f < config.ampdu_frames; ++f) {
         if (!rng.bernoulli(config.packet_error_rate)) ++ok;
       }
+      emit(ok > 0 ? obs::EventType::kRxOk : obs::EventType::kRxFail,
+           transmitters[0], t, static_cast<double>(ok));
       if (ok > 0) {
         result.delivered_frames += ok;
         const double done = t + dur.success;
@@ -121,6 +139,8 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
     } else {
       result.collisions += transmitters.size();
       for (const std::size_t i : transmitters) {
+        emit(obs::EventType::kCollision, i, t,
+             static_cast<double>(transmitters.size()));
         on_failure(stations[i], t + dur.collision);
       }
       t += dur.collision;

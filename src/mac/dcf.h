@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "mac/timing.h"
+#include "obs/trace.h"
 
 namespace wlan::mac {
 
@@ -31,6 +32,10 @@ struct DcfConfig {
   std::size_t n_ss = 1;
   bool short_gi = false;
   std::size_t ampdu_frames = 1;  ///< >1 enables A-MPDU + block ack
+
+  /// Optional slot-level event trace (TX_START, RX_OK/RX_FAIL,
+  /// COLLISION, DROP); null = disabled, zero overhead.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct DcfResult {

@@ -8,6 +8,16 @@
 
 namespace wlan::mac {
 
+const char* access_category_name(AccessCategory ac) {
+  switch (ac) {
+    case AccessCategory::kVoice: return "AC_VO";
+    case AccessCategory::kVideo: return "AC_VI";
+    case AccessCategory::kBestEffort: return "AC_BE";
+    case AccessCategory::kBackground: return "AC_BK";
+  }
+  return "AC_?";
+}
+
 EdcaParams edca_defaults(AccessCategory ac) {
   // 802.11e defaults for aCWmin = 15, aCWmax = 1023 (OFDM PHYs).
   switch (ac) {
@@ -60,6 +70,18 @@ EdcaResult simulate_edca(const EdcaConfig& config,
     }
   }
 
+  auto emit = [&](obs::EventType type, std::size_t station, double time,
+                  double value) {
+    if (!config.trace) return;
+    obs::TraceEvent e;
+    e.time_s = time;
+    e.type = type;
+    e.node = static_cast<std::int32_t>(station);
+    e.value = value;
+    e.detail = access_category_name(stations[station].category);
+    config.trace->record(e);
+  };
+
   double t = 0.0;
   std::vector<std::size_t> winners;
   while (t < config.duration_s) {
@@ -89,6 +111,7 @@ EdcaResult simulate_edca(const EdcaConfig& config,
       State& s = sta[winners[0]];
       const double busy =
           static_cast<double>(s.burst_frames) * s.exchange_s;
+      emit(obs::EventType::kTxStart, winners[0], t, busy);
       t += busy;
       s.result.delivered += s.burst_frames;
       s.delay.add(t - s.head_since);
@@ -106,7 +129,10 @@ EdcaResult simulate_edca(const EdcaConfig& config,
       for (const std::size_t i : winners) {
         State& s = sta[i];
         ++s.result.collisions;
+        emit(obs::EventType::kCollision, i, t,
+             static_cast<double>(winners.size()));
         if (++s.retries > config.retry_limit) {
+          emit(obs::EventType::kDrop, i, t, static_cast<double>(s.retries));
           s.retries = 0;
           s.cw = s.params.cw_min;
           s.head_since = t;  // dropped; next frame becomes head

@@ -17,11 +17,15 @@
 
 #include "common/rng.h"
 #include "mac/timing.h"
+#include "obs/trace.h"
 
 namespace wlan::mac {
 
 /// The four EDCA access categories.
 enum class AccessCategory { kVoice, kVideo, kBestEffort, kBackground };
+
+/// Stable display name, e.g. "AC_VO".
+const char* access_category_name(AccessCategory ac);
 
 /// EDCA parameter set for one category (802.11e defaults for OFDM PHYs).
 struct EdcaParams {
@@ -46,6 +50,10 @@ struct EdcaConfig {
   double basic_rate_mbps = 6.0;
   unsigned retry_limit = 7;
   double duration_s = 2.0;
+
+  /// Optional slot-level event trace (TX_START per winning burst,
+  /// COLLISION, DROP; detail = access category); null = disabled.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct EdcaStationResult {

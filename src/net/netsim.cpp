@@ -16,6 +16,17 @@ namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
+const char* frame_name(mac::FrameType kind) {
+  switch (kind) {
+    case mac::FrameType::kData: return "DATA";
+    case mac::FrameType::kAck: return "ACK";
+    case mac::FrameType::kRts: return "RTS";
+    case mac::FrameType::kCts: return "CTS";
+    case mac::FrameType::kBeacon: return "BEACON";
+  }
+  return "?";
+}
+
 struct Transmission {
   std::size_t id;
   std::size_t tx_node;
@@ -93,7 +104,27 @@ class Simulator {
       stations_[flows[f].source].slots_remaining = draw_backoff(flows[f].source);
       stations_[flows[f].source].saturated = flows[f].arrival_rate_pps <= 0.0;
     }
-    delay_tallies_.resize(flows.size());
+
+    // All counters live in a metrics registry (the caller's, if given);
+    // NetworkResult is populated from it after the run.
+    registry_ = config.registry ? config.registry : &local_registry_;
+    trace_ = config.trace;
+    sched_.bind_metrics(*registry_);
+    data_tx_ = &registry_->counter("net.data_tx");
+    data_failures_ = &registry_->counter("net.data_failures");
+    rts_tx_ = &registry_->counter("net.rts_tx");
+    rts_failures_ = &registry_->counter("net.rts_failures");
+    simultaneous_starts_ = &registry_->counter("net.simultaneous_starts");
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      const std::vector<obs::Label> label{{"flow", std::to_string(f)}};
+      delivered_.push_back(&registry_->counter("net.delivered", label));
+      attempts_.push_back(&registry_->counter("net.attempts", label));
+      retries_.push_back(&registry_->counter("net.retries", label));
+      drops_.push_back(&registry_->counter("net.drops", label));
+      // Queueing delays: 1 us .. 100 s, 8 bins/decade.
+      delay_hist_.push_back(
+          &registry_->histogram("net.flow_delay_s", 1e-6, 100.0, 64, label));
+    }
 
     // Frame airtimes.
     const std::size_t data_mpdu =
@@ -119,19 +150,44 @@ class Simulator {
       maybe_start_countdown(n);
     }
     sched_.run_until(config_.duration_s);
+    // Populate the result struct from the registry.
+    result_.data_tx_count = data_tx_->value();
+    result_.data_failures = data_failures_->value();
+    result_.rts_tx_count = rts_tx_->value();
+    result_.rts_failures = rts_failures_->value();
+    result_.simultaneous_starts = simultaneous_starts_->value();
     for (std::size_t f = 0; f < flows_.size(); ++f) {
-      result_.flows[f].mean_delay_s = delay_tallies_[f].mean();
-      result_.flows[f].throughput_mbps =
-          static_cast<double>(result_.flows[f].delivered) *
-          static_cast<double>(config_.payload_bytes) * 8.0 /
-          config_.duration_s / 1e6;
-      result_.total_delivered += result_.flows[f].delivered;
-      result_.aggregate_throughput_mbps += result_.flows[f].throughput_mbps;
+      FlowStats& fs = result_.flows[f];
+      fs.delivered = delivered_[f]->value();
+      fs.attempts = attempts_[f]->value();
+      fs.retries = retries_[f]->value();
+      fs.drops = drops_[f]->value();
+      fs.mean_delay_s = delay_hist_[f]->mean();
+      fs.throughput_mbps = static_cast<double>(fs.delivered) *
+                           static_cast<double>(config_.payload_bytes) * 8.0 /
+                           config_.duration_s / 1e6;
+      result_.total_delivered += fs.delivered;
+      result_.aggregate_throughput_mbps += fs.throughput_mbps;
     }
     return result_;
   }
 
  private:
+  /// One pointer test per site when tracing is off.
+  void emit(obs::EventType type, std::size_t node, std::size_t peer,
+            std::size_t flow, double value, const char* detail = "") {
+    if (!trace_) return;
+    obs::TraceEvent e;
+    e.time_s = sched_.now();
+    e.type = type;
+    e.node = node == kNone ? -1 : static_cast<std::int32_t>(node);
+    e.peer = peer == kNone ? -1 : static_cast<std::int32_t>(peer);
+    e.flow = flow == kNone ? -1 : static_cast<std::int32_t>(flow);
+    e.value = value;
+    e.detail = detail;
+    trace_->record(e);
+  }
+
   unsigned draw_backoff(std::size_t n) {
     return static_cast<unsigned>(rng_.uniform_int(stations_[n].cw + 1));
   }
@@ -171,6 +227,8 @@ class Simulator {
     }
     s.counting = false;
     ++s.timer_version;
+    emit(obs::EventType::kBackoffFreeze, n, kNone, s.flow,
+         static_cast<double>(s.slots_remaining));
     return s.slots_remaining == 0 && elapsed >= -1e-12;
   }
 
@@ -182,6 +240,8 @@ class Simulator {
   void schedule_arrival(std::size_t n, double rate_pps) {
     sched_.schedule(rng_.exponential(1.0 / rate_pps), [this, n, rate_pps] {
       stations_[n].queue.push_back(sched_.now());
+      emit(obs::EventType::kArrival, n, kNone, stations_[n].flow,
+           static_cast<double>(stations_[n].queue.size()));
       maybe_start_countdown(n);
       schedule_arrival(n, rate_pps);
     });
@@ -196,6 +256,8 @@ class Simulator {
     if (medium_busy(n)) return;
     s.counting = true;
     s.count_start_s = sched_.now();
+    emit(obs::EventType::kBackoffStart, n, kNone, s.flow,
+         static_cast<double>(s.slots_remaining));
     const std::uint64_t version = ++s.timer_version;
     const double delay =
         timing_.difs_s() +
@@ -226,8 +288,9 @@ class Simulator {
     }
     // Stations whose counters expired in the very slot the medium went
     // busy transmit anyway — the collision DCF is built around.
-    result_.simultaneous_starts += fire_now.size();
+    simultaneous_starts_->add(fire_now.size());
     for (const std::size_t n : fire_now) {
+      emit(obs::EventType::kCollision, n, kNone, stations_[n].flow, 0.0);
       begin_exchange(n);
     }
   }
@@ -267,6 +330,8 @@ class Simulator {
     for (Transmission& other : active_) {
       if (other.dest == n) other.rx_was_transmitting = true;
     }
+    emit(obs::EventType::kTxStart, n, dest, flow, duration_s,
+         frame_name(kind));
     const std::size_t id = t.id;
     active_.push_back(std::move(t));
     update_all_media();
@@ -287,17 +352,26 @@ class Simulator {
       other.current_interference_w -= rx_power_w(t.tx_node, other.dest);
     }
 
+    emit(obs::EventType::kTxEnd, t.tx_node, t.dest, t.flow, t.end_s - t.start_s,
+         frame_name(t.kind));
+
     // Reception outcome at the addressed node.
     bool delivered = false;
+    double sinr_db = -std::numeric_limits<double>::infinity();
     if (t.dest != kNone && !t.rx_was_transmitting &&
         !stations_[t.dest].transmitting) {
       const double signal = rx_power_w(t.tx_node, t.dest);
       const double sinr =
           signal / (noise_w_[t.dest] + t.worst_interference_w);
+      sinr_db = lin_to_db(sinr);
       const double required = t.kind == mac::FrameType::kData
                                   ? db_to_lin(config_.sinr_threshold_db)
                                   : db_to_lin(config_.control_sinr_db);
       delivered = sinr >= required;
+    }
+    if (t.dest != kNone) {
+      emit(delivered ? obs::EventType::kRxOk : obs::EventType::kRxFail,
+           t.dest, t.tx_node, t.flow, sinr_db, frame_name(t.kind));
     }
 
     // Overhearing nodes set their NAV from the duration field.
@@ -307,6 +381,8 @@ class Simulator {
           dbm_to_watt(nodes_[n].cs_threshold_dbm)) {
         if (t.nav_until_s > stations_[n].nav_until_s) {
           stations_[n].nav_until_s = t.nav_until_s;
+          emit(obs::EventType::kNavSet, n, t.tx_node, kNone, t.nav_until_s,
+               frame_name(t.kind));
           // Re-evaluate this node when its NAV expires.
           sched_.schedule_at(t.nav_until_s, [this, n] { update_all_media(); });
         }
@@ -322,17 +398,17 @@ class Simulator {
   void begin_exchange(std::size_t n) {
     Station& s = stations_[n];
     check(s.flow != kNone, "contention won by a node without traffic");
-    ++result_.flows[s.flow].attempts;
+    attempts_[s.flow]->add();
     if (config_.rts_cts) {
       const double nav = sched_.now() + t_rts_ + 3.0 * timing_.sifs_s +
                          t_cts_ + t_data_ + t_ack_;
-      ++result_.rts_tx_count;
+      rts_tx_->add();
       start_transmission(n, s.dest, mac::FrameType::kRts, s.flow, t_rts_, nav);
       arm_timeout(n, WaitKind::kCts, t_rts_ + timing_.sifs_s + t_cts_ +
                                          timing_.slot_s);
     } else {
       const double nav = sched_.now() + t_data_ + timing_.sifs_s + t_ack_;
-      ++result_.data_tx_count;
+      data_tx_->add();
       start_transmission(n, s.dest, mac::FrameType::kData, s.flow, t_data_, nav);
       arm_timeout(n, WaitKind::kAck, t_data_ + timing_.sifs_s + t_ack_ +
                                          timing_.slot_s);
@@ -354,14 +430,16 @@ class Simulator {
   void on_exchange_failed(std::size_t n, WaitKind kind) {
     Station& s = stations_[n];
     if (kind == WaitKind::kAck) {
-      ++result_.data_failures;
+      data_failures_->add();
     } else {
-      ++result_.rts_failures;
+      rts_failures_->add();
     }
     ++s.retries;
-    ++result_.flows[s.flow].retries;
+    retries_[s.flow]->add();
     if (s.retries > config_.retry_limit) {
-      ++result_.flows[s.flow].drops;
+      drops_[s.flow]->add();
+      emit(obs::EventType::kDrop, n, s.dest, s.flow,
+           static_cast<double>(s.retries));
       s.retries = 0;
       s.cw = timing_.cw_min;
       if (!s.saturated && !s.queue.empty()) s.queue.pop_front();  // dropped
@@ -374,9 +452,10 @@ class Simulator {
 
   void on_exchange_succeeded(std::size_t n) {
     Station& s = stations_[n];
-    ++result_.flows[s.flow].delivered;
+    delivered_[s.flow]->add();
+    emit(obs::EventType::kStateChange, n, s.dest, s.flow, 0.0, "DELIVERED");
     if (!s.saturated && !s.queue.empty()) {
-      delay_tallies_[s.flow].add(sched_.now() - s.queue.front());
+      delay_hist_[s.flow]->record(sched_.now() - s.queue.front());
       s.queue.pop_front();
     }
     s.retries = 0;
@@ -410,7 +489,7 @@ class Simulator {
         const double nav = t.nav_until_s;
         sched_.schedule(timing_.sifs_s, [this, src, nav] {
           Station& st = stations_[src];
-          ++result_.data_tx_count;
+          data_tx_->add();
           start_transmission(src, st.dest, mac::FrameType::kData, st.flow,
                              t_data_, nav);
           arm_timeout(src, WaitKind::kAck,
@@ -453,7 +532,21 @@ class Simulator {
   std::vector<double> noise_w_;
   std::vector<Transmission> active_;
   std::size_t next_id_ = 0;
-  std::vector<sim::Tally> delay_tallies_;
+  // Observability: counters/histograms live in `*registry_`; trace may
+  // be null.
+  obs::Registry local_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Counter* data_tx_ = nullptr;
+  obs::Counter* data_failures_ = nullptr;
+  obs::Counter* rts_tx_ = nullptr;
+  obs::Counter* rts_failures_ = nullptr;
+  obs::Counter* simultaneous_starts_ = nullptr;
+  std::vector<obs::Counter*> delivered_;
+  std::vector<obs::Counter*> attempts_;
+  std::vector<obs::Counter*> retries_;
+  std::vector<obs::Counter*> drops_;
+  std::vector<obs::Histogram*> delay_hist_;
   double t_data_ = 0.0;
   double t_ack_ = 0.0;
   double t_rts_ = 0.0;

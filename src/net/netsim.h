@@ -26,6 +26,8 @@
 #include "common/rng.h"
 #include "mac/timing.h"
 #include "mesh/mesh.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wlan::net {
 
@@ -57,6 +59,17 @@ struct NetworkConfig {
   double control_sinr_db = 4.0;     ///< required SINR for control frames
   double bandwidth_hz = 20e6;
   double duration_s = 1.0;
+
+  // Observability (both optional; null = disabled, zero overhead).
+  /// Receives typed MAC/PHY events (TX_START, RX_OK, COLLISION,
+  /// BACKOFF_FREEZE, NAV_SET, ...) with simulation timestamps.
+  obs::TraceSink* trace = nullptr;
+  /// All simulator counters and the per-flow delay histograms are
+  /// registered here (names under "net.", plus the scheduler's "sim."
+  /// metrics). When null an internal registry is used; either way
+  /// `NetworkResult` is populated from the registry at the end of the
+  /// run.
+  obs::Registry* registry = nullptr;
 };
 
 struct FlowStats {

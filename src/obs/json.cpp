@@ -1,0 +1,42 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wlan::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  // %.17g round-trips every double; shorter forms print naturally.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+}  // namespace wlan::obs

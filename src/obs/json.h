@@ -1,0 +1,22 @@
+// Minimal JSON emission helpers shared by the observability sinks.
+//
+// This is a writer, not a parser: just enough to emit valid RFC 8259
+// output (string escaping, finite-number formatting) without pulling in
+// an external dependency.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace wlan::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Writes `v` as a JSON number; NaN and infinities (not representable in
+/// JSON) become null.
+void json_number(std::ostream& out, double v);
+
+}  // namespace wlan::obs

@@ -1,0 +1,36 @@
+#include "obs/timer.h"
+
+namespace wlan::obs {
+
+namespace detail {
+std::array<Histogram*, kKernelCount> g_kernel_hist{};
+}  // namespace detail
+
+const char* kernel_metric_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kFft: return "kernel.fft";
+    case Kernel::kViterbi: return "kernel.viterbi";
+    case Kernel::kLdpcDecode: return "kernel.ldpc_decode";
+    case Kernel::kFadingTaps: return "kernel.fading_taps";
+  }
+  return "kernel.unknown";
+}
+
+void enable_kernel_profiling(Registry& registry) {
+  for (std::size_t i = 0; i < kKernelCount; ++i) {
+    const auto k = static_cast<Kernel>(i);
+    // 10 ns .. 1 s, 8 bins per decade.
+    detail::g_kernel_hist[i] =
+        &registry.histogram(kernel_metric_name(k), 1e-8, 1.0, 64);
+  }
+}
+
+void disable_kernel_profiling() noexcept {
+  detail::g_kernel_hist.fill(nullptr);
+}
+
+bool kernel_profiling_enabled() noexcept {
+  return detail::g_kernel_hist[0] != nullptr;
+}
+
+}  // namespace wlan::obs

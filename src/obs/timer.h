@@ -1,0 +1,75 @@
+// Scoped wall-clock timers and the hot-kernel profiler.
+//
+// ScopedTimer measures the enclosing scope with steady_clock and feeds a
+// Histogram. A null histogram disables it: the constructor then never
+// touches the clock, so an instrumented kernel pays one load + branch —
+// the "zero cost when disabled" guard the PHY hot paths rely on.
+//
+// The kernel profiler is a process-wide set of histogram slots, one per
+// named kernel (FFT, Viterbi, LDPC decode, fading-tap synthesis). It is
+// off by default; `enable_kernel_profiling(registry)` registers one
+// wall-time histogram per kernel in the given registry and arms the
+// slots. Benchmarks enable it behind their `--json` flag.
+#pragma once
+
+#include <array>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace wlan::obs {
+
+/// RAII wall-clock timer; records elapsed seconds into `hist` on
+/// destruction. Null `hist` => fully disabled (no clock reads).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) noexcept : hist_(hist) {
+    if (hist_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      hist_->record(std::chrono::duration<double>(elapsed).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The instrumented hot kernels.
+enum class Kernel : std::size_t {
+  kFft,
+  kViterbi,
+  kLdpcDecode,
+  kFadingTaps,
+};
+inline constexpr std::size_t kKernelCount = 4;
+
+/// Registry metric name, e.g. "kernel.fft".
+const char* kernel_metric_name(Kernel kernel);
+
+namespace detail {
+extern std::array<Histogram*, kKernelCount> g_kernel_hist;
+}  // namespace detail
+
+/// Histogram slot for `kernel`; null while profiling is disabled. This
+/// is the only call on the kernel hot path.
+inline Histogram* kernel_histogram(Kernel kernel) noexcept {
+  return detail::g_kernel_hist[static_cast<std::size_t>(kernel)];
+}
+
+/// Registers per-kernel wall-time histograms (seconds, 10 ns .. 1 s,
+/// log-spaced) in `registry` and arms the slots. `registry` must outlive
+/// profiling; call `disable_kernel_profiling` before destroying it.
+void enable_kernel_profiling(Registry& registry);
+
+/// Disarms all slots (histograms stay in their registry).
+void disable_kernel_profiling() noexcept;
+
+bool kernel_profiling_enabled() noexcept;
+
+}  // namespace wlan::obs

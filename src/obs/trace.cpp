@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace wlan::obs {
+
+const char* event_name(EventType type) {
+  switch (type) {
+    case EventType::kTxStart: return "TX_START";
+    case EventType::kTxEnd: return "TX_END";
+    case EventType::kRxOk: return "RX_OK";
+    case EventType::kRxFail: return "RX_FAIL";
+    case EventType::kCollision: return "COLLISION";
+    case EventType::kBackoffStart: return "BACKOFF_START";
+    case EventType::kBackoffFreeze: return "BACKOFF_FREEZE";
+    case EventType::kNavSet: return "NAV_SET";
+    case EventType::kStateChange: return "STATE_CHANGE";
+    case EventType::kArrival: return "ARRIVAL";
+    case EventType::kDrop: return "DROP";
+  }
+  return "UNKNOWN";
+}
+
+void write_event_json(std::ostream& out, const TraceEvent& e) {
+  out << "{\"t\":";
+  json_number(out, e.time_s);
+  out << ",\"ev\":\"" << event_name(e.type) << '"';
+  if (e.node >= 0) out << ",\"node\":" << e.node;
+  if (e.peer >= 0) out << ",\"peer\":" << e.peer;
+  if (e.flow >= 0) out << ",\"flow\":" << e.flow;
+  out << ",\"value\":";
+  json_number(out, e.value);
+  if (e.detail && e.detail[0] != '\0') {
+    out << ",\"detail\":\"" << json_escape(e.detail) << '"';
+  }
+  out << '}';
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  check(file->is_open(), "JsonlTraceSink cannot open " + path);
+  out_ = file.get();
+  owned_ = std::move(file);
+}
+
+JsonlTraceSink::~JsonlTraceSink() { flush(); }
+
+void JsonlTraceSink::record(const TraceEvent& event) {
+  write_event_json(*out_, event);
+  *out_ << '\n';
+  ++lines_;
+}
+
+void JsonlTraceSink::flush() { out_->flush(); }
+
+RingTraceSink::RingTraceSink(std::size_t capacity) : capacity_(capacity) {
+  check(capacity >= 1, "RingTraceSink requires capacity >= 1");
+}
+
+void RingTraceSink::record(const TraceEvent& event) {
+  ++total_;
+  ++counts_[static_cast<std::size_t>(event.type)];
+  events_.push_back(event);
+  if (events_.size() > capacity_) events_.pop_front();
+}
+
+}  // namespace wlan::obs

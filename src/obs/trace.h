@@ -1,0 +1,112 @@
+// Event tracing: typed per-event records from the simulators.
+//
+// Producers (net::simulate_network, mac::simulate_dcf, ...) hold a
+// nullable `TraceSink*`; with a null sink every trace site is one
+// pointer test, so tracing is free when disabled. Two backends:
+//
+//  - JsonlTraceSink: one JSON object per line (JSONL), streamable to a
+//    file and trivially parseable by any tooling;
+//  - RingTraceSink: bounded in-memory buffer keeping the most recent
+//    events plus exact per-type totals over the whole run — the backend
+//    tests and interactive debugging use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace wlan::obs {
+
+/// Taxonomy of simulator events. MAC/PHY exchanges map onto the TX/RX
+/// group; contention and power-state transitions onto the rest.
+enum class EventType : std::uint8_t {
+  kTxStart,        ///< frame enters the air (value = airtime seconds)
+  kTxEnd,          ///< frame leaves the air
+  kRxOk,           ///< frame decoded at the addressed node
+  kRxFail,         ///< frame addressed but not decodable (SINR/busy rx)
+  kCollision,      ///< transmissions started in the same slot
+  kBackoffStart,   ///< contention countdown (re)started (value = slots)
+  kBackoffFreeze,  ///< countdown frozen by a busy medium (value = slots left)
+  kNavSet,         ///< virtual carrier sense set (value = NAV end, seconds)
+  kStateChange,    ///< generic state transition (detail = state name)
+  kArrival,        ///< packet arrived at a source queue
+  kDrop,           ///< frame dropped after the retry limit
+};
+
+inline constexpr std::size_t kEventTypeCount = 11;
+
+/// Stable wire name, e.g. "TX_START".
+const char* event_name(EventType type);
+
+/// One trace record. `detail` must point at a string with static storage
+/// duration (frame-kind or state names); -1 marks an absent id.
+struct TraceEvent {
+  double time_s = 0.0;
+  EventType type = EventType::kStateChange;
+  std::int32_t node = -1;
+  std::int32_t peer = -1;  ///< addressed/source node of the exchange
+  std::int32_t flow = -1;
+  double value = 0.0;      ///< type-specific payload (see enum comments)
+  const char* detail = "";
+};
+
+/// Consumer interface; implementations need not be thread-safe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Writes each event as one JSON line:
+/// {"t":..,"ev":"TX_START","node":0,"peer":2,"flow":0,"value":..,"detail":"DATA"}
+/// Absent ids (-1) are omitted.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Streams to `out`; the stream must outlive the sink.
+  explicit JsonlTraceSink(std::ostream& out);
+  /// Opens `path` for writing (throws ContractError on failure).
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void record(const TraceEvent& event) override;
+  void flush() override;
+
+  std::uint64_t lines() const { return lines_; }
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  std::uint64_t lines_ = 0;
+};
+
+/// Keeps the most recent `capacity` events plus exact per-type counts of
+/// everything ever recorded (counts are not affected by eviction).
+class RingTraceSink final : public TraceSink {
+ public:
+  explicit RingTraceSink(std::size_t capacity);
+
+  void record(const TraceEvent& event) override;
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(EventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return total_ - events_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::array<std::uint64_t, kEventTypeCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Serializes one event in the JSONL object form (no trailing newline).
+void write_event_json(std::ostream& out, const TraceEvent& event);
+
+}  // namespace wlan::obs

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/timer.h"
 
 namespace wlan::phy {
 namespace {
@@ -99,6 +100,8 @@ std::size_t coded_length(std::size_t n_info_bits, CodeRate rate) {
 }
 
 Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
+  const obs::ScopedTimer timer(
+      obs::kernel_histogram(obs::Kernel::kViterbi));
   check(llrs.size() % 2 == 0, "viterbi_decode requires an even LLR count");
   const std::size_t n_steps = llrs.size() / 2;
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();

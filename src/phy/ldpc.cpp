@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/timer.h"
 
 namespace wlan::phy {
 namespace {
@@ -166,6 +167,8 @@ bool LdpcCode::satisfies_parity(std::span<const std::uint8_t> codeword) const {
 LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
                                         int max_iterations,
                                         double normalization) const {
+  const obs::ScopedTimer timer(
+      obs::kernel_histogram(obs::Kernel::kLdpcDecode));
   check(llrs.size() == n_, "LdpcCode::decode LLR length mismatch");
 
   // Edge-indexed min-sum. msg[c][e] = check-to-variable message for edge e

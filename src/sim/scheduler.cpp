@@ -23,6 +23,7 @@ std::size_t Scheduler::run_until(double end_time) {
     now_ = ev.time;
     ev.action();
     ++executed;
+    after_event();
   }
   if (now_ < end_time) now_ = end_time;
   return executed;
@@ -36,8 +37,25 @@ std::size_t Scheduler::run() {
     now_ = ev.time;
     ev.action();
     ++executed;
+    after_event();
   }
   return executed;
+}
+
+void Scheduler::bind_metrics(obs::Registry& registry) {
+  executed_counter_ = &registry.counter("sim.events_executed");
+  // Depth 1 .. 1e6 events, 4 bins per decade; zero depth lands in the
+  // underflow bucket.
+  queue_depth_hist_ = &registry.histogram("sim.queue_depth", 1.0, 1e6, 24);
+}
+
+void Scheduler::after_event() {
+  ++executed_;
+  if (executed_counter_) executed_counter_->add();
+  if (queue_depth_hist_) {
+    queue_depth_hist_->record(static_cast<double>(queue_.size()));
+  }
+  if (hook_) hook_(now_, queue_.size());
 }
 
 }  // namespace wlan::sim

@@ -9,12 +9,17 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace wlan::sim {
 
 /// Simulation clock and event queue. Times are in seconds.
 class Scheduler {
  public:
   using Action = std::function<void()>;
+  /// Observer invoked after each executed event with the event's time and
+  /// the queue depth remaining after it ran.
+  using EventHook = std::function<void(double time, std::size_t pending)>;
 
   /// Current simulation time.
   double now() const { return now_; }
@@ -35,6 +40,18 @@ class Scheduler {
   /// Number of pending events.
   std::size_t pending() const { return queue_.size(); }
 
+  /// Total events executed over the scheduler's lifetime.
+  std::uint64_t executed() const { return executed_; }
+
+  /// Installs (or clears, with nullptr) the per-event observer.
+  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+
+  /// Registers this scheduler's metrics in `registry` and keeps them
+  /// updated: counter "sim.events_executed" and log-spaced histogram
+  /// "sim.queue_depth" (sampled after each executed event). `registry`
+  /// must outlive the scheduler's runs.
+  void bind_metrics(obs::Registry& registry);
+
  private:
   struct Event {
     double time;
@@ -48,9 +65,15 @@ class Scheduler {
     }
   };
 
+  void after_event();
+
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventHook hook_;
+  obs::Counter* executed_counter_ = nullptr;
+  obs::Histogram* queue_depth_hist_ = nullptr;
 };
 
 }  // namespace wlan::sim
