@@ -153,6 +153,9 @@ int main(int argc, char** argv) {
       cfg.short_gi = true;
       cfg.ampdu_frames = frames;
       cfg.duration_s = 2.0;
+      // Representative --chrome-trace timeline: the deepest-aggregation
+      // run, where A-MPDU bursts dominate the air lane.
+      if (frames == 64u) cfg.trace = bu::chrome_trace();
       const auto r = mac::simulate_dcf(cfg, rng);
       depths.push_back(static_cast<double>(frames));
       goodputs.push_back(r.throughput_mbps);

@@ -1,0 +1,93 @@
+// Regression gate CLI over obs/regress.h.
+//
+//   bench_diff <aggregate.json> <baseline.json> [--subset]
+//       Compares the run against the baseline; prints every drifted,
+//       missing, or regressed metric and exits 1 on any failure.
+//       --subset skips baseline benches absent from the aggregate (for
+//       partial reruns via run_benches.sh --only).
+//
+//   bench_diff <aggregate.json> --write-baseline <out.json>
+//              [--rel-tol <frac>] [--abs-tol <abs>]
+//       Pins every metric of the aggregate at its current value; commit
+//       the result as bench-out/BENCH_BASELINE.json.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "obs/json.h"
+#include "obs/regress.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <aggregate.json> <baseline.json> [--subset]\n"
+               "       %s <aggregate.json> --write-baseline <out.json>\n"
+               "          [--rel-tol <frac>] [--abs-tol <abs>]\n",
+               argv0, argv0);
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  wlan::check(in.is_open(), "bench_diff: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using wlan::obs::JsonValue;
+  std::string aggregate_path;
+  std::string baseline_path;
+  std::string write_path;
+  double rel_tol = 0.25;
+  double abs_tol = 1e-9;
+  bool subset = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--write-baseline" && i + 1 < argc) {
+      write_path = argv[++i];
+    } else if (a == "--rel-tol" && i + 1 < argc) {
+      rel_tol = std::stod(argv[++i]);
+    } else if (a == "--abs-tol" && i + 1 < argc) {
+      abs_tol = std::stod(argv[++i]);
+    } else if (a == "--subset") {
+      subset = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else if (aggregate_path.empty()) {
+      aggregate_path = a;
+    } else if (baseline_path.empty()) {
+      baseline_path = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (aggregate_path.empty()) return usage(argv[0]);
+  if (write_path.empty() == baseline_path.empty()) return usage(argv[0]);
+
+  try {
+    const JsonValue aggregate = JsonValue::parse(slurp(aggregate_path));
+    if (!write_path.empty()) {
+      std::ofstream out(write_path);
+      wlan::check(out.is_open(), "bench_diff: cannot write " + write_path);
+      out << wlan::obs::make_baseline_json(aggregate, rel_tol, abs_tol);
+      std::printf("baseline written: %s\n", write_path.c_str());
+      return 0;
+    }
+    const JsonValue baseline = JsonValue::parse(slurp(baseline_path));
+    const wlan::obs::DiffResult result =
+        wlan::obs::diff_against_baseline(aggregate, baseline, subset);
+    wlan::obs::write_diff_report(std::cout, result);
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -7,10 +7,15 @@
 // Machine-readable output: every bench's main() starts with
 // `benchutil::args(argc, argv)`. With `--json <path>` the run also
 // writes a structured report at exit — claim id, recorded series and
-// scalar metrics, verdict, and wall-time histograms of the hot kernels
+// scalar metrics, verdict, wall-time histograms of the hot kernels
 // (FFT, Viterbi, LDPC, fading taps; profiled automatically when --json
-// is on, or on demand with --profile). scripts/run_benches.sh
-// aggregates these into BENCH_<tag>.json.
+// is on, or on demand with --profile), and the PHY link-quality probes
+// (EVM, post-equalizer SNR, |LLR|) for benches that exercise a receive
+// chain. scripts/run_benches.sh aggregates these into BENCH_<tag>.json.
+//
+// `--chrome-trace <path>` hands the bench a ChromeTraceSink (via
+// `chrome_trace()`); simulator benches pass it to their representative
+// run so the timeline can be opened in Perfetto / chrome://tracing.
 #pragma once
 
 #include <cmath>
@@ -18,12 +23,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/analyze/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/probe.h"
 #include "obs/timer.h"
 
 namespace wlan::benchutil {
@@ -48,7 +56,9 @@ struct Report {
   bool has_verdict = false;
   bool ok = false;
   std::string verdict_detail;
-  obs::Registry registry;  // kernel-profiling histograms live here
+  obs::Registry registry;  // kernel-profiling + probe histograms live here
+  std::string chrome_trace_path;
+  std::unique_ptr<obs::ChromeTraceSink> chrome;  // closed by ~Report
 };
 
 inline Report& report() {
@@ -92,6 +102,33 @@ inline void write_report() {
     }
     out << "]}";
   }
+  out << "],\"probes\":[";
+  {
+    bool first_probe = true;
+    for (std::size_t p = 0; p < obs::kProbeCount; ++p) {
+      const auto probe = static_cast<obs::Probe>(p);
+      const std::vector<obs::Label> label{
+          {"chain", obs::probe_chain_label(probe)}};
+      const obs::Histogram* h =
+          r.registry.find_histogram(obs::probe_metric_name(probe), label);
+      if (!h || h->count() == 0) continue;
+      if (!first_probe) out << ',';
+      first_probe = false;
+      out << "{\"name\":\"" << obs::probe_metric_name(probe)
+          << "\",\"chain\":\"" << obs::probe_chain_label(probe)
+          << "\",\"count\":" << h->count() << ",\"mean\":";
+      json_number(out, h->mean());
+      out << ",\"p50\":";
+      json_number(out, h->percentile(50.0));
+      out << ",\"p90\":";
+      json_number(out, h->percentile(90.0));
+      out << ",\"min\":";
+      json_number(out, h->min());
+      out << ",\"max\":";
+      json_number(out, h->max());
+      out << '}';
+    }
+  }
   out << "],\"metrics\":{";
   for (std::size_t i = 0; i < r.metrics.size(); ++i) {
     if (i) out << ',';
@@ -124,26 +161,47 @@ inline void write_report() {
 }
 
 /// Parses bench CLI flags: `--json <path>` (write the structured report
-/// there; also enables kernel profiling) and `--profile` (kernel
-/// profiling without a report, dumped nowhere — useful with a debugger).
-/// Call first thing in main().
+/// there; also enables kernel profiling and the PHY probes),
+/// `--profile` (kernel profiling without a report, dumped nowhere —
+/// useful with a debugger), and `--chrome-trace <path>` (arm
+/// `chrome_trace()` with a ChromeTraceSink writing there). Call first
+/// thing in main().
 inline void args(int argc, char** argv) {
   Report& r = report();
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       r.json_path = argv[++i];
+    } else if (a == "--chrome-trace" && i + 1 < argc) {
+      r.chrome_trace_path = argv[++i];
     } else if (a == "--profile") {
       obs::enable_kernel_profiling(r.registry);
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--profile]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--chrome-trace <path>] "
+                   "[--profile]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
   if (!r.json_path.empty()) {
     obs::enable_kernel_profiling(r.registry);
+    obs::enable_phy_probes(r.registry);
     std::atexit(write_report);
   }
+}
+
+/// The --chrome-trace sink (created on first use), or null when the flag
+/// was not given — pass straight into NetworkConfig::trace /
+/// DcfConfig::trace for the bench's representative run. The sink closes
+/// (balancing spans and finishing the JSON document) at process exit.
+inline obs::TraceSink* chrome_trace() {
+  Report& r = report();
+  if (r.chrome_trace_path.empty()) return nullptr;
+  if (!r.chrome) {
+    r.chrome = std::make_unique<obs::ChromeTraceSink>(r.chrome_trace_path);
+  }
+  return r.chrome.get();
 }
 
 inline void title(const char* id, const char* claim) {

@@ -2,14 +2,22 @@
 # Builds the Release tree, runs every claim bench (C1-C13 plus the
 # extensions) with --json, and aggregates the per-bench reports into
 # bench-out/BENCH_PR.json. Exits nonzero if any bench reports MISMATCH
-# (a bench that crashes or fails to produce a report also fails the run).
+# (a bench that crashes or fails to produce a report also fails the run,
+# as does a failing bench_kernels).
 #
-# Usage: scripts/run_benches.sh [build-dir] [out-dir]
+# Usage: scripts/run_benches.sh [build-dir] [out-dir] [--baseline [file]]
+#                               [--only <bench,bench,...>]
+#
+#   --baseline [file]  After the run, gate the aggregate report against
+#                      the committed baseline (default
+#                      bench-out/BENCH_BASELINE.json) with bench_diff;
+#                      metric drift beyond tolerance fails the script.
+#   --only a,b,c       Run only the named benches. The aggregate then
+#                      covers a subset, so the baseline gate runs in
+#                      --subset mode (missing benches don't fail).
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build-bench}"
-OUT="${2:-$ROOT/bench-out}"
 
 BENCHES=(
   bench_c1_generations
@@ -30,9 +38,55 @@ BENCHES=(
   bench_ablations
 )
 
+BUILD=""
+OUT=""
+BASELINE=""
+ONLY=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --baseline)
+      BASELINE="__default__"
+      if [[ $# -gt 1 && "${2#-}" == "$2" && "$2" == *.json ]]; then
+        BASELINE="$2"
+        shift
+      fi
+      ;;
+    --only)
+      [[ $# -gt 1 ]] || { echo "--only needs a bench list" >&2; exit 2; }
+      ONLY="$2"
+      shift
+      ;;
+    -*)
+      echo "unknown flag: $1" >&2
+      exit 2
+      ;;
+    *)
+      if [[ -z "$BUILD" ]]; then BUILD="$1"
+      elif [[ -z "$OUT" ]]; then OUT="$1"
+      else echo "unexpected argument: $1" >&2; exit 2
+      fi
+      ;;
+  esac
+  shift
+done
+BUILD="${BUILD:-$ROOT/build-bench}"
+OUT="${OUT:-$ROOT/bench-out}"
+[[ "$BASELINE" == "__default__" ]] && BASELINE="$OUT/BENCH_BASELINE.json"
+
+if [[ -n "$ONLY" ]]; then
+  IFS=',' read -r -a selected <<< "$ONLY"
+  for b in "${selected[@]}"; do
+    case " ${BENCHES[*]} " in
+      *" $b "*) ;;
+      *) echo "unknown bench: $b" >&2; exit 2 ;;
+    esac
+  done
+  BENCHES=("${selected[@]}")
+fi
+
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release || exit 1
 cmake --build "$BUILD" -j "$(nproc)" --target "${BENCHES[@]}" bench_kernels \
-  || exit 1
+  bench_diff || exit 1
 
 mkdir -p "$OUT"
 failures=0
@@ -41,6 +95,9 @@ mismatches=0
 for bench in "${BENCHES[@]}"; do
   json="$OUT/$bench.json"
   log="$OUT/$bench.log"
+  # Delete the previous run's report first: a crashing bench must not
+  # pass the size check below on stale output.
+  rm -f "$json"
   echo "== $bench"
   "$BUILD/bench/$bench" --json "$json" > "$log" 2>&1
   status=$?
@@ -59,10 +116,13 @@ done
 
 # Kernel microbenchmarks via google-benchmark's native JSON reporter.
 echo "== bench_kernels"
-"$BUILD/bench/bench_kernels" \
-  --benchmark_out="$OUT/bench_kernels.json" \
-  --benchmark_out_format=json > "$OUT/bench_kernels.log" 2>&1 \
-  || echo "   FAILED (see $OUT/bench_kernels.log)"
+rm -f "$OUT/bench_kernels.json"
+if ! "$BUILD/bench/bench_kernels" \
+    --benchmark_out="$OUT/bench_kernels.json" \
+    --benchmark_out_format=json > "$OUT/bench_kernels.log" 2>&1; then
+  echo "   FAILED (see $OUT/bench_kernels.log)"
+  failures=$((failures + 1))
+fi
 
 # Aggregate: one JSON array of the per-bench report objects.
 agg="$OUT/BENCH_PR.json"
@@ -81,6 +141,22 @@ agg="$OUT/BENCH_PR.json"
 
 echo
 echo "aggregate report: $agg"
+
+if [[ -n "$BASELINE" ]]; then
+  echo "== bench_diff against $BASELINE"
+  if [[ ! -s "$BASELINE" ]]; then
+    echo "   FAILED: baseline not found"
+    failures=$((failures + 1))
+  else
+    diff_args=("$agg" "$BASELINE")
+    [[ -n "$ONLY" ]] && diff_args+=(--subset)
+    if ! "$BUILD/bench/bench_diff" "${diff_args[@]}"; then
+      echo "   REGRESSION vs baseline"
+      failures=$((failures + 1))
+    fi
+  fi
+fi
+
 if [[ $failures -gt 0 || $mismatches -gt 0 ]]; then
   echo "RESULT: $mismatches mismatch(es), $failures failure(s)"
   exit 1

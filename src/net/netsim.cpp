@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <memory>
 
 #include "common/check.h"
 #include "common/units.h"
@@ -109,6 +110,14 @@ class Simulator {
     // NetworkResult is populated from it after the run.
     registry_ = config.registry ? config.registry : &local_registry_;
     trace_ = config.trace;
+    if (config.airtime) {
+      obs::AirtimeAccountant::Config ac;
+      ac.n_nodes = nodes.size();
+      ac.n_flows = flows.size();
+      ac.window_s = config.airtime_window_s;
+      ac.payload_bits = static_cast<double>(config.payload_bytes) * 8.0;
+      airtime_ = std::make_unique<obs::AirtimeAccountant>(ac);
+    }
     sched_.bind_metrics(*registry_);
     data_tx_ = &registry_->counter("net.data_tx");
     data_failures_ = &registry_->counter("net.data_failures");
@@ -169,14 +178,18 @@ class Simulator {
       result_.total_delivered += fs.delivered;
       result_.aggregate_throughput_mbps += fs.throughput_mbps;
     }
+    if (airtime_) {
+      result_.airtime = airtime_->finalize(config_.duration_s);
+      airtime_->publish(*registry_);
+    }
     return result_;
   }
 
  private:
-  /// One pointer test per site when tracing is off.
+  /// One pointer test per site when all observers are off.
   void emit(obs::EventType type, std::size_t node, std::size_t peer,
             std::size_t flow, double value, const char* detail = "") {
-    if (!trace_) return;
+    if (!trace_ && !airtime_) return;
     obs::TraceEvent e;
     e.time_s = sched_.now();
     e.type = type;
@@ -185,7 +198,8 @@ class Simulator {
     e.flow = flow == kNone ? -1 : static_cast<std::int32_t>(flow);
     e.value = value;
     e.detail = detail;
-    trace_->record(e);
+    if (trace_) trace_->record(e);
+    if (airtime_) airtime_->record(e);
   }
 
   unsigned draw_backoff(std::size_t n) {
@@ -537,6 +551,7 @@ class Simulator {
   obs::Registry local_registry_;
   obs::Registry* registry_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  std::unique_ptr<obs::AirtimeAccountant> airtime_;
   obs::Counter* data_tx_ = nullptr;
   obs::Counter* data_failures_ = nullptr;
   obs::Counter* rts_tx_ = nullptr;

@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "mac/timing.h"
 #include "mesh/mesh.h"
+#include "obs/analyze/airtime.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -70,6 +71,13 @@ struct NetworkConfig {
   /// `NetworkResult` is populated from the registry at the end of the
   /// run.
   obs::Registry* registry = nullptr;
+  /// When true an `obs::AirtimeAccountant` consumes the event stream
+  /// (independently of `trace`); the closed ledger lands in
+  /// `NetworkResult::airtime` and is mirrored into the registry as
+  /// "airtime." gauges/counters.
+  bool airtime = false;
+  /// Goodput-series window for the airtime ledger.
+  double airtime_window_s = 10e-3;
 };
 
 struct FlowStats {
@@ -91,6 +99,8 @@ struct NetworkResult {
   std::uint64_t rts_tx_count = 0;
   std::uint64_t rts_failures = 0;   ///< RTS frames that missed their CTS
   std::uint64_t simultaneous_starts = 0;  ///< same-slot collisions observed
+  /// Airtime ledger (populated only when NetworkConfig::airtime is set).
+  obs::AirtimeReport airtime;
   /// Fraction of *data* frames lost — the expensive failures; RTS losses
   /// cost only a 20-byte frame.
   double data_failure_rate() const {

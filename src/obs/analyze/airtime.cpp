@@ -1,0 +1,218 @@
+#include "obs/analyze/airtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+
+namespace wlan::obs {
+namespace {
+
+double jain(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace
+
+double AirtimeReport::jain_fairness_goodput() const {
+  std::vector<double> xs;
+  xs.reserve(flows.size());
+  for (const FlowAirtime& f : flows) {
+    xs.push_back(static_cast<double>(f.delivered));
+  }
+  return jain(xs);
+}
+
+double AirtimeReport::jain_fairness_airtime() const {
+  std::vector<double> xs;
+  xs.reserve(nodes.size());
+  for (const NodeAirtime& n : nodes) xs.push_back(n.tx_s);
+  return jain(xs);
+}
+
+AirtimeAccountant::AirtimeAccountant(const Config& config) : config_(config) {
+  check(config.n_nodes >= 1, "AirtimeAccountant needs at least one node");
+  check(config.window_s > 0.0, "AirtimeAccountant window must be positive");
+  report_.nodes.resize(config.n_nodes);
+  report_.flows.resize(config.n_flows);
+  report_.window_s = config.window_s;
+  transmitting_.assign(config.n_nodes, false);
+  state_.assign(config.n_nodes, NodeState::kIdle);
+  state_since_.assign(config.n_nodes, 0.0);
+}
+
+void AirtimeAccountant::advance(double t) {
+  const double dt = t - last_t_;
+  if (dt <= 0.0) return;
+  if (active_tx_ == 0) {
+    report_.idle_s += dt;
+  } else if (active_tx_ == 1) {
+    report_.busy_s += dt;
+  } else {
+    report_.collision_s += dt;
+  }
+  if (active_tx_ > 0) {
+    for (std::size_t n = 0; n < transmitting_.size(); ++n) {
+      if (!transmitting_[n]) continue;
+      report_.nodes[n].tx_s += dt;
+      if (active_tx_ >= 2) report_.nodes[n].tx_overlap_s += dt;
+    }
+  }
+  last_t_ = t;
+}
+
+void AirtimeAccountant::settle_node(std::size_t n, double t) {
+  const double dt = t - state_since_[n];
+  if (dt > 0.0) {
+    switch (state_[n]) {
+      case NodeState::kBackoff: report_.nodes[n].backoff_s += dt; break;
+      case NodeState::kDefer: report_.nodes[n].defer_s += dt; break;
+      case NodeState::kIdle:
+      case NodeState::kTx: break;  // tx time is accrued by advance()
+    }
+  }
+  state_since_[n] = t;
+}
+
+void AirtimeAccountant::credit_delivery(std::size_t flow, double t) {
+  if (flow >= report_.flows.size()) return;
+  FlowAirtime& f = report_.flows[flow];
+  ++f.delivered;
+  const auto w = static_cast<std::size_t>(std::floor(t / config_.window_s));
+  if (w >= f.window_deliveries.size()) f.window_deliveries.resize(w + 1, 0);
+  ++f.window_deliveries[w];
+}
+
+void AirtimeAccountant::record(const TraceEvent& e) {
+  if (finalized_) return;
+  advance(e.time_s);
+  const bool has_node =
+      e.node >= 0 && static_cast<std::size_t>(e.node) < report_.nodes.size();
+  const std::size_t n = has_node ? static_cast<std::size_t>(e.node) : 0;
+  switch (e.type) {
+    case EventType::kTxStart: {
+      if (!has_node) break;
+      settle_node(n, e.time_s);  // a completed countdown ends here
+      state_[n] = NodeState::kTx;
+      if (!transmitting_[n]) {
+        transmitting_[n] = true;
+        ++active_tx_;
+      }
+      NodeAirtime& ledger = report_.nodes[n];
+      ++ledger.tx_frames;
+      if (e.detail != nullptr) {
+        if (std::strcmp(e.detail, "DATA") == 0) ++ledger.data_frames;
+        else if (std::strcmp(e.detail, "RTS") == 0) ++ledger.rts_frames;
+      }
+      break;
+    }
+    case EventType::kTxEnd: {
+      if (!has_node) break;
+      if (transmitting_[n]) {
+        transmitting_[n] = false;
+        --active_tx_;
+      }
+      settle_node(n, e.time_s);
+      state_[n] = NodeState::kIdle;
+      break;
+    }
+    case EventType::kBackoffStart: {
+      if (!has_node) break;
+      settle_node(n, e.time_s);  // closes a deferral (or a restart)
+      state_[n] = NodeState::kBackoff;
+      break;
+    }
+    case EventType::kBackoffFreeze: {
+      if (!has_node) break;
+      settle_node(n, e.time_s);
+      state_[n] = NodeState::kDefer;
+      break;
+    }
+    case EventType::kCollision:
+      if (has_node) ++report_.nodes[n].same_slot_collisions;
+      break;
+    case EventType::kStateChange:
+      if (e.flow >= 0 && e.detail != nullptr &&
+          std::strcmp(e.detail, "DELIVERED") == 0) {
+        credit_delivery(static_cast<std::size_t>(e.flow), e.time_s);
+      }
+      break;
+    case EventType::kDrop:
+      if (e.flow >= 0 &&
+          static_cast<std::size_t>(e.flow) < report_.flows.size()) {
+        ++report_.flows[static_cast<std::size_t>(e.flow)].drops;
+      }
+      break;
+    case EventType::kRxOk:
+    case EventType::kRxFail:
+    case EventType::kNavSet:
+    case EventType::kArrival:
+      break;  // no airtime consequence beyond what TX events carry
+  }
+}
+
+const AirtimeReport& AirtimeAccountant::finalize(double end_s) {
+  if (finalized_) return report_;
+  finalized_ = true;
+  const double end = std::max(end_s, last_t_);
+  advance(end);
+  for (std::size_t n = 0; n < report_.nodes.size(); ++n) {
+    settle_node(n, end);
+  }
+  report_.duration_s = end;
+  // Normalize the goodput series: every flow gets the same number of
+  // windows covering [0, end).
+  const auto n_windows = static_cast<std::size_t>(
+      std::ceil(end / config_.window_s - 1e-12));
+  for (FlowAirtime& f : report_.flows) {
+    f.window_deliveries.resize(std::max<std::size_t>(n_windows, 1), 0);
+    f.goodput_mbps.assign(f.window_deliveries.size(), 0.0);
+    if (config_.payload_bits > 0.0) {
+      for (std::size_t w = 0; w < f.window_deliveries.size(); ++w) {
+        f.goodput_mbps[w] = static_cast<double>(f.window_deliveries[w]) *
+                            config_.payload_bits / config_.window_s / 1e6;
+      }
+    }
+  }
+  return report_;
+}
+
+void AirtimeAccountant::publish(Registry& registry) const {
+  const AirtimeReport& r = report_;
+  registry.gauge("airtime.duration_s").set(r.duration_s);
+  registry.gauge("airtime.idle_fraction").set(r.idle_fraction());
+  registry.gauge("airtime.busy_fraction").set(r.busy_fraction());
+  registry.gauge("airtime.collision_fraction").set(r.collision_fraction());
+  registry.gauge("airtime.jain_goodput").set(r.jain_fairness_goodput());
+  registry.gauge("airtime.jain_airtime").set(r.jain_fairness_airtime());
+  for (std::size_t n = 0; n < r.nodes.size(); ++n) {
+    const NodeAirtime& node = r.nodes[n];
+    const std::vector<Label> label{{"node", std::to_string(n)}};
+    registry.gauge("airtime.node_tx_s", label).set(node.tx_s);
+    registry.gauge("airtime.node_tx_overlap_s", label).set(node.tx_overlap_s);
+    registry.gauge("airtime.node_backoff_s", label).set(node.backoff_s);
+    registry.gauge("airtime.node_defer_s", label).set(node.defer_s);
+    registry.counter("airtime.node_tx_frames", label).add(node.tx_frames);
+    registry.counter("airtime.node_data_frames", label).add(node.data_frames);
+    registry.counter("airtime.node_rts_frames", label).add(node.rts_frames);
+    registry.counter("airtime.node_collisions", label)
+        .add(node.same_slot_collisions);
+  }
+  for (std::size_t f = 0; f < r.flows.size(); ++f) {
+    const std::vector<Label> label{{"flow", std::to_string(f)}};
+    registry.counter("airtime.flow_delivered", label)
+        .add(r.flows[f].delivered);
+    registry.counter("airtime.flow_drops", label).add(r.flows[f].drops);
+  }
+}
+
+}  // namespace wlan::obs

@@ -1,0 +1,215 @@
+#include "obs/analyze/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace wlan::obs {
+namespace {
+
+constexpr int kAirLane = 0;
+constexpr int kContentionLane = 1;
+constexpr int kNavLane = 2;
+
+const char* lane_name(int tid) {
+  switch (tid) {
+    case kAirLane: return "air";
+    case kContentionLane: return "contention";
+    case kNavLane: return "nav";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(&out) {
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  check(file->is_open(), "ChromeTraceSink cannot open " + path);
+  out_ = file.get();
+  owned_ = std::move(file);
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+ChromeTraceSink::Track& ChromeTraceSink::track(std::int32_t node) {
+  for (Track& t : tracks_) {
+    if (t.node == node) return t;
+  }
+  tracks_.push_back(Track{node});
+  return tracks_.back();
+}
+
+void ChromeTraceSink::begin_event() {
+  if (!first_) *out_ << ',';
+  first_ = false;
+  *out_ << '\n';
+}
+
+void ChromeTraceSink::end_event() {
+  *out_ << '}';
+  ++events_written_;
+}
+
+void ChromeTraceSink::write_prefix(const char* phase, std::int32_t node,
+                                   int tid, double t_us) {
+  begin_event();
+  *out_ << "{\"ph\":\"" << phase << "\",\"ts\":";
+  json_number(*out_, t_us);
+  *out_ << ",\"pid\":" << node << ",\"tid\":" << tid;
+}
+
+void ChromeTraceSink::write_args_suffix(const TraceEvent& e) {
+  *out_ << ",\"args\":{";
+  bool first = true;
+  if (e.peer >= 0) {
+    *out_ << "\"peer\":" << e.peer;
+    first = false;
+  }
+  if (e.flow >= 0) {
+    if (!first) *out_ << ',';
+    *out_ << "\"flow\":" << e.flow;
+    first = false;
+  }
+  if (!first) *out_ << ',';
+  *out_ << "\"value\":";
+  json_number(*out_, e.value);
+  *out_ << '}';
+}
+
+void ChromeTraceSink::emit_begin(const TraceEvent& e, int tid,
+                                 const char* name) {
+  write_prefix("B", e.node, tid, e.time_s * 1e6);
+  *out_ << ",\"name\":\"" << json_escape(name) << '"';
+  write_args_suffix(e);
+  end_event();
+}
+
+void ChromeTraceSink::emit_end(std::int32_t node, int tid, double t_us) {
+  write_prefix("E", node, tid, t_us);
+  end_event();
+}
+
+void ChromeTraceSink::emit_instant(const TraceEvent& e, int tid,
+                                   const char* name) {
+  write_prefix("i", e.node, tid, e.time_s * 1e6);
+  *out_ << ",\"name\":\"" << json_escape(name) << "\",\"s\":\"t\"";
+  write_args_suffix(e);
+  end_event();
+}
+
+void ChromeTraceSink::emit_metadata(std::int32_t node) {
+  begin_event();
+  *out_ << "{\"ph\":\"M\",\"pid\":" << node
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\"node " << node
+        << "\"}}";
+  ++events_written_;
+  for (const int tid : {kAirLane, kContentionLane, kNavLane}) {
+    begin_event();
+    *out_ << "{\"ph\":\"M\",\"pid\":" << node << ",\"tid\":" << tid
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+          << lane_name(tid) << "\"}}";
+    ++events_written_;
+  }
+}
+
+void ChromeTraceSink::record(const TraceEvent& e) {
+  if (closed_ || e.node < 0) {
+    ++dropped_;
+    return;
+  }
+  const double t_us = e.time_s * 1e6;
+  last_t_us_ = std::max(last_t_us_, t_us);
+  Track& tr = track(e.node);
+  switch (e.type) {
+    case EventType::kTxStart: {
+      // A running countdown ends the instant the frame goes out.
+      if (tr.contention_open) {
+        emit_end(e.node, kContentionLane, t_us);
+        tr.contention_open = false;
+      }
+      if (tr.air_open) emit_end(e.node, kAirLane, t_us);  // never nested
+      const char* name =
+          (e.detail != nullptr && e.detail[0] != '\0') ? e.detail : "TX";
+      emit_begin(e, kAirLane, name);
+      tr.air_open = true;
+      break;
+    }
+    case EventType::kTxEnd:
+      if (!tr.air_open) {
+        ++dropped_;  // unmatched E would corrupt the track
+        break;
+      }
+      emit_end(e.node, kAirLane, t_us);
+      tr.air_open = false;
+      break;
+    case EventType::kBackoffStart:
+      if (tr.contention_open) emit_end(e.node, kContentionLane, t_us);
+      emit_begin(e, kContentionLane, "backoff");
+      tr.contention_open = true;
+      break;
+    case EventType::kBackoffFreeze:
+      // No open span: the countdown already ended at this node's own
+      // TX_START (a scheduled frame can preempt a pending countdown,
+      // which the simulator then freezes). Nothing left to close.
+      if (!tr.contention_open) break;
+      emit_end(e.node, kContentionLane, t_us);
+      tr.contention_open = false;
+      break;
+    case EventType::kNavSet: {
+      // value carries the NAV end as an absolute simulation time.
+      const double dur_us = std::max(e.value * 1e6 - t_us, 0.0);
+      write_prefix("X", e.node, kNavLane, t_us);
+      *out_ << ",\"name\":\"NAV\",\"dur\":";
+      json_number(*out_, dur_us);
+      write_args_suffix(e);
+      end_event();
+      break;
+    }
+    case EventType::kCollision:
+      emit_instant(e, kContentionLane, "collision");
+      break;
+    case EventType::kDrop:
+      emit_instant(e, kAirLane, "drop");
+      break;
+    case EventType::kRxOk:
+      emit_instant(e, kAirLane, "rx_ok");
+      break;
+    case EventType::kRxFail:
+      emit_instant(e, kAirLane, "rx_fail");
+      break;
+    case EventType::kArrival:
+      emit_instant(e, kContentionLane, "arrival");
+      break;
+    case EventType::kStateChange:
+      emit_instant(e, kAirLane,
+                   (e.detail != nullptr && e.detail[0] != '\0') ? e.detail
+                                                                : "state");
+      break;
+  }
+}
+
+void ChromeTraceSink::flush() { out_->flush(); }
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  for (Track& tr : tracks_) {
+    if (tr.air_open) emit_end(tr.node, kAirLane, last_t_us_);
+    if (tr.contention_open) emit_end(tr.node, kContentionLane, last_t_us_);
+    tr.air_open = false;
+    tr.contention_open = false;
+  }
+  for (const Track& tr : tracks_) emit_metadata(tr.node);
+  *out_ << "\n]}\n";
+  out_->flush();
+}
+
+}  // namespace wlan::obs

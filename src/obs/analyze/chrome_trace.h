@@ -1,0 +1,82 @@
+// Chrome trace-event export: any simulator run becomes an inspectable
+// timeline in chrome://tracing or Perfetto (https://ui.perfetto.dev).
+//
+// Mapping of the wlan::obs event taxonomy onto the trace-event format
+// (JSON object with a "traceEvents" array, timestamps in microseconds):
+//
+//  - each node is a "process" (pid = node id, named "node <n>") with
+//    three lanes: tid 0 "air" (frames on the air), tid 1 "contention"
+//    (backoff countdowns), tid 2 "nav" (virtual carrier sense);
+//  - TX_START/TX_END become balanced B/E duration events on the air
+//    lane, named after the frame kind (DATA/ACK/RTS/CTS), carrying
+//    peer/flow/value as args;
+//  - BACKOFF_START opens a B on the contention lane; the matching E is
+//    emitted at the freeze, at the node's next TX_START (the countdown
+//    expired and the frame went out), or at close();
+//  - NAV_SET becomes a complete ("X") event on the nav lane lasting
+//    until the advertised NAV end;
+//  - COLLISION, DROP, RX_OK, RX_FAIL, ARRIVAL become instant events.
+//
+// Every B is guaranteed a matching E on the same (pid, tid): open spans
+// are closed by close()/the destructor, and an unmatched E is dropped
+// rather than written. The output is one valid JSON document once the
+// sink is closed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace wlan::obs {
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// Streams to `out`; the stream must outlive the sink.
+  explicit ChromeTraceSink(std::ostream& out);
+  /// Opens `path` for writing (throws ContractError on failure).
+  explicit ChromeTraceSink(const std::string& path);
+  /// Closes the document if close() was not called explicitly.
+  ~ChromeTraceSink() override;
+
+  void record(const TraceEvent& event) override;
+  void flush() override;
+  std::uint64_t dropped() const override { return dropped_; }
+
+  /// Balances open spans, writes per-node metadata and the JSON footer.
+  /// Events recorded after close() are counted as dropped. Idempotent.
+  void close();
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  struct Track {
+    std::int32_t node;
+    bool air_open = false;         // B outstanding on the air lane
+    bool contention_open = false;  // B outstanding on the contention lane
+  };
+
+  Track& track(std::int32_t node);
+  void write_prefix(const char* phase, std::int32_t node, int tid, double t_us);
+  void begin_event();
+  void end_event();
+  void write_args_suffix(const TraceEvent& event);
+  void emit_begin(const TraceEvent& event, int tid, const char* name);
+  void emit_end(std::int32_t node, int tid, double t_us);
+  void emit_instant(const TraceEvent& event, int tid, const char* name);
+  void emit_metadata(std::int32_t node);
+
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+  bool closed_ = false;
+  bool first_ = true;
+  double last_t_us_ = 0.0;
+  std::uint64_t events_written_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Track> tracks_;  // sparse by node id, created on demand
+};
+
+}  // namespace wlan::obs

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
 
 namespace wlan::obs {
 
@@ -37,6 +40,246 @@ void json_number(std::ostream& out, double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   out << buf;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Recursive-descent reader over the whole input. Depth is bounded so a
+/// pathological document cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value(0);
+    skip_ws();
+    check(pos_ == text_.size(), "JSON: trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check(pos_ < text_.size() && text_[pos_] == c,
+          std::string("JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    check(depth < kMaxDepth, "JSON: nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': {
+        v.type_ = JsonValue::Type::kObject;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          skip_ws();
+          std::string key = parse_string();
+          skip_ws();
+          expect(':');
+          v.members_.emplace_back(std::move(key), value(depth + 1));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type_ = JsonValue::Type::kArray;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.items_.push_back(value(depth + 1));
+          skip_ws();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = parse_string();
+        return v;
+      case 't':
+        check(consume_literal("true"), "JSON: bad literal");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        check(consume_literal("false"), "JSON: bad literal");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        check(consume_literal("null"), "JSON: bad literal");
+        return v;
+      default:
+        return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      check(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      check(pos_ < text_.size(), "JSON: unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          check(pos_ + 4 <= text_.size(), "JSON: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else check(false, "JSON: bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are beyond
+          // what the observability writers ever emit; pass them through
+          // as two separate 3-byte sequences).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          check(false, "JSON: unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    check(pos_ > start, "JSON: expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    check(end == token.c_str() + token.size(), "JSON: malformed number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+  check(type_ == Type::kBool, "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  check(type_ == Type::kNumber, "JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  check(type_ == Type::kString, "JsonValue: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  check(type_ == Type::kArray, "JsonValue: not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  check(type_ == Type::kObject, "JsonValue: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const JsonValue* hit = nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) hit = &m.second;
+  }
+  return hit;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  check(v != nullptr, "JsonValue: missing key '" + std::string(key) + "'");
+  return *v;
 }
 
 }  // namespace wlan::obs

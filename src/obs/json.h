@@ -1,13 +1,19 @@
-// Minimal JSON emission helpers shared by the observability sinks.
+// Minimal JSON helpers shared by the observability sinks and tools.
 //
-// This is a writer, not a parser: just enough to emit valid RFC 8259
-// output (string escaping, finite-number formatting) without pulling in
-// an external dependency.
+// Emission: just enough to write valid RFC 8259 output (string escaping,
+// finite-number formatting). Parsing: a small recursive-descent reader
+// producing a `JsonValue` tree — enough for the trace analyzers and the
+// bench regression gate to read back what the sinks wrote, without
+// pulling in an external dependency.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace wlan::obs {
 
@@ -18,5 +24,49 @@ std::string json_escape(std::string_view s);
 /// Writes `v` as a JSON number; NaN and infinities (not representable in
 /// JSON) become null.
 void json_number(std::ostream& out, double v);
+
+/// One parsed JSON document node. Object members preserve source order
+/// (duplicate keys keep the last occurrence on lookup, like most readers).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  /// Parses one complete document (trailing whitespace allowed; anything
+  /// else after the value throws ContractError, as does malformed input).
+  static JsonValue parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  /// Typed accessors; throw ContractError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;     ///< array elements
+  const std::vector<Member>& members() const;      ///< object members
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// `find` that throws ContractError when the key is absent.
+  const JsonValue& at(std::string_view key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+
+  friend class JsonParser;
+};
 
 }  // namespace wlan::obs

@@ -1,0 +1,70 @@
+#include "obs/probe.h"
+
+namespace wlan::obs {
+
+namespace detail {
+std::array<Histogram*, kProbeCount> g_probe_hist{};
+}  // namespace detail
+
+const char* probe_metric_name(Probe probe) {
+  switch (probe) {
+    case Probe::kOfdmEvm:
+    case Probe::kHtEvm: return "probe.evm";
+    case Probe::kOfdmPostEqSnr:
+    case Probe::kHtPostEqSnr: return "probe.post_eq_snr_db";
+    case Probe::kOfdmLlrAbs:
+    case Probe::kHtLlrAbs: return "probe.llr_abs";
+  }
+  return "probe.unknown";
+}
+
+const char* probe_chain_label(Probe probe) {
+  switch (probe) {
+    case Probe::kOfdmEvm:
+    case Probe::kOfdmPostEqSnr:
+    case Probe::kOfdmLlrAbs: return "ofdm";
+    case Probe::kHtEvm:
+    case Probe::kHtPostEqSnr:
+    case Probe::kHtLlrAbs: return "ht";
+  }
+  return "?";
+}
+
+void enable_phy_probes(Registry& registry) {
+  struct Range {
+    double lo;
+    double hi;
+    std::size_t bins;
+  };
+  for (std::size_t i = 0; i < kProbeCount; ++i) {
+    const auto p = static_cast<Probe>(i);
+    Range r{};
+    switch (p) {
+      case Probe::kOfdmEvm:
+      case Probe::kHtEvm:
+        // Linear EVM; noiseless links sit near FP roundoff and land in
+        // the underflow bucket — min/sum stay exact.
+        r = {1e-9, 10.0, 80};
+        break;
+      case Probe::kOfdmPostEqSnr:
+      case Probe::kHtPostEqSnr:
+        r = {0.1, 1e4, 64};  // dB; deep fades (<= 0 dB) underflow
+        break;
+      case Probe::kOfdmLlrAbs:
+      case Probe::kHtLlrAbs:
+        r = {1e-3, 1e3, 48};
+        break;
+    }
+    const std::vector<Label> label{{"chain", probe_chain_label(p)}};
+    detail::g_probe_hist[i] =
+        &registry.histogram(probe_metric_name(p), r.lo, r.hi, r.bins, label);
+  }
+}
+
+void disable_phy_probes() noexcept { detail::g_probe_hist.fill(nullptr); }
+
+bool phy_probes_enabled() noexcept {
+  return detail::g_probe_hist[0] != nullptr;
+}
+
+}  // namespace wlan::obs

@@ -52,8 +52,16 @@ JsonlTraceSink::JsonlTraceSink(const std::string& path) {
 JsonlTraceSink::~JsonlTraceSink() { flush(); }
 
 void JsonlTraceSink::record(const TraceEvent& event) {
+  if (!out_->good()) {
+    ++write_failures_;
+    return;
+  }
   write_event_json(*out_, event);
   *out_ << '\n';
+  if (!out_->good()) {
+    ++write_failures_;
+    return;
+  }
   ++lines_;
 }
 

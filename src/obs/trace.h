@@ -59,6 +59,10 @@ class TraceSink {
   virtual ~TraceSink() = default;
   virtual void record(const TraceEvent& event) = 0;
   virtual void flush() {}
+  /// Events recorded but not retained in full (ring eviction, write
+  /// failure, ...). A nonzero value means the trace is truncated; zero
+  /// means every recorded event is still available to consumers.
+  virtual std::uint64_t dropped() const { return 0; }
 };
 
 /// Writes each event as one JSON line:
@@ -76,11 +80,15 @@ class JsonlTraceSink final : public TraceSink {
   void flush() override;
 
   std::uint64_t lines() const { return lines_; }
+  /// Events whose line could not be written (stream in a failed state —
+  /// disk full, closed pipe). Nonzero => the JSONL file is incomplete.
+  std::uint64_t dropped() const override { return write_failures_; }
 
  private:
   std::unique_ptr<std::ostream> owned_;
   std::ostream* out_;
   std::uint64_t lines_ = 0;
+  std::uint64_t write_failures_ = 0;
 };
 
 /// Keeps the most recent `capacity` events plus exact per-type counts of
@@ -97,7 +105,9 @@ class RingTraceSink final : public TraceSink {
     return counts_[static_cast<std::size_t>(type)];
   }
   std::size_t capacity() const { return capacity_; }
-  std::uint64_t dropped() const { return total_ - events_.size(); }
+  /// Events overwritten by ring eviction (recorded, counted in the
+  /// per-type totals, but no longer in `events()`).
+  std::uint64_t dropped() const override { return total_ - events_.size(); }
 
  private:
   std::size_t capacity_;

@@ -5,7 +5,9 @@
 
 #include "channel/mimo.h"
 #include "common/check.h"
+#include "common/units.h"
 #include "linalg/decompose.h"
+#include "obs/probe.h"
 #include "phy/interleaver.h"
 #include "phy/ldpc.h"
 #include "phy/scrambler.h"
@@ -506,7 +508,24 @@ Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
       }
     }
     for (std::size_t ss = 0; ss < n_ss; ++ss) {
+      // Link-quality probes (no-ops unless enable_phy_probes armed them).
+      if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kHtEvm)) {
+        double err2 = 0.0;
+        for (std::size_t t = 0; t < n_dt; ++t) {
+          err2 += std::norm(z[ss][t] - slice_symbol(z[ss][t], mcs_.mod));
+        }
+        p->record(std::sqrt(err2 / static_cast<double>(n_dt)));
+      }
+      if (obs::Histogram* p =
+              obs::probe_histogram(obs::Probe::kHtPostEqSnr)) {
+        for (std::size_t t = 0; t < n_dt; ++t) {
+          p->record(lin_to_db(1.0 / std::max(zv[ss][t], 1e-30)));
+        }
+      }
       const RVec llrs = demodulate_llr(z[ss], mcs_.mod, zv[ss]);
+      if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kHtLlrAbs)) {
+        for (const double l : llrs) p->record(std::abs(l));
+      }
       if (use_interleaver) {
         const RVec deinter = interleaver.deinterleave(llrs);
         stream_llrs[ss].insert(stream_llrs[ss].end(), deinter.begin(),

@@ -1,9 +1,12 @@
 #include "phy/ofdm.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "common/units.h"
 #include "dsp/fft.h"
+#include "obs/probe.h"
 #include "phy/interleaver.h"
 #include "phy/scrambler.h"
 
@@ -240,7 +243,24 @@ Bytes OfdmPhy::receive(std::span<const Cplx> samples, std::size_t psdu_bytes,
       eq[t] = freq[bin] / hk * derotate;
       nv[t] = bin_noise / mag2;
     }
+    // Link-quality probes (no-ops unless enable_phy_probes armed them).
+    if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kOfdmEvm)) {
+      double err2 = 0.0;
+      for (std::size_t t = 0; t < kDataTones; ++t) {
+        err2 += std::norm(eq[t] - slice_symbol(eq[t], info_->mod));
+      }
+      p->record(std::sqrt(err2 / static_cast<double>(kDataTones)));
+    }
+    if (obs::Histogram* p =
+            obs::probe_histogram(obs::Probe::kOfdmPostEqSnr)) {
+      for (std::size_t t = 0; t < kDataTones; ++t) {
+        p->record(lin_to_db(1.0 / nv[t]));
+      }
+    }
     const RVec llrs = demodulate_llr(eq, info_->mod, nv);
+    if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kOfdmLlrAbs)) {
+      for (const double l : llrs) p->record(std::abs(l));
+    }
     const RVec deinter = interleaver.deinterleave(llrs);
     all_llrs.insert(all_llrs.end(), deinter.begin(), deinter.end());
   }
