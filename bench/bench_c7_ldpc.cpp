@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "common/bits.h"
 #include "core/wlan.h"
+#include "par/montecarlo.h"
 
 int main(int argc, char** argv) {
   using namespace wlan;
@@ -32,35 +33,55 @@ int main(int argc, char** argv) {
   std::vector<double> ber_conv;
   std::vector<double> ber_ldpc;
   std::printf("%12s %14s %14s\n", "Eb/N0(dB)", "conv K=7", "LDPC n=648");
-  for (double ebn0_db = 0.0; ebn0_db <= 5.0; ebn0_db += 0.5) {
-    const double sigma = std::sqrt(1.0 / db_to_lin(ebn0_db));  // rate 1/2
+  // All (Eb/N0 point x block) cells run on the worker pool (--jobs);
+  // per-trial counter-derived seeds make the result thread-count
+  // independent.
+  struct CodedBer {
     std::size_t conv_err = 0;
     std::size_t ldpc_err = 0;
     std::size_t total = 0;
-    const int blocks = 60;
-    for (int b = 0; b < blocks; ++b) {
-      Bits info = rng.random_bits(324);
-      for (std::size_t i = 318; i < 324; ++i) info[i] = 0;
-      const Bits coded = phy::convolutional_encode(info);
-      RVec llrs(coded.size());
-      for (std::size_t i = 0; i < coded.size(); ++i) {
-        const double tx = coded[i] ? -1.0 : 1.0;
-        llrs[i] = 2.0 * (tx + sigma * rng.gaussian()) / (sigma * sigma);
-      }
-      conv_err += hamming_distance(phy::viterbi_decode(llrs, true), info);
+  };
+  constexpr std::size_t kPoints = 11;  // 0.0 .. 5.0 dB in 0.5 dB steps
+  constexpr std::size_t kBlocks = 60;
+  par::SweepOptions opt;
+  opt.root_seed = rng.next_u64();
+  const std::vector<CodedBer> coded_points = par::sweep<CodedBer>(
+      kPoints, kBlocks, opt,
+      [&](std::uint64_t point, std::size_t, Rng& prng, CodedBer& acc) {
+        const double ebn0_db = 0.5 * static_cast<double>(point);
+        const double sigma = std::sqrt(1.0 / db_to_lin(ebn0_db));  // rate 1/2
+        Bits info = prng.random_bits(324);
+        for (std::size_t i = 318; i < 324; ++i) info[i] = 0;
+        const Bits coded = phy::convolutional_encode(info);
+        RVec llrs(coded.size());
+        for (std::size_t i = 0; i < coded.size(); ++i) {
+          const double tx = coded[i] ? -1.0 : 1.0;
+          llrs[i] = 2.0 * (tx + sigma * prng.gaussian()) / (sigma * sigma);
+        }
+        acc.conv_err += hamming_distance(phy::viterbi_decode(llrs, true), info);
 
-      const Bits info2 = rng.random_bits(324);
-      const Bits cw = code.encode(info2);
-      RVec cllrs(648);
-      for (std::size_t i = 0; i < 648; ++i) {
-        const double tx = cw[i] ? -1.0 : 1.0;
-        cllrs[i] = 2.0 * (tx + sigma * rng.gaussian()) / (sigma * sigma);
-      }
-      ldpc_err += hamming_distance(code.decode(cllrs, 50).info, info2);
-      total += 324;
-    }
-    const double bc = static_cast<double>(conv_err) / static_cast<double>(total);
-    const double bl = static_cast<double>(ldpc_err) / static_cast<double>(total);
+        const Bits info2 = prng.random_bits(324);
+        const Bits cw = code.encode(info2);
+        RVec cllrs(648);
+        for (std::size_t i = 0; i < 648; ++i) {
+          const double tx = cw[i] ? -1.0 : 1.0;
+          cllrs[i] = 2.0 * (tx + sigma * prng.gaussian()) / (sigma * sigma);
+        }
+        acc.ldpc_err += hamming_distance(code.decode(cllrs, 50).info, info2);
+        acc.total += 324;
+      },
+      [](CodedBer& acc, const CodedBer& part) {
+        acc.conv_err += part.conv_err;
+        acc.ldpc_err += part.ldpc_err;
+        acc.total += part.total;
+      });
+  for (std::size_t p = 0; p < kPoints; ++p) {
+    const double ebn0_db = 0.5 * static_cast<double>(p);
+    const CodedBer& cell = coded_points[p];
+    const double bc =
+        static_cast<double>(cell.conv_err) / static_cast<double>(cell.total);
+    const double bl =
+        static_cast<double>(cell.ldpc_err) / static_cast<double>(cell.total);
     ebn0s.push_back(ebn0_db);
     ber_conv.push_back(bc);
     ber_ldpc.push_back(bl);

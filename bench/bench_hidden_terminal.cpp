@@ -8,6 +8,7 @@
 
 #include "bench_util.h"
 #include "core/wlan.h"
+#include "par/montecarlo.h"
 
 int main(int argc, char** argv) {
   using namespace wlan;
@@ -30,21 +31,40 @@ int main(int argc, char** argv) {
   std::vector<double> rts_loss;
   double basic_collision_frac_hidden = 0.0;
   double rts_collision_frac_hidden = 0.0;
-  for (const double d : {30.0, 60.0, 100.0, 130.0, 160.0}) {
-    const auto setup = net::make_hidden_terminal_setup(d);
-    net::NetworkConfig cfg;
-    cfg.duration_s = 3.0;
-    // The airtime ledger turns the loss numbers into a channel-time
-    // story: hidden senders show up as collision airtime, not idle.
-    cfg.airtime = d == 100.0;
-    Rng r1(7);
-    const auto basic = net::simulate_network(cfg, setup.nodes, setup.flows, r1);
-    cfg.rts_cts = true;
-    // The representative Perfetto timeline (--chrome-trace): the hidden
-    // pair with RTS/CTS, where NAV protection is visible on the nav lane.
-    if (d == 100.0) cfg.trace = bu::chrome_trace();
-    Rng r2(7);
-    const auto rts = net::simulate_network(cfg, setup.nodes, setup.flows, r2);
+  // Distance points run on the worker pool (--jobs). Each point keeps
+  // the fixed per-run seeds of the old serial loop (the derived Rng is
+  // unused), so the table is bitwise identical for any thread count.
+  const std::vector<double> distances = {30.0, 60.0, 100.0, 130.0, 160.0};
+  struct SpacingPoint {
+    net::NetworkResult basic;
+    net::NetworkResult rts;
+  };
+  const auto spacing_points = par::map(
+      distances.size(), par::SweepOptions{},
+      [&](std::size_t i, Rng&) {
+        const double d = distances[i];
+        const auto setup = net::make_hidden_terminal_setup(d);
+        net::NetworkConfig cfg;
+        cfg.duration_s = 3.0;
+        // The airtime ledger turns the loss numbers into a channel-time
+        // story: hidden senders show up as collision airtime, not idle.
+        cfg.airtime = d == 100.0;
+        Rng r1(7);
+        SpacingPoint point;
+        point.basic = net::simulate_network(cfg, setup.nodes, setup.flows, r1);
+        cfg.rts_cts = true;
+        // The representative Perfetto timeline (--chrome-trace): the
+        // hidden pair with RTS/CTS, where NAV protection is visible on
+        // the nav lane. Only this point touches the shared sink.
+        if (d == 100.0) cfg.trace = bu::chrome_trace();
+        Rng r2(7);
+        point.rts = net::simulate_network(cfg, setup.nodes, setup.flows, r2);
+        return point;
+      });
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const double d = distances[i];
+    const net::NetworkResult& basic = spacing_points[i].basic;
+    const net::NetworkResult& rts = spacing_points[i].rts;
     if (d == 100.0) {
       basic_collision_frac_hidden = basic.airtime.collision_fraction();
       rts_collision_frac_hidden = rts.airtime.collision_fraction();
@@ -80,34 +100,54 @@ int main(int argc, char** argv) {
 
   bu::section("contention scaling with everyone in range (AP + N stations)");
   std::printf("%10s %14s %18s\n", "stations", "agg thr", "same-slot starts");
-  for (const std::size_t n_sta : {1u, 2u, 4u, 8u, 16u}) {
-    std::vector<net::NodeConfig> nodes(n_sta + 1);
-    std::vector<net::Flow> flows;
-    for (std::size_t i = 0; i < n_sta; ++i) {
-      const double angle = 6.2832 * static_cast<double>(i) /
-                           static_cast<double>(n_sta);
-      nodes[i].position = {10.0 * std::cos(angle), 10.0 * std::sin(angle)};
-      flows.push_back({i, n_sta});
-    }
-    net::NetworkConfig cfg;
-    cfg.duration_s = 1.5;
-    Rng rng(21 + n_sta);
-    const auto r = net::simulate_network(cfg, nodes, flows, rng);
-    std::printf("%10zu %12.1f M %18zu\n", n_sta, r.aggregate_throughput_mbps,
+  const std::vector<std::size_t> station_counts = {1, 2, 4, 8, 16};
+  const auto contention_points = par::map(
+      station_counts.size(), par::SweepOptions{},
+      [&](std::size_t i, Rng&) {
+        const std::size_t n_sta = station_counts[i];
+        std::vector<net::NodeConfig> nodes(n_sta + 1);
+        std::vector<net::Flow> flows;
+        for (std::size_t s = 0; s < n_sta; ++s) {
+          const double angle = 6.2832 * static_cast<double>(s) /
+                               static_cast<double>(n_sta);
+          nodes[s].position = {10.0 * std::cos(angle), 10.0 * std::sin(angle)};
+          flows.push_back({s, n_sta});
+        }
+        net::NetworkConfig cfg;
+        cfg.duration_s = 1.5;
+        Rng prng(21 + n_sta);
+        return net::simulate_network(cfg, nodes, flows, prng);
+      });
+  for (std::size_t i = 0; i < station_counts.size(); ++i) {
+    const auto& r = contention_points[i];
+    std::printf("%10zu %12.1f M %18zu\n", station_counts[i],
+                r.aggregate_throughput_mbps,
                 static_cast<std::size_t>(r.simultaneous_starts));
   }
 
   bu::section("latency vs offered load (Poisson uplink, one station)");
   std::printf("%14s %14s %16s\n", "load (pkt/s)", "delivered", "mean delay");
+  // Three seeded replications per load point via the batch API (runs
+  // execute on the worker pool; the averages are thread-count
+  // independent by the batch determinism guarantee).
   for (const double pps : {100.0, 500.0, 1000.0, 1500.0, 1800.0}) {
     std::vector<net::NodeConfig> nodes(2);
     nodes[1].position = {10.0, 0.0};
     net::NetworkConfig cfg;
     cfg.duration_s = 3.0;
-    Rng rng(5);
-    const auto r = net::simulate_network(cfg, nodes, {{0, 1, pps}}, rng);
-    std::printf("%14.0f %12.1f M %13.2f ms\n", pps,
-                r.flows[0].throughput_mbps, r.flows[0].mean_delay_s * 1e3);
+    net::BatchOptions batch;
+    batch.root_seed = 5;
+    const auto runs =
+        net::simulate_network_batch(cfg, nodes, {{0, 1, pps}}, 3, batch);
+    double thr = 0.0;
+    double delay = 0.0;
+    for (const auto& r : runs) {
+      thr += r.flows[0].throughput_mbps;
+      delay += r.flows[0].mean_delay_s;
+    }
+    thr /= static_cast<double>(runs.size());
+    delay /= static_cast<double>(runs.size());
+    std::printf("%14.0f %12.1f M %13.2f ms\n", pps, thr, delay * 1e3);
   }
   std::printf("  (the knee sits where offered load meets the ~15 Mbps DCF\n"
               "   service rate — classic M/G/1-ish queueing behaviour)\n");

@@ -4,11 +4,14 @@
 // Monte-Carlo budgets the C1..C13 benches can afford.
 #include <benchmark/benchmark.h>
 
+#include <numbers>
+
 #include "channel/mimo.h"
 #include "common/rng.h"
 #include "core/link.h"
 #include "dsp/fft.h"
 #include "linalg/decompose.h"
+#include "obs/timer.h"
 #include "phy/cck.h"
 #include "phy/convolutional.h"
 #include "phy/ldpc.h"
@@ -32,6 +35,51 @@ void BM_Fft(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_Fft)->Arg(64)->Arg(128)->Arg(1024);
+
+// The pre-plan radix-2 kernel: bit reversal computed per call and
+// twiddles accumulated incrementally (w *= w_len). Kept here as the
+// reference point for the FftPlan speedup (plans precompute both).
+// Wrapped in the same kernel timer the production path carries, so the
+// comparison matches what the old fft_inplace actually cost.
+void naive_fft(CVec& x) {
+  const obs::ScopedTimer timer(obs::kernel_histogram(obs::Kernel::kFft));
+  const std::size_t n = x.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j |= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const Cplx wlen = std::polar(1.0, ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = x[i + k];
+        const Cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void BM_FftNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  CVec x(n);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  for (auto _ : state) {
+    CVec y = x;
+    naive_fft(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftNaive)->Arg(64)->Arg(128)->Arg(1024);
 
 void BM_ViterbiDecode(benchmark::State& state) {
   const std::size_t n_info = static_cast<std::size_t>(state.range(0));
@@ -63,13 +111,40 @@ void BM_LdpcDecode(benchmark::State& state) {
     llrs[i] = 2.0 * ((cw[i] ? -1.0 : 1.0) + sigma * rng.gaussian()) /
               (sigma * sigma);
   }
+  std::int64_t iters = 0;
   for (auto _ : state) {
     auto out = code.decode(llrs, 40);
+    iters += out.iterations;
     benchmark::DoNotOptimize(out.info.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 324);
+  // Early-exit payoff: iterations actually spent vs the max budget of 40.
+  state.counters["iters_per_block"] = benchmark::Counter(
+      static_cast<double>(iters) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_LdpcDecode);
+
+// Clean channel decisions: the pre-loop syndrome check exits after 0
+// iterations, so this measures the floor cost of a decode call (one
+// syndrome pass) — the common case well above the waterfall.
+void BM_LdpcDecodeClean(benchmark::State& state) {
+  const phy::LdpcCode code(648, 324, 11);
+  Rng rng(3);
+  const Bits info = rng.random_bits(324);
+  const Bits cw = code.encode(info);
+  RVec llrs(648);
+  for (std::size_t i = 0; i < 648; ++i) llrs[i] = cw[i] ? -4.0 : 4.0;
+  std::int64_t iters = 0;
+  for (auto _ : state) {
+    auto out = code.decode(llrs, 40);
+    iters += out.iterations;
+    benchmark::DoNotOptimize(out.info.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 324);
+  state.counters["iters_per_block"] = benchmark::Counter(
+      static_cast<double>(iters) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_LdpcDecodeClean);
 
 void BM_CckDemodulate(benchmark::State& state) {
   const phy::CckModem modem(phy::CckRate::k11Mbps);

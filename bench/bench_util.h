@@ -18,6 +18,7 @@
 // run so the timeline can be opened in Perfetto / chrome://tracing.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -33,6 +34,7 @@
 #include "obs/metrics.h"
 #include "obs/probe.h"
 #include "obs/timer.h"
+#include "par/pool.h"
 
 namespace wlan::benchutil {
 
@@ -59,6 +61,9 @@ struct Report {
   obs::Registry registry;  // kernel-profiling + probe histograms live here
   std::string chrome_trace_path;
   std::unique_ptr<obs::ChromeTraceSink> chrome;  // closed by ~Report
+  unsigned jobs = 0;       // worker threads used (resolved --jobs value)
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
 };
 
 inline Report& report() {
@@ -83,6 +88,14 @@ inline void write_report() {
   out << ",\"verdict\":\""
       << (r.has_verdict ? (r.ok ? "REPRODUCED" : "MISMATCH") : "NONE") << '"';
   out << ",\"ok\":" << (!r.has_verdict || r.ok ? "true" : "false");
+  // Wall time and thread count are top-level fields, NOT metrics: the
+  // regression gate pins "metrics" only, and wall time is a property of
+  // the machine and --jobs, not of the claim.
+  out << ",\"jobs\":" << (r.jobs ? r.jobs : par::default_jobs());
+  out << ",\"wall_s\":";
+  json_number(out, std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - r.start)
+                       .count());
   out << ",\"detail\":\"" << json_escape(r.verdict_detail) << '"';
   out << ",\"series\":[";
   for (std::size_t s = 0; s < r.series.size(); ++s) {
@@ -163,23 +176,30 @@ inline void write_report() {
 /// Parses bench CLI flags: `--json <path>` (write the structured report
 /// there; also enables kernel profiling and the PHY probes),
 /// `--profile` (kernel profiling without a report, dumped nowhere —
-/// useful with a debugger), and `--chrome-trace <path>` (arm
-/// `chrome_trace()` with a ChromeTraceSink writing there). Call first
-/// thing in main().
+/// useful with a debugger), `--chrome-trace <path>` (arm
+/// `chrome_trace()` with a ChromeTraceSink writing there), and
+/// `--jobs <n>` (worker lanes for the Monte-Carlo pool; default
+/// hardware_concurrency, 1 = fully serial; results are identical either
+/// way). Call first thing in main().
 inline void args(int argc, char** argv) {
   Report& r = report();
+  r.start = std::chrono::steady_clock::now();
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       r.json_path = argv[++i];
     } else if (a == "--chrome-trace" && i + 1 < argc) {
       r.chrome_trace_path = argv[++i];
+    } else if (a == "--jobs" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      r.jobs = n > 0 ? static_cast<unsigned>(n) : 0;
+      par::set_default_jobs(r.jobs);
     } else if (a == "--profile") {
       obs::enable_kernel_profiling(r.registry);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--chrome-trace <path>] "
-                   "[--profile]\n",
+                   "[--profile] [--jobs <n>]\n",
                    argv[0]);
       std::exit(2);
     }

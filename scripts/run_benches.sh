@@ -6,7 +6,7 @@
 # as does a failing bench_kernels).
 #
 # Usage: scripts/run_benches.sh [build-dir] [out-dir] [--baseline [file]]
-#                               [--only <bench,bench,...>]
+#                               [--only <bench,bench,...>] [--jobs <n>]
 #
 #   --baseline [file]  After the run, gate the aggregate report against
 #                      the committed baseline (default
@@ -15,6 +15,11 @@
 #   --only a,b,c       Run only the named benches. The aggregate then
 #                      covers a subset, so the baseline gate runs in
 #                      --subset mode (missing benches don't fail).
+#   --jobs <n>         Worker lanes for each claim bench's Monte-Carlo
+#                      pool (forwarded as the bench's --jobs). Results
+#                      are thread-count independent; only wall time
+#                      changes. Default: the bench's own default
+#                      (hardware_concurrency).
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,6 +47,7 @@ BUILD=""
 OUT=""
 BASELINE=""
 ONLY=""
+JOBS=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --baseline)
@@ -54,6 +60,11 @@ while [[ $# -gt 0 ]]; do
     --only)
       [[ $# -gt 1 ]] || { echo "--only needs a bench list" >&2; exit 2; }
       ONLY="$2"
+      shift
+      ;;
+    --jobs)
+      [[ $# -gt 1 ]] || { echo "--jobs needs a count" >&2; exit 2; }
+      JOBS="$2"
       shift
       ;;
     -*)
@@ -99,18 +110,22 @@ for bench in "${BENCHES[@]}"; do
   # pass the size check below on stale output.
   rm -f "$json"
   echo "== $bench"
-  "$BUILD/bench/$bench" --json "$json" > "$log" 2>&1
+  bench_args=(--json "$json")
+  [[ -n "$JOBS" ]] && bench_args+=(--jobs "$JOBS")
+  start_s=$(date +%s.%N)
+  "$BUILD/bench/$bench" "${bench_args[@]}" > "$log" 2>&1
   status=$?
+  wall_s=$(echo "$(date +%s.%N) $start_s" | awk '{printf "%.2f", $1 - $2}')
   if [[ ! -s "$json" ]]; then
     echo "   FAILED: no report written (exit $status); see $log"
     failures=$((failures + 1))
     continue
   fi
   if grep -q '"verdict":"MISMATCH"' "$json"; then
-    echo "   MISMATCH (exit $status)"
+    echo "   MISMATCH (exit $status, ${wall_s}s)"
     mismatches=$((mismatches + 1))
   else
-    echo "   ok (exit $status)"
+    echo "   ok (exit $status, ${wall_s}s)"
   fi
 done
 

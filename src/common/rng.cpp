@@ -25,6 +25,18 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+Rng::Rng(const Rng& other) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = other.s_[i];
+  // The cached Box-Muller variate is deliberately not copied (rng.h).
+}
+
+Rng& Rng::operator=(const Rng& other) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = other.s_[i];
+  cached_gaussian_ = 0.0;
+  has_cached_gaussian_ = false;
+  return *this;
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;
@@ -95,6 +107,13 @@ Bytes Rng::random_bytes(std::size_t n) {
   return b;
 }
 
-Rng Rng::fork() { return Rng(next_u64()); }
+Rng Rng::fork() {
+  // Drop any cached pre-split variate: the split is a stream boundary,
+  // and replaying half of a Box-Muller pair across it would hand the
+  // parent a gaussian drawn from entropy consumed before the split.
+  has_cached_gaussian_ = false;
+  cached_gaussian_ = 0.0;
+  return Rng(next_u64());
+}
 
 }  // namespace wlan

@@ -22,6 +22,15 @@ class Rng {
   /// Seeds the generator; the same seed always yields the same stream.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+  /// Copies transfer the raw xoshiro state but NOT the Box-Muller
+  /// cached variate: a copy (like a fork) starts a fresh gaussian pair,
+  /// so seed-derivation paths that copy generators can never replay a
+  /// stale cached variate drawn from entropy the source has already
+  /// consumed. Copying a generator that has never produced a gaussian
+  /// is still an exact clone.
+  Rng(const Rng& other);
+  Rng& operator=(const Rng& other);
+
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
 
@@ -56,6 +65,9 @@ class Rng {
   Bytes random_bytes(std::size_t n);
 
   /// Splits off an independent generator (seeded from this stream).
+  /// A split is a clean stream boundary on both sides: the child starts
+  /// fresh, and the parent's cached Box-Muller variate (if any) is
+  /// discarded so neither side replays pre-split gaussian state.
   Rng fork();
 
  private:

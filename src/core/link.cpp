@@ -8,9 +8,16 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "dsp/ops.h"
+#include "par/montecarlo.h"
 
 namespace wlan {
 namespace {
+
+// Shared merge step for all runners: chunk partials are integer counter
+// sums, folded in chunk order by par::montecarlo.
+void merge_links(LinkResult& acc, const LinkResult& partial) {
+  acc.merge(partial);
+}
 
 // Applies the selected channel to a waveform; returns the (possibly
 // lengthened) received signal before noise.
@@ -63,27 +70,32 @@ LinkResult run_dsss_link(const phy::DsssModem::Config& config,
                          ChannelSpec channel) {
   check(bits_per_packet > 0 && n_packets > 0, "empty DSSS link run");
   const phy::DsssModem modem(config);
-  LinkResult result;
-  for (std::size_t p = 0; p < n_packets; ++p) {
-    const Bits tx_bits = rng.random_bits(bits_per_packet);
-    CVec wave = modem.modulate(tx_bits);
-    const double signal_power = dsp::mean_power(wave);
-    wave = apply_channel(wave, channel, 11e6, rng);
-    if (interference) {
-      const double jam_power = signal_power / db_to_lin(interference->sir_db);
-      channel::add_tone_interferer(wave, rng, jam_power, interference->freq_norm);
-    }
-    channel::add_awgn(wave, rng, signal_power / db_to_lin(snr_db));
-    // Keep only the modem's symbol lattice (TDL tails are discarded; the
-    // Barker correlation absorbs within-symbol dispersion).
-    const std::size_t expected =
-        (bits_per_packet / phy::dsss_bits_per_symbol(config.rate) + 1) *
-        modem.chips_per_symbol();
-    wave.resize(expected);
-    const Bits rx_bits = modem.demodulate(wave);
-    count_bit_errors(tx_bits, rx_bits, result);
-  }
-  return result;
+  par::SweepOptions opt;
+  opt.root_seed = rng.next_u64();
+  return par::montecarlo<LinkResult>(
+      n_packets, /*point=*/0, opt,
+      [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
+        const Bits tx_bits = prng.random_bits(bits_per_packet);
+        CVec wave = modem.modulate(tx_bits);
+        const double signal_power = dsp::mean_power(wave);
+        wave = apply_channel(wave, channel, 11e6, prng);
+        if (interference) {
+          const double jam_power =
+              signal_power / db_to_lin(interference->sir_db);
+          channel::add_tone_interferer(wave, prng, jam_power,
+                                       interference->freq_norm);
+        }
+        channel::add_awgn(wave, prng, signal_power / db_to_lin(snr_db));
+        // Keep only the modem's symbol lattice (TDL tails are discarded;
+        // the Barker correlation absorbs within-symbol dispersion).
+        const std::size_t expected =
+            (bits_per_packet / phy::dsss_bits_per_symbol(config.rate) + 1) *
+            modem.chips_per_symbol();
+        wave.resize(expected);
+        const Bits rx_bits = modem.demodulate(wave);
+        count_bit_errors(tx_bits, rx_bits, acc);
+      },
+      merge_links);
 }
 
 LinkResult run_cck_link(phy::CckRate rate, std::size_t bits_per_packet,
@@ -91,20 +103,23 @@ LinkResult run_cck_link(phy::CckRate rate, std::size_t bits_per_packet,
                         ChannelSpec channel) {
   check(bits_per_packet > 0 && n_packets > 0, "empty CCK link run");
   const phy::CckModem modem(rate);
-  LinkResult result;
-  for (std::size_t p = 0; p < n_packets; ++p) {
-    const Bits tx_bits = rng.random_bits(bits_per_packet);
-    CVec wave = modem.modulate(tx_bits);
-    const double signal_power = dsp::mean_power(wave);
-    wave = apply_channel(wave, channel, 11e6, rng);
-    channel::add_awgn(wave, rng, signal_power / db_to_lin(snr_db));
-    const std::size_t expected =
-        (bits_per_packet / phy::cck_bits_per_symbol(rate) + 1) * 8;
-    wave.resize(expected);
-    const Bits rx_bits = modem.demodulate(wave);
-    count_bit_errors(tx_bits, rx_bits, result);
-  }
-  return result;
+  par::SweepOptions opt;
+  opt.root_seed = rng.next_u64();
+  return par::montecarlo<LinkResult>(
+      n_packets, /*point=*/0, opt,
+      [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
+        const Bits tx_bits = prng.random_bits(bits_per_packet);
+        CVec wave = modem.modulate(tx_bits);
+        const double signal_power = dsp::mean_power(wave);
+        wave = apply_channel(wave, channel, 11e6, prng);
+        channel::add_awgn(wave, prng, signal_power / db_to_lin(snr_db));
+        const std::size_t expected =
+            (bits_per_packet / phy::cck_bits_per_symbol(rate) + 1) * 8;
+        wave.resize(expected);
+        const Bits rx_bits = modem.demodulate(wave);
+        count_bit_errors(tx_bits, rx_bits, acc);
+      },
+      merge_links);
 }
 
 LinkResult run_ofdm_link(phy::OfdmMcs mcs, std::size_t psdu_bytes,
@@ -112,20 +127,23 @@ LinkResult run_ofdm_link(phy::OfdmMcs mcs, std::size_t psdu_bytes,
                          ChannelSpec channel) {
   check(psdu_bytes > 0 && n_packets > 0, "empty OFDM link run");
   const phy::OfdmPhy phy(mcs);
-  LinkResult result;
-  for (std::size_t p = 0; p < n_packets; ++p) {
-    const Bytes psdu = rng.random_bytes(psdu_bytes);
-    CVec wave = phy.transmit(psdu);
-    const double signal_power = dsp::mean_power(wave);
-    const std::size_t tx_len = wave.size();
-    wave = apply_channel(wave, channel, phy::OfdmPhy::kSampleRateHz, rng);
-    const double noise_var = signal_power / db_to_lin(snr_db);
-    channel::add_awgn(wave, rng, noise_var);
-    wave.resize(tx_len);  // drop the TDL tail beyond the frame
-    const Bytes decoded = phy.receive(wave, psdu_bytes, noise_var);
-    count_byte_errors(psdu, decoded, result);
-  }
-  return result;
+  par::SweepOptions opt;
+  opt.root_seed = rng.next_u64();
+  return par::montecarlo<LinkResult>(
+      n_packets, /*point=*/0, opt,
+      [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
+        const Bytes psdu = prng.random_bytes(psdu_bytes);
+        CVec wave = phy.transmit(psdu);
+        const double signal_power = dsp::mean_power(wave);
+        const std::size_t tx_len = wave.size();
+        wave = apply_channel(wave, channel, phy::OfdmPhy::kSampleRateHz, prng);
+        const double noise_var = signal_power / db_to_lin(snr_db);
+        channel::add_awgn(wave, prng, noise_var);
+        wave.resize(tx_len);  // drop the TDL tail beyond the frame
+        const Bytes decoded = phy.receive(wave, psdu_bytes, noise_var);
+        count_byte_errors(psdu, decoded, acc);
+      },
+      merge_links);
 }
 
 LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
@@ -133,14 +151,17 @@ LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
                        channel::DelayProfile profile) {
   check(psdu_bytes > 0 && n_packets > 0, "empty HT link run");
   const phy::HtPhy phy(config);
-  LinkResult result;
-  for (std::size_t p = 0; p < n_packets; ++p) {
-    const Bytes psdu = rng.random_bytes(psdu_bytes);
-    const auto tones = phy.draw_channel(rng, profile);
-    const Bytes decoded = phy.simulate_link(psdu, tones, snr_db, rng);
-    count_byte_errors(psdu, decoded, result);
-  }
-  return result;
+  par::SweepOptions opt;
+  opt.root_seed = rng.next_u64();
+  return par::montecarlo<LinkResult>(
+      n_packets, /*point=*/0, opt,
+      [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
+        const Bytes psdu = prng.random_bytes(psdu_bytes);
+        const auto tones = phy.draw_channel(prng, profile);
+        const Bytes decoded = phy.simulate_link(psdu, tones, snr_db, prng);
+        count_byte_errors(psdu, decoded, acc);
+      },
+      merge_links);
 }
 
 double snr_at_distance_db(const channel::PathLossModel& pathloss,

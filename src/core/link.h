@@ -4,6 +4,12 @@
 // (waveform or per-tone) channel at a mean SNR, returning PER/BER and
 // goodput. Distance-based variants fold in the path-loss model so range
 // experiments (C6, C7) can sweep metres instead of decibels.
+//
+// Packets run through par::montecarlo: each runner consumes exactly one
+// u64 from the caller's Rng as the root of a counter-based per-packet
+// seed derivation, then executes packets on the process worker pool
+// (see --jobs). Results are a pure function of the caller's Rng state
+// and the packet count — bitwise identical for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +44,15 @@ struct LinkResult {
   /// Goodput at the given PHY rate: rate x (1 - PER).
   double goodput_mbps(double phy_rate_mbps) const {
     return phy_rate_mbps * (1.0 - per());
+  }
+
+  /// Folds another partial result into this one (integer counters only,
+  /// so merging is associative and order-independent).
+  void merge(const LinkResult& other) {
+    packets += other.packets;
+    packet_errors += other.packet_errors;
+    bits += other.bits;
+    bit_errors += other.bit_errors;
   }
 };
 

@@ -1,7 +1,17 @@
 // Radix-2 complex FFT used by the OFDM modulator/demodulator.
+//
+// Two layers: `FftPlan` precomputes the bit-reversal permutation and
+// per-stage twiddle-factor tables for one size and applies them to any
+// number of buffers, and the `fft_inplace`/`ifft_inplace` convenience
+// wrappers fetch a plan from a per-thread cache keyed by size (the
+// working set is a handful of sizes — 64/128-point OFDM symbols and
+// spectrum-analysis windows — so plans are built once per thread and
+// reused for the life of the process; thread-locality makes the cache
+// lock-free and parallel-sweep safe).
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.h"
 
@@ -9,6 +19,37 @@ namespace wlan::dsp {
 
 /// Returns true when n is a power of two (and > 0).
 bool is_power_of_two(std::size_t n);
+
+/// Precomputed transform for one power-of-two size: twiddle factors
+/// (exact std::polar values per stage, not incrementally accumulated)
+/// and the bit-reversal swap list. Immutable after construction, so one
+/// plan may be shared by any number of threads.
+class FftPlan {
+ public:
+  /// Throws ContractError unless `n` is a power of two.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// In-place forward DFT (no normalization). Requires x.size() == size().
+  void forward(CVec& x) const;
+
+  /// In-place inverse DFT, normalized by 1/N. Requires x.size() == size().
+  void inverse(CVec& x) const;
+
+ private:
+  void transform(CVec& x, bool inverse) const;
+
+  std::size_t n_;
+  // Bit-reversal pairs (i, j) with i < j, packed as i << 32 | j.
+  std::vector<std::uint64_t> swaps_;
+  // Stage twiddles, concatenated: stage s (len = 2^(s+1)) contributes
+  // len/2 factors e^{-2*pi*i*k/len}; total n - 1 entries.
+  std::vector<Cplx> twiddles_;
+};
+
+/// The calling thread's cached plan for size `n` (built on first use).
+const FftPlan& plan_for(std::size_t n);
 
 /// In-place forward DFT (no normalization). Requires power-of-two size.
 void fft_inplace(CVec& x);

@@ -5,10 +5,13 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "common/check.h"
 #include "common/units.h"
 #include "mac/frames.h"
+#include "par/montecarlo.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
 
@@ -576,6 +579,45 @@ NetworkResult simulate_network(const NetworkConfig& config,
                                const std::vector<Flow>& flows, Rng& rng) {
   Simulator sim(config, nodes, flows, rng);
   return sim.run();
+}
+
+std::vector<NetworkResult> simulate_network_batch(
+    const NetworkConfig& config, const std::vector<NodeConfig>& nodes,
+    const std::vector<Flow>& flows, std::size_t n_runs,
+    const BatchOptions& options) {
+  check(n_runs > 0, "simulate_network_batch requires at least one run");
+
+  // One synchronized wrapper shared by every run; the caller's sink is
+  // never touched from two threads at once.
+  std::optional<obs::SynchronizedTraceSink> synced;
+  if (config.trace) synced.emplace(*config.trace);
+
+  struct RunOutput {
+    NetworkResult result;
+    std::unique_ptr<obs::Registry> registry;
+  };
+
+  par::SweepOptions opt;
+  opt.root_seed = options.root_seed;
+  opt.jobs = options.jobs;
+  std::vector<RunOutput> outputs =
+      par::map(n_runs, opt, [&](std::size_t, Rng& run_rng) {
+        NetworkConfig run_config = config;
+        RunOutput out;
+        out.registry = std::make_unique<obs::Registry>();
+        run_config.registry = out.registry.get();
+        if (synced) run_config.trace = &*synced;
+        out.result = simulate_network(run_config, nodes, flows, run_rng);
+        return out;
+      });
+
+  std::vector<NetworkResult> results;
+  results.reserve(n_runs);
+  for (RunOutput& out : outputs) {
+    if (options.registry) options.registry->merge(*out.registry);
+    results.push_back(std::move(out.result));
+  }
+  return results;
 }
 
 HiddenTerminalSetup make_hidden_terminal_setup(double sender_spacing_m) {

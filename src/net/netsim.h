@@ -129,6 +129,32 @@ NetworkResult simulate_network(const NetworkConfig& config,
                                const std::vector<NodeConfig>& nodes,
                                const std::vector<Flow>& flows, Rng& rng);
 
+/// Knobs for `simulate_network_batch`.
+struct BatchOptions {
+  /// Root of the per-run seed derivation (run i runs under
+  /// par::derive_seed(root_seed, i, 0)); the batch is a pure function
+  /// of this root and `n_runs`, bitwise identical for any thread count.
+  std::uint64_t root_seed = 0x9E3779B97F4A7C15ull;
+  /// Worker lanes; 0 = the process default pool (see --jobs).
+  unsigned jobs = 0;
+  /// Optional: each run's private metrics registry is merged here in
+  /// run order after all runs finish, so the merged snapshot is also
+  /// schedule-independent.
+  obs::Registry* registry = nullptr;
+};
+
+/// Runs `n_runs` independent replications of the same network on the
+/// worker pool, one derived Rng per run. `config.registry` is ignored
+/// (each run gets a private registry; see BatchOptions::registry); a
+/// non-null `config.trace` is shared by all runs through a
+/// SynchronizedTraceSink, so events from concurrent runs interleave
+/// arbitrarily but the sink is never raced. Results come back in run
+/// order.
+std::vector<NetworkResult> simulate_network_batch(
+    const NetworkConfig& config, const std::vector<NodeConfig>& nodes,
+    const std::vector<Flow>& flows, std::size_t n_runs,
+    const BatchOptions& options = {});
+
 /// Convenience topology: the classic hidden-terminal triangle — two
 /// saturated senders equidistant from a middle receiver but out of
 /// carrier-sense range of each other.

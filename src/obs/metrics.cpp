@@ -84,6 +84,21 @@ double Histogram::percentile(double p) const {
   return max_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  check(lo_ == other.lo_ && hi_ == other.hi_ &&
+            counts_.size() == other.counts_.size(),
+        "Histogram::merge requires identical binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 namespace {
 
 std::string entry_key(int kind, std::string_view name,
@@ -159,6 +174,26 @@ const Histogram* Registry::find_histogram(
     std::string_view name, const std::vector<Label>& labels) const {
   const Entry* e = find(Kind::kHistogram, name, labels);
   return e ? e->histogram.get() : nullptr;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& e : other.entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        counter(e->name, e->labels).add(e->counter->value());
+        break;
+      case Kind::kGauge:
+        gauge(e->name, e->labels).set(e->gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& src = *e->histogram;
+        histogram(e->name, src.range_lo(), src.range_hi(), src.bins(),
+                  e->labels)
+            .merge(src);
+        break;
+      }
+    }
+  }
 }
 
 void Registry::write_json(std::ostream& out) const {

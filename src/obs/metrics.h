@@ -12,8 +12,11 @@
 // the same key returns the same instrument, so independent modules can
 // share counters without coordination. `write_json` snapshots the whole
 // registry machine-readably. Instruments returned by a Registry remain
-// valid for the registry's lifetime. Not thread-safe: the simulators are
-// single-threaded and the hot path must stay a bare increment.
+// valid for the registry's lifetime. Not thread-safe by design — the
+// hot path must stay a bare increment. Parallel code gives each thread
+// (or work chunk) a private shard Registry and folds the shards into
+// the parent with `merge` once the parallel region has retired
+// (par/montecarlo.h drives this for the sweep engine).
 #pragma once
 
 #include <cstdint>
@@ -69,6 +72,14 @@ class Histogram {
   /// Returns NaN when empty.
   double percentile(double p) const;
 
+  /// Folds `other` into this histogram: bin counts, under/overflow,
+  /// count, sum, min, max. Requires identical binning (lo, hi, bins);
+  /// throws ContractError otherwise.
+  void merge(const Histogram& other);
+
+  double range_lo() const { return lo_; }
+  double range_hi() const { return hi_; }
+
   // Bin introspection (for snapshots): `bins()` interior bins, edge i ->
   // i+1 log-spaced from lo to hi. Underflow/overflow counts are separate.
   std::size_t bins() const { return counts_.size(); }
@@ -113,6 +124,15 @@ class Registry {
                                   const std::vector<Label>& labels = {}) const;
 
   std::size_t size() const { return entries_.size(); }
+
+  /// Folds every instrument of `other` into this registry, creating
+  /// missing instruments on the fly: counters add, histograms merge
+  /// bin-wise (same binning required), gauges take `other`'s value
+  /// (call merge in shard order to fix last-writer-wins precedence).
+  /// This is how per-thread metric shards fold into a parent registry
+  /// at sweep end — merge order, not thread schedule, defines the
+  /// result, so deterministic shards merge to a deterministic snapshot.
+  void merge(const Registry& other);
 
   /// Snapshot of every instrument as one JSON object:
   /// {"counters":[{"name":..,"labels":{..},"value":..},...],

@@ -3,7 +3,8 @@
 namespace wlan::obs {
 
 namespace detail {
-std::array<Histogram*, kKernelCount> g_kernel_hist{};
+thread_local std::array<Histogram*, kKernelCount> g_kernel_hist{};
+thread_local Registry* g_kernel_registry = nullptr;
 }  // namespace detail
 
 const char* kernel_metric_name(Kernel kernel) {
@@ -23,14 +24,20 @@ void enable_kernel_profiling(Registry& registry) {
     detail::g_kernel_hist[i] =
         &registry.histogram(kernel_metric_name(k), 1e-8, 1.0, 64);
   }
+  detail::g_kernel_registry = &registry;
 }
 
 void disable_kernel_profiling() noexcept {
   detail::g_kernel_hist.fill(nullptr);
+  detail::g_kernel_registry = nullptr;
 }
 
 bool kernel_profiling_enabled() noexcept {
   return detail::g_kernel_hist[0] != nullptr;
+}
+
+Registry* kernel_profiling_registry() noexcept {
+  return detail::g_kernel_registry;
 }
 
 }  // namespace wlan::obs

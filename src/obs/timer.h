@@ -53,23 +53,33 @@ inline constexpr std::size_t kKernelCount = 4;
 const char* kernel_metric_name(Kernel kernel);
 
 namespace detail {
-extern std::array<Histogram*, kKernelCount> g_kernel_hist;
+// Per-thread arming: each thread records into its own slots, so
+// parallel sweeps can profile without sharing histograms across
+// threads. The sweep engine (par/montecarlo.h) arms worker threads at
+// private shard registries and merges them into the sweep initiator's
+// registry as chunks retire.
+extern thread_local std::array<Histogram*, kKernelCount> g_kernel_hist;
+extern thread_local Registry* g_kernel_registry;
 }  // namespace detail
 
-/// Histogram slot for `kernel`; null while profiling is disabled. This
-/// is the only call on the kernel hot path.
+/// Histogram slot for `kernel` on this thread; null while profiling is
+/// disabled. This is the only call on the kernel hot path.
 inline Histogram* kernel_histogram(Kernel kernel) noexcept {
   return detail::g_kernel_hist[static_cast<std::size_t>(kernel)];
 }
 
 /// Registers per-kernel wall-time histograms (seconds, 10 ns .. 1 s,
-/// log-spaced) in `registry` and arms the slots. `registry` must outlive
-/// profiling; call `disable_kernel_profiling` before destroying it.
+/// log-spaced) in `registry` and arms this thread's slots. `registry`
+/// must outlive profiling; call `disable_kernel_profiling` before
+/// destroying it.
 void enable_kernel_profiling(Registry& registry);
 
-/// Disarms all slots (histograms stay in their registry).
+/// Disarms this thread's slots (histograms stay in their registry).
 void disable_kernel_profiling() noexcept;
 
 bool kernel_profiling_enabled() noexcept;
+
+/// The registry this thread's profiling is armed at (null when off).
+Registry* kernel_profiling_registry() noexcept;
 
 }  // namespace wlan::obs

@@ -16,6 +16,7 @@
 #include <deque>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace wlan::obs {
@@ -114,6 +115,35 @@ class RingTraceSink final : public TraceSink {
   std::deque<TraceEvent> events_;
   std::array<std::uint64_t, kEventTypeCount> counts_{};
   std::uint64_t total_ = 0;
+};
+
+/// Mutex-guarded adapter making any sink safe to share across the
+/// threads of a parallel sweep (sinks themselves stay single-threaded).
+/// Events from concurrent producers interleave in lock-acquisition
+/// order, so the *order* of a multi-run trace is schedule-dependent —
+/// per-event content is not. Prefer tracing only a representative run;
+/// use this when a batch genuinely has to share one sink.
+class SynchronizedTraceSink final : public TraceSink {
+ public:
+  /// Wraps `inner`, which must outlive this sink.
+  explicit SynchronizedTraceSink(TraceSink& inner) : inner_(inner) {}
+
+  void record(const TraceEvent& event) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.record(event);
+  }
+  void flush() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.flush();
+  }
+  std::uint64_t dropped() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return inner_.dropped();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  TraceSink& inner_;
 };
 
 /// Serializes one event in the JSONL object form (no trailing newline).

@@ -1,0 +1,85 @@
+#include "par/montecarlo.h"
+
+#include <array>
+#include <mutex>
+
+#include "obs/timer.h"
+
+namespace wlan::par {
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+
+std::uint64_t splitmix_finalize(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Serializes shard-into-target registry merges across all sweeps. One
+// global mutex is enough: merges happen once per retired chunk, not per
+// sample.
+std::mutex g_profile_merge_mutex;
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t point,
+                          std::uint64_t trial) {
+  // SplitMix64 finalizer chain absorbing each counter in turn; the
+  // odd-constant multiplies keep (point, trial) and (trial, point)
+  // from colliding.
+  std::uint64_t z = splitmix_finalize(root + kGolden);
+  z = splitmix_finalize(z + point * 0xBF58476D1CE4E5B9ull + kGolden);
+  z = splitmix_finalize(z + trial * 0x94D049BB133111EBull + kGolden);
+  return z;
+}
+
+namespace detail {
+
+struct ProfileShardGuard::Impl {
+  obs::Registry* target;
+  obs::Registry shard;
+  std::array<obs::Histogram*, obs::kKernelCount> saved_hist;
+  obs::Registry* saved_registry;
+};
+
+ProfileShardGuard::ProfileShardGuard(obs::Registry* target) {
+  if (!target) return;
+  impl_ = new Impl;
+  impl_->target = target;
+  impl_->saved_hist = obs::detail::g_kernel_hist;
+  impl_->saved_registry = obs::detail::g_kernel_registry;
+  obs::enable_kernel_profiling(impl_->shard);
+}
+
+ProfileShardGuard::~ProfileShardGuard() {
+  if (!impl_) return;
+  obs::detail::g_kernel_hist = impl_->saved_hist;
+  obs::detail::g_kernel_registry = impl_->saved_registry;
+  {
+    const std::lock_guard<std::mutex> lock(g_profile_merge_mutex);
+    impl_->target->merge(impl_->shard);
+  }
+  delete impl_;
+}
+
+obs::Registry* profiling_target() { return obs::kernel_profiling_registry(); }
+
+std::size_t auto_chunk(std::size_t n_trials) {
+  // Aim for ~64 chunks: enough granularity for stealing to balance an
+  // 8..32-lane pool, coarse enough that per-chunk overhead (a shard
+  // registry when profiling) stays negligible. Depends on the trial
+  // count ONLY — a jobs-derived chunk would change reduction grouping,
+  // and with it floating-point sums, across thread counts.
+  return std::max<std::size_t>(1, (n_trials + 63) / 64);
+}
+
+ThreadPool& select_pool(const SweepOptions& opt,
+                        std::unique_ptr<ThreadPool>& owned) {
+  if (opt.jobs == 0) return default_pool();
+  owned = std::make_unique<ThreadPool>(opt.jobs);
+  return *owned;
+}
+
+}  // namespace detail
+}  // namespace wlan::par

@@ -1,0 +1,195 @@
+// Deterministic parallel Monte-Carlo sweeps.
+//
+// Every trial of a sweep gets its own Rng seeded by a counter-based
+// SplitMix64 derivation over (root_seed, point_index, trial_index) —
+// no trial ever consumes another trial's randomness, so the result of a
+// sweep is a pure function of (root_seed, point count, trial count,
+// chunk size) and is bitwise identical for ANY number of threads,
+// including one. Chunk boundaries are derived from the trial count
+// alone (never from the thread count), and per-chunk partial results
+// are reduced in chunk-index order on the calling thread, so even
+// non-associative floating-point reductions are schedule-independent.
+//
+// Kernel profiling (obs/timer.h) is sharded automatically: when the
+// calling thread has profiling armed, each chunk records into a private
+// shard registry that is merged into the caller's profiling registry
+// (mutex-guarded) as the chunk retires. Worker threads never touch the
+// caller's histograms directly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "par/pool.h"
+
+namespace wlan::par {
+
+/// Counter-based seed for trial `trial` of sweep point `point` under
+/// `root`: a SplitMix64-style finalizer chain absorbing each counter.
+/// Statistically independent across neighbouring counters.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t point,
+                          std::uint64_t trial);
+
+/// Fresh generator for one (point, trial) cell.
+inline Rng trial_rng(std::uint64_t root, std::uint64_t point,
+                     std::uint64_t trial) {
+  return Rng(derive_seed(root, point, trial));
+}
+
+/// Knobs shared by every sweep entry point.
+struct SweepOptions {
+  /// Root of the per-trial seed derivation. Two sweeps with the same
+  /// root and shape produce identical results.
+  std::uint64_t root_seed = 0x9E3779B97F4A7C15ull;
+  /// Execution lanes; 0 = the process default pool (see --jobs).
+  /// A private pool of this size is used when nonzero.
+  unsigned jobs = 0;
+  /// Trials per chunk; 0 = automatic (a function of the trial count
+  /// only — NEVER of `jobs`, which would break cross-thread-count
+  /// determinism of floating-point reductions).
+  std::size_t chunk = 0;
+};
+
+namespace detail {
+
+/// Arms thread-local kernel profiling at a private shard registry for
+/// the guard's lifetime (no-op when `target` is null); on destruction
+/// restores the previous arming and merges the shard into `target`
+/// under a global mutex.
+class ProfileShardGuard {
+ public:
+  explicit ProfileShardGuard(obs::Registry* target);
+  ~ProfileShardGuard();
+  ProfileShardGuard(const ProfileShardGuard&) = delete;
+  ProfileShardGuard& operator=(const ProfileShardGuard&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+/// The profiling registry armed on the calling thread (null when
+/// profiling is off) — captured once per sweep, before fan-out.
+obs::Registry* profiling_target();
+
+/// Chunk size used when SweepOptions::chunk == 0. Depends on n only.
+std::size_t auto_chunk(std::size_t n_trials);
+
+/// Pool selected by `opt` (the default pool, or a private one).
+/// Returns the default pool when opt.jobs == 0; otherwise the caller
+/// owns the returned pool via `owned`.
+ThreadPool& select_pool(const SweepOptions& opt,
+                        std::unique_ptr<ThreadPool>& owned);
+
+}  // namespace detail
+
+/// Runs `n_trials` Monte-Carlo trials of sweep point `point` and folds
+/// them into one `Result` (default-constructed, value-initialized).
+///
+///   trial(point, t, rng, acc)  — runs trial t, accumulating into acc;
+///                                `rng` is the trial's private generator.
+///   merge(acc, partial)        — folds a chunk partial into acc;
+///                                called in chunk order.
+template <class Result, class TrialFn, class MergeFn>
+Result montecarlo(std::size_t n_trials, std::uint64_t point,
+                  const SweepOptions& opt, TrialFn&& trial, MergeFn&& merge) {
+  check(n_trials > 0, "par::montecarlo requires at least one trial");
+  const std::size_t chunk =
+      opt.chunk ? opt.chunk : detail::auto_chunk(n_trials);
+  const std::size_t n_chunks = (n_trials + chunk - 1) / chunk;
+  std::vector<Result> partial(n_chunks);
+  obs::Registry* prof = detail::profiling_target();
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = detail::select_pool(opt, owned);
+  pool.parallel_for(n_chunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const detail::ProfileShardGuard shard(prof);
+      const std::size_t t0 = c * chunk;
+      const std::size_t t1 = std::min(n_trials, t0 + chunk);
+      Result acc{};
+      for (std::size_t t = t0; t < t1; ++t) {
+        Rng rng = trial_rng(opt.root_seed, point, t);
+        trial(point, t, rng, acc);
+      }
+      partial[c] = std::move(acc);
+    }
+  });
+
+  Result out{};
+  for (std::size_t c = 0; c < n_chunks; ++c) merge(out, partial[c]);
+  return out;
+}
+
+/// Sweep over `n_points` points x `n_trials` trials; returns one merged
+/// Result per point (in point order). Chunks never straddle points, so
+/// each point's reduction order is fixed regardless of thread count.
+template <class Result, class TrialFn, class MergeFn>
+std::vector<Result> sweep(std::size_t n_points, std::size_t n_trials,
+                          const SweepOptions& opt, TrialFn&& trial,
+                          MergeFn&& merge) {
+  check(n_points > 0 && n_trials > 0, "par::sweep requires points and trials");
+  const std::size_t chunk =
+      opt.chunk ? opt.chunk : detail::auto_chunk(n_trials);
+  const std::size_t chunks_per_point = (n_trials + chunk - 1) / chunk;
+  const std::size_t total = n_points * chunks_per_point;
+  std::vector<Result> partial(total);
+  obs::Registry* prof = detail::profiling_target();
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = detail::select_pool(opt, owned);
+  pool.parallel_for(total, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const detail::ProfileShardGuard shard(prof);
+      const std::size_t point = c / chunks_per_point;
+      const std::size_t t0 = (c % chunks_per_point) * chunk;
+      const std::size_t t1 = std::min(n_trials, t0 + chunk);
+      Result acc{};
+      for (std::size_t t = t0; t < t1; ++t) {
+        Rng rng = trial_rng(opt.root_seed, point, t);
+        trial(point, t, rng, acc);
+      }
+      partial[c] = std::move(acc);
+    }
+  });
+
+  std::vector<Result> out(n_points);
+  for (std::size_t p = 0; p < n_points; ++p) {
+    for (std::size_t c = 0; c < chunks_per_point; ++c) {
+      merge(out[p], partial[p * chunks_per_point + c]);
+    }
+  }
+  return out;
+}
+
+/// Parallel map: `fn(index, rng)` for each index in [0, n), one derived
+/// Rng per index (point = index, trial = 0), results in index order.
+/// For batches of heterogeneous independent runs (netsim replications,
+/// per-distance simulator points).
+template <class Fn>
+auto map(std::size_t n, const SweepOptions& opt, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}, std::declval<Rng&>()))> {
+  using R = decltype(fn(std::size_t{0}, std::declval<Rng&>()));
+  check(n > 0, "par::map requires at least one item");
+  std::vector<R> out(n);
+  obs::Registry* prof = detail::profiling_target();
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = detail::select_pool(opt, owned);
+  pool.parallel_for(n, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const detail::ProfileShardGuard shard(prof);
+      Rng rng = trial_rng(opt.root_seed, i, 0);
+      out[i] = fn(i, rng);
+    }
+  });
+  return out;
+}
+
+}  // namespace wlan::par

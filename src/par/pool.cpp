@@ -1,0 +1,206 @@
+#include "par/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace wlan::par {
+namespace {
+
+// Lane index of the current thread within its pool, or kNoLane for
+// threads the pool did not spawn (the main thread, other pools' workers).
+constexpr unsigned kNoLane = ~0u;
+thread_local unsigned tl_lane = kNoLane;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(std::max(1u, jobs == 0 ? hardware_jobs() : jobs)) {
+  const unsigned workers = jobs_ - 1;
+  lanes_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+unsigned ThreadPool::hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::push_task(std::function<void()> task) {
+  // Workers push to their own lane (back, LIFO for cache warmth);
+  // external threads round-robin across lanes.
+  unsigned lane = tl_lane;
+  if (lane == kNoLane || lane >= lanes_.size()) {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    lane = static_cast<unsigned>(next_lane_++ % lanes_.size());
+  }
+  {
+    const std::lock_guard<std::mutex> lock(lanes_[lane]->mutex);
+    lanes_[lane]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one(unsigned home_lane) {
+  std::function<void()> task;
+  // Own lane first (back = most recently pushed), then steal the oldest
+  // task from the other lanes.
+  if (home_lane != kNoLane && home_lane < lanes_.size()) {
+    Lane& own = *lanes_[home_lane];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    for (std::size_t i = 0; i < lanes_.size() && !task; ++i) {
+      const std::size_t victim =
+          (home_lane == kNoLane ? i : (home_lane + 1 + i) % lanes_.size());
+      if (victim >= lanes_.size()) continue;
+      Lane& lane = *lanes_[victim];
+      const std::lock_guard<std::mutex> lock(lane.mutex);
+      if (!lane.tasks.empty()) {
+        task = std::move(lane.tasks.front());
+        lane.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  tl_lane = lane;
+  for (;;) {
+    if (try_run_one(lane)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_) return;
+    // Re-check the queues under the wake mutex: push_task notifies after
+    // enqueueing, so a task pushed between our scan and this wait would
+    // otherwise be missed until the next notification.
+    bool any = false;
+    for (const auto& l : lanes_) {
+      const std::lock_guard<std::mutex> qlock(l->mutex);
+      if (!l->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) continue;
+    wake_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+
+  // Pool of one lane (or a single chunk): run inline, no queues, no
+  // synchronization — the serial path every single-threaded caller gets.
+  if (jobs_ == 1 || n <= chunk) {
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      fn(begin, std::min(n, begin + chunk));
+    }
+    return;
+  }
+
+  struct ForState {
+    std::atomic<std::size_t> remaining{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;  // set under mutex by the final chunk
+    std::exception_ptr error;
+  };
+  ForState state;
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  state.remaining.store(n_chunks, std::memory_order_relaxed);
+
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    push_task([&state, &fn, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+      }
+      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        state.done = true;
+        state.done_cv.notify_all();
+      }
+    });
+  }
+
+  // Help until every chunk of THIS call has finished. Helping may pick
+  // up tasks of other in-flight parallel_for calls (nested submits) —
+  // that is what makes reentrancy deadlock-free.
+  const unsigned home = tl_lane;
+  while (state.remaining.load(std::memory_order_acquire) > 0) {
+    if (try_run_one(home)) continue;
+    std::unique_lock<std::mutex> lock(state.mutex);
+    if (state.done) break;
+    // Our chunks are running on other threads; nothing left to steal.
+    // Wake periodically in case a nested submit parked new work.
+    state.done_cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  // The final chunk flips `done` and notifies while holding state.mutex.
+  // Waiting on that flag under the same mutex means this cannot return —
+  // and ForState cannot be destroyed — until the notifier has released
+  // the lock, i.e. fully left notify_all. Observing the relaxed counter
+  // alone would allow destruction mid-broadcast.
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock, [&state] { return state.done; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+namespace {
+
+std::mutex g_default_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;
+unsigned g_default_jobs = 0;  // 0 = hardware_concurrency
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  const std::lock_guard<std::mutex> lock(g_default_mutex);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(g_default_jobs);
+  }
+  return *g_default_pool;
+}
+
+void set_default_jobs(unsigned jobs) {
+  const std::lock_guard<std::mutex> lock(g_default_mutex);
+  g_default_jobs = jobs;
+  g_default_pool.reset();  // next default_pool() call rebuilds at the new size
+}
+
+unsigned default_jobs() {
+  const std::lock_guard<std::mutex> lock(g_default_mutex);
+  return g_default_jobs == 0 ? ThreadPool::hardware_jobs() : g_default_jobs;
+}
+
+}  // namespace wlan::par

@@ -1,0 +1,92 @@
+// Chunked work-stealing thread pool for the Monte-Carlo engine.
+//
+// One process-wide pool (default_pool) sized by --jobs / set_default_jobs;
+// sweeps submit chunk tasks and the calling thread participates, so a
+// pool of size 1 runs everything inline on the caller (no worker threads
+// at all — the path every existing serial test exercises).
+//
+// Scheduling model: each worker owns a deque; it pops from the back of
+// its own deque (LIFO, cache-warm) and steals from the front of other
+// workers' deques (FIFO, oldest-first). Submissions from outside the
+// pool round-robin across worker deques. A thread blocked in
+// `parallel_for` drains tasks — its own or stolen, including tasks of
+// *other* in-flight parallel_for calls — so nested submits cannot
+// deadlock.
+//
+// Determinism contract: the pool never influences results. Work items
+// write into disjoint slots and chunk boundaries are fixed by the caller
+// (par/montecarlo.h derives them from the trial count alone), so the
+// schedule — which thread runs which chunk, and in what order — is
+// invisible to the output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wlan::par {
+
+/// Work-stealing pool of `jobs` execution lanes (the caller of
+/// parallel_for counts as one; `jobs - 1` worker threads are spawned).
+class ThreadPool {
+ public:
+  /// `jobs` >= 1; 0 means hardware_concurrency().
+  explicit ThreadPool(unsigned jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + the submitting caller).
+  unsigned size() const { return jobs_; }
+
+  /// Runs `fn(begin, end)` over consecutive sub-ranges of [0, n) of at
+  /// most `chunk` indices each. Blocks until every chunk finished; the
+  /// calling thread executes chunks too. The first exception thrown by
+  /// any chunk is rethrown here (after all chunks have drained); the
+  /// pool remains usable. Reentrant: chunks may call parallel_for.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// hardware_concurrency(), floored at 1.
+  static unsigned hardware_jobs();
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned lane);
+  bool try_run_one(unsigned home_lane);
+  void push_task(std::function<void()> task);
+
+  unsigned jobs_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::size_t next_lane_ = 0;  // round-robin target for external submits
+  bool stop_ = false;
+};
+
+/// The process-wide pool, created on first use with `default_jobs()`
+/// lanes. Thread-safe.
+ThreadPool& default_pool();
+
+/// Sets the lane count used when the default pool is (re)created, and
+/// drops any existing default pool so the next use picks it up. Call
+/// from the main thread before starting parallel work (bench_util wires
+/// `--jobs` here). `jobs == 0` restores hardware_concurrency.
+void set_default_jobs(unsigned jobs);
+
+/// Lane count the default pool has (or will have on first use).
+unsigned default_jobs();
+
+}  // namespace wlan::par

@@ -99,26 +99,48 @@ std::size_t coded_length(std::size_t n_info_bits, CodeRate rate) {
   return n;
 }
 
+namespace {
+
+// Flattened trellis: for each (predecessor state, input bit), the
+// 2-bit output-pair index e0<<1|e1. Per decode step the four possible
+// branch metrics ±l0±l1 are computed once and looked up through this
+// table — no parity evaluation or per-call table rebuild on the hot
+// path. Built once per process (thread-safe magic static).
+struct Trellis {
+  std::array<std::uint8_t, kNumStates * 2> sym;
+};
+
+const Trellis& trellis() {
+  static const Trellis t = [] {
+    Trellis built{};
+    for (int s = 0; s < kNumStates; ++s) {
+      for (int b = 0; b < 2; ++b) {
+        const std::uint32_t reg = (static_cast<std::uint32_t>(b) << 6) |
+                                  static_cast<std::uint32_t>(s);
+        built.sym[static_cast<std::size_t>(s * 2 + b)] = static_cast<std::uint8_t>(
+            (parity7(reg & kG0) << 1) | parity7(reg & kG1));
+      }
+    }
+    return built;
+  }();
+  return t;
+}
+
+}  // namespace
+
 Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
   const obs::ScopedTimer timer(
       obs::kernel_histogram(obs::Kernel::kViterbi));
   check(llrs.size() % 2 == 0, "viterbi_decode requires an even LLR count");
   const std::size_t n_steps = llrs.size() / 2;
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-  // Precompute per (state, input) the expected coded pair.
-  std::array<std::array<std::uint8_t, 2>, kNumStates * 2> expected{};
-  for (int s = 0; s < kNumStates; ++s) {
-    for (int b = 0; b < 2; ++b) {
-      const std::uint32_t reg =
-          (static_cast<std::uint32_t>(b) << 6) | static_cast<std::uint32_t>(s);
-      expected[static_cast<std::size_t>(s * 2 + b)] = {parity7(reg & kG0),
-                                                       parity7(reg & kG1)};
-    }
-  }
+  // Finite "unreachable" sentinel: adding a branch metric to it is
+  // absorbed (|branch| << 1e300), so unreachable states stay maximally
+  // bad without NaN/inf special-casing in the inner loop.
+  constexpr double kUnreachable = -1e300;
+  const std::uint8_t* sym = trellis().sym.data();
 
   std::array<double, kNumStates> metric{};
-  metric.fill(kNegInf);
+  metric.fill(kUnreachable);
   metric[0] = 0.0;  // encoder starts at state 0
 
   // One survivor bit per state per step: the oldest-bit choice of the
@@ -129,28 +151,28 @@ Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
   for (std::size_t t = 0; t < n_steps; ++t) {
     const double l0 = llrs[2 * t];
     const double l1 = llrs[2 * t + 1];
-    next.fill(kNegInf);
+    // Branch metric for expected pair (e0, e1), indexed e0<<1|e1
+    // (a positive LLR favours bit 0).
+    const std::array<double, 4> bm{l0 + l1, l0 - l1, -l0 + l1, -l0 - l1};
     std::uint64_t surv = 0;
-    for (int sp = 0; sp < kNumStates; ++sp) {
-      // Predecessors of new state sp: s = ((sp & 0x1F) << 1) | old for
-      // old in {0, 1}; the consumed input bit is sp >> 5.
-      const int b = sp >> 5;
-      const int base = (sp & 0x1F) << 1;
-      double best = kNegInf;
-      int best_old = 0;
-      for (int old = 0; old < 2; ++old) {
-        const int s = base | old;
-        if (metric[static_cast<std::size_t>(s)] == kNegInf) continue;
-        const auto& e = expected[static_cast<std::size_t>(s * 2 + b)];
-        const double branch = (e[0] ? -l0 : l0) + (e[1] ? -l1 : l1);
-        const double m = metric[static_cast<std::size_t>(s)] + branch;
-        if (m > best) {
-          best = m;
-          best_old = old;
+    // Butterfly: new states `half` (input 0) and `half + 32` (input 1)
+    // share predecessors base and base|1.
+    for (int half = 0; half < 32; ++half) {
+      const int p0 = half << 1;
+      const int p1 = p0 | 1;
+      const double m0 = metric[static_cast<std::size_t>(p0)];
+      const double m1 = metric[static_cast<std::size_t>(p1)];
+      for (int b = 0; b < 2; ++b) {
+        const int sp = (b << 5) | half;
+        const double c0 = m0 + bm[sym[p0 * 2 + b]];
+        const double c1 = m1 + bm[sym[p1 * 2 + b]];
+        if (c1 > c0) {
+          next[static_cast<std::size_t>(sp)] = c1;
+          surv |= (std::uint64_t{1} << sp);
+        } else {
+          next[static_cast<std::size_t>(sp)] = c0;
         }
       }
-      next[static_cast<std::size_t>(sp)] = best;
-      if (best_old) surv |= (std::uint64_t{1} << sp);
     }
     metric = next;
     survivors[t] = surv;
@@ -159,7 +181,7 @@ Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
   // Traceback from the terminal state.
   int state = 0;
   if (!terminated) {
-    double best = kNegInf;
+    double best = -std::numeric_limits<double>::infinity();
     for (int s = 0; s < kNumStates; ++s) {
       if (metric[static_cast<std::size_t>(s)] > best) {
         best = metric[static_cast<std::size_t>(s)];

@@ -131,11 +131,23 @@ LdpcCode::LdpcCode(std::size_t n, std::size_t k, std::uint64_t seed,
       }
     }
 
-    // --- Decoder adjacency (original sparse H, not the RREF). ---
-    check_vars_.assign(m_, {});
+    // --- Decoder adjacency (original sparse H, not the RREF), CSR. ---
+    std::vector<std::uint32_t> check_degree(m_, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      for (const std::uint32_t c : var_checks[v]) ++check_degree[c];
+    }
+    check_offset_.assign(m_ + 1, 0);
+    for (std::size_t c = 0; c < m_; ++c) {
+      check_offset_[c + 1] = check_offset_[c] + check_degree[c];
+      max_check_degree_ =
+          std::max<std::size_t>(max_check_degree_, check_degree[c]);
+    }
+    check_var_.assign(check_offset_[m_], 0);
+    std::vector<std::uint32_t> fill(check_offset_.begin(),
+                                    check_offset_.end() - 1);
     for (std::size_t v = 0; v < n; ++v) {
       for (const std::uint32_t c : var_checks[v]) {
-        check_vars_[c].push_back(static_cast<std::uint32_t>(v));
+        check_var_[fill[c]++] = static_cast<std::uint32_t>(v);
       }
     }
     return;
@@ -156,13 +168,34 @@ Bits LdpcCode::encode(std::span<const std::uint8_t> info) const {
 
 bool LdpcCode::satisfies_parity(std::span<const std::uint8_t> codeword) const {
   check(codeword.size() == n_, "satisfies_parity length mismatch");
-  for (const auto& vars : check_vars_) {
+  for (std::size_t c = 0; c < m_; ++c) {
     std::uint8_t p = 0;
-    for (const std::uint32_t v : vars) p ^= codeword[v] & 1u;
+    for (std::uint32_t e = check_offset_[c]; e < check_offset_[c + 1]; ++e) {
+      p ^= codeword[check_var_[e]] & 1u;
+    }
     if (p) return false;
   }
   return true;
 }
+
+namespace {
+
+// Syndrome over posterior signs, straight off the CSR arrays; bails on
+// the first unsatisfied check (no hard-decision buffer materialized).
+bool syndrome_clean(const RVec& posterior,
+                    const std::vector<std::uint32_t>& offset,
+                    const std::vector<std::uint32_t>& var, std::size_t m) {
+  for (std::size_t c = 0; c < m; ++c) {
+    unsigned p = 0;
+    for (std::uint32_t e = offset[c]; e < offset[c + 1]; ++e) {
+      p ^= posterior[var[e]] < 0.0 ? 1u : 0u;
+    }
+    if (p) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
                                         int max_iterations,
@@ -171,54 +204,56 @@ LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
       obs::kernel_histogram(obs::Kernel::kLdpcDecode));
   check(llrs.size() == n_, "LdpcCode::decode LLR length mismatch");
 
-  // Edge-indexed min-sum. msg[c][e] = check-to-variable message for edge e
-  // of check c.
-  std::vector<std::vector<double>> c2v(m_);
-  for (std::size_t c = 0; c < m_; ++c) c2v[c].assign(check_vars_[c].size(), 0.0);
-
+  // Edge-indexed layered min-sum on the flat CSR structure: c2v[e] is
+  // the check-to-variable message for edge e (same indexing as
+  // check_var_), and posteriors are updated in place as each check
+  // (layer) is processed, so later layers in the same iteration see
+  // already-refined beliefs.
   RVec posterior(llrs.begin(), llrs.end());
-  Bits hard(n_, 0);
   int iter = 0;
   bool ok = false;
-  for (iter = 0; iter < max_iterations; ++iter) {
-    // Check-node update with normalized min-sum, using posteriors minus the
-    // incoming edge message (standard flooding schedule).
-    for (std::size_t c = 0; c < m_; ++c) {
-      const auto& vars = check_vars_[c];
-      const std::size_t deg = vars.size();
-      // Gather variable-to-check messages.
-      double min1 = 1e300;
-      double min2 = 1e300;
-      std::size_t min_pos = 0;
-      int sign_product = 1;
-      static thread_local std::vector<double> v2c;
-      v2c.resize(deg);
-      for (std::size_t e = 0; e < deg; ++e) {
-        const double msg = posterior[vars[e]] - c2v[c][e];
-        v2c[e] = msg;
-        const double mag = std::abs(msg);
-        if (mag < min1) {
-          min2 = min1;
-          min1 = mag;
-          min_pos = e;
-        } else if (mag < min2) {
-          min2 = mag;
+  if (syndrome_clean(posterior, check_offset_, check_var_, m_)) {
+    // Channel decisions already form a codeword — 0-iteration exit
+    // (the common case well above the waterfall).
+    ok = true;
+  } else {
+    RVec c2v(check_var_.size(), 0.0);
+    RVec v2c(max_check_degree_, 0.0);
+    for (iter = 0; iter < max_iterations; ++iter) {
+      for (std::size_t c = 0; c < m_; ++c) {
+        const std::uint32_t e0 = check_offset_[c];
+        const std::uint32_t e1 = check_offset_[c + 1];
+        double min1 = 1e300;
+        double min2 = 1e300;
+        std::uint32_t min_pos = 0;
+        int sign_product = 1;
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          const double msg = posterior[check_var_[e]] - c2v[e];
+          v2c[e - e0] = msg;
+          const double mag = std::abs(msg);
+          if (mag < min1) {
+            min2 = min1;
+            min1 = mag;
+            min_pos = e;
+          } else if (mag < min2) {
+            min2 = mag;
+          }
+          if (msg < 0.0) sign_product = -sign_product;
         }
-        if (msg < 0.0) sign_product = -sign_product;
+        for (std::uint32_t e = e0; e < e1; ++e) {
+          const double mag = (e == min_pos ? min2 : min1) * normalization;
+          const double old = v2c[e - e0];
+          const int sign = old < 0.0 ? -sign_product : sign_product;
+          const double new_msg = sign * mag;
+          posterior[check_var_[e]] = old + new_msg;
+          c2v[e] = new_msg;
+        }
       }
-      for (std::size_t e = 0; e < deg; ++e) {
-        const double mag = (e == min_pos ? min2 : min1) * normalization;
-        const int sign = v2c[e] < 0.0 ? -sign_product : sign_product;
-        const double new_msg = sign * mag;
-        posterior[vars[e]] = v2c[e] + new_msg;
-        c2v[c][e] = new_msg;
+      if (syndrome_clean(posterior, check_offset_, check_var_, m_)) {
+        ok = true;
+        ++iter;
+        break;
       }
-    }
-    for (std::size_t v = 0; v < n_; ++v) hard[v] = posterior[v] < 0.0 ? 1 : 0;
-    if (satisfies_parity(hard)) {
-      ok = true;
-      ++iter;
-      break;
     }
   }
 
@@ -226,7 +261,9 @@ LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
   result.parity_ok = ok;
   result.iterations = iter;
   result.info.resize(k_);
-  for (std::size_t i = 0; i < k_; ++i) result.info[i] = hard[info_cols_[i]];
+  for (std::size_t i = 0; i < k_; ++i) {
+    result.info[i] = posterior[info_cols_[i]] < 0.0 ? 1 : 0;
+  }
   return result;
 }
 

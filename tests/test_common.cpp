@@ -136,6 +136,42 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_NE(forked.next_u64(), b.next_u64());
 }
 
+TEST(Rng, ForkDiscardsParentCachedGaussian) {
+  // Box-Muller produces variates in pairs and caches the second. A
+  // fork is a stream boundary: the parent must NOT hand out a variate
+  // cached from entropy consumed before the fork, or two generators
+  // that reach identical raw state through different gaussian() call
+  // counts would diverge.
+  Rng with_cache(7);
+  with_cache.gaussian();  // caches the pair's second variate
+  Rng without_cache(7);
+  without_cache.gaussian();
+  without_cache.gaussian();  // drains the cache; same raw state now
+  with_cache.fork();
+  without_cache.fork();
+  // Both parents sit at the same raw state with empty caches, so their
+  // next gaussians must agree.
+  EXPECT_EQ(with_cache.gaussian(), without_cache.gaussian());
+}
+
+TEST(Rng, CopyDoesNotInheritCachedGaussian) {
+  Rng source(11);
+  source.gaussian();  // source now holds a cached variate
+  Rng copy = source;
+  Rng assigned(1);
+  assigned = source;
+  // The copies share the source's raw state but start a fresh
+  // Box-Muller pair: their first gaussian comes from new draws, not the
+  // source's stale cache.
+  const double from_source_cache = source.gaussian();
+  Rng fresh_copy = source;  // source cache is drained now
+  EXPECT_NE(copy.gaussian(), from_source_cache);
+  EXPECT_NE(assigned.gaussian(), from_source_cache);
+  // A copy of a cache-free generator is an exact clone.
+  Rng clone = fresh_copy;
+  EXPECT_EQ(clone.next_u64(), fresh_copy.next_u64());
+}
+
 TEST(Bits, BytesToBitsLsbFirst) {
   const Bytes bytes = {0x01, 0x80};
   const Bits bits = bytes_to_bits(bytes);
