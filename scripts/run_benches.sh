@@ -41,6 +41,8 @@ BENCHES=(
   bench_rate_adaptation
   bench_hidden_terminal
   bench_ablations
+  bench_abstraction
+  bench_multibss
 )
 
 BUILD=""

@@ -1,6 +1,7 @@
 #include "mac/dcf.h"
 
 #include <algorithm>
+#include <deque>
 #include <vector>
 
 #include "common/check.h"
@@ -12,8 +13,12 @@ namespace {
 struct Station {
   unsigned cw;
   unsigned backoff;
-  unsigned retries = 0;
+  unsigned retries = 0;     // consecutive failed attempts (CW control)
   double head_since = 0.0;  // when the current head-of-queue frame arrived
+  /// Retry count of each MPDU in the head burst. Subframes lost inside a
+  /// partially-delivered A-MPDU stay here for retransmission in the next
+  /// burst; saturation refills the burst with fresh (count 0) MPDUs.
+  std::deque<unsigned> pending;
 };
 
 struct Durations {
@@ -82,16 +87,36 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
     config.trace->record(e);
   };
 
+  // Saturation: top the head burst up to the A-MPDU size with fresh
+  // MPDUs. Every MPDU that enters is offered exactly once.
+  auto fill_burst = [&](Station& s) {
+    while (s.pending.size() < std::max<std::size_t>(config.ampdu_frames, 1)) {
+      s.pending.push_back(0);
+      ++result.offered_frames;
+    }
+  };
+
+  // Advances the retry count of one failed MPDU: true keeps it queued,
+  // false drops it past the retry limit.
+  auto retry_or_drop = [&](unsigned& mpdu_retries, std::size_t station,
+                           double now) {
+    if (++mpdu_retries > config.retry_limit) {
+      ++result.dropped;
+      emit(obs::EventType::kDrop, station, now,
+           static_cast<double>(mpdu_retries));
+      return false;
+    }
+    return true;
+  };
+
+  // Contention-window bookkeeping after a failed attempt (per-MPDU drop
+  // accounting is handled by retry_or_drop on each lost subframe).
   auto on_failure = [&](Station& s, double now) {
     ++s.retries;
     if (s.retries > config.retry_limit) {
-      ++result.dropped;
-      emit(obs::EventType::kDrop,
-           static_cast<std::size_t>(&s - stations.data()), now,
-           static_cast<double>(s.retries));
       s.retries = 0;
       s.cw = timing.cw_min;
-      s.head_since = now;  // next frame becomes head of queue
+      if (s.pending.empty()) s.head_since = now;  // whole burst dropped
     } else {
       s.cw = std::min(2 * s.cw + 1, timing.cw_max);
     }
@@ -114,11 +139,21 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
     if (transmitters.size() == 1) {
       Station& s = stations[transmitters[0]];
       emit(obs::EventType::kTxStart, transmitters[0], t, dur.success);
-      // Channel errors thin the delivered MPDUs of an A-MPDU.
+      fill_burst(s);
+      // Channel errors thin the delivered MPDUs of an A-MPDU; the block
+      // ack tells the sender exactly which subframes survived, so lost
+      // ones stay queued (or drop) rather than silently vanishing.
       std::uint64_t ok = 0;
-      for (std::size_t f = 0; f < config.ampdu_frames; ++f) {
-        if (!rng.bernoulli(config.packet_error_rate)) ++ok;
+      std::deque<unsigned> survivors;
+      for (unsigned mpdu_retries : s.pending) {
+        if (!rng.bernoulli(config.packet_error_rate)) {
+          ++ok;
+        } else if (retry_or_drop(mpdu_retries, transmitters[0],
+                                 t + dur.failure)) {
+          survivors.push_back(mpdu_retries);
+        }
       }
+      s.pending = std::move(survivors);
       emit(ok > 0 ? obs::EventType::kRxOk : obs::EventType::kRxFail,
            transmitters[0], t, static_cast<double>(ok));
       if (ok > 0) {
@@ -141,13 +176,26 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
       for (const std::size_t i : transmitters) {
         emit(obs::EventType::kCollision, i, t,
              static_cast<double>(transmitters.size()));
-        on_failure(stations[i], t + dur.collision);
+        Station& s = stations[i];
+        // A collision loses the whole burst; every MPDU retries.
+        fill_burst(s);
+        std::deque<unsigned> survivors;
+        for (unsigned mpdu_retries : s.pending) {
+          if (retry_or_drop(mpdu_retries, i, t + dur.collision)) {
+            survivors.push_back(mpdu_retries);
+          }
+        }
+        s.pending = std::move(survivors);
+        on_failure(s, t + dur.collision);
       }
       t += dur.collision;
       busy += dur.collision;
     }
   }
 
+  for (const Station& s : stations) {
+    result.pending_frames += s.pending.size();
+  }
   const double elapsed = std::max(t, config.duration_s);
   result.throughput_mbps = static_cast<double>(result.delivered_frames) *
                            dur.payload_bits_per_frame / elapsed / 1e6;

@@ -38,15 +38,22 @@ struct DcfConfig {
   obs::TraceSink* trace = nullptr;
 };
 
+/// Frame accounting is per MPDU and conserves mass:
+/// `offered_frames == delivered_frames + dropped + pending_frames`.
+/// Inside a partially-delivered A-MPDU, each lost subframe keeps its own
+/// retry count and is either retransmitted in a later burst or dropped
+/// once it exceeds the retry limit — it never silently vanishes.
 struct DcfResult {
   double throughput_mbps = 0.0;        ///< delivered payload bits / time
   double collision_probability = 0.0;  ///< colliding tx / all tx attempts
   double mean_access_delay_s = 0.0;    ///< head-of-queue to delivery
   double busy_airtime_fraction = 0.0;
   std::uint64_t delivered_frames = 0;
-  std::uint64_t attempts = 0;
+  std::uint64_t attempts = 0;          ///< transmission attempts (bursts)
   std::uint64_t collisions = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;           ///< MPDUs past the retry limit
+  std::uint64_t offered_frames = 0;    ///< MPDUs that entered the MAC
+  std::uint64_t pending_frames = 0;    ///< MPDUs still queued at the end
 };
 
 /// Runs the saturated-DCF simulation.

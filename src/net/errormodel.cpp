@@ -1,0 +1,110 @@
+#include "net/errormodel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "phy/ht.h"
+#include "phy/ofdm.h"
+
+namespace wlan::net {
+namespace {
+
+constexpr double kRateTolMbps = 0.05;
+
+phy::OfdmMcs ofdm_mcs_for_rate(double rate_mbps) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto mcs = static_cast<phy::OfdmMcs>(i);
+    if (std::abs(phy::ofdm_mcs_info(mcs).data_rate_mbps - rate_mbps) <
+        kRateTolMbps) {
+      return mcs;
+    }
+  }
+  check(false, "no OFDM MCS matches the requested PHY rate");
+  return phy::OfdmMcs{};
+}
+
+unsigned ht_mcs_for_rate(double rate_mbps) {
+  for (unsigned m = 0; m < 8; ++m) {
+    const double r = phy::ht_data_rate_mbps(m, phy::HtBandwidth::k20MHz,
+                                            phy::HtGuardInterval::kLong);
+    if (std::abs(r - rate_mbps) < kRateTolMbps) return m;
+  }
+  check(false, "no HT base MCS (20 MHz, long GI) matches the requested rate");
+  return 0;
+}
+
+DsssCckRate dsss_rate_for(double rate_mbps) {
+  if (std::abs(rate_mbps - 1.0) < kRateTolMbps) return DsssCckRate::k1Mbps;
+  if (std::abs(rate_mbps - 2.0) < kRateTolMbps) return DsssCckRate::k2Mbps;
+  if (std::abs(rate_mbps - 5.5) < kRateTolMbps) return DsssCckRate::k5_5Mbps;
+  if (std::abs(rate_mbps - 11.0) < kRateTolMbps) return DsssCckRate::k11Mbps;
+  check(false, "no DSSS/CCK rate matches the requested PHY rate");
+  return DsssCckRate::k1Mbps;
+}
+
+double eesm_with_gains(const RVec& gains_db, double mean_snr_db, double beta,
+                       RVec& scratch) {
+  scratch.clear();
+  for (const double g : gains_db) scratch.push_back(mean_snr_db + g);
+  return eesm_effective_snr_db(scratch, beta);
+}
+
+}  // namespace
+
+LinkPerModel::LinkPerModel(mac::PhyGeneration gen, double rate_mbps,
+                           std::size_t psdu_bytes,
+                           const ErrorModelConfig& config, Rng& rng) {
+  check(config.realizations > 0,
+        "the PER model needs at least one fading realization");
+  const double lo = config.table_min_snr_db;
+  const double hi = config.table_max_snr_db;
+  const double step = config.table_step_db;
+  tables_.reserve(config.realizations);
+  RVec scratch;
+  switch (gen) {
+    case mac::PhyGeneration::kOfdm: {
+      const phy::OfdmMcs mcs = ofdm_mcs_for_rate(rate_mbps);
+      const double beta = eesm_beta(mcs);
+      for (std::size_t r = 0; r < config.realizations; ++r) {
+        const channel::Tdl tdl = make_tdl(rng, config.profile, 20e6);
+        const RVec gains = ofdm_tone_gains_db(tdl);
+        tables_.emplace_back(lo, hi, step, [&](double snr_db) {
+          const double eff = eesm_with_gains(gains, snr_db, beta, scratch);
+          return ofdm_awgn_per(mcs, eff, psdu_bytes);
+        });
+      }
+      break;
+    }
+    case mac::PhyGeneration::kHt: {
+      const unsigned mcs = ht_mcs_for_rate(rate_mbps);
+      const double beta = ht_eesm_beta(mcs);
+      for (std::size_t r = 0; r < config.realizations; ++r) {
+        const channel::Tdl tdl = make_tdl(rng, config.profile, 20e6);
+        const RVec gains = ht20_tone_gains_db(tdl);
+        tables_.emplace_back(lo, hi, step, [&](double snr_db) {
+          const double eff = eesm_with_gains(gains, snr_db, beta, scratch);
+          return ht_awgn_per(mcs, eff, psdu_bytes);
+        });
+      }
+      break;
+    }
+    case mac::PhyGeneration::kDsss:
+    case mac::PhyGeneration::kHrDsss: {
+      const DsssCckRate rate = dsss_rate_for(rate_mbps);
+      for (std::size_t r = 0; r < config.realizations; ++r) {
+        // Narrowband waveform: one flat Rayleigh coefficient per packet.
+        const Cplx h = channel::flat_fading_coefficient(rng);
+        const double gain_db = lin_to_db(std::max(std::norm(h), 1e-12));
+        tables_.emplace_back(lo, hi, step, [&](double snr_db) {
+          return dsss_awgn_per(rate, snr_db + gain_db, psdu_bytes);
+        });
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace wlan::net

@@ -1,0 +1,86 @@
+// Reception error models for the network simulator.
+//
+// The legacy model (`RxModel::kSinrThreshold`, the default) delivers a
+// frame iff its SINR clears a hard threshold — fast, but it produces
+// cliff-edge coverage and ignores rate, frame length, and fading. The
+// PER model (`RxModel::kPerModel`) replaces the threshold with the
+// link-to-system abstraction: each directed link gets a small dictionary
+// of frozen block-fading realizations; a frame picks one realization,
+// maps its mean SINR through the realization's precomputed
+// EESM -> AWGN-PER table (already scaled to the frame's PSDU length),
+// and survives a Bernoulli draw. The hot path is one table interpolation
+// plus two RNG draws — no exp/log — so network-scale runs stay cheap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/fading.h"
+#include "common/rng.h"
+#include "core/abstraction.h"
+#include "mac/timing.h"
+
+namespace wlan::net {
+
+/// How the simulator decides whether a frame is received.
+enum class RxModel {
+  kSinrThreshold,  ///< legacy hard threshold on SINR (the default)
+  kPerModel,       ///< EESM/PER abstraction + Bernoulli draw
+};
+
+/// Configuration of the PER reception model. All fields are ignored when
+/// `model == kSinrThreshold` (and the simulator then consumes no extra
+/// RNG draws, keeping legacy runs bitwise identical).
+struct ErrorModelConfig {
+  RxModel model = RxModel::kSinrThreshold;
+  /// Delay profile of the per-link block-fading realizations.
+  channel::DelayProfile profile = channel::DelayProfile::kOffice;
+  /// Log-normal shadowing sigma applied once per node pair (symmetric),
+  /// on top of the deterministic path loss. 0 disables shadowing.
+  double shadowing_sigma_db = 0.0;
+  /// Fading realizations cached per directed link; each frame picks one
+  /// uniformly (block fading per frame, i.i.d. across frames).
+  std::size_t realizations = 16;
+  /// Minimum worst-case SINR for the receiver to acquire the preamble at
+  /// all; below it the frame is lost outright. The calibrated PER curves
+  /// cover payload decoding only and scale with payload length, so
+  /// without this gate a 20-byte RTS "survives" an equal-power collision
+  /// (~0 dB SINR) most of the time — in reality preamble correlation and
+  /// the PLCP header die first.
+  double preamble_capture_db = 4.0;
+  /// SNR grid of the precomputed PER tables. Lookups clamp to the ends.
+  double table_min_snr_db = -15.0;
+  double table_max_snr_db = 50.0;
+  double table_step_db = 0.5;
+};
+
+/// Precomputed PER model of one directed link at one PHY rate and PSDU
+/// size: `realizations` frozen fading draws, each reduced to a
+/// mean-SINR -> PER table (EESM effective SNR -> calibrated AWGN curve,
+/// scaled to `psdu_bytes` at construction). DSSS/CCK links use a flat
+/// (single-tap Rayleigh) coefficient per realization; OFDM and HT links
+/// use a TDL realization sampled on their data-tone grids.
+class LinkPerModel {
+ public:
+  LinkPerModel() = default;
+
+  /// Builds the dictionary, drawing fading realizations from `rng`.
+  /// `rate_mbps` must name a calibrated rate of the generation's curve
+  /// family (OFDM: the eight 802.11a/g rates; HT: base MCS 0..7 20 MHz
+  /// long-GI rates; DSSS/HR-DSSS: 1, 2, 5.5, 11 Mbps).
+  LinkPerModel(mac::PhyGeneration gen, double rate_mbps,
+               std::size_t psdu_bytes, const ErrorModelConfig& config,
+               Rng& rng);
+
+  std::size_t realizations() const { return tables_.size(); }
+
+  /// PER of realization `realization` at mean SINR `sinr_db`.
+  double per(double sinr_db, std::size_t realization) const {
+    return tables_[realization].lookup(sinr_db);
+  }
+
+ private:
+  std::vector<PerTable> tables_;
+};
+
+}  // namespace wlan::net

@@ -11,7 +11,9 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "mac/frames.h"
+#include "mac/rate_adapt.h"
 #include "par/montecarlo.h"
+#include "phy/ofdm.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
 
@@ -37,6 +39,7 @@ struct Transmission {
   std::size_t dest;  // addressed node (kNone for none)
   mac::FrameType kind;
   std::size_t flow = kNone;
+  std::size_t rate_index = 0;  // data-rate ladder index (kData only)
   double start_s;
   double end_s;
   double nav_until_s;  // what the duration field promises
@@ -69,6 +72,9 @@ struct Station {
   WaitKind waiting = WaitKind::kNone;
   std::uint64_t wait_version = 0;
   std::uint16_t sequence = 0;
+  // Rate control (sources only; fixed mode leaves index 0).
+  std::size_t rate_index = 0;
+  std::optional<mac::ArfController> arf;
 };
 
 class Simulator {
@@ -93,6 +99,19 @@ class Simulator {
             mesh::distance(nodes[i].position, nodes[j].position), 0.5);
         gain_w_[i][j] = dbm_to_watt(nodes[i].tx_power_dbm -
                                     config.pathloss.path_loss_db(d));
+      }
+    }
+    per_model_ = config.error_model.model == RxModel::kPerModel;
+    if (per_model_ && config.error_model.shadowing_sigma_db > 0.0) {
+      // Log-normal shadowing: one draw per unordered pair, applied to
+      // both directions (large-scale fading is reciprocal).
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+          const double f = db_to_lin(
+              -rng.gaussian(0.0, config.error_model.shadowing_sigma_db));
+          gain_w_[i][j] *= f;
+          gain_w_[j][i] *= f;
+        }
       }
     }
     stations_.resize(nodes.size());
@@ -138,17 +157,63 @@ class Simulator {
           &registry_->histogram("net.flow_delay_s", 1e-6, 100.0, 64, label));
     }
 
+    // Data-rate ladder: one fixed rate, or the eight OFDM rates for ARF.
+    if (config.rate_control == RateControlMode::kArf) {
+      check(per_model_, "ARF rate control requires the PER error model");
+      check(config.generation == mac::PhyGeneration::kOfdm,
+            "ARF rate control is implemented for the OFDM generation");
+      for (std::size_t i = 0; i < 8; ++i) {
+        data_rates_.push_back(
+            phy::ofdm_mcs_info(static_cast<phy::OfdmMcs>(i)).data_rate_mbps);
+      }
+      for (const Flow& flow : flows) {
+        Station& s = stations_[flow.source];
+        s.arf.emplace(data_rates_.size());
+        s.rate_index = s.arf->current();
+      }
+    } else {
+      data_rates_.push_back(config.data_rate_mbps);
+    }
+
     // Frame airtimes.
     const std::size_t data_mpdu =
         mac::mpdu_size_bytes(mac::FrameType::kData, config.payload_bytes);
-    t_data_ = mac::data_ppdu_duration_s(config.generation,
-                                        config.data_rate_mbps, data_mpdu);
+    for (const double rate : data_rates_) {
+      t_data_by_rate_.push_back(
+          mac::data_ppdu_duration_s(config.generation, rate, data_mpdu));
+    }
     t_ack_ = mac::control_duration_s(config.generation, mac::kAckBytes,
                                      config.basic_rate_mbps);
     t_rts_ = mac::control_duration_s(config.generation, mac::kRtsBytes,
                                      config.basic_rate_mbps);
     t_cts_ = mac::control_duration_s(config.generation, mac::kCtsBytes,
                                      config.basic_rate_mbps);
+
+    // PER-model link dictionaries, one per flow in flow order (then a
+    // fixed draw order inside LinkPerModel), so a seeded run is a pure
+    // function of its Rng. Control frames ride the basic rate; an HT
+    // network still sends them as legacy OFDM.
+    rate_stats_.resize(flows.size());
+    if (per_model_) {
+      const mac::PhyGeneration ctrl_gen =
+          config.generation == mac::PhyGeneration::kHt
+              ? mac::PhyGeneration::kOfdm
+              : config.generation;
+      models_.reserve(flows.size());
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        FlowErrorModels m;
+        m.data.reserve(data_rates_.size());
+        for (const double rate : data_rates_) {
+          m.data.emplace_back(config.generation, rate, data_mpdu,
+                              config.error_model, rng_);
+        }
+        m.ctrl_fwd = LinkPerModel(ctrl_gen, config.basic_rate_mbps,
+                                  mac::kRtsBytes, config.error_model, rng_);
+        m.ctrl_rev = LinkPerModel(ctrl_gen, config.basic_rate_mbps,
+                                  mac::kAckBytes, config.error_model, rng_);
+        models_.push_back(std::move(m));
+      }
+    }
   }
 
   NetworkResult run() {
@@ -175,6 +240,11 @@ class Simulator {
       fs.retries = retries_[f]->value();
       fs.drops = drops_[f]->value();
       fs.mean_delay_s = delay_hist_[f]->mean();
+      fs.mean_data_rate_mbps =
+          rate_stats_[f].attempts
+              ? rate_stats_[f].rate_sum_mbps /
+                    static_cast<double>(rate_stats_[f].attempts)
+              : data_rates_.front();
       fs.throughput_mbps = static_cast<double>(fs.delivered) *
                            static_cast<double>(config_.payload_bytes) * 8.0 /
                            config_.duration_s / 1e6;
@@ -207,6 +277,35 @@ class Simulator {
 
   unsigned draw_backoff(std::size_t n) {
     return static_cast<unsigned>(rng_.uniform_int(stations_[n].cw + 1));
+  }
+
+  /// Data-frame airtime at station `n`'s current rate.
+  double t_data(std::size_t n) const {
+    return t_data_by_rate_[stations_[n].rate_index];
+  }
+
+  void record_data_rate(std::size_t flow, std::size_t rate_index) {
+    rate_stats_[flow].rate_sum_mbps += data_rates_[rate_index];
+    ++rate_stats_[flow].attempts;
+  }
+
+  /// PER dictionary governing a transmission's reception. CTS and ACK
+  /// frames are addressed to the station that sourced the exchange, so
+  /// their flow is recovered from the destination.
+  const LinkPerModel& model_for(const Transmission& t) const {
+    switch (t.kind) {
+      case mac::FrameType::kData:
+        return models_[t.flow].data[t.rate_index];
+      case mac::FrameType::kRts:
+        return models_[t.flow].ctrl_fwd;
+      case mac::FrameType::kCts:
+      case mac::FrameType::kAck:
+        return models_[stations_[t.dest].flow].ctrl_rev;
+      case mac::FrameType::kBeacon:
+        break;
+    }
+    check(false, "no PER model for this frame type");
+    return models_.front().ctrl_rev;
   }
 
   double rx_power_w(std::size_t from, std::size_t to) const {
@@ -325,6 +424,7 @@ class Simulator {
     t.dest = dest;
     t.kind = kind;
     t.flow = flow;
+    if (kind == mac::FrameType::kData) t.rate_index = s.rate_index;
     t.start_s = sched_.now();
     t.end_s = sched_.now() + duration_s;
     t.nav_until_s = nav_until_s;
@@ -381,10 +481,30 @@ class Simulator {
       const double sinr =
           signal / (noise_w_[t.dest] + t.worst_interference_w);
       sinr_db = lin_to_db(sinr);
-      const double required = t.kind == mac::FrameType::kData
-                                  ? db_to_lin(config_.sinr_threshold_db)
-                                  : db_to_lin(config_.control_sinr_db);
-      delivered = sinr >= required;
+      if (per_model_) {
+        // Preamble acquisition first: the PER curves model payload
+        // decoding and scale with payload length, so on their own a
+        // short control frame would ride out an equal-power collision.
+        // Below the capture SINR the receiver never syncs and no RNG is
+        // consumed.
+        if (sinr_db < config_.error_model.preamble_capture_db) {
+          delivered = false;
+        } else {
+          // Block fading per frame: pick a realization from the link's
+          // dictionary, look up its PER at the worst-case SINR (the
+          // table is already scaled to this frame type's PSDU size),
+          // survive a Bernoulli draw.
+          const LinkPerModel& model = model_for(t);
+          const auto realization = static_cast<std::size_t>(
+              rng_.uniform_int(model.realizations()));
+          delivered = !rng_.bernoulli(model.per(sinr_db, realization));
+        }
+      } else {
+        const double required = t.kind == mac::FrameType::kData
+                                    ? db_to_lin(config_.sinr_threshold_db)
+                                    : db_to_lin(config_.control_sinr_db);
+        delivered = sinr >= required;
+      }
     }
     if (t.dest != kNone) {
       emit(delivered ? obs::EventType::kRxOk : obs::EventType::kRxFail,
@@ -416,18 +536,20 @@ class Simulator {
     Station& s = stations_[n];
     check(s.flow != kNone, "contention won by a node without traffic");
     attempts_[s.flow]->add();
+    const double td = t_data(n);
     if (config_.rts_cts) {
       const double nav = sched_.now() + t_rts_ + 3.0 * timing_.sifs_s +
-                         t_cts_ + t_data_ + t_ack_;
+                         t_cts_ + td + t_ack_;
       rts_tx_->add();
       start_transmission(n, s.dest, mac::FrameType::kRts, s.flow, t_rts_, nav);
       arm_timeout(n, WaitKind::kCts, t_rts_ + timing_.sifs_s + t_cts_ +
                                          timing_.slot_s);
     } else {
-      const double nav = sched_.now() + t_data_ + timing_.sifs_s + t_ack_;
+      const double nav = sched_.now() + td + timing_.sifs_s + t_ack_;
       data_tx_->add();
-      start_transmission(n, s.dest, mac::FrameType::kData, s.flow, t_data_, nav);
-      arm_timeout(n, WaitKind::kAck, t_data_ + timing_.sifs_s + t_ack_ +
+      record_data_rate(s.flow, s.rate_index);
+      start_transmission(n, s.dest, mac::FrameType::kData, s.flow, td, nav);
+      arm_timeout(n, WaitKind::kAck, td + timing_.sifs_s + t_ack_ +
                                          timing_.slot_s);
     }
   }
@@ -448,6 +570,12 @@ class Simulator {
     Station& s = stations_[n];
     if (kind == WaitKind::kAck) {
       data_failures_->add();
+      // Only a lost data frame is a rate-control signal; a missed CTS
+      // says nothing about the data rate.
+      if (s.arf) {
+        s.arf->on_failure();
+        s.rate_index = s.arf->current();
+      }
     } else {
       rts_failures_->add();
     }
@@ -469,6 +597,10 @@ class Simulator {
 
   void on_exchange_succeeded(std::size_t n) {
     Station& s = stations_[n];
+    if (s.arf) {
+      s.arf->on_success();
+      s.rate_index = s.arf->current();
+    }
     delivered_[s.flow]->add();
     emit(obs::EventType::kStateChange, n, s.dest, s.flow, 0.0, "DELIVERED");
     if (!s.saturated && !s.queue.empty()) {
@@ -506,11 +638,13 @@ class Simulator {
         const double nav = t.nav_until_s;
         sched_.schedule(timing_.sifs_s, [this, src, nav] {
           Station& st = stations_[src];
+          const double td = t_data(src);
           data_tx_->add();
+          record_data_rate(st.flow, st.rate_index);
           start_transmission(src, st.dest, mac::FrameType::kData, st.flow,
-                             t_data_, nav);
+                             td, nav);
           arm_timeout(src, WaitKind::kAck,
-                      t_data_ + timing_.sifs_s + t_ack_ + timing_.slot_s);
+                      td + timing_.sifs_s + t_ack_ + timing_.slot_s);
         });
         break;
       }
@@ -565,10 +699,24 @@ class Simulator {
   std::vector<obs::Counter*> retries_;
   std::vector<obs::Counter*> drops_;
   std::vector<obs::Histogram*> delay_hist_;
-  double t_data_ = 0.0;
+  std::vector<double> data_rates_;       // ladder (1 entry when fixed)
+  std::vector<double> t_data_by_rate_;   // airtime per ladder entry
   double t_ack_ = 0.0;
   double t_rts_ = 0.0;
   double t_cts_ = 0.0;
+  // PER reception model (per_model_ only).
+  bool per_model_ = false;
+  struct FlowErrorModels {
+    std::vector<LinkPerModel> data;  // source -> destination, per rate
+    LinkPerModel ctrl_fwd;           // RTS, source -> destination
+    LinkPerModel ctrl_rev;           // CTS/ACK, destination -> source
+  };
+  std::vector<FlowErrorModels> models_;
+  struct RateStats {
+    double rate_sum_mbps = 0.0;
+    std::uint64_t attempts = 0;
+  };
+  std::vector<RateStats> rate_stats_;
   NetworkResult result_;
 };
 

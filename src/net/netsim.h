@@ -9,9 +9,11 @@
 //    may not hear each other (hidden terminals emerge naturally);
 //  - virtual carrier sense: NAV set from overheard RTS/CTS/DATA
 //    durations; the optional RTS/CTS exchange protects long frames;
-//  - reception: a frame is delivered when its SINR at the addressed
-//    receiver stays above the rate's threshold for the whole airtime
-//    (interference is tracked as transmissions start and stop);
+//  - reception: the worst-case SINR over the frame's airtime at the
+//    addressed receiver (interference is tracked as transmissions start
+//    and stop) either clears a hard threshold (legacy default) or, under
+//    RxModel::kPerModel, feeds the EESM/PER link-to-system abstraction
+//    and the frame survives a Bernoulli draw (net/errormodel.h);
 //  - full DCF: DIFS deferral, slotted backoff with freeze/resume, binary
 //    exponential CW, SIFS-spaced ACKs, retry limit.
 //
@@ -26,6 +28,7 @@
 #include "common/rng.h"
 #include "mac/timing.h"
 #include "mesh/mesh.h"
+#include "net/errormodel.h"
 #include "obs/analyze/airtime.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -48,6 +51,14 @@ struct Flow {
   double arrival_rate_pps = 0.0;
 };
 
+/// How flow sources pick their data rate.
+enum class RateControlMode {
+  kFixed,  ///< every data frame at NetworkConfig::data_rate_mbps
+  kArf,    ///< per-station ARF over the full OFDM ladder (requires the
+           ///< PER error model and the OFDM generation; data_rate_mbps
+           ///< is then ignored)
+};
+
 struct NetworkConfig {
   channel::PathLossModel pathloss;
   mac::PhyGeneration generation = mac::PhyGeneration::kOfdm;
@@ -60,6 +71,15 @@ struct NetworkConfig {
   double control_sinr_db = 4.0;     ///< required SINR for control frames
   double bandwidth_hz = 20e6;
   double duration_s = 1.0;
+
+  /// Reception decision model (net/errormodel.h). The default keeps the
+  /// legacy hard SINR threshold and consumes no extra RNG draws, so
+  /// existing seeded runs stay bitwise identical. `kPerModel` swaps in
+  /// the EESM/PER abstraction: per-link fading dictionaries, calibrated
+  /// AWGN curves scaled to each frame's true size, Bernoulli reception.
+  ErrorModelConfig error_model;
+  /// Data-rate control for flow sources (kArf needs kPerModel + OFDM).
+  RateControlMode rate_control = RateControlMode::kFixed;
 
   // Observability (both optional; null = disabled, zero overhead).
   /// Receives typed MAC/PHY events (TX_START, RX_OK, COLLISION,
@@ -88,6 +108,9 @@ struct FlowStats {
   double throughput_mbps = 0.0;
   /// Arrival -> delivery, Poisson flows only (0 for saturated flows).
   double mean_delay_s = 0.0;
+  /// Attempt-weighted mean PHY data rate; equals the configured rate
+  /// under fixed rate control, tracks the ARF ladder otherwise.
+  double mean_data_rate_mbps = 0.0;
 };
 
 struct NetworkResult {

@@ -125,6 +125,8 @@ std::size_t ht_data_tones(HtBandwidth bw) {
   return bw == HtBandwidth::k20MHz ? 52 : 108;
 }
 
+std::vector<int> ht_data_tone_list(HtBandwidth bw) { return data_tone_list(bw); }
+
 std::size_t ht_fft_size(HtBandwidth bw) {
   return bw == HtBandwidth::k20MHz ? 64 : 128;
 }

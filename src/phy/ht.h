@@ -61,6 +61,11 @@ HtMcsInfo ht_mcs_info(unsigned index);
 /// Data subcarriers per symbol per stream: 52 (20 MHz) or 108 (40 MHz).
 std::size_t ht_data_tones(HtBandwidth bw);
 
+/// Data subcarrier indices in ascending order (skipping DC and pilots);
+/// map to FFT bins as (tone + n_fft) % n_fft. Used by the link-to-system
+/// abstraction to sample a channel's frequency response on the HT grid.
+std::vector<int> ht_data_tone_list(HtBandwidth bw);
+
 /// FFT size: 64 (20 MHz) or 128 (40 MHz).
 std::size_t ht_fft_size(HtBandwidth bw);
 

@@ -3,6 +3,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "core/link.h"
 #include "mac/bianchi.h"
 #include "net/netsim.h"
 
@@ -259,6 +260,190 @@ TEST(NetSim, LightPoissonCoexistsWithSaturatedNeighbor) {
   // The light flow should still get essentially all its packets through.
   const double offered = 50.0 * 1000.0 * 8.0 / 1e6;
   EXPECT_GT(r.flows[1].throughput_mbps, 0.8 * offered);
+}
+
+NetworkConfig per_model_config() {
+  NetworkConfig cfg;
+  cfg.duration_s = 0.5;
+  cfg.error_model.model = RxModel::kPerModel;
+  return cfg;
+}
+
+TEST(NetSimPerModel, CleanLinkStillDelivers) {
+  // At 10 m the SINR sits far above every waterfall: the PER model must
+  // agree with the threshold model that the link is essentially perfect.
+  Rng rng(40);
+  const auto r =
+      simulate_network(per_model_config(), pair_topology(10.0), {{0, 1}}, rng);
+  EXPECT_GT(r.aggregate_throughput_mbps, 13.0);
+  EXPECT_LT(r.data_failure_rate(), 0.02);
+}
+
+TEST(NetSimPerModel, GracefulDegradationInsteadOfCliff) {
+  // The threshold model is a cliff: 100% of frames deliver one metre,
+  // 0% the next. The PER model must produce a partial-loss regime where
+  // frames both succeed AND fail at the same distance.
+  NetworkConfig cfg = per_model_config();
+  double d = 20.0;
+  while (snr_at_distance_db(cfg.pathloss, d, 17.0, cfg.bandwidth_hz) > 12.0) {
+    d *= 1.1;
+  }
+  Rng rng(41);
+  const auto r = simulate_network(cfg, pair_topology(d), {{0, 1}}, rng);
+  EXPECT_GT(r.total_delivered, 50u);
+  EXPECT_GT(r.data_failures, 20u);
+  // And loss grows monotonically with distance.
+  Rng rng2(41);
+  const auto far = simulate_network(cfg, pair_topology(1.6 * d), {{0, 1}}, rng2);
+  EXPECT_LT(far.total_delivered, r.total_delivered);
+}
+
+TEST(NetSimPerModel, LongerPayloadsFailMoreOften) {
+  // Payload-length PER scaling must reach the simulator: at a marginal
+  // SNR a 1500-byte frame dies more often than a 200-byte frame.
+  NetworkConfig cfg = per_model_config();
+  double d = 20.0;
+  while (snr_at_distance_db(cfg.pathloss, d, 17.0, cfg.bandwidth_hz) > 13.0) {
+    d *= 1.1;
+  }
+  cfg.payload_bytes = 200;
+  Rng r1(42);
+  const auto small = simulate_network(cfg, pair_topology(d), {{0, 1}}, r1);
+  cfg.payload_bytes = 1500;
+  Rng r2(42);
+  const auto large = simulate_network(cfg, pair_topology(d), {{0, 1}}, r2);
+  EXPECT_GT(large.data_failure_rate(), small.data_failure_rate());
+}
+
+TEST(NetSimPerModel, DeterministicForSeed) {
+  NetworkConfig cfg = per_model_config();
+  cfg.error_model.shadowing_sigma_db = 6.0;
+  cfg.duration_s = 0.3;
+  Rng r1(43);
+  Rng r2(43);
+  const auto setup = make_hidden_terminal_setup(150.0);
+  const auto a = simulate_network(cfg, setup.nodes, setup.flows, r1);
+  const auto b = simulate_network(cfg, setup.nodes, setup.flows, r2);
+  EXPECT_EQ(a.total_delivered, b.total_delivered);
+  EXPECT_EQ(a.data_failures, b.data_failures);
+  EXPECT_EQ(a.flows[0].retries, b.flows[0].retries);
+  EXPECT_DOUBLE_EQ(a.aggregate_throughput_mbps, b.aggregate_throughput_mbps);
+}
+
+TEST(NetSimPerModel, ShadowingSpreadsLinkBudgets) {
+  // With 8 dB shadowing some seeds draw a much worse link than the
+  // deterministic path loss: outcomes across seeds must differ.
+  NetworkConfig cfg = per_model_config();
+  cfg.error_model.shadowing_sigma_db = 8.0;
+  cfg.duration_s = 0.3;
+  double d = 20.0;
+  while (snr_at_distance_db(cfg.pathloss, d, 17.0, cfg.bandwidth_hz) > 15.0) {
+    d *= 1.1;
+  }
+  std::uint64_t min_del = UINT64_MAX, max_del = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const auto r = simulate_network(cfg, pair_topology(d), {{0, 1}}, rng);
+    min_del = std::min(min_del, r.total_delivered);
+    max_del = std::max(max_del, r.total_delivered);
+  }
+  EXPECT_LT(min_del, max_del);
+}
+
+TEST(NetSimPerModel, DsssGenerationIsSupported) {
+  NetworkConfig cfg = per_model_config();
+  cfg.generation = mac::PhyGeneration::kDsss;
+  cfg.data_rate_mbps = 2.0;
+  cfg.basic_rate_mbps = 1.0;
+  cfg.payload_bytes = 400;
+  cfg.duration_s = 0.3;
+  Rng rng(44);
+  const auto r = simulate_network(cfg, pair_topology(10.0), {{0, 1}}, rng);
+  EXPECT_GT(r.total_delivered, 20u);
+}
+
+TEST(NetSimPerModel, CollisionsStillDestroyFramesViaCaptureGate) {
+  // The PER curves scale with payload length, so a 20-byte RTS at the
+  // ~0 dB SINR of an equal-power collision would survive most draws on
+  // its own; the preamble-capture gate must kill it like the threshold
+  // model does. With RTS/CTS protecting the data, collision losses then
+  // land on cheap RTS retries, not on data frames.
+  NetworkConfig cfg = per_model_config();
+  cfg.rts_cts = true;
+  cfg.duration_s = 0.5;
+  std::vector<NodeConfig> nodes(7);
+  std::vector<Flow> flows;
+  nodes[0].position = {0.0, 0.0};
+  for (std::size_t c = 1; c < nodes.size(); ++c) {
+    nodes[c].position = {c % 2 ? 14.0 : -14.0, 3.0 * static_cast<double>(c)};
+    flows.push_back({c, 0});
+  }
+  Rng rng(48);
+  const auto r = simulate_network(cfg, nodes, flows, rng);
+  EXPECT_GT(r.rts_tx_count, 100u);
+  // Six saturated stations collide often...
+  EXPECT_GT(static_cast<double>(r.rts_failures) /
+                static_cast<double>(r.rts_tx_count),
+            0.05);
+  // ...but protected data frames on clean links almost never fail.
+  EXPECT_LT(r.data_failure_rate(), 0.02);
+}
+
+TEST(NetSimPerModel, ArfClimbsTheLadderOnACleanLink) {
+  NetworkConfig cfg = per_model_config();
+  cfg.rate_control = RateControlMode::kArf;
+  Rng rng(45);
+  const auto good =
+      simulate_network(cfg, pair_topology(10.0), {{0, 1}}, rng);
+  // ARF starts at 6 Mbps and must climb: mean attempted rate well above
+  // the base, and throughput beyond anything 6 Mbps could carry.
+  EXPECT_GT(good.flows[0].mean_data_rate_mbps, 30.0);
+  EXPECT_GT(good.aggregate_throughput_mbps, 10.0);
+}
+
+TEST(NetSimPerModel, ArfBacksOffOnAMarginalLink) {
+  NetworkConfig cfg = per_model_config();
+  cfg.rate_control = RateControlMode::kArf;
+  double d = 20.0;
+  while (snr_at_distance_db(cfg.pathloss, d, 17.0, cfg.bandwidth_hz) > 12.0) {
+    d *= 1.1;
+  }
+  Rng rng(46);
+  const auto marginal = simulate_network(cfg, pair_topology(d), {{0, 1}}, rng);
+  Rng rng2(46);
+  const auto good = simulate_network(cfg, pair_topology(10.0), {{0, 1}}, rng2);
+  EXPECT_LT(marginal.flows[0].mean_data_rate_mbps,
+            good.flows[0].mean_data_rate_mbps);
+  EXPECT_GT(marginal.total_delivered, 0u);
+}
+
+TEST(NetSimPerModel, FixedRateReportsConfiguredRate) {
+  Rng rng(47);
+  const auto r =
+      simulate_network(base_config(), pair_topology(10.0), {{0, 1}}, rng);
+  EXPECT_DOUBLE_EQ(r.flows[0].mean_data_rate_mbps, 24.0);
+}
+
+TEST(NetSimPerModel, ArfValidation) {
+  Rng rng(48);
+  // ARF without the PER model is rejected.
+  NetworkConfig cfg = base_config();
+  cfg.rate_control = RateControlMode::kArf;
+  EXPECT_THROW(simulate_network(cfg, pair_topology(10.0), {{0, 1}}, rng),
+               ContractError);
+  // ARF outside the OFDM generation is rejected.
+  NetworkConfig dsss = per_model_config();
+  dsss.rate_control = RateControlMode::kArf;
+  dsss.generation = mac::PhyGeneration::kDsss;
+  dsss.data_rate_mbps = 2.0;
+  dsss.basic_rate_mbps = 1.0;
+  EXPECT_THROW(simulate_network(dsss, pair_topology(10.0), {{0, 1}}, rng),
+               ContractError);
+  // A fixed rate that matches no calibrated curve is rejected up front.
+  NetworkConfig odd = per_model_config();
+  odd.data_rate_mbps = 17.0;
+  EXPECT_THROW(simulate_network(odd, pair_topology(10.0), {{0, 1}}, rng),
+               ContractError);
 }
 
 TEST(NetSim, Validation) {

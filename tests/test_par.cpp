@@ -259,6 +259,46 @@ TEST(NetsimBatch, ResultsAndMergedRegistryIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial_snapshot, parallel_snapshot);
 }
 
+TEST(NetsimBatch, PerModelResultsIdenticalAcrossThreadCounts) {
+  // The PER error model adds RNG consumers (shadowing, fading
+  // dictionaries, per-frame reception draws): every draw must come from
+  // the run's own stream so the batch stays bitwise schedule-independent.
+  const auto setup = net::make_hidden_terminal_setup(150.0);
+  net::NetworkConfig cfg;
+  cfg.duration_s = 0.15;
+  cfg.error_model.model = net::RxModel::kPerModel;
+  cfg.error_model.shadowing_sigma_db = 5.0;
+  cfg.error_model.realizations = 8;
+  cfg.rate_control = net::RateControlMode::kArf;
+
+  auto run = [&](unsigned jobs) {
+    net::BatchOptions opt;
+    opt.root_seed = 77;
+    opt.jobs = jobs;
+    auto merged = std::make_unique<obs::Registry>();
+    opt.registry = merged.get();
+    auto results =
+        net::simulate_network_batch(cfg, setup.nodes, setup.flows, 5, opt);
+    return std::make_pair(std::move(results), merged->snapshot_json());
+  };
+
+  const auto [serial, serial_snapshot] = run(1);
+  const auto [parallel, parallel_snapshot] = run(8);
+  ASSERT_EQ(serial.size(), 5u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].total_delivered, parallel[i].total_delivered);
+    EXPECT_EQ(serial[i].data_failures, parallel[i].data_failures);
+    EXPECT_EQ(serial[i].aggregate_throughput_mbps,
+              parallel[i].aggregate_throughput_mbps);
+    for (std::size_t f = 0; f < serial[i].flows.size(); ++f) {
+      EXPECT_EQ(serial[i].flows[f].delivered, parallel[i].flows[f].delivered);
+      EXPECT_EQ(serial[i].flows[f].mean_data_rate_mbps,
+                parallel[i].flows[f].mean_data_rate_mbps);
+    }
+  }
+  EXPECT_EQ(serial_snapshot, parallel_snapshot);
+}
+
 TEST(NetsimBatch, RunsDifferFromEachOther) {
   std::vector<net::NodeConfig> nodes(2);
   nodes[1].position = {10.0, 0.0};
