@@ -15,6 +15,7 @@
 #include "common/bits.h"
 #include "core/wlan.h"
 #include "par/montecarlo.h"
+#include "phy/workspace.h"
 
 int main(int argc, char** argv) {
   using namespace wlan;
@@ -48,26 +49,35 @@ int main(int argc, char** argv) {
   const std::vector<CodedBer> coded_points = par::sweep<CodedBer>(
       kPoints, kBlocks, opt,
       [&](std::uint64_t point, std::size_t, Rng& prng, CodedBer& acc) {
+        phy::Workspace& ws = phy::tls_workspace();
         const double ebn0_db = 0.5 * static_cast<double>(point);
         const double sigma = std::sqrt(1.0 / db_to_lin(ebn0_db));  // rate 1/2
-        Bits info = prng.random_bits(324);
-        for (std::size_t i = 318; i < 324; ++i) info[i] = 0;
-        const Bits coded = phy::convolutional_encode(info);
-        RVec llrs(coded.size());
-        for (std::size_t i = 0; i < coded.size(); ++i) {
-          const double tx = coded[i] ? -1.0 : 1.0;
-          llrs[i] = 2.0 * (tx + sigma * prng.gaussian()) / (sigma * sigma);
+        auto info = ws.bits(324);
+        prng.fill_bits(*info);
+        for (std::size_t i = 318; i < 324; ++i) (*info)[i] = 0;
+        auto coded = ws.bits(0);
+        phy::convolutional_encode_into(*info, *coded);
+        auto llrs = ws.rvec(coded->size());
+        for (std::size_t i = 0; i < coded->size(); ++i) {
+          const double tx = (*coded)[i] ? -1.0 : 1.0;
+          (*llrs)[i] = 2.0 * (tx + sigma * prng.gaussian()) / (sigma * sigma);
         }
-        acc.conv_err += hamming_distance(phy::viterbi_decode(llrs, true), info);
+        auto decoded = ws.bits(0);
+        phy::viterbi_decode_into(*llrs, true, *decoded, ws);
+        acc.conv_err += hamming_distance(*decoded, *info);
 
-        const Bits info2 = prng.random_bits(324);
-        const Bits cw = code.encode(info2);
-        RVec cllrs(648);
+        auto info2 = ws.bits(324);
+        prng.fill_bits(*info2);
+        auto cw = ws.bits(0);
+        code.encode_into(*info2, *cw);
+        auto cllrs = ws.rvec(648);
         for (std::size_t i = 0; i < 648; ++i) {
-          const double tx = cw[i] ? -1.0 : 1.0;
-          cllrs[i] = 2.0 * (tx + sigma * prng.gaussian()) / (sigma * sigma);
+          const double tx = (*cw)[i] ? -1.0 : 1.0;
+          (*cllrs)[i] = 2.0 * (tx + sigma * prng.gaussian()) / (sigma * sigma);
         }
-        acc.ldpc_err += hamming_distance(code.decode(cllrs, 50).info, info2);
+        static thread_local phy::LdpcCode::DecodeResult res;
+        code.decode_into(*cllrs, 50, /*normalization=*/0.8, res, ws);
+        acc.ldpc_err += hamming_distance(res.info, *info2);
         acc.total += 324;
       },
       [](CodedBer& acc, const CodedBer& part) {

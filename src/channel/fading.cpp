@@ -35,6 +35,11 @@ CVec Tdl::apply(std::span<const Cplx> x) const {
   return dsp::convolve(x, taps);
 }
 
+void Tdl::apply_to(std::span<const Cplx> x, CVec& out) const {
+  check(!taps.empty(), "Tdl::apply requires at least one tap");
+  dsp::convolve_to(x, taps, out);
+}
+
 CVec Tdl::frequency_response(std::size_t n_fft) const {
   check(dsp::is_power_of_two(n_fft), "frequency_response needs power-of-two size");
   check(taps.size() <= n_fft, "channel longer than the FFT grid");

@@ -39,6 +39,10 @@ struct Tdl {
   /// length x.size() + taps.size() - 1).
   CVec apply(std::span<const Cplx> x) const;
 
+  /// As apply, resizing `out` — allocation-free once warm. `out` must
+  /// not alias `x`.
+  void apply_to(std::span<const Cplx> x, CVec& out) const;
+
   /// Frequency response on an n-point FFT grid.
   CVec frequency_response(std::size_t n_fft) const;
 };

@@ -4,6 +4,7 @@
 #include <source_location>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace wlan {
 
@@ -14,13 +15,18 @@ class ContractError : public std::logic_error {
 };
 
 /// Verifies a precondition; throws ContractError with source location on
-/// failure. Used at public API boundaries where the cost is negligible
-/// relative to the work performed.
-inline void check(bool condition, const std::string& what,
+/// failure. Used at public API boundaries, including allocation-free hot
+/// paths: the message is a string_view so the success path never
+/// materializes a std::string.
+inline void check(bool condition, std::string_view what,
                   std::source_location loc = std::source_location::current()) {
-  if (!condition) {
-    throw ContractError(std::string(loc.file_name()) + ":" +
-                        std::to_string(loc.line()) + ": " + what);
+  if (!condition) [[unlikely]] {
+    std::string message(loc.file_name());
+    message += ":";
+    message += std::to_string(loc.line());
+    message += ": ";
+    message += what;
+    throw ContractError(message);
   }
 }
 

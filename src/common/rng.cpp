@@ -97,14 +97,22 @@ double Rng::exponential(double mean) {
 
 Bits Rng::random_bits(std::size_t n) {
   Bits b(n);
-  for (auto& bit : b) bit = static_cast<std::uint8_t>(next_u64() & 1u);
+  fill_bits(b);
   return b;
+}
+
+void Rng::fill_bits(std::span<std::uint8_t> out) {
+  for (auto& bit : out) bit = static_cast<std::uint8_t>(next_u64() & 1u);
 }
 
 Bytes Rng::random_bytes(std::size_t n) {
   Bytes b(n);
-  for (auto& byte : b) byte = static_cast<std::uint8_t>(next_u64() & 0xFFu);
+  fill_bytes(b);
   return b;
+}
+
+void Rng::fill_bytes(std::span<std::uint8_t> out) {
+  for (auto& byte : out) byte = static_cast<std::uint8_t>(next_u64() & 0xFFu);
 }
 
 Rng Rng::fork() {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/types.h"
 
@@ -61,8 +62,16 @@ class Rng {
   /// Random unpacked bits (0/1), n of them.
   Bits random_bits(std::size_t n);
 
+  /// Fills `out` with unpacked random bits (0/1), one draw per bit —
+  /// same stream consumption as random_bits(out.size()).
+  void fill_bits(std::span<std::uint8_t> out);
+
   /// Random packed bytes, n of them.
   Bytes random_bytes(std::size_t n);
+
+  /// Fills `out` with random bytes, one draw per byte — same stream
+  /// consumption as random_bytes(out.size()).
+  void fill_bytes(std::span<std::uint8_t> out);
 
   /// Splits off an independent generator (seeded from this stream).
   /// A split is a clean stream boundary on both sides: the child starts

@@ -9,6 +9,7 @@
 #include "common/units.h"
 #include "dsp/ops.h"
 #include "par/montecarlo.h"
+#include "phy/workspace.h"
 
 namespace wlan {
 namespace {
@@ -19,25 +20,27 @@ void merge_links(LinkResult& acc, const LinkResult& partial) {
   acc.merge(partial);
 }
 
-// Applies the selected channel to a waveform; returns the (possibly
-// lengthened) received signal before noise.
-CVec apply_channel(const CVec& tx, ChannelSpec spec, double sample_rate_hz,
-                   Rng& rng) {
+// Applies the selected channel to `wave` in place (leasing convolution
+// scratch from `ws` for the TDL case, which lengthens the waveform).
+// AWGN passes through untouched — no per-trial copy.
+void apply_channel(CVec& wave, ChannelSpec spec, double sample_rate_hz,
+                   Rng& rng, phy::Workspace& ws) {
   switch (spec.kind) {
     case ChannelSpec::Kind::kAwgn:
-      return tx;
+      return;
     case ChannelSpec::Kind::kFlatRayleigh: {
       const Cplx h = channel::flat_fading_coefficient(rng);
-      CVec out(tx.size());
-      for (std::size_t i = 0; i < tx.size(); ++i) out[i] = h * tx[i];
-      return out;
+      for (auto& v : wave) v = h * v;
+      return;
     }
     case ChannelSpec::Kind::kTdl: {
       const channel::Tdl tdl = channel::make_tdl(rng, spec.profile, sample_rate_hz);
-      return tdl.apply(tx);
+      auto faded = ws.cvec(0);
+      tdl.apply_to(wave, *faded);
+      std::swap(wave, *faded);
+      return;
     }
   }
-  return tx;
 }
 
 void count_bit_errors(std::span<const std::uint8_t> a,
@@ -49,7 +52,8 @@ void count_bit_errors(std::span<const std::uint8_t> a,
   if (errors > 0) ++result.packet_errors;
 }
 
-void count_byte_errors(const Bytes& sent, const Bytes& got, LinkResult& result) {
+void count_byte_errors(std::span<const std::uint8_t> sent,
+                       std::span<const std::uint8_t> got, LinkResult& result) {
   std::size_t bit_errors = 0;
   for (std::size_t i = 0; i < sent.size(); ++i) {
     bit_errors += static_cast<std::size_t>(
@@ -75,10 +79,14 @@ LinkResult run_dsss_link(const phy::DsssModem::Config& config,
   return par::montecarlo<LinkResult>(
       n_packets, /*point=*/0, opt,
       [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
-        const Bits tx_bits = prng.random_bits(bits_per_packet);
-        CVec wave = modem.modulate(tx_bits);
+        phy::Workspace& ws = phy::tls_workspace();
+        auto tx_bits = ws.bits(bits_per_packet);
+        prng.fill_bits(*tx_bits);
+        auto wave_lease = ws.cvec(0);
+        CVec& wave = *wave_lease;
+        modem.modulate_into(*tx_bits, wave);
         const double signal_power = dsp::mean_power(wave);
-        wave = apply_channel(wave, channel, 11e6, prng);
+        apply_channel(wave, channel, 11e6, prng, ws);
         if (interference) {
           const double jam_power =
               signal_power / db_to_lin(interference->sir_db);
@@ -92,8 +100,9 @@ LinkResult run_dsss_link(const phy::DsssModem::Config& config,
             (bits_per_packet / phy::dsss_bits_per_symbol(config.rate) + 1) *
             modem.chips_per_symbol();
         wave.resize(expected);
-        const Bits rx_bits = modem.demodulate(wave);
-        count_bit_errors(tx_bits, rx_bits, acc);
+        auto rx_bits = ws.bits(0);
+        modem.demodulate_into(wave, *rx_bits);
+        count_bit_errors(*tx_bits, *rx_bits, acc);
       },
       merge_links);
 }
@@ -108,16 +117,21 @@ LinkResult run_cck_link(phy::CckRate rate, std::size_t bits_per_packet,
   return par::montecarlo<LinkResult>(
       n_packets, /*point=*/0, opt,
       [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
-        const Bits tx_bits = prng.random_bits(bits_per_packet);
-        CVec wave = modem.modulate(tx_bits);
+        phy::Workspace& ws = phy::tls_workspace();
+        auto tx_bits = ws.bits(bits_per_packet);
+        prng.fill_bits(*tx_bits);
+        auto wave_lease = ws.cvec(0);
+        CVec& wave = *wave_lease;
+        modem.modulate_into(*tx_bits, wave);
         const double signal_power = dsp::mean_power(wave);
-        wave = apply_channel(wave, channel, 11e6, prng);
+        apply_channel(wave, channel, 11e6, prng, ws);
         channel::add_awgn(wave, prng, signal_power / db_to_lin(snr_db));
         const std::size_t expected =
             (bits_per_packet / phy::cck_bits_per_symbol(rate) + 1) * 8;
         wave.resize(expected);
-        const Bits rx_bits = modem.demodulate(wave);
-        count_bit_errors(tx_bits, rx_bits, acc);
+        auto rx_bits = ws.bits(0);
+        modem.demodulate_into(wave, *rx_bits);
+        count_bit_errors(*tx_bits, *rx_bits, acc);
       },
       merge_links);
 }
@@ -132,16 +146,21 @@ LinkResult run_ofdm_link(phy::OfdmMcs mcs, std::size_t psdu_bytes,
   return par::montecarlo<LinkResult>(
       n_packets, /*point=*/0, opt,
       [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
-        const Bytes psdu = prng.random_bytes(psdu_bytes);
-        CVec wave = phy.transmit(psdu);
+        phy::Workspace& ws = phy::tls_workspace();
+        auto psdu = ws.bits(psdu_bytes);
+        prng.fill_bytes(*psdu);
+        auto wave_lease = ws.cvec(0);
+        CVec& wave = *wave_lease;
+        phy.transmit_into(*psdu, wave, ws);
         const double signal_power = dsp::mean_power(wave);
         const std::size_t tx_len = wave.size();
-        wave = apply_channel(wave, channel, phy::OfdmPhy::kSampleRateHz, prng);
+        apply_channel(wave, channel, phy::OfdmPhy::kSampleRateHz, prng, ws);
         const double noise_var = signal_power / db_to_lin(snr_db);
         channel::add_awgn(wave, prng, noise_var);
         wave.resize(tx_len);  // drop the TDL tail beyond the frame
-        const Bytes decoded = phy.receive(wave, psdu_bytes, noise_var);
-        count_byte_errors(psdu, decoded, acc);
+        auto decoded = ws.bits(0);
+        phy.receive_into(wave, psdu_bytes, noise_var, *decoded, ws);
+        count_byte_errors(*psdu, *decoded, acc);
       },
       merge_links);
 }
@@ -156,10 +175,15 @@ LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
   return par::montecarlo<LinkResult>(
       n_packets, /*point=*/0, opt,
       [&](std::uint64_t, std::size_t, Rng& prng, LinkResult& acc) {
-        const Bytes psdu = prng.random_bytes(psdu_bytes);
+        phy::Workspace& ws = phy::tls_workspace();
+        auto psdu = ws.bits(psdu_bytes);
+        prng.fill_bytes(*psdu);
+        // The per-tone channel draw and detector setup still allocate
+        // (small matrices, SVD); the symbol/decode hot loops lease.
         const auto tones = phy.draw_channel(prng, profile);
-        const Bytes decoded = phy.simulate_link(psdu, tones, snr_db, prng);
-        count_byte_errors(psdu, decoded, acc);
+        auto decoded = ws.bits(0);
+        phy.simulate_link_into(*psdu, tones, snr_db, prng, *decoded, ws);
+        count_byte_errors(*psdu, *decoded, acc);
       },
       merge_links);
 }

@@ -36,7 +36,7 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
   }
 }
 
-void FftPlan::transform(CVec& x, bool inverse) const {
+void FftPlan::transform(std::span<Cplx> x, bool inverse) const {
   const obs::ScopedTimer timer(obs::kernel_histogram(obs::Kernel::kFft));
   check(x.size() == n_, "FftPlan size mismatch");
 
@@ -71,9 +71,9 @@ void FftPlan::transform(CVec& x, bool inverse) const {
   }
 }
 
-void FftPlan::forward(CVec& x) const { transform(x, false); }
+void FftPlan::forward(std::span<Cplx> x) const { transform(x, false); }
 
-void FftPlan::inverse(CVec& x) const {
+void FftPlan::inverse(std::span<Cplx> x) const {
   transform(x, true);
   const double inv = 1.0 / static_cast<double>(n_);
   for (auto& v : x) v *= inv;
@@ -89,9 +89,9 @@ const FftPlan& plan_for(std::size_t n) {
   return *cache[slot];
 }
 
-void fft_inplace(CVec& x) { plan_for(x.size()).forward(x); }
+void fft_inplace(std::span<Cplx> x) { plan_for(x.size()).forward(x); }
 
-void ifft_inplace(CVec& x) { plan_for(x.size()).inverse(x); }
+void ifft_inplace(std::span<Cplx> x) { plan_for(x.size()).inverse(x); }
 
 CVec fft(CVec x) {
   fft_inplace(x);

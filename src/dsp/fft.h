@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -32,13 +33,15 @@ class FftPlan {
   std::size_t size() const { return n_; }
 
   /// In-place forward DFT (no normalization). Requires x.size() == size().
-  void forward(CVec& x) const;
+  void forward(std::span<Cplx> x) const;
+  void forward(CVec& x) const { forward(std::span<Cplx>(x)); }
 
   /// In-place inverse DFT, normalized by 1/N. Requires x.size() == size().
-  void inverse(CVec& x) const;
+  void inverse(std::span<Cplx> x) const;
+  void inverse(CVec& x) const { inverse(std::span<Cplx>(x)); }
 
  private:
-  void transform(CVec& x, bool inverse) const;
+  void transform(std::span<Cplx> x, bool inverse) const;
 
   std::size_t n_;
   // Bit-reversal pairs (i, j) with i < j, packed as i << 32 | j.
@@ -52,10 +55,12 @@ class FftPlan {
 const FftPlan& plan_for(std::size_t n);
 
 /// In-place forward DFT (no normalization). Requires power-of-two size.
-void fft_inplace(CVec& x);
+void fft_inplace(std::span<Cplx> x);
+inline void fft_inplace(CVec& x) { fft_inplace(std::span<Cplx>(x)); }
 
 /// In-place inverse DFT, normalized by 1/N. Requires power-of-two size.
-void ifft_inplace(CVec& x);
+void ifft_inplace(std::span<Cplx> x);
+inline void ifft_inplace(CVec& x) { ifft_inplace(std::span<Cplx>(x)); }
 
 /// Out-of-place forward DFT.
 CVec fft(CVec x);

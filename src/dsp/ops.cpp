@@ -9,15 +9,23 @@
 namespace wlan::dsp {
 
 CVec convolve(std::span<const Cplx> a, std::span<const Cplx> b) {
-  if (a.empty() || b.empty()) return {};
-  CVec out(a.size() + b.size() - 1, Cplx{0.0, 0.0});
+  CVec out;
+  convolve_to(a, b, out);
+  return out;
+}
+
+void convolve_to(std::span<const Cplx> a, std::span<const Cplx> b, CVec& out) {
+  if (a.empty() || b.empty()) {
+    out.clear();
+    return;
+  }
+  out.assign(a.size() + b.size() - 1, Cplx{0.0, 0.0});
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] == Cplx{0.0, 0.0}) continue;
     for (std::size_t j = 0; j < b.size(); ++j) {
       out[i + j] += a[i] * b[j];
     }
   }
-  return out;
 }
 
 CVec cross_correlate(std::span<const Cplx> x, std::span<const Cplx> ref) {

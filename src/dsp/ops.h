@@ -11,6 +11,10 @@ namespace wlan::dsp {
 /// Full linear convolution; output length a.size() + b.size() - 1.
 CVec convolve(std::span<const Cplx> a, std::span<const Cplx> b);
 
+/// As convolve, resizing `out` — allocation-free once warm. `out` must
+/// not alias `a` or `b`.
+void convolve_to(std::span<const Cplx> a, std::span<const Cplx> b, CVec& out);
+
 /// Sliding cross-correlation of `x` against `ref` (conjugated reference):
 /// out[k] = sum_i x[k+i] * conj(ref[i]), for k in [0, x.size()-ref.size()].
 CVec cross_correlate(std::span<const Cplx> x, std::span<const Cplx> ref);

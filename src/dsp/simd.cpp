@@ -1,0 +1,36 @@
+#include "dsp/simd.h"
+
+#include <atomic>
+
+namespace wlan::dsp::simd {
+
+namespace {
+std::atomic<bool> g_vector_enabled{compiled_isa() != Isa::kScalar};
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool vector_enabled() noexcept {
+  return g_vector_enabled.load(std::memory_order_relaxed);
+}
+
+void set_vector_enabled(bool enabled) noexcept {
+  // A scalar build has no vector path to enable; keep the flag honest so
+  // callers can branch on it without re-checking compiled_isa().
+  g_vector_enabled.store(enabled && compiled_isa() != Isa::kScalar,
+                         std::memory_order_relaxed);
+}
+
+}  // namespace wlan::dsp::simd

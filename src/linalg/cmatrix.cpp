@@ -118,6 +118,17 @@ CVec operator*(const CMatrix& a, const CVec& x) {
   return out;
 }
 
+void multiply_to(const CMatrix& a, std::span<const Cplx> x,
+                 std::span<Cplx> out) {
+  check(a.cols() == x.size(), "matrix-vector size mismatch");
+  check(out.size() == a.rows(), "matrix-vector output size mismatch");
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += a(r, c) * x[c];
+    out[r] = acc;
+  }
+}
+
 double max_abs_diff(const CMatrix& a, const CMatrix& b) {
   check(a.rows() == b.rows() && a.cols() == b.cols(), "matrix size mismatch");
   double m = 0.0;

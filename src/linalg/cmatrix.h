@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -81,6 +82,12 @@ CMatrix operator*(const CMatrix& a, const CMatrix& b);
 
 /// Matrix-vector product. Requires a.cols() == x.size().
 CVec operator*(const CMatrix& a, const CVec& x);
+
+/// Matrix-vector product into caller storage (bitwise identical to
+/// operator*). Requires a.cols() == x.size() and out.size() == a.rows();
+/// `out` must not alias `x`.
+void multiply_to(const CMatrix& a, std::span<const Cplx> x,
+                 std::span<Cplx> out);
 
 /// Maximum absolute elementwise difference (for tests and convergence checks).
 double max_abs_diff(const CMatrix& a, const CMatrix& b);

@@ -44,48 +44,6 @@ double qpsk_phase(std::uint8_t b0, std::uint8_t b1) {
   return kPi / 2.0 * static_cast<double>((b0 << 1) | b1);
 }
 
-struct Candidate {
-  std::array<Cplx, kChips> chips;
-  std::array<std::uint8_t, 6> bits;  // the non-phi1 data bits (up to 6)
-};
-
-// Enumerates the codeword set for a rate (64 entries at 11 Mbps, 4 at 5.5).
-std::vector<Candidate> make_candidates(CckRate rate) {
-  std::vector<Candidate> set;
-  if (rate == CckRate::k11Mbps) {
-    set.resize(64);
-    std::size_t idx = 0;
-    for (int p2 = 0; p2 < 4; ++p2) {
-      for (int p3 = 0; p3 < 4; ++p3) {
-        for (int p4 = 0; p4 < 4; ++p4) {
-          Candidate& c = set[idx++];
-          CckModem::base_codeword(kPi / 2.0 * p2, kPi / 2.0 * p3,
-                                  kPi / 2.0 * p4, c.chips.data());
-          c.bits = {static_cast<std::uint8_t>((p2 >> 1) & 1),
-                    static_cast<std::uint8_t>(p2 & 1),
-                    static_cast<std::uint8_t>((p3 >> 1) & 1),
-                    static_cast<std::uint8_t>(p3 & 1),
-                    static_cast<std::uint8_t>((p4 >> 1) & 1),
-                    static_cast<std::uint8_t>(p4 & 1)};
-        }
-      }
-    }
-  } else {
-    set.resize(4);
-    std::size_t idx = 0;
-    for (int d2 = 0; d2 < 2; ++d2) {
-      for (int d3 = 0; d3 < 2; ++d3) {
-        Candidate& c = set[idx++];
-        CckModem::base_codeword(d2 * kPi + kPi / 2.0, 0.0, d3 * kPi,
-                                c.chips.data());
-        c.bits = {static_cast<std::uint8_t>(d2), static_cast<std::uint8_t>(d3),
-                  0, 0, 0, 0};
-      }
-    }
-  }
-  return set;
-}
-
 }  // namespace
 
 std::size_t cck_bits_per_symbol(CckRate rate) {
@@ -103,20 +61,58 @@ void CckModem::base_codeword(double phi2, double phi3, double phi4, Cplx out[8])
   out[7] = Cplx{1.0, 0.0};
 }
 
-CckModem::CckModem(CckRate rate) : rate_(rate) {}
+CckModem::CckModem(CckRate rate) : rate_(rate) {
+  // Enumerate the codeword set once; modulate/demodulate only read it.
+  if (rate_ == CckRate::k11Mbps) {
+    candidates_.resize(64);
+    std::size_t idx = 0;
+    for (int p2 = 0; p2 < 4; ++p2) {
+      for (int p3 = 0; p3 < 4; ++p3) {
+        for (int p4 = 0; p4 < 4; ++p4) {
+          Candidate& c = candidates_[idx++];
+          base_codeword(kPi / 2.0 * p2, kPi / 2.0 * p3, kPi / 2.0 * p4,
+                        c.chips.data());
+          c.bits = {static_cast<std::uint8_t>((p2 >> 1) & 1),
+                    static_cast<std::uint8_t>(p2 & 1),
+                    static_cast<std::uint8_t>((p3 >> 1) & 1),
+                    static_cast<std::uint8_t>(p3 & 1),
+                    static_cast<std::uint8_t>((p4 >> 1) & 1),
+                    static_cast<std::uint8_t>(p4 & 1)};
+        }
+      }
+    }
+  } else {
+    candidates_.resize(4);
+    std::size_t idx = 0;
+    for (int d2 = 0; d2 < 2; ++d2) {
+      for (int d3 = 0; d3 < 2; ++d3) {
+        Candidate& c = candidates_[idx++];
+        base_codeword(d2 * kPi + kPi / 2.0, 0.0, d3 * kPi, c.chips.data());
+        c.bits = {static_cast<std::uint8_t>(d2), static_cast<std::uint8_t>(d3),
+                  0, 0, 0, 0};
+      }
+    }
+  }
+}
 
 CVec CckModem::modulate(std::span<const std::uint8_t> bits) const {
+  CVec out;
+  modulate_into(bits, out);
+  return out;
+}
+
+void CckModem::modulate_into(std::span<const std::uint8_t> bits,
+                             CVec& out) const {
   const std::size_t bps = cck_bits_per_symbol(rate_);
   check(bits.size() % bps == 0, "CCK modulate: bit count not a symbol multiple");
   const std::size_t n_symbols = bits.size() / bps;
 
-  CVec out;
-  out.reserve((n_symbols + 1) * kChips);
+  out.resize((n_symbols + 1) * kChips);
   double phi1 = 0.0;
+  std::size_t pos = 0;
 
   // Reference symbol: candidate-set entry 0 with phi1 = 0.
-  const auto candidates = make_candidates(rate_);
-  for (const Cplx& c : candidates[0].chips) out.push_back(c);
+  for (const Cplx& c : candidates_[0].chips) out[pos++] = c;
 
   for (std::size_t s = 0; s < n_symbols; ++s) {
     const auto sym = bits.subspan(s * bps, bps);
@@ -129,17 +125,21 @@ CVec CckModem::modulate(std::span<const std::uint8_t> bits) const {
       base_codeword(sym[2] * kPi + kPi / 2.0, 0.0, sym[3] * kPi, base);
     }
     const Cplx rot = expj(phi1);
-    for (const Cplx& c : base) out.push_back(rot * c);
+    for (const Cplx& c : base) out[pos++] = rot * c;
   }
-  return out;
 }
 
 Bits CckModem::demodulate(std::span<const Cplx> chips) const {
+  Bits bits;
+  demodulate_into(chips, bits);
+  return bits;
+}
+
+void CckModem::demodulate_into(std::span<const Cplx> chips, Bits& out) const {
   check(chips.size() % kChips == 0 && chips.size() >= 2 * kChips,
         "CCK demodulate: waveform layout mismatch");
   const std::size_t n_symbols = chips.size() / kChips - 1;
   const std::size_t bps = cck_bits_per_symbol(rate_);
-  const auto candidates = make_candidates(rate_);
 
   auto correlate = [&](std::size_t symbol, const Candidate& cand) {
     Cplx acc{0.0, 0.0};
@@ -149,14 +149,14 @@ Bits CckModem::demodulate(std::span<const Cplx> chips) const {
     return acc;
   };
 
-  Bits bits(n_symbols * bps);
+  out.resize(n_symbols * bps);
   // The reference symbol is known to be candidate 0 at phi1 = 0.
-  Cplx prev = correlate(0, candidates[0]);
+  Cplx prev = correlate(0, candidates_[0]);
   for (std::size_t s = 0; s < n_symbols; ++s) {
     double best_mag = -1.0;
     Cplx best_corr{0.0, 0.0};
     const Candidate* best = nullptr;
-    for (const Candidate& cand : candidates) {
+    for (const Candidate& cand : candidates_) {
       const Cplx z = correlate(s + 1, cand);
       const double mag = std::norm(z);
       if (mag > best_mag) {
@@ -165,12 +165,11 @@ Bits CckModem::demodulate(std::span<const Cplx> chips) const {
         best = &cand;
       }
     }
-    std::uint8_t* out = &bits[s * bps];
-    dqpsk_bits(std::arg(best_corr * std::conj(prev)), &out[0], &out[1]);
-    for (std::size_t b = 2; b < bps; ++b) out[b] = best->bits[b - 2];
+    std::uint8_t* bp = &out[s * bps];
+    dqpsk_bits(std::arg(best_corr * std::conj(prev)), &bp[0], &bp[1]);
+    for (std::size_t b = 2; b < bps; ++b) bp[b] = best->bits[b - 2];
     prev = best_corr;
   }
-  return bits;
 }
 
 }  // namespace wlan::phy

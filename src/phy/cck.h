@@ -10,7 +10,9 @@
 // section 18.4.6.5.
 #pragma once
 
+#include <array>
 #include <span>
+#include <vector>
 
 #include "common/types.h"
 
@@ -29,14 +31,28 @@ class CckModem {
   /// Modulates bits to chips; output (1 + n_symbols) * 8 chips.
   CVec modulate(std::span<const std::uint8_t> bits) const;
 
+  /// As modulate, resizing `out` — allocation-free once warm.
+  void modulate_into(std::span<const std::uint8_t> bits, CVec& out) const;
+
   /// Maximum-likelihood codeword correlation receiver.
   Bits demodulate(std::span<const Cplx> chips) const;
+
+  /// As demodulate, resizing `out` — allocation-free once warm.
+  void demodulate_into(std::span<const Cplx> chips, Bits& out) const;
 
   /// The 8-chip base codeword for given (phi2, phi3, phi4) with phi1 = 0.
   static void base_codeword(double phi2, double phi3, double phi4, Cplx out[8]);
 
  private:
+  struct Candidate {
+    std::array<Cplx, 8> chips;
+    std::array<std::uint8_t, 6> bits;  // the non-phi1 data bits (up to 6)
+  };
+
   CckRate rate_;
+  // Codeword set for the rate (64 entries at 11 Mbps, 4 at 5.5), built
+  // once at construction instead of per modulate/demodulate call.
+  std::vector<Candidate> candidates_;
 };
 
 }  // namespace wlan::phy

@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "common/check.h"
+#include "dsp/simd.h"
 #include "obs/timer.h"
+#include "phy/workspace.h"
 
 namespace wlan::phy {
 namespace {
@@ -52,33 +54,48 @@ double code_rate_value(CodeRate rate) {
   return 0.5;
 }
 
-Bits convolutional_encode(std::span<const std::uint8_t> bits) {
-  Bits out;
-  out.reserve(bits.size() * 2);
+void convolutional_encode_into(std::span<const std::uint8_t> bits, Bits& out) {
+  out.resize(bits.size() * 2);
   std::uint32_t state = 0;  // last 6 input bits, newest at bit 5
+  std::size_t w = 0;
   for (const std::uint8_t b : bits) {
     const std::uint32_t reg = (static_cast<std::uint32_t>(b & 1u) << 6) | state;
-    out.push_back(parity7(reg & kG0));
-    out.push_back(parity7(reg & kG1));
+    out[w++] = parity7(reg & kG0);
+    out[w++] = parity7(reg & kG1);
     state = reg >> 1;
   }
+}
+
+Bits convolutional_encode(std::span<const std::uint8_t> bits) {
+  Bits out;
+  convolutional_encode_into(bits, out);
   return out;
+}
+
+void puncture_into(std::span<const std::uint8_t> coded, CodeRate rate,
+                   Bits& out) {
+  const Pattern p = pattern_for(rate);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (p.keep[i % p.period]) ++n;
+  }
+  out.resize(n);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    if (p.keep[i % p.period]) out[w++] = coded[i];
+  }
 }
 
 Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate) {
-  const Pattern p = pattern_for(rate);
   Bits out;
-  out.reserve(coded.size());
-  for (std::size_t i = 0; i < coded.size(); ++i) {
-    if (p.keep[i % p.period]) out.push_back(coded[i]);
-  }
+  puncture_into(coded, rate, out);
   return out;
 }
 
-RVec depuncture(std::span<const double> llrs, CodeRate rate,
-                std::size_t n_info_bits) {
+void depuncture_into(std::span<const double> llrs, CodeRate rate,
+                     std::size_t n_info_bits, RVec& out) {
   const Pattern p = pattern_for(rate);
-  RVec out(2 * n_info_bits, 0.0);
+  out.assign(2 * n_info_bits, 0.0);
   std::size_t src = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
     if (p.keep[i % p.period]) {
@@ -87,6 +104,12 @@ RVec depuncture(std::span<const double> llrs, CodeRate rate,
     }
   }
   check(src == llrs.size(), "depuncture: LLR count mismatch");
+}
+
+RVec depuncture(std::span<const double> llrs, CodeRate rate,
+                std::size_t n_info_bits) {
+  RVec out;
+  depuncture_into(llrs, rate, n_info_bits, out);
   return out;
 }
 
@@ -126,9 +149,43 @@ const Trellis& trellis() {
   return t;
 }
 
+// Sign-table view of the trellis for the vector ACS: branch metric
+// bm[e0<<1|e1] == s0*l0 + s1*l1 with s0 = e0 ? -1 : +1, s1 likewise.
+// Multiplying by ±1.0 is an exact sign flip and IEEE subtraction is
+// addition of the negation, so s0*l0 + s1*l1 reproduces the scalar
+// bm table (l0+l1, l0-l1, -l0+l1, -l0-l1) bit for bit. Indexed
+// [predecessor parity][input bit][butterfly half] so each group of
+// simd::kWidth halves is one contiguous load.
+struct VecTrellis {
+  std::array<double, 32> s0[2][2];
+  std::array<double, 32> s1[2][2];
+};
+
+const VecTrellis& vec_trellis() {
+  static const VecTrellis vt = [] {
+    VecTrellis built{};
+    const std::uint8_t* sym = trellis().sym.data();
+    for (int half = 0; half < 32; ++half) {
+      for (int p = 0; p < 2; ++p) {
+        for (int b = 0; b < 2; ++b) {
+          const int pred = (half << 1) | p;
+          const int i = sym[pred * 2 + b];
+          built.s0[p][b][static_cast<std::size_t>(half)] =
+              (i & 2) ? -1.0 : 1.0;
+          built.s1[p][b][static_cast<std::size_t>(half)] =
+              (i & 1) ? -1.0 : 1.0;
+        }
+      }
+    }
+    return built;
+  }();
+  return vt;
+}
+
 }  // namespace
 
-Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
+void viterbi_decode_into(std::span<const double> llrs, bool terminated,
+                         Bits& decoded, Workspace& ws) {
   const obs::ScopedTimer timer(
       obs::kernel_histogram(obs::Kernel::kViterbi));
   check(llrs.size() % 2 == 0, "viterbi_decode requires an even LLR count");
@@ -145,32 +202,65 @@ Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
 
   // One survivor bit per state per step: the oldest-bit choice of the
   // winning predecessor.
-  std::vector<std::uint64_t> survivors(n_steps, 0);
+  auto surv_lease = ws.u64(n_steps);
+  std::uint64_t* survivors = surv_lease->data();
+
+  const bool use_vec = dsp::simd::vector_enabled();
+  const VecTrellis& vt = vec_trellis();
+  // Stride-2 deinterleave of the state metrics, refreshed per step, so
+  // the vector loop loads predecessors contiguously.
+  std::array<double, 32> m_even;
+  std::array<double, 32> m_odd;
 
   std::array<double, kNumStates> next{};
   for (std::size_t t = 0; t < n_steps; ++t) {
     const double l0 = llrs[2 * t];
     const double l1 = llrs[2 * t + 1];
-    // Branch metric for expected pair (e0, e1), indexed e0<<1|e1
-    // (a positive LLR favours bit 0).
-    const std::array<double, 4> bm{l0 + l1, l0 - l1, -l0 + l1, -l0 - l1};
     std::uint64_t surv = 0;
-    // Butterfly: new states `half` (input 0) and `half + 32` (input 1)
-    // share predecessors base and base|1.
-    for (int half = 0; half < 32; ++half) {
-      const int p0 = half << 1;
-      const int p1 = p0 | 1;
-      const double m0 = metric[static_cast<std::size_t>(p0)];
-      const double m1 = metric[static_cast<std::size_t>(p1)];
+    if (use_vec) {
+      using dsp::simd::DVec;
+      constexpr std::size_t W = dsp::simd::kWidth;
+      for (std::size_t h = 0; h < 32; ++h) {
+        m_even[h] = metric[2 * h];
+        m_odd[h] = metric[2 * h + 1];
+      }
+      const DVec l0v = DVec::splat(l0);
+      const DVec l1v = DVec::splat(l1);
       for (int b = 0; b < 2; ++b) {
-        const int sp = (b << 5) | half;
-        const double c0 = m0 + bm[sym[p0 * 2 + b]];
-        const double c1 = m1 + bm[sym[p1 * 2 + b]];
-        if (c1 > c0) {
-          next[static_cast<std::size_t>(sp)] = c1;
-          surv |= (std::uint64_t{1} << sp);
-        } else {
-          next[static_cast<std::size_t>(sp)] = c0;
+        for (std::size_t h = 0; h < 32; h += W) {
+          const DVec bm0 = DVec::load(&vt.s0[0][b][h]) * l0v +
+                           DVec::load(&vt.s1[0][b][h]) * l1v;
+          const DVec bm1 = DVec::load(&vt.s0[1][b][h]) * l0v +
+                           DVec::load(&vt.s1[1][b][h]) * l1v;
+          const DVec c0 = DVec::load(&m_even[h]) + bm0;
+          const DVec c1 = DVec::load(&m_odd[h]) + bm1;
+          const std::size_t sp = (static_cast<std::size_t>(b) << 5) | h;
+          dsp::simd::select_gt(c1, c0, c1, c0).store(&next[sp]);
+          surv |= static_cast<std::uint64_t>(dsp::simd::mask_gt(c1, c0))
+                  << sp;
+        }
+      }
+    } else {
+      // Branch metric for expected pair (e0, e1), indexed e0<<1|e1
+      // (a positive LLR favours bit 0).
+      const std::array<double, 4> bm{l0 + l1, l0 - l1, -l0 + l1, -l0 - l1};
+      // Butterfly: new states `half` (input 0) and `half + 32` (input 1)
+      // share predecessors base and base|1.
+      for (int half = 0; half < 32; ++half) {
+        const int p0 = half << 1;
+        const int p1 = p0 | 1;
+        const double m0 = metric[static_cast<std::size_t>(p0)];
+        const double m1 = metric[static_cast<std::size_t>(p1)];
+        for (int b = 0; b < 2; ++b) {
+          const int sp = (b << 5) | half;
+          const double c0 = m0 + bm[sym[p0 * 2 + b]];
+          const double c1 = m1 + bm[sym[p1 * 2 + b]];
+          if (c1 > c0) {
+            next[static_cast<std::size_t>(sp)] = c1;
+            surv |= (std::uint64_t{1} << sp);
+          } else {
+            next[static_cast<std::size_t>(sp)] = c0;
+          }
         }
       }
     }
@@ -189,12 +279,17 @@ Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
       }
     }
   }
-  Bits decoded(n_steps);
+  decoded.resize(n_steps);
   for (std::size_t t = n_steps; t-- > 0;) {
     decoded[t] = static_cast<std::uint8_t>(state >> 5);
     const int old = static_cast<int>((survivors[t] >> state) & 1u);
     state = ((state & 0x1F) << 1) | old;
   }
+}
+
+Bits viterbi_decode(std::span<const double> llrs, bool terminated) {
+  Bits decoded;
+  viterbi_decode_into(llrs, terminated, decoded, tls_workspace());
   return decoded;
 }
 

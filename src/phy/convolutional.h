@@ -10,6 +10,8 @@
 
 namespace wlan::phy {
 
+class Workspace;
+
 /// Code rate after puncturing the mother rate-1/2 code.
 enum class CodeRate { kR12, kR23, kR34, kR56 };
 
@@ -21,15 +23,26 @@ double code_rate_value(CodeRate rate);
 /// 2 * bits.size() coded bits, ordered A0 B0 A1 B1 ...
 Bits convolutional_encode(std::span<const std::uint8_t> bits);
 
+/// As convolutional_encode, resizing `out` (allocation-free once warm).
+void convolutional_encode_into(std::span<const std::uint8_t> bits, Bits& out);
+
 /// Applies the 802.11 puncturing pattern for `rate` to a rate-1/2 coded
 /// sequence (A/B interleaved).
 Bits puncture(std::span<const std::uint8_t> coded, CodeRate rate);
+
+/// As puncture, resizing `out` (allocation-free once warm).
+void puncture_into(std::span<const std::uint8_t> coded, CodeRate rate,
+                   Bits& out);
 
 /// Inserts zero-LLR erasures at punctured positions, restoring the
 /// rate-1/2 lattice for the decoder. `n_info_bits` is the number of
 /// information bits the sequence encodes (so output size is known).
 RVec depuncture(std::span<const double> llrs, CodeRate rate,
                 std::size_t n_info_bits);
+
+/// As depuncture, resizing `out` (allocation-free once warm).
+void depuncture_into(std::span<const double> llrs, CodeRate rate,
+                     std::size_t n_info_bits, RVec& out);
 
 /// Number of coded bits produced for n_info_bits at `rate`
 /// (post-puncturing).
@@ -42,6 +55,13 @@ std::size_t coded_length(std::size_t n_info_bits, CodeRate rate);
 /// assumed to have been driven back to state 0 by tail bits included in
 /// the info sequence (the decoder then forces the final state).
 Bits viterbi_decode(std::span<const double> llrs, bool terminated = true);
+
+/// As viterbi_decode, leasing scratch (survivor masks) from `ws` and
+/// resizing `decoded` — allocation-free once warm. Uses the vectorized
+/// add-compare-select sweep when the SIMD build is active; bitwise
+/// identical to the scalar path either way.
+void viterbi_decode_into(std::span<const double> llrs, bool terminated,
+                         Bits& decoded, Workspace& ws);
 
 /// Convenience: hard-decision decode (bits -> ±1 LLRs).
 Bits viterbi_decode_hard(std::span<const std::uint8_t> coded_bits,

@@ -48,21 +48,28 @@ std::size_t DsssModem::chips_per_symbol() const {
 }
 
 CVec DsssModem::modulate(std::span<const std::uint8_t> bits) const {
+  CVec out;
+  modulate_into(bits, out);
+  return out;
+}
+
+void DsssModem::modulate_into(std::span<const std::uint8_t> bits,
+                              CVec& out) const {
   const std::size_t bps = dsss_bits_per_symbol(config_.rate);
   check(bits.size() % bps == 0, "DSSS modulate: bit count not a symbol multiple");
   const std::size_t n_symbols = bits.size() / bps;
   const std::size_t cps = chips_per_symbol();
 
-  CVec out;
-  out.reserve((n_symbols + 1) * cps);
+  out.resize((n_symbols + 1) * cps);
   double phase = 0.0;  // reference symbol phase
+  std::size_t pos = 0;
 
   auto emit_symbol = [&](double ph) {
     const Cplx rot{std::cos(ph), std::sin(ph)};
     if (config_.spread) {
-      for (const double chip : kBarker11) out.push_back(rot * chip);
+      for (const double chip : kBarker11) out[pos++] = rot * chip;
     } else {
-      out.push_back(rot);
+      out[pos++] = rot;
     }
   };
 
@@ -75,10 +82,15 @@ CVec DsssModem::modulate(std::span<const std::uint8_t> bits) const {
     }
     emit_symbol(phase);
   }
-  return out;
 }
 
 Bits DsssModem::demodulate(std::span<const Cplx> chips) const {
+  Bits bits;
+  demodulate_into(chips, bits);
+  return bits;
+}
+
+void DsssModem::demodulate_into(std::span<const Cplx> chips, Bits& out) const {
   const std::size_t cps = chips_per_symbol();
   check(chips.size() % cps == 0 && chips.size() >= 2 * cps,
         "DSSS demodulate: waveform layout mismatch");
@@ -95,19 +107,18 @@ Bits DsssModem::demodulate(std::span<const Cplx> chips) const {
     return acc;
   };
 
-  Bits bits(n_symbols * bps);
+  out.resize(n_symbols * bps);
   Cplx prev = despread(0);
   for (std::size_t s = 0; s < n_symbols; ++s) {
     const Cplx cur = despread(s + 1);
     const Cplx d = cur * std::conj(prev);
     if (config_.rate == DsssRate::k1Mbps) {
-      bits[s] = d.real() < 0.0 ? 1 : 0;
+      out[s] = d.real() < 0.0 ? 1 : 0;
     } else {
-      dqpsk_bits(std::arg(d), &bits[2 * s], &bits[2 * s + 1]);
+      dqpsk_bits(std::arg(d), &out[2 * s], &out[2 * s + 1]);
     }
     prev = cur;
   }
-  return bits;
 }
 
 }  // namespace wlan::phy

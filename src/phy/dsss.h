@@ -40,9 +40,16 @@ class DsssModem {
   /// Output length = (1 + n_symbols) * chips_per_symbol().
   CVec modulate(std::span<const std::uint8_t> bits) const;
 
+  /// As modulate, resizing `out` — allocation-free once its capacity is
+  /// warm.
+  void modulate_into(std::span<const std::uint8_t> bits, CVec& out) const;
+
   /// Demodulates chips back to bits (correlation despread + differential
   /// detection). Requires the waveform layout produced by modulate().
   Bits demodulate(std::span<const Cplx> chips) const;
+
+  /// As demodulate, resizing `out` — allocation-free once warm.
+  void demodulate_into(std::span<const Cplx> chips, Bits& out) const;
 
  private:
   Config config_;

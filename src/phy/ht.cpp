@@ -11,6 +11,7 @@
 #include "phy/interleaver.h"
 #include "phy/ldpc.h"
 #include "phy/scrambler.h"
+#include "phy/workspace.h"
 
 namespace wlan::phy {
 namespace {
@@ -231,6 +232,15 @@ std::vector<linalg::CMatrix> HtPhy::draw_channel(
 Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
                            const std::vector<linalg::CMatrix>& tones,
                            double snr_db, Rng& rng) const {
+  Bytes out;
+  simulate_link_into(psdu, tones, snr_db, rng, out, tls_workspace());
+  return out;
+}
+
+void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
+                               const std::vector<linalg::CMatrix>& tones,
+                               double snr_db, Rng& rng, Bytes& out,
+                               Workspace& ws) const {
   const std::size_t n_fft = ht_fft_size(config_.bandwidth);
   check(tones.size() == n_fft, "per-tone channel count must match FFT size");
   check(tones[0].rows() == n_rx_ && tones[0].cols() == n_tx_,
@@ -244,55 +254,72 @@ Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
   const double sigma2 = std::pow(10.0, -snr_db / 10.0);
 
   // ---------- Encode ----------
-  Bits coded;  // length n_sym * n_cbps after padding
+  auto coded_lease = ws.bits(0);
+  Bits& coded = *coded_lease;  // length n_sym * n_cbps after padding
+  auto data_lease = ws.bits(0);
+  Bits& data = *data_lease;
   std::size_t ldpc_coded_bits = 0;
   if (config_.coding == HtCoding::kBcc) {
     const std::size_t n_dbps = static_cast<std::size_t>(
         static_cast<double>(n_cbps) * code_rate_value(mcs_.rate));
-    Bits data(n_sym * n_dbps, 0);
+    data.assign(n_sym * n_dbps, 0);
     std::size_t pos = kServiceBits;
     for (const std::uint8_t byte : psdu) {
       for (int i = 0; i < 8; ++i) {
         data[pos++] = static_cast<std::uint8_t>((byte >> i) & 1u);
       }
     }
-    Bits scrambled = scramble(data, kScramblerSeed);
+    scramble_to(data, kScramblerSeed, data);
     // Only the tail is zeroed post-scrambling; pads stay scrambled so the
     // waveform statistics are realistic. The trellis passes through state 0
     // right after the tail, which the decoder exploits.
     const std::size_t tail_pos = kServiceBits + 8 * psdu.size();
-    for (std::size_t i = 0; i < kTailBits; ++i) scrambled[tail_pos + i] = 0;
-    coded = puncture(convolutional_encode(scrambled), mcs_.rate);
+    for (std::size_t i = 0; i < kTailBits; ++i) data[tail_pos + i] = 0;
+    auto encoded_lease = ws.bits(0);
+    convolutional_encode_into(data, *encoded_lease);
+    puncture_into(*encoded_lease, mcs_.rate, coded);
   } else {
     const LdpcCode& code = ldpc_code_for(mcs_.rate);
     const std::size_t payload = kServiceBits + 8 * psdu.size();
     const std::size_t n_cw = (payload + code.info_length() - 1) / code.info_length();
-    Bits data(n_cw * code.info_length(), 0);
+    data.assign(n_cw * code.info_length(), 0);
     std::size_t pos = kServiceBits;
     for (const std::uint8_t byte : psdu) {
       for (int i = 0; i < 8; ++i) {
         data[pos++] = static_cast<std::uint8_t>((byte >> i) & 1u);
       }
     }
-    const Bits scrambled = scramble(data, kScramblerSeed);
+    scramble_to(data, kScramblerSeed, data);
+    auto codeword_lease = ws.bits(0);
+    coded.resize(n_cw * kLdpcBlock);
     for (std::size_t cw = 0; cw < n_cw; ++cw) {
-      const Bits codeword = code.encode(
-          std::span(scrambled).subspan(cw * code.info_length(),
-                                       code.info_length()));
-      coded.insert(coded.end(), codeword.begin(), codeword.end());
+      code.encode_into(
+          std::span<const std::uint8_t>(data).subspan(cw * code.info_length(),
+                                                      code.info_length()),
+          *codeword_lease);
+      std::copy(codeword_lease->begin(), codeword_lease->end(),
+                coded.begin() + static_cast<std::ptrdiff_t>(cw * kLdpcBlock));
     }
     ldpc_coded_bits = coded.size();
   }
   coded.resize(n_sym * n_cbps, 0);  // known zero padding to fill symbols
 
   // ---------- Stream parse + interleave + map ----------
+  // Streams live as subspans of one leased buffer: stream ss occupies
+  // [ss * n_sym * n_cbpss, (ss + 1) * n_sym * n_cbpss).
   const std::size_t s_block = std::max<std::size_t>(mcs_.n_bpsc / 2, 1);
-  std::vector<Bits> stream_bits(n_ss);
-  for (auto& sb : stream_bits) sb.reserve(n_sym * n_cbpss);
-  for (std::size_t i = 0; i < coded.size(); i += s_block * n_ss) {
-    for (std::size_t ss = 0; ss < n_ss; ++ss) {
-      for (std::size_t b = 0; b < s_block; ++b) {
-        stream_bits[ss].push_back(coded[i + ss * s_block + b]);
+  auto stream_bits_lease = ws.bits(n_ss * n_sym * n_cbpss);
+  const auto stream_bits = [&](std::size_t ss) {
+    return std::span(*stream_bits_lease).subspan(ss * n_sym * n_cbpss,
+                                                 n_sym * n_cbpss);
+  };
+  {
+    std::array<std::size_t, 4> cursor{};
+    for (std::size_t i = 0; i < coded.size(); i += s_block * n_ss) {
+      for (std::size_t ss = 0; ss < n_ss; ++ss) {
+        for (std::size_t b = 0; b < s_block; ++b) {
+          stream_bits(ss)[cursor[ss]++] = coded[i + ss * s_block + b];
+        }
       }
     }
   }
@@ -301,18 +328,25 @@ Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
   const Interleaver interleaver(n_cbpss, mcs_.n_bpsc,
                                 interleaver_columns(config_.bandwidth));
 
-  // Per stream, per symbol constellation points (n_dt per symbol).
-  std::vector<CVec> stream_syms(n_ss);
-  for (std::size_t ss = 0; ss < n_ss; ++ss) {
-    CVec& sym = stream_syms[ss];
-    sym.reserve(n_sym * n_dt);
-    for (std::size_t s = 0; s < n_sym; ++s) {
-      const auto block =
-          std::span(stream_bits[ss]).subspan(s * n_cbpss, n_cbpss);
-      const Bits inter =
-          use_interleaver ? interleaver.interleave(block) : Bits(block.begin(), block.end());
-      const CVec pts = modulate(inter, mcs_.mod);
-      sym.insert(sym.end(), pts.begin(), pts.end());
+  // Per stream, per symbol constellation points (n_dt per symbol), again
+  // packed per stream into one leased buffer.
+  auto stream_syms_lease = ws.cvec(n_ss * n_sym * n_dt);
+  const auto stream_syms = [&](std::size_t ss) {
+    return std::span(*stream_syms_lease).subspan(ss * n_sym * n_dt,
+                                                 n_sym * n_dt);
+  };
+  {
+    auto inter_lease = ws.bits(n_cbpss);
+    for (std::size_t ss = 0; ss < n_ss; ++ss) {
+      for (std::size_t s = 0; s < n_sym; ++s) {
+        const auto block = stream_bits(ss).subspan(s * n_cbpss, n_cbpss);
+        std::span<const std::uint8_t> mapped = block;
+        if (use_interleaver) {
+          interleaver.interleave_to(block, *inter_lease);
+          mapped = *inter_lease;
+        }
+        modulate_to(mapped, mcs_.mod, stream_syms(ss).subspan(s * n_dt, n_dt));
+      }
     }
   }
 
@@ -456,34 +490,46 @@ Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
   }
 
   // ---------- Channel + detection, symbol by symbol ----------
-  std::vector<RVec> stream_llrs(n_ss);
-  for (auto& sl : stream_llrs) sl.reserve(n_sym * n_cbpss);
-  CVec eq(n_dt);
-  RVec nv(n_dt);
-  for (std::size_t ss = 0; ss < n_ss; ++ss) {
-    stream_llrs[ss].resize(0);
-  }
+  // Per-stream LLRs, packed like the stream bits: stream ss occupies
+  // [ss * n_sym * n_cbpss, (ss + 1) * n_sym * n_cbpss).
+  auto stream_llrs_lease = ws.rvec(n_ss * n_sym * n_cbpss);
+  const auto stream_llrs = [&](std::size_t ss) {
+    return std::span(*stream_llrs_lease).subspan(ss * n_sym * n_cbpss,
+                                                 n_sym * n_cbpss);
+  };
+
+  // Per-symbol scratch, leased once and reused for every symbol.
+  auto z_lease = ws.cvec(n_ss * n_dt);    // equalized observations
+  auto zv_lease = ws.rvec(n_ss * n_dt);   // their effective noise variances
+  auto x_lease = ws.cvec(n_ss);           // transmitted vector at one tone
+  auto y_lease = ws.cvec(n_rx_);          // received vector at one tone
+  auto xhat_lease = ws.cvec(n_ss);        // linear detector output
+  auto llr_lease = ws.rvec(n_cbpss);      // one stream-symbol of LLRs
+  const auto z = [&](std::size_t ss) {
+    return std::span(*z_lease).subspan(ss * n_dt, n_dt);
+  };
+  const auto zv = [&](std::size_t ss) {
+    return std::span(*zv_lease).subspan(ss * n_dt, n_dt);
+  };
 
   for (std::size_t s = 0; s < n_sym; ++s) {
-    // Per stream equalized observations for this symbol.
-    std::vector<CVec> z(n_ss, CVec(n_dt));
-    std::vector<RVec> zv(n_ss, RVec(n_dt));
     for (std::size_t t = 0; t < n_dt; ++t) {
       const ToneDetector& d = det[t];
       if (d.scalar) {
         for (std::size_t ss = 0; ss < d.gains.size(); ++ss) {
-          const Cplx x = stream_syms[ss][s * n_dt + t];
+          const Cplx x = stream_syms(ss)[s * n_dt + t];
           const double g = std::max(d.gains[ss], 1e-9);
           const Cplx y = g * x + rng.cgaussian(sigma2);
-          z[ss][t] = y / g;
-          zv[ss][t] = sigma2 / (g * g);
+          z(ss)[t] = y / g;
+          zv(ss)[t] = sigma2 / (g * g);
         }
       } else {
-        CVec x(n_ss);
+        std::span<Cplx> x = *x_lease;
         for (std::size_t ss = 0; ss < n_ss; ++ss) {
-          x[ss] = stream_syms[ss][s * n_dt + t];
+          x[ss] = stream_syms(ss)[s * n_dt + t];
         }
-        CVec y = d.a * x;
+        std::span<Cplx> y = *y_lease;
+        linalg::multiply_to(d.a, x, y);
         for (auto& v : y) v += rng.cgaussian(sigma2);
         if (!d.stages.empty()) {
           // Ordered SIC: detect, slice, cancel, repeat.
@@ -493,18 +539,19 @@ Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
               acc += stage.g[r] * y[r];
             }
             const Cplx est = acc / stage.mu;
-            z[stage.stream][t] = est;
-            zv[stage.stream][t] = stage.noise_var;
+            z(stage.stream)[t] = est;
+            zv(stage.stream)[t] = stage.noise_var;
             const Cplx sliced = slice_symbol(est, mcs_.mod);
             for (std::size_t r = 0; r < y.size(); ++r) {
               y[r] -= stage.a_col[r] * sliced;
             }
           }
         } else {
-          const CVec xhat = d.g * y;
+          std::span<Cplx> xhat = *xhat_lease;
+          linalg::multiply_to(d.g, y, xhat);
           for (std::size_t ss = 0; ss < n_ss; ++ss) {
-            z[ss][t] = xhat[ss] / d.mu[ss];
-            zv[ss][t] = d.noise_var[ss];
+            z(ss)[t] = xhat[ss] / d.mu[ss];
+            zv(ss)[t] = d.noise_var[ss];
           }
         }
       }
@@ -514,74 +561,80 @@ Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
       if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kHtEvm)) {
         double err2 = 0.0;
         for (std::size_t t = 0; t < n_dt; ++t) {
-          err2 += std::norm(z[ss][t] - slice_symbol(z[ss][t], mcs_.mod));
+          err2 += std::norm(z(ss)[t] - slice_symbol(z(ss)[t], mcs_.mod));
         }
         p->record(std::sqrt(err2 / static_cast<double>(n_dt)));
       }
       if (obs::Histogram* p =
               obs::probe_histogram(obs::Probe::kHtPostEqSnr)) {
         for (std::size_t t = 0; t < n_dt; ++t) {
-          p->record(lin_to_db(1.0 / std::max(zv[ss][t], 1e-30)));
+          p->record(lin_to_db(1.0 / std::max(zv(ss)[t], 1e-30)));
         }
       }
-      const RVec llrs = demodulate_llr(z[ss], mcs_.mod, zv[ss]);
+      std::span<double> llrs = *llr_lease;
+      demodulate_llr_to(z(ss), mcs_.mod, zv(ss), llrs);
       if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kHtLlrAbs)) {
         for (const double l : llrs) p->record(std::abs(l));
       }
+      const auto dest = stream_llrs(ss).subspan(s * n_cbpss, n_cbpss);
       if (use_interleaver) {
-        const RVec deinter = interleaver.deinterleave(llrs);
-        stream_llrs[ss].insert(stream_llrs[ss].end(), deinter.begin(),
-                               deinter.end());
+        interleaver.deinterleave_to(llrs, dest);
       } else {
-        stream_llrs[ss].insert(stream_llrs[ss].end(), llrs.begin(), llrs.end());
+        std::copy(llrs.begin(), llrs.end(), dest.begin());
       }
     }
   }
 
   // ---------- Stream deparse ----------
-  RVec coded_llrs(n_sym * n_cbps);
+  auto coded_llrs_lease = ws.rvec(n_sym * n_cbps);
+  std::span<double> coded_llrs = *coded_llrs_lease;
   {
-    std::vector<std::size_t> cursor(n_ss, 0);
+    std::array<std::size_t, 4> cursor{};
     for (std::size_t i = 0; i < coded_llrs.size(); i += s_block * n_ss) {
       for (std::size_t ss = 0; ss < n_ss; ++ss) {
         for (std::size_t b = 0; b < s_block; ++b) {
-          coded_llrs[i + ss * s_block + b] = stream_llrs[ss][cursor[ss]++];
+          coded_llrs[i + ss * s_block + b] = stream_llrs(ss)[cursor[ss]++];
         }
       }
     }
   }
 
   // ---------- Decode ----------
-  Bits info_bits;
+  auto info_lease = ws.bits(0);
+  Bits& info_bits = *info_lease;
   if (config_.coding == HtCoding::kBcc) {
     const std::size_t n_dbps = static_cast<std::size_t>(
         static_cast<double>(n_cbps) * code_rate_value(mcs_.rate));
     const std::size_t n_info = n_sym * n_dbps;
-    RVec unpunctured = depuncture(coded_llrs, mcs_.rate, n_info);
+    auto unpunctured_lease = ws.rvec(0);
+    RVec& unpunctured = *unpunctured_lease;
+    depuncture_into(coded_llrs, mcs_.rate, n_info, unpunctured);
     // Decode the tail-terminated prefix only (pads are scrambled noise).
     const std::size_t decoded_bits = kServiceBits + 8 * psdu.size() + kTailBits;
     unpunctured.resize(2 * decoded_bits);
-    info_bits = viterbi_decode(unpunctured, /*terminated=*/true);
+    viterbi_decode_into(unpunctured, /*terminated=*/true, info_bits, ws);
   } else {
     const LdpcCode& code = ldpc_code_for(mcs_.rate);
     const std::size_t n_cw = ldpc_coded_bits / kLdpcBlock;
-    info_bits.reserve(n_cw * code.info_length());
+    info_bits.resize(n_cw * code.info_length());
+    LdpcCode::DecodeResult res;
     for (std::size_t cw = 0; cw < n_cw; ++cw) {
-      const auto llrs =
-          std::span(coded_llrs).subspan(cw * kLdpcBlock, kLdpcBlock);
-      const LdpcCode::DecodeResult res = code.decode(llrs);
-      info_bits.insert(info_bits.end(), res.info.begin(), res.info.end());
+      const auto llrs = coded_llrs.subspan(cw * kLdpcBlock, kLdpcBlock);
+      code.decode_into(llrs, /*max_iterations=*/40, /*normalization=*/0.8,
+                       res, ws);
+      std::copy(res.info.begin(), res.info.end(),
+                info_bits.begin() +
+                    static_cast<std::ptrdiff_t>(cw * code.info_length()));
     }
   }
-  const Bits descrambled = scramble(info_bits, kScramblerSeed);
+  scramble_to(info_bits, kScramblerSeed, info_bits);  // descramble in place
 
-  Bytes out(psdu.size(), 0);
+  out.assign(psdu.size(), 0);
   for (std::size_t i = 0; i < 8 * psdu.size(); ++i) {
-    if (descrambled[kServiceBits + i] & 1u) {
+    if (info_bits[kServiceBits + i] & 1u) {
       out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
     }
   }
-  return out;
 }
 
 }  // namespace wlan::phy

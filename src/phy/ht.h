@@ -128,6 +128,15 @@ class HtPhy {
                       const std::vector<linalg::CMatrix>& tones,
                       double snr_db, Rng& rng) const;
 
+  /// As simulate_link, resizing `out` and leasing the per-packet coding
+  /// and detection scratch from `ws`. The per-tone detector setup still
+  /// allocates (small matrices, SVD); the symbol/decode hot loops do not.
+  /// Bitwise identical to simulate_link (same RNG draw order).
+  void simulate_link_into(std::span<const std::uint8_t> psdu,
+                          const std::vector<linalg::CMatrix>& tones,
+                          double snr_db, Rng& rng, Bytes& out,
+                          Workspace& ws) const;
+
  private:
   HtConfig config_;
   HtMcsInfo mcs_;

@@ -22,17 +22,29 @@ Interleaver::Interleaver(std::size_t n_cbps, std::size_t n_bpsc, std::size_t n_c
   }
 }
 
-Bits Interleaver::interleave(std::span<const std::uint8_t> bits) const {
+void Interleaver::interleave_to(std::span<const std::uint8_t> bits,
+                                std::span<std::uint8_t> out) const {
   check(bits.size() == table_.size(), "interleave block size mismatch");
-  Bits out(bits.size());
+  check(out.size() == table_.size(), "interleave output size mismatch");
   for (std::size_t k = 0; k < bits.size(); ++k) out[table_[k]] = bits[k];
+}
+
+Bits Interleaver::interleave(std::span<const std::uint8_t> bits) const {
+  Bits out(bits.size());
+  interleave_to(bits, out);
   return out;
 }
 
-RVec Interleaver::deinterleave(std::span<const double> llrs) const {
+void Interleaver::deinterleave_to(std::span<const double> llrs,
+                                  std::span<double> out) const {
   check(llrs.size() == table_.size(), "deinterleave block size mismatch");
-  RVec out(llrs.size());
+  check(out.size() == table_.size(), "deinterleave output size mismatch");
   for (std::size_t k = 0; k < llrs.size(); ++k) out[k] = llrs[table_[k]];
+}
+
+RVec Interleaver::deinterleave(std::span<const double> llrs) const {
+  RVec out(llrs.size());
+  deinterleave_to(llrs, out);
   return out;
 }
 

@@ -26,8 +26,16 @@ class Interleaver {
   /// Interleaves one symbol's worth of bits. Size must equal block_size().
   Bits interleave(std::span<const std::uint8_t> bits) const;
 
+  /// As interleave, writing into `out` (same size; must not alias `bits`).
+  void interleave_to(std::span<const std::uint8_t> bits,
+                     std::span<std::uint8_t> out) const;
+
   /// De-interleaves one symbol's worth of LLRs.
   RVec deinterleave(std::span<const double> llrs) const;
+
+  /// As deinterleave, writing into `out` (same size; must not alias).
+  void deinterleave_to(std::span<const double> llrs,
+                       std::span<double> out) const;
 
  private:
   std::vector<std::size_t> table_;  // table_[k] = output index of input bit k

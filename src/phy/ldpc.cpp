@@ -1,12 +1,15 @@
 #include "phy/ldpc.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "dsp/simd.h"
 #include "obs/timer.h"
+#include "phy/workspace.h"
 
 namespace wlan::phy {
 namespace {
@@ -154,15 +157,21 @@ LdpcCode::LdpcCode(std::size_t n, std::size_t k, std::uint64_t seed,
   }
 }
 
-Bits LdpcCode::encode(std::span<const std::uint8_t> info) const {
+void LdpcCode::encode_into(std::span<const std::uint8_t> info,
+                           Bits& codeword) const {
   check(info.size() == k_, "LdpcCode::encode info length mismatch");
-  Bits codeword(n_, 0);
+  codeword.assign(n_, 0);
   for (std::size_t i = 0; i < k_; ++i) codeword[info_cols_[i]] = info[i] & 1u;
   for (std::size_t r = 0; r < m_; ++r) {
     std::uint8_t p = 0;
     for (const std::uint32_t idx : parity_deps_[r]) p ^= info[idx] & 1u;
     codeword[parity_cols_[r]] = p;
   }
+}
+
+Bits LdpcCode::encode(std::span<const std::uint8_t> info) const {
+  Bits codeword;
+  encode_into(info, codeword);
   return codeword;
 }
 
@@ -197,9 +206,9 @@ bool syndrome_clean(const RVec& posterior,
 
 }  // namespace
 
-LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
-                                        int max_iterations,
-                                        double normalization) const {
+void LdpcCode::decode_into(std::span<const double> llrs, int max_iterations,
+                           double normalization, DecodeResult& result,
+                           Workspace& ws) const {
   const obs::ScopedTimer timer(
       obs::kernel_histogram(obs::Kernel::kLdpcDecode));
   check(llrs.size() == n_, "LdpcCode::decode LLR length mismatch");
@@ -209,7 +218,9 @@ LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
   // check_var_), and posteriors are updated in place as each check
   // (layer) is processed, so later layers in the same iteration see
   // already-refined beliefs.
-  RVec posterior(llrs.begin(), llrs.end());
+  auto posterior_lease = ws.rvec(n_);
+  RVec& posterior = *posterior_lease;
+  for (std::size_t i = 0; i < n_; ++i) posterior[i] = llrs[i];
   int iter = 0;
   bool ok = false;
   if (syndrome_clean(posterior, check_offset_, check_var_, m_)) {
@@ -217,36 +228,139 @@ LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
     // (the common case well above the waterfall).
     ok = true;
   } else {
-    RVec c2v(check_var_.size(), 0.0);
-    RVec v2c(max_check_degree_, 0.0);
+    auto c2v_lease = ws.rvec(check_var_.size());
+    auto v2c_lease = ws.rvec(max_check_degree_);
+    auto mag_lease = ws.rvec(max_check_degree_);
+    auto lane_lease = ws.rvec(dsp::simd::kWidth);
+    RVec& c2v = *c2v_lease;
+    RVec& v2c = *v2c_lease;
+    RVec& magbuf = *mag_lease;
+    double* lane = lane_lease->data();
+    for (auto& m : c2v) m = 0.0;
+    // Plan-level dispatch: lanes pay off only when a check row fills
+    // them a few times over. Low-rate codes (degree ~6) stay on the
+    // branch-free scalar loop, which beats a 4-lane gather there; the
+    // wide rows of high-rate codes (degree ≥ 2 widths) go vector.
+    // Either path is bitwise identical, so the cutover is pure policy.
+    const bool use_vec = dsp::simd::vector_enabled() &&
+                         max_check_degree_ >= 2 * dsp::simd::kWidth;
     for (iter = 0; iter < max_iterations; ++iter) {
       for (std::size_t c = 0; c < m_; ++c) {
         const std::uint32_t e0 = check_offset_[c];
         const std::uint32_t e1 = check_offset_[c + 1];
+        const std::uint32_t deg = e1 - e0;
         double min1 = 1e300;
         double min2 = 1e300;
         std::uint32_t min_pos = 0;
         int sign_product = 1;
-        for (std::uint32_t e = e0; e < e1; ++e) {
-          const double msg = posterior[check_var_[e]] - c2v[e];
-          v2c[e - e0] = msg;
-          const double mag = std::abs(msg);
-          if (mag < min1) {
-            min2 = min1;
-            min1 = mag;
-            min_pos = e;
-          } else if (mag < min2) {
-            min2 = mag;
+        if (use_vec) {
+          using dsp::simd::DVec;
+          constexpr std::uint32_t W =
+              static_cast<std::uint32_t>(dsp::simd::kWidth);
+          // Message + magnitude sweep, a lane per edge. The subtraction,
+          // sign-bit-clear |x|, and < 0 test are the scalar ops lanewise,
+          // so v2c/magbuf hold bitwise-identical values. Sign parity
+          // accumulates as an XOR of lane masks (XOR preserves popcount
+          // parity), costing one popcount per check instead of one per
+          // block.
+          unsigned sign_mask = 0;
+          std::uint32_t e = e0;
+          for (; e + W <= e1; e += W) {
+            const DVec msg = dsp::simd::gather(posterior.data(),
+                                               &check_var_[e]) -
+                             DVec::load(&c2v[e]);
+            msg.store(&v2c[e - e0]);
+            dsp::simd::abs(msg).store(&magbuf[e - e0]);
+            sign_mask ^= dsp::simd::mask_lt(msg, DVec::splat(0.0));
           }
-          if (msg < 0.0) sign_product = -sign_product;
-        }
-        for (std::uint32_t e = e0; e < e1; ++e) {
-          const double mag = (e == min_pos ? min2 : min1) * normalization;
-          const double old = v2c[e - e0];
-          const int sign = old < 0.0 ? -sign_product : sign_product;
-          const double new_msg = sign * mag;
-          posterior[check_var_[e]] = old + new_msg;
-          c2v[e] = new_msg;
+          unsigned neg = static_cast<unsigned>(std::popcount(sign_mask));
+          for (; e < e1; ++e) {
+            const double msg = posterior[check_var_[e]] - c2v[e];
+            v2c[e - e0] = msg;
+            magbuf[e - e0] = std::abs(msg);
+            if (msg < 0.0) ++neg;
+          }
+          if (neg & 1u) sign_product = -1;
+          // The running two-minimum scan is a serial recurrence; walk the
+          // magnitude buffer in the scalar edge order (branch-free, same
+          // selections as the reference loop) so min_pos ties resolve
+          // identically.
+          for (std::uint32_t i = 0; i < deg; ++i) {
+            const double mag = magbuf[i];
+            const bool below = mag < min1;
+            const double runner_up = below ? min1 : mag;
+            min_pos = below ? e0 + i : min_pos;
+            min1 = below ? mag : min1;
+            min2 = runner_up < min2 ? runner_up : min2;
+          }
+          // Writeback: every edge gets ±min1*norm (a splat), and the one
+          // minimum edge is patched to ±min2*norm afterwards — its
+          // posterior is recomputed as old + msg from scratch, not
+          // incrementally, so the patch stays exact.
+          const double a1 = min1 * normalization;
+          const double a2 = min2 * normalization;
+          const DVec t1 = DVec::splat(sign_product < 0 ? -a1 : a1);
+          const DVec zero = DVec::splat(0.0);
+          e = e0;
+          for (; e + W <= e1; e += W) {
+            const DVec old = DVec::load(&v2c[e - e0]);
+            const DVec new_msg =
+                dsp::simd::select_gt(zero, old, dsp::simd::negate(t1), t1);
+            new_msg.store(&c2v[e]);
+            (old + new_msg).store(lane);
+            for (std::uint32_t w = 0; w < W; ++w) {
+              posterior[check_var_[e + w]] = lane[w];
+            }
+          }
+          for (; e < e1; ++e) {
+            const double old = v2c[e - e0];
+            const int sign = old < 0.0 ? -sign_product : sign_product;
+            const double new_msg = sign * a1;
+            posterior[check_var_[e]] = old + new_msg;
+            c2v[e] = new_msg;
+          }
+          {
+            const double old = v2c[min_pos - e0];
+            const int sign = old < 0.0 ? -sign_product : sign_product;
+            const double new_msg = sign * a2;
+            posterior[check_var_[min_pos]] = old + new_msg;
+            c2v[min_pos] = new_msg;
+          }
+        } else {
+          // Branch-free reference loop: the two-minimum recurrence and
+          // the sign handling are data-dependent coin flips, so they are
+          // written as exact selections (min/max/cmov, sign-bit XOR for
+          // the ±1 multiply) instead of branches. Every transformation
+          // picks between the same IEEE values the branching form would
+          // compute — bitwise identical, and what the vector path is
+          // held to.
+          unsigned neg = 0;
+          for (std::uint32_t e = e0; e < e1; ++e) {
+            const double msg = posterior[check_var_[e]] - c2v[e];
+            v2c[e - e0] = msg;
+            const double mag = std::abs(msg);
+            const bool below = mag < min1;
+            const double runner_up = below ? min1 : mag;
+            min_pos = below ? e : min_pos;
+            min1 = below ? mag : min1;
+            min2 = runner_up < min2 ? runner_up : min2;
+            neg += static_cast<unsigned>(msg < 0.0);
+          }
+          if (neg & 1u) sign_product = -1;
+          const double a1 = min1 * normalization;
+          const double a2 = min2 * normalization;
+          const std::uint64_t product_bit =
+              sign_product < 0 ? 0x8000000000000000ull : 0ull;
+          for (std::uint32_t e = e0; e < e1; ++e) {
+            const double mag = e == min_pos ? a2 : a1;
+            const double old = v2c[e - e0];
+            const std::uint64_t flip =
+                (old < 0.0 ? 0x8000000000000000ull : 0ull) ^ product_bit;
+            const double new_msg =
+                std::bit_cast<double>(std::bit_cast<std::uint64_t>(mag) ^ flip);
+            posterior[check_var_[e]] = old + new_msg;
+            c2v[e] = new_msg;
+          }
         }
       }
       if (syndrome_clean(posterior, check_offset_, check_var_, m_)) {
@@ -257,13 +371,19 @@ LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
     }
   }
 
-  DecodeResult result;
   result.parity_ok = ok;
   result.iterations = iter;
   result.info.resize(k_);
   for (std::size_t i = 0; i < k_; ++i) {
     result.info[i] = posterior[info_cols_[i]] < 0.0 ? 1 : 0;
   }
+}
+
+LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
+                                        int max_iterations,
+                                        double normalization) const {
+  DecodeResult result;
+  decode_into(llrs, max_iterations, normalization, result, tls_workspace());
   return result;
 }
 

@@ -16,6 +16,8 @@
 
 namespace wlan::phy {
 
+class Workspace;
+
 /// A binary LDPC code of length n with k information bits.
 class LdpcCode {
  public:
@@ -31,6 +33,9 @@ class LdpcCode {
   /// Systematically encodes k info bits into an n-bit codeword (info bits
   /// appear at the code's info positions; use the codeword as-is).
   Bits encode(std::span<const std::uint8_t> info) const;
+
+  /// As encode, resizing `codeword` (allocation-free once warm).
+  void encode_into(std::span<const std::uint8_t> info, Bits& codeword) const;
 
   /// Result of a decode attempt.
   struct DecodeResult {
@@ -48,6 +53,14 @@ class LdpcCode {
   /// blocks far fewer than `max_iterations`.
   DecodeResult decode(std::span<const double> llrs, int max_iterations = 40,
                       double normalization = 0.8) const;
+
+  /// As decode, leasing scratch (posterior, messages) from `ws` and
+  /// reusing `result.info`'s capacity — allocation-free once warm. Uses
+  /// the vectorized check-node update when the SIMD build is active;
+  /// bitwise identical to the scalar path either way.
+  void decode_into(std::span<const double> llrs, int max_iterations,
+                   double normalization, DecodeResult& result,
+                   Workspace& ws) const;
 
   /// True when the given full codeword satisfies every parity check
   /// (exposed for tests and property checks).

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "dsp/simd.h"
 
 namespace wlan::phy {
 namespace {
@@ -90,12 +91,13 @@ std::size_t bits_per_symbol(Modulation mod) {
   return 1;
 }
 
-CVec modulate(std::span<const std::uint8_t> bits, Modulation mod) {
+void modulate_to(std::span<const std::uint8_t> bits, Modulation mod,
+                 std::span<Cplx> out) {
   const std::size_t n_bpsc = bits_per_symbol(mod);
   check(bits.size() % n_bpsc == 0, "modulate: bits not a multiple of bits/symbol");
+  check(out.size() == bits.size() / n_bpsc, "modulate_to: output size mismatch");
   const AxisSpec spec = axis_spec(mod);
   const bool has_q = mod != Modulation::kBpsk;
-  CVec out(bits.size() / n_bpsc);
   for (std::size_t s = 0; s < out.size(); ++s) {
     const auto sym_bits = bits.subspan(s * n_bpsc, n_bpsc);
     const double i_val =
@@ -110,6 +112,17 @@ CVec modulate(std::span<const std::uint8_t> bits, Modulation mod) {
     }
     out[s] = {i_val, q_val};
   }
+}
+
+void modulate_into(std::span<const std::uint8_t> bits, Modulation mod,
+                   CVec& out) {
+  out.resize(bits.size() / bits_per_symbol(mod));
+  modulate_to(bits, mod, out);
+}
+
+CVec modulate(std::span<const std::uint8_t> bits, Modulation mod) {
+  CVec out(bits.size() / bits_per_symbol(mod));
+  modulate_to(bits, mod, out);
   return out;
 }
 
@@ -145,6 +158,93 @@ void demap_axis_llr(double y, int n, double norm, double sigma2_axis,
   }
 }
 
+// Per-modulation axis table for the vector demapper: scaled level values
+// and, per bit position, whether each level carries a 1. Precomputing the
+// level*norm product reproduces the scalar path's arithmetic exactly
+// (same two operands, same multiply).
+struct AxisTable {
+  std::array<double, 8> scaled;
+  std::array<std::array<std::uint8_t, 8>, 3> is_one;
+  int n;         // bits per axis
+  int n_levels;  // 1 << n
+};
+
+AxisTable make_axis_table(Modulation mod) {
+  const AxisSpec spec = axis_spec(mod);
+  std::span<const double> levels;
+  std::array<int, 8> pattern_of_level{};
+  axis_levels(spec.bits_per_axis, levels, pattern_of_level);
+  AxisTable t{};
+  t.n = spec.bits_per_axis;
+  t.n_levels = 1 << t.n;
+  for (int li = 0; li < t.n_levels; ++li) {
+    t.scaled[static_cast<std::size_t>(li)] =
+        levels[static_cast<std::size_t>(li)] * spec.norm;
+    const int pattern = pattern_of_level[static_cast<std::size_t>(li)];
+    for (int b = 0; b < t.n; ++b) {
+      t.is_one[static_cast<std::size_t>(b)][static_cast<std::size_t>(li)] =
+          static_cast<std::uint8_t>((pattern >> (t.n - 1 - b)) & 1);
+    }
+  }
+  return t;
+}
+
+const AxisTable& axis_table(Modulation mod) {
+  static const std::array<AxisTable, 4> tables = {
+      make_axis_table(Modulation::kBpsk), make_axis_table(Modulation::kQpsk),
+      make_axis_table(Modulation::kQam16), make_axis_table(Modulation::kQam64)};
+  return tables[static_cast<std::size_t>(mod)];
+}
+
+// Lane-per-symbol max-log demapper over one block of simd::kWidth
+// symbols. Each lane performs exactly the scalar per-symbol arithmetic
+// (max, div, sub, mul, min in the same operand order), so the output is
+// bitwise identical to demap_axis_llr.
+void demap_block_vec(const Cplx* symbols, const double* noise_variance,
+                     const AxisTable& t, bool has_q, std::size_t n_bpsc,
+                     double* out) {
+  using dsp::simd::DVec;
+  constexpr std::size_t W = dsp::simd::kWidth;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  double lane[W];
+  for (std::size_t w = 0; w < W; ++w) lane[w] = noise_variance[w];
+  const DVec sigma2 =
+      dsp::simd::max_with(DVec::load(lane), DVec::splat(1e-12)) /
+      DVec::splat(2.0);
+  const DVec inv = DVec::splat(1.0) / (DVec::splat(2.0) * sigma2);
+
+  const int axes = has_q ? 2 : 1;
+  for (int axis = 0; axis < axes; ++axis) {
+    for (std::size_t w = 0; w < W; ++w) {
+      lane[w] = axis == 0 ? symbols[w].real() : symbols[w].imag();
+    }
+    const DVec y = DVec::load(lane);
+    DVec d0[3] = {DVec::splat(kInf), DVec::splat(kInf), DVec::splat(kInf)};
+    DVec d1[3] = {DVec::splat(kInf), DVec::splat(kInf), DVec::splat(kInf)};
+    for (int li = 0; li < t.n_levels; ++li) {
+      const DVec diff = y - DVec::splat(t.scaled[static_cast<std::size_t>(li)]);
+      const DVec d = diff * diff;
+      for (int b = 0; b < t.n; ++b) {
+        auto& dst = t.is_one[static_cast<std::size_t>(b)]
+                            [static_cast<std::size_t>(li)]
+                        ? d1[b]
+                        : d0[b];
+        dst = dsp::simd::min_with(dst, d);
+      }
+    }
+    const std::size_t base = static_cast<std::size_t>(axis) *
+                             static_cast<std::size_t>(t.n);
+    for (int b = 0; b < t.n; ++b) {
+      const DVec llr = (d1[b] - d0[b]) * inv;
+      llr.store(lane);
+      for (std::size_t w = 0; w < W; ++w) {
+        out[w * n_bpsc + base + static_cast<std::size_t>(b)] = lane[w];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Bits demodulate_hard(std::span<const Cplx> symbols, Modulation mod) {
@@ -154,31 +254,74 @@ Bits demodulate_hard(std::span<const Cplx> symbols, Modulation mod) {
   return out;
 }
 
-RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
-                    std::span<const double> noise_variance) {
+void demodulate_llr_to(std::span<const Cplx> symbols, Modulation mod,
+                       std::span<const double> noise_variance,
+                       std::span<double> out) {
   check(noise_variance.size() == symbols.size(),
         "demodulate_llr: per-symbol noise variance size mismatch");
   const std::size_t n_bpsc = bits_per_symbol(mod);
+  check(out.size() == symbols.size() * n_bpsc,
+        "demodulate_llr_to: output size mismatch");
   const AxisSpec spec = axis_spec(mod);
   const bool has_q = mod != Modulation::kBpsk;
-  RVec llrs(symbols.size() * n_bpsc);
-  for (std::size_t s = 0; s < symbols.size(); ++s) {
-    const double sigma2_axis = std::max(noise_variance[s], 1e-12) / 2.0;
-    double* out = &llrs[s * n_bpsc];
-    demap_axis_llr(symbols[s].real(), spec.bits_per_axis, spec.norm, sigma2_axis,
-                   out);
-    if (has_q) {
-      demap_axis_llr(symbols[s].imag(), spec.bits_per_axis, spec.norm,
-                     sigma2_axis, out + spec.bits_per_axis);
+
+  std::size_t s = 0;
+  if (dsp::simd::vector_enabled()) {
+    constexpr std::size_t W = dsp::simd::kWidth;
+    const AxisTable& table = axis_table(mod);
+    for (; s + W <= symbols.size(); s += W) {
+      demap_block_vec(symbols.data() + s, noise_variance.data() + s, table,
+                      has_q, n_bpsc, out.data() + s * n_bpsc);
     }
   }
+  for (; s < symbols.size(); ++s) {
+    const double sigma2_axis = std::max(noise_variance[s], 1e-12) / 2.0;
+    double* dst = &out[s * n_bpsc];
+    demap_axis_llr(symbols[s].real(), spec.bits_per_axis, spec.norm,
+                   sigma2_axis, dst);
+    if (has_q) {
+      demap_axis_llr(symbols[s].imag(), spec.bits_per_axis, spec.norm,
+                     sigma2_axis, dst + spec.bits_per_axis);
+    }
+  }
+}
+
+void demodulate_llr_to(std::span<const Cplx> symbols, Modulation mod,
+                       double noise_variance, std::span<double> out) {
+  const std::size_t n_bpsc = bits_per_symbol(mod);
+  check(out.size() == symbols.size() * n_bpsc,
+        "demodulate_llr_to: output size mismatch");
+  // Feed the per-symbol core from a fixed-size splat buffer so the shared
+  // noise variance stays allocation-free.
+  constexpr std::size_t kChunk = 64;
+  std::array<double, kChunk> nv;
+  nv.fill(noise_variance);
+  for (std::size_t s = 0; s < symbols.size(); s += kChunk) {
+    const std::size_t n = std::min(kChunk, symbols.size() - s);
+    demodulate_llr_to(symbols.subspan(s, n), mod,
+                      std::span<const double>(nv.data(), n),
+                      out.subspan(s * n_bpsc, n * n_bpsc));
+  }
+}
+
+void demodulate_llr_into(std::span<const Cplx> symbols, Modulation mod,
+                         std::span<const double> noise_variance, RVec& out) {
+  out.resize(symbols.size() * bits_per_symbol(mod));
+  demodulate_llr_to(symbols, mod, noise_variance, out);
+}
+
+RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
+                    std::span<const double> noise_variance) {
+  RVec llrs(symbols.size() * bits_per_symbol(mod));
+  demodulate_llr_to(symbols, mod, noise_variance, llrs);
   return llrs;
 }
 
 RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
                     double noise_variance) {
-  const RVec nv(symbols.size(), noise_variance);
-  return demodulate_llr(symbols, mod, nv);
+  RVec llrs(symbols.size() * bits_per_symbol(mod));
+  demodulate_llr_to(symbols, mod, noise_variance, llrs);
+  return llrs;
 }
 
 namespace {

@@ -17,6 +17,16 @@ enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
 /// Coded bits carried per modulated symbol (N_BPSC).
 std::size_t bits_per_symbol(Modulation mod);
 
+/// Maps bits to unit-average-energy constellation points into `out`,
+/// which must hold bits.size() / bits_per_symbol(mod) symbols.
+void modulate_to(std::span<const std::uint8_t> bits, Modulation mod,
+                 std::span<Cplx> out);
+
+/// As modulate_to, resizing `out` (capacity-retaining; allocation-free
+/// once warm).
+void modulate_into(std::span<const std::uint8_t> bits, Modulation mod,
+                   CVec& out);
+
 /// Maps bits to unit-average-energy constellation points. Size must be a
 /// multiple of bits_per_symbol(mod).
 CVec modulate(std::span<const std::uint8_t> bits, Modulation mod);
@@ -24,9 +34,25 @@ CVec modulate(std::span<const std::uint8_t> bits, Modulation mod);
 /// Hard-decision demapping back to bits.
 Bits demodulate_hard(std::span<const Cplx> symbols, Modulation mod);
 
-/// Max-log LLRs for each coded bit. `noise_variance` is the complex noise
-/// variance per symbol (E[|n|^2]); per-symbol values allow per-subcarrier
-/// CSI weighting. Positive LLR means bit 0 is more likely.
+/// Max-log LLRs for each coded bit, written into `out` (which must hold
+/// symbols.size() * bits_per_symbol(mod) values). `noise_variance` is the
+/// complex noise variance per symbol (E[|n|^2]); per-symbol values allow
+/// per-subcarrier CSI weighting. Positive LLR means bit 0 is more likely.
+/// Vectorized lane-per-symbol when the SIMD build is active; bitwise
+/// identical to the scalar path either way.
+void demodulate_llr_to(std::span<const Cplx> symbols, Modulation mod,
+                       std::span<const double> noise_variance,
+                       std::span<double> out);
+
+/// Shared-noise-variance variant of demodulate_llr_to.
+void demodulate_llr_to(std::span<const Cplx> symbols, Modulation mod,
+                       double noise_variance, std::span<double> out);
+
+/// As demodulate_llr_to, resizing `out` (allocation-free once warm).
+void demodulate_llr_into(std::span<const Cplx> symbols, Modulation mod,
+                         std::span<const double> noise_variance, RVec& out);
+
+/// Allocating wrappers over demodulate_llr_to.
 RVec demodulate_llr(std::span<const Cplx> symbols, Modulation mod,
                     std::span<const double> noise_variance);
 

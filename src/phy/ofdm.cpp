@@ -9,6 +9,7 @@
 #include "obs/probe.h"
 #include "phy/interleaver.h"
 #include "phy/scrambler.h"
+#include "phy/workspace.h"
 
 namespace wlan::phy {
 namespace {
@@ -78,71 +79,111 @@ const std::vector<double>& ofdm_pilot_polarity() {
   return polarity;
 }
 
-CVec ofdm_build_symbol(std::span<const Cplx> data_tones, double pilot_polarity) {
+void ofdm_build_symbol_to(std::span<const Cplx> data_tones,
+                          double pilot_polarity, std::span<Cplx> out) {
   check(data_tones.size() == OfdmPhy::kDataTones,
         "ofdm_build_symbol requires 48 data-tone values");
+  check(out.size() == OfdmPhy::kSymbolLen,
+        "ofdm_build_symbol_to requires an 80-sample output");
   const auto& tones = ofdm_data_tones();
-  CVec freq(OfdmPhy::kNfft, Cplx{0.0, 0.0});
+  // Assemble the frequency grid in the tail 64 samples of the output,
+  // run the IFFT in place there, then copy the cyclic prefix in front —
+  // no scratch buffer at all.
+  const std::span<Cplx> freq = out.subspan(OfdmPhy::kCpLen, OfdmPhy::kNfft);
+  std::fill(freq.begin(), freq.end(), Cplx{0.0, 0.0});
   for (std::size_t t = 0; t < OfdmPhy::kDataTones; ++t) {
     freq[ofdm_tone_bin(tones[t])] = data_tones[t];
   }
   for (std::size_t t = 0; t < kPilotTones.size(); ++t) {
     freq[ofdm_tone_bin(kPilotTones[t])] = pilot_polarity * kPilotValues[t];
   }
-  CVec time = dsp::ifft(std::move(freq));
-  CVec out;
-  out.reserve(OfdmPhy::kSymbolLen);
+  dsp::ifft_inplace(freq);
   for (std::size_t i = 0; i < OfdmPhy::kCpLen; ++i) {
-    out.push_back(time[OfdmPhy::kNfft - OfdmPhy::kCpLen + i]);
+    out[i] = freq[OfdmPhy::kNfft - OfdmPhy::kCpLen + i];
   }
-  out.insert(out.end(), time.begin(), time.end());
+}
+
+CVec ofdm_build_symbol(std::span<const Cplx> data_tones, double pilot_polarity) {
+  CVec out(OfdmPhy::kSymbolLen);
+  ofdm_build_symbol_to(data_tones, pilot_polarity, out);
   return out;
 }
 
-CVec ofdm_ltf_waveform() {
-  CVec freq(OfdmPhy::kNfft, Cplx{0.0, 0.0});
-  for (int k = -26; k <= 26; ++k) {
-    freq[ofdm_tone_bin(k)] =
-        static_cast<double>(kLtfSequence[static_cast<std::size_t>(k + 26)]);
-  }
-  CVec time = dsp::ifft(std::move(freq));
-  CVec out;
-  out.reserve(2 * OfdmPhy::kSymbolLen);
-  for (int rep = 0; rep < 2; ++rep) {
-    for (std::size_t i = 0; i < OfdmPhy::kCpLen; ++i) {
-      out.push_back(time[OfdmPhy::kNfft - OfdmPhy::kCpLen + i]);
+const CVec& ofdm_ltf_waveform() {
+  static const CVec waveform = [] {
+    CVec time(OfdmPhy::kNfft, Cplx{0.0, 0.0});
+    for (int k = -26; k <= 26; ++k) {
+      time[ofdm_tone_bin(k)] =
+          static_cast<double>(kLtfSequence[static_cast<std::size_t>(k + 26)]);
     }
-    out.insert(out.end(), time.begin(), time.end());
-  }
-  return out;
+    dsp::ifft_inplace(time);
+    CVec out(2 * OfdmPhy::kSymbolLen);
+    std::size_t w = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      for (std::size_t i = 0; i < OfdmPhy::kCpLen; ++i) {
+        out[w++] = time[OfdmPhy::kNfft - OfdmPhy::kCpLen + i];
+      }
+      for (std::size_t i = 0; i < OfdmPhy::kNfft; ++i) out[w++] = time[i];
+    }
+    return out;
+  }();
+  return waveform;
 }
 
-CVec ofdm_extract_symbol(std::span<const Cplx> samples, std::size_t index) {
+void ofdm_extract_symbol_to(std::span<const Cplx> samples, std::size_t index,
+                            std::span<Cplx> out) {
   const std::size_t start = index * OfdmPhy::kSymbolLen + OfdmPhy::kCpLen;
   check(start + OfdmPhy::kNfft <= samples.size(),
         "ofdm_extract_symbol: waveform too short");
-  CVec time(OfdmPhy::kNfft);
+  check(out.size() == OfdmPhy::kNfft,
+        "ofdm_extract_symbol_to requires a 64-bin output");
   std::copy(samples.begin() + static_cast<std::ptrdiff_t>(start),
             samples.begin() + static_cast<std::ptrdiff_t>(start + OfdmPhy::kNfft),
-            time.begin());
-  return dsp::fft(std::move(time));
+            out.begin());
+  dsp::fft_inplace(out);
 }
 
-CVec ofdm_estimate_channel(std::span<const Cplx> samples) {
-  const CVec ltf1 = ofdm_extract_symbol(samples, 0);
-  const CVec ltf2 = ofdm_extract_symbol(samples, 1);
-  CVec h(OfdmPhy::kNfft, Cplx{1.0, 0.0});
+CVec ofdm_extract_symbol(std::span<const Cplx> samples, std::size_t index) {
+  CVec out(OfdmPhy::kNfft);
+  ofdm_extract_symbol_to(samples, index, out);
+  return out;
+}
+
+void ofdm_estimate_channel_to(std::span<const Cplx> samples,
+                              std::span<Cplx> out, Workspace& ws) {
+  check(out.size() == OfdmPhy::kNfft,
+        "ofdm_estimate_channel_to requires a 64-bin output");
+  auto ltf1_lease = ws.cvec(OfdmPhy::kNfft);
+  auto ltf2_lease = ws.cvec(OfdmPhy::kNfft);
+  CVec& ltf1 = *ltf1_lease;
+  CVec& ltf2 = *ltf2_lease;
+  ofdm_extract_symbol_to(samples, 0, ltf1);
+  ofdm_extract_symbol_to(samples, 1, ltf2);
+  std::fill(out.begin(), out.end(), Cplx{1.0, 0.0});
   for (int k = -26; k <= 26; ++k) {
     if (k == 0) continue;
     const double ref =
         static_cast<double>(kLtfSequence[static_cast<std::size_t>(k + 26)]);
     const std::size_t bin = ofdm_tone_bin(k);
-    h[bin] = (ltf1[bin] + ltf2[bin]) / (2.0 * ref);
+    out[bin] = (ltf1[bin] + ltf2[bin]) / (2.0 * ref);
   }
+}
+
+CVec ofdm_estimate_channel(std::span<const Cplx> samples) {
+  CVec h(OfdmPhy::kNfft);
+  ofdm_estimate_channel_to(samples, h, tls_workspace());
   return h;
 }
 
-OfdmPhy::OfdmPhy(OfdmMcs mcs) : mcs_(mcs), info_(&ofdm_mcs_info(mcs)) {}
+OfdmPhy::OfdmPhy(OfdmMcs mcs)
+    : mcs_(mcs),
+      info_(&ofdm_mcs_info(mcs)),
+      interleaver_(std::make_unique<Interleaver>(info_->n_cbps,
+                                                 info_->n_bpsc)) {}
+
+OfdmPhy::~OfdmPhy() = default;
+
+OfdmPhy::OfdmPhy(const OfdmPhy& other) : OfdmPhy(other.mcs_) {}
 
 std::size_t OfdmPhy::n_symbols_for_psdu(std::size_t psdu_bytes) const {
   const std::size_t payload_bits = kServiceBits + 8 * psdu_bytes + kTailBits;
@@ -159,12 +200,15 @@ std::size_t OfdmPhy::waveform_length(std::size_t psdu_bytes) const {
   return (kLtfSymbols + n_symbols_for_psdu(psdu_bytes)) * kSymbolLen;
 }
 
-CVec OfdmPhy::transmit(std::span<const std::uint8_t> psdu) const {
+void OfdmPhy::transmit_into(std::span<const std::uint8_t> psdu, CVec& out,
+                            Workspace& ws) const {
   const std::size_t n_sym = n_symbols_for_psdu(psdu.size());
   const std::size_t n_data_bits = n_sym * info_->n_dbps;
 
   // SERVICE (zeros) + PSDU + tail + pad.
-  Bits data(n_data_bits, 0);
+  auto data_lease = ws.bits(n_data_bits);
+  Bits& data = *data_lease;
+  std::fill(data.begin(), data.end(), 0);
   {
     std::size_t pos = kServiceBits;
     for (const std::uint8_t byte : psdu) {
@@ -173,56 +217,78 @@ CVec OfdmPhy::transmit(std::span<const std::uint8_t> psdu) const {
       }
     }
   }
-  Bits scrambled = scramble(data, kScramblerSeed);
+  // Scramble in place (scramble_to is alias-safe).
+  scramble_to(data, kScramblerSeed, data);
   // Only the 6 tail bits are forced back to zero after scrambling (17.3.5.3):
   // the encoder passes through state 0 right after them, and the pad bits
   // stay scrambled (this matters for the waveform's PAPR statistics).
   const std::size_t tail_pos = kServiceBits + 8 * psdu.size();
-  for (std::size_t i = 0; i < kTailBits; ++i) scrambled[tail_pos + i] = 0;
+  for (std::size_t i = 0; i < kTailBits; ++i) data[tail_pos + i] = 0;
 
-  const Bits coded = puncture(convolutional_encode(scrambled), info_->rate);
+  auto encoded_lease = ws.bits(2 * n_data_bits);
+  auto coded_lease = ws.bits(0);
+  Bits& encoded = *encoded_lease;
+  Bits& coded = *coded_lease;
+  convolutional_encode_into(data, encoded);
+  puncture_into(encoded, info_->rate, coded);
   check(coded.size() == n_sym * info_->n_cbps, "OFDM TX coded length mismatch");
 
-  const Interleaver interleaver(info_->n_cbps, info_->n_bpsc);
   const auto& polarity = ofdm_pilot_polarity();
 
-  CVec out;
-  out.reserve(waveform_length(psdu.size()));
-  const CVec ltf = ofdm_ltf_waveform();
-  out.insert(out.end(), ltf.begin(), ltf.end());
+  out.resize(waveform_length(psdu.size()));
+  const CVec& ltf = ofdm_ltf_waveform();
+  std::copy(ltf.begin(), ltf.end(), out.begin());
 
+  auto inter_lease = ws.bits(info_->n_cbps);
+  auto symbols_lease = ws.cvec(kDataTones);
+  Bits& inter = *inter_lease;
+  CVec& symbols = *symbols_lease;
   for (std::size_t s = 0; s < n_sym; ++s) {
-    const Bits inter = interleaver.interleave(
-        std::span(coded).subspan(s * info_->n_cbps, info_->n_cbps));
-    const CVec symbols = modulate(inter, info_->mod);
-    const CVec sym = ofdm_build_symbol(symbols, polarity[s % polarity.size()]);
-    out.insert(out.end(), sym.begin(), sym.end());
+    interleaver_->interleave_to(
+        std::span(coded).subspan(s * info_->n_cbps, info_->n_cbps), inter);
+    modulate_to(inter, info_->mod, symbols);
+    ofdm_build_symbol_to(
+        symbols, polarity[s % polarity.size()],
+        std::span(out).subspan((kLtfSymbols + s) * kSymbolLen, kSymbolLen));
   }
+}
+
+CVec OfdmPhy::transmit(std::span<const std::uint8_t> psdu) const {
+  CVec out;
+  transmit_into(psdu, out, tls_workspace());
   return out;
 }
 
-Bytes OfdmPhy::receive(std::span<const Cplx> samples, std::size_t psdu_bytes,
-                       double noise_variance) const {
+void OfdmPhy::receive_into(std::span<const Cplx> samples,
+                           std::size_t psdu_bytes, double noise_variance,
+                           Bytes& psdu, Workspace& ws) const {
   const std::size_t n_sym = n_symbols_for_psdu(psdu_bytes);
   check(samples.size() >= (kLtfSymbols + n_sym) * kSymbolLen,
         "OFDM receive: waveform too short");
 
-  const CVec h = ofdm_estimate_channel(samples);
+  auto h_lease = ws.cvec(kNfft);
+  const CVec& h = *h_lease;
+  ofdm_estimate_channel_to(samples, *h_lease, ws);
 
   // Noise variance per FFT bin (unnormalized forward FFT). The LTF average
   // halves estimation noise; treat the estimate as exact for LLR purposes.
   const double bin_noise = noise_variance * static_cast<double>(kNfft);
 
-  const Interleaver interleaver(info_->n_cbps, info_->n_bpsc);
   const auto& tones = ofdm_data_tones();
 
-  RVec all_llrs;
-  all_llrs.reserve(n_sym * info_->n_cbps);
-  CVec eq(kDataTones);
-  RVec nv(kDataTones);
+  auto all_llrs_lease = ws.rvec(n_sym * info_->n_cbps);
+  auto freq_lease = ws.cvec(kNfft);
+  auto eq_lease = ws.cvec(kDataTones);
+  auto nv_lease = ws.rvec(kDataTones);
+  auto llrs_lease = ws.rvec(info_->n_cbps);
+  RVec& all_llrs = *all_llrs_lease;
+  CVec& freq = *freq_lease;
+  CVec& eq = *eq_lease;
+  RVec& nv = *nv_lease;
+  RVec& llrs = *llrs_lease;
   const auto& polarity = ofdm_pilot_polarity();
   for (std::size_t s = 0; s < n_sym; ++s) {
-    const CVec freq = ofdm_extract_symbol(samples, kLtfSymbols + s);
+    ofdm_extract_symbol_to(samples, kLtfSymbols + s, freq);
     // Pilot-based common phase error tracking: residual CFO or phase
     // noise rotates every tone of a symbol equally; the four pilots
     // measure the rotation and the equalizer removes it.
@@ -257,30 +323,41 @@ Bytes OfdmPhy::receive(std::span<const Cplx> samples, std::size_t psdu_bytes,
         p->record(lin_to_db(1.0 / nv[t]));
       }
     }
-    const RVec llrs = demodulate_llr(eq, info_->mod, nv);
+    demodulate_llr_to(eq, info_->mod, nv, llrs);
     if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kOfdmLlrAbs)) {
       for (const double l : llrs) p->record(std::abs(l));
     }
-    const RVec deinter = interleaver.deinterleave(llrs);
-    all_llrs.insert(all_llrs.end(), deinter.begin(), deinter.end());
+    interleaver_->deinterleave_to(
+        llrs, std::span(all_llrs).subspan(s * info_->n_cbps, info_->n_cbps));
   }
 
   const std::size_t n_info = n_sym * info_->n_dbps;
-  RVec unpunctured = depuncture(all_llrs, info_->rate, n_info);
+  auto unpunctured_lease = ws.rvec(0);
+  RVec& unpunctured = *unpunctured_lease;
+  depuncture_into(all_llrs, info_->rate, n_info, unpunctured);
   // The encoder is in state 0 immediately after the tail bits, so decode
   // exactly the service + PSDU + tail prefix with a terminated trellis and
   // ignore the (scrambled, random) pad bits.
   const std::size_t decoded_bits = kServiceBits + 8 * psdu_bytes + kTailBits;
   unpunctured.resize(2 * decoded_bits);
-  const Bits decoded = viterbi_decode(unpunctured, /*terminated=*/true);
-  const Bits descrambled = scramble(decoded, kScramblerSeed);
+  auto decoded_lease = ws.bits(0);
+  Bits& decoded = *decoded_lease;
+  viterbi_decode_into(unpunctured, /*terminated=*/true, decoded, ws);
+  // Descramble in place.
+  scramble_to(decoded, kScramblerSeed, decoded);
 
-  Bytes psdu(psdu_bytes, 0);
+  psdu.assign(psdu_bytes, 0);
   for (std::size_t i = 0; i < 8 * psdu_bytes; ++i) {
-    if (descrambled[kServiceBits + i] & 1u) {
+    if (decoded[kServiceBits + i] & 1u) {
       psdu[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
     }
   }
+}
+
+Bytes OfdmPhy::receive(std::span<const Cplx> samples, std::size_t psdu_bytes,
+                       double noise_variance) const {
+  Bytes psdu;
+  receive_into(samples, psdu_bytes, noise_variance, psdu, tls_workspace());
   return psdu;
 }
 

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
 #include <span>
 
 #include "common/types.h"
@@ -18,6 +19,9 @@
 #include "phy/modulation.h"
 
 namespace wlan::phy {
+
+class Interleaver;
+class Workspace;
 
 /// The eight 802.11a rates.
 enum class OfdmMcs {
@@ -59,6 +63,9 @@ class OfdmPhy {
   static constexpr double kChannelWidthHz = 20e6;
 
   explicit OfdmPhy(OfdmMcs mcs);
+  ~OfdmPhy();
+  OfdmPhy(const OfdmPhy&);
+  OfdmPhy& operator=(const OfdmPhy&) = delete;
 
   OfdmMcs mcs() const { return mcs_; }
   const OfdmMcsInfo& info() const { return *info_; }
@@ -72,6 +79,11 @@ class OfdmPhy {
   /// Builds the baseband waveform: 2 LTF symbols + data field.
   CVec transmit(std::span<const std::uint8_t> psdu) const;
 
+  /// As transmit, resizing `out` and leasing all scratch from `ws` —
+  /// allocation-free once warm.
+  void transmit_into(std::span<const std::uint8_t> psdu, CVec& out,
+                     Workspace& ws) const;
+
   /// Demodulates and decodes a received waveform.
   /// `noise_variance` is the complex AWGN variance per time-domain sample
   /// the receiver assumes for LLR scaling (pass what the channel added).
@@ -79,12 +91,20 @@ class OfdmPhy {
   Bytes receive(std::span<const Cplx> samples, std::size_t psdu_bytes,
                 double noise_variance) const;
 
+  /// As receive, resizing `psdu` and leasing all scratch from `ws` —
+  /// allocation-free once warm.
+  void receive_into(std::span<const Cplx> samples, std::size_t psdu_bytes,
+                    double noise_variance, Bytes& psdu, Workspace& ws) const;
+
   /// Number of baseband samples in a transmit() waveform.
   std::size_t waveform_length(std::size_t psdu_bytes) const;
 
  private:
   OfdmMcs mcs_;
   const OfdmMcsInfo* info_;
+  // Owned via pointer so the public header stays free of interleaver.h;
+  // built once per modem instead of once per transmit/receive call.
+  std::unique_ptr<Interleaver> interleaver_;
 };
 
 // ---------------------------------------------------------------------------
@@ -102,17 +122,34 @@ std::size_t ofdm_tone_bin(int tone);
 /// data-tone values; pilots carry {+1,+1,+1,-1} x `pilot_polarity`.
 CVec ofdm_build_symbol(std::span<const Cplx> data_tones, double pilot_polarity);
 
+/// As ofdm_build_symbol, writing the 80 samples into `out` with no
+/// scratch: the IFFT runs in place on the tail 64 samples of `out` and
+/// the cyclic prefix is copied from them.
+void ofdm_build_symbol_to(std::span<const Cplx> data_tones,
+                          double pilot_polarity, std::span<Cplx> out);
+
 /// The 127-periodic pilot polarity sequence p_n.
 const std::vector<double>& ofdm_pilot_polarity();
 
-/// Two LTF training symbols (160 samples).
-CVec ofdm_ltf_waveform();
+/// Two LTF training symbols (160 samples). Built once per process and
+/// cached; callers copy from the reference.
+const CVec& ofdm_ltf_waveform();
 
 /// FFT of OFDM symbol `index` of a waveform (CP stripped, 64 bins).
 CVec ofdm_extract_symbol(std::span<const Cplx> samples, std::size_t index);
 
+/// As ofdm_extract_symbol, writing the 64 bins into caller-provided
+/// `out` (the FFT runs in place on it).
+void ofdm_extract_symbol_to(std::span<const Cplx> samples, std::size_t index,
+                            std::span<Cplx> out);
+
 /// Least-squares per-bin channel estimate from the two leading LTF
 /// symbols of a waveform.
 CVec ofdm_estimate_channel(std::span<const Cplx> samples);
+
+/// As ofdm_estimate_channel, writing the 64-bin estimate into `out`,
+/// leasing LTF scratch from `ws`.
+void ofdm_estimate_channel_to(std::span<const Cplx> samples,
+                              std::span<Cplx> out, Workspace& ws);
 
 }  // namespace wlan::phy

@@ -4,10 +4,11 @@
 
 namespace wlan::phy {
 
-Bits scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
+void scramble_to(std::span<const std::uint8_t> bits, std::uint8_t seed,
+                 std::span<std::uint8_t> out) {
   check((seed & 0x7Fu) != 0, "scrambler seed must be a nonzero 7-bit value");
+  check(out.size() == bits.size(), "scramble output size mismatch");
   std::uint8_t state = seed & 0x7Fu;  // bits x1..x7 in LSBs
-  Bits out(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) {
     // Feedback bit = x7 xor x4 (bit 6 and bit 3 of the register).
     const std::uint8_t fb =
@@ -15,6 +16,11 @@ Bits scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
     out[i] = static_cast<std::uint8_t>((bits[i] ^ fb) & 1u);
     state = static_cast<std::uint8_t>(((state << 1) | fb) & 0x7Fu);
   }
+}
+
+Bits scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
+  Bits out(bits.size());
+  scramble_to(bits, seed, out);
   return out;
 }
 

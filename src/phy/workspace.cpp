@@ -1,0 +1,42 @@
+#include "phy/workspace.h"
+
+#include "obs/metrics.h"
+
+namespace wlan::phy {
+
+namespace {
+
+template <class T>
+void publish_one(const detail::Pool<T>& pool, const char* name,
+                 obs::Registry& registry) {
+  registry
+      .gauge("workspace.slots", {{std::string("pool"), std::string(name)}})
+      .set(static_cast<double>(pool.slot_count()));
+  registry
+      .gauge("workspace.high_water", {{std::string("pool"), std::string(name)}})
+      .set(static_cast<double>(pool.live_high_water()));
+  registry
+      .gauge("workspace.bytes", {{std::string("pool"), std::string(name)}})
+      .set(static_cast<double>(pool.capacity_bytes()));
+}
+
+}  // namespace
+
+void Workspace::publish(obs::Registry& registry) const {
+  publish_one(cplx_, "cvec", registry);
+  publish_one(real_, "rvec", registry);
+  publish_one(byte_, "bits", registry);
+  publish_one(u64_, "u64", registry);
+}
+
+std::size_t Workspace::capacity_bytes() const {
+  return cplx_.capacity_bytes() + real_.capacity_bytes() +
+         byte_.capacity_bytes() + u64_.capacity_bytes();
+}
+
+Workspace& tls_workspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace wlan::phy

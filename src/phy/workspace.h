@@ -1,0 +1,160 @@
+// Per-thread scratch-buffer arena for the PHY hot path.
+//
+// A Monte-Carlo trial walks TX -> channel -> RX and historically built a
+// fresh vector at every stage (symbols, LLRs, survivor masks, decoder
+// state). `Workspace` replaces that churn with typed pools of reusable
+// vectors: a kernel leases a buffer for the duration of a scope, the
+// lease returns it to the pool on destruction, and the vector keeps its
+// capacity — so after the first (warm-up) trial the steady state
+// performs zero heap allocations. `test_workspace.cpp` pins that down
+// with a global operator-new counter.
+//
+// Ownership rules (documented in DESIGN.md "Performance"):
+//  - A Workspace is single-threaded. Hot paths use `tls_workspace()`,
+//    one arena per thread, so parallel sweeps never share buffers.
+//  - A lease is move-only and scope-bound; never store leased spans
+//    beyond the lease. Release order may be arbitrary (free-list pool),
+//    though stack order is the norm.
+//  - Leased buffers are sized but NOT cleared: every kernel writes
+//    before it reads. Functions that need zeros ask for them explicitly.
+//  - Capacity is never returned to the allocator; `publish` reports the
+//    high-water footprint through the obs Registry so benches can see
+//    what the arena holds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wlan::obs {
+class Registry;
+}  // namespace wlan::obs
+
+namespace wlan::phy {
+
+class Workspace;
+
+namespace detail {
+
+/// Free-list pool of std::vector<T> slots. Slots live behind unique_ptr
+/// so outstanding leases stay valid while the slot table itself grows.
+template <class T>
+class Pool {
+ public:
+  std::pair<std::vector<T>*, std::uint32_t> acquire() {
+    if (free_.empty()) {
+      slots_.push_back(std::make_unique<std::vector<T>>());
+      const auto idx = static_cast<std::uint32_t>(slots_.size() - 1);
+      ++live_;
+      if (live_ > live_high_water_) live_high_water_ = live_;
+      return {slots_.back().get(), idx};
+    }
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    ++live_;
+    if (live_ > live_high_water_) live_high_water_ = live_;
+    return {slots_[idx].get(), idx};
+  }
+
+  void release(std::uint32_t idx) {
+    free_.push_back(idx);
+    --live_;
+  }
+
+  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t live_high_water() const { return live_high_water_; }
+  std::size_t capacity_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& s : slots_) bytes += s->capacity() * sizeof(T);
+    return bytes;
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<T>>> slots_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+  std::size_t live_high_water_ = 0;
+};
+
+}  // namespace detail
+
+/// Move-only handle to one pooled vector; returns it on destruction.
+/// Dereferences to the underlying std::vector<T>.
+template <class T>
+class Lease {
+ public:
+  Lease(detail::Pool<T>* pool, std::vector<T>* vec, std::uint32_t idx)
+      : pool_(pool), vec_(vec), idx_(idx) {}
+  Lease(Lease&& o) noexcept : pool_(o.pool_), vec_(o.vec_), idx_(o.idx_) {
+    o.pool_ = nullptr;
+  }
+  Lease& operator=(Lease&& o) noexcept {
+    if (this != &o) {
+      reset();
+      pool_ = o.pool_;
+      vec_ = o.vec_;
+      idx_ = o.idx_;
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease() { reset(); }
+
+  std::vector<T>& operator*() const { return *vec_; }
+  std::vector<T>* operator->() const { return vec_; }
+  std::vector<T>& get() const { return *vec_; }
+
+ private:
+  void reset() {
+    if (pool_) pool_->release(idx_);
+    pool_ = nullptr;
+  }
+
+  detail::Pool<T>* pool_;
+  std::vector<T>* vec_;
+  std::uint32_t idx_;
+};
+
+/// Arena of reusable scratch vectors; see file comment for the rules.
+class Workspace {
+ public:
+  /// Leases a buffer resized to n elements. Contents are unspecified
+  /// (old data or default-inits) — callers must write before reading.
+  Lease<Cplx> cvec(std::size_t n) { return lease(cplx_, n); }
+  Lease<double> rvec(std::size_t n) { return lease(real_, n); }
+  Lease<std::uint8_t> bits(std::size_t n) { return lease(byte_, n); }
+  Lease<std::uint64_t> u64(std::size_t n) { return lease(u64_, n); }
+
+  /// Publishes slot counts, live high-water marks, and retained capacity
+  /// bytes as gauges named workspace.<pool>.{slots,high_water,bytes}.
+  void publish(obs::Registry& registry) const;
+
+  /// Total capacity retained across all pools, in bytes.
+  std::size_t capacity_bytes() const;
+
+ private:
+  template <class T>
+  Lease<T> lease(detail::Pool<T>& pool, std::size_t n) {
+    auto [vec, idx] = pool.acquire();
+    vec->resize(n);
+    return Lease<T>(&pool, vec, idx);
+  }
+
+  detail::Pool<Cplx> cplx_;
+  detail::Pool<double> real_;
+  detail::Pool<std::uint8_t> byte_;
+  detail::Pool<std::uint64_t> u64_;
+
+  friend void publish_pool_stats(const Workspace&, obs::Registry&);
+};
+
+/// The calling thread's arena. Hot-path entry points that do not take an
+/// explicit Workspace parameter lease from this one.
+Workspace& tls_workspace();
+
+}  // namespace wlan::phy

@@ -1,0 +1,16 @@
+// Global operator-new counter for allocation tests (tests only).
+//
+// Linking `support/alloc_hook.cpp` into a test binary replaces the global
+// allocation functions with counting wrappers over malloc/free. Tests
+// snapshot `allocation_count()` around a region and assert on the delta;
+// the counter is process-wide and monotonic.
+#pragma once
+
+#include <cstddef>
+
+namespace testsupport {
+
+/// Number of global operator-new (all variants) calls since process start.
+std::size_t allocation_count() noexcept;
+
+}  // namespace testsupport

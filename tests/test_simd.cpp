@@ -1,0 +1,171 @@
+// Bitwise scalar-vs-SIMD equality for the vectorized kernels.
+//
+// The SIMD layer's contract (dsp/simd.h) is that every vector lane
+// performs exactly the scalar per-element IEEE-754 operations, so
+// toggling `set_vector_enabled` must not change a single output bit.
+// These tests run each kernel both ways on the same input and compare
+// results through std::bit_cast — exact equality including signed
+// zeros, not an epsilon. In a -DHOLTWLAN_SIMD=OFF build the toggle is
+// forced off and both runs take the scalar path; the tests then pass
+// trivially, keeping one test list for both build flavours.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dsp/simd.h"
+#include "phy/convolutional.h"
+#include "phy/ldpc.h"
+#include "phy/modulation.h"
+#include "phy/workspace.h"
+
+namespace wlan {
+namespace {
+
+// Forces the vector path on or off for the duration of a scope.
+class ScopedVector {
+ public:
+  explicit ScopedVector(bool enabled)
+      : saved_(dsp::simd::vector_enabled()) {
+    dsp::simd::set_vector_enabled(enabled);
+  }
+  ~ScopedVector() { dsp::simd::set_vector_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void expect_bitwise_equal(const RVec& a, const RVec& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << what << " differs at index " << i << ": " << a[i] << " vs "
+        << b[i];
+  }
+}
+
+constexpr phy::Modulation kAllModulations[] = {
+    phy::Modulation::kBpsk, phy::Modulation::kQpsk, phy::Modulation::kQam16,
+    phy::Modulation::kQam64};
+
+TEST(SimdEquality, DemapperAllModulations) {
+  Rng rng(42);
+  for (const phy::Modulation mod : kAllModulations) {
+    // 199 symbols: not a multiple of any lane width, so the tail path
+    // runs too.
+    constexpr std::size_t kSymbols = 199;
+    const std::size_t bps = phy::bits_per_symbol(mod);
+    Bits bits(kSymbols * bps);
+    rng.fill_bits(bits);
+    CVec symbols = phy::modulate(bits, mod);
+    RVec noise_var(kSymbols);
+    for (std::size_t i = 0; i < kSymbols; ++i) {
+      symbols[i] += Cplx{0.3 * rng.gaussian(), 0.3 * rng.gaussian()};
+      noise_var[i] = 0.05 + 0.02 * static_cast<double>(i % 9);
+    }
+    RVec scalar(kSymbols * bps);
+    RVec vectorized(kSymbols * bps);
+    {
+      ScopedVector off(false);
+      phy::demodulate_llr_to(symbols, mod, noise_var, scalar);
+    }
+    {
+      ScopedVector on(true);
+      phy::demodulate_llr_to(symbols, mod, noise_var, vectorized);
+    }
+    expect_bitwise_equal(scalar, vectorized, "per-symbol-nv LLRs");
+
+    // Shared-noise-variance overload.
+    {
+      ScopedVector off(false);
+      phy::demodulate_llr_to(symbols, mod, 0.1, scalar);
+    }
+    {
+      ScopedVector on(true);
+      phy::demodulate_llr_to(symbols, mod, 0.1, vectorized);
+    }
+    expect_bitwise_equal(scalar, vectorized, "shared-nv LLRs");
+  }
+}
+
+TEST(SimdEquality, ViterbiAllCodeRates) {
+  Rng rng(7);
+  phy::Workspace ws;
+  for (const phy::CodeRate rate :
+       {phy::CodeRate::kR12, phy::CodeRate::kR23, phy::CodeRate::kR34,
+        phy::CodeRate::kR56}) {
+    constexpr std::size_t kInfoBits = 501;
+    Bits info(kInfoBits);
+    rng.fill_bits(info);
+    for (std::size_t i = kInfoBits - 6; i < kInfoBits; ++i) info[i] = 0;
+    Bits coded;
+    phy::convolutional_encode_into(info, coded);
+    Bits punctured;
+    phy::puncture_into(coded, rate, punctured);
+    RVec noisy(punctured.size());
+    for (std::size_t i = 0; i < punctured.size(); ++i) {
+      const double tx = punctured[i] ? -1.0 : 1.0;
+      noisy[i] = 4.0 * (tx + 0.6 * rng.gaussian());
+    }
+    RVec llrs;
+    phy::depuncture_into(noisy, rate, kInfoBits, llrs);
+    Bits scalar_out;
+    Bits vector_out;
+    {
+      ScopedVector off(false);
+      phy::viterbi_decode_into(llrs, true, scalar_out, ws);
+    }
+    {
+      ScopedVector on(true);
+      phy::viterbi_decode_into(llrs, true, vector_out, ws);
+    }
+    EXPECT_EQ(scalar_out, vector_out)
+        << "Viterbi decode differs at code rate "
+        << phy::code_rate_value(rate);
+  }
+}
+
+TEST(SimdEquality, LdpcMinSumDecode) {
+  Rng rng(11);
+  phy::Workspace ws;
+  for (const auto& [n, k] :
+       {std::pair<std::size_t, std::size_t>{648, 324},
+        std::pair<std::size_t, std::size_t>{648, 432},
+        std::pair<std::size_t, std::size_t>{1296, 648}}) {
+    const phy::LdpcCode code(n, k, 11);
+    Bits info(k);
+    rng.fill_bits(info);
+    Bits codeword;
+    code.encode_into(info, codeword);
+    // Noisy enough that the decoder iterates (exercising the check-node
+    // update) rather than exiting on the channel decisions.
+    RVec llrs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double tx = codeword[i] ? -1.0 : 1.0;
+      llrs[i] = 2.0 * (tx + 0.7 * rng.gaussian()) / 0.49;
+    }
+    phy::LdpcCode::DecodeResult scalar_res;
+    phy::LdpcCode::DecodeResult vector_res;
+    {
+      ScopedVector off(false);
+      code.decode_into(llrs, 40, 0.8, scalar_res, ws);
+    }
+    {
+      ScopedVector on(true);
+      code.decode_into(llrs, 40, 0.8, vector_res, ws);
+    }
+    EXPECT_EQ(scalar_res.info, vector_res.info)
+        << "LDPC (" << n << "," << k << ") decoded bits differ";
+    EXPECT_EQ(scalar_res.parity_ok, vector_res.parity_ok);
+    EXPECT_EQ(scalar_res.iterations, vector_res.iterations)
+        << "LDPC (" << n << "," << k
+        << ") took different iteration counts — posteriors diverged";
+  }
+}
+
+}  // namespace
+}  // namespace wlan

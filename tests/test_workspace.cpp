@@ -1,0 +1,193 @@
+// Workspace arena: zero steady-state allocations on the waveform link
+// hot paths, bounded per-trial allocation on the HT path, and the
+// 1-vs-8-jobs batch determinism re-check with workspaces enabled.
+//
+// The counted regions run real TX -> AWGN -> RX round trips and measure
+// the global operator-new delta via support/alloc_hook. Correctness
+// (decode matches at high SNR) is checked OUTSIDE the counted region so
+// a passing assertion can never hide an allocation.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "channel/awgn.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/link.h"
+#include "dsp/ops.h"
+#include "par/pool.h"
+#include "phy/cck.h"
+#include "phy/dsss.h"
+#include "phy/ht.h"
+#include "phy/ofdm.h"
+#include "phy/workspace.h"
+#include "support/alloc_hook.h"
+
+namespace wlan {
+namespace {
+
+constexpr double kHighSnrDb = 30.0;
+
+// One OFDM TX -> AWGN -> RX round trip leasing every buffer from `ws`.
+// Returns the number of byte errors (checked outside counted regions).
+std::size_t ofdm_round_trip(const phy::OfdmPhy& phy, std::size_t psdu_bytes,
+                            Rng& rng, phy::Workspace& ws) {
+  auto psdu = ws.bits(psdu_bytes);
+  rng.fill_bytes(*psdu);
+  auto wave = ws.cvec(0);
+  phy.transmit_into(*psdu, *wave, ws);
+  const double noise_var =
+      dsp::mean_power(*wave) / db_to_lin(kHighSnrDb);
+  channel::add_awgn(*wave, rng, noise_var);
+  auto decoded = ws.bits(0);
+  phy.receive_into(*wave, psdu_bytes, noise_var, *decoded, ws);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < psdu_bytes; ++i) {
+    if ((*psdu)[i] != (*decoded)[i]) ++errors;
+  }
+  return errors;
+}
+
+std::size_t dsss_round_trip(const phy::DsssModem& modem, phy::DsssRate rate,
+                            std::size_t n_bits, Rng& rng,
+                            phy::Workspace& ws) {
+  auto tx_bits = ws.bits(n_bits);
+  rng.fill_bits(*tx_bits);
+  auto wave = ws.cvec(0);
+  modem.modulate_into(*tx_bits, *wave);
+  const double noise_var = dsp::mean_power(*wave) / db_to_lin(kHighSnrDb);
+  channel::add_awgn(*wave, rng, noise_var);
+  wave->resize((n_bits / phy::dsss_bits_per_symbol(rate) + 1) *
+               modem.chips_per_symbol());
+  auto rx_bits = ws.bits(0);
+  modem.demodulate_into(*wave, *rx_bits);
+  return hamming_distance(*tx_bits, *rx_bits);
+}
+
+std::size_t cck_round_trip(const phy::CckModem& modem, phy::CckRate rate,
+                           std::size_t n_bits, Rng& rng, phy::Workspace& ws) {
+  auto tx_bits = ws.bits(n_bits);
+  rng.fill_bits(*tx_bits);
+  auto wave = ws.cvec(0);
+  modem.modulate_into(*tx_bits, *wave);
+  const double noise_var = dsp::mean_power(*wave) / db_to_lin(kHighSnrDb);
+  channel::add_awgn(*wave, rng, noise_var);
+  wave->resize((n_bits / phy::cck_bits_per_symbol(rate) + 1) * 8);
+  auto rx_bits = ws.bits(0);
+  modem.demodulate_into(*wave, *rx_bits);
+  return hamming_distance(*tx_bits, *rx_bits);
+}
+
+TEST(Workspace, OfdmRoundTripAllocFreeOnceWarmAllRates) {
+  constexpr std::size_t kPsduBytes = 400;
+  for (const phy::OfdmMcs mcs : phy::kAllOfdmMcs) {
+    const phy::OfdmPhy ofdm(mcs);
+    phy::Workspace ws;
+    Rng rng(0xABCDu + static_cast<std::uint64_t>(mcs));
+    // Two warm-up trials size every pooled buffer and the FFT plan.
+    ofdm_round_trip(ofdm, kPsduBytes, rng, ws);
+    ofdm_round_trip(ofdm, kPsduBytes, rng, ws);
+    const std::size_t before = testsupport::allocation_count();
+    const std::size_t errors = ofdm_round_trip(ofdm, kPsduBytes, rng, ws);
+    const std::size_t after = testsupport::allocation_count();
+    EXPECT_EQ(after - before, 0u)
+        << "OFDM MCS " << static_cast<int>(mcs)
+        << " allocated in steady state";
+    EXPECT_EQ(errors, 0u) << "OFDM MCS " << static_cast<int>(mcs)
+                          << " failed to decode at " << kHighSnrDb << " dB";
+  }
+}
+
+TEST(Workspace, DsssRoundTripAllocFreeOnceWarm) {
+  for (const phy::DsssRate rate :
+       {phy::DsssRate::k1Mbps, phy::DsssRate::k2Mbps}) {
+    phy::DsssModem::Config config;
+    config.rate = rate;
+    const phy::DsssModem modem(config);
+    phy::Workspace ws;
+    Rng rng(0x5117u);
+    dsss_round_trip(modem, rate, 512, rng, ws);
+    dsss_round_trip(modem, rate, 512, rng, ws);
+    const std::size_t before = testsupport::allocation_count();
+    const std::size_t errors = dsss_round_trip(modem, rate, 512, rng, ws);
+    const std::size_t after = testsupport::allocation_count();
+    EXPECT_EQ(after - before, 0u) << "DSSS allocated in steady state";
+    EXPECT_EQ(errors, 0u);
+  }
+}
+
+TEST(Workspace, CckRoundTripAllocFreeOnceWarm) {
+  for (const phy::CckRate rate :
+       {phy::CckRate::k5_5Mbps, phy::CckRate::k11Mbps}) {
+    const phy::CckModem modem(rate);
+    phy::Workspace ws;
+    Rng rng(0xCC5u);
+    cck_round_trip(modem, rate, 512, rng, ws);
+    cck_round_trip(modem, rate, 512, rng, ws);
+    const std::size_t before = testsupport::allocation_count();
+    const std::size_t errors = cck_round_trip(modem, rate, 512, rng, ws);
+    const std::size_t after = testsupport::allocation_count();
+    EXPECT_EQ(after - before, 0u) << "CCK allocated in steady state";
+    EXPECT_EQ(errors, 0u);
+  }
+}
+
+// The HT path leases its coding/symbol scratch but still allocates small
+// per-packet detector state (channel matrices, SVD — see ht.h). Steady
+// state must be flat: every warm trial allocates exactly as much as the
+// previous one, i.e. the hot loops themselves no longer churn.
+TEST(Workspace, HtSteadyStateAllocationIsFlat) {
+  phy::HtConfig config;
+  config.mcs = 11;  // 2 streams, 16-QAM 1/2
+  const phy::HtPhy ht(config);
+  phy::Workspace ws;
+  Rng rng(0x117u);
+  Bits psdu(200);
+  Bytes decoded;
+  auto trial = [&]() {
+    rng.fill_bytes(psdu);
+    const auto tones = ht.draw_channel(rng, channel::DelayProfile::kOffice);
+    ht.simulate_link_into(psdu, tones, kHighSnrDb, rng, decoded, ws);
+  };
+  trial();
+  trial();
+  const std::size_t c0 = testsupport::allocation_count();
+  trial();
+  const std::size_t c1 = testsupport::allocation_count();
+  trial();
+  const std::size_t c2 = testsupport::allocation_count();
+  EXPECT_EQ(c1 - c0, c2 - c1) << "HT per-trial allocation count grew";
+}
+
+// Batch determinism with workspaces enabled: per-trial counter-derived
+// seeds plus thread-local arenas make the result a pure function of the
+// caller's Rng state, independent of worker count.
+TEST(Workspace, LinkResultsIndependentOfJobCount) {
+  auto run_all = [](unsigned jobs) {
+    par::set_default_jobs(jobs);
+    Rng rng(99);
+    const LinkResult ofdm =
+        run_ofdm_link(phy::OfdmMcs::k24Mbps, 120, 48, 8.0, rng,
+                      ChannelSpec::tdl(channel::DelayProfile::kOffice));
+    phy::HtConfig config;
+    config.mcs = 3;
+    const LinkResult ht = run_ht_link(config, 120, 32, 12.0, rng,
+                                      channel::DelayProfile::kOffice);
+    return std::pair{ofdm, ht};
+  };
+  const auto [ofdm1, ht1] = run_all(1);
+  const auto [ofdm8, ht8] = run_all(8);
+  par::set_default_jobs(0);
+  EXPECT_EQ(ofdm1.packets, ofdm8.packets);
+  EXPECT_EQ(ofdm1.packet_errors, ofdm8.packet_errors);
+  EXPECT_EQ(ofdm1.bits, ofdm8.bits);
+  EXPECT_EQ(ofdm1.bit_errors, ofdm8.bit_errors);
+  EXPECT_EQ(ht1.packets, ht8.packets);
+  EXPECT_EQ(ht1.packet_errors, ht8.packet_errors);
+  EXPECT_EQ(ht1.bits, ht8.bits);
+  EXPECT_EQ(ht1.bit_errors, ht8.bit_errors);
+}
+
+}  // namespace
+}  // namespace wlan
