@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
         // The airtime ledger turns the loss numbers into a channel-time
         // story: hidden senders show up as collision airtime, not idle.
         cfg.airtime = d == 100.0;
+        // --latency adds the frame-lifecycle books (delay attribution +
+        // invariant audit) at the same representative point.
+        cfg.lifecycle.enabled = bu::latency() && d == 100.0;
         Rng r1(7);
         SpacingPoint point;
         point.basic = net::simulate_network(cfg, setup.nodes, setup.flows, r1);
@@ -156,7 +159,34 @@ int main(int argc, char** argv) {
   bu::metric("rts_loss_at_100m", rts_loss_hidden);
   bu::metric("basic_collision_airtime_at_100m", basic_collision_frac_hidden);
   bu::metric("rts_collision_airtime_at_100m", rts_collision_frac_hidden);
-  const bool ok = basic_loss_hidden > 0.1 && rts_loss_hidden < 0.05;
+  bool audit_ok = true;
+  if (bu::latency()) {
+    // The hidden pair's delay story: under basic CSMA the retry share of
+    // the end-to-end delay is the cost of undetectable collisions;
+    // RTS/CTS converts most of it back into cheap contention time.
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      if (distances[i] != 100.0) continue;
+      const auto& basic_lc = spacing_points[i].basic.lifecycle;
+      const auto& rts_lc = spacing_points[i].rts.lifecycle;
+      const auto share = [](const obs::DelayBreakdown& b, double part) {
+        return b.total_s() > 0.0 ? part / b.total_s() : 0.0;
+      };
+      bu::metric("basic_retry_delay_share_at_100m",
+                 share(basic_lc.ledger.total, basic_lc.ledger.total.retry_s));
+      bu::metric("rts_retry_delay_share_at_100m",
+                 share(rts_lc.ledger.total, rts_lc.ledger.total.retry_s));
+      bu::metric("lifecycle_breaches",
+                 static_cast<double>(basic_lc.breaches + rts_lc.breaches));
+      audit_ok = basic_lc.breaches == 0 && rts_lc.breaches == 0;
+      for (const auto* lc : {&basic_lc, &rts_lc}) {
+        for (const std::string& m : lc->breach_messages) {
+          std::printf("  BREACH: %s\n", m.c_str());
+        }
+      }
+    }
+  }
+  const bool ok =
+      audit_ok && basic_loss_hidden > 0.1 && rts_loss_hidden < 0.05;
   bu::verdict(ok,
               "hidden senders lose %.0f%% of data frames under basic CSMA "
               "but %.1f%% with RTS/CTS — the virtual-carrier-sense fix "

@@ -10,6 +10,7 @@
 // inter-BSS interference keeps it well below 9x.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -104,6 +105,15 @@ int main(int argc, char** argv) {
               single.aggregate_throughput_mbps, single.data_failure_rate());
 
   bu::section("9-BSS co-channel grid");
+  // --latency arms the frame-lifecycle layer on the representative grid
+  // run: per-flow delay attribution histograms land in `lat_reg`, the
+  // windowed series and auditor verdict in the result. Observers never
+  // consume RNG, so throughput numbers are identical either way.
+  obs::Registry lat_reg;
+  if (bu::latency()) {
+    cfg.lifecycle.enabled = true;
+    cfg.registry = &lat_reg;
+  }
   Rng grid_rng(11);
   const auto multi = simulate_network(cfg, grid.nodes, grid.flows, grid_rng);
   double rate_sum = 0.0;
@@ -132,7 +142,72 @@ int main(int argc, char** argv) {
   bu::metric("jain_fairness", multi.jain_fairness());
   bu::metric("data_frames_simulated", static_cast<double>(multi.data_tx_count));
 
-  const bool ok = grid.nodes.size() >= 50 && single.total_delivered > 0 &&
+  bool audit_ok = true;
+  if (bu::latency()) {
+    bu::section("frame lifecycle (--latency)");
+    const auto& lc = multi.lifecycle;
+    // Per-flow tail latency: one series per percentile, x = flow index.
+    std::vector<double> flow_idx;
+    std::vector<double> p50, p95, p99, p999;
+    for (std::size_t f = 0; f < grid.flows.size(); ++f) {
+      const obs::Histogram* h = lat_reg.find_histogram(
+          "lifecycle.delay_s", {{"flow", std::to_string(f)}});
+      if (!h || h->count() == 0) continue;
+      flow_idx.push_back(static_cast<double>(f));
+      p50.push_back(h->percentile(50.0) * 1e3);
+      p95.push_back(h->percentile(95.0) * 1e3);
+      p99.push_back(h->percentile(99.0) * 1e3);
+      p999.push_back(h->percentile(99.9) * 1e3);
+    }
+    bu::series("flow_delay_p50_ms", "flow", flow_idx, "p50 (ms)", p50);
+    bu::series("flow_delay_p95_ms", "flow", std::vector<double>(flow_idx),
+               "p95 (ms)", p95);
+    bu::series("flow_delay_p99_ms", "flow", std::vector<double>(flow_idx),
+               "p99 (ms)", p99);
+    bu::series("flow_delay_p999_ms", "flow", std::vector<double>(flow_idx),
+               "p99.9 (ms)", p999);
+    const obs::Histogram* agg = lat_reg.find_histogram("lifecycle.delay_s");
+    if (agg && agg->count() > 0) {
+      bu::metric("delay_p50_ms", agg->percentile(50.0) * 1e3);
+      bu::metric("delay_p95_ms", agg->percentile(95.0) * 1e3);
+      bu::metric("delay_p99_ms", agg->percentile(99.0) * 1e3);
+      bu::metric("delay_p999_ms", agg->percentile(99.9) * 1e3);
+      std::printf("  delay p50/p95/p99/p99.9: %.2f / %.2f / %.2f / %.2f ms\n",
+                  agg->percentile(50.0) * 1e3, agg->percentile(95.0) * 1e3,
+                  agg->percentile(99.0) * 1e3, agg->percentile(99.9) * 1e3);
+    }
+    // Where the delay went, summed over all delivered frames.
+    const auto& tot = lc.ledger.total;
+    bu::metric("delay_queueing_share",
+               tot.total_s() > 0.0 ? tot.queueing_s / tot.total_s() : 0.0);
+    bu::metric("delay_contention_share",
+               tot.total_s() > 0.0 ? tot.contention_s / tot.total_s() : 0.0);
+    bu::metric("delay_airtime_share",
+               tot.total_s() > 0.0 ? tot.airtime_s / tot.total_s() : 0.0);
+    bu::metric("delay_retry_share",
+               tot.total_s() > 0.0 ? tot.retry_s / tot.total_s() : 0.0);
+    // Windowed time series for warmup/non-stationarity inspection.
+    bu::series("goodput_mbps_t", "t (s)", lc.series.t_s, "goodput (Mbps)",
+               lc.series.goodput_mbps);
+    bu::series("collision_rate_t", "t (s)", lc.series.t_s, "collision rate",
+               lc.series.collision_rate);
+    bu::metric("warmup_windows", static_cast<double>(lc.series.warmup_windows));
+    bu::metric("stationarity_ratio", lc.series.stationarity_ratio);
+    bu::metric("lifecycle_breaches", static_cast<double>(lc.breaches));
+    std::printf("  delivered %llu, dropped %llu, in flight %llu; "
+                "auditor breaches %llu\n",
+                static_cast<unsigned long long>(lc.ledger.delivered),
+                static_cast<unsigned long long>(lc.ledger.dropped),
+                static_cast<unsigned long long>(lc.ledger.in_flight),
+                static_cast<unsigned long long>(lc.breaches));
+    for (const std::string& m : lc.breach_messages) {
+      std::printf("  BREACH: %s\n", m.c_str());
+    }
+    audit_ok = lc.breaches == 0;
+  }
+
+  const bool ok = audit_ok && grid.nodes.size() >= 50 &&
+                  single.total_delivered > 0 &&
                   reuse > 1.5 && reuse < 9.0 && starved == 0 &&
                   mean_rate > 12.0;
   bu::verdict(ok,

@@ -61,6 +61,11 @@ struct Report {
   obs::Registry registry;  // kernel-profiling + probe histograms live here
   std::string chrome_trace_path;
   std::unique_ptr<obs::ChromeTraceSink> chrome;  // closed by ~Report
+  bool latency = false;    // --latency: frame-lifecycle instrumentation on
+  // Per-sink dropped-event counts, recorded via sink_dropped() once a
+  // sink's run is over. Nonzero means trace-derived metrics are skewed;
+  // run_benches.sh turns any nonzero total into a MISMATCH.
+  std::vector<std::pair<std::string, std::uint64_t>> sinks;
   unsigned jobs = 0;       // worker threads used (resolved --jobs value)
   std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
@@ -72,8 +77,13 @@ inline Report& report() {
 }
 
 inline void write_report() {
-  const Report& r = report();
+  Report& r = report();
   if (r.json_path.empty()) return;
+  // Close the chrome sink first so its dropped() count is final.
+  if (r.chrome) {
+    r.chrome->close();
+    r.sinks.emplace_back("chrome_trace", r.chrome->dropped());
+  }
   std::ofstream out(r.json_path);
   if (!out.is_open()) {
     std::fprintf(stderr, "benchutil: cannot write %s\n", r.json_path.c_str());
@@ -142,7 +152,18 @@ inline void write_report() {
       out << '}';
     }
   }
-  out << "],\"metrics\":{";
+  out << "],\"sinks\":[";
+  {
+    std::uint64_t total_dropped = 0;
+    for (std::size_t i = 0; i < r.sinks.size(); ++i) {
+      if (i) out << ',';
+      out << "{\"name\":\"" << json_escape(r.sinks[i].first)
+          << "\",\"dropped\":" << r.sinks[i].second << '}';
+      total_dropped += r.sinks[i].second;
+    }
+    out << "],\"sink_dropped\":" << total_dropped;
+  }
+  out << ",\"metrics\":{";
   for (std::size_t i = 0; i < r.metrics.size(); ++i) {
     if (i) out << ',';
     out << '"' << json_escape(r.metrics[i].first) << "\":";
@@ -180,7 +201,8 @@ inline void write_report() {
 /// `chrome_trace()` with a ChromeTraceSink writing there), and
 /// `--jobs <n>` (worker lanes for the Monte-Carlo pool; default
 /// hardware_concurrency, 1 = fully serial; results are identical either
-/// way). Call first thing in main().
+/// way), and `--latency` (arm the frame-lifecycle instrumentation; see
+/// latency()). Call first thing in main().
 inline void args(int argc, char** argv) {
   Report& r = report();
   r.start = std::chrono::steady_clock::now();
@@ -196,10 +218,12 @@ inline void args(int argc, char** argv) {
       par::set_default_jobs(r.jobs);
     } else if (a == "--profile") {
       obs::enable_kernel_profiling(r.registry);
+    } else if (a == "--latency") {
+      r.latency = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--chrome-trace <path>] "
-                   "[--profile] [--jobs <n>]\n",
+                   "[--profile] [--latency] [--jobs <n>]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -209,6 +233,20 @@ inline void args(int argc, char** argv) {
     obs::enable_phy_probes(r.registry);
     std::atexit(write_report);
   }
+}
+
+/// True when --latency was given: simulator benches then enable the
+/// frame-lifecycle instrumentation (NetworkConfig::lifecycle) on their
+/// representative runs and report delay percentiles, the windowed time
+/// series, and the invariant-auditor breach count in --json output.
+inline bool latency() { return report().latency; }
+
+/// Records a trace sink's final dropped() count under `name` in the
+/// --json report ("sinks" array + "sink_dropped" total). Call once per
+/// sink after its run completes; the --chrome-trace sink is recorded
+/// automatically.
+inline void sink_dropped(std::string name, std::uint64_t dropped) {
+  report().sinks.emplace_back(std::move(name), dropped);
 }
 
 /// The --chrome-trace sink (created on first use), or null when the flag

@@ -7,6 +7,7 @@
 #
 # Usage: scripts/run_benches.sh [build-dir] [out-dir] [--baseline [file]]
 #                               [--only <bench,bench,...>] [--jobs <n>]
+#                               [--latency]
 #
 #   --baseline [file]  After the run, gate the aggregate report against
 #                      the committed baseline (default
@@ -20,6 +21,15 @@
 #                      are thread-count independent; only wall time
 #                      changes. Default: the bench's own default
 #                      (hardware_concurrency).
+#   --latency          Forward --latency to every bench: simulator
+#                      benches add frame-lifecycle books (delay
+#                      percentiles, time series, invariant audit) to
+#                      their reports.
+#
+# Independent of the verdicts, any bench whose report shows a nonzero
+# "sink_dropped" (a trace sink lost events, so trace-derived metrics are
+# skewed) or a nonzero "lifecycle_breaches" metric (the invariant
+# auditor caught a conservation violation) is counted as a MISMATCH.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -50,6 +60,7 @@ OUT=""
 BASELINE=""
 ONLY=""
 JOBS=""
+LATENCY=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --baseline)
@@ -68,6 +79,9 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 1 ]] || { echo "--jobs needs a count" >&2; exit 2; }
       JOBS="$2"
       shift
+      ;;
+    --latency)
+      LATENCY=1
       ;;
     -*)
       echo "unknown flag: $1" >&2
@@ -114,6 +128,7 @@ for bench in "${BENCHES[@]}"; do
   echo "== $bench"
   bench_args=(--json "$json")
   [[ -n "$JOBS" ]] && bench_args+=(--jobs "$JOBS")
+  [[ -n "$LATENCY" ]] && bench_args+=(--latency)
   start_s=$(date +%s.%N)
   "$BUILD/bench/$bench" "${bench_args[@]}" > "$log" 2>&1
   status=$?
@@ -125,6 +140,12 @@ for bench in "${BENCHES[@]}"; do
   fi
   if grep -q '"verdict":"MISMATCH"' "$json"; then
     echo "   MISMATCH (exit $status, ${wall_s}s)"
+    mismatches=$((mismatches + 1))
+  elif grep -q '"sink_dropped":[1-9]' "$json"; then
+    echo "   MISMATCH: trace sink dropped events (exit $status, ${wall_s}s)"
+    mismatches=$((mismatches + 1))
+  elif grep -Eq '"lifecycle_breaches":(0*[1-9]|[0-9]*\.[0-9]*[1-9])' "$json"; then
+    echo "   MISMATCH: invariant auditor breach (exit $status, ${wall_s}s)"
     mismatches=$((mismatches + 1))
   else
     echo "   ok (exit $status, ${wall_s}s)"

@@ -88,11 +88,16 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
   };
 
   // Saturation: top the head burst up to the A-MPDU size with fresh
-  // MPDUs. Every MPDU that enters is offered exactly once.
-  auto fill_burst = [&](Station& s) {
+  // MPDUs. Every MPDU that enters is offered exactly once and announced
+  // as an arrival (value = queue depth after it), so trace consumers can
+  // reconcile offered = delivered + dropped + pending.
+  auto fill_burst = [&](std::size_t station, double now) {
+    Station& s = stations[station];
     while (s.pending.size() < std::max<std::size_t>(config.ampdu_frames, 1)) {
       s.pending.push_back(0);
       ++result.offered_frames;
+      emit(obs::EventType::kArrival, station, now,
+           static_cast<double>(s.pending.size()));
     }
   };
 
@@ -139,7 +144,7 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
     if (transmitters.size() == 1) {
       Station& s = stations[transmitters[0]];
       emit(obs::EventType::kTxStart, transmitters[0], t, dur.success);
-      fill_burst(s);
+      fill_burst(transmitters[0], t);
       // Channel errors thin the delivered MPDUs of an A-MPDU; the block
       // ack tells the sender exactly which subframes survived, so lost
       // ones stay queued (or drop) rather than silently vanishing.
@@ -159,6 +164,10 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
       if (ok > 0) {
         result.delivered_frames += ok;
         const double done = t + dur.success;
+        // The busy period (PPDU + SIFS + block ack) ends here; pairing
+        // every single-transmitter TX_START with a TX_END keeps the
+        // stream balanced for lifecycle/invariant consumers.
+        emit(obs::EventType::kTxEnd, transmitters[0], done, dur.success);
         delay.add(done - s.head_since);
         s.retries = 0;
         s.cw = timing.cw_min;
@@ -167,6 +176,8 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
         t = done;
         busy += dur.success;
       } else {
+        emit(obs::EventType::kTxEnd, transmitters[0], t + dur.failure,
+             dur.failure);
         on_failure(s, t + dur.failure);
         t += dur.failure;
         busy += dur.failure;
@@ -178,7 +189,7 @@ DcfResult simulate_dcf(const DcfConfig& config, Rng& rng) {
              static_cast<double>(transmitters.size()));
         Station& s = stations[i];
         // A collision loses the whole burst; every MPDU retries.
-        fill_burst(s);
+        fill_burst(i, t);
         std::deque<unsigned> survivors;
         for (unsigned mpdu_retries : s.pending) {
           if (retry_or_drop(mpdu_retries, i, t + dur.collision)) {

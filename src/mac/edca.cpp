@@ -113,6 +113,12 @@ EdcaResult simulate_edca(const EdcaConfig& config,
           static_cast<double>(s.burst_frames) * s.exchange_s;
       emit(obs::EventType::kTxStart, winners[0], t, busy);
       t += busy;
+      // Close the busy period and announce the dequeued burst: TX_END
+      // balances the TX_START and RX_OK carries how many MPDUs the TXOP
+      // delivered, so per-AC trace consumers see every dequeue.
+      emit(obs::EventType::kTxEnd, winners[0], t, busy);
+      emit(obs::EventType::kRxOk, winners[0], t,
+           static_cast<double>(s.burst_frames));
       s.result.delivered += s.burst_frames;
       s.delay.add(t - s.head_since);
       s.head_since = t;

@@ -140,6 +140,30 @@ class Simulator {
       ac.payload_bits = static_cast<double>(config.payload_bytes) * 8.0;
       airtime_ = std::make_unique<obs::AirtimeAccountant>(ac);
     }
+    if (config.lifecycle.enabled) {
+      obs::FrameLedger::Config lc;
+      lc.n_flows = flows.size();
+      lc.hist_lo = config.lifecycle.hist_lo_s;
+      lc.hist_hi = config.lifecycle.hist_hi_s;
+      lc.hist_bins = config.lifecycle.hist_bins;
+      lc.registry = registry_;
+      ledger_ = std::make_unique<obs::FrameLedger>(lc);
+      obs::TimeSeriesSampler::Config sc;
+      sc.n_flows = flows.size();
+      sc.window_s = config.lifecycle.sample_window_s;
+      sc.payload_bits = static_cast<double>(config.payload_bytes) * 8.0;
+      sampler_ = std::make_unique<obs::TimeSeriesSampler>(sc);
+      if (config.lifecycle.audit) {
+        obs::InvariantAuditor::Config auc;
+        auc.n_nodes = nodes.size();
+        auc.n_flows = flows.size();
+        auc.flight_recorder_capacity = config.lifecycle.flight_recorder_capacity;
+        auc.dump_path = config.lifecycle.flight_recorder_path;
+        auditor_ = std::make_unique<obs::InvariantAuditor>(auc);
+        // Created up front so every shard registry has the same entries.
+        breaches_counter_ = &registry_->counter("lifecycle.breaches");
+      }
+    }
     sched_.bind_metrics(*registry_);
     data_tx_ = &registry_->counter("net.data_tx");
     data_failures_ = &registry_->counter("net.data_failures");
@@ -255,24 +279,44 @@ class Simulator {
       result_.airtime = airtime_->finalize(config_.duration_s);
       airtime_->publish(*registry_);
     }
+    if (ledger_) {
+      result_.lifecycle.ledger = ledger_->finalize(config_.duration_s);
+      ledger_->publish(*registry_);
+      result_.lifecycle.series = sampler_->finalize(config_.duration_s);
+      if (auditor_) {
+        auditor_->audit(result_.lifecycle.ledger);
+        if (airtime_) auditor_->audit(result_.airtime);
+        result_.lifecycle.breaches = auditor_->finalize(config_.duration_s);
+        result_.lifecycle.breach_messages = auditor_->breach_messages();
+        result_.lifecycle.flight_recorder_json =
+            auditor_->flight_recorder_json();
+        breaches_counter_->add(result_.lifecycle.breaches);
+      }
+    }
     return result_;
   }
 
  private:
-  /// One pointer test per site when all observers are off.
+  /// One pointer test per site when all observers are off (the lifecycle
+  /// sinks only exist when ledger_ does, so three tests cover them all).
   void emit(obs::EventType type, std::size_t node, std::size_t peer,
-            std::size_t flow, double value, const char* detail = "") {
-    if (!trace_ && !airtime_) return;
+            std::size_t flow, double value, const char* detail = "",
+            std::size_t frame = kNone) {
+    if (!trace_ && !airtime_ && !ledger_) return;
     obs::TraceEvent e;
     e.time_s = sched_.now();
     e.type = type;
     e.node = node == kNone ? -1 : static_cast<std::int32_t>(node);
     e.peer = peer == kNone ? -1 : static_cast<std::int32_t>(peer);
     e.flow = flow == kNone ? -1 : static_cast<std::int32_t>(flow);
+    e.frame = frame == kNone ? -1 : static_cast<std::int64_t>(frame);
     e.value = value;
     e.detail = detail;
     if (trace_) trace_->record(e);
     if (airtime_) airtime_->record(e);
+    if (ledger_) ledger_->record(e);
+    if (sampler_) sampler_->record(e);
+    if (auditor_) auditor_->record(e);
   }
 
   unsigned draw_backoff(std::size_t n) {
@@ -448,7 +492,7 @@ class Simulator {
       if (other.dest == n) other.rx_was_transmitting = true;
     }
     emit(obs::EventType::kTxStart, n, dest, flow, duration_s,
-         frame_name(kind));
+         frame_name(kind), t.id);
     const std::size_t id = t.id;
     active_.push_back(std::move(t));
     update_all_media();
@@ -470,7 +514,7 @@ class Simulator {
     }
 
     emit(obs::EventType::kTxEnd, t.tx_node, t.dest, t.flow, t.end_s - t.start_s,
-         frame_name(t.kind));
+         frame_name(t.kind), t.id);
 
     // Reception outcome at the addressed node.
     bool delivered = false;
@@ -508,7 +552,7 @@ class Simulator {
     }
     if (t.dest != kNone) {
       emit(delivered ? obs::EventType::kRxOk : obs::EventType::kRxFail,
-           t.dest, t.tx_node, t.flow, sinr_db, frame_name(t.kind));
+           t.dest, t.tx_node, t.flow, sinr_db, frame_name(t.kind), t.id);
     }
 
     // Overhearing nodes set their NAV from the duration field.
@@ -689,6 +733,10 @@ class Simulator {
   obs::Registry* registry_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   std::unique_ptr<obs::AirtimeAccountant> airtime_;
+  std::unique_ptr<obs::FrameLedger> ledger_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::unique_ptr<obs::InvariantAuditor> auditor_;
+  obs::Counter* breaches_counter_ = nullptr;
   obs::Counter* data_tx_ = nullptr;
   obs::Counter* data_failures_ = nullptr;
   obs::Counter* rts_tx_ = nullptr;

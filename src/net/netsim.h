@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "channel/pathloss.h"
@@ -30,6 +31,7 @@
 #include "mesh/mesh.h"
 #include "net/errormodel.h"
 #include "obs/analyze/airtime.h"
+#include "obs/analyze/lifecycle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -98,6 +100,31 @@ struct NetworkConfig {
   bool airtime = false;
   /// Goodput-series window for the airtime ledger.
   double airtime_window_s = 10e-3;
+
+  /// Frame-lifecycle observability (obs/analyze/lifecycle.h): per-frame
+  /// delay attribution, windowed time series, and conservation checks.
+  struct LifecycleOptions {
+    /// Master switch; off = zero overhead (the trace fan-out is never
+    /// entered). On, a FrameLedger and TimeSeriesSampler consume the
+    /// event stream; the closed books land in NetworkResult::lifecycle
+    /// and the delay/component histograms in the registry.
+    bool enabled = false;
+    /// Also run the InvariantAuditor (conservation laws + flight
+    /// recorder); only meaningful with `enabled`.
+    bool audit = true;
+    /// Time-series window.
+    double sample_window_s = 10e-3;
+    /// Last-N events kept for the breach post-mortem.
+    std::size_t flight_recorder_capacity = 256;
+    /// On breach the flight-recorder JSON is written here ("" keeps it
+    /// only in NetworkResult::lifecycle.flight_recorder_json).
+    std::string flight_recorder_path;
+    /// Delay/component histogram binning (log bins, seconds).
+    double hist_lo_s = 1e-6;
+    double hist_hi_s = 100.0;
+    std::size_t hist_bins = 64;
+  };
+  LifecycleOptions lifecycle;
 };
 
 struct FlowStats {
@@ -124,6 +151,17 @@ struct NetworkResult {
   std::uint64_t simultaneous_starts = 0;  ///< same-slot collisions observed
   /// Airtime ledger (populated only when NetworkConfig::airtime is set).
   obs::AirtimeReport airtime;
+  /// Frame-lifecycle books (populated only when
+  /// NetworkConfig::lifecycle.enabled is set).
+  struct LifecycleResult {
+    obs::LifecycleReport ledger;
+    obs::LifecycleSeries series;
+    std::uint64_t breaches = 0;  ///< invariant-auditor breach count
+    std::vector<std::string> breach_messages;
+    /// Post-mortem JSON document; empty unless a breach occurred.
+    std::string flight_recorder_json;
+  };
+  LifecycleResult lifecycle;
   /// Fraction of *data* frames lost — the expensive failures; RTS losses
   /// cost only a 20-byte frame.
   double data_failure_rate() const {

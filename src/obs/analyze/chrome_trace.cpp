@@ -78,6 +78,13 @@ void ChromeTraceSink::write_args_suffix(const TraceEvent& e) {
     *out_ << "\"flow\":" << e.flow;
     first = false;
   }
+  if (e.frame >= 0) {
+    // Frame id on TX/RX slices: select one in Perfetto and its retries
+    // and receptions share the arg across node lanes.
+    if (!first) *out_ << ',';
+    *out_ << "\"frame\":" << e.frame;
+    first = false;
+  }
   if (!first) *out_ << ',';
   *out_ << "\"value\":";
   json_number(*out_, e.value);

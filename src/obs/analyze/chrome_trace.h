@@ -9,7 +9,9 @@
 //    (backoff countdowns), tid 2 "nav" (virtual carrier sense);
 //  - TX_START/TX_END become balanced B/E duration events on the air
 //    lane, named after the frame kind (DATA/ACK/RTS/CTS), carrying
-//    peer/flow/value as args;
+//    peer/flow/frame-id/value as args — the frame id is stable across a
+//    frame's retries and receptions, so one MPDU can be followed across
+//    node lanes;
 //  - BACKOFF_START opens a B on the contention lane; the matching E is
 //    emitted at the freeze, at the node's next TX_START (the countdown
 //    expired and the frame went out), or at close();

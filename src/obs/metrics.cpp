@@ -49,7 +49,7 @@ double Histogram::upper_edge(std::size_t i) const {
 }
 
 double Histogram::percentile(double p) const {
-  if (count_ == 0) return std::nan("");
+  if (count_ == 0 || std::isnan(p)) return std::nan("");
   p = std::clamp(p, 0.0, 100.0);
   const double target = p / 100.0 * static_cast<double>(count_);
   double cum = 0.0;

@@ -68,8 +68,14 @@ class Histogram {
   double min() const;
   double max() const;
 
-  /// Linear interpolation within the containing bin; `p` in [0, 100].
-  /// Returns NaN when empty.
+  /// Linear interpolation within the containing bin. Contract:
+  ///  - empty histogram or NaN `p` -> NaN;
+  ///  - `p` outside [0, 100] is clamped (p <= 0 -> min(), p >= 100 ->
+  ///    max(); both exact, not bin edges);
+  ///  - a single sample returns that sample exactly for every `p`;
+  ///  - mass in the underflow bucket interpolates over [min, lo) and in
+  ///    the overflow bucket over [hi, max] — all-overflow histograms
+  ///    interpolate [min, max] since every sample is then >= hi.
   double percentile(double p) const;
 
   /// Folds `other` into this histogram: bin counts, under/overflow,

@@ -32,6 +32,7 @@ void write_event_json(std::ostream& out, const TraceEvent& e) {
   if (e.node >= 0) out << ",\"node\":" << e.node;
   if (e.peer >= 0) out << ",\"peer\":" << e.peer;
   if (e.flow >= 0) out << ",\"flow\":" << e.flow;
+  if (e.frame >= 0) out << ",\"frame\":" << e.frame;
   out << ",\"value\":";
   json_number(out, e.value);
   if (e.detail && e.detail[0] != '\0') {

@@ -50,6 +50,9 @@ struct TraceEvent {
   std::int32_t node = -1;
   std::int32_t peer = -1;  ///< addressed/source node of the exchange
   std::int32_t flow = -1;
+  /// Per-frame id, stable across the frame's retries and its RX events —
+  /// lets trace consumers follow one MPDU across node lanes.
+  std::int64_t frame = -1;
   double value = 0.0;      ///< type-specific payload (see enum comments)
   const char* detail = "";
 };

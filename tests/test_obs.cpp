@@ -181,6 +181,44 @@ TEST(Histogram, SingleSamplePercentileIsExact) {
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.42);
 }
 
+TEST(Histogram, PercentileOutOfRangePClampsToExtremes) {
+  obs::Histogram h(1e-3, 1e3, 16);
+  for (const double x : {0.1, 1.0, 10.0}) h.record(x);
+  EXPECT_DOUBLE_EQ(h.percentile(-50.0), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), h.max());
+  EXPECT_TRUE(std::isnan(h.percentile(std::nan(""))));
+}
+
+TEST(Histogram, PercentileAllMassInOverflowBin) {
+  obs::Histogram h(1e-3, 1.0, 8);
+  // Every sample >= hi: the overflow bucket interpolates [min, max].
+  for (const double x : {2.0, 4.0, 8.0}) h.record(x);
+  EXPECT_EQ(h.overflow(), 3u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 8.0);
+  const double mid = h.percentile(50.0);
+  EXPECT_GE(mid, 2.0);
+  EXPECT_LE(mid, 8.0);
+  double prev = h.percentile(0.0);
+  for (double p = 10.0; p <= 100.0; p += 10.0) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Histogram, PercentileAllMassInUnderflowBin) {
+  obs::Histogram h(1.0, 10.0, 8);
+  h.record(0.0);
+  h.record(0.5);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.5);
+  const double mid = h.percentile(50.0);
+  EXPECT_GE(mid, 0.0);
+  EXPECT_LE(mid, 0.5);
+}
+
 // ---- obs::Registry ----
 
 TEST(Registry, SameKeyReturnsSameInstrument) {
