@@ -13,6 +13,7 @@
 #include "dsp/fft.h"
 #include "dsp/simd.h"
 #include "linalg/decompose.h"
+#include "obs/perf.h"
 #include "obs/timer.h"
 #include "phy/cck.h"
 #include "phy/convolutional.h"
@@ -328,6 +329,51 @@ void BM_OfdmRoundTripWorkspace(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(ws.capacity_bytes()));
 }
 BENCHMARK(BM_OfdmRoundTripWorkspace);
+
+// Observability overhead floors. Disabled = the cost every kernel call
+// pays when profiling is off (one thread-local load + branch for the
+// span; a null histogram handle for the timer); enabled = the full
+// enter/record/exit path. These bound what instrumenting a hot loop
+// costs before any kernel work happens.
+void BM_ScopedTimerDisabled(benchmark::State& state) {
+  obs::disable_kernel_profiling();
+  for (auto _ : state) {
+    const obs::ScopedTimer timer(obs::kernel_histogram(obs::Kernel::kFft));
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_ScopedTimerDisabled);
+
+void BM_ScopedTimerEnabled(benchmark::State& state) {
+  obs::Registry registry;
+  obs::enable_kernel_profiling(registry);
+  for (auto _ : state) {
+    const obs::ScopedTimer timer(obs::kernel_histogram(obs::Kernel::kFft));
+    benchmark::DoNotOptimize(&timer);
+  }
+  obs::disable_kernel_profiling();
+}
+BENCHMARK(BM_ScopedTimerEnabled);
+
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  obs::perf::disable_span_profiling();
+  for (auto _ : state) {
+    const obs::perf::ScopedSpan span("overhead");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+void BM_ScopedSpanEnabled(benchmark::State& state) {
+  obs::perf::SpanProfile profile;
+  obs::perf::enable_span_profiling(profile);
+  for (auto _ : state) {
+    const obs::perf::ScopedSpan span("overhead");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::perf::disable_span_profiling();
+}
+BENCHMARK(BM_ScopedSpanEnabled);
 
 }  // namespace
 

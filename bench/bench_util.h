@@ -9,9 +9,17 @@
 // writes a structured report at exit — claim id, recorded series and
 // scalar metrics, verdict, wall-time histograms of the hot kernels
 // (FFT, Viterbi, LDPC, fading taps; profiled automatically when --json
-// is on, or on demand with --profile), and the PHY link-quality probes
-// (EVM, post-equalizer SNR, |LLR|) for benches that exercise a receive
+// is on), pool telemetry (a "par" section: utilization, lane-busy
+// imbalance, steal counters), and the PHY link-quality probes (EVM,
+// post-equalizer SNR, |LLR|) for benches that exercise a receive
 // chain. scripts/run_benches.sh aggregates these into BENCH_<tag>.json.
+//
+// `--profile [path]` arms the hierarchical span profiler (obs/perf.h):
+// the whole run executes under a root "bench" span, and at exit the
+// merged span tree is written as collapsed stacks (flamegraph.pl /
+// speedscope) to `path` — default <json>.folded next to the --json
+// report, else profile.folded — plus a "spans" array in the JSON and
+// nested slices appended to the --chrome-trace document when present.
 //
 // `--chrome-trace <path>` hands the bench a ChromeTraceSink (via
 // `chrome_trace()`); simulator benches pass it to their representative
@@ -32,6 +40,7 @@
 #include "obs/analyze/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/probe.h"
 #include "obs/timer.h"
 #include "par/pool.h"
@@ -62,6 +71,12 @@ struct Report {
   std::string chrome_trace_path;
   std::unique_ptr<obs::ChromeTraceSink> chrome;  // closed by ~Report
   bool latency = false;    // --latency: frame-lifecycle instrumentation on
+  bool profile = false;    // --profile: span profiler armed
+  std::string profile_path;       // folded-stack output ("" = derived)
+  obs::perf::SpanProfile spans;   // merged span tree (all threads)
+  // Root "bench" span covering args() .. write_report(); its total then
+  // tiles (nearly) the process wall time in the folded output.
+  std::unique_ptr<obs::perf::ScopedSpan> root_span;
   // Per-sink dropped-event counts, recorded via sink_dropped() once a
   // sink's run is over. Nonzero means trace-derived metrics are skewed;
   // run_benches.sh turns any nonzero total into a MISMATCH.
@@ -78,12 +93,74 @@ inline Report& report() {
 
 inline void write_report() {
   Report& r = report();
-  if (r.json_path.empty()) return;
-  // Close the chrome sink first so its dropped() count is final.
+  // Close the root "bench" span first so it tiles (nearly) the whole
+  // wall time, then disarm: nothing below records new spans, and the
+  // main thread's collector flushes into r.spans.
+  r.root_span.reset();
+  if (r.profile) obs::perf::disable_span_profiling();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - r.start)
+                            .count();
+
+  // Folded collapsed-stack export (flamegraph.pl / speedscope).
+  std::string folded_path;
+  if (r.profile) {
+    folded_path = !r.profile_path.empty() ? r.profile_path
+                  : !r.json_path.empty()  ? r.json_path + ".folded"
+                                          : std::string("profile.folded");
+    std::ofstream fout(folded_path);
+    if (!fout.is_open()) {
+      std::fprintf(stderr, "benchutil: cannot write %s\n",
+                   folded_path.c_str());
+    } else {
+      r.spans.write_folded(fout);
+      std::printf("profile: folded stacks -> %s\n", folded_path.c_str());
+    }
+  }
+
+  // Pool/chunk telemetry, merged into the registry in fixed creation
+  // order (par.* counters and gauges). The span profile publishes the
+  // same way (span.* counters), keeping snapshots deterministic.
+  const par::PoolTelemetry pool = par::default_pool().telemetry();
+  const par::ChunkStats chunks = par::chunk_stats();
+  const bool telem = par::telemetry_enabled();
+  if (telem) par::publish_telemetry(r.registry, pool, chunks, wall_s);
+  if (r.profile) r.spans.publish(r.registry);
+
+  // Perfetto appendix: span slices + per-lane busy counters ride along
+  // in the chrome trace; close it afterwards so dropped() is final.
   if (r.chrome) {
+    if (r.profile) obs::append_span_profile(*r.chrome, r.spans);
+    if (telem && !pool.lanes.empty()) {
+      std::vector<std::pair<std::string, double>> busy;
+      busy.reserve(pool.lanes.size());
+      for (std::size_t i = 0; i < pool.lanes.size(); ++i) {
+        busy.emplace_back("lane" + std::to_string(i),
+                          static_cast<double>(pool.lanes[i].busy_ns) * 1e-9);
+      }
+      r.chrome->emit_counter(obs::kProfilerPid, "par.lane_busy_s", 0.0, busy);
+    }
     r.chrome->close();
     r.sinks.emplace_back("chrome_trace", r.chrome->dropped());
   }
+
+  // Kernel wall-share: total seconds inside each hot kernel per second
+  // of wall time, summed across lanes (can exceed 1 with --jobs > 1).
+  // New metrics are informational in the regression gate until a
+  // baseline refresh pins them.
+  if (wall_s > 0.0) {
+    for (std::size_t k = 0; k < obs::kKernelCount; ++k) {
+      const auto kernel = static_cast<obs::Kernel>(k);
+      const obs::Histogram* h =
+          r.registry.find_histogram(obs::kernel_metric_name(kernel));
+      if (!h || h->count() == 0) continue;
+      const char* name = obs::kernel_metric_name(kernel);  // "kernel.<x>"
+      r.metrics.emplace_back(std::string("kernel_share.") + (name + 7),
+                             h->sum() / wall_s);
+    }
+  }
+
+  if (r.json_path.empty()) return;
   std::ofstream out(r.json_path);
   if (!out.is_open()) {
     std::fprintf(stderr, "benchutil: cannot write %s\n", r.json_path.c_str());
@@ -103,9 +180,7 @@ inline void write_report() {
   // the machine and --jobs, not of the claim.
   out << ",\"jobs\":" << (r.jobs ? r.jobs : par::default_jobs());
   out << ",\"wall_s\":";
-  json_number(out, std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - r.start)
-                       .count());
+  json_number(out, wall_s);
   out << ",\"detail\":\"" << json_escape(r.verdict_detail) << '"';
   out << ",\"series\":[";
   for (std::size_t s = 0; s < r.series.size(); ++s) {
@@ -191,18 +266,63 @@ inline void write_report() {
     json_number(out, h->max());
     out << '}';
   }
-  out << "]}\n";
+  out << ']';
+  if (telem) {
+    const par::LaneTelemetry tot = pool.totals();
+    out << ",\"par\":{\"lanes\":" << pool.lanes.size()
+        << ",\"tasks\":" << tot.tasks
+        << ",\"steal_attempts\":" << tot.steal_attempts
+        << ",\"steal_successes\":" << tot.steal_successes
+        << ",\"help_iterations\":" << tot.help_iterations << ",\"busy_s\":";
+    json_number(out, static_cast<double>(tot.busy_ns) * 1e-9);
+    out << ",\"park_s\":";
+    json_number(out, static_cast<double>(tot.park_ns) * 1e-9);
+    out << ",\"utilization\":";
+    json_number(out, pool.utilization(wall_s));
+    out << ",\"imbalance\":";
+    json_number(out, pool.imbalance());
+    out << ",\"chunks\":" << chunks.chunks << ",\"chunk_mean_s\":";
+    json_number(out, chunks.chunks != 0
+                         ? static_cast<double>(chunks.total_ns) * 1e-9 /
+                               static_cast<double>(chunks.chunks)
+                         : 0.0);
+    out << ",\"chunk_max_s\":";
+    json_number(out, static_cast<double>(chunks.max_ns) * 1e-9);
+    out << ",\"lane_busy_s\":[";
+    for (std::size_t i = 0; i < pool.lanes.size(); ++i) {
+      if (i) out << ',';
+      json_number(out, static_cast<double>(pool.lanes[i].busy_ns) * 1e-9);
+    }
+    out << "]}";
+  }
+  if (r.profile) {
+    out << ",\"spans\":[";
+    bool first_span = true;
+    for (const auto& [path, st] : r.spans.spans()) {
+      if (!first_span) out << ',';
+      first_span = false;
+      out << "{\"path\":\"" << json_escape(path)
+          << "\",\"calls\":" << st.calls << ",\"total_s\":";
+      json_number(out, static_cast<double>(st.total_ns) * 1e-9);
+      out << ",\"self_s\":";
+      json_number(out, static_cast<double>(st.self_ns()) * 1e-9);
+      out << ",\"allocs\":" << st.allocs << '}';
+    }
+    out << "],\"profile_folded\":\"" << json_escape(folded_path) << '"';
+  }
+  out << "}\n";
 }
 
 /// Parses bench CLI flags: `--json <path>` (write the structured report
-/// there; also enables kernel profiling and the PHY probes),
-/// `--profile` (kernel profiling without a report, dumped nowhere —
-/// useful with a debugger), `--chrome-trace <path>` (arm
-/// `chrome_trace()` with a ChromeTraceSink writing there), and
-/// `--jobs <n>` (worker lanes for the Monte-Carlo pool; default
-/// hardware_concurrency, 1 = fully serial; results are identical either
-/// way), and `--latency` (arm the frame-lifecycle instrumentation; see
-/// latency()). Call first thing in main().
+/// there; also enables kernel profiling, pool telemetry, and the PHY
+/// probes), `--profile [path]` (arm the span profiler and kernel
+/// profiling; write collapsed stacks to `path`, default <json>.folded
+/// or profile.folded), `--chrome-trace <path>` (arm `chrome_trace()`
+/// with a ChromeTraceSink writing there), `--jobs <n>` (worker lanes
+/// for the Monte-Carlo pool; default hardware_concurrency, 1 = fully
+/// serial; results are identical either way), and `--latency` (arm the
+/// frame-lifecycle instrumentation; see latency()). Call first thing in
+/// main().
 inline void args(int argc, char** argv) {
   Report& r = report();
   r.start = std::chrono::steady_clock::now();
@@ -217,22 +337,32 @@ inline void args(int argc, char** argv) {
       r.jobs = n > 0 ? static_cast<unsigned>(n) : 0;
       par::set_default_jobs(r.jobs);
     } else if (a == "--profile") {
-      obs::enable_kernel_profiling(r.registry);
+      r.profile = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') r.profile_path = argv[++i];
     } else if (a == "--latency") {
       r.latency = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--chrome-trace <path>] "
-                   "[--profile] [--latency] [--jobs <n>]\n",
+                   "[--profile [path]] [--latency] [--jobs <n>]\n",
                    argv[0]);
       std::exit(2);
     }
   }
-  if (!r.json_path.empty()) {
+  // Arm span profiling BEFORE registering write_report: arming creates
+  // the process-wide collector arena, and later-registered exit handlers
+  // run first — write_report can then still close the root span and
+  // drain the main thread's collector.
+  if (r.profile) {
+    obs::perf::enable_span_profiling(r.spans);
+    r.root_span = std::make_unique<obs::perf::ScopedSpan>("bench");
+  }
+  if (!r.json_path.empty() || r.profile) {
     obs::enable_kernel_profiling(r.registry);
-    obs::enable_phy_probes(r.registry);
+    par::set_telemetry_enabled(true);
     std::atexit(write_report);
   }
+  if (!r.json_path.empty()) obs::enable_phy_probes(r.registry);
 }
 
 /// True when --latency was given: simulator benches then enable the

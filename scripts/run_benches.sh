@@ -7,7 +7,7 @@
 #
 # Usage: scripts/run_benches.sh [build-dir] [out-dir] [--baseline [file]]
 #                               [--only <bench,bench,...>] [--jobs <n>]
-#                               [--latency]
+#                               [--latency] [--profile] [--util-floor <f>]
 #
 #   --baseline [file]  After the run, gate the aggregate report against
 #                      the committed baseline (default
@@ -25,6 +25,20 @@
 #                      benches add frame-lifecycle books (delay
 #                      percentiles, time series, invariant audit) to
 #                      their reports.
+#   --profile          Forward --profile to every bench: each writes its
+#                      span flamegraph as collapsed stacks to
+#                      <out>/<bench>.folded and a "spans" section into
+#                      its report.
+#   --util-floor <f>   Pool-utilization floor for the summary table
+#                      (default 0.10): a bench that ran pool tasks but
+#                      kept the lanes busy less than this fraction of
+#                      lanes x wall gets a WARN line (informational; the
+#                      exit code is unaffected).
+#
+# After the per-bench runs the script prints a summary table (verdict,
+# jobs, wall seconds, pool utilization, lane imbalance per bench) and a
+# kernel-share table (seconds inside each hot kernel per wall second,
+# from the kernel_share.* metrics).
 #
 # Independent of the verdicts, any bench whose report shows a nonzero
 # "sink_dropped" (a trace sink lost events, so trace-derived metrics are
@@ -61,6 +75,8 @@ BASELINE=""
 ONLY=""
 JOBS=""
 LATENCY=""
+PROFILE=""
+UTIL_FLOOR="0.10"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --baseline)
@@ -82,6 +98,14 @@ while [[ $# -gt 0 ]]; do
       ;;
     --latency)
       LATENCY=1
+      ;;
+    --profile)
+      PROFILE=1
+      ;;
+    --util-floor)
+      [[ $# -gt 1 ]] || { echo "--util-floor needs a value" >&2; exit 2; }
+      UTIL_FLOOR="$2"
+      shift
       ;;
     -*)
       echo "unknown flag: $1" >&2
@@ -118,6 +142,13 @@ cmake --build "$BUILD" -j "$(nproc)" --target "${BENCHES[@]}" bench_kernels \
 mkdir -p "$OUT"
 failures=0
 mismatches=0
+summary_rows=()
+kernel_rows=()
+
+# First match of a numeric JSON field in $1's report (empty if absent).
+json_field() {
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | head -1 | cut -d: -f2
+}
 
 for bench in "${BENCHES[@]}"; do
   json="$OUT/$bench.json"
@@ -129,6 +160,7 @@ for bench in "${BENCHES[@]}"; do
   bench_args=(--json "$json")
   [[ -n "$JOBS" ]] && bench_args+=(--jobs "$JOBS")
   [[ -n "$LATENCY" ]] && bench_args+=(--latency)
+  [[ -n "$PROFILE" ]] && bench_args+=(--profile "$OUT/$bench.folded")
   start_s=$(date +%s.%N)
   "$BUILD/bench/$bench" "${bench_args[@]}" > "$log" 2>&1
   status=$?
@@ -136,20 +168,49 @@ for bench in "${BENCHES[@]}"; do
   if [[ ! -s "$json" ]]; then
     echo "   FAILED: no report written (exit $status); see $log"
     failures=$((failures + 1))
+    summary_rows+=("$(printf '%-26s %-9s' "$bench" FAILED)")
     continue
   fi
   if grep -q '"verdict":"MISMATCH"' "$json"; then
+    verdict=MISMATCH
     echo "   MISMATCH (exit $status, ${wall_s}s)"
     mismatches=$((mismatches + 1))
   elif grep -q '"sink_dropped":[1-9]' "$json"; then
+    verdict=MISMATCH
     echo "   MISMATCH: trace sink dropped events (exit $status, ${wall_s}s)"
     mismatches=$((mismatches + 1))
   elif grep -Eq '"lifecycle_breaches":(0*[1-9]|[0-9]*\.[0-9]*[1-9])' "$json"; then
+    verdict=MISMATCH
     echo "   MISMATCH: invariant auditor breach (exit $status, ${wall_s}s)"
     mismatches=$((mismatches + 1))
   else
+    verdict=ok
     echo "   ok (exit $status, ${wall_s}s)"
   fi
+  # Summary-table vitals from the report ("par" is present whenever the
+  # bench ran with --json; tasks==0 means the pool never engaged).
+  jobs=$(json_field "$json" jobs)
+  util=$(json_field "$json" utilization)
+  imb=$(json_field "$json" imbalance)
+  tasks=$(json_field "$json" tasks)
+  warn=""
+  if [[ -n "$util" && -n "$tasks" && "$tasks" -gt 0 ]]; then
+    util=$(awk -v u="$util" 'BEGIN{printf "%.3f", u}')
+    imb=$(awk -v i="$imb" 'BEGIN{printf "%.2f", i}')
+    if awk -v u="$util" -v f="$UTIL_FLOOR" 'BEGIN{exit !(u < f)}'; then
+      warn="WARN util<$UTIL_FLOOR"
+      echo "   WARN: pool utilization $util below floor $UTIL_FLOOR"
+    fi
+  else
+    util="-"
+    imb="-"
+  fi
+  summary_rows+=("$(printf '%-26s %-9s %5s %9s %6s %6s  %s' \
+      "$bench" "$verdict" "${jobs:--}" "$wall_s" "$util" "$imb" "$warn")")
+  shares=$(grep -o '"kernel_share\.[a-z_]*":[0-9.eE+-]*' "$json" |
+           sed 's/"kernel_share\.//; s/":/=/' |
+           awk '{printf "%s ", $0}')
+  [[ -n "$shares" ]] && kernel_rows+=("$(printf '%-26s %s' "$bench" "$shares")")
 done
 
 # Kernel microbenchmarks via google-benchmark's native JSON reporter.
@@ -179,6 +240,16 @@ agg="$OUT/BENCH_PR.json"
 
 echo
 echo "aggregate report: $agg"
+
+echo
+echo "== summary"
+printf '%-26s %-9s %5s %9s %6s %6s\n' bench verdict jobs wall_s util imbal
+for row in "${summary_rows[@]}"; do echo "$row"; done
+if [[ ${#kernel_rows[@]} -gt 0 ]]; then
+  echo
+  echo "== kernel share (kernel seconds per wall second, summed over lanes)"
+  for row in "${kernel_rows[@]}"; do echo "$row"; done
+fi
 
 if [[ -n "$BASELINE" ]]; then
   echo "== bench_diff against $BASELINE"

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "dsp/ops.h"
+#include "obs/perf.h"
 #include "par/montecarlo.h"
 #include "phy/workspace.h"
 
@@ -73,6 +74,7 @@ LinkResult run_dsss_link(const phy::DsssModem::Config& config,
                          std::optional<ToneInterference> interference,
                          ChannelSpec channel) {
   check(bits_per_packet > 0 && n_packets > 0, "empty DSSS link run");
+  const obs::perf::ScopedSpan span("link.dsss");
   const phy::DsssModem modem(config);
   par::SweepOptions opt;
   opt.root_seed = rng.next_u64();
@@ -111,6 +113,7 @@ LinkResult run_cck_link(phy::CckRate rate, std::size_t bits_per_packet,
                         std::size_t n_packets, double snr_db, Rng& rng,
                         ChannelSpec channel) {
   check(bits_per_packet > 0 && n_packets > 0, "empty CCK link run");
+  const obs::perf::ScopedSpan span("link.cck");
   const phy::CckModem modem(rate);
   par::SweepOptions opt;
   opt.root_seed = rng.next_u64();
@@ -140,6 +143,7 @@ LinkResult run_ofdm_link(phy::OfdmMcs mcs, std::size_t psdu_bytes,
                          std::size_t n_packets, double snr_db, Rng& rng,
                          ChannelSpec channel) {
   check(psdu_bytes > 0 && n_packets > 0, "empty OFDM link run");
+  const obs::perf::ScopedSpan span("link.ofdm");
   const phy::OfdmPhy phy(mcs);
   par::SweepOptions opt;
   opt.root_seed = rng.next_u64();
@@ -169,6 +173,7 @@ LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
                        std::size_t n_packets, double snr_db, Rng& rng,
                        channel::DelayProfile profile) {
   check(psdu_bytes > 0 && n_packets > 0, "empty HT link run");
+  const obs::perf::ScopedSpan span("link.ht");
   const phy::HtPhy phy(config);
   par::SweepOptions opt;
   opt.root_seed = rng.next_u64();

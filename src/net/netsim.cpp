@@ -12,6 +12,7 @@
 #include "common/units.h"
 #include "mac/frames.h"
 #include "mac/rate_adapt.h"
+#include "obs/perf.h"
 #include "par/montecarlo.h"
 #include "phy/ofdm.h"
 #include "sim/scheduler.h"
@@ -241,16 +242,20 @@ class Simulator {
   }
 
   NetworkResult run() {
-    // Poisson arrival processes for non-saturated flows.
-    for (std::size_t f = 0; f < flows_.size(); ++f) {
-      if (flows_[f].arrival_rate_pps > 0.0) {
-        schedule_arrival(flows_[f].source, flows_[f].arrival_rate_pps);
+    {
+      const obs::perf::ScopedSpan span("net.events");
+      // Poisson arrival processes for non-saturated flows.
+      for (std::size_t f = 0; f < flows_.size(); ++f) {
+        if (flows_[f].arrival_rate_pps > 0.0) {
+          schedule_arrival(flows_[f].source, flows_[f].arrival_rate_pps);
+        }
       }
+      for (std::size_t n = 0; n < stations_.size(); ++n) {
+        maybe_start_countdown(n);
+      }
+      sched_.run_until(config_.duration_s);
     }
-    for (std::size_t n = 0; n < stations_.size(); ++n) {
-      maybe_start_countdown(n);
-    }
-    sched_.run_until(config_.duration_s);
+    const obs::perf::ScopedSpan span("net.finalize");
     // Populate the result struct from the registry.
     result_.data_tx_count = data_tx_->value();
     result_.data_failures = data_failures_->value();
@@ -773,8 +778,14 @@ class Simulator {
 NetworkResult simulate_network(const NetworkConfig& config,
                                const std::vector<NodeConfig>& nodes,
                                const std::vector<Flow>& flows, Rng& rng) {
-  Simulator sim(config, nodes, flows, rng);
-  return sim.run();
+  std::optional<Simulator> sim;
+  {
+    // Topology, rate tables, and (with an error model) the frozen fading
+    // dictionaries — often a visible share of short runs.
+    const obs::perf::ScopedSpan span("net.setup");
+    sim.emplace(config, nodes, flows, rng);
+  }
+  return sim->run();
 }
 
 std::vector<NetworkResult> simulate_network_batch(

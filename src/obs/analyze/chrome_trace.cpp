@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <ostream>
 
 #include "common/check.h"
 #include "obs/json.h"
+#include "obs/perf.h"
 
 namespace wlan::obs {
 namespace {
@@ -200,6 +202,76 @@ void ChromeTraceSink::record(const TraceEvent& e) {
                    (e.detail != nullptr && e.detail[0] != '\0') ? e.detail
                                                                 : "state");
       break;
+  }
+}
+
+void ChromeTraceSink::emit_complete(std::int32_t pid, int tid,
+                                    const std::string& name, double t_us,
+                                    double dur_us) {
+  if (closed_) {
+    ++dropped_;
+    return;
+  }
+  write_prefix("X", pid, tid, t_us);
+  *out_ << ",\"name\":\"" << json_escape(name) << "\",\"dur\":";
+  json_number(*out_, dur_us);
+  end_event();
+}
+
+void ChromeTraceSink::emit_counter(
+    std::int32_t pid, const std::string& name, double t_us,
+    const std::vector<std::pair<std::string, double>>& values) {
+  if (closed_) {
+    ++dropped_;
+    return;
+  }
+  write_prefix("C", pid, 0, t_us);
+  *out_ << ",\"name\":\"" << json_escape(name) << "\",\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : values) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << '"' << json_escape(key) << "\":";
+    json_number(*out_, value);
+  }
+  *out_ << '}';
+  end_event();
+}
+
+void ChromeTraceSink::emit_process_name(std::int32_t pid,
+                                        const std::string& name) {
+  if (closed_) {
+    ++dropped_;
+    return;
+  }
+  begin_event();
+  *out_ << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+        << json_escape(name) << "\"}}";
+  ++events_written_;
+}
+
+void append_span_profile(ChromeTraceSink& sink,
+                         const perf::SpanProfile& profile) {
+  const std::map<std::string, perf::SpanStats> rows = profile.spans();
+  if (rows.empty()) return;
+  sink.emit_process_name(kProfilerPid, "span profiler");
+  // Sorted paths visit every parent before its children. cursor[path]
+  // tracks where the next child of `path` starts; children tile their
+  // parent's slice left to right (accumulated totals, not timestamps).
+  std::map<std::string, std::uint64_t> cursor;
+  std::uint64_t root_cursor = 0;
+  for (const auto& [path, stats] : rows) {
+    const std::size_t sep = path.rfind(';');
+    const bool is_root = sep == std::string::npos;
+    const std::string name = is_root ? path : path.substr(sep + 1);
+    std::uint64_t& offset =
+        is_root ? root_cursor : cursor[path.substr(0, sep)];
+    const std::uint64_t start = offset;
+    sink.emit_complete(kProfilerPid, 0, name, static_cast<double>(start) * 1e-3,
+                       static_cast<double>(stats.total_ns) * 1e-3);
+    cursor[path] = start;
+    offset += stats.total_ns;
   }
 }
 

@@ -35,6 +35,10 @@
 
 namespace wlan::obs {
 
+namespace perf {
+class SpanProfile;
+}  // namespace perf
+
 class ChromeTraceSink final : public TraceSink {
  public:
   /// Streams to `out`; the stream must outlive the sink.
@@ -53,6 +57,19 @@ class ChromeTraceSink final : public TraceSink {
   void close();
 
   std::uint64_t events_written() const { return events_written_; }
+
+  // Generic emitters for appendix tracks (the span-profiler slices and
+  // pool-telemetry counters) on synthetic pids outside the node id
+  // space. Counted as dropped after close().
+
+  /// Complete ("X") slice of `dur_us` at `t_us` on (pid, tid).
+  void emit_complete(std::int32_t pid, int tid, const std::string& name,
+                     double t_us, double dur_us);
+  /// One counter ("C") sample; `values` become the args series.
+  void emit_counter(std::int32_t pid, const std::string& name, double t_us,
+                    const std::vector<std::pair<std::string, double>>& values);
+  /// process_name metadata for a synthetic pid.
+  void emit_process_name(std::int32_t pid, const std::string& name);
 
  private:
   struct Track {
@@ -80,5 +97,18 @@ class ChromeTraceSink final : public TraceSink {
   std::uint64_t dropped_ = 0;
   std::vector<Track> tracks_;  // sparse by node id, created on demand
 };
+
+/// Synthetic pid the span profiler and pool counters append under —
+/// far outside the node id space so it never collides with a real node.
+inline constexpr std::int32_t kProfilerPid = 1000000;
+
+/// Appends the merged span profile to `sink` as nested slices on a
+/// synthetic "span profiler" process: sorted-path DFS layout where each
+/// span's children tile its interval left to right (slices carry
+/// accumulated totals, not live timestamps). Grafted worker time can
+/// extend children past their parent; Perfetto renders the overhang on
+/// the same track. Call before close().
+void append_span_profile(ChromeTraceSink& sink,
+                         const perf::SpanProfile& profile);
 
 }  // namespace wlan::obs

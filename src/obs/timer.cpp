@@ -2,11 +2,6 @@
 
 namespace wlan::obs {
 
-namespace detail {
-thread_local std::array<Histogram*, kKernelCount> g_kernel_hist{};
-thread_local Registry* g_kernel_registry = nullptr;
-}  // namespace detail
-
 const char* kernel_metric_name(Kernel kernel) {
   switch (kernel) {
     case Kernel::kFft: return "kernel.fft";
@@ -18,26 +13,27 @@ const char* kernel_metric_name(Kernel kernel) {
 }
 
 void enable_kernel_profiling(Registry& registry) {
+  perf::detail::PerfTls& t = perf::detail::tls();
   for (std::size_t i = 0; i < kKernelCount; ++i) {
     const auto k = static_cast<Kernel>(i);
     // 10 ns .. 1 s, 8 bins per decade.
-    detail::g_kernel_hist[i] =
-        &registry.histogram(kernel_metric_name(k), 1e-8, 1.0, 64);
+    t.kernel_hist[i] = &registry.histogram(kernel_metric_name(k), 1e-8, 1.0, 64);
   }
-  detail::g_kernel_registry = &registry;
+  t.kernel_registry = &registry;
 }
 
 void disable_kernel_profiling() noexcept {
-  detail::g_kernel_hist.fill(nullptr);
-  detail::g_kernel_registry = nullptr;
+  perf::detail::PerfTls& t = perf::detail::tls();
+  t.kernel_hist.fill(nullptr);
+  t.kernel_registry = nullptr;
 }
 
 bool kernel_profiling_enabled() noexcept {
-  return detail::g_kernel_hist[0] != nullptr;
+  return perf::detail::tls().kernel_hist[0] != nullptr;
 }
 
 Registry* kernel_profiling_registry() noexcept {
-  return detail::g_kernel_registry;
+  return perf::detail::tls().kernel_registry;
 }
 
 }  // namespace wlan::obs

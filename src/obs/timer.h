@@ -10,12 +10,18 @@
 // off by default; `enable_kernel_profiling(registry)` registers one
 // wall-time histogram per kernel in the given registry and arms the
 // slots. Benchmarks enable it behind their `--json` flag.
+//
+// The slots live in obs/perf.h's PerfTls block — one zero-initialized
+// POD thread_local with initial-exec TLS — so `kernel_histogram` is a
+// single guard-free indexed load: no TLS-init branch, no
+// __tls_get_addr call, nothing but the null check the caller already
+// pays.
 #pragma once
 
-#include <array>
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/perf.h"
 
 namespace wlan::obs {
 
@@ -40,32 +46,11 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// The instrumented hot kernels.
-enum class Kernel : std::size_t {
-  kFft,
-  kViterbi,
-  kLdpcDecode,
-  kFadingTaps,
-};
-inline constexpr std::size_t kKernelCount = 4;
-
-/// Registry metric name, e.g. "kernel.fft".
-const char* kernel_metric_name(Kernel kernel);
-
-namespace detail {
-// Per-thread arming: each thread records into its own slots, so
-// parallel sweeps can profile without sharing histograms across
-// threads. The sweep engine (par/montecarlo.h) arms worker threads at
-// private shard registries and merges them into the sweep initiator's
-// registry as chunks retire.
-extern thread_local std::array<Histogram*, kKernelCount> g_kernel_hist;
-extern thread_local Registry* g_kernel_registry;
-}  // namespace detail
-
 /// Histogram slot for `kernel` on this thread; null while profiling is
-/// disabled. This is the only call on the kernel hot path.
+/// disabled. This is the only call on the kernel hot path — a
+/// branch-free indexed load from the PerfTls block.
 inline Histogram* kernel_histogram(Kernel kernel) noexcept {
-  return detail::g_kernel_hist[static_cast<std::size_t>(kernel)];
+  return perf::detail::tls().kernel_hist[static_cast<std::size_t>(kernel)];
 }
 
 /// Registers per-kernel wall-time histograms (seconds, 10 ns .. 1 s,

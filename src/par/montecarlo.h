@@ -15,17 +15,30 @@
 // shard registry that is merged into the caller's profiling registry
 // (mutex-guarded) as the chunk retires. Worker threads never touch the
 // caller's histograms directly.
+//
+// Span profiling (obs/perf.h) shards the same way: when the calling
+// thread has span profiling armed, each chunk arms the executing
+// thread's shard collector, opens an "mc.chunk" (or "mc.map") span, and
+// drains the shard into the caller's SpanProfile as the chunk retires —
+// prefixed with the caller's open span path captured before fan-out, so
+// worker spans graft under the sweep's call site. SpanProfile rows are
+// integer counters merged by commutative addition and published in
+// sorted path order, so the merged profile is bitwise identical for any
+// --jobs. With par::telemetry_enabled() the chunk loop also records
+// per-chunk wall times into par::chunk_stats().
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "par/pool.h"
 
 namespace wlan::par {
@@ -58,13 +71,25 @@ struct SweepOptions {
 
 namespace detail {
 
-/// Arms thread-local kernel profiling at a private shard registry for
-/// the guard's lifetime (no-op when `target` is null); on destruction
-/// restores the previous arming and merges the shard into `target`
-/// under a global mutex.
+/// Profiling destinations captured on the sweep-initiating thread
+/// before fan-out: the kernel-histogram registry, the span profile, and
+/// the caller's open span path (worker chunk spans graft under it).
+struct ProfileTargets {
+  obs::Registry* registry = nullptr;
+  obs::perf::SpanProfile* spans = nullptr;
+  std::string prefix;
+  bool active() const { return registry != nullptr || spans != nullptr; }
+};
+
+/// Arms thread-local kernel and span profiling at private per-thread
+/// shards for the guard's lifetime (no-op when `targets` is inactive);
+/// on destruction restores the previous arming, merges the kernel shard
+/// into targets.registry under a global mutex, and drains the span
+/// shard into targets.spans with targets.prefix. `targets` must outlive
+/// the guard (the sweep templates keep it alive across parallel_for).
 class ProfileShardGuard {
  public:
-  explicit ProfileShardGuard(obs::Registry* target);
+  explicit ProfileShardGuard(const ProfileTargets& targets);
   ~ProfileShardGuard();
   ProfileShardGuard(const ProfileShardGuard&) = delete;
   ProfileShardGuard& operator=(const ProfileShardGuard&) = delete;
@@ -74,9 +99,9 @@ class ProfileShardGuard {
   Impl* impl_ = nullptr;
 };
 
-/// The profiling registry armed on the calling thread (null when
+/// The profiling targets armed on the calling thread (inactive when
 /// profiling is off) — captured once per sweep, before fan-out.
-obs::Registry* profiling_target();
+ProfileTargets profiling_targets();
 
 /// Chunk size used when SweepOptions::chunk == 0. Depends on n only.
 std::size_t auto_chunk(std::size_t n_trials);
@@ -104,21 +129,27 @@ Result montecarlo(std::size_t n_trials, std::uint64_t point,
       opt.chunk ? opt.chunk : detail::auto_chunk(n_trials);
   const std::size_t n_chunks = (n_trials + chunk - 1) / chunk;
   std::vector<Result> partial(n_chunks);
-  obs::Registry* prof = detail::profiling_target();
+  const detail::ProfileTargets prof = detail::profiling_targets();
 
   std::unique_ptr<ThreadPool> owned;
   ThreadPool& pool = detail::select_pool(opt, owned);
   pool.parallel_for(n_chunks, 1, [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
       const detail::ProfileShardGuard shard(prof);
-      const std::size_t t0 = c * chunk;
-      const std::size_t t1 = std::min(n_trials, t0 + chunk);
-      Result acc{};
-      for (std::size_t t = t0; t < t1; ++t) {
-        Rng rng = trial_rng(opt.root_seed, point, t);
-        trial(point, t, rng, acc);
+      const bool telem = telemetry_enabled();
+      const std::uint64_t c_begin = telem ? detail::monotonic_ns() : 0;
+      {
+        const obs::perf::ScopedSpan chunk_span("mc.chunk");
+        const std::size_t t0 = c * chunk;
+        const std::size_t t1 = std::min(n_trials, t0 + chunk);
+        Result acc{};
+        for (std::size_t t = t0; t < t1; ++t) {
+          Rng rng = trial_rng(opt.root_seed, point, t);
+          trial(point, t, rng, acc);
+        }
+        partial[c] = std::move(acc);
       }
-      partial[c] = std::move(acc);
+      if (telem) detail::record_chunk_ns(detail::monotonic_ns() - c_begin);
     }
   });
 
@@ -140,22 +171,28 @@ std::vector<Result> sweep(std::size_t n_points, std::size_t n_trials,
   const std::size_t chunks_per_point = (n_trials + chunk - 1) / chunk;
   const std::size_t total = n_points * chunks_per_point;
   std::vector<Result> partial(total);
-  obs::Registry* prof = detail::profiling_target();
+  const detail::ProfileTargets prof = detail::profiling_targets();
 
   std::unique_ptr<ThreadPool> owned;
   ThreadPool& pool = detail::select_pool(opt, owned);
   pool.parallel_for(total, 1, [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
       const detail::ProfileShardGuard shard(prof);
-      const std::size_t point = c / chunks_per_point;
-      const std::size_t t0 = (c % chunks_per_point) * chunk;
-      const std::size_t t1 = std::min(n_trials, t0 + chunk);
-      Result acc{};
-      for (std::size_t t = t0; t < t1; ++t) {
-        Rng rng = trial_rng(opt.root_seed, point, t);
-        trial(point, t, rng, acc);
+      const bool telem = telemetry_enabled();
+      const std::uint64_t c_begin = telem ? detail::monotonic_ns() : 0;
+      {
+        const obs::perf::ScopedSpan chunk_span("mc.chunk");
+        const std::size_t point = c / chunks_per_point;
+        const std::size_t t0 = (c % chunks_per_point) * chunk;
+        const std::size_t t1 = std::min(n_trials, t0 + chunk);
+        Result acc{};
+        for (std::size_t t = t0; t < t1; ++t) {
+          Rng rng = trial_rng(opt.root_seed, point, t);
+          trial(point, t, rng, acc);
+        }
+        partial[c] = std::move(acc);
       }
-      partial[c] = std::move(acc);
+      if (telem) detail::record_chunk_ns(detail::monotonic_ns() - c_begin);
     }
   });
 
@@ -178,15 +215,21 @@ auto map(std::size_t n, const SweepOptions& opt, Fn&& fn)
   using R = decltype(fn(std::size_t{0}, std::declval<Rng&>()));
   check(n > 0, "par::map requires at least one item");
   std::vector<R> out(n);
-  obs::Registry* prof = detail::profiling_target();
+  const detail::ProfileTargets prof = detail::profiling_targets();
 
   std::unique_ptr<ThreadPool> owned;
   ThreadPool& pool = detail::select_pool(opt, owned);
   pool.parallel_for(n, 1, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       const detail::ProfileShardGuard shard(prof);
-      Rng rng = trial_rng(opt.root_seed, i, 0);
-      out[i] = fn(i, rng);
+      const bool telem = telemetry_enabled();
+      const std::uint64_t c_begin = telem ? detail::monotonic_ns() : 0;
+      {
+        const obs::perf::ScopedSpan map_span("mc.map");
+        Rng rng = trial_rng(opt.root_seed, i, 0);
+        out[i] = fn(i, rng);
+      }
+      if (telem) detail::record_chunk_ns(detail::monotonic_ns() - c_begin);
     }
   });
   return out;

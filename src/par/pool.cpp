@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/metrics.h"
+
 namespace wlan::par {
 namespace {
 
@@ -12,7 +14,112 @@ namespace {
 constexpr unsigned kNoLane = ~0u;
 thread_local unsigned tl_lane = kNoLane;
 
+std::atomic<bool> g_telemetry{false};
+
+struct GlobalChunkStats {
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+GlobalChunkStats g_chunk_stats;
+
 }  // namespace
+
+bool telemetry_enabled() noexcept {
+  return g_telemetry.load(std::memory_order_relaxed);
+}
+
+void set_telemetry_enabled(bool on) noexcept {
+  g_telemetry.store(on, std::memory_order_relaxed);
+}
+
+ChunkStats chunk_stats() noexcept {
+  ChunkStats s;
+  s.chunks = g_chunk_stats.chunks.load(std::memory_order_relaxed);
+  s.total_ns = g_chunk_stats.total_ns.load(std::memory_order_relaxed);
+  s.max_ns = g_chunk_stats.max_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_chunk_stats() noexcept {
+  g_chunk_stats.chunks.store(0, std::memory_order_relaxed);
+  g_chunk_stats.total_ns.store(0, std::memory_order_relaxed);
+  g_chunk_stats.max_ns.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record_chunk_ns(std::uint64_t ns) noexcept {
+  g_chunk_stats.chunks.fetch_add(1, std::memory_order_relaxed);
+  g_chunk_stats.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = g_chunk_stats.max_ns.load(std::memory_order_relaxed);
+  while (ns > seen && !g_chunk_stats.max_ns.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+LaneTelemetry PoolTelemetry::totals() const {
+  LaneTelemetry t;
+  for (const LaneTelemetry& lane : lanes) {
+    t.tasks += lane.tasks;
+    t.steal_attempts += lane.steal_attempts;
+    t.steal_successes += lane.steal_successes;
+    t.help_iterations += lane.help_iterations;
+    t.busy_ns += lane.busy_ns;
+    t.park_ns += lane.park_ns;
+  }
+  return t;
+}
+
+double PoolTelemetry::utilization(double wall_s) const {
+  if (lanes.empty() || wall_s <= 0.0) return 0.0;
+  const double busy_s = static_cast<double>(totals().busy_ns) * 1e-9;
+  return busy_s / (static_cast<double>(lanes.size()) * wall_s);
+}
+
+double PoolTelemetry::imbalance() const {
+  if (lanes.empty()) return 0.0;
+  std::uint64_t max_busy = 0;
+  std::uint64_t total_busy = 0;
+  for (const LaneTelemetry& lane : lanes) {
+    max_busy = std::max(max_busy, lane.busy_ns);
+    total_busy += lane.busy_ns;
+  }
+  if (total_busy == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total_busy) / static_cast<double>(lanes.size());
+  return static_cast<double>(max_busy) / mean;
+}
+
+void publish_telemetry(obs::Registry& registry, const PoolTelemetry& pool,
+                       const ChunkStats& chunks, double wall_s) {
+  const LaneTelemetry totals = pool.totals();
+  registry.counter("par.tasks").add(totals.tasks);
+  registry.counter("par.steal_attempts").add(totals.steal_attempts);
+  registry.counter("par.steal_successes").add(totals.steal_successes);
+  registry.counter("par.help_iterations").add(totals.help_iterations);
+  registry.counter("par.chunks").add(chunks.chunks);
+  registry.gauge("par.lanes").set(static_cast<double>(pool.lanes.size()));
+  registry.gauge("par.busy_s").set(static_cast<double>(totals.busy_ns) * 1e-9);
+  registry.gauge("par.park_s").set(static_cast<double>(totals.park_ns) * 1e-9);
+  registry.gauge("par.utilization").set(pool.utilization(wall_s));
+  registry.gauge("par.imbalance").set(pool.imbalance());
+  registry.gauge("par.chunk_mean_s")
+      .set(chunks.chunks == 0 ? 0.0
+                              : static_cast<double>(chunks.total_ns) * 1e-9 /
+                                    static_cast<double>(chunks.chunks));
+  registry.gauge("par.chunk_max_s")
+      .set(static_cast<double>(chunks.max_ns) * 1e-9);
+}
 
 ThreadPool::ThreadPool(unsigned jobs)
     : jobs_(std::max(1u, jobs == 0 ? hardware_jobs() : jobs)) {
@@ -20,6 +127,10 @@ ThreadPool::ThreadPool(unsigned jobs)
   lanes_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
     lanes_.push_back(std::make_unique<Lane>());
+  }
+  stats_.reserve(jobs_);
+  for (unsigned i = 0; i < jobs_; ++i) {
+    stats_.push_back(std::make_unique<LaneStats>());
   }
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
@@ -56,7 +167,43 @@ void ThreadPool::push_task(std::function<void()> task) {
   wake_cv_.notify_one();
 }
 
+ThreadPool::LaneStats& ThreadPool::stats_slot(unsigned home_lane) {
+  // Workers own slots 0..jobs-2; every external caller shares the last.
+  const std::size_t slot = (home_lane != kNoLane && home_lane < lanes_.size())
+                               ? home_lane
+                               : jobs_ - 1;
+  return *stats_[slot];
+}
+
+PoolTelemetry ThreadPool::telemetry() const {
+  PoolTelemetry t;
+  t.lanes.reserve(jobs_);
+  for (const auto& s : stats_) {
+    LaneTelemetry lane;
+    lane.tasks = s->tasks.load(std::memory_order_relaxed);
+    lane.steal_attempts = s->steal_attempts.load(std::memory_order_relaxed);
+    lane.steal_successes = s->steal_successes.load(std::memory_order_relaxed);
+    lane.help_iterations = s->help_iterations.load(std::memory_order_relaxed);
+    lane.busy_ns = s->busy_ns.load(std::memory_order_relaxed);
+    lane.park_ns = s->park_ns.load(std::memory_order_relaxed);
+    t.lanes.push_back(lane);
+  }
+  return t;
+}
+
+void ThreadPool::reset_telemetry() {
+  for (const auto& s : stats_) {
+    s->tasks.store(0, std::memory_order_relaxed);
+    s->steal_attempts.store(0, std::memory_order_relaxed);
+    s->steal_successes.store(0, std::memory_order_relaxed);
+    s->help_iterations.store(0, std::memory_order_relaxed);
+    s->busy_ns.store(0, std::memory_order_relaxed);
+    s->park_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
 bool ThreadPool::try_run_one(unsigned home_lane) {
+  const bool telem = telemetry_enabled();
   std::function<void()> task;
   // Own lane first (back = most recently pushed), then steal the oldest
   // task from the other lanes.
@@ -69,6 +216,10 @@ bool ThreadPool::try_run_one(unsigned home_lane) {
     }
   }
   if (!task) {
+    if (telem && !lanes_.empty()) {
+      stats_slot(home_lane).steal_attempts.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     for (std::size_t i = 0; i < lanes_.size() && !task; ++i) {
       const std::size_t victim =
           (home_lane == kNoLane ? i : (home_lane + 1 + i) % lanes_.size());
@@ -80,9 +231,22 @@ bool ThreadPool::try_run_one(unsigned home_lane) {
         lane.tasks.pop_front();
       }
     }
+    if (telem && task) {
+      stats_slot(home_lane).steal_successes.fetch_add(
+          1, std::memory_order_relaxed);
+    }
   }
   if (!task) return false;
-  task();
+  if (telem) {
+    LaneStats& s = stats_slot(home_lane);
+    const std::uint64_t t0 = detail::monotonic_ns();
+    task();
+    s.busy_ns.fetch_add(detail::monotonic_ns() - t0,
+                        std::memory_order_relaxed);
+    s.tasks.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    task();
+  }
   return true;
 }
 
@@ -104,7 +268,14 @@ void ThreadPool::worker_loop(unsigned lane) {
       }
     }
     if (any) continue;
-    wake_cv_.wait(lock);
+    if (telemetry_enabled()) {
+      const std::uint64_t t0 = detail::monotonic_ns();
+      wake_cv_.wait(lock);
+      stats_[lane]->park_ns.fetch_add(detail::monotonic_ns() - t0,
+                                      std::memory_order_relaxed);
+    } else {
+      wake_cv_.wait(lock);
+    }
   }
 }
 
@@ -116,9 +287,22 @@ void ThreadPool::parallel_for(
 
   // Pool of one lane (or a single chunk): run inline, no queues, no
   // synchronization — the serial path every single-threaded caller gets.
+  // The caller slot still counts tasks/busy time so --jobs 1 reports a
+  // meaningful utilization.
   if (jobs_ == 1 || n <= chunk) {
-    for (std::size_t begin = 0; begin < n; begin += chunk) {
-      fn(begin, std::min(n, begin + chunk));
+    if (telemetry_enabled()) {
+      LaneStats& s = stats_slot(tl_lane);
+      for (std::size_t begin = 0; begin < n; begin += chunk) {
+        const std::uint64_t t0 = detail::monotonic_ns();
+        fn(begin, std::min(n, begin + chunk));
+        s.busy_ns.fetch_add(detail::monotonic_ns() - t0,
+                            std::memory_order_relaxed);
+        s.tasks.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      for (std::size_t begin = 0; begin < n; begin += chunk) {
+        fn(begin, std::min(n, begin + chunk));
+      }
     }
     return;
   }
@@ -156,13 +340,24 @@ void ThreadPool::parallel_for(
   // up tasks of other in-flight parallel_for calls (nested submits) —
   // that is what makes reentrancy deadlock-free.
   const unsigned home = tl_lane;
+  const bool telem = telemetry_enabled();
   while (state.remaining.load(std::memory_order_acquire) > 0) {
+    if (telem) {
+      stats_slot(home).help_iterations.fetch_add(1, std::memory_order_relaxed);
+    }
     if (try_run_one(home)) continue;
     std::unique_lock<std::mutex> lock(state.mutex);
     if (state.done) break;
     // Our chunks are running on other threads; nothing left to steal.
     // Wake periodically in case a nested submit parked new work.
-    state.done_cv.wait_for(lock, std::chrono::milliseconds(1));
+    if (telem) {
+      const std::uint64_t t0 = detail::monotonic_ns();
+      state.done_cv.wait_for(lock, std::chrono::milliseconds(1));
+      stats_slot(home).park_ns.fetch_add(detail::monotonic_ns() - t0,
+                                         std::memory_order_relaxed);
+    } else {
+      state.done_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
   }
   // The final chunk flips `done` and notifies while holding state.mutex.
   // Waiting on that flag under the same mutex means this cannot return —

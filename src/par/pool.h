@@ -20,8 +20,10 @@
 // invisible to the output.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -30,7 +32,67 @@
 #include <thread>
 #include <vector>
 
+namespace wlan::obs {
+class Registry;
+}  // namespace wlan::obs
+
 namespace wlan::par {
+
+/// Snapshot of one execution lane's counters (see ThreadPool::telemetry).
+struct LaneTelemetry {
+  std::uint64_t tasks = 0;            ///< tasks this lane executed
+  std::uint64_t steal_attempts = 0;   ///< empty-own-deque scans of other lanes
+  std::uint64_t steal_successes = 0;  ///< scans that found a task
+  std::uint64_t help_iterations = 0;  ///< parallel_for help-while-waiting loops
+  std::uint64_t busy_ns = 0;          ///< wall time inside task bodies
+  std::uint64_t park_ns = 0;          ///< wall time blocked waiting for work
+};
+
+/// Per-lane counters of a pool since creation (or reset_telemetry).
+/// Lanes 0..size-2 are the worker threads; the last lane aggregates
+/// every external caller (the thread driving parallel_for).
+struct PoolTelemetry {
+  std::vector<LaneTelemetry> lanes;
+
+  LaneTelemetry totals() const;
+  /// Fraction of `lanes * wall_s` spent inside task bodies (0 when the
+  /// pool was never used or wall_s is not positive).
+  double utilization(double wall_s) const;
+  /// Max/mean lane busy time: 1.0 = perfectly balanced, higher = one
+  /// lane did disproportionate work; 0 when no lane was ever busy.
+  double imbalance() const;
+};
+
+/// Process-wide switch for pool + chunk telemetry. Off by default: the
+/// instrumented paths then pay one relaxed atomic load and a branch per
+/// task (no clock reads). bench_util arms it behind --json/--profile.
+bool telemetry_enabled() noexcept;
+void set_telemetry_enabled(bool on) noexcept;
+
+/// Aggregate per-chunk wall times recorded by par::sweep/montecarlo/map
+/// while telemetry is enabled (process-wide, across every pool).
+struct ChunkStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+ChunkStats chunk_stats() noexcept;
+void reset_chunk_stats() noexcept;
+
+/// Publishes pool + chunk telemetry into `registry` under par.*:
+/// counters par.tasks / par.steal_attempts / par.steal_successes /
+/// par.help_iterations / par.chunks, gauges par.lanes / par.busy_s /
+/// par.park_s / par.utilization / par.imbalance / par.chunk_mean_s /
+/// par.chunk_max_s. Fixed creation order.
+void publish_telemetry(obs::Registry& registry, const PoolTelemetry& pool,
+                       const ChunkStats& chunks, double wall_s);
+
+namespace detail {
+/// steady_clock in integer nanoseconds (telemetry timestamps).
+std::uint64_t monotonic_ns() noexcept;
+/// Folds one chunk wall time into the process-wide ChunkStats.
+void record_chunk_ns(std::uint64_t ns) noexcept;
+}  // namespace detail
 
 /// Work-stealing pool of `jobs` execution lanes (the caller of
 /// parallel_for counts as one; `jobs - 1` worker threads are spawned).
@@ -57,18 +119,37 @@ class ThreadPool {
   /// hardware_concurrency(), floored at 1.
   static unsigned hardware_jobs();
 
+  /// Counter snapshot per lane (workers first, external callers pooled
+  /// in the last slot). Counts only accumulate while
+  /// `telemetry_enabled()`; zero-cost otherwise.
+  PoolTelemetry telemetry() const;
+  void reset_telemetry();
+
  private:
   struct Lane {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
   };
 
+  // Relaxed atomics: each slot is written by its own lane almost always
+  // (external callers share the last slot), read only by telemetry().
+  struct alignas(64) LaneStats {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> steal_successes{0};
+    std::atomic<std::uint64_t> help_iterations{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> park_ns{0};
+  };
+
   void worker_loop(unsigned lane);
   bool try_run_one(unsigned home_lane);
   void push_task(std::function<void()> task);
+  LaneStats& stats_slot(unsigned home_lane);
 
   unsigned jobs_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<LaneStats>> stats_;  // jobs_ slots
   std::vector<std::thread> threads_;
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "dsp/simd.h"
+#include "obs/perf.h"
 #include "obs/timer.h"
 #include "phy/workspace.h"
 
@@ -188,6 +189,7 @@ void viterbi_decode_into(std::span<const double> llrs, bool terminated,
                          Bits& decoded, Workspace& ws) {
   const obs::ScopedTimer timer(
       obs::kernel_histogram(obs::Kernel::kViterbi));
+  const obs::perf::ScopedSpan span("viterbi");
   check(llrs.size() % 2 == 0, "viterbi_decode requires an even LLR count");
   const std::size_t n_steps = llrs.size() / 2;
   // Finite "unreachable" sentinel: adding a branch metric to it is

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "linalg/decompose.h"
+#include "obs/perf.h"
 #include "obs/probe.h"
 #include "phy/interleaver.h"
 #include "phy/ldpc.h"
@@ -241,6 +242,8 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
                                const std::vector<linalg::CMatrix>& tones,
                                double snr_db, Rng& rng, Bytes& out,
                                Workspace& ws) const {
+  // One span over the combined TX+RX chain (encode through decode).
+  const obs::perf::ScopedSpan span("ht.link");
   const std::size_t n_fft = ht_fft_size(config_.bandwidth);
   check(tones.size() == n_fft, "per-tone channel count must match FFT size");
   check(tones[0].rows() == n_rx_ && tones[0].cols() == n_tx_,

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "dsp/simd.h"
+#include "obs/perf.h"
 #include "obs/timer.h"
 #include "phy/workspace.h"
 
@@ -211,6 +212,7 @@ void LdpcCode::decode_into(std::span<const double> llrs, int max_iterations,
                            Workspace& ws) const {
   const obs::ScopedTimer timer(
       obs::kernel_histogram(obs::Kernel::kLdpcDecode));
+  const obs::perf::ScopedSpan span("ldpc_decode");
   check(llrs.size() == n_, "LdpcCode::decode LLR length mismatch");
 
   // Edge-indexed layered min-sum on the flat CSR structure: c2v[e] is

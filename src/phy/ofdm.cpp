@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/units.h"
 #include "dsp/fft.h"
+#include "obs/perf.h"
 #include "obs/probe.h"
 #include "phy/interleaver.h"
 #include "phy/scrambler.h"
@@ -202,6 +203,7 @@ std::size_t OfdmPhy::waveform_length(std::size_t psdu_bytes) const {
 
 void OfdmPhy::transmit_into(std::span<const std::uint8_t> psdu, CVec& out,
                             Workspace& ws) const {
+  const obs::perf::ScopedSpan span("ofdm.tx");
   const std::size_t n_sym = n_symbols_for_psdu(psdu.size());
   const std::size_t n_data_bits = n_sym * info_->n_dbps;
 
@@ -262,6 +264,7 @@ CVec OfdmPhy::transmit(std::span<const std::uint8_t> psdu) const {
 void OfdmPhy::receive_into(std::span<const Cplx> samples,
                            std::size_t psdu_bytes, double noise_variance,
                            Bytes& psdu, Workspace& ws) const {
+  const obs::perf::ScopedSpan span("ofdm.rx");
   const std::size_t n_sym = n_symbols_for_psdu(psdu_bytes);
   check(samples.size() >= (kLtfSymbols + n_sym) * kSymbolLen,
         "OFDM receive: waveform too short");

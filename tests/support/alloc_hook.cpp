@@ -7,9 +7,13 @@
 namespace {
 
 std::atomic<std::size_t> g_news{0};
+// Plain POD thread-local: zero-initialized, no guard, safe to bump from
+// inside operator new (a guarded TLS init could itself allocate).
+thread_local std::size_t t_news = 0;
 
 void* counted_alloc(std::size_t size, std::size_t align) {
   g_news.fetch_add(1, std::memory_order_relaxed);
+  ++t_news;
   if (size == 0) size = 1;
   void* p;
   if (align > alignof(std::max_align_t)) {
@@ -34,6 +38,8 @@ namespace testsupport {
 std::size_t allocation_count() noexcept {
   return g_news.load(std::memory_order_relaxed);
 }
+
+std::size_t thread_allocation_count() noexcept { return t_news; }
 
 }  // namespace testsupport
 

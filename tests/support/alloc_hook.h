@@ -13,4 +13,9 @@ namespace testsupport {
 /// Number of global operator-new (all variants) calls since process start.
 std::size_t allocation_count() noexcept;
 
+/// Operator-new calls made by the CALLING thread since it started —
+/// suitable as an obs::perf alloc source (set_alloc_source) for
+/// per-span allocation attribution that other threads cannot skew.
+std::size_t thread_allocation_count() noexcept;
+
 }  // namespace testsupport
