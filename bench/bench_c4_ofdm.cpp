@@ -5,10 +5,13 @@
 // rate of 54 Mbps yielded a spectral efficiency of 2.7 bps/Hz,
 // representing yet again an approximately fivefold increase over the
 // previous standard."
+#include <cmath>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/wlan.h"
+#include "dsp/simd.h"
+#include "dsp/simd_int.h"
 
 int main(int argc, char** argv) {
   using namespace wlan;
@@ -22,6 +25,21 @@ int main(int argc, char** argv) {
   Rng rng(4);
   const std::size_t psdu = 500;
   const std::size_t packets = 40;
+  // --batch: same experiment through the trial-batched runner (bitwise
+  // identical series, faster wall). --quantized additionally re-runs
+  // every cell on the int16 decoders from a paired seed and reports the
+  // worst PER divergence (the bench_diff gate metric).
+  const std::size_t batch = bu::batch_lanes();
+  const bool quant = batch != 0 && bu::quantized();
+  // The int16 kernels vectorize when the lane count is a multiple of the
+  // int16 SIMD width, and their output is deterministic across lane
+  // counts — so the quantized re-run widens to the next multiple (its
+  // whole point is running more lanes per vector than the double path).
+  const std::size_t qlanes =
+      std::min<std::size_t>(16, ((batch + dsp::simd::kI16Width - 1) /
+                                 dsp::simd::kI16Width) *
+                                    dsp::simd::kI16Width);
+  double quant_delta_max = 0.0;
 
   std::vector<double> snrs;
   for (double s = 2.0; s <= 26.0; s += 2.0) snrs.push_back(s);
@@ -37,8 +55,20 @@ int main(int argc, char** argv) {
   for (const double snr : snrs) {
     std::printf("%9.1f", snr);
     for (std::size_t m = 0; m < phy::kAllOfdmMcs.size(); ++m) {
-      const LinkResult r =
-          run_ofdm_link(phy::kAllOfdmMcs[m], psdu, packets, snr, rng);
+      LinkResult r;
+      if (batch) {
+        Rng qrng = rng;  // paired seed for the quantized re-run
+        r = run_ofdm_link_batched(phy::kAllOfdmMcs[m], psdu, packets, snr,
+                                  rng, {batch, false});
+        if (quant) {
+          const LinkResult q = run_ofdm_link_batched(
+              phy::kAllOfdmMcs[m], psdu, packets, snr, qrng, {qlanes, true});
+          quant_delta_max =
+              std::max(quant_delta_max, std::abs(q.per() - r.per()));
+        }
+      } else {
+        r = run_ofdm_link(phy::kAllOfdmMcs[m], psdu, packets, snr, rng);
+      }
       per[m].push_back(r.per());
       std::printf(" %8.2f", r.per());
     }
@@ -69,6 +99,16 @@ int main(int argc, char** argv) {
                "snr_db", snrs, "per", per[m]);
   }
   bu::metric("peak_goodput_mbps", top_goodput);
+  if (batch) bu::metric("batch_lanes", static_cast<double>(batch));
+  if (quant) {
+    bu::metric("quantized_per_delta_max", quant_delta_max);
+    bu::metric("quantized_lane_multiple",
+               static_cast<double>(dsp::simd::kI16Width) /
+                   static_cast<double>(dsp::simd::kWidth));
+    std::printf("\n  quantized int16 path: worst PER delta %.3f, "
+                "%zu int16 lanes vs %zu double lanes\n",
+                quant_delta_max, dsp::simd::kI16Width, dsp::simd::kWidth);
+  }
 
   // Sensitivity ladder: each step up the MCS list needs more SNR.
   bu::section("SNR required for PER <= 10% per MCS");

@@ -9,11 +9,14 @@
 // Part 2 runs the full HT link (BCC vs LDPC at the same MCS) over fading
 // and converts the SNR advantage into a range multiple through the
 // dual-slope path-loss model.
+#include <cmath>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/bits.h"
 #include "core/wlan.h"
+#include "dsp/simd.h"
+#include "dsp/simd_int.h"
 #include "par/montecarlo.h"
 #include "phy/workspace.h"
 
@@ -114,15 +117,52 @@ int main(int argc, char** argv) {
   std::vector<double> per_bcc;
   std::vector<double> per_ldpc;
   std::printf("%10s %10s %10s\n", "SNR(dB)", "BCC", "LDPC");
+  // --batch: the trial-batched runner is bitwise identical to the scalar
+  // one; --quantized re-runs each point from a paired seed on the int16
+  // decoders and records the worst PER divergence.
+  const std::size_t batch = bu::batch_lanes();
+  const bool quant = batch != 0 && bu::quantized();
+  // Quantized re-runs widen to a multiple of the int16 SIMD width (the
+  // int16 kernels are deterministic across lane counts, and more lanes
+  // per vector is the fast path's point).
+  const std::size_t qlanes =
+      std::min<std::size_t>(16, ((batch + dsp::simd::kI16Width - 1) /
+                                 dsp::simd::kI16Width) *
+                                    dsp::simd::kI16Width);
+  double quant_delta_max = 0.0;
   for (double snr = 6.0; snr <= 22.0; snr += 2.0) {
     phy::HtConfig bcc;
     bcc.mcs = 3;
     phy::HtConfig ldpc = bcc;
     ldpc.coding = phy::HtCoding::kLdpc;
-    const LinkResult rb =
-        run_ht_link(bcc, 400, 150, snr, rng, channel::DelayProfile::kOffice);
-    const LinkResult rl =
-        run_ht_link(ldpc, 400, 150, snr, rng, channel::DelayProfile::kOffice);
+    LinkResult rb;
+    LinkResult rl;
+    if (batch) {
+      Rng qb = rng;
+      rb = run_ht_link_batched(bcc, 400, 150, snr, rng, {batch, false},
+                               channel::DelayProfile::kOffice);
+      if (quant) {
+        const LinkResult q = run_ht_link_batched(
+            bcc, 400, 150, snr, qb, {qlanes, true},
+            channel::DelayProfile::kOffice);
+        quant_delta_max =
+            std::max(quant_delta_max, std::abs(q.per() - rb.per()));
+      }
+      Rng ql = rng;
+      rl = run_ht_link_batched(ldpc, 400, 150, snr, rng, {batch, false},
+                               channel::DelayProfile::kOffice);
+      if (quant) {
+        const LinkResult q = run_ht_link_batched(
+            ldpc, 400, 150, snr, ql, {qlanes, true},
+            channel::DelayProfile::kOffice);
+        quant_delta_max =
+            std::max(quant_delta_max, std::abs(q.per() - rl.per()));
+      }
+    } else {
+      rb = run_ht_link(bcc, 400, 150, snr, rng, channel::DelayProfile::kOffice);
+      rl = run_ht_link(ldpc, 400, 150, snr, rng,
+                       channel::DelayProfile::kOffice);
+    }
     snrs.push_back(snr);
     per_bcc.push_back(rb.per());
     per_ldpc.push_back(rl.per());
@@ -149,6 +189,16 @@ int main(int argc, char** argv) {
   bu::metric("coding_gain_db_at_ber_1e4", gain_db);
   bu::metric("link_gain_db_at_per_10pct", link_gain);
   bu::metric("range_multiple", range_multiple);
+  if (batch) bu::metric("batch_lanes", static_cast<double>(batch));
+  if (quant) {
+    bu::metric("quantized_per_delta_max", quant_delta_max);
+    bu::metric("quantized_lane_multiple",
+               static_cast<double>(dsp::simd::kI16Width) /
+                   static_cast<double>(dsp::simd::kWidth));
+    std::printf("  quantized int16 path: worst PER delta %.3f, "
+                "%zu int16 lanes vs %zu double lanes\n",
+                quant_delta_max, dsp::simd::kI16Width, dsp::simd::kWidth);
+  }
   const bool ok = gain_db > 0.5 && link_gain > -0.5;
   bu::verdict(ok,
               "LDPC gains %.1f dB on coded BPSK and %.1f dB at the 11n link "

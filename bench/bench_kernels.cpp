@@ -276,6 +276,64 @@ void BM_ViterbiAcs(benchmark::State& state) {
 }
 BENCHMARK(BM_ViterbiAcs)->Arg(0)->Arg(1);
 
+// Trial-batched Viterbi over a lane-major LLR block — `lanes` trials
+// decoded in SIMD lockstep. Every lane carries the identical noisy
+// block so the lane-count scaling isolates the kernel (per-lane
+// difficulty variance is the macro benches' business); items processed
+// counts info bits across all lanes, so items/s compares directly
+// against BM_ViterbiDecode / BM_ViterbiAcs.
+void BM_ViterbiBatch(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_info = 1000;
+  Rng rng(2);
+  Bits info = rng.random_bits(n_info);
+  for (std::size_t i = n_info - 6; i < n_info; ++i) info[i] = 0;
+  const Bits coded = phy::convolutional_encode(info);
+  RVec llrs_soa(coded.size() * lanes);
+  Rng noise(21);
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double v = (coded[i] ? -1.0 : 1.0) + 0.5 * noise.gaussian();
+    for (std::size_t l = 0; l < lanes; ++l) llrs_soa[i * lanes + l] = v;
+  }
+  phy::Workspace& ws = phy::tls_workspace();
+  Bits out_soa;
+  for (auto _ : state) {
+    phy::viterbi_decode_batch_into(llrs_soa, lanes, true, out_soa, ws);
+    benchmark::DoNotOptimize(out_soa.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_info * lanes));
+}
+BENCHMARK(BM_ViterbiBatch)->Arg(1)->Arg(8)->Arg(16);
+
+// Quantized int16 batched Viterbi — the saturating ACS fast path. Not
+// bitwise against BM_ViterbiBatch (int8-scaled metrics); throughput is
+// the point: more lanes per vector than the double path.
+void BM_ViterbiBatchI16(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_info = 1000;
+  Rng rng(2);
+  Bits info = rng.random_bits(n_info);
+  for (std::size_t i = n_info - 6; i < n_info; ++i) info[i] = 0;
+  const Bits coded = phy::convolutional_encode(info);
+  RVec llrs_soa(coded.size() * lanes);
+  Rng noise(21);
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double v = (coded[i] ? -1.0 : 1.0) + 0.5 * noise.gaussian();
+    for (std::size_t l = 0; l < lanes; ++l) llrs_soa[i * lanes + l] = v;
+  }
+  phy::Workspace& ws = phy::tls_workspace();
+  Bits out_soa;
+  for (auto _ : state) {
+    phy::viterbi_decode_batch_i16_into(llrs_soa, lanes, true, 16.0, out_soa,
+                                       ws);
+    benchmark::DoNotOptimize(out_soa.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_info * lanes));
+}
+BENCHMARK(BM_ViterbiBatchI16)->Arg(8)->Arg(16);
+
 // Layered min-sum LDPC decode at a noisy working point (several BP
 // iterations per block) — vectorized check-node update vs scalar. The
 // rate-5/6 code's wide check rows (degree 18) are where the lane-per-
@@ -306,6 +364,61 @@ void BM_LdpcMinSum(benchmark::State& state) {
       static_cast<double>(iters) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_LdpcMinSum)->Arg(0)->Arg(1);
+
+// Trial-batched layered min-sum at the same working point — `lanes`
+// blocks in SIMD lockstep, every lane the identical noisy block (so
+// the scaling isolates the kernel, not per-block iteration variance).
+// Bitwise identical per lane to BM_LdpcMinSum's decode_into; items/s
+// across lanes is the comparison.
+void BM_LdpcMinSumBatch(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  const phy::LdpcCode code(648, 540, 11);
+  Rng rng(3);
+  const Bits info = rng.random_bits(540);
+  const Bits cw = code.encode(info);
+  RVec llrs_soa(648 * lanes);
+  const double sigma = 0.55;
+  for (std::size_t i = 0; i < 648; ++i) {
+    const double v = 2.0 * ((cw[i] ? -1.0 : 1.0) + sigma * rng.gaussian()) /
+                     (sigma * sigma);
+    for (std::size_t l = 0; l < lanes; ++l) llrs_soa[i * lanes + l] = v;
+  }
+  phy::Workspace& ws = phy::tls_workspace();
+  std::vector<phy::LdpcCode::DecodeResult> res(lanes);
+  for (auto _ : state) {
+    code.decode_batch_into(llrs_soa, lanes, 40, 0.8, res, ws);
+    benchmark::DoNotOptimize(res.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(540 * lanes));
+}
+BENCHMARK(BM_LdpcMinSumBatch)->Arg(1)->Arg(8)->Arg(16);
+
+// Quantized int16 batched min-sum — the saturating fast path. Not
+// bitwise against the double path (PER-delta gated in bench_diff).
+void BM_LdpcMinSumBatchI16(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  const phy::LdpcCode code(648, 540, 11);
+  Rng rng(3);
+  const Bits info = rng.random_bits(540);
+  const Bits cw = code.encode(info);
+  RVec llrs_soa(648 * lanes);
+  const double sigma = 0.55;
+  for (std::size_t i = 0; i < 648; ++i) {
+    const double v = 2.0 * ((cw[i] ? -1.0 : 1.0) + sigma * rng.gaussian()) /
+                     (sigma * sigma);
+    for (std::size_t l = 0; l < lanes; ++l) llrs_soa[i * lanes + l] = v;
+  }
+  phy::Workspace& ws = phy::tls_workspace();
+  std::vector<phy::LdpcCode::DecodeResult> res(lanes);
+  for (auto _ : state) {
+    code.decode_batch_i16_into(llrs_soa, lanes, 40, 0.8, 4.0, res, ws);
+    benchmark::DoNotOptimize(res.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(540 * lanes));
+}
+BENCHMARK(BM_LdpcMinSumBatchI16)->Arg(8)->Arg(16);
 
 // Full OFDM TX -> AWGN -> RX round trip through the leased-workspace
 // API — the zero-steady-state-allocation path the Monte-Carlo trial

@@ -71,6 +71,8 @@ struct Report {
   std::string chrome_trace_path;
   std::unique_ptr<obs::ChromeTraceSink> chrome;  // closed by ~Report
   bool latency = false;    // --latency: frame-lifecycle instrumentation on
+  std::size_t batch = 0;   // --batch [n]: trial-batched runners, n lanes
+  bool quantized = false;  // --quantized: int16 decoder fast paths
   bool profile = false;    // --profile: span profiler armed
   std::string profile_path;       // folded-stack output ("" = derived)
   obs::perf::SpanProfile spans;   // merged span tree (all threads)
@@ -341,10 +343,23 @@ inline void args(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') r.profile_path = argv[++i];
     } else if (a == "--latency") {
       r.latency = true;
+    } else if (a == "--batch") {
+      r.batch = 8;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const long n = std::strtol(argv[++i], nullptr, 10);
+        if (n < 1 || n > 16) {
+          std::fprintf(stderr, "--batch lanes must be 1..16\n");
+          std::exit(2);
+        }
+        r.batch = static_cast<std::size_t>(n);
+      }
+    } else if (a == "--quantized") {
+      r.quantized = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--chrome-trace <path>] "
-                   "[--profile [path]] [--latency] [--jobs <n>]\n",
+                   "[--profile [path]] [--latency] [--jobs <n>] "
+                   "[--batch [lanes]] [--quantized]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -370,6 +385,17 @@ inline void args(int argc, char** argv) {
 /// representative runs and report delay percentiles, the windowed time
 /// series, and the invariant-auditor breach count in --json output.
 inline bool latency() { return report().latency; }
+
+/// Lane count from --batch (0 = batching off): link benches that support
+/// trial batching then switch to the *_batched runners. The batched
+/// double path is bitwise identical to the scalar runners, so series and
+/// metrics are unchanged — only wall time moves.
+inline std::size_t batch_lanes() { return report().batch; }
+
+/// True when --quantized was given: batched benches then also run the
+/// int16 decoder fast paths on paired seeds and report the worst PER
+/// delta against the double path (the bench_diff gate metric).
+inline bool quantized() { return report().quantized; }
 
 /// Records a trace sink's final dropped() count under `name` in the
 /// --json report ("sinks" array + "sink_dropped" total). Call once per

@@ -7,6 +7,7 @@
 #
 # Usage: scripts/run_benches.sh [build-dir] [out-dir] [--baseline [file]]
 #                               [--only <bench,bench,...>] [--jobs <n>]
+#                               [--batch <n>] [--quantized]
 #                               [--latency] [--profile] [--util-floor <f>]
 #
 #   --baseline [file]  After the run, gate the aggregate report against
@@ -21,6 +22,16 @@
 #                      are thread-count independent; only wall time
 #                      changes. Default: the bench's own default
 #                      (hardware_concurrency).
+#   --batch <n>        Forward --batch <n> to every bench: benches with a
+#                      trial-batched runner (C4, C7) push n trials in
+#                      SIMD lockstep per Monte-Carlo group — bitwise
+#                      identical results, lower wall time. Benches
+#                      without a batched path ignore the flag.
+#   --quantized        Forward --quantized (only meaningful with
+#                      --batch): C4/C7 re-run every sweep cell on the
+#                      int16 Viterbi/min-sum decoders from a paired seed
+#                      and report quantized_per_delta_max — gate it with
+#                      --baseline bench-out/BENCH_BASELINE_BATCH.json.
 #   --latency          Forward --latency to every bench: simulator
 #                      benches add frame-lifecycle books (delay
 #                      percentiles, time series, invariant audit) to
@@ -74,6 +85,8 @@ OUT=""
 BASELINE=""
 ONLY=""
 JOBS=""
+BATCH=""
+QUANTIZED=""
 LATENCY=""
 PROFILE=""
 UTIL_FLOOR="0.10"
@@ -95,6 +108,14 @@ while [[ $# -gt 0 ]]; do
       [[ $# -gt 1 ]] || { echo "--jobs needs a count" >&2; exit 2; }
       JOBS="$2"
       shift
+      ;;
+    --batch)
+      [[ $# -gt 1 ]] || { echo "--batch needs a lane count" >&2; exit 2; }
+      BATCH="$2"
+      shift
+      ;;
+    --quantized)
+      QUANTIZED=1
       ;;
     --latency)
       LATENCY=1
@@ -159,6 +180,8 @@ for bench in "${BENCHES[@]}"; do
   echo "== $bench"
   bench_args=(--json "$json")
   [[ -n "$JOBS" ]] && bench_args+=(--jobs "$JOBS")
+  [[ -n "$BATCH" ]] && bench_args+=(--batch "$BATCH")
+  [[ -n "$QUANTIZED" ]] && bench_args+=(--quantized)
   [[ -n "$LATENCY" ]] && bench_args+=(--latency)
   [[ -n "$PROFILE" ]] && bench_args+=(--profile "$OUT/$bench.folded")
   start_s=$(date +%s.%N)

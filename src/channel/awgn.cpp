@@ -10,7 +10,10 @@ namespace wlan::channel {
 
 void add_awgn(CVec& x, Rng& rng, double noise_variance) {
   if (noise_variance <= 0.0) return;
-  for (auto& v : x) v += rng.cgaussian(noise_variance);
+  // One sqrt for the whole waveform; per-sample values are identical to
+  // calling rng.cgaussian(noise_variance) sample by sample.
+  const double s = std::sqrt(noise_variance / 2.0);
+  for (auto& v : x) v += Cplx{s * rng.gaussian(), s * rng.gaussian()};
 }
 
 double add_awgn_snr(CVec& x, Rng& rng, double snr_db) {

@@ -75,9 +75,14 @@ double Rng::gaussian() {
   const double u2 = uniform();
   const double r = std::sqrt(-2.0 * std::log(u1));
   const double theta = 2.0 * std::numbers::pi * u2;
-  cached_gaussian_ = r * std::sin(theta);
+  // One argument reduction for both components: glibc's sincos returns
+  // the same values as separate sin/cos calls, so draws are unchanged.
+  double sin_theta = 0.0;
+  double cos_theta = 0.0;
+  __builtin_sincos(theta, &sin_theta, &cos_theta);
+  cached_gaussian_ = r * sin_theta;
   has_cached_gaussian_ = true;
-  return r * std::cos(theta);
+  return r * cos_theta;
 }
 
 double Rng::gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }

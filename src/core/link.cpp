@@ -1,7 +1,9 @@
 #include "core/link.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
+#include <span>
 
 #include "channel/awgn.h"
 #include "common/bits.h"
@@ -169,6 +171,65 @@ LinkResult run_ofdm_link(phy::OfdmMcs mcs, std::size_t psdu_bytes,
       merge_links);
 }
 
+LinkResult run_ofdm_link_batched(phy::OfdmMcs mcs, std::size_t psdu_bytes,
+                                 std::size_t n_packets, double snr_db,
+                                 Rng& rng, BatchOptions batch,
+                                 ChannelSpec channel) {
+  check(psdu_bytes > 0 && n_packets > 0, "empty OFDM link run");
+  check(batch.lanes >= 1 && batch.lanes <= par::kMaxBatch,
+        "run_ofdm_link_batched: lanes out of range");
+  const obs::perf::ScopedSpan span("link.ofdm");
+  const phy::OfdmPhy phy(mcs);
+  par::SweepOptions opt;
+  opt.root_seed = rng.next_u64();
+  const std::size_t tx_len = phy.waveform_length(psdu_bytes);
+  return par::montecarlo_batched<LinkResult>(
+      n_packets, /*point=*/0, batch.lanes, opt,
+      [&](std::uint64_t, std::size_t, std::span<Rng> rngs, LinkResult& acc) {
+        phy::Workspace& ws = phy::tls_workspace();
+        const std::size_t L = rngs.size();
+        auto tx_lease = ws.bits(L * psdu_bytes);
+        Bits& tx = *tx_lease;
+        auto waves_lease = ws.cvec(L * tx_len);
+        CVec& waves = *waves_lease;
+        auto wave_lease = ws.cvec(0);
+        CVec& wave = *wave_lease;
+        std::array<phy::OfdmPhy::RxLane, par::kMaxBatch> rx;
+        for (std::size_t l = 0; l < L; ++l) {
+          // Each lane consumes exactly its own trial Rng, in the same
+          // draw order as the scalar runner — the waveform hitting the
+          // receiver is bitwise the scalar trial's waveform.
+          Rng& prng = rngs[l];
+          const std::span<std::uint8_t> psdu(tx.data() + l * psdu_bytes,
+                                             psdu_bytes);
+          prng.fill_bytes(psdu);
+          phy.transmit_into(psdu, wave, ws);
+          const double signal_power = dsp::mean_power(wave);
+          apply_channel(wave, channel, phy::OfdmPhy::kSampleRateHz, prng, ws);
+          const double noise_var = signal_power / db_to_lin(snr_db);
+          channel::add_awgn(wave, prng, noise_var);
+          wave.resize(tx_len);  // drop the TDL tail beyond the frame
+          std::copy(wave.begin(), wave.end(),
+                    waves.begin() + static_cast<std::ptrdiff_t>(l * tx_len));
+          rx[l] = {std::span<const Cplx>(waves.data() + l * tx_len, tx_len),
+                   noise_var};
+        }
+        // Group-persistent PSDU buffers: thread_local so their capacity
+        // survives across groups (steady state stays allocation-free).
+        thread_local std::array<Bytes, par::kMaxBatch> decoded;
+        phy.receive_batch_into(
+            std::span<const phy::OfdmPhy::RxLane>(rx.data(), L), psdu_bytes,
+            std::span<Bytes>(decoded.data(), L), batch.quantized, ws);
+        for (std::size_t l = 0; l < L; ++l) {
+          count_byte_errors(
+              std::span<const std::uint8_t>(tx.data() + l * psdu_bytes,
+                                            psdu_bytes),
+              decoded[l], acc);
+        }
+      },
+      merge_links);
+}
+
 LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
                        std::size_t n_packets, double snr_db, Rng& rng,
                        channel::DelayProfile profile) {
@@ -189,6 +250,52 @@ LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
         auto decoded = ws.bits(0);
         phy.simulate_link_into(*psdu, tones, snr_db, prng, *decoded, ws);
         count_byte_errors(*psdu, *decoded, acc);
+      },
+      merge_links);
+}
+
+LinkResult run_ht_link_batched(const phy::HtConfig& config,
+                               std::size_t psdu_bytes, std::size_t n_packets,
+                               double snr_db, Rng& rng, BatchOptions batch,
+                               channel::DelayProfile profile) {
+  check(psdu_bytes > 0 && n_packets > 0, "empty HT link run");
+  check(batch.lanes >= 1 && batch.lanes <= par::kMaxBatch,
+        "run_ht_link_batched: lanes out of range");
+  const obs::perf::ScopedSpan span("link.ht");
+  const phy::HtPhy phy(config);
+  par::SweepOptions opt;
+  opt.root_seed = rng.next_u64();
+  return par::montecarlo_batched<LinkResult>(
+      n_packets, /*point=*/0, batch.lanes, opt,
+      [&](std::uint64_t, std::size_t, std::span<Rng> rngs, LinkResult& acc) {
+        phy::Workspace& ws = phy::tls_workspace();
+        const std::size_t L = rngs.size();
+        auto tx_lease = ws.bits(L * psdu_bytes);
+        Bits& tx = *tx_lease;
+        // Per-lane channel draws allocate (small matrices) just as the
+        // scalar runner's do; the lanes array only borrows them.
+        std::array<std::vector<linalg::CMatrix>, par::kMaxBatch> tones;
+        std::array<phy::HtPhy::TxLane, par::kMaxBatch> lanes;
+        for (std::size_t l = 0; l < L; ++l) {
+          // Same draw order as the scalar trial: PSDU bytes, then the
+          // channel, then (inside the front) the per-tone noise.
+          Rng& prng = rngs[l];
+          const std::span<std::uint8_t> psdu(tx.data() + l * psdu_bytes,
+                                             psdu_bytes);
+          prng.fill_bytes(psdu);
+          tones[l] = phy.draw_channel(prng, profile);
+          lanes[l] = {psdu, &tones[l], &prng};
+        }
+        thread_local std::array<Bytes, par::kMaxBatch> decoded;
+        phy.simulate_link_batch_into(
+            std::span<const phy::HtPhy::TxLane>(lanes.data(), L), snr_db,
+            std::span<Bytes>(decoded.data(), L), batch.quantized, ws);
+        for (std::size_t l = 0; l < L; ++l) {
+          count_byte_errors(
+              std::span<const std::uint8_t>(tx.data() + l * psdu_bytes,
+                                            psdu_bytes),
+              decoded[l], acc);
+        }
       },
       merge_links);
 }

@@ -100,6 +100,34 @@ LinkResult run_ht_link(const phy::HtConfig& config, std::size_t psdu_bytes,
                        channel::DelayProfile profile =
                            channel::DelayProfile::kOffice);
 
+/// Trial-batching knobs for the batched link runners.
+struct BatchOptions {
+  /// Trials per SIMD group (1..par::kMaxBatch = 16). The double-precision
+  /// vector decoders want a multiple of the SIMD width; other counts fall
+  /// back to the scalar kernels per lane (still batched at the runner).
+  std::size_t lanes = 8;
+  /// Engage the int16 quantized decoder fast paths. Results are then NOT
+  /// bitwise against the double path — gate on PER deltas (bench_diff).
+  bool quantized = false;
+};
+
+/// As run_ofdm_link, pushing trials through the receiver in SIMD groups
+/// of `batch.lanes` (dsp/batch.h). With batch.quantized false the result
+/// is bitwise identical to run_ofdm_link from the same Rng state, for
+/// any --jobs and any lane count.
+LinkResult run_ofdm_link_batched(phy::OfdmMcs mcs, std::size_t psdu_bytes,
+                                 std::size_t n_packets, double snr_db,
+                                 Rng& rng, BatchOptions batch,
+                                 ChannelSpec channel = ChannelSpec::awgn());
+
+/// As run_ht_link, batched; same bitwise contract as
+/// run_ofdm_link_batched.
+LinkResult run_ht_link_batched(const phy::HtConfig& config,
+                               std::size_t psdu_bytes, std::size_t n_packets,
+                               double snr_db, Rng& rng, BatchOptions batch,
+                               channel::DelayProfile profile =
+                                   channel::DelayProfile::kOffice);
+
 /// Mean SNR at `distance_m` under a link budget (convenience for range
 /// sweeps): tx_power - path_loss(distance) - noise(bandwidth).
 double snr_at_distance_db(const channel::PathLossModel& pathloss,

@@ -1,0 +1,52 @@
+// Structure-of-arrays lane layout for trial-batched SIMD kernels.
+//
+// A batched Monte-Carlo group runs B independent trials in lockstep.
+// Per-trial data (LLR streams, decoder metrics, messages) is stored
+// LANE-MAJOR: element i of lane l lives at soa[i * lanes + l], so a
+// vector kernel loads `lanes` consecutive values — one per trial — with
+// a single unaligned load and never gathers. `lanes` is a multiple of
+// the vector width on the fast path; any other count (including the
+// remainder group of a trial queue that is not a multiple of the batch
+// width) falls back to the per-lane scalar reference kernels, which are
+// bitwise identical to the vector path for the double-precision layer.
+//
+// Divergence policy: lanes run in lockstep until a per-trial early exit
+// (an LDPC lane whose syndrome comes clean). A finished lane's result
+// is snapshotted the moment it exits — the values a lane carries are
+// independent of every other lane, so its later in-register evolution
+// is dead state — and the batch keeps rolling; when nearly all lanes
+// have exited, the survivors are extracted and drained on the scalar
+// kernel (same update rules, so still bitwise). Refill happens at group
+// granularity: the trial queue hands the runner the next B trials, not
+// individual lanes mid-decode (DESIGN.md "Trial batching & quantized
+// decoding").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace wlan::dsp::batch {
+
+/// Scatters a contiguous per-trial stream into lane `lane` of a
+/// lane-major SoA buffer: soa[i * lanes + lane] = src[i].
+template <class T>
+inline void scatter_lane(std::span<const T> src, std::size_t lane,
+                         std::size_t lanes, T* soa) {
+  for (std::size_t i = 0; i < src.size(); ++i) soa[i * lanes + lane] = src[i];
+}
+
+/// Gathers lane `lane` of a lane-major SoA buffer back into a
+/// contiguous per-trial stream: dst[i] = soa[i * lanes + lane].
+template <class T>
+inline void gather_lane(const T* soa, std::size_t lane, std::size_t lanes,
+                        std::span<T> dst) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = soa[i * lanes + lane];
+}
+
+/// True when `lanes` can take a vector kernel of width `width` (the
+/// whole batch is covered by whole vectors, no remainder lanes).
+inline constexpr bool vectorizable(std::size_t lanes, std::size_t width) {
+  return lanes > 0 && width > 0 && lanes % width == 0;
+}
+
+}  // namespace wlan::dsp::batch

@@ -1,0 +1,99 @@
+// Saturating integer arithmetic with pinned-down clamp semantics.
+//
+// The quantized decoder fast paths (int16 Viterbi metrics, int8/int16
+// min-sum LDPC messages) accumulate in narrow integers where C++'s usual
+// arithmetic conversions make overflow behaviour easy to get wrong:
+// `-x` for x == INT16_MIN is UB after promotion-and-narrowing, and a
+// plain `a + b` wraps. Every helper here widens to int32/int64, clamps,
+// and narrows — so the behaviour at INT8_MIN/INT16_MIN is defined and
+// documented, and matches what the SIMD saturating instructions
+// (PADDSW/SQADD, PSUBSW/SQSUB) produce lane-wise:
+//
+//   sat_add_i16(INT16_MAX, 1)        == INT16_MAX
+//   sat_sub_i16(INT16_MIN, 1)        == INT16_MIN
+//   sat_neg_i16(INT16_MIN)           == INT16_MAX   (not UB, not MIN)
+//   sat_abs_i16(INT16_MIN)           == INT16_MAX   (matches max(x, 0-x)
+//                                                    with saturating sub)
+//
+// `tests/test_saturate.cpp` pins these boundaries for both widths.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace wlan::dsp {
+
+inline constexpr std::int16_t sat_i16(std::int32_t x) {
+  if (x > 32767) return 32767;
+  if (x < -32768) return -32768;
+  return static_cast<std::int16_t>(x);
+}
+
+inline constexpr std::int8_t sat_i8(std::int32_t x) {
+  if (x > 127) return 127;
+  if (x < -128) return -128;
+  return static_cast<std::int8_t>(x);
+}
+
+inline constexpr std::int16_t sat_add_i16(std::int16_t a, std::int16_t b) {
+  return sat_i16(static_cast<std::int32_t>(a) + static_cast<std::int32_t>(b));
+}
+
+inline constexpr std::int16_t sat_sub_i16(std::int16_t a, std::int16_t b) {
+  return sat_i16(static_cast<std::int32_t>(a) - static_cast<std::int32_t>(b));
+}
+
+/// Saturating negate: -INT16_MIN saturates to INT16_MAX (the two's
+/// complement identity -MIN == MIN never leaks into metric space).
+inline constexpr std::int16_t sat_neg_i16(std::int16_t a) {
+  return sat_sub_i16(0, a);
+}
+
+/// Saturating absolute value: |INT16_MIN| == INT16_MAX. Defined as
+/// max(a, 0 -sat a), which is exactly what the vector paths compute.
+inline constexpr std::int16_t sat_abs_i16(std::int16_t a) {
+  const std::int16_t n = sat_neg_i16(a);
+  return a > n ? a : n;
+}
+
+inline constexpr std::int8_t sat_add_i8(std::int8_t a, std::int8_t b) {
+  return sat_i8(static_cast<std::int32_t>(a) + static_cast<std::int32_t>(b));
+}
+
+inline constexpr std::int8_t sat_sub_i8(std::int8_t a, std::int8_t b) {
+  return sat_i8(static_cast<std::int32_t>(a) - static_cast<std::int32_t>(b));
+}
+
+inline constexpr std::int8_t sat_neg_i8(std::int8_t a) {
+  return sat_sub_i8(0, a);
+}
+
+inline constexpr std::int8_t sat_abs_i8(std::int8_t a) {
+  const std::int8_t n = sat_neg_i8(a);
+  return a > n ? a : n;
+}
+
+/// Q15 rounding multiply-high: (a * b + 0x4000) >> 15, the scalar
+/// definition of x86 PMULHRSW. Used to apply the min-sum normalization
+/// factor as a fixed-point constant (0.8 -> 26214/32768). Exact for the
+/// decoder's operand range (|a| <= 32767, b >= 0); the a == b ==
+/// INT16_MIN corner (where PMULHRSW wraps) is outside that range but
+/// still defined here: the widened product cannot overflow int32.
+inline constexpr std::int16_t mulhrs_i16(std::int16_t a, std::int16_t b) {
+  const std::int32_t p = static_cast<std::int32_t>(a) * b;
+  return sat_i16((p + 0x4000) >> 15);
+}
+
+/// Quantizes an LLR to a saturated int16 in [-limit, limit] with
+/// round-to-nearest (ties away from zero, matching std::lround).
+inline std::int16_t quantize_llr_i16(double x, double scale,
+                                     std::int16_t limit) {
+  const double scaled = x * scale;
+  const long r = std::lround(scaled);
+  const auto lim = static_cast<long>(limit);
+  if (r > lim) return limit;
+  if (r < -lim) return static_cast<std::int16_t>(-limit);
+  return static_cast<std::int16_t>(r);
+}
+
+}  // namespace wlan::dsp

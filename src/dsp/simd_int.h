@@ -1,0 +1,210 @@
+// Saturating int16 SIMD layer for the quantized decoder fast paths.
+//
+// `I16Vec` mirrors dsp/simd.h's DVec design for 16-bit signed lanes:
+// AVX2 (16 lanes), SSE2 or NEON (8 lanes), or a scalar stand-in
+// (1 lane). Unlike the double layer there is no bitwise-vs-double
+// contract — the quantized Viterbi/LDPC paths are gated on PER deltas,
+// not equality — but the *integer* semantics are exact and identical
+// between the vector paths and the scalar stand-in (dsp/saturate.h
+// defines the reference behaviour, including the INT16_MIN corners), so
+// quantized results are still deterministic across ISAs and lane
+// counts.
+//
+// Run-time dispatch is shared with the double layer: kernels consult
+// `simd::vector_enabled()` once per call and otherwise run the scalar
+// reference loop built on dsp/saturate.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsp/saturate.h"
+#include "dsp/simd.h"
+
+namespace wlan::dsp::simd {
+
+#if defined(HOLTWLAN_SIMD_AVX2)
+
+struct I16Vec {
+  __m256i v;
+  static constexpr std::size_t width() { return 16; }
+
+  static I16Vec load(const std::int16_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static I16Vec splat(std::int16_t x) { return {_mm256_set1_epi16(x)}; }
+  void store(std::int16_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+};
+
+inline I16Vec sat_add(I16Vec a, I16Vec b) {
+  return {_mm256_adds_epi16(a.v, b.v)};
+}
+inline I16Vec sat_sub(I16Vec a, I16Vec b) {
+  return {_mm256_subs_epi16(a.v, b.v)};
+}
+inline I16Vec min_i16(I16Vec a, I16Vec b) {
+  return {_mm256_min_epi16(a.v, b.v)};
+}
+inline I16Vec max_i16(I16Vec a, I16Vec b) {
+  return {_mm256_max_epi16(a.v, b.v)};
+}
+/// max(a, 0 -sat a): |INT16_MIN| saturates to INT16_MAX (saturate.h).
+inline I16Vec sat_abs(I16Vec a) {
+  return {_mm256_max_epi16(a.v, _mm256_subs_epi16(_mm256_setzero_si256(),
+                                                  a.v))};
+}
+/// (a * b + 0x4000) >> 15 per lane (PMULHRSW == dsp::mulhrs_i16 for the
+/// decoder's operand range).
+inline I16Vec mulhrs(I16Vec a, I16Vec b) {
+  return {_mm256_mulhrs_epi16(a.v, b.v)};
+}
+/// All-ones lanes where a > b, zero lanes elsewhere.
+inline I16Vec cmp_gt(I16Vec a, I16Vec b) {
+  return {_mm256_cmpgt_epi16(a.v, b.v)};
+}
+/// (mask lane != 0) ? c : d; mask must be a cmp_gt-style lane mask.
+inline I16Vec blend(I16Vec mask, I16Vec c, I16Vec d) {
+  return {_mm256_blendv_epi8(d.v, c.v, mask.v)};
+}
+inline I16Vec bit_xor(I16Vec a, I16Vec b) {
+  return {_mm256_xor_si256(a.v, b.v)};
+}
+/// Bit l set iff lane l of `mask` (a cmp_gt result) is all-ones.
+inline std::uint32_t mask_bits(I16Vec mask) {
+  std::uint32_t x =
+      (static_cast<std::uint32_t>(_mm256_movemask_epi8(mask.v)) >> 1) &
+      0x55555555u;
+  x = (x | (x >> 1)) & 0x33333333u;
+  x = (x | (x >> 2)) & 0x0F0F0F0Fu;
+  x = (x | (x >> 4)) & 0x00FF00FFu;
+  x = (x | (x >> 8)) & 0x0000FFFFu;
+  return x;
+}
+
+#elif defined(HOLTWLAN_SIMD_SSE2)
+
+struct I16Vec {
+  __m128i v;
+  static constexpr std::size_t width() { return 8; }
+
+  static I16Vec load(const std::int16_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static I16Vec splat(std::int16_t x) { return {_mm_set1_epi16(x)}; }
+  void store(std::int16_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+};
+
+inline I16Vec sat_add(I16Vec a, I16Vec b) { return {_mm_adds_epi16(a.v, b.v)}; }
+inline I16Vec sat_sub(I16Vec a, I16Vec b) { return {_mm_subs_epi16(a.v, b.v)}; }
+inline I16Vec min_i16(I16Vec a, I16Vec b) { return {_mm_min_epi16(a.v, b.v)}; }
+inline I16Vec max_i16(I16Vec a, I16Vec b) { return {_mm_max_epi16(a.v, b.v)}; }
+inline I16Vec sat_abs(I16Vec a) {
+  return {_mm_max_epi16(a.v, _mm_subs_epi16(_mm_setzero_si128(), a.v))};
+}
+inline I16Vec mulhrs(I16Vec a, I16Vec b) {
+#if defined(__SSSE3__)
+  return {_mm_mulhrs_epi16(a.v, b.v)};
+#else
+  // Plain SSE2 has no PMULHRSW; compose it from the 16x16 high/low
+  // multiplies: (a*b + 0x4000) >> 15 with the 32-bit product rebuilt
+  // from mulhi/mullo.
+  const __m128i lo = _mm_mullo_epi16(a.v, b.v);
+  const __m128i hi = _mm_mulhi_epi16(a.v, b.v);
+  const __m128i p0 = _mm_unpacklo_epi16(lo, hi);
+  const __m128i p1 = _mm_unpackhi_epi16(lo, hi);
+  const __m128i r = _mm_set1_epi32(0x4000);
+  const __m128i q0 = _mm_srai_epi32(_mm_add_epi32(p0, r), 15);
+  const __m128i q1 = _mm_srai_epi32(_mm_add_epi32(p1, r), 15);
+  return {_mm_packs_epi32(q0, q1)};
+#endif
+}
+inline I16Vec cmp_gt(I16Vec a, I16Vec b) { return {_mm_cmpgt_epi16(a.v, b.v)}; }
+inline I16Vec blend(I16Vec mask, I16Vec c, I16Vec d) {
+  return {_mm_or_si128(_mm_and_si128(mask.v, c.v),
+                       _mm_andnot_si128(mask.v, d.v))};
+}
+inline I16Vec bit_xor(I16Vec a, I16Vec b) { return {_mm_xor_si128(a.v, b.v)}; }
+inline std::uint32_t mask_bits(I16Vec mask) {
+  std::uint32_t x =
+      (static_cast<std::uint32_t>(_mm_movemask_epi8(mask.v)) >> 1) &
+      0x5555u;
+  x = (x | (x >> 1)) & 0x3333u;
+  x = (x | (x >> 2)) & 0x0F0Fu;
+  x = (x | (x >> 4)) & 0x00FFu;
+  return x;
+}
+
+#elif defined(HOLTWLAN_SIMD_NEON)
+
+struct I16Vec {
+  int16x8_t v;
+  static constexpr std::size_t width() { return 8; }
+
+  static I16Vec load(const std::int16_t* p) { return {vld1q_s16(p)}; }
+  static I16Vec splat(std::int16_t x) { return {vdupq_n_s16(x)}; }
+  void store(std::int16_t* p) const { vst1q_s16(p, v); }
+};
+
+inline I16Vec sat_add(I16Vec a, I16Vec b) { return {vqaddq_s16(a.v, b.v)}; }
+inline I16Vec sat_sub(I16Vec a, I16Vec b) { return {vqsubq_s16(a.v, b.v)}; }
+inline I16Vec min_i16(I16Vec a, I16Vec b) { return {vminq_s16(a.v, b.v)}; }
+inline I16Vec max_i16(I16Vec a, I16Vec b) { return {vmaxq_s16(a.v, b.v)}; }
+inline I16Vec sat_abs(I16Vec a) {
+  return {vmaxq_s16(a.v, vqsubq_s16(vdupq_n_s16(0), a.v))};
+}
+inline I16Vec mulhrs(I16Vec a, I16Vec b) {
+  // VQRDMULH computes sat((2ab + 2^15) >> 16) == (ab + 2^14) >> 15 for
+  // every operand pair except a == b == INT16_MIN, which the decoders
+  // never produce (magnitudes are clamped well below the limit).
+  return {vqrdmulhq_s16(a.v, b.v)};
+}
+inline I16Vec cmp_gt(I16Vec a, I16Vec b) {
+  return {vreinterpretq_s16_u16(vcgtq_s16(a.v, b.v))};
+}
+inline I16Vec blend(I16Vec mask, I16Vec c, I16Vec d) {
+  return {vbslq_s16(vreinterpretq_u16_s16(mask.v), c.v, d.v)};
+}
+inline I16Vec bit_xor(I16Vec a, I16Vec b) { return {veorq_s16(a.v, b.v)}; }
+inline std::uint32_t mask_bits(I16Vec mask) {
+  static const uint8_t kBit[8] = {1, 2, 4, 8, 16, 32, 64, 128};
+  const uint8x8_t narrowed = vmovn_u16(vreinterpretq_u16_s16(mask.v));
+  return vaddv_u8(vand_u8(narrowed, vld1_u8(kBit)));
+}
+
+#else  // scalar stand-in
+
+struct I16Vec {
+  std::int16_t v;
+  static constexpr std::size_t width() { return 1; }
+
+  static I16Vec load(const std::int16_t* p) { return {*p}; }
+  static I16Vec splat(std::int16_t x) { return {x}; }
+  void store(std::int16_t* p) const { *p = v; }
+};
+
+inline I16Vec sat_add(I16Vec a, I16Vec b) { return {sat_add_i16(a.v, b.v)}; }
+inline I16Vec sat_sub(I16Vec a, I16Vec b) { return {sat_sub_i16(a.v, b.v)}; }
+inline I16Vec min_i16(I16Vec a, I16Vec b) { return {a.v < b.v ? a.v : b.v}; }
+inline I16Vec max_i16(I16Vec a, I16Vec b) { return {a.v > b.v ? a.v : b.v}; }
+inline I16Vec sat_abs(I16Vec a) { return {sat_abs_i16(a.v)}; }
+inline I16Vec mulhrs(I16Vec a, I16Vec b) { return {mulhrs_i16(a.v, b.v)}; }
+inline I16Vec cmp_gt(I16Vec a, I16Vec b) {
+  return {static_cast<std::int16_t>(a.v > b.v ? -1 : 0)};
+}
+inline I16Vec blend(I16Vec mask, I16Vec c, I16Vec d) {
+  return {mask.v != 0 ? c.v : d.v};
+}
+inline I16Vec bit_xor(I16Vec a, I16Vec b) {
+  return {static_cast<std::int16_t>(a.v ^ b.v)};
+}
+inline std::uint32_t mask_bits(I16Vec mask) { return mask.v != 0 ? 1u : 0u; }
+
+#endif
+
+inline constexpr std::size_t kI16Width = I16Vec::width();
+
+}  // namespace wlan::dsp::simd

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -19,6 +20,46 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   counts_.assign(bins, 0);
   min_ = std::numeric_limits<double>::infinity();
   max_ = -std::numeric_limits<double>::infinity();
+  build_fast_bins();
+}
+
+void Histogram::build_fast_bins() {
+  const auto key_of = [](double x) {
+    return std::bit_cast<std::uint64_t>(x) >> 46;
+  };
+  const std::uint64_t key_lo = key_of(lo_);
+  const std::uint64_t key_hi = key_of(hi_);
+  if (key_hi <= key_lo) return;
+  const std::uint64_t span = key_hi - key_lo + 1;
+  if (span > (std::uint64_t{1} << 14)) return;  // absurd range: slow path only
+  fast_key_lo_ = key_lo;
+  fast_bin_.assign(static_cast<std::size_t>(span), std::int16_t{-1});
+  if (counts_.size() > static_cast<std::size_t>(
+                           std::numeric_limits<std::int16_t>::max())) {
+    return;  // bin index would not fit the table cells
+  }
+  // A cell qualifies only if every double inside it lands in the same
+  // bin as both endpoints under record()'s exact expression, which holds
+  // when the endpoint indices agree and both index fractions sit away
+  // from an integer crossing (log is monotonic; the margin dwarfs the
+  // few-ulp evaluation error across the cell).
+  constexpr double kMargin = 1e-6;
+  for (std::uint64_t k = 0; k < span; ++k) {
+    const std::uint64_t key = key_lo + k;
+    const double x0 = std::bit_cast<double>(key << 46);
+    const double x1 = std::bit_cast<double>(((key + 1) << 46) - 1);
+    if (!(x0 >= lo_) || !(x0 > 0.0) || !(x1 < hi_)) continue;
+    const double f0 = (std::log(x0) - log_lo_) * inv_log_width_;
+    const double f1 = (std::log(x1) - log_lo_) * inv_log_width_;
+    const auto i0 = static_cast<std::size_t>(f0);
+    const auto i1 = static_cast<std::size_t>(f1);
+    if (i0 != i1 || i0 >= counts_.size()) continue;
+    const double m0 = f0 - std::floor(f0);
+    const double m1 = f1 - std::floor(f1);
+    if (m0 < kMargin || m0 > 1.0 - kMargin) continue;
+    if (m1 < kMargin || m1 > 1.0 - kMargin) continue;
+    fast_bin_[static_cast<std::size_t>(k)] = static_cast<std::int16_t>(i0);
+  }
 }
 
 void Histogram::record(double x) {
@@ -26,6 +67,17 @@ void Histogram::record(double x) {
   sum_ += x;
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
+  // Fast path: direct table lookup on the sample's top bits. Negative,
+  // zero, and out-of-range samples miss the key window and fall through.
+  const std::uint64_t off = (std::bit_cast<std::uint64_t>(x) >> 46) -
+                            fast_key_lo_;
+  if (off < fast_bin_.size()) {
+    const std::int16_t b = fast_bin_[static_cast<std::size_t>(off)];
+    if (b >= 0) {
+      ++counts_[static_cast<std::size_t>(b)];
+      return;
+    }
+  }
   if (x < lo_ || x <= 0.0) {
     ++underflow_;
   } else if (x >= hi_) {
@@ -34,6 +86,32 @@ void Histogram::record(double x) {
     auto i = static_cast<std::size_t>((std::log(x) - log_lo_) * inv_log_width_);
     if (i >= counts_.size()) i = counts_.size() - 1;  // edge rounding
     ++counts_[i];
+  }
+}
+
+void Histogram::record_n(double x, std::uint64_t n) {
+  if (n == 0) return;
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const std::uint64_t off = (std::bit_cast<std::uint64_t>(x) >> 46) -
+                            fast_key_lo_;
+  if (off < fast_bin_.size()) {
+    const std::int16_t b = fast_bin_[static_cast<std::size_t>(off)];
+    if (b >= 0) {
+      counts_[static_cast<std::size_t>(b)] += n;
+      return;
+    }
+  }
+  if (x < lo_ || x <= 0.0) {
+    underflow_ += n;
+  } else if (x >= hi_) {
+    overflow_ += n;
+  } else {
+    auto i = static_cast<std::size_t>((std::log(x) - log_lo_) * inv_log_width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // edge rounding
+    counts_[i] += n;
   }
 }
 

@@ -62,6 +62,11 @@ class Histogram {
   /// land in the underflow bucket.
   void record(double x);
 
+  /// Records `n` copies of the same sample in O(1): one bin lookup, bulk
+  /// count/sum updates. The sum accumulates as x*n rather than n repeated
+  /// additions, so it can differ from n record() calls by rounding.
+  void record_n(double x, std::uint64_t n);
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
@@ -96,10 +101,22 @@ class Histogram {
   std::uint64_t overflow() const { return overflow_; }
 
  private:
+  /// Precomputes fast_bin_ (see below). Called once from the ctor.
+  void build_fast_bins();
+
   double lo_;
   double hi_;
   double log_lo_;
   double inv_log_width_;  // bins / log(hi/lo)
+  // Direct bin lookup for the record() hot path: the top 18 bits of a
+  // positive double (sign, exponent, 6 mantissa bits) index a table of
+  // 64 cells per octave. A cell stores its bin index when EVERY double
+  // in the cell provably maps to that bin under the exact log-based
+  // expression record() uses (endpoints agree and sit away from bin
+  // boundaries), or -1 to take the slow path — so the fast path changes
+  // which instructions run, never which bin a sample lands in.
+  std::vector<std::int16_t> fast_bin_;
+  std::uint64_t fast_key_lo_ = 0;
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;

@@ -58,8 +58,12 @@ enum class Kernel : std::size_t {
   kViterbi,
   kLdpcDecode,
   kFadingTaps,
+  kViterbiBatch,   ///< trial-batched double-precision Viterbi ACS
+  kLdpcBatch,      ///< trial-batched double-precision min-sum LDPC
+  kViterbiQuant,   ///< trial-batched int16 Viterbi ACS
+  kLdpcQuant,      ///< trial-batched int8/int16 min-sum LDPC
 };
-inline constexpr std::size_t kKernelCount = 4;
+inline constexpr std::size_t kKernelCount = 8;
 
 /// Registry metric name, e.g. "kernel.fft".
 const char* kernel_metric_name(Kernel kernel);

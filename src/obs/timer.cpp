@@ -8,6 +8,10 @@ const char* kernel_metric_name(Kernel kernel) {
     case Kernel::kViterbi: return "kernel.viterbi";
     case Kernel::kLdpcDecode: return "kernel.ldpc_decode";
     case Kernel::kFadingTaps: return "kernel.fading_taps";
+    case Kernel::kViterbiBatch: return "kernel.viterbi_batch";
+    case Kernel::kLdpcBatch: return "kernel.ldpc_batch";
+    case Kernel::kViterbiQuant: return "kernel.viterbi_i16";
+    case Kernel::kLdpcQuant: return "kernel.ldpc_i16";
   }
   return "kernel.unknown";
 }

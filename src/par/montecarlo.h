@@ -29,8 +29,10 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,6 +56,10 @@ inline Rng trial_rng(std::uint64_t root, std::uint64_t point,
                      std::uint64_t trial) {
   return Rng(derive_seed(root, point, trial));
 }
+
+/// Upper bound on the lane count of batched sweeps (the PHY kernels'
+/// survivor masks and lane bookkeeping are sized for 16 lanes).
+inline constexpr std::size_t kMaxBatch = 16;
 
 /// Knobs shared by every sweep entry point.
 struct SweepOptions {
@@ -158,6 +164,67 @@ Result montecarlo(std::size_t n_trials, std::uint64_t point,
   return out;
 }
 
+/// Trial-batched montecarlo: trials run in groups of up to `batch`
+/// lanes so the group function can push them through the PHY in SIMD
+/// lockstep (dsp/batch.h).
+///
+///   group(point, t0, rngs, acc) — runs trials [t0, t0 + rngs.size()),
+///                                 where rngs[i] is the private generator
+///                                 of trial t0 + i (the same trial_rng
+///                                 derivation the scalar engine uses);
+///                                 folds into acc in trial order.
+///
+/// The chunk size is rounded up to a multiple of `batch`, so group
+/// boundaries are a pure function of (n_trials, batch, opt.chunk) —
+/// every group starts at a multiple of `batch` regardless of --jobs,
+/// and only the final group of a point can be short. A group function
+/// whose per-trial results match the scalar trial function therefore
+/// reproduces montecarlo() bitwise for any thread count.
+template <class Result, class GroupFn, class MergeFn>
+Result montecarlo_batched(std::size_t n_trials, std::uint64_t point,
+                          std::size_t batch, const SweepOptions& opt,
+                          GroupFn&& group, MergeFn&& merge) {
+  check(n_trials > 0, "par::montecarlo_batched requires at least one trial");
+  check(batch >= 1 && batch <= kMaxBatch,
+        "par::montecarlo_batched batch size out of range");
+  const std::size_t chunk0 =
+      opt.chunk ? opt.chunk : detail::auto_chunk(n_trials);
+  const std::size_t chunk = ((chunk0 + batch - 1) / batch) * batch;
+  const std::size_t n_chunks = (n_trials + chunk - 1) / chunk;
+  std::vector<Result> partial(n_chunks);
+  const detail::ProfileTargets prof = detail::profiling_targets();
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = detail::select_pool(opt, owned);
+  pool.parallel_for(n_chunks, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const detail::ProfileShardGuard shard(prof);
+      const bool telem = telemetry_enabled();
+      const std::uint64_t c_begin = telem ? detail::monotonic_ns() : 0;
+      {
+        const obs::perf::ScopedSpan chunk_span("mc.chunk");
+        const std::size_t t0 = c * chunk;
+        const std::size_t t1 = std::min(n_trials, t0 + chunk);
+        Result acc{};
+        std::array<Rng, kMaxBatch> rngs;
+        for (std::size_t g0 = t0; g0 < t1; g0 += batch) {
+          const std::size_t n_g = std::min(batch, t1 - g0);
+          for (std::size_t i = 0; i < n_g; ++i) {
+            rngs[i] = trial_rng(opt.root_seed, point, g0 + i);
+          }
+          group(point, g0, std::span<Rng>(rngs.data(), n_g), acc);
+        }
+        partial[c] = std::move(acc);
+      }
+      if (telem) detail::record_chunk_ns(detail::monotonic_ns() - c_begin);
+    }
+  });
+
+  Result out{};
+  for (std::size_t c = 0; c < n_chunks; ++c) merge(out, partial[c]);
+  return out;
+}
+
 /// Sweep over `n_points` points x `n_trials` trials; returns one merged
 /// Result per point (in point order). Chunks never straddle points, so
 /// each point's reduction order is fixed regardless of thread count.
@@ -189,6 +256,61 @@ std::vector<Result> sweep(std::size_t n_points, std::size_t n_trials,
         for (std::size_t t = t0; t < t1; ++t) {
           Rng rng = trial_rng(opt.root_seed, point, t);
           trial(point, t, rng, acc);
+        }
+        partial[c] = std::move(acc);
+      }
+      if (telem) detail::record_chunk_ns(detail::monotonic_ns() - c_begin);
+    }
+  });
+
+  std::vector<Result> out(n_points);
+  for (std::size_t p = 0; p < n_points; ++p) {
+    for (std::size_t c = 0; c < chunks_per_point; ++c) {
+      merge(out[p], partial[p * chunks_per_point + c]);
+    }
+  }
+  return out;
+}
+
+/// Batched variant of sweep(): groups of up to `batch` trials per
+/// point, with the montecarlo_batched() group contract and the sweep()
+/// guarantees (chunks group-aligned and never straddling points).
+template <class Result, class GroupFn, class MergeFn>
+std::vector<Result> sweep_batched(std::size_t n_points, std::size_t n_trials,
+                                  std::size_t batch, const SweepOptions& opt,
+                                  GroupFn&& group, MergeFn&& merge) {
+  check(n_points > 0 && n_trials > 0,
+        "par::sweep_batched requires points and trials");
+  check(batch >= 1 && batch <= kMaxBatch,
+        "par::sweep_batched batch size out of range");
+  const std::size_t chunk0 =
+      opt.chunk ? opt.chunk : detail::auto_chunk(n_trials);
+  const std::size_t chunk = ((chunk0 + batch - 1) / batch) * batch;
+  const std::size_t chunks_per_point = (n_trials + chunk - 1) / chunk;
+  const std::size_t total = n_points * chunks_per_point;
+  std::vector<Result> partial(total);
+  const detail::ProfileTargets prof = detail::profiling_targets();
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = detail::select_pool(opt, owned);
+  pool.parallel_for(total, 1, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const detail::ProfileShardGuard shard(prof);
+      const bool telem = telemetry_enabled();
+      const std::uint64_t c_begin = telem ? detail::monotonic_ns() : 0;
+      {
+        const obs::perf::ScopedSpan chunk_span("mc.chunk");
+        const std::size_t point = c / chunks_per_point;
+        const std::size_t t0 = (c % chunks_per_point) * chunk;
+        const std::size_t t1 = std::min(n_trials, t0 + chunk);
+        Result acc{};
+        std::array<Rng, kMaxBatch> rngs;
+        for (std::size_t g0 = t0; g0 < t1; g0 += batch) {
+          const std::size_t n_g = std::min(batch, t1 - g0);
+          for (std::size_t i = 0; i < n_g; ++i) {
+            rngs[i] = trial_rng(opt.root_seed, point, g0 + i);
+          }
+          group(point, g0, std::span<Rng>(rngs.data(), n_g), acc);
         }
         partial[c] = std::move(acc);
       }

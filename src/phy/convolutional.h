@@ -67,4 +67,39 @@ void viterbi_decode_into(std::span<const double> llrs, bool terminated,
 Bits viterbi_decode_hard(std::span<const std::uint8_t> coded_bits,
                          bool terminated = true);
 
+/// Lane-major batched depuncture (dsp/batch.h): lane_llrs[l] holds lane
+/// l's post-puncture LLR stream (each exactly coded_length(n_info_bits,
+/// rate) long); out_soa is resized to 2 * n_info_bits * lanes with
+/// out_soa[i * lanes + l] = coded bit i of lane l and zero-LLR erasures
+/// at punctured positions.
+void depuncture_batch_into(std::span<const std::span<const double>> lane_llrs,
+                           CodeRate rate, std::size_t n_info_bits,
+                           RVec& out_soa);
+
+/// Trial-batched soft Viterbi over a lane-major LLR block (dsp/batch.h):
+/// llrs_soa[i * lanes + l] is coded bit i of lane l, so llrs_soa.size()
+/// == 2 * n_steps * lanes, with `lanes` at most 16. decoded_soa is
+/// resized to n_steps * lanes, lane-major: decoded_soa[t * lanes + l]
+/// is decision t of lane l. Bitwise identical to running
+/// viterbi_decode_into on each lane: the vector sweep engages when
+/// `lanes` is a multiple of the SIMD width, and any other count
+/// extracts each lane and runs the scalar kernel.
+void viterbi_decode_batch_into(std::span<const double> llrs_soa,
+                               std::size_t lanes, bool terminated,
+                               Bits& decoded_soa, Workspace& ws);
+
+/// Quantized batched Viterbi: LLRs are scaled by `scale`, rounded to
+/// nearest, and clamped to ±127 (int8 range inside int16 lanes) before
+/// a saturating int16 add-compare-select sweep, renormalized every 64
+/// steps by the per-lane running maximum. Identical integer semantics
+/// on the vector and scalar paths make the output deterministic across
+/// ISAs and lane counts, but it is NOT bitwise against the double path
+/// — callers gate it on PER deltas (bench_diff), not equality. `lanes`
+/// at most 16; the vector sweep engages when `lanes` is a multiple of
+/// the int16 SIMD width.
+void viterbi_decode_batch_i16_into(std::span<const double> llrs_soa,
+                                   std::size_t lanes, bool terminated,
+                                   double scale, Bits& decoded_soa,
+                                   Workspace& ws);
+
 }  // namespace wlan::phy

@@ -6,6 +6,7 @@
 #include "channel/mimo.h"
 #include "common/check.h"
 #include "common/units.h"
+#include "dsp/batch.h"
 #include "linalg/decompose.h"
 #include "obs/perf.h"
 #include "obs/probe.h"
@@ -21,6 +22,10 @@ constexpr std::uint8_t kScramblerSeed = 0x5D;
 constexpr std::size_t kServiceBits = 16;
 constexpr std::size_t kTailBits = 6;
 constexpr std::size_t kLdpcBlock = 648;
+
+// Quantizer target for a batch's peak |LLR| (matches the OFDM path):
+// well under the ±127 rail so saturating sums stay mostly linear.
+constexpr double kQuantHeadroom = 96.0;
 
 struct BaseMcs {
   Modulation mod;
@@ -238,12 +243,11 @@ Bytes HtPhy::simulate_link(std::span<const std::uint8_t> psdu,
   return out;
 }
 
-void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
-                               const std::vector<linalg::CMatrix>& tones,
-                               double snr_db, Rng& rng, Bytes& out,
-                               Workspace& ws) const {
-  // One span over the combined TX+RX chain (encode through decode).
-  const obs::perf::ScopedSpan span("ht.link");
+void HtPhy::simulate_front_into(std::span<const std::uint8_t> psdu,
+                                const std::vector<linalg::CMatrix>& tones,
+                                double snr_db, Rng& rng,
+                                std::span<double> coded_llrs_out,
+                                Workspace& ws) const {
   const std::size_t n_fft = ht_fft_size(config_.bandwidth);
   check(tones.size() == n_fft, "per-tone channel count must match FFT size");
   check(tones[0].rows() == n_rx_ && tones[0].cols() == n_tx_,
@@ -261,7 +265,6 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
   Bits& coded = *coded_lease;  // length n_sym * n_cbps after padding
   auto data_lease = ws.bits(0);
   Bits& data = *data_lease;
-  std::size_t ldpc_coded_bits = 0;
   if (config_.coding == HtCoding::kBcc) {
     const std::size_t n_dbps = static_cast<std::size_t>(
         static_cast<double>(n_cbps) * code_rate_value(mcs_.rate));
@@ -303,7 +306,6 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
       std::copy(codeword_lease->begin(), codeword_lease->end(),
                 coded.begin() + static_cast<std::ptrdiff_t>(cw * kLdpcBlock));
     }
-    ldpc_coded_bits = coded.size();
   }
   coded.resize(n_sym * n_cbps, 0);  // known zero padding to fill symbols
 
@@ -504,6 +506,7 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
   // Per-symbol scratch, leased once and reused for every symbol.
   auto z_lease = ws.cvec(n_ss * n_dt);    // equalized observations
   auto zv_lease = ws.rvec(n_ss * n_dt);   // their effective noise variances
+  auto snr_lease = ws.rvec(n_ss * n_dt);  // post-eq SNR memo (probe only)
   auto x_lease = ws.cvec(n_ss);           // transmitted vector at one tone
   auto y_lease = ws.cvec(n_rx_);          // received vector at one tone
   auto xhat_lease = ws.cvec(n_ss);        // linear detector output
@@ -570,8 +573,16 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
       }
       if (obs::Histogram* p =
               obs::probe_histogram(obs::Probe::kHtPostEqSnr)) {
-        for (std::size_t t = 0; t < n_dt; ++t) {
-          p->record(lin_to_db(1.0 / std::max(zv(ss)[t], 1e-30)));
+        // The effective noise variances come straight from the per-tone
+        // detectors, so they repeat every symbol: memoize the dB
+        // conversion on the first symbol and bulk-record once after the
+        // symbol loop (same values, n_sym copies each).
+        if (s == 0) {
+          RVec& snr_db = *snr_lease;
+          for (std::size_t t = 0; t < n_dt; ++t) {
+            snr_db[ss * n_dt + t] =
+                lin_to_db(1.0 / std::max(zv(ss)[t], 1e-30));
+          }
         }
       }
       std::span<double> llrs = *llr_lease;
@@ -588,9 +599,19 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
     }
   }
 
+  if (obs::Histogram* p = n_sym > 0
+          ? obs::probe_histogram(obs::Probe::kHtPostEqSnr)
+          : nullptr) {
+    const RVec& snr_db = *snr_lease;
+    for (std::size_t i = 0; i < n_ss * n_dt; ++i) {
+      p->record_n(snr_db[i], n_sym);
+    }
+  }
+
   // ---------- Stream deparse ----------
-  auto coded_llrs_lease = ws.rvec(n_sym * n_cbps);
-  std::span<double> coded_llrs = *coded_llrs_lease;
+  check(coded_llrs_out.size() == n_sym * n_cbps,
+        "HT front: coded LLR buffer size mismatch");
+  std::span<double> coded_llrs = coded_llrs_out;
   {
     std::array<std::size_t, 4> cursor{};
     for (std::size_t i = 0; i < coded_llrs.size(); i += s_block * n_ss) {
@@ -601,6 +622,20 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
       }
     }
   }
+}
+
+void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
+                               const std::vector<linalg::CMatrix>& tones,
+                               double snr_db, Rng& rng, Bytes& out,
+                               Workspace& ws) const {
+  // One span over the combined TX+RX chain (encode through decode).
+  const obs::perf::ScopedSpan span("ht.link");
+  const std::size_t n_cbps =
+      ht_data_tones(config_.bandwidth) * mcs_.n_bpsc * mcs_.n_ss;
+  const std::size_t n_sym = n_symbols_for_psdu(psdu.size());
+  auto coded_llrs_lease = ws.rvec(n_sym * n_cbps);
+  std::span<double> coded_llrs = *coded_llrs_lease;
+  simulate_front_into(psdu, tones, snr_db, rng, coded_llrs, ws);
 
   // ---------- Decode ----------
   auto info_lease = ws.bits(0);
@@ -618,7 +653,9 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
     viterbi_decode_into(unpunctured, /*terminated=*/true, info_bits, ws);
   } else {
     const LdpcCode& code = ldpc_code_for(mcs_.rate);
-    const std::size_t n_cw = ldpc_coded_bits / kLdpcBlock;
+    const std::size_t payload = kServiceBits + 8 * psdu.size();
+    const std::size_t n_cw =
+        (payload + code.info_length() - 1) / code.info_length();
     info_bits.resize(n_cw * code.info_length());
     LdpcCode::DecodeResult res;
     for (std::size_t cw = 0; cw < n_cw; ++cw) {
@@ -636,6 +673,144 @@ void HtPhy::simulate_link_into(std::span<const std::uint8_t> psdu,
   for (std::size_t i = 0; i < 8 * psdu.size(); ++i) {
     if (info_bits[kServiceBits + i] & 1u) {
       out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+}
+
+void HtPhy::simulate_link_batch_into(std::span<const TxLane> lanes,
+                                     double snr_db, std::span<Bytes> out,
+                                     bool quantized, Workspace& ws) const {
+  const std::size_t L = lanes.size();
+  check(L > 0 && L <= 16 && out.size() == L,
+        "HT batch link requires 1..16 lanes with one output per lane");
+  const obs::perf::ScopedSpan span("ht.link_batch");
+  const std::size_t psdu_bytes = lanes[0].psdu.size();
+  for (const TxLane& lane : lanes) {
+    check(lane.psdu.size() == psdu_bytes && lane.tones != nullptr &&
+              lane.rng != nullptr,
+          "HT batch link: lanes must carry equal-size PSDUs, a channel, "
+          "and an Rng");
+  }
+
+  const std::size_t n_cbps =
+      ht_data_tones(config_.bandwidth) * mcs_.n_bpsc * mcs_.n_ss;
+  const std::size_t n_sym = n_symbols_for_psdu(psdu_bytes);
+  const std::size_t lane_llr_count = n_sym * n_cbps;
+
+  // Per-lane front ends (each consumes only its own Rng) into one
+  // lane-contiguous block.
+  auto fronts_lease = ws.rvec(L * lane_llr_count);
+  RVec& fronts = *fronts_lease;
+  for (std::size_t l = 0; l < L; ++l) {
+    simulate_front_into(lanes[l].psdu, *lanes[l].tones, snr_db,
+                        *lanes[l].rng,
+                        std::span<double>(fronts.data() + l * lane_llr_count,
+                                          lane_llr_count),
+                        ws);
+  }
+
+  const std::size_t payload_bits = kServiceBits + 8 * psdu_bytes;
+  if (config_.coding == HtCoding::kBcc) {
+    // Depuncture lane-major, decode the tail-terminated prefix of every
+    // lane in one batched Viterbi sweep.
+    std::array<std::span<const double>, 16> lane_llrs;
+    for (std::size_t l = 0; l < L; ++l) {
+      lane_llrs[l] = std::span<const double>(
+          fronts.data() + l * lane_llr_count, lane_llr_count);
+    }
+    const std::size_t n_dbps = static_cast<std::size_t>(
+        static_cast<double>(n_cbps) * code_rate_value(mcs_.rate));
+    const std::size_t n_info = n_sym * n_dbps;
+    auto soa_lease = ws.rvec(0);
+    RVec& soa = *soa_lease;
+    depuncture_batch_into(
+        std::span<const std::span<const double>>(lane_llrs.data(), L),
+        mcs_.rate, n_info, soa);
+    const std::size_t decoded_bits = payload_bits + kTailBits;
+    const std::span<const double> trellis_llrs(soa.data(),
+                                               2 * decoded_bits * L);
+    auto decoded_lease = ws.bits(0);
+    Bits& decoded_soa = *decoded_lease;
+    if (quantized) {
+      double maxabs = 0.0;
+      for (const double v : trellis_llrs) {
+        maxabs = std::max(maxabs, std::abs(v));
+      }
+      const double scale = maxabs > 0.0 ? kQuantHeadroom / maxabs : 1.0;
+      viterbi_decode_batch_i16_into(trellis_llrs, L, /*terminated=*/true,
+                                    scale, decoded_soa, ws);
+    } else {
+      viterbi_decode_batch_into(trellis_llrs, L, /*terminated=*/true,
+                                decoded_soa, ws);
+    }
+    auto lanebits_lease = ws.bits(decoded_bits);
+    Bits& lanebits = *lanebits_lease;
+    for (std::size_t l = 0; l < L; ++l) {
+      dsp::batch::gather_lane(decoded_soa.data(), l, L,
+                              std::span<std::uint8_t>(lanebits));
+      scramble_to(lanebits, kScramblerSeed, lanebits);
+      Bytes& psdu = out[l];
+      psdu.assign(psdu_bytes, 0);
+      for (std::size_t i = 0; i < 8 * psdu_bytes; ++i) {
+        if (lanebits[kServiceBits + i] & 1u) {
+          psdu[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+      }
+    }
+  } else {
+    // LDPC: transpose each codeword position into a lane-major block and
+    // decode all lanes' codeword cw together.
+    const LdpcCode& code = ldpc_code_for(mcs_.rate);
+    const std::size_t k = code.info_length();
+    const std::size_t n_cw = (payload_bits + k - 1) / k;
+    auto infos_lease = ws.bits(L * n_cw * k);
+    Bits& infos = *infos_lease;
+    auto soa_lease = ws.rvec(kLdpcBlock * L);
+    RVec& soa = *soa_lease;
+    // Group-persistent decode results: thread_local so the info vectors
+    // keep their capacity across groups (steady state allocation-free).
+    thread_local std::array<LdpcCode::DecodeResult, 16> results;
+    for (std::size_t cw = 0; cw < n_cw; ++cw) {
+      for (std::size_t l = 0; l < L; ++l) {
+        dsp::batch::scatter_lane(
+            std::span<const double>(
+                fronts.data() + l * lane_llr_count + cw * kLdpcBlock,
+                kLdpcBlock),
+            l, L, soa.data());
+      }
+      if (quantized) {
+        double maxabs = 0.0;
+        for (const double v : soa) maxabs = std::max(maxabs, std::abs(v));
+        const double scale = maxabs > 0.0 ? kQuantHeadroom / maxabs : 1.0;
+        code.decode_batch_i16_into(soa, L, /*max_iterations=*/40,
+                                   /*normalization=*/0.8, scale,
+                                   std::span<LdpcCode::DecodeResult>(
+                                       results.data(), L),
+                                   ws);
+      } else {
+        code.decode_batch_into(soa, L, /*max_iterations=*/40,
+                               /*normalization=*/0.8,
+                               std::span<LdpcCode::DecodeResult>(
+                                   results.data(), L),
+                               ws);
+      }
+      for (std::size_t l = 0; l < L; ++l) {
+        std::copy(results[l].info.begin(), results[l].info.end(),
+                  infos.begin() +
+                      static_cast<std::ptrdiff_t>(l * n_cw * k + cw * k));
+      }
+    }
+    for (std::size_t l = 0; l < L; ++l) {
+      const std::span<std::uint8_t> lane_info(infos.data() + l * n_cw * k,
+                                              n_cw * k);
+      scramble_to(lane_info, kScramblerSeed, lane_info);
+      Bytes& psdu = out[l];
+      psdu.assign(psdu_bytes, 0);
+      for (std::size_t i = 0; i < 8 * psdu_bytes; ++i) {
+        if (lane_info[kServiceBits + i] & 1u) {
+          psdu[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+      }
     }
   }
 }

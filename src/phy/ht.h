@@ -137,7 +137,33 @@ class HtPhy {
                           double snr_db, Rng& rng, Bytes& out,
                           Workspace& ws) const;
 
+  /// One lane of a batched link: that trial's PSDU, per-tone channel,
+  /// and private Rng.
+  struct TxLane {
+    std::span<const std::uint8_t> psdu;
+    const std::vector<linalg::CMatrix>* tones = nullptr;
+    Rng* rng = nullptr;
+  };
+
+  /// Trial-batched simulate_link (dsp/batch.h): each lane's front end
+  /// (encode, channel, detection, demap) runs sequentially on its own
+  /// Rng, then every lane decodes in one batched Viterbi or LDPC sweep.
+  /// out[l] receives lane l's PSDU; all lanes must carry PSDUs of one
+  /// size; at most 16 lanes. With `quantized` false this is bitwise
+  /// identical to simulate_link_into on each lane; true engages the
+  /// int16 decoders (gated on PER deltas, not equality).
+  void simulate_link_batch_into(std::span<const TxLane> lanes, double snr_db,
+                                std::span<Bytes> out, bool quantized,
+                                Workspace& ws) const;
+
  private:
+  /// Front end shared by the scalar and batched links: encode through
+  /// detection and demap, writing n_symbols * n_cbps coded-bit LLRs.
+  void simulate_front_into(std::span<const std::uint8_t> psdu,
+                           const std::vector<linalg::CMatrix>& tones,
+                           double snr_db, Rng& rng,
+                           std::span<double> coded_llrs, Workspace& ws) const;
+
   HtConfig config_;
   HtMcsInfo mcs_;
   std::size_t n_tx_ = 1;

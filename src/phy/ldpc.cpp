@@ -1,13 +1,17 @@
 #include "phy/ldpc.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "dsp/batch.h"
+#include "dsp/saturate.h"
 #include "dsp/simd.h"
+#include "dsp/simd_int.h"
 #include "obs/perf.h"
 #include "obs/timer.h"
 #include "phy/workspace.h"
@@ -134,6 +138,16 @@ LdpcCode::LdpcCode(std::size_t n, std::size_t k, std::uint64_t seed,
         }
       }
     }
+    // Transpose the (RREF-dense) dependency rows into word-packed parity
+    // columns so the encoder can XOR 64 parities at a time.
+    parity_words_ = (m_ + 63) / 64;
+    parity_masks_.assign(k_ * parity_words_, 0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      for (const std::uint32_t i : parity_deps_[r]) {
+        parity_masks_[i * parity_words_ + r / 64] |= std::uint64_t{1}
+                                                     << (r % 64);
+      }
+    }
 
     // --- Decoder adjacency (original sparse H, not the RREF), CSR. ---
     std::vector<std::uint32_t> check_degree(m_, 0);
@@ -162,11 +176,22 @@ void LdpcCode::encode_into(std::span<const std::uint8_t> info,
                            Bits& codeword) const {
   check(info.size() == k_, "LdpcCode::encode info length mismatch");
   codeword.assign(n_, 0);
-  for (std::size_t i = 0; i < k_; ++i) codeword[info_cols_[i]] = info[i] & 1u;
+  // Accumulate all parity bits as packed words — one column XOR per set
+  // info bit — then scatter. GF(2) sums are exact either way, so this
+  // matches the per-row XOR walk bit for bit.
+  std::uint64_t acc[32];  // m_ <= 2048 for every supported block length
+  check(parity_words_ <= 32, "LdpcCode::encode parity accumulator too small");
+  for (std::size_t w = 0; w < parity_words_; ++w) acc[w] = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    codeword[info_cols_[i]] = info[i] & 1u;
+    if (info[i] & 1u) {
+      const std::uint64_t* col = &parity_masks_[i * parity_words_];
+      for (std::size_t w = 0; w < parity_words_; ++w) acc[w] ^= col[w];
+    }
+  }
   for (std::size_t r = 0; r < m_; ++r) {
-    std::uint8_t p = 0;
-    for (const std::uint32_t idx : parity_deps_[r]) p ^= info[idx] & 1u;
-    codeword[parity_cols_[r]] = p;
+    codeword[parity_cols_[r]] =
+        static_cast<std::uint8_t>((acc[r / 64] >> (r % 64)) & 1u);
   }
 }
 
@@ -192,7 +217,7 @@ namespace {
 
 // Syndrome over posterior signs, straight off the CSR arrays; bails on
 // the first unsatisfied check (no hard-decision buffer materialized).
-bool syndrome_clean(const RVec& posterior,
+bool syndrome_clean(const double* posterior,
                     const std::vector<std::uint32_t>& offset,
                     const std::vector<std::uint32_t>& var, std::size_t m) {
   for (std::size_t c = 0; c < m; ++c) {
@@ -203,6 +228,50 @@ bool syndrome_clean(const RVec& posterior,
     if (p) return false;
   }
   return true;
+}
+
+// One layered min-sum check update on contiguous single-trial state:
+// the branch-free scalar reference. The two-minimum recurrence and the
+// sign handling are data-dependent coin flips, so they are written as
+// exact selections (min/max/cmov, sign-bit XOR for the ±1 multiply)
+// instead of branches. Every transformation picks between the same IEEE
+// values the branching form would compute — bitwise identical, and what
+// the vector paths (single-trial and batched) are held to. The batch
+// drain finishes a lane on exactly this code.
+void scalar_check_update(const std::uint32_t* var, std::uint32_t e0,
+                         std::uint32_t e1, double normalization,
+                         double* posterior, double* c2v, double* v2c) {
+  double min1 = 1e300;
+  double min2 = 1e300;
+  std::uint32_t min_pos = 0;
+  int sign_product = 1;
+  unsigned neg = 0;
+  for (std::uint32_t e = e0; e < e1; ++e) {
+    const double msg = posterior[var[e]] - c2v[e];
+    v2c[e - e0] = msg;
+    const double mag = std::abs(msg);
+    const bool below = mag < min1;
+    const double runner_up = below ? min1 : mag;
+    min_pos = below ? e : min_pos;
+    min1 = below ? mag : min1;
+    min2 = runner_up < min2 ? runner_up : min2;
+    neg += static_cast<unsigned>(msg < 0.0);
+  }
+  if (neg & 1u) sign_product = -1;
+  const double a1 = min1 * normalization;
+  const double a2 = min2 * normalization;
+  const std::uint64_t product_bit =
+      sign_product < 0 ? 0x8000000000000000ull : 0ull;
+  for (std::uint32_t e = e0; e < e1; ++e) {
+    const double mag = e == min_pos ? a2 : a1;
+    const double old = v2c[e - e0];
+    const std::uint64_t flip =
+        (old < 0.0 ? 0x8000000000000000ull : 0ull) ^ product_bit;
+    const double new_msg =
+        std::bit_cast<double>(std::bit_cast<std::uint64_t>(mag) ^ flip);
+    posterior[var[e]] = old + new_msg;
+    c2v[e] = new_msg;
+  }
 }
 
 }  // namespace
@@ -225,18 +294,16 @@ void LdpcCode::decode_into(std::span<const double> llrs, int max_iterations,
   for (std::size_t i = 0; i < n_; ++i) posterior[i] = llrs[i];
   int iter = 0;
   bool ok = false;
-  if (syndrome_clean(posterior, check_offset_, check_var_, m_)) {
+  if (syndrome_clean(posterior.data(), check_offset_, check_var_, m_)) {
     // Channel decisions already form a codeword — 0-iteration exit
     // (the common case well above the waterfall).
     ok = true;
   } else {
     auto c2v_lease = ws.rvec(check_var_.size());
     auto v2c_lease = ws.rvec(max_check_degree_);
-    auto mag_lease = ws.rvec(max_check_degree_);
     auto lane_lease = ws.rvec(dsp::simd::kWidth);
     RVec& c2v = *c2v_lease;
     RVec& v2c = *v2c_lease;
-    RVec& magbuf = *mag_lease;
     double* lane = lane_lease->data();
     for (auto& m : c2v) m = 0.0;
     // Plan-level dispatch: lanes pay off only when a check row fills
@@ -250,21 +317,25 @@ void LdpcCode::decode_into(std::span<const double> llrs, int max_iterations,
       for (std::size_t c = 0; c < m_; ++c) {
         const std::uint32_t e0 = check_offset_[c];
         const std::uint32_t e1 = check_offset_[c + 1];
+        if (!use_vec) {
+          scalar_check_update(check_var_.data(), e0, e1, normalization,
+                              posterior.data(), c2v.data(), v2c.data());
+          continue;
+        }
         const std::uint32_t deg = e1 - e0;
         double min1 = 1e300;
         double min2 = 1e300;
         std::uint32_t min_pos = 0;
         int sign_product = 1;
-        if (use_vec) {
+        {
           using dsp::simd::DVec;
           constexpr std::uint32_t W =
               static_cast<std::uint32_t>(dsp::simd::kWidth);
-          // Message + magnitude sweep, a lane per edge. The subtraction,
-          // sign-bit-clear |x|, and < 0 test are the scalar ops lanewise,
-          // so v2c/magbuf hold bitwise-identical values. Sign parity
-          // accumulates as an XOR of lane masks (XOR preserves popcount
-          // parity), costing one popcount per check instead of one per
-          // block.
+          // Message sweep, a lane per edge. The subtraction and < 0 test
+          // are the scalar ops lanewise, so v2c holds bitwise-identical
+          // values. Sign parity accumulates as an XOR of lane masks (XOR
+          // preserves popcount parity), costing one popcount per check
+          // instead of one per block.
           unsigned sign_mask = 0;
           std::uint32_t e = e0;
           for (; e + W <= e1; e += W) {
@@ -272,23 +343,21 @@ void LdpcCode::decode_into(std::span<const double> llrs, int max_iterations,
                                                &check_var_[e]) -
                              DVec::load(&c2v[e]);
             msg.store(&v2c[e - e0]);
-            dsp::simd::abs(msg).store(&magbuf[e - e0]);
             sign_mask ^= dsp::simd::mask_lt(msg, DVec::splat(0.0));
           }
           unsigned neg = static_cast<unsigned>(std::popcount(sign_mask));
           for (; e < e1; ++e) {
             const double msg = posterior[check_var_[e]] - c2v[e];
             v2c[e - e0] = msg;
-            magbuf[e - e0] = std::abs(msg);
             if (msg < 0.0) ++neg;
           }
           if (neg & 1u) sign_product = -1;
           // The running two-minimum scan is a serial recurrence; walk the
-          // magnitude buffer in the scalar edge order (branch-free, same
+          // messages in the scalar edge order (branch-free, same
           // selections as the reference loop) so min_pos ties resolve
-          // identically.
+          // identically. |v2c[i]| reproduces the magnitude bit for bit.
           for (std::uint32_t i = 0; i < deg; ++i) {
-            const double mag = magbuf[i];
+            const double mag = std::abs(v2c[i]);
             const bool below = mag < min1;
             const double runner_up = below ? min1 : mag;
             min_pos = below ? e0 + i : min_pos;
@@ -328,44 +397,9 @@ void LdpcCode::decode_into(std::span<const double> llrs, int max_iterations,
             posterior[check_var_[min_pos]] = old + new_msg;
             c2v[min_pos] = new_msg;
           }
-        } else {
-          // Branch-free reference loop: the two-minimum recurrence and
-          // the sign handling are data-dependent coin flips, so they are
-          // written as exact selections (min/max/cmov, sign-bit XOR for
-          // the ±1 multiply) instead of branches. Every transformation
-          // picks between the same IEEE values the branching form would
-          // compute — bitwise identical, and what the vector path is
-          // held to.
-          unsigned neg = 0;
-          for (std::uint32_t e = e0; e < e1; ++e) {
-            const double msg = posterior[check_var_[e]] - c2v[e];
-            v2c[e - e0] = msg;
-            const double mag = std::abs(msg);
-            const bool below = mag < min1;
-            const double runner_up = below ? min1 : mag;
-            min_pos = below ? e : min_pos;
-            min1 = below ? mag : min1;
-            min2 = runner_up < min2 ? runner_up : min2;
-            neg += static_cast<unsigned>(msg < 0.0);
-          }
-          if (neg & 1u) sign_product = -1;
-          const double a1 = min1 * normalization;
-          const double a2 = min2 * normalization;
-          const std::uint64_t product_bit =
-              sign_product < 0 ? 0x8000000000000000ull : 0ull;
-          for (std::uint32_t e = e0; e < e1; ++e) {
-            const double mag = e == min_pos ? a2 : a1;
-            const double old = v2c[e - e0];
-            const std::uint64_t flip =
-                (old < 0.0 ? 0x8000000000000000ull : 0ull) ^ product_bit;
-            const double new_msg =
-                std::bit_cast<double>(std::bit_cast<std::uint64_t>(mag) ^ flip);
-            posterior[check_var_[e]] = old + new_msg;
-            c2v[e] = new_msg;
-          }
         }
       }
-      if (syndrome_clean(posterior, check_offset_, check_var_, m_)) {
+      if (syndrome_clean(posterior.data(), check_offset_, check_var_, m_)) {
         ok = true;
         ++iter;
         break;
@@ -387,6 +421,331 @@ LdpcCode::DecodeResult LdpcCode::decode(std::span<const double> llrs,
   DecodeResult result;
   decode_into(llrs, max_iterations, normalization, result, tls_workspace());
   return result;
+}
+
+void LdpcCode::decode_batch_into(std::span<const double> llrs_soa,
+                                 std::size_t lanes, int max_iterations,
+                                 double normalization,
+                                 std::span<DecodeResult> results,
+                                 Workspace& ws) const {
+  check(lanes > 0 && lanes <= 16 && results.size() == lanes,
+        "decode_batch requires 1..16 lanes with one result per lane");
+  check(llrs_soa.size() == n_ * lanes, "decode_batch LLR length mismatch");
+  constexpr std::size_t W = dsp::simd::kWidth;
+  if (!dsp::simd::vector_enabled() || !dsp::batch::vectorizable(lanes, W) ||
+      lanes == 1) {
+    // Remainder groups and scalar builds: extract each lane and run the
+    // reference kernel — bitwise identical by construction.
+    auto lane_lease = ws.rvec(n_);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      dsp::batch::gather_lane(llrs_soa.data(), l, lanes,
+                              std::span<double>(*lane_lease));
+      decode_into(*lane_lease, max_iterations, normalization, results[l], ws);
+    }
+    return;
+  }
+
+  const obs::ScopedTimer timer(
+      obs::kernel_histogram(obs::Kernel::kLdpcBatch));
+  const obs::perf::ScopedSpan span("ldpc_batch");
+  using dsp::simd::DVec;
+  const std::size_t L = lanes;
+  const std::size_t edges = check_var_.size();
+
+  auto post_lease = ws.rvec(n_ * L);
+  double* post = post_lease->data();
+  for (std::size_t i = 0; i < llrs_soa.size(); ++i) post[i] = llrs_soa[i];
+
+  // Per-lane syndrome over the lane-major posterior; bails on the first
+  // unsatisfied check, like the contiguous helper.
+  const auto lane_clean = [&](std::size_t l) {
+    for (std::size_t c = 0; c < m_; ++c) {
+      unsigned par = 0;
+      for (std::uint32_t e = check_offset_[c]; e < check_offset_[c + 1]; ++e) {
+        par ^= post[check_var_[e] * L + l] < 0.0 ? 1u : 0u;
+      }
+      if (par) return false;
+    }
+    return true;
+  };
+
+  std::array<bool, 16> done{};
+  const auto snapshot = [&](std::size_t l, int iterations, bool ok) {
+    DecodeResult& r = results[l];
+    r.parity_ok = ok;
+    r.iterations = iterations;
+    r.info.resize(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      r.info[i] = post[info_cols_[i] * L + l] < 0.0 ? 1 : 0;
+    }
+    done[l] = true;
+  };
+
+  std::size_t active = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    // Channel decisions already form a codeword — 0-iteration exit.
+    if (lane_clean(l)) snapshot(l, 0, true); else ++active;
+  }
+  if (active == 0) return;
+
+  auto c2v_lease = ws.rvec(edges * L);
+  auto v2c_lease = ws.rvec(max_check_degree_ * L);
+  double* c2v = c2v_lease->data();
+  double* v2c = v2c_lease->data();
+  std::fill(c2v, c2v + edges * L, 0.0);
+
+  // Drain scratch: one lane's contiguous posterior + messages, finished
+  // on the scalar reference kernel from bitwise-identical state.
+  auto dpost_lease = ws.rvec(n_);
+  auto dc2v_lease = ws.rvec(edges);
+  auto dv2c_lease = ws.rvec(max_check_degree_);
+  const auto drain_lane = [&](std::size_t l, int start_iter) {
+    double* dpost = dpost_lease->data();
+    double* dc2v = dc2v_lease->data();
+    dsp::batch::gather_lane(post, l, L, std::span<double>(*dpost_lease));
+    dsp::batch::gather_lane(c2v, l, L, std::span<double>(*dc2v_lease));
+    int iter = start_iter;
+    bool ok = false;
+    for (; iter < max_iterations; ++iter) {
+      for (std::size_t c = 0; c < m_; ++c) {
+        scalar_check_update(check_var_.data(), check_offset_[c],
+                            check_offset_[c + 1], normalization, dpost, dc2v,
+                            dv2c_lease->data());
+      }
+      if (syndrome_clean(dpost, check_offset_, check_var_, m_)) {
+        ok = true;
+        ++iter;
+        break;
+      }
+    }
+    DecodeResult& r = results[l];
+    r.parity_ok = ok;
+    r.iterations = iter;
+    r.info.resize(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      r.info[i] = dpost[info_cols_[i]] < 0.0 ? 1 : 0;
+    }
+    done[l] = true;
+  };
+
+  const DVec normv = DVec::splat(normalization);
+  const DVec zero = DVec::splat(0.0);
+  const DVec pos1 = DVec::splat(1.0);
+  const DVec neg1 = DVec::splat(-1.0);
+  // Once at most this many lanes are still decoding, vector iterations
+  // mostly push dead state around — extract and drain them instead.
+  constexpr std::size_t kDrainAt = 2;
+
+  for (int it = 0; it < max_iterations && active > 0; ++it) {
+    if (active <= kDrainAt) {
+      for (std::size_t l = 0; l < L; ++l) {
+        if (!done[l]) drain_lane(l, it);
+      }
+      return;
+    }
+    for (std::size_t c = 0; c < m_; ++c) {
+      const std::uint32_t e0 = check_offset_[c];
+      const std::uint32_t deg = check_offset_[c + 1] - e0;
+      for (std::size_t w = 0; w < L; w += W) {
+        // The scalar reference's branch-free selections, a lane (trial)
+        // per element: the two-minimum recurrence maps each ?: onto
+        // select_gt, the sign parity accumulates as a ±1.0 product
+        // (exact sign flips), and the one minimum edge is recognized by
+        // mag == min1 instead of min_pos — ties make min2 == min1, so
+        // a2 == a1 and the selected value still matches the reference.
+        DVec min1 = DVec::splat(1e300);
+        DVec min2 = DVec::splat(1e300);
+        DVec pprod = pos1;
+        for (std::uint32_t i = 0; i < deg; ++i) {
+          const std::size_t v = check_var_[e0 + i];
+          const DVec msg = DVec::load(&post[v * L + w]) -
+                           DVec::load(&c2v[(e0 + i) * L + w]);
+          msg.store(&v2c[i * L + w]);
+          const DVec mag = dsp::simd::abs(msg);
+          const DVec nmin1 = dsp::simd::select_gt(min1, mag, mag, min1);
+          const DVec runner = dsp::simd::select_gt(min1, mag, min1, mag);
+          min1 = nmin1;
+          min2 = dsp::simd::select_gt(min2, runner, runner, min2);
+          pprod = pprod * dsp::simd::select_gt(zero, msg, neg1, pos1);
+        }
+        const DVec a1 = min1 * normv;
+        const DVec a2 = min2 * normv;
+        for (std::uint32_t i = 0; i < deg; ++i) {
+          const std::size_t v = check_var_[e0 + i];
+          const DVec old = DVec::load(&v2c[i * L + w]);
+          // abs(old) reproduces the pass-1 magnitude bit for bit (the
+          // sign-bit clear is exact), so no magnitude buffer is kept.
+          const DVec mag = dsp::simd::abs(old);
+          const DVec base = dsp::simd::select_gt(mag, min1, a1, a2);
+          const DVec sgn = dsp::simd::select_gt(zero, old, neg1, pos1);
+          const DVec new_msg = base * sgn * pprod;
+          new_msg.store(&c2v[(e0 + i) * L + w]);
+          (old + new_msg).store(&post[v * L + w]);
+        }
+      }
+    }
+    for (std::size_t l = 0; l < L; ++l) {
+      if (!done[l] && lane_clean(l)) {
+        snapshot(l, it + 1, true);
+        --active;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    if (!done[l]) snapshot(l, max_iterations, false);
+  }
+}
+
+void LdpcCode::decode_batch_i16_into(std::span<const double> llrs_soa,
+                                     std::size_t lanes, int max_iterations,
+                                     double normalization, double scale,
+                                     std::span<DecodeResult> results,
+                                     Workspace& ws) const {
+  const obs::ScopedTimer timer(
+      obs::kernel_histogram(obs::Kernel::kLdpcQuant));
+  const obs::perf::ScopedSpan span("ldpc_i16");
+  check(lanes > 0 && lanes <= 16 && results.size() == lanes,
+        "decode_batch_i16 requires 1..16 lanes with one result per lane");
+  check(llrs_soa.size() == n_ * lanes, "decode_batch_i16 LLR length mismatch");
+  using dsp::simd::I16Vec;
+  constexpr std::size_t VW = dsp::simd::kI16Width;
+  const std::size_t L = lanes;
+  const std::size_t edges = check_var_.size();
+  const std::int16_t norm_q = dsp::sat_i16(
+      static_cast<std::int32_t>(std::lround(normalization * 32768.0)));
+
+  auto post_lease = ws.i16vec(n_ * L);
+  std::int16_t* post = post_lease->data();
+  for (std::size_t i = 0; i < llrs_soa.size(); ++i) {
+    post[i] = dsp::quantize_llr_i16(llrs_soa[i], scale, 127);
+  }
+
+  const auto lane_clean = [&](std::size_t l) {
+    for (std::size_t c = 0; c < m_; ++c) {
+      unsigned par = 0;
+      for (std::uint32_t e = check_offset_[c]; e < check_offset_[c + 1]; ++e) {
+        par ^= post[check_var_[e] * L + l] < 0 ? 1u : 0u;
+      }
+      if (par) return false;
+    }
+    return true;
+  };
+
+  std::array<bool, 16> done{};
+  const auto snapshot = [&](std::size_t l, int iterations, bool ok) {
+    DecodeResult& r = results[l];
+    r.parity_ok = ok;
+    r.iterations = iterations;
+    r.info.resize(k_);
+    for (std::size_t i = 0; i < k_; ++i) {
+      r.info[i] = post[info_cols_[i] * L + l] < 0 ? 1 : 0;
+    }
+    done[l] = true;
+  };
+
+  std::size_t active = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    if (lane_clean(l)) snapshot(l, 0, true); else ++active;
+  }
+  if (active == 0) return;
+
+  auto c2v_lease = ws.i16vec(edges * L);
+  auto v2c_lease = ws.i16vec(max_check_degree_ * L);
+  auto mag_lease = ws.i16vec(max_check_degree_ * L);
+  std::int16_t* c2v = c2v_lease->data();
+  std::int16_t* v2c = v2c_lease->data();
+  std::int16_t* magb = mag_lease->data();
+  std::fill(c2v, c2v + edges * L, std::int16_t{0});
+
+  const bool use_vec = dsp::simd::vector_enabled() &&
+                       dsp::batch::vectorizable(L, VW) && VW > 1;
+  const I16Vec zero16 = I16Vec::splat(0);
+  const I16Vec normq_v = I16Vec::splat(norm_q);
+
+  for (int it = 0; it < max_iterations && active > 0; ++it) {
+    for (std::size_t c = 0; c < m_; ++c) {
+      const std::uint32_t e0 = check_offset_[c];
+      const std::uint32_t deg = check_offset_[c + 1] - e0;
+      if (use_vec) {
+        for (std::size_t w = 0; w < L; w += VW) {
+          I16Vec min1 = I16Vec::splat(32767);
+          I16Vec min2 = min1;
+          I16Vec par = zero16;  // all-ones lanes = odd negative count
+          for (std::uint32_t i = 0; i < deg; ++i) {
+            const std::size_t v = check_var_[e0 + i];
+            const I16Vec msg =
+                sat_sub(I16Vec::load(&post[v * L + w]),
+                        I16Vec::load(&c2v[(e0 + i) * L + w]));
+            msg.store(&v2c[i * L + w]);
+            const I16Vec mag = sat_abs(msg);
+            mag.store(&magb[i * L + w]);
+            const I16Vec gt = cmp_gt(min1, mag);
+            const I16Vec runner = blend(gt, min1, mag);
+            min1 = blend(gt, mag, min1);
+            min2 = blend(cmp_gt(min2, runner), runner, min2);
+            par = bit_xor(par, cmp_gt(zero16, msg));
+          }
+          const I16Vec a1 = mulhrs(min1, normq_v);
+          const I16Vec a2 = mulhrs(min2, normq_v);
+          for (std::uint32_t i = 0; i < deg; ++i) {
+            const std::size_t v = check_var_[e0 + i];
+            const I16Vec old = I16Vec::load(&v2c[i * L + w]);
+            const I16Vec mag = I16Vec::load(&magb[i * L + w]);
+            const I16Vec base = blend(cmp_gt(mag, min1), a1, a2);
+            // Negate-by-mask (a ^ m) - m: base is in [0, 32767], so the
+            // subtraction cannot saturate and this is an exact ±base.
+            const I16Vec m = bit_xor(cmp_gt(zero16, old), par);
+            const I16Vec new_msg = sat_sub(bit_xor(base, m), m);
+            new_msg.store(&c2v[(e0 + i) * L + w]);
+            sat_add(old, new_msg).store(&post[v * L + w]);
+          }
+        }
+      } else {
+        // Scalar reference: the same saturating selections per lane, so
+        // the quantized output is identical with vectors on or off.
+        for (std::size_t l = 0; l < L; ++l) {
+          if (done[l]) continue;  // dead state; skipping changes nothing
+          std::int16_t min1 = 32767;
+          std::int16_t min2 = 32767;
+          unsigned par = 0;
+          for (std::uint32_t i = 0; i < deg; ++i) {
+            const std::size_t v = check_var_[e0 + i];
+            const std::int16_t msg =
+                dsp::sat_sub_i16(post[v * L + l], c2v[(e0 + i) * L + l]);
+            v2c[i * L + l] = msg;
+            const std::int16_t mag = dsp::sat_abs_i16(msg);
+            magb[i * L + l] = mag;
+            const bool gt = min1 > mag;
+            const std::int16_t runner = gt ? min1 : mag;
+            min1 = gt ? mag : min1;
+            min2 = min2 > runner ? runner : min2;
+            par ^= msg < 0 ? 1u : 0u;
+          }
+          const std::int16_t a1 = dsp::mulhrs_i16(min1, norm_q);
+          const std::int16_t a2 = dsp::mulhrs_i16(min2, norm_q);
+          for (std::uint32_t i = 0; i < deg; ++i) {
+            const std::size_t v = check_var_[e0 + i];
+            const std::int16_t old = v2c[i * L + l];
+            const std::int16_t mag = magb[i * L + l];
+            const std::int16_t base = mag > min1 ? a1 : a2;
+            const unsigned neg = (old < 0 ? 1u : 0u) ^ par;
+            const std::int16_t new_msg = neg ? dsp::sat_neg_i16(base) : base;
+            c2v[(e0 + i) * L + l] = new_msg;
+            post[v * L + l] = dsp::sat_add_i16(old, new_msg);
+          }
+        }
+      }
+    }
+    for (std::size_t l = 0; l < L; ++l) {
+      if (!done[l] && lane_clean(l)) {
+        snapshot(l, it + 1, true);
+        --active;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < L; ++l) {
+    if (!done[l]) snapshot(l, max_iterations, false);
+  }
 }
 
 }  // namespace wlan::phy

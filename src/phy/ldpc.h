@@ -62,6 +62,34 @@ class LdpcCode {
                    double normalization, DecodeResult& result,
                    Workspace& ws) const;
 
+  /// Trial-batched layered decode over a lane-major LLR block
+  /// (dsp/batch.h): llrs_soa[i * lanes + l] is variable i of lane l, so
+  /// llrs_soa.size() == n * lanes, and results.size() == lanes (at most
+  /// 16). Bitwise identical to decode_into on each lane: lanes run the
+  /// check updates in lockstep, a lane's result is snapshotted the
+  /// moment its own syndrome comes clean (its later in-lane evolution is
+  /// dead state), and once at most two lanes remain active they are
+  /// extracted and finished on the scalar reference kernel. Lane counts
+  /// that are not a multiple of the SIMD width decode lane by lane on
+  /// the scalar kernel.
+  void decode_batch_into(std::span<const double> llrs_soa, std::size_t lanes,
+                         int max_iterations, double normalization,
+                         std::span<DecodeResult> results, Workspace& ws) const;
+
+  /// Quantized batched decode: channel LLRs are scaled by `scale`,
+  /// rounded, and clamped to ±127 (int8 range inside int16 lanes);
+  /// messages and posteriors then run saturating int16 min-sum with the
+  /// normalization factor applied as a Q15 rounding multiply. Identical
+  /// integer semantics on the vector and scalar paths make the output
+  /// deterministic across ISAs and lane counts, but it is NOT bitwise
+  /// against the double path — callers gate it on PER deltas
+  /// (bench_diff). `lanes` at most 16.
+  void decode_batch_i16_into(std::span<const double> llrs_soa,
+                             std::size_t lanes, int max_iterations,
+                             double normalization, double scale,
+                             std::span<DecodeResult> results,
+                             Workspace& ws) const;
+
   /// True when the given full codeword satisfies every parity check
   /// (exposed for tests and property checks).
   bool satisfies_parity(std::span<const std::uint8_t> codeword) const;
@@ -85,6 +113,14 @@ class LdpcCode {
   std::vector<std::uint32_t> info_cols_;
   std::vector<std::uint32_t> parity_cols_;
   std::vector<std::vector<std::uint32_t>> parity_deps_;
+
+  // Word-packed transpose of parity_deps_ for the encoder hot path:
+  // parity_masks_ holds, for each info index i, the m_-bit column of
+  // parities depending on i, packed into parity_words_ 64-bit words.
+  // XORing whole columns per set info bit computes the same GF(2) sums
+  // as the row walk, bit for bit.
+  std::size_t parity_words_ = 0;
+  std::vector<std::uint64_t> parity_masks_;  // k_ * parity_words_ entries
 };
 
 }  // namespace wlan::phy

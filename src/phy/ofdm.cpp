@@ -1,10 +1,12 @@
 #include "phy/ofdm.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/units.h"
+#include "dsp/batch.h"
 #include "dsp/fft.h"
 #include "obs/perf.h"
 #include "obs/probe.h"
@@ -18,6 +20,10 @@ namespace {
 constexpr std::uint8_t kScramblerSeed = 0x5D;
 constexpr std::size_t kServiceBits = 16;
 constexpr std::size_t kTailBits = 6;
+
+// Quantizer target for the batch's peak |LLR|: well under the ±127 rail
+// so saturating branch-metric sums (two LLRs) stay mostly linear.
+constexpr double kQuantHeadroom = 96.0;
 
 const std::array<OfdmMcsInfo, 8> kMcsTable = {{
     {Modulation::kBpsk, CodeRate::kR12, 1, 48, 24, 6.0},
@@ -261,13 +267,14 @@ CVec OfdmPhy::transmit(std::span<const std::uint8_t> psdu) const {
   return out;
 }
 
-void OfdmPhy::receive_into(std::span<const Cplx> samples,
-                           std::size_t psdu_bytes, double noise_variance,
-                           Bytes& psdu, Workspace& ws) const {
-  const obs::perf::ScopedSpan span("ofdm.rx");
-  const std::size_t n_sym = n_symbols_for_psdu(psdu_bytes);
+void OfdmPhy::receive_front_into(std::span<const Cplx> samples,
+                                 std::size_t n_sym, double noise_variance,
+                                 std::span<double> all_llrs,
+                                 Workspace& ws) const {
   check(samples.size() >= (kLtfSymbols + n_sym) * kSymbolLen,
         "OFDM receive: waveform too short");
+  check(all_llrs.size() == n_sym * info_->n_cbps,
+        "OFDM receive front: LLR buffer size mismatch");
 
   auto h_lease = ws.cvec(kNfft);
   const CVec& h = *h_lease;
@@ -279,16 +286,30 @@ void OfdmPhy::receive_into(std::span<const Cplx> samples,
 
   const auto& tones = ofdm_data_tones();
 
-  auto all_llrs_lease = ws.rvec(n_sym * info_->n_cbps);
   auto freq_lease = ws.cvec(kNfft);
   auto eq_lease = ws.cvec(kDataTones);
   auto nv_lease = ws.rvec(kDataTones);
+  auto snr_lease = ws.rvec(kDataTones);
   auto llrs_lease = ws.rvec(info_->n_cbps);
-  RVec& all_llrs = *all_llrs_lease;
   CVec& freq = *freq_lease;
   CVec& eq = *eq_lease;
   RVec& nv = *nv_lease;
+  RVec& snr_db = *snr_lease;
   RVec& llrs = *llrs_lease;
+
+  // The per-tone noise variance depends only on the channel estimate, so
+  // hoist it (and the dB conversion the SNR probe records every symbol)
+  // out of the symbol loop — same values in the same order as computing
+  // them per symbol.
+  obs::Histogram* const snr_probe =
+      obs::probe_histogram(obs::Probe::kOfdmPostEqSnr);
+  for (std::size_t t = 0; t < kDataTones; ++t) {
+    const std::size_t bin = ofdm_tone_bin(tones[t]);
+    const double mag2 = std::max(std::norm(h[bin]), 1e-12);
+    nv[t] = bin_noise / mag2;
+    if (snr_probe != nullptr) snr_db[t] = lin_to_db(1.0 / nv[t]);
+  }
+
   const auto& polarity = ofdm_pilot_polarity();
   for (std::size_t s = 0; s < n_sym; ++s) {
     ofdm_extract_symbol_to(samples, kLtfSymbols + s, freq);
@@ -307,10 +328,7 @@ void OfdmPhy::receive_into(std::span<const Cplx> samples,
                                           : Cplx{1.0, 0.0};
     for (std::size_t t = 0; t < kDataTones; ++t) {
       const std::size_t bin = ofdm_tone_bin(tones[t]);
-      const Cplx hk = h[bin];
-      const double mag2 = std::max(std::norm(hk), 1e-12);
-      eq[t] = freq[bin] / hk * derotate;
-      nv[t] = bin_noise / mag2;
+      eq[t] = freq[bin] / h[bin] * derotate;
     }
     // Link-quality probes (no-ops unless enable_phy_probes armed them).
     if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kOfdmEvm)) {
@@ -320,19 +338,32 @@ void OfdmPhy::receive_into(std::span<const Cplx> samples,
       }
       p->record(std::sqrt(err2 / static_cast<double>(kDataTones)));
     }
-    if (obs::Histogram* p =
-            obs::probe_histogram(obs::Probe::kOfdmPostEqSnr)) {
-      for (std::size_t t = 0; t < kDataTones; ++t) {
-        p->record(lin_to_db(1.0 / nv[t]));
-      }
-    }
     demodulate_llr_to(eq, info_->mod, nv, llrs);
     if (obs::Histogram* p = obs::probe_histogram(obs::Probe::kOfdmLlrAbs)) {
       for (const double l : llrs) p->record(std::abs(l));
     }
     interleaver_->deinterleave_to(
-        llrs, std::span(all_llrs).subspan(s * info_->n_cbps, info_->n_cbps));
+        llrs, all_llrs.subspan(s * info_->n_cbps, info_->n_cbps));
   }
+  // The post-eq SNR per tone is symbol-invariant (it depends only on the
+  // channel estimate), so record each tone once with the symbol count
+  // instead of kDataTones records per symbol: identical bins and count,
+  // one bulk update per tone.
+  if (snr_probe != nullptr) {
+    for (std::size_t t = 0; t < kDataTones; ++t) {
+      snr_probe->record_n(snr_db[t], n_sym);
+    }
+  }
+}
+
+void OfdmPhy::receive_into(std::span<const Cplx> samples,
+                           std::size_t psdu_bytes, double noise_variance,
+                           Bytes& psdu, Workspace& ws) const {
+  const obs::perf::ScopedSpan span("ofdm.rx");
+  const std::size_t n_sym = n_symbols_for_psdu(psdu_bytes);
+  auto all_llrs_lease = ws.rvec(n_sym * info_->n_cbps);
+  RVec& all_llrs = *all_llrs_lease;
+  receive_front_into(samples, n_sym, noise_variance, all_llrs, ws);
 
   const std::size_t n_info = n_sym * info_->n_dbps;
   auto unpunctured_lease = ws.rvec(0);
@@ -362,6 +393,75 @@ Bytes OfdmPhy::receive(std::span<const Cplx> samples, std::size_t psdu_bytes,
   Bytes psdu;
   receive_into(samples, psdu_bytes, noise_variance, psdu, tls_workspace());
   return psdu;
+}
+
+void OfdmPhy::receive_batch_into(std::span<const RxLane> lanes,
+                                 std::size_t psdu_bytes,
+                                 std::span<Bytes> psdus, bool quantized,
+                                 Workspace& ws) const {
+  const std::size_t L = lanes.size();
+  check(L > 0 && L <= 16 && psdus.size() == L,
+        "OFDM batch receive requires 1..16 lanes with one PSDU per lane");
+  const obs::perf::ScopedSpan span("ofdm.rx_batch");
+  const std::size_t n_sym = n_symbols_for_psdu(psdu_bytes);
+  const std::size_t lane_llr_count = n_sym * info_->n_cbps;
+
+  // Per-lane front ends into one lane-contiguous block.
+  auto fronts_lease = ws.rvec(L * lane_llr_count);
+  RVec& fronts = *fronts_lease;
+  std::array<std::span<const double>, 16> lane_llrs;
+  for (std::size_t l = 0; l < L; ++l) {
+    const std::span<double> mine(fronts.data() + l * lane_llr_count,
+                                 lane_llr_count);
+    receive_front_into(lanes[l].samples, n_sym, lanes[l].noise_variance,
+                       mine, ws);
+    lane_llrs[l] = mine;
+  }
+
+  // Depuncture the full data field lane-major, then decode only the
+  // service + PSDU + tail prefix — exactly the truncation receive_into
+  // performs on its contiguous buffer, expressed as a row-prefix of the
+  // SoA block.
+  const std::size_t n_info = n_sym * info_->n_dbps;
+  auto soa_lease = ws.rvec(0);
+  RVec& soa = *soa_lease;
+  depuncture_batch_into(
+      std::span<const std::span<const double>>(lane_llrs.data(), L),
+      info_->rate, n_info, soa);
+  const std::size_t decoded_bits = kServiceBits + 8 * psdu_bytes + kTailBits;
+  const std::span<const double> trellis_llrs(soa.data(),
+                                             2 * decoded_bits * L);
+
+  auto decoded_lease = ws.bits(0);
+  Bits& decoded_soa = *decoded_lease;
+  if (quantized) {
+    // Calibrate the quantizer to the batch's own LLR peak with headroom
+    // below the ±127 rail; batches are group-aligned in the trial queue,
+    // so the scale (hence the decode) is independent of --jobs.
+    double maxabs = 0.0;
+    for (const double v : trellis_llrs) maxabs = std::max(maxabs, std::abs(v));
+    const double scale = maxabs > 0.0 ? kQuantHeadroom / maxabs : 1.0;
+    viterbi_decode_batch_i16_into(trellis_llrs, L, /*terminated=*/true, scale,
+                                  decoded_soa, ws);
+  } else {
+    viterbi_decode_batch_into(trellis_llrs, L, /*terminated=*/true,
+                              decoded_soa, ws);
+  }
+
+  auto lanebits_lease = ws.bits(decoded_bits);
+  Bits& lanebits = *lanebits_lease;
+  for (std::size_t l = 0; l < L; ++l) {
+    dsp::batch::gather_lane(decoded_soa.data(), l, L,
+                            std::span<std::uint8_t>(lanebits));
+    scramble_to(lanebits, kScramblerSeed, lanebits);
+    Bytes& psdu = psdus[l];
+    psdu.assign(psdu_bytes, 0);
+    for (std::size_t i = 0; i < 8 * psdu_bytes; ++i) {
+      if (lanebits[kServiceBits + i] & 1u) {
+        psdu[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+      }
+    }
+  }
 }
 
 }  // namespace wlan::phy

@@ -96,10 +96,36 @@ class OfdmPhy {
   void receive_into(std::span<const Cplx> samples, std::size_t psdu_bytes,
                     double noise_variance, Bytes& psdu, Workspace& ws) const;
 
+  /// One lane of a batched receive: that trial's waveform plus the noise
+  /// variance its LLRs assume.
+  struct RxLane {
+    std::span<const Cplx> samples;
+    double noise_variance = 0.0;
+  };
+
+  /// Trial-batched receive (dsp/batch.h): runs each lane's front end
+  /// (FFT, equalize, demap, deinterleave) sequentially, then depunctures
+  /// into a lane-major LLR block and decodes every lane in one batched
+  /// Viterbi sweep. psdus[l] receives lane l's PSDU; at most 16 lanes.
+  /// With `quantized` false this is bitwise identical to receive_into on
+  /// each lane; with it true the int16 decoder runs with a scale
+  /// calibrated from the batch's own LLR peak (deterministic per batch,
+  /// gated on PER deltas rather than equality).
+  void receive_batch_into(std::span<const RxLane> lanes,
+                          std::size_t psdu_bytes, std::span<Bytes> psdus,
+                          bool quantized, Workspace& ws) const;
+
   /// Number of baseband samples in a transmit() waveform.
   std::size_t waveform_length(std::size_t psdu_bytes) const;
 
  private:
+  /// Front end shared by receive_into and receive_batch_into: channel
+  /// estimate, per-symbol FFT + CPE + equalize + demap + deinterleave.
+  /// all_llrs receives n_sym * n_cbps coded-bit LLRs.
+  void receive_front_into(std::span<const Cplx> samples, std::size_t n_sym,
+                          double noise_variance, std::span<double> all_llrs,
+                          Workspace& ws) const;
+
   OfdmMcs mcs_;
   const OfdmMcsInfo* info_;
   // Owned via pointer so the public header stays free of interleaver.h;

@@ -18,6 +18,10 @@ void publish_one(const detail::Pool<T>& pool, const char* name,
   registry
       .gauge("workspace.bytes", {{std::string("pool"), std::string(name)}})
       .set(static_cast<double>(pool.capacity_bytes()));
+  registry
+      .gauge("workspace.bytes_high_water",
+             {{std::string("pool"), std::string(name)}})
+      .set(static_cast<double>(pool.live_bytes_high_water()));
 }
 
 }  // namespace
@@ -27,11 +31,12 @@ void Workspace::publish(obs::Registry& registry) const {
   publish_one(real_, "rvec", registry);
   publish_one(byte_, "bits", registry);
   publish_one(u64_, "u64", registry);
+  publish_one(i16_, "i16", registry);
 }
 
 std::size_t Workspace::capacity_bytes() const {
   return cplx_.capacity_bytes() + real_.capacity_bytes() +
-         byte_.capacity_bytes() + u64_.capacity_bytes();
+         byte_.capacity_bytes() + u64_.capacity_bytes() + i16_.capacity_bytes();
 }
 
 Workspace& tls_workspace() {

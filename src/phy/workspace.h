@@ -59,13 +59,24 @@ class Pool {
     return {slots_[idx].get(), idx};
   }
 
-  void release(std::uint32_t idx) {
+  /// Records the requested size of a fresh lease; the same byte count
+  /// comes back through release(). Tracks the peak number of bytes
+  /// simultaneously leased — batch kernels lease lane-strided buffers
+  /// (lanes x per-trial size), and this is where that footprint shows.
+  void note_lease_bytes(std::size_t bytes) {
+    live_bytes_ += bytes;
+    if (live_bytes_ > live_bytes_high_water_) live_bytes_high_water_ = live_bytes_;
+  }
+
+  void release(std::uint32_t idx, std::size_t bytes) {
     free_.push_back(idx);
     --live_;
+    live_bytes_ -= bytes;
   }
 
   std::size_t slot_count() const { return slots_.size(); }
   std::size_t live_high_water() const { return live_high_water_; }
+  std::size_t live_bytes_high_water() const { return live_bytes_high_water_; }
   std::size_t capacity_bytes() const {
     std::size_t bytes = 0;
     for (const auto& s : slots_) bytes += s->capacity() * sizeof(T);
@@ -77,6 +88,8 @@ class Pool {
   std::vector<std::uint32_t> free_;
   std::size_t live_ = 0;
   std::size_t live_high_water_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t live_bytes_high_water_ = 0;
 };
 
 }  // namespace detail
@@ -86,9 +99,11 @@ class Pool {
 template <class T>
 class Lease {
  public:
-  Lease(detail::Pool<T>* pool, std::vector<T>* vec, std::uint32_t idx)
-      : pool_(pool), vec_(vec), idx_(idx) {}
-  Lease(Lease&& o) noexcept : pool_(o.pool_), vec_(o.vec_), idx_(o.idx_) {
+  Lease(detail::Pool<T>* pool, std::vector<T>* vec, std::uint32_t idx,
+        std::size_t bytes)
+      : pool_(pool), vec_(vec), idx_(idx), bytes_(bytes) {}
+  Lease(Lease&& o) noexcept
+      : pool_(o.pool_), vec_(o.vec_), idx_(o.idx_), bytes_(o.bytes_) {
     o.pool_ = nullptr;
   }
   Lease& operator=(Lease&& o) noexcept {
@@ -97,6 +112,7 @@ class Lease {
       pool_ = o.pool_;
       vec_ = o.vec_;
       idx_ = o.idx_;
+      bytes_ = o.bytes_;
       o.pool_ = nullptr;
     }
     return *this;
@@ -111,13 +127,14 @@ class Lease {
 
  private:
   void reset() {
-    if (pool_) pool_->release(idx_);
+    if (pool_) pool_->release(idx_, bytes_);
     pool_ = nullptr;
   }
 
   detail::Pool<T>* pool_;
   std::vector<T>* vec_;
   std::uint32_t idx_;
+  std::size_t bytes_;
 };
 
 /// Arena of reusable scratch vectors; see file comment for the rules.
@@ -129,9 +146,11 @@ class Workspace {
   Lease<double> rvec(std::size_t n) { return lease(real_, n); }
   Lease<std::uint8_t> bits(std::size_t n) { return lease(byte_, n); }
   Lease<std::uint64_t> u64(std::size_t n) { return lease(u64_, n); }
+  Lease<std::int16_t> i16vec(std::size_t n) { return lease(i16_, n); }
 
-  /// Publishes slot counts, live high-water marks, and retained capacity
-  /// bytes as gauges named workspace.<pool>.{slots,high_water,bytes}.
+  /// Publishes slot counts, live high-water marks, retained capacity
+  /// bytes, and peak simultaneously-leased bytes as gauges named
+  /// workspace.{slots,high_water,bytes,bytes_high_water}{pool=<pool>}.
   void publish(obs::Registry& registry) const;
 
   /// Total capacity retained across all pools, in bytes.
@@ -142,13 +161,15 @@ class Workspace {
   Lease<T> lease(detail::Pool<T>& pool, std::size_t n) {
     auto [vec, idx] = pool.acquire();
     vec->resize(n);
-    return Lease<T>(&pool, vec, idx);
+    pool.note_lease_bytes(n * sizeof(T));
+    return Lease<T>(&pool, vec, idx, n * sizeof(T));
   }
 
   detail::Pool<Cplx> cplx_;
   detail::Pool<double> real_;
   detail::Pool<std::uint8_t> byte_;
   detail::Pool<std::uint64_t> u64_;
+  detail::Pool<std::int16_t> i16_;
 
   friend void publish_pool_stats(const Workspace&, obs::Registry&);
 };

@@ -1,0 +1,85 @@
+// Pins the saturating-arithmetic clamp semantics documented in
+// dsp/saturate.h, especially the INT8_MIN/INT16_MIN boundaries where
+// plain C++ arithmetic would wrap or hit UB, plus the Q15 rounding
+// multiply and the LLR quantizer the int16 decoder fast paths rely on.
+#include <climits>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "dsp/saturate.h"
+
+namespace wlan::dsp {
+namespace {
+
+TEST(SaturateI16, ClampsAtBothRails) {
+  EXPECT_EQ(sat_i16(40000), INT16_MAX);
+  EXPECT_EQ(sat_i16(-40000), INT16_MIN);
+  EXPECT_EQ(sat_i16(32767), INT16_MAX);
+  EXPECT_EQ(sat_i16(-32768), INT16_MIN);
+  EXPECT_EQ(sat_i16(123), 123);
+}
+
+TEST(SaturateI16, AddSubSaturate) {
+  EXPECT_EQ(sat_add_i16(INT16_MAX, 1), INT16_MAX);
+  EXPECT_EQ(sat_add_i16(INT16_MIN, -1), INT16_MIN);
+  EXPECT_EQ(sat_add_i16(INT16_MAX, INT16_MAX), INT16_MAX);
+  EXPECT_EQ(sat_sub_i16(INT16_MIN, 1), INT16_MIN);
+  EXPECT_EQ(sat_sub_i16(INT16_MAX, -1), INT16_MAX);
+  EXPECT_EQ(sat_sub_i16(0, INT16_MIN), INT16_MAX);  // -MIN saturates
+  EXPECT_EQ(sat_add_i16(100, -30), 70);
+  EXPECT_EQ(sat_sub_i16(100, 30), 70);
+}
+
+TEST(SaturateI16, NegAndAbsAtIntMin) {
+  EXPECT_EQ(sat_neg_i16(INT16_MIN), INT16_MAX);
+  EXPECT_EQ(sat_neg_i16(INT16_MAX), -INT16_MAX);
+  EXPECT_EQ(sat_neg_i16(0), 0);
+  EXPECT_EQ(sat_abs_i16(INT16_MIN), INT16_MAX);
+  EXPECT_EQ(sat_abs_i16(INT16_MAX), INT16_MAX);
+  EXPECT_EQ(sat_abs_i16(-5), 5);
+  EXPECT_EQ(sat_abs_i16(5), 5);
+}
+
+TEST(SaturateI8, ClampsAtBothRails) {
+  EXPECT_EQ(sat_i8(200), INT8_MAX);
+  EXPECT_EQ(sat_i8(-200), INT8_MIN);
+  EXPECT_EQ(sat_add_i8(INT8_MAX, 1), INT8_MAX);
+  EXPECT_EQ(sat_add_i8(INT8_MIN, -1), INT8_MIN);
+  EXPECT_EQ(sat_sub_i8(INT8_MIN, 1), INT8_MIN);
+  EXPECT_EQ(sat_sub_i8(0, INT8_MIN), INT8_MAX);
+}
+
+TEST(SaturateI8, NegAndAbsAtIntMin) {
+  EXPECT_EQ(sat_neg_i8(INT8_MIN), INT8_MAX);
+  EXPECT_EQ(sat_abs_i8(INT8_MIN), INT8_MAX);
+  EXPECT_EQ(sat_abs_i8(-3), 3);
+}
+
+TEST(MulhrsI16, MatchesQ15RoundingDefinition) {
+  // 0.8 in Q15 is 26214; 1000 * 0.8 = 800.0 with rounding.
+  EXPECT_EQ(mulhrs_i16(1000, 26214), 800);
+  // (16384 * 16384 + 0x4000) >> 15 = 8192 (0.5 * 0.5 = 0.25).
+  EXPECT_EQ(mulhrs_i16(16384, 16384), 8192);
+  EXPECT_EQ(mulhrs_i16(0, 26214), 0);
+  EXPECT_EQ(mulhrs_i16(-1000, 26214), -800);
+  // Widened product cannot overflow int32; the result saturates.
+  EXPECT_EQ(mulhrs_i16(INT16_MIN, INT16_MIN), INT16_MAX);
+  EXPECT_EQ(mulhrs_i16(INT16_MAX, INT16_MAX), 32766);
+}
+
+TEST(QuantizeLlr, RoundsAndClampsToLimit) {
+  EXPECT_EQ(quantize_llr_i16(0.0, 10.0, 127), 0);
+  EXPECT_EQ(quantize_llr_i16(1.24, 10.0, 127), 12);
+  EXPECT_EQ(quantize_llr_i16(1.26, 10.0, 127), 13);
+  // Ties round away from zero (std::lround).
+  EXPECT_EQ(quantize_llr_i16(0.25, 10.0, 127), 3);
+  EXPECT_EQ(quantize_llr_i16(-0.25, 10.0, 127), -3);
+  // Clamped symmetrically at ±limit.
+  EXPECT_EQ(quantize_llr_i16(1e9, 1.0, 127), 127);
+  EXPECT_EQ(quantize_llr_i16(-1e9, 1.0, 127), -127);
+  EXPECT_EQ(quantize_llr_i16(1e9, 1.0, 96), 96);
+}
+
+}  // namespace
+}  // namespace wlan::dsp
