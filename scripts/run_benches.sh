@@ -78,6 +78,7 @@ BENCHES=(
   bench_ablations
   bench_abstraction
   bench_multibss
+  bench_city
 )
 
 BUILD=""

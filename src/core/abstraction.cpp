@@ -65,6 +65,32 @@ double eesm_effective_snr_db(std::span<const double> tone_snrs_db, double beta) 
   return lin_to_db(min_lin - beta * std::log(acc));
 }
 
+void eesm_effective_snr_grid_db(std::span<const double> gains_db, double beta,
+                                std::span<const double> mean_snrs_db,
+                                std::span<double> out_db) {
+  check(!gains_db.empty(), "EESM requires at least one tone");
+  check(beta > 0.0, "EESM beta must be positive");
+  check(out_db.size() == mean_snrs_db.size(),
+        "EESM grid output size must match the mean-SNR grid");
+  // Tone SNR at mean m is lin(m) * lin(g_k); convert the gains once.
+  // db_to_lin is monotone, so the log-sum-exp shift anchor (the worst
+  // tone) is the smallest gain for every mean, and the shifted exponent
+  // -(s*g_k - s*g_min)/beta = -s*(g_k - g_min)/beta needs only the
+  // precomputed gain differences.
+  RVec diff;
+  diff.reserve(gains_db.size());
+  double g_min = db_to_lin(gains_db[0]);
+  for (const double g : gains_db) g_min = std::min(g_min, db_to_lin(g));
+  for (const double g : gains_db) diff.push_back(db_to_lin(g) - g_min);
+  const double inv_n = 1.0 / static_cast<double>(gains_db.size());
+  for (std::size_t i = 0; i < mean_snrs_db.size(); ++i) {
+    const double s = db_to_lin(mean_snrs_db[i]);
+    double acc = 0.0;
+    for (const double d : diff) acc += std::exp(-s * d / beta);
+    out_db[i] = lin_to_db(s * g_min - beta * std::log(acc * inv_n));
+  }
+}
+
 double eesm_beta(phy::OfdmMcs mcs) {
   // Least-squares fit of realization-averaged predicted PER against the
   // waveform simulator (fresh TDL per packet, residential + office

@@ -37,6 +37,19 @@ namespace wlan {
 /// [min_k snr_k, min_k snr_k + beta * ln(N)] (linear scale).
 double eesm_effective_snr_db(std::span<const double> tone_snrs_db, double beta);
 
+/// Batched EESM over one frozen realization: for each mean SNR in
+/// `mean_snrs_db`, the effective SNR of the tone set
+/// {mean + gains_db[k]}. Writes `out_db[i]` for `mean_snrs_db[i]`
+/// (sizes must match). Equivalent to calling `eesm_effective_snr_db`
+/// per mean, but the per-tone dB->linear conversions are hoisted out of
+/// the sweep — the tone SNR at mean m is lin(m) * lin(g_k), and since
+/// the mapping is monotone the worst tone is the smallest gain for
+/// every mean — so a sweep point costs one exp per tone instead of two.
+/// Agrees with the scalar form to floating-point rounding (not bitwise).
+void eesm_effective_snr_grid_db(std::span<const double> gains_db, double beta,
+                                std::span<const double> mean_snrs_db,
+                                std::span<double> out_db);
+
 /// Calibrated beta per OFDM MCS (grows with constellation density).
 double eesm_beta(phy::OfdmMcs mcs);
 
@@ -119,6 +132,14 @@ class PerTable {
     for (std::size_t i = 0; i < n; ++i) {
       per_.push_back(per_at(min_db + static_cast<double>(i) * step_db));
     }
+  }
+
+  /// Wraps already-sampled PER values on a uniform grid starting at
+  /// `min_db` with `step_db` spacing — for builders that batch-evaluate
+  /// the whole grid (e.g. `eesm_effective_snr_grid_db`) before wrapping.
+  PerTable(double min_db, double step_db, RVec per_values)
+      : min_db_(min_db), inv_step_(1.0 / step_db), per_(std::move(per_values)) {
+    check(step_db > 0.0 && !per_.empty(), "PerTable requires a valid grid");
   }
 
   bool empty() const { return per_.empty(); }

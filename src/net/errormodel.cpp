@@ -45,11 +45,20 @@ DsssCckRate dsss_rate_for(double rate_mbps) {
   return DsssCckRate::k1Mbps;
 }
 
-double eesm_with_gains(const RVec& gains_db, double mean_snr_db, double beta,
-                       RVec& scratch) {
-  scratch.clear();
-  for (const double g : gains_db) scratch.push_back(mean_snr_db + g);
-  return eesm_effective_snr_db(scratch, beta);
+/// The uniform mean-SNR grid every table samples.
+RVec table_grid(const ErrorModelConfig& config) {
+  const auto n = static_cast<std::size_t>((config.table_max_snr_db -
+                                           config.table_min_snr_db) /
+                                              config.table_step_db +
+                                          0.5) +
+                 1;
+  RVec grid;
+  grid.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid.push_back(config.table_min_snr_db +
+                   static_cast<double>(i) * config.table_step_db);
+  }
+  return grid;
 }
 
 }  // namespace
@@ -63,18 +72,25 @@ LinkPerModel::LinkPerModel(mac::PhyGeneration gen, double rate_mbps,
   const double hi = config.table_max_snr_db;
   const double step = config.table_step_db;
   tables_.reserve(config.realizations);
-  RVec scratch;
+  // OFDM/HT tables batch the whole SNR grid through one EESM sweep per
+  // realization (the grid evaluator hoists the per-tone conversions), so
+  // dictionary construction — the dominant setup cost of dense networks,
+  // one dictionary per flow per rate — does a fraction of the
+  // transcendental work of point-by-point sampling.
+  const RVec grid = table_grid(config);
+  RVec eff(grid.size());
   switch (gen) {
     case mac::PhyGeneration::kOfdm: {
       const phy::OfdmMcs mcs = ofdm_mcs_for_rate(rate_mbps);
       const double beta = eesm_beta(mcs);
       for (std::size_t r = 0; r < config.realizations; ++r) {
         const channel::Tdl tdl = make_tdl(rng, config.profile, 20e6);
-        const RVec gains = ofdm_tone_gains_db(tdl);
-        tables_.emplace_back(lo, hi, step, [&](double snr_db) {
-          const double eff = eesm_with_gains(gains, snr_db, beta, scratch);
-          return ofdm_awgn_per(mcs, eff, psdu_bytes);
-        });
+        eesm_effective_snr_grid_db(ofdm_tone_gains_db(tdl), beta, grid, eff);
+        RVec per;
+        per.reserve(eff.size());
+        for (const double e : eff)
+          per.push_back(ofdm_awgn_per(mcs, e, psdu_bytes));
+        tables_.emplace_back(lo, step, std::move(per));
       }
       break;
     }
@@ -83,11 +99,12 @@ LinkPerModel::LinkPerModel(mac::PhyGeneration gen, double rate_mbps,
       const double beta = ht_eesm_beta(mcs);
       for (std::size_t r = 0; r < config.realizations; ++r) {
         const channel::Tdl tdl = make_tdl(rng, config.profile, 20e6);
-        const RVec gains = ht20_tone_gains_db(tdl);
-        tables_.emplace_back(lo, hi, step, [&](double snr_db) {
-          const double eff = eesm_with_gains(gains, snr_db, beta, scratch);
-          return ht_awgn_per(mcs, eff, psdu_bytes);
-        });
+        eesm_effective_snr_grid_db(ht20_tone_gains_db(tdl), beta, grid, eff);
+        RVec per;
+        per.reserve(eff.size());
+        for (const double e : eff)
+          per.push_back(ht_awgn_per(mcs, e, psdu_bytes));
+        tables_.emplace_back(lo, step, std::move(per));
       }
       break;
     }
@@ -104,6 +121,16 @@ LinkPerModel::LinkPerModel(mac::PhyGeneration gen, double rate_mbps,
       }
       break;
     }
+  }
+}
+
+void LinkPerModel::per_batch(std::span<const double> sinr_db,
+                             std::span<const std::uint32_t> realization,
+                             std::span<double> out) const {
+  check(sinr_db.size() == realization.size() && sinr_db.size() == out.size(),
+        "per_batch spans must have equal sizes");
+  for (std::size_t i = 0; i < sinr_db.size(); ++i) {
+    out[i] = tables_[realization[i]].lookup(sinr_db[i]);
   }
 }
 

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "channel/fading.h"
@@ -78,6 +80,13 @@ class LinkPerModel {
   double per(double sinr_db, std::size_t realization) const {
     return tables_[realization].lookup(sinr_db);
   }
+
+  /// Gathered batch lookup: out[i] = per(sinr_db[i], realization[i]).
+  /// One call per shard-step instead of one per frame keeps the table
+  /// walks together while the dictionaries are hot in cache.
+  void per_batch(std::span<const double> sinr_db,
+                 std::span<const std::uint32_t> realization,
+                 std::span<double> out) const;
 
  private:
   std::vector<PerTable> tables_;

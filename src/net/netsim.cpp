@@ -6,12 +6,14 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/units.h"
 #include "mac/frames.h"
 #include "mac/rate_adapt.h"
+#include "net/shard.h"
 #include "obs/perf.h"
 #include "par/montecarlo.h"
 #include "phy/ofdm.h"
@@ -22,6 +24,7 @@ namespace wlan::net {
 namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
 const char* frame_name(mac::FrameType kind) {
   switch (kind) {
@@ -35,131 +38,208 @@ const char* frame_name(mac::FrameType kind) {
 }
 
 struct Transmission {
-  std::size_t id;
-  std::size_t tx_node;
-  std::size_t dest;  // addressed node (kNone for none)
-  mac::FrameType kind;
-  std::size_t flow = kNone;
+  std::size_t id = 0;
+  std::size_t tx_node = kNone;  // local (shard) index
+  std::size_t dest = kNone;     // addressed node (kNone for none)
+  mac::FrameType kind = mac::FrameType::kData;
+  std::size_t flow = kNone;    // local flow index
   std::size_t rate_index = 0;  // data-rate ladder index (kData only)
-  double start_s;
-  double end_s;
-  double nav_until_s;  // what the duration field promises
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double nav_until_s = 0.0;  // what the duration field promises
   // Reception tracking at the addressed node.
   double current_interference_w = 0.0;
   double worst_interference_w = 0.0;
   bool rx_was_transmitting = false;
+  // Slot-arena bookkeeping: insertion-order intrusive list, so walks
+  // see transmissions oldest-first and teardown is O(1) by slot handle.
+  bool in_use = false;
+  std::uint32_t prev = kNil;
+  std::uint32_t next = kNil;
 };
 
 enum class WaitKind { kNone, kCts, kAck };
 
-struct Station {
-  // Traffic.
-  std::size_t flow = kNone;  // flow this node sources (one max)
-  std::size_t dest = kNone;
-  bool saturated = true;
-  std::deque<double> queue;  // arrival times of backlogged packets (Poisson)
-  // Contention state.
-  unsigned cw = 15;
-  unsigned retries = 0;
-  unsigned slots_remaining = 0;
-  bool counting = false;
-  double count_start_s = 0.0;
-  std::uint64_t timer_version = 0;
-  // Medium state.
-  bool busy_prev = false;
-  double nav_until_s = 0.0;
-  // Exchange state.
-  bool transmitting = false;
-  WaitKind waiting = WaitKind::kNone;
-  std::uint64_t wait_version = 0;
-  std::uint16_t sequence = 0;
-  // Rate control (sources only; fixed mode leaves index 0).
-  std::size_t rate_index = 0;
-  std::optional<mac::ArfController> arf;
-};
+/// Subtracts an interferer's power from a running sum. Incremental
+/// add/subtract leaves rounding residues, so the result can dip below
+/// zero legitimately — but only by an amount set by machine epsilon and
+/// the scales involved: relative to the term just removed, or to the
+/// sum's running peak (a 1e-30 W remote signal folded into a 1e-6 W sum
+/// is absorbed entirely by rounding, so removing it can undershoot by
+/// ~eps * peak, far more than any multiple of the term itself).
+/// Anything beyond that slack means double-subtraction — a bookkeeping
+/// bug — and aborts; the legitimate residue clamps to exactly zero.
+void subtract_clamped(double& sum_w, double term_w, double peak_w,
+                      const char* what) {
+  sum_w -= term_w;
+  if (sum_w < 0.0) {
+    check(sum_w >= -(1e-9 * term_w + 1e-12 * peak_w), what);
+    sum_w = 0.0;
+  }
+}
 
-class Simulator {
+/// One shard's simulation: a self-contained event engine over the
+/// shard's member nodes, indexed locally (0..n-1). The monolithic
+/// `simulate_network` runs the same engine on the single shard of an
+/// unbounded plan, so sharded and monolithic execution share every
+/// instruction of the hot path — shard-vs-monolith equivalence is by
+/// construction, not by parallel maintenance of two code paths.
+///
+/// Station state is structure-of-arrays: the medium walk touches
+/// transmitting/nav/ambient/busy_prev for a handful of neighbors per
+/// event, and parallel arrays keep those lines dense instead of
+/// striding over cold per-station protocol state.
+class Engine {
  public:
-  Simulator(const NetworkConfig& config, const std::vector<NodeConfig>& nodes,
-            const std::vector<Flow>& flows, Rng& rng)
-      : config_(config), nodes_(nodes), flows_(flows), rng_(rng) {
-    check(nodes.size() >= 2, "network needs at least two nodes");
-    check(!flows.empty(), "network needs at least one flow");
+  Engine(const NetworkConfig& config, const std::vector<NodeConfig>& nodes,
+         const std::vector<Flow>& flows, const ShardPlan& plan,
+         std::size_t shard, Rng& rng, obs::Registry* registry,
+         obs::TraceSink* trace, std::uint64_t frame_id_base)
+      : config_(config), rng_(rng), frame_id_base_(frame_id_base) {
     timing_ = mac::mac_timing(config.generation);
-    noise_w_.resize(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      noise_w_[i] = dbm_to_watt(
-          thermal_noise_dbm(config.bandwidth_hz, nodes[i].noise_figure_db));
+    const std::vector<std::uint32_t>& members = plan.shards[shard];
+    n_ = members.size();
+    node_id_.assign(members.begin(), members.end());
+    std::vector<std::uint32_t> g2l(nodes.size(), kNil);
+    for (std::size_t l = 0; l < n_; ++l)
+      g2l[members[l]] = static_cast<std::uint32_t>(l);
+
+    noise_w_.resize(n_);
+    cs_w_.resize(n_);
+    for (std::size_t l = 0; l < n_; ++l) {
+      const NodeConfig& node = nodes[node_id_[l]];
+      noise_w_[l] = dbm_to_watt(
+          thermal_noise_dbm(config.bandwidth_hz, node.noise_figure_db));
+      cs_w_[l] = dbm_to_watt(node.cs_threshold_dbm);
     }
-    // Pairwise received powers (deterministic path loss).
-    gain_w_.assign(nodes.size(), std::vector<double>(nodes.size(), 0.0));
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      for (std::size_t j = 0; j < nodes.size(); ++j) {
-        if (i == j) continue;
+
+    // Neighbor CSR restricted to the shard, with deterministic received
+    // powers per edge — the sparse replacement for the dense gain
+    // matrix. A member's plan row stays inside the component by
+    // definition, so every neighbor has a local index.
+    row_off_.assign(n_ + 1, 0);
+    std::size_t edges = 0;
+    for (std::size_t l = 0; l < n_; ++l) {
+      row_off_[l] = edges;
+      edges += plan.degree(node_id_[l]);
+    }
+    row_off_[n_] = edges;
+    row_nbr_.resize(edges);
+    row_gain_.resize(edges);
+    for (std::size_t l = 0; l < n_; ++l) {
+      const std::size_t g = node_id_[l];
+      std::size_t out = row_off_[l];
+      for (std::size_t e = plan.row_offset[g]; e < plan.row_offset[g + 1];
+           ++e, ++out) {
+        const std::uint32_t nbr_g = plan.nbr[e];
+        const std::uint32_t nbr_l = g2l[nbr_g];
+        check(nbr_l != kNil, "shard plan row escapes its component");
+        row_nbr_[out] = nbr_l;
         const double d = std::max(
-            mesh::distance(nodes[i].position, nodes[j].position), 0.5);
-        gain_w_[i][j] = dbm_to_watt(nodes[i].tx_power_dbm -
-                                    config.pathloss.path_loss_db(d));
+            mesh::distance(nodes[g].position, nodes[nbr_g].position), 0.5);
+        row_gain_[out] = dbm_to_watt(nodes[g].tx_power_dbm -
+                                     config.pathloss.path_loss_db(d));
       }
     }
     per_model_ = config.error_model.model == RxModel::kPerModel;
     if (per_model_ && config.error_model.shadowing_sigma_db > 0.0) {
-      // Log-normal shadowing: one draw per unordered pair, applied to
-      // both directions (large-scale fading is reciprocal).
-      for (std::size_t i = 0; i < nodes.size(); ++i) {
-        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      // Log-normal shadowing: one draw per coupled unordered pair, in
+      // ascending (i, j) order, applied to both directions (large-scale
+      // fading is reciprocal). On the unbounded plan every pair is
+      // coupled, so this is the legacy all-pairs draw sequence.
+      for (std::size_t l = 0; l < n_; ++l) {
+        for (std::size_t e = row_off_[l]; e < row_off_[l + 1]; ++e) {
+          const std::uint32_t m = row_nbr_[e];
+          if (m <= l) continue;
           const double f = db_to_lin(
               -rng.gaussian(0.0, config.error_model.shadowing_sigma_db));
-          gain_w_[i][j] *= f;
-          gain_w_[j][i] *= f;
+          row_gain_[e] *= f;
+          row_gain_[edge_index(m, static_cast<std::uint32_t>(l))] *= f;
         }
       }
     }
-    stations_.resize(nodes.size());
-    result_.flows.resize(flows.size());
+
+    // Station state (SoA) and the shard's flows, ascending by global
+    // flow index so local order is a subsequence of the global order.
+    flow_of_.assign(n_, kNone);
+    dest_of_.assign(n_, kNone);
+    saturated_.assign(n_, 1);
+    queue_.resize(n_);
+    cw_.assign(n_, timing_.cw_min);
+    retries_count_.assign(n_, 0);
+    slots_remaining_.assign(n_, 0);
+    counting_.assign(n_, 0);
+    count_start_s_.assign(n_, 0.0);
+    timer_version_.assign(n_, 0);
+    busy_prev_.assign(n_, 0);
+    nav_until_.assign(n_, 0.0);
+    nav_armed_.assign(n_, 0);
+    ambient_w_.assign(n_, 0.0);
+    ambient_peak_w_.assign(n_, 0.0);
+    transmitting_.assign(n_, 0);
+    waiting_.assign(n_, WaitKind::kNone);
+    wait_version_.assign(n_, 0);
+    sequence_.assign(n_, 0);
+    rate_index_.assign(n_, 0);
+    arf_.resize(n_);
     for (std::size_t f = 0; f < flows.size(); ++f) {
-      check(flows[f].source < nodes.size() && flows[f].destination < nodes.size(),
-            "flow endpoints out of range");
-      check(stations_[flows[f].source].flow == kNone,
-            "each node may source at most one flow");
-      stations_[flows[f].source].flow = f;
-      stations_[flows[f].source].dest = flows[f].destination;
-      stations_[flows[f].source].cw = timing_.cw_min;
-      stations_[flows[f].source].slots_remaining = draw_backoff(flows[f].source);
-      stations_[flows[f].source].saturated = flows[f].arrival_rate_pps <= 0.0;
+      const std::uint32_t src = g2l[flows[f].source];
+      if (src == kNil) continue;
+      const std::uint32_t dst = g2l[flows[f].destination];
+      check(dst != kNil, "flow endpoints fall in different shards");
+      check(flow_of_[src] == kNone, "each node may source at most one flow");
+      const std::size_t lf = flow_id_.size();
+      flow_id_.push_back(f);
+      flow_src_.push_back(src);
+      arrival_rate_.push_back(flows[f].arrival_rate_pps);
+      flow_of_[src] = lf;
+      dest_of_[src] = dst;
+      cw_[src] = timing_.cw_min;
+      slots_remaining_[src] = draw_backoff(src);
+      saturated_[src] = flows[f].arrival_rate_pps <= 0.0 ? 1 : 0;
     }
+    n_flows_ = flow_id_.size();
+    result_.flows.resize(n_flows_);
 
     // All counters live in a metrics registry (the caller's, if given);
-    // NetworkResult is populated from it after the run.
-    registry_ = config.registry ? config.registry : &local_registry_;
-    trace_ = config.trace;
+    // NetworkResult is populated from it after the run. Per-flow labels
+    // carry GLOBAL flow ids, so shard registries hold disjoint per-flow
+    // instruments and merge into the same names a monolithic run uses.
+    registry_ = registry ? registry : &local_registry_;
+    trace_ = trace;
     if (config.airtime) {
       obs::AirtimeAccountant::Config ac;
-      ac.n_nodes = nodes.size();
-      ac.n_flows = flows.size();
+      ac.n_nodes = n_;
+      ac.n_flows = n_flows_;
       ac.window_s = config.airtime_window_s;
       ac.payload_bits = static_cast<double>(config.payload_bytes) * 8.0;
+      ac.node_ids = node_id_;
+      ac.flow_ids = flow_id_;
       airtime_ = std::make_unique<obs::AirtimeAccountant>(ac);
     }
     if (config.lifecycle.enabled) {
       obs::FrameLedger::Config lc;
-      lc.n_flows = flows.size();
+      lc.n_flows = n_flows_;
       lc.hist_lo = config.lifecycle.hist_lo_s;
       lc.hist_hi = config.lifecycle.hist_hi_s;
       lc.hist_bins = config.lifecycle.hist_bins;
       lc.registry = registry_;
+      lc.flow_ids = flow_id_;
       ledger_ = std::make_unique<obs::FrameLedger>(lc);
       obs::TimeSeriesSampler::Config sc;
-      sc.n_flows = flows.size();
+      sc.n_flows = n_flows_;
       sc.window_s = config.lifecycle.sample_window_s;
       sc.payload_bits = static_cast<double>(config.payload_bytes) * 8.0;
       sampler_ = std::make_unique<obs::TimeSeriesSampler>(sc);
       if (config.lifecycle.audit) {
         obs::InvariantAuditor::Config auc;
-        auc.n_nodes = nodes.size();
-        auc.n_flows = flows.size();
-        auc.flight_recorder_capacity = config.lifecycle.flight_recorder_capacity;
+        auc.n_nodes = n_;
+        auc.n_flows = n_flows_;
+        auc.flight_recorder_capacity =
+            config.lifecycle.flight_recorder_capacity;
         auc.dump_path = config.lifecycle.flight_recorder_path;
+        if (!auc.dump_path.empty() && plan.shards.size() > 1)
+          auc.dump_path += ".shard" + std::to_string(shard);
         auditor_ = std::make_unique<obs::InvariantAuditor>(auc);
         // Created up front so every shard registry has the same entries.
         breaches_counter_ = &registry_->counter("lifecycle.breaches");
@@ -171,8 +251,9 @@ class Simulator {
     rts_tx_ = &registry_->counter("net.rts_tx");
     rts_failures_ = &registry_->counter("net.rts_failures");
     simultaneous_starts_ = &registry_->counter("net.simultaneous_starts");
-    for (std::size_t f = 0; f < flows.size(); ++f) {
-      const std::vector<obs::Label> label{{"flow", std::to_string(f)}};
+    for (std::size_t f = 0; f < n_flows_; ++f) {
+      const std::vector<obs::Label> label{
+          {"flow", std::to_string(flow_id_[f])}};
       delivered_.push_back(&registry_->counter("net.delivered", label));
       attempts_.push_back(&registry_->counter("net.attempts", label));
       retries_.push_back(&registry_->counter("net.retries", label));
@@ -191,10 +272,10 @@ class Simulator {
         data_rates_.push_back(
             phy::ofdm_mcs_info(static_cast<phy::OfdmMcs>(i)).data_rate_mbps);
       }
-      for (const Flow& flow : flows) {
-        Station& s = stations_[flow.source];
-        s.arf.emplace(data_rates_.size());
-        s.rate_index = s.arf->current();
+      for (std::size_t f = 0; f < n_flows_; ++f) {
+        const std::uint32_t src = flow_src_[f];
+        arf_[src].emplace(data_rates_.size());
+        rate_index_[src] = arf_[src]->current();
       }
     } else {
       data_rates_.push_back(config.data_rate_mbps);
@@ -218,14 +299,14 @@ class Simulator {
     // fixed draw order inside LinkPerModel), so a seeded run is a pure
     // function of its Rng. Control frames ride the basic rate; an HT
     // network still sends them as legacy OFDM.
-    rate_stats_.resize(flows.size());
+    rate_stats_.resize(n_flows_);
     if (per_model_) {
       const mac::PhyGeneration ctrl_gen =
           config.generation == mac::PhyGeneration::kHt
               ? mac::PhyGeneration::kOfdm
               : config.generation;
-      models_.reserve(flows.size());
-      for (std::size_t f = 0; f < flows.size(); ++f) {
+      models_.reserve(n_flows_);
+      for (std::size_t f = 0; f < n_flows_; ++f) {
         FlowErrorModels m;
         m.data.reserve(data_rates_.size());
         for (const double rate : data_rates_) {
@@ -241,16 +322,21 @@ class Simulator {
     }
   }
 
+  /// Global flow index per local flow (ascending).
+  const std::vector<std::size_t>& flow_ids() const { return flow_id_; }
+  /// Global node index per local node (ascending).
+  const std::vector<std::size_t>& node_ids() const { return node_id_; }
+
   NetworkResult run() {
     {
       const obs::perf::ScopedSpan span("net.events");
       // Poisson arrival processes for non-saturated flows.
-      for (std::size_t f = 0; f < flows_.size(); ++f) {
-        if (flows_[f].arrival_rate_pps > 0.0) {
-          schedule_arrival(flows_[f].source, flows_[f].arrival_rate_pps);
+      for (std::size_t f = 0; f < n_flows_; ++f) {
+        if (arrival_rate_[f] > 0.0) {
+          schedule_arrival(flow_src_[f], arrival_rate_[f]);
         }
       }
-      for (std::size_t n = 0; n < stations_.size(); ++n) {
+      for (std::size_t n = 0; n < n_; ++n) {
         maybe_start_countdown(n);
       }
       sched_.run_until(config_.duration_s);
@@ -262,7 +348,7 @@ class Simulator {
     result_.rts_tx_count = rts_tx_->value();
     result_.rts_failures = rts_failures_->value();
     result_.simultaneous_starts = simultaneous_starts_->value();
-    for (std::size_t f = 0; f < flows_.size(); ++f) {
+    for (std::size_t f = 0; f < n_flows_; ++f) {
       FlowStats& fs = result_.flows[f];
       fs.delivered = delivered_[f]->value();
       fs.attempts = attempts_[f]->value();
@@ -304,6 +390,9 @@ class Simulator {
  private:
   /// One pointer test per site when all observers are off (the lifecycle
   /// sinks only exist when ledger_ does, so three tests cover them all).
+  /// Internal analyzers index their arrays by the event's node/flow ids,
+  /// so they receive LOCAL ids (they are sized for this shard); the
+  /// user's trace sink gets a copy remapped to global ids.
   void emit(obs::EventType type, std::size_t node, std::size_t peer,
             std::size_t flow, double value, const char* detail = "",
             std::size_t frame = kNone) {
@@ -314,10 +403,18 @@ class Simulator {
     e.node = node == kNone ? -1 : static_cast<std::int32_t>(node);
     e.peer = peer == kNone ? -1 : static_cast<std::int32_t>(peer);
     e.flow = flow == kNone ? -1 : static_cast<std::int32_t>(flow);
-    e.frame = frame == kNone ? -1 : static_cast<std::int64_t>(frame);
+    e.frame = frame == kNone
+                  ? -1
+                  : static_cast<std::int64_t>(frame_id_base_ + frame);
     e.value = value;
     e.detail = detail;
-    if (trace_) trace_->record(e);
+    if (trace_) {
+      obs::TraceEvent g = e;
+      if (node != kNone) g.node = static_cast<std::int32_t>(node_id_[node]);
+      if (peer != kNone) g.peer = static_cast<std::int32_t>(node_id_[peer]);
+      if (flow != kNone) g.flow = static_cast<std::int32_t>(flow_id_[flow]);
+      trace_->record(g);
+    }
     if (airtime_) airtime_->record(e);
     if (ledger_) ledger_->record(e);
     if (sampler_) sampler_->record(e);
@@ -325,13 +422,11 @@ class Simulator {
   }
 
   unsigned draw_backoff(std::size_t n) {
-    return static_cast<unsigned>(rng_.uniform_int(stations_[n].cw + 1));
+    return static_cast<unsigned>(rng_.uniform_int(cw_[n] + 1));
   }
 
   /// Data-frame airtime at station `n`'s current rate.
-  double t_data(std::size_t n) const {
-    return t_data_by_rate_[stations_[n].rate_index];
-  }
+  double t_data(std::size_t n) const { return t_data_by_rate_[rate_index_[n]]; }
 
   void record_data_rate(std::size_t flow, std::size_t rate_index) {
     rate_stats_[flow].rate_sum_mbps += data_rates_[rate_index];
@@ -349,7 +444,7 @@ class Simulator {
         return models_[t.flow].ctrl_fwd;
       case mac::FrameType::kCts:
       case mac::FrameType::kAck:
-        return models_[stations_[t.dest].flow].ctrl_rev;
+        return models_[flow_of_[t.dest]].ctrl_rev;
       case mac::FrameType::kBeacon:
         break;
     }
@@ -357,22 +452,27 @@ class Simulator {
     return models_.front().ctrl_rev;
   }
 
-  double rx_power_w(std::size_t from, std::size_t to) const {
-    return gain_w_[from][to];
+  /// Edge index of neighbor `to` in `from`'s row (rows are ascending);
+  /// kNil when the pair is uncoupled.
+  std::uint32_t edge_index(std::size_t from, std::uint32_t to) const {
+    const auto begin = row_nbr_.begin() + row_off_[from];
+    const auto end = row_nbr_.begin() + row_off_[from + 1];
+    const auto it = std::lower_bound(begin, end, to);
+    if (it == end || *it != to) return kNil;
+    return static_cast<std::uint32_t>(it - row_nbr_.begin());
   }
 
-  double total_power_at(std::size_t n) const {
-    double p = 0.0;
-    for (const Transmission& t : active_) {
-      if (t.tx_node != n) p += rx_power_w(t.tx_node, n);
-    }
-    return p;
+  /// Received power at `to` from `from`; exactly zero for uncoupled
+  /// pairs (the cutoff's definition of negligible).
+  double rx_power_w(std::size_t from, std::size_t to) const {
+    const std::uint32_t e = edge_index(from, static_cast<std::uint32_t>(to));
+    return e == kNil ? 0.0 : row_gain_[e];
   }
 
   bool medium_busy(std::size_t n) const {
-    if (stations_[n].transmitting) return true;
-    if (sched_.now() < stations_[n].nav_until_s) return true;
-    return total_power_at(n) >= dbm_to_watt(nodes_[n].cs_threshold_dbm);
+    if (transmitting_[n]) return true;
+    if (sched_.now() < nav_until_[n]) return true;
+    return ambient_w_[n] >= cs_w_[n];
   }
 
   // ---- contention ----
@@ -382,82 +482,129 @@ class Simulator {
   // simultaneously with whatever made the medium busy (a real collision),
   // because it cannot sense a transmission that starts in the same slot.
   [[nodiscard]] bool freeze(std::size_t n) {
-    Station& s = stations_[n];
-    if (!s.counting) return false;
-    const double elapsed = sched_.now() - s.count_start_s - timing_.difs_s();
+    if (!counting_[n]) return false;
+    const double elapsed = sched_.now() - count_start_s_[n] - timing_.difs_s();
     if (elapsed > 0.0) {
       const auto used =
           static_cast<unsigned>(std::floor(elapsed / timing_.slot_s + 1e-9));
-      s.slots_remaining -= std::min(used, s.slots_remaining);
+      slots_remaining_[n] -= std::min(used, slots_remaining_[n]);
     }
-    s.counting = false;
-    ++s.timer_version;
-    emit(obs::EventType::kBackoffFreeze, n, kNone, s.flow,
-         static_cast<double>(s.slots_remaining));
-    return s.slots_remaining == 0 && elapsed >= -1e-12;
+    counting_[n] = 0;
+    ++timer_version_[n];
+    emit(obs::EventType::kBackoffFreeze, n, kNone, flow_of_[n],
+         static_cast<double>(slots_remaining_[n]));
+    return slots_remaining_[n] == 0 && elapsed >= -1e-12;
   }
 
   bool has_traffic(std::size_t n) const {
-    const Station& s = stations_[n];
-    return s.flow != kNone && (s.saturated || !s.queue.empty());
+    return flow_of_[n] != kNone && (saturated_[n] || !queue_[n].empty());
   }
 
   void schedule_arrival(std::size_t n, double rate_pps) {
     sched_.schedule(rng_.exponential(1.0 / rate_pps), [this, n, rate_pps] {
-      stations_[n].queue.push_back(sched_.now());
-      emit(obs::EventType::kArrival, n, kNone, stations_[n].flow,
-           static_cast<double>(stations_[n].queue.size()));
+      queue_[n].push_back(sched_.now());
+      emit(obs::EventType::kArrival, n, kNone, flow_of_[n],
+           static_cast<double>(queue_[n].size()));
       maybe_start_countdown(n);
       schedule_arrival(n, rate_pps);
     });
   }
 
   void maybe_start_countdown(std::size_t n) {
-    Station& s = stations_[n];
-    if (!has_traffic(n) || s.counting || s.transmitting ||
-        s.waiting != WaitKind::kNone) {
+    if (!has_traffic(n) || counting_[n] || transmitting_[n] ||
+        waiting_[n] != WaitKind::kNone) {
       return;
     }
     if (medium_busy(n)) return;
-    s.counting = true;
-    s.count_start_s = sched_.now();
-    emit(obs::EventType::kBackoffStart, n, kNone, s.flow,
-         static_cast<double>(s.slots_remaining));
-    const std::uint64_t version = ++s.timer_version;
+    counting_[n] = 1;
+    count_start_s_[n] = sched_.now();
+    emit(obs::EventType::kBackoffStart, n, kNone, flow_of_[n],
+         static_cast<double>(slots_remaining_[n]));
+    const std::uint64_t version = ++timer_version_[n];
     const double delay =
         timing_.difs_s() +
-        static_cast<double>(s.slots_remaining) * timing_.slot_s;
+        static_cast<double>(slots_remaining_[n]) * timing_.slot_s;
     sched_.schedule(delay, [this, n, version] {
-      Station& st = stations_[n];
-      if (!st.counting || st.timer_version != version) return;
-      st.counting = false;
-      st.slots_remaining = 0;
+      if (!counting_[n] || timer_version_[n] != version) return;
+      counting_[n] = 0;
+      slots_remaining_[n] = 0;
       begin_exchange(n);
     });
     // If the NAV is what ends later, it was already accounted: medium_busy
     // checked NAV; NAV can only start via frame ends which re-evaluate.
   }
 
-  void update_all_media() {
-    std::vector<std::size_t> fire_now;
-    for (std::size_t n = 0; n < stations_.size(); ++n) {
-      const bool busy = medium_busy(n);
-      Station& s = stations_[n];
-      if (busy && !s.busy_prev) {
-        if (freeze(n)) fire_now.push_back(n);
-      } else if (!busy) {
-        // Idle (or just became idle): an eligible station may (re)start.
-        maybe_start_countdown(n);
+  /// Re-evaluates the medium at `center` and its neighbors, ascending —
+  /// the only stations whose carrier-sense inputs an event at `center`
+  /// can have changed. On the unbounded plan this is every station, in
+  /// the same order the dense engine scanned them.
+  void update_medium_set(std::size_t center) {
+    const std::size_t depth = fire_depth_++;
+    if (fire_pool_.size() <= depth) fire_pool_.emplace_back();
+    fire_pool_[depth].clear();
+    bool center_done = false;
+    for (std::size_t e = row_off_[center]; e < row_off_[center + 1]; ++e) {
+      const std::size_t m = row_nbr_[e];
+      if (!center_done && center < m) {
+        visit_medium(center, depth);
+        center_done = true;
       }
-      s.busy_prev = busy;
+      visit_medium(m, depth);
     }
+    if (!center_done) visit_medium(center, depth);
     // Stations whose counters expired in the very slot the medium went
     // busy transmit anyway — the collision DCF is built around.
-    simultaneous_starts_->add(fire_now.size());
-    for (const std::size_t n : fire_now) {
-      emit(obs::EventType::kCollision, n, kNone, stations_[n].flow, 0.0);
+    simultaneous_starts_->add(fire_pool_[depth].size());
+    for (const std::uint32_t n : fire_pool_[depth]) {
+      emit(obs::EventType::kCollision, n, kNone, flow_of_[n], 0.0);
       begin_exchange(n);
     }
+    --fire_depth_;
+  }
+
+  void visit_medium(std::size_t n, std::size_t depth) {
+    const bool busy = medium_busy(n);
+    if (busy && !busy_prev_[n]) {
+      if (freeze(n)) fire_pool_[depth].push_back(static_cast<std::uint32_t>(n));
+    } else if (!busy) {
+      // Idle (or just became idle): an eligible station may (re)start.
+      maybe_start_countdown(n);
+    }
+    busy_prev_[n] = busy;
+  }
+
+  /// Single-node re-evaluation for NAV expiry: only `n`'s own medium
+  /// view changed, so no neighbor walk is needed.
+  void update_medium_node(std::size_t n) {
+    const bool busy = medium_busy(n);
+    const bool rising = busy && !busy_prev_[n];
+    busy_prev_[n] = busy;
+    if (rising) {
+      if (freeze(n)) {
+        simultaneous_starts_->add(1);
+        emit(obs::EventType::kCollision, n, kNone, flow_of_[n], 0.0);
+        begin_exchange(n);
+      }
+    } else if (!busy) {
+      maybe_start_countdown(n);
+    }
+  }
+
+  /// One pending NAV wakeup per node, however many NAV_SETs pile up: a
+  /// later extension just lets the armed wakeup fire early and re-arm
+  /// at the new expiry, instead of scheduling one event per NAV_SET
+  /// (which grew the queue quadratically under dense overhearing).
+  void arm_nav_wakeup(std::size_t n) {
+    if (nav_armed_[n]) return;
+    nav_armed_[n] = 1;
+    sched_.schedule_at(nav_until_[n], [this, n] {
+      nav_armed_[n] = 0;
+      if (sched_.now() < nav_until_[n]) {
+        arm_nav_wakeup(n);  // NAV was extended meanwhile
+        return;
+      }
+      update_medium_node(n);
+    });
   }
 
   // ---- transmissions ----
@@ -465,67 +612,94 @@ class Simulator {
   void start_transmission(std::size_t n, std::size_t dest,
                           mac::FrameType kind, std::size_t flow,
                           double duration_s, double nav_until_s) {
-    Station& s = stations_[n];
-    s.transmitting = true;
+    transmitting_[n] = 1;
     Transmission t;
     t.id = next_id_++;
     t.tx_node = n;
     t.dest = dest;
     t.kind = kind;
     t.flow = flow;
-    if (kind == mac::FrameType::kData) t.rate_index = s.rate_index;
+    if (kind == mac::FrameType::kData) t.rate_index = rate_index_[n];
     t.start_s = sched_.now();
     t.end_s = sched_.now() + duration_s;
     t.nav_until_s = nav_until_s;
     if (dest != kNone) {
-      // This frame is not yet in active_, so the total power at the
-      // destination is exactly the interference it will see.
-      t.current_interference_w = total_power_at(dest);
+      // This frame's power is not yet in the ambient sums, so the
+      // ambient at the destination is exactly the interference it will
+      // see.
+      t.current_interference_w = ambient_w_[dest];
       // A destination that is itself transmitting cannot receive.
-      if (stations_[dest].transmitting) t.rx_was_transmitting = true;
+      if (transmitting_[dest]) t.rx_was_transmitting = true;
       t.worst_interference_w = t.current_interference_w;
     }
     // This transmission interferes with every other ongoing reception.
-    for (Transmission& other : active_) {
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      Transmission& other = slots_[s];
       if (other.dest == kNone || other.dest == n) continue;
       other.current_interference_w += rx_power_w(n, other.dest);
       other.worst_interference_w =
           std::max(other.worst_interference_w, other.current_interference_w);
     }
     // And if any ongoing reception is addressed to us, it is now lost.
-    for (Transmission& other : active_) {
-      if (other.dest == n) other.rx_was_transmitting = true;
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      if (slots_[s].dest == n) slots_[s].rx_was_transmitting = true;
     }
     emit(obs::EventType::kTxStart, n, dest, flow, duration_s,
          frame_name(kind), t.id);
     const std::size_t id = t.id;
-    active_.push_back(std::move(t));
-    update_all_media();
-    sched_.schedule(duration_s, [this, id] { end_transmission(id); });
+    const std::uint32_t slot = push_active(t);
+    // Fold this signal into the running ambient sums of every neighbor
+    // (the peak calibrates the teardown clamp's rounding slack).
+    for (std::size_t e = row_off_[n]; e < row_off_[n + 1]; ++e) {
+      const std::size_t m = row_nbr_[e];
+      ambient_w_[m] += row_gain_[e];
+      ambient_peak_w_[m] = std::max(ambient_peak_w_[m], ambient_w_[m]);
+    }
+    update_medium_set(n);
+    sched_.schedule(duration_s, [this, slot, id] {
+      end_transmission(slot, id);
+    });
   }
 
-  void end_transmission(std::size_t id) {
-    const auto it = std::find_if(active_.begin(), active_.end(),
-                                 [id](const Transmission& t) { return t.id == id; });
-    check(it != active_.end(), "transmission bookkeeping lost");
-    const Transmission t = *it;
-    active_.erase(it);
-    stations_[t.tx_node].transmitting = false;
-
-    // Remove this signal from other ongoing receptions' interference.
-    for (Transmission& other : active_) {
+  void end_transmission(std::uint32_t slot, std::size_t id) {
+    check(slot < slots_.size() && slots_[slot].in_use &&
+              slots_[slot].id == id,
+          "transmission bookkeeping lost");
+    const Transmission t = slots_[slot];
+    unlink(slot);
+    transmitting_[t.tx_node] = 0;
+    // Remove this signal from the neighbors' ambient sums and from
+    // other ongoing receptions' interference.
+    for (std::size_t e = row_off_[t.tx_node]; e < row_off_[t.tx_node + 1];
+         ++e) {
+      const std::size_t m = row_nbr_[e];
+      subtract_clamped(ambient_w_[m], row_gain_[e], ambient_peak_w_[m],
+                       "ambient power went negative");
+    }
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      Transmission& other = slots_[s];
       if (other.dest == kNone || other.dest == t.tx_node) continue;
-      other.current_interference_w -= rx_power_w(t.tx_node, other.dest);
+      const double g = rx_power_w(t.tx_node, other.dest);
+      if (g > 0.0) {
+        // The sum was seeded from a snapshot of the destination's
+        // ambient sum, so it inherits that sum's rounding residue —
+        // scaled by the ambient's historical peak, which can dwarf this
+        // frame's own interference.
+        subtract_clamped(other.current_interference_w, g,
+                         std::max(other.worst_interference_w,
+                                  ambient_peak_w_[other.dest]),
+                         "reception interference went negative");
+      }
     }
 
-    emit(obs::EventType::kTxEnd, t.tx_node, t.dest, t.flow, t.end_s - t.start_s,
-         frame_name(t.kind), t.id);
+    emit(obs::EventType::kTxEnd, t.tx_node, t.dest, t.flow,
+         t.end_s - t.start_s, frame_name(t.kind), t.id);
 
     // Reception outcome at the addressed node.
     bool delivered = false;
     double sinr_db = -std::numeric_limits<double>::infinity();
     if (t.dest != kNone && !t.rx_was_transmitting &&
-        !stations_[t.dest].transmitting) {
+        !transmitting_[t.dest]) {
       const double signal = rx_power_w(t.tx_node, t.dest);
       const double sinr =
           signal / (noise_w_[t.dest] + t.worst_interference_w);
@@ -560,106 +734,151 @@ class Simulator {
            t.dest, t.tx_node, t.flow, sinr_db, frame_name(t.kind), t.id);
     }
 
-    // Overhearing nodes set their NAV from the duration field.
-    for (std::size_t n = 0; n < stations_.size(); ++n) {
-      if (n == t.tx_node || n == t.dest) continue;
-      if (rx_power_w(t.tx_node, n) >=
-          dbm_to_watt(nodes_[n].cs_threshold_dbm)) {
-        if (t.nav_until_s > stations_[n].nav_until_s) {
-          stations_[n].nav_until_s = t.nav_until_s;
+    // Overhearing neighbors set their NAV from the duration field (a
+    // non-neighbor's received power is below the cutoff, hence below
+    // every carrier-sense threshold by construction).
+    for (std::size_t e = row_off_[t.tx_node]; e < row_off_[t.tx_node + 1];
+         ++e) {
+      const std::size_t n = row_nbr_[e];
+      if (n == t.dest) continue;
+      if (row_gain_[e] >= cs_w_[n]) {
+        if (t.nav_until_s > nav_until_[n]) {
+          nav_until_[n] = t.nav_until_s;
           emit(obs::EventType::kNavSet, n, t.tx_node, kNone, t.nav_until_s,
                frame_name(t.kind));
-          // Re-evaluate this node when its NAV expires.
-          sched_.schedule_at(t.nav_until_s, [this, n] { update_all_media(); });
+          // Re-evaluate this node when its NAV expires (coalesced: at
+          // most one pending wakeup per node).
+          arm_nav_wakeup(n);
         }
       }
     }
 
     handle_frame_outcome(t, delivered);
-    update_all_media();
+    update_medium_set(t.tx_node);
+  }
+
+  std::uint32_t push_active(const Transmission& t) {
+    std::uint32_t s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+      slots_[s] = t;
+    } else {
+      s = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(t);
+    }
+    Transmission& slot = slots_[s];
+    slot.in_use = true;
+    slot.prev = tail_;
+    slot.next = kNil;
+    if (tail_ != kNil) {
+      slots_[tail_].next = s;
+    } else {
+      head_ = s;
+    }
+    tail_ = s;
+    return s;
+  }
+
+  void unlink(std::uint32_t s) {
+    Transmission& t = slots_[s];
+    if (t.prev != kNil) {
+      slots_[t.prev].next = t.next;
+    } else {
+      head_ = t.next;
+    }
+    if (t.next != kNil) {
+      slots_[t.next].prev = t.prev;
+    } else {
+      tail_ = t.prev;
+    }
+    t.in_use = false;
+    free_.push_back(s);
   }
 
   // ---- protocol ----
 
   void begin_exchange(std::size_t n) {
-    Station& s = stations_[n];
-    check(s.flow != kNone, "contention won by a node without traffic");
-    attempts_[s.flow]->add();
+    const std::size_t flow = flow_of_[n];
+    check(flow != kNone, "contention won by a node without traffic");
+    attempts_[flow]->add();
     const double td = t_data(n);
     if (config_.rts_cts) {
       const double nav = sched_.now() + t_rts_ + 3.0 * timing_.sifs_s +
                          t_cts_ + td + t_ack_;
       rts_tx_->add();
-      start_transmission(n, s.dest, mac::FrameType::kRts, s.flow, t_rts_, nav);
-      arm_timeout(n, WaitKind::kCts, t_rts_ + timing_.sifs_s + t_cts_ +
-                                         timing_.slot_s);
+      start_transmission(n, dest_of_[n], mac::FrameType::kRts, flow, t_rts_,
+                         nav);
+      arm_timeout(n, WaitKind::kCts,
+                  t_rts_ + timing_.sifs_s + t_cts_ + timing_.slot_s);
     } else {
       const double nav = sched_.now() + td + timing_.sifs_s + t_ack_;
       data_tx_->add();
-      record_data_rate(s.flow, s.rate_index);
-      start_transmission(n, s.dest, mac::FrameType::kData, s.flow, td, nav);
-      arm_timeout(n, WaitKind::kAck, td + timing_.sifs_s + t_ack_ +
-                                         timing_.slot_s);
+      record_data_rate(flow, rate_index_[n]);
+      start_transmission(n, dest_of_[n], mac::FrameType::kData, flow, td,
+                         nav);
+      arm_timeout(n, WaitKind::kAck,
+                  td + timing_.sifs_s + t_ack_ + timing_.slot_s);
     }
   }
 
   void arm_timeout(std::size_t n, WaitKind kind, double delay_s) {
-    Station& s = stations_[n];
-    s.waiting = kind;
-    const std::uint64_t version = ++s.wait_version;
+    waiting_[n] = kind;
+    const std::uint64_t version = ++wait_version_[n];
     sched_.schedule(delay_s, [this, n, version, kind] {
-      Station& st = stations_[n];
-      if (st.wait_version != version || st.waiting == WaitKind::kNone) return;
-      st.waiting = WaitKind::kNone;
+      if (wait_version_[n] != version || waiting_[n] == WaitKind::kNone)
+        return;
+      waiting_[n] = WaitKind::kNone;
       on_exchange_failed(n, kind);
     });
   }
 
   void on_exchange_failed(std::size_t n, WaitKind kind) {
-    Station& s = stations_[n];
     if (kind == WaitKind::kAck) {
       data_failures_->add();
       // Only a lost data frame is a rate-control signal; a missed CTS
       // says nothing about the data rate.
-      if (s.arf) {
-        s.arf->on_failure();
-        s.rate_index = s.arf->current();
+      if (arf_[n]) {
+        arf_[n]->on_failure();
+        rate_index_[n] = arf_[n]->current();
       }
     } else {
       rts_failures_->add();
     }
-    ++s.retries;
-    retries_[s.flow]->add();
-    if (s.retries > config_.retry_limit) {
-      drops_[s.flow]->add();
-      emit(obs::EventType::kDrop, n, s.dest, s.flow,
-           static_cast<double>(s.retries));
-      s.retries = 0;
-      s.cw = timing_.cw_min;
-      if (!s.saturated && !s.queue.empty()) s.queue.pop_front();  // dropped
+    const std::size_t flow = flow_of_[n];
+    ++retries_count_[n];
+    retries_[flow]->add();
+    if (retries_count_[n] > config_.retry_limit) {
+      drops_[flow]->add();
+      emit(obs::EventType::kDrop, n, dest_of_[n], flow,
+           static_cast<double>(retries_count_[n]));
+      retries_count_[n] = 0;
+      cw_[n] = timing_.cw_min;
+      if (!saturated_[n] && !queue_[n].empty()) queue_[n].pop_front();
     } else {
-      s.cw = std::min(2 * s.cw + 1, timing_.cw_max);
+      cw_[n] = std::min(2 * cw_[n] + 1, timing_.cw_max);
     }
-    s.slots_remaining = draw_backoff(n);
+    slots_remaining_[n] = draw_backoff(n);
     maybe_start_countdown(n);
   }
 
   void on_exchange_succeeded(std::size_t n) {
-    Station& s = stations_[n];
-    if (s.arf) {
-      s.arf->on_success();
-      s.rate_index = s.arf->current();
+    if (arf_[n]) {
+      arf_[n]->on_success();
+      rate_index_[n] = arf_[n]->current();
     }
-    delivered_[s.flow]->add();
-    emit(obs::EventType::kStateChange, n, s.dest, s.flow, 0.0, "DELIVERED");
-    if (!s.saturated && !s.queue.empty()) {
-      delay_hist_[s.flow]->record(sched_.now() - s.queue.front());
-      s.queue.pop_front();
+    const std::size_t flow = flow_of_[n];
+    delivered_[flow]->add();
+    emit(obs::EventType::kStateChange, n, dest_of_[n], flow, 0.0,
+         "DELIVERED");
+    if (!saturated_[n] && !queue_[n].empty()) {
+      delay_hist_[flow]->record(sched_.now() - queue_[n].front());
+      queue_[n].pop_front();
     }
-    s.retries = 0;
-    s.cw = timing_.cw_min;
-    ++s.sequence;
-    s.slots_remaining = draw_backoff(n);  // next packet, if any
+    retries_count_[n] = 0;
+    cw_[n] = timing_.cw_min;
+    ++sequence_[n];
+    slots_remaining_[n] = draw_backoff(n);  // next packet, if any
     maybe_start_countdown(n);
   }
 
@@ -672,7 +891,8 @@ class Simulator {
         const std::size_t src = t.tx_node;
         const double nav = t.nav_until_s;
         sched_.schedule(timing_.sifs_s, [this, rx, src, nav] {
-          start_transmission(rx, src, mac::FrameType::kCts, kNone, t_cts_, nav);
+          start_transmission(rx, src, mac::FrameType::kCts, kNone, t_cts_,
+                            nav);
         });
         break;
       }
@@ -680,18 +900,16 @@ class Simulator {
         // The CTS is addressed to the data source; on reception it sends
         // the data frame after SIFS.
         const std::size_t src = t.dest;
-        Station& s = stations_[src];
-        if (!delivered || s.waiting != WaitKind::kCts) return;
-        s.waiting = WaitKind::kNone;
-        ++s.wait_version;
+        if (!delivered || waiting_[src] != WaitKind::kCts) return;
+        waiting_[src] = WaitKind::kNone;
+        ++wait_version_[src];
         const double nav = t.nav_until_s;
         sched_.schedule(timing_.sifs_s, [this, src, nav] {
-          Station& st = stations_[src];
           const double td = t_data(src);
           data_tx_->add();
-          record_data_rate(st.flow, st.rate_index);
-          start_transmission(src, st.dest, mac::FrameType::kData, st.flow,
-                             td, nav);
+          record_data_rate(flow_of_[src], rate_index_[src]);
+          start_transmission(src, dest_of_[src], mac::FrameType::kData,
+                             flow_of_[src], td, nav);
           arm_timeout(src, WaitKind::kAck,
                       td + timing_.sifs_s + t_ack_ + timing_.slot_s);
         });
@@ -709,10 +927,9 @@ class Simulator {
       }
       case mac::FrameType::kAck: {
         const std::size_t src = t.dest;
-        Station& s = stations_[src];
-        if (!delivered || s.waiting != WaitKind::kAck) return;
-        s.waiting = WaitKind::kNone;
-        ++s.wait_version;
+        if (!delivered || waiting_[src] != WaitKind::kAck) return;
+        waiting_[src] = WaitKind::kNone;
+        ++wait_version_[src];
         on_exchange_succeeded(src);
         break;
       }
@@ -722,16 +939,53 @@ class Simulator {
   }
 
   NetworkConfig config_;
-  std::vector<NodeConfig> nodes_;
-  std::vector<Flow> flows_;
   Rng& rng_;
+  std::uint64_t frame_id_base_ = 0;
   mac::MacTiming timing_{};
   sim::Scheduler sched_;
-  std::vector<Station> stations_;
-  std::vector<std::vector<double>> gain_w_;
+  std::size_t n_ = 0;        // shard size
+  std::size_t n_flows_ = 0;  // flows sourced inside the shard
+  std::vector<std::size_t> node_id_;  // local -> global node
+  std::vector<std::size_t> flow_id_;  // local -> global flow
+  std::vector<std::uint32_t> flow_src_;  // local flow -> local source
+  std::vector<double> arrival_rate_;     // per local flow
+  // Neighbor CSR with per-edge received power (W).
+  std::vector<std::size_t> row_off_;
+  std::vector<std::uint32_t> row_nbr_;
+  std::vector<double> row_gain_;
   std::vector<double> noise_w_;
-  std::vector<Transmission> active_;
+  std::vector<double> cs_w_;
+  // Station state, structure-of-arrays.
+  std::vector<std::size_t> flow_of_;
+  std::vector<std::size_t> dest_of_;
+  std::vector<std::uint8_t> saturated_;
+  std::vector<std::deque<double>> queue_;
+  std::vector<unsigned> cw_;
+  std::vector<unsigned> retries_count_;
+  std::vector<unsigned> slots_remaining_;
+  std::vector<std::uint8_t> counting_;
+  std::vector<double> count_start_s_;
+  std::vector<std::uint64_t> timer_version_;
+  std::vector<std::uint8_t> busy_prev_;
+  std::vector<double> nav_until_;
+  std::vector<std::uint8_t> nav_armed_;
+  std::vector<double> ambient_w_;  // running sum of neighbor tx power
+  std::vector<double> ambient_peak_w_;  // run max; clamp-slack scale
+  std::vector<std::uint8_t> transmitting_;
+  std::vector<WaitKind> waiting_;
+  std::vector<std::uint64_t> wait_version_;
+  std::vector<std::uint16_t> sequence_;
+  std::vector<std::size_t> rate_index_;
+  std::vector<std::optional<mac::ArfController>> arf_;
+  // Active transmissions: slot arena + insertion-order intrusive list.
+  std::vector<Transmission> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
   std::size_t next_id_ = 0;
+  // Per-recursion-depth scratch for update_medium_set's fire list.
+  std::vector<std::vector<std::uint32_t>> fire_pool_;
+  std::size_t fire_depth_ = 0;
   // Observability: counters/histograms live in `*registry_`; trace may
   // be null.
   obs::Registry local_registry_;
@@ -752,8 +1006,8 @@ class Simulator {
   std::vector<obs::Counter*> retries_;
   std::vector<obs::Counter*> drops_;
   std::vector<obs::Histogram*> delay_hist_;
-  std::vector<double> data_rates_;       // ladder (1 entry when fixed)
-  std::vector<double> t_data_by_rate_;   // airtime per ladder entry
+  std::vector<double> data_rates_;      // ladder (1 entry when fixed)
+  std::vector<double> t_data_by_rate_;  // airtime per ladder entry
   double t_ack_ = 0.0;
   double t_rts_ = 0.0;
   double t_cts_ = 0.0;
@@ -773,19 +1027,215 @@ class Simulator {
   NetworkResult result_;
 };
 
+void validate_network(const std::vector<NodeConfig>& nodes,
+                      const std::vector<Flow>& flows) {
+  check(nodes.size() >= 2, "network needs at least two nodes");
+  check(!flows.empty(), "network needs at least one flow");
+  for (const Flow& f : flows) {
+    check(f.source < nodes.size() && f.destination < nodes.size(),
+          "flow endpoints out of range");
+  }
+}
+
+/// Folds one shard's airtime ledger into the global report. Channel
+/// seconds sum — the merged report describes `n_shards` independent
+/// channels, so duration_s grows with each shard and the
+/// idle+busy+collision partition still closes against it. Node and flow
+/// entries land in their global slots.
+void merge_airtime(obs::AirtimeReport& into, const obs::AirtimeReport& part,
+                   const std::vector<std::size_t>& node_ids,
+                   const std::vector<std::size_t>& flow_ids,
+                   std::size_t n_nodes, std::size_t n_flows) {
+  if (into.nodes.empty() && into.flows.empty()) {
+    into.nodes.resize(n_nodes);
+    into.flows.resize(n_flows);
+    into.window_s = part.window_s;
+  }
+  into.duration_s += part.duration_s;
+  into.idle_s += part.idle_s;
+  into.busy_s += part.busy_s;
+  into.collision_s += part.collision_s;
+  for (std::size_t n = 0; n < part.nodes.size(); ++n)
+    into.nodes[node_ids[n]] = part.nodes[n];
+  for (std::size_t f = 0; f < part.flows.size(); ++f)
+    into.flows[flow_ids[f]] = part.flows[f];
+}
+
+/// Folds one shard's lifecycle books into the global result: ledger
+/// flows land in their global slots and totals sum; series windows sum
+/// (collision_rate accumulates here and is averaged by the caller);
+/// breach messages are prefixed with their shard.
+void merge_lifecycle(NetworkResult::LifecycleResult& into,
+                     const NetworkResult::LifecycleResult& part,
+                     const std::vector<std::size_t>& flow_ids,
+                     std::size_t n_flows, std::size_t shard) {
+  obs::LifecycleReport& ledger = into.ledger;
+  if (ledger.flows.empty()) ledger.flows.resize(n_flows);
+  ledger.duration_s = std::max(ledger.duration_s, part.ledger.duration_s);
+  for (std::size_t f = 0; f < part.ledger.flows.size(); ++f)
+    ledger.flows[flow_ids[f]] = part.ledger.flows[f];
+  ledger.total.accumulate(part.ledger.total);
+  ledger.delivered += part.ledger.delivered;
+  ledger.dropped += part.ledger.dropped;
+  ledger.in_flight += part.ledger.in_flight;
+
+  obs::LifecycleSeries& series = into.series;
+  if (series.window_s == 0.0) series.window_s = part.series.window_s;
+  const std::size_t n = part.series.t_s.size();
+  if (series.t_s.size() < n) {
+    series.t_s = part.series.t_s;
+    series.goodput_mbps.resize(n, 0.0);
+    series.collision_rate.resize(n, 0.0);
+    series.in_flight.resize(n, 0.0);
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    series.goodput_mbps[w] += part.series.goodput_mbps[w];
+    series.collision_rate[w] += part.series.collision_rate[w];
+    series.in_flight[w] += part.series.in_flight[w];
+  }
+  series.warmup_windows =
+      std::max(series.warmup_windows, part.series.warmup_windows);
+
+  into.breaches += part.breaches;
+  for (const std::string& m : part.breach_messages)
+    into.breach_messages.push_back("shard " + std::to_string(shard) + ": " +
+                                   m);
+  if (into.flight_recorder_json.empty())
+    into.flight_recorder_json = part.flight_recorder_json;
+}
+
 }  // namespace
 
 NetworkResult simulate_network(const NetworkConfig& config,
                                const std::vector<NodeConfig>& nodes,
                                const std::vector<Flow>& flows, Rng& rng) {
-  std::optional<Simulator> sim;
+  validate_network(nodes, flows);
+  std::optional<Engine> engine;
   {
     // Topology, rate tables, and (with an error model) the frozen fading
     // dictionaries — often a visible share of short runs.
     const obs::perf::ScopedSpan span("net.setup");
-    sim.emplace(config, nodes, flows, rng);
+    ShardOptions monolithic;
+    monolithic.cutoff_margin_db = std::numeric_limits<double>::infinity();
+    const ShardPlan plan = plan_shards(config, nodes, monolithic);
+    engine.emplace(config, nodes, flows, plan, 0, rng, config.registry,
+                   config.trace, 0);
   }
-  return sim->run();
+  return engine->run();
+}
+
+NetworkResult simulate_network_sharded(const NetworkConfig& config,
+                                       const std::vector<NodeConfig>& nodes,
+                                       const std::vector<Flow>& flows,
+                                       const ShardOptions& options, Rng& rng,
+                                       const ShardPlan* plan) {
+  validate_network(nodes, flows);
+  ShardPlan local_plan;
+  if (!plan) {
+    const obs::perf::ScopedSpan span("net.plan");
+    local_plan = plan_shards(config, nodes, options);
+    plan = &local_plan;
+  }
+  for (const Flow& f : flows) {
+    check(plan->shard_of[f.source] == plan->shard_of[f.destination],
+          "flow endpoints fall in different shards; widen cutoff_margin_db");
+  }
+
+  const std::size_t n_shards = plan->shards.size();
+  if (n_shards == 1) {
+    // Degenerate plan: run inline on the caller's rng — bitwise the
+    // monolithic simulation.
+    std::optional<Engine> engine;
+    {
+      const obs::perf::ScopedSpan span("net.setup");
+      engine.emplace(config, nodes, flows, *plan, 0, rng, config.registry,
+                     config.trace, 0);
+    }
+    return engine->run();
+  }
+
+  // One synchronized wrapper shared by every shard; the caller's sink is
+  // never touched from two threads at once.
+  std::optional<obs::SynchronizedTraceSink> synced;
+  if (config.trace) synced.emplace(*config.trace);
+
+  struct ShardOutput {
+    NetworkResult result;
+    std::unique_ptr<obs::Registry> registry;
+    std::vector<std::size_t> node_ids;
+    std::vector<std::size_t> flow_ids;
+  };
+
+  // One derived Rng per shard from a single root draw — the sweep is a
+  // pure function of the caller's rng state and the plan, bitwise
+  // identical for any worker count.
+  const std::uint64_t root = rng.next_u64();
+  par::SweepOptions opt;
+  opt.root_seed = root;
+  opt.jobs = options.jobs;
+  std::vector<ShardOutput> outputs =
+      par::map(n_shards, opt, [&](std::size_t s, Rng& shard_rng) {
+        ShardOutput out;
+        out.registry = std::make_unique<obs::Registry>();
+        std::optional<Engine> engine;
+        {
+          const obs::perf::ScopedSpan span("net.setup");
+          engine.emplace(config, nodes, flows, *plan, s, shard_rng,
+                         out.registry.get(), synced ? &*synced : nullptr,
+                         static_cast<std::uint64_t>(s) << 40);
+        }
+        out.result = engine->run();
+        out.node_ids = engine->node_ids();
+        out.flow_ids = engine->flow_ids();
+        return out;
+      });
+
+  // Shard-order assembly: scalar sums, global slot placement for
+  // per-flow stats, registry merge (merge order — not thread schedule —
+  // defines gauges and instrument creation order).
+  NetworkResult total;
+  total.flows.resize(flows.size());
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const ShardOutput& out = outputs[s];
+    const NetworkResult& r = out.result;
+    for (std::size_t i = 0; i < out.flow_ids.size(); ++i)
+      total.flows[out.flow_ids[i]] = r.flows[i];
+    total.total_delivered += r.total_delivered;
+    total.aggregate_throughput_mbps += r.aggregate_throughput_mbps;
+    total.data_tx_count += r.data_tx_count;
+    total.data_failures += r.data_failures;
+    total.rts_tx_count += r.rts_tx_count;
+    total.rts_failures += r.rts_failures;
+    total.simultaneous_starts += r.simultaneous_starts;
+    if (config.airtime) {
+      merge_airtime(total.airtime, r.airtime, out.node_ids, out.flow_ids,
+                    nodes.size(), flows.size());
+    }
+    if (config.lifecycle.enabled) {
+      merge_lifecycle(total.lifecycle, r.lifecycle, out.flow_ids,
+                      flows.size(), s);
+    }
+    if (config.registry) config.registry->merge(*out.registry);
+  }
+  if (config.lifecycle.enabled) {
+    // collision_rate accumulated per-shard rates; report the mean. The
+    // stationarity hint is recomputed over the merged goodput series.
+    obs::LifecycleSeries& series = total.lifecycle.series;
+    for (double& c : series.collision_rate)
+      c /= static_cast<double>(n_shards);
+    const std::size_t n = series.goodput_mbps.size();
+    if (n >= 2) {
+      const std::size_t half = n / 2;
+      double first = 0.0;
+      double second = 0.0;
+      for (std::size_t w = 0; w < half; ++w) first += series.goodput_mbps[w];
+      for (std::size_t w = half; w < n; ++w) second += series.goodput_mbps[w];
+      first /= static_cast<double>(half);
+      second /= static_cast<double>(n - half);
+      series.stationarity_ratio = first > 0.0 ? second / first : 1.0;
+    }
+  }
+  return total;
 }
 
 std::vector<NetworkResult> simulate_network_batch(

@@ -1,0 +1,189 @@
+#include "net/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace wlan::net {
+namespace {
+
+struct CellKey {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  bool operator==(const CellKey& o) const { return x == o.x && y == o.y; }
+};
+
+struct CellHash {
+  std::size_t operator()(const CellKey& k) const {
+    // SplitMix64-style mix of the two coordinates.
+    std::uint64_t h = static_cast<std::uint64_t>(k.x) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::uint64_t>(k.y) + 0xBF58476D1CE4E5B9ull + (h << 6) +
+         (h >> 2);
+    h *= 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+/// Union-find with path halving; components of the coupling graph.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i)
+      parent_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Attach the larger root under the smaller so component roots are
+    // always the smallest member (stable, input-order independent).
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+ShardPlan plan_shards(const NetworkConfig& config,
+                      const std::vector<NodeConfig>& nodes,
+                      const ShardOptions& options) {
+  const std::size_t n = nodes.size();
+  check(n >= 1, "plan_shards needs at least one node");
+  check(n < std::numeric_limits<std::uint32_t>::max(),
+        "plan_shards node count exceeds uint32 indexing");
+  check(!(options.cutoff_margin_db < 0.0), "cutoff_margin_db must be >= 0");
+
+  ShardPlan plan;
+  const bool bounded = std::isfinite(options.cutoff_margin_db);
+  if (bounded) {
+    // The weakest level any node could care about: a signal below both
+    // its carrier-sense threshold and its noise floor can neither defer
+    // it nor measurably degrade its SINR. Take the deployment-wide min
+    // so one sensitive node widens the cutoff for everyone.
+    double floor_dbm = std::numeric_limits<double>::infinity();
+    double max_tx_dbm = -std::numeric_limits<double>::infinity();
+    for (const NodeConfig& node : nodes) {
+      const double noise_dbm =
+          thermal_noise_dbm(config.bandwidth_hz, node.noise_figure_db);
+      floor_dbm =
+          std::min(floor_dbm, std::min(node.cs_threshold_dbm, noise_dbm));
+      max_tx_dbm = std::max(max_tx_dbm, node.tx_power_dbm);
+    }
+    plan.cutoff_rx_dbm = floor_dbm - options.cutoff_margin_db;
+    plan.cutoff_radius_m = std::max(
+        config.pathloss.distance_for_path_loss(max_tx_dbm - plan.cutoff_rx_dbm),
+        1.0);
+  } else {
+    plan.cutoff_rx_dbm = -std::numeric_limits<double>::infinity();
+    plan.cutoff_radius_m = std::numeric_limits<double>::infinity();
+  }
+
+  // Adjacency rows. The unbounded plan keeps every pair; the bounded
+  // plan bins nodes into a hash grid of cutoff-radius cells and tests
+  // only the 3x3 neighbourhood (a coupled pair is at most one cell
+  // apart by construction of the radius).
+  std::vector<std::vector<std::uint32_t>> rows(n);
+  if (!bounded) {
+    plan.tile_m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i].reserve(n - 1);
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) rows[i].push_back(static_cast<std::uint32_t>(j));
+    }
+  } else {
+    plan.tile_m =
+        options.tile_m > 0.0 ? options.tile_m : plan.cutoff_radius_m;
+    const double inv_tile = 1.0 / plan.tile_m;
+    auto cell_of = [inv_tile](const mesh::Point& p) {
+      return CellKey{static_cast<std::int64_t>(std::floor(p.x * inv_tile)),
+                     static_cast<std::int64_t>(std::floor(p.y * inv_tile))};
+    };
+    std::unordered_map<CellKey, std::vector<std::uint32_t>, CellHash> grid;
+    grid.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      grid[cell_of(nodes[i].position)].push_back(
+          static_cast<std::uint32_t>(i));
+
+    // Exact pairwise test, symmetric by construction: a pair is kept
+    // when either direction's deterministic received power clears the
+    // cutoff. Same clamped-distance convention as the engine's gain.
+    const double cutoff = plan.cutoff_rx_dbm;
+    auto coupled = [&](std::uint32_t a, std::uint32_t b) {
+      const double d = std::max(
+          mesh::distance(nodes[a].position, nodes[b].position), 0.5);
+      const double loss = config.pathloss.path_loss_db(d);
+      return nodes[a].tx_power_dbm - loss >= cutoff ||
+             nodes[b].tx_power_dbm - loss >= cutoff;
+    };
+    const double radius_sq = plan.cutoff_radius_m * plan.cutoff_radius_m;
+    for (std::size_t i = 0; i < n; ++i) {
+      const mesh::Point& pi = nodes[i].position;
+      const CellKey c = cell_of(pi);
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        for (std::int64_t dy = -1; dy <= 1; ++dy) {
+          auto it = grid.find(CellKey{c.x + dx, c.y + dy});
+          if (it == grid.end()) continue;
+          for (std::uint32_t j : it->second) {
+            if (j == static_cast<std::uint32_t>(i)) continue;
+            const double ddx = nodes[j].position.x - pi.x;
+            const double ddy = nodes[j].position.y - pi.y;
+            // Cheap reject: beyond the cutoff radius even the
+            // strongest transmitter is below the cutoff, so the exact
+            // test cannot pass (the radius came from max tx power).
+            if (ddx * ddx + ddy * ddy > radius_sq) continue;
+            if (coupled(static_cast<std::uint32_t>(i), j))
+              rows[i].push_back(j);
+          }
+        }
+      }
+      std::sort(rows[i].begin(), rows[i].end());
+    }
+  }
+
+  // Flatten to CSR.
+  plan.row_offset.assign(n + 1, 0);
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.row_offset[i] = edges;
+    edges += rows[i].size();
+  }
+  plan.row_offset[n] = edges;
+  plan.nbr.reserve(edges);
+  for (std::size_t i = 0; i < n; ++i)
+    plan.nbr.insert(plan.nbr.end(), rows[i].begin(), rows[i].end());
+
+  // Connected components = shards, numbered by smallest member.
+  UnionFind uf(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t e = plan.row_offset[i]; e < plan.row_offset[i + 1]; ++e)
+      uf.unite(static_cast<std::uint32_t>(i), plan.nbr[e]);
+  plan.shard_of.assign(n, 0);
+  std::unordered_map<std::uint32_t, std::uint32_t> shard_index;
+  shard_index.reserve(64);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = uf.find(static_cast<std::uint32_t>(i));
+    auto [it, inserted] = shard_index.emplace(
+        root, static_cast<std::uint32_t>(plan.shards.size()));
+    if (inserted) plan.shards.emplace_back();
+    plan.shard_of[i] = it->second;
+    plan.shards[it->second].push_back(static_cast<std::uint32_t>(i));
+  }
+  return plan;
+}
+
+}  // namespace wlan::net

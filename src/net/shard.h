@@ -1,0 +1,116 @@
+// Spatial sharding for the network simulator.
+//
+// A city-scale deployment is mostly empty air: at 10k nodes the dense
+// gain matrix costs O(n^2) memory (~800 MB) and every medium update
+// scans every station, yet a transmitter a kilometre away contributes
+// power orders of magnitude below both the carrier-sense threshold and
+// the thermal noise floor. `plan_shards` makes that locality explicit:
+//
+//  1. Cutoff rule. Compute the weakest power level any node could care
+//     about — min over nodes of min(cs_threshold_dbm,
+//     thermal_noise_dbm(bandwidth, nf)) — and subtract
+//     `cutoff_margin_db`. A pair of nodes is *coupled* when either
+//     direction's deterministic received power (tx power minus dual-
+//     slope path loss, before shadowing) still clears that cutoff.
+//     Everything below it is treated as exactly zero.
+//  2. Tiling. Nodes are binned into a uniform hash grid whose cell
+//     size is the cutoff radius (the distance at which the strongest
+//     transmitter decays to the cutoff), so candidate pairs come from
+//     the 3x3 cell neighbourhood — O(n * degree) instead of O(n^2).
+//  3. Neighbor lists. The retained pairs form a symmetric CSR
+//     adjacency (ascending per row). The engine stores gains only for
+//     these edges.
+//  4. Shards. Connected components of the coupling graph. Two nodes in
+//     different components cannot exchange any above-cutoff power, so
+//     each component simulates independently: private event queue,
+//     private Rng (par::derive_seed), private obs::Registry — merged
+//     in shard order, bitwise identically for any worker count.
+//
+// `cutoff_margin_db = +infinity` disables the cutoff: every pair is
+// coupled, the plan is one shard, and the engine reproduces the
+// monolithic simulation exactly — `simulate_network` itself runs on
+// that degenerate plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/netsim.h"
+
+namespace wlan::net {
+
+/// Knobs for `plan_shards` / `simulate_network_sharded`.
+struct ShardOptions {
+  /// Safety margin below the weakest relevant threshold (carrier sense
+  /// or noise floor) before a pair is declared uncoupled. Must cover
+  /// the largest plausible shadowing upside (3-4 sigma). +infinity
+  /// keeps every pair (monolithic plan).
+  double cutoff_margin_db = 15.0;
+  /// Hash-grid cell size in metres; 0 = the cutoff radius.
+  double tile_m = 0.0;
+  /// Worker lanes for the shard sweep; 0 = the process default pool.
+  unsigned jobs = 0;
+};
+
+/// The precomputed coupling structure of a deployment.
+struct ShardPlan {
+  /// Received power below this is treated as zero (-inf when the
+  /// cutoff is disabled).
+  double cutoff_rx_dbm = 0.0;
+  /// Distance at which the strongest transmitter decays to the cutoff
+  /// (+inf when disabled).
+  double cutoff_radius_m = 0.0;
+  /// Hash-grid cell size actually used (0 when the grid was skipped).
+  double tile_m = 0.0;
+
+  /// Symmetric CSR adjacency over retained pairs: row i spans
+  /// nbr[row_offset[i] .. row_offset[i+1]), ascending, i excluded.
+  std::vector<std::size_t> row_offset;
+  std::vector<std::uint32_t> nbr;
+
+  /// Component id per node; components are numbered by their smallest
+  /// member node, ascending.
+  std::vector<std::uint32_t> shard_of;
+  /// Member nodes per shard, ascending within each shard.
+  std::vector<std::vector<std::uint32_t>> shards;
+
+  std::size_t degree(std::size_t i) const {
+    return row_offset[i + 1] - row_offset[i];
+  }
+  std::size_t n_edges() const { return nbr.size(); }
+  double mean_degree() const {
+    return row_offset.empty() || row_offset.size() == 1
+               ? 0.0
+               : static_cast<double>(nbr.size()) /
+                     static_cast<double>(row_offset.size() - 1);
+  }
+  std::size_t max_degree() const {
+    std::size_t m = 0;
+    for (std::size_t i = 0; i + 1 < row_offset.size(); ++i)
+      m = std::max(m, degree(i));
+    return m;
+  }
+};
+
+/// Builds the coupling plan for a deployment (no RNG, pure geometry).
+ShardPlan plan_shards(const NetworkConfig& config,
+                      const std::vector<NodeConfig>& nodes,
+                      const ShardOptions& options);
+
+/// Runs the network sharded: plans (unless `plan` is supplied), checks
+/// every flow's endpoints share a shard (throws ContractError
+/// otherwise — widen `cutoff_margin_db`), then simulates each shard
+/// independently on the worker pool under
+/// Rng(par::derive_seed(rng.next_u64(), shard, 0)) with a private
+/// registry, and merges results, registries (into `config.registry`),
+/// airtime and lifecycle books in shard order. A single-shard plan
+/// runs inline on the caller's `rng` and is bitwise identical to
+/// `simulate_network`. Results are bitwise identical for any
+/// `options.jobs`.
+NetworkResult simulate_network_sharded(const NetworkConfig& config,
+                                       const std::vector<NodeConfig>& nodes,
+                                       const std::vector<Flow>& flows,
+                                       const ShardOptions& options, Rng& rng,
+                                       const ShardPlan* plan = nullptr);
+
+}  // namespace wlan::net

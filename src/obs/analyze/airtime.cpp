@@ -196,7 +196,8 @@ void AirtimeAccountant::publish(Registry& registry) const {
   registry.gauge("airtime.jain_airtime").set(r.jain_fairness_airtime());
   for (std::size_t n = 0; n < r.nodes.size(); ++n) {
     const NodeAirtime& node = r.nodes[n];
-    const std::vector<Label> label{{"node", std::to_string(n)}};
+    const std::size_t id = n < config_.node_ids.size() ? config_.node_ids[n] : n;
+    const std::vector<Label> label{{"node", std::to_string(id)}};
     registry.gauge("airtime.node_tx_s", label).set(node.tx_s);
     registry.gauge("airtime.node_tx_overlap_s", label).set(node.tx_overlap_s);
     registry.gauge("airtime.node_backoff_s", label).set(node.backoff_s);
@@ -208,7 +209,8 @@ void AirtimeAccountant::publish(Registry& registry) const {
         .add(node.same_slot_collisions);
   }
   for (std::size_t f = 0; f < r.flows.size(); ++f) {
-    const std::vector<Label> label{{"flow", std::to_string(f)}};
+    const std::size_t id = f < config_.flow_ids.size() ? config_.flow_ids[f] : f;
+    const std::vector<Label> label{{"flow", std::to_string(id)}};
     registry.counter("airtime.flow_delivered", label)
         .add(r.flows[f].delivered);
     registry.counter("airtime.flow_drops", label).add(r.flows[f].drops);

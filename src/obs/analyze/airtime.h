@@ -91,6 +91,12 @@ class AirtimeAccountant final : public TraceSink {
     /// Bits credited per delivered packet (payload * 8); 0 leaves the
     /// goodput series zeroed and only counts deliveries.
     double payload_bits = 0.0;
+    /// Optional global ids used only for publish() labels: entry i names
+    /// node/flow i in the emitted node=/flow= labels. Empty = identity.
+    /// The sharded netsim passes global ids so per-shard registries
+    /// merge into disjoint, globally named instruments.
+    std::vector<std::size_t> node_ids;
+    std::vector<std::size_t> flow_ids;
   };
 
   explicit AirtimeAccountant(const Config& config);

@@ -55,7 +55,7 @@ FrameLedger::FrameLedger(const Config& config)
   delay_flow_.resize(config_.n_flows);
   for (std::size_t f = 0; f < config_.n_flows; ++f) {
     delay_flow_[f] = &reg.histogram("lifecycle.delay_s", lo, hi, bins,
-                                    flow_label(f));
+                                    flow_label(flow_id(f)));
   }
   component_all_.resize(kDelayComponentCount);
   component_flow_.resize(kDelayComponentCount);
@@ -68,7 +68,7 @@ FrameLedger::FrameLedger(const Config& config)
       component_flow_[c][f] = &reg.histogram(
           "lifecycle.component_s", lo, hi, bins,
           {{"component", delay_component_name(c)},
-           {"flow", std::to_string(f)}});
+           {"flow", std::to_string(flow_id(f))}});
     }
   }
 }
@@ -227,12 +227,13 @@ void FrameLedger::publish(Registry& registry) const {
   add("lifecycle.in_flight", {}, report_.in_flight);
   for (std::size_t f = 0; f < report_.flows.size(); ++f) {
     const FlowLifecycle& fl = report_.flows[f];
-    add("lifecycle.arrivals", flow_label(f), fl.arrivals);
-    add("lifecycle.delivered", flow_label(f), fl.delivered);
-    add("lifecycle.dropped", flow_label(f), fl.dropped);
-    add("lifecycle.in_flight", flow_label(f), fl.in_flight);
-    add("lifecycle.tx_attempts", flow_label(f), fl.tx_attempts);
-    add("lifecycle.failed_attempts", flow_label(f), fl.failed_attempts);
+    const std::size_t id = flow_id(f);
+    add("lifecycle.arrivals", flow_label(id), fl.arrivals);
+    add("lifecycle.delivered", flow_label(id), fl.delivered);
+    add("lifecycle.dropped", flow_label(id), fl.dropped);
+    add("lifecycle.in_flight", flow_label(id), fl.in_flight);
+    add("lifecycle.tx_attempts", flow_label(id), fl.tx_attempts);
+    add("lifecycle.failed_attempts", flow_label(id), fl.failed_attempts);
   }
 }
 

@@ -130,6 +130,11 @@ class FrameLedger final : public TraceSink {
     /// so every shard registry carries the same instruments in the same
     /// order and Registry::merge is exact.
     Registry* registry = nullptr;
+    /// Optional global ids used in flow= labels: entry f names flow f.
+    /// Empty = identity. The sharded netsim passes global ids so
+    /// per-shard registries merge into disjoint, globally named
+    /// instruments.
+    std::vector<std::size_t> flow_ids;
   };
 
   explicit FrameLedger(const Config& config);
@@ -150,6 +155,11 @@ class FrameLedger final : public TraceSink {
   // medium (defer/backoff/freeze) and exchanging (an attempt is on the
   // air or awaiting its response).
   enum class Mode { kContention, kExchange };
+
+  /// Label id for local flow f (global when config_.flow_ids is set).
+  std::size_t flow_id(std::size_t f) const {
+    return f < config_.flow_ids.size() ? config_.flow_ids[f] : f;
+  }
 
   struct Journey {
     bool open = false;

@@ -1,0 +1,445 @@
+// The spatially sharded network engine: planner geometry, shard-vs-
+// monolith bitwise equivalence, thread-count-independent merges, and
+// the event-bookkeeping fixes that scaling flushed out.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/abstraction.h"
+#include "core/link.h"
+#include "net/errormodel.h"
+#include "net/netsim.h"
+#include "net/shard.h"
+#include "obs/metrics.h"
+#include "par/montecarlo.h"
+
+namespace wlan {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Deployment {
+  std::vector<net::NodeConfig> nodes;
+  std::vector<net::Flow> flows;
+};
+
+/// The bench_multibss deployment: `bss_grid`^2 APs, `clients` saturated
+/// uplink STAs on a ring around each.
+Deployment make_grid(std::size_t bss_grid, double spacing_m,
+                     std::size_t clients, double radius_m,
+                     double origin_x = 0.0) {
+  Deployment d;
+  for (std::size_t gy = 0; gy < bss_grid; ++gy) {
+    for (std::size_t gx = 0; gx < bss_grid; ++gx) {
+      const double ax = origin_x + static_cast<double>(gx) * spacing_m;
+      const double ay = static_cast<double>(gy) * spacing_m;
+      const std::size_t ap = d.nodes.size();
+      d.nodes.push_back({{ax, ay}});
+      for (std::size_t c = 0; c < clients; ++c) {
+        const double angle = 2.0 * M_PI * static_cast<double>(c) /
+                             static_cast<double>(clients);
+        d.nodes.push_back({{ax + radius_m * std::cos(angle),
+                            ay + radius_m * std::sin(angle)}});
+        d.flows.push_back({d.nodes.size() - 1, ap});
+      }
+    }
+  }
+  return d;
+}
+
+/// The 63-node bench_multibss geometry (same physics-driven sizing).
+Deployment multibss63(const net::NetworkConfig& cfg) {
+  double radius_m = 5.0;
+  while (snr_at_distance_db(cfg.pathloss, radius_m * 1.3, 17.0,
+                            cfg.bandwidth_hz) > 34.0) {
+    radius_m *= 1.3;
+  }
+  const double noise_dbm =
+      -174.0 + 10.0 * std::log10(cfg.bandwidth_hz) + 6.0;
+  const double cs_snr_db = -82.0 - noise_dbm;
+  double spacing_m = radius_m;
+  while (snr_at_distance_db(cfg.pathloss, spacing_m, 17.0, cfg.bandwidth_hz) >
+         cs_snr_db) {
+    spacing_m *= 1.1;
+  }
+  return make_grid(3, spacing_m, 6, radius_m);
+}
+
+net::ShardOptions monolithic() {
+  net::ShardOptions o;
+  o.cutoff_margin_db = kInf;
+  return o;
+}
+
+void expect_flows_bitwise(const net::NetworkResult& a,
+                          const net::NetworkResult& b) {
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    EXPECT_EQ(a.flows[f].delivered, b.flows[f].delivered) << "flow " << f;
+    EXPECT_EQ(a.flows[f].attempts, b.flows[f].attempts) << "flow " << f;
+    EXPECT_EQ(a.flows[f].retries, b.flows[f].retries) << "flow " << f;
+    EXPECT_EQ(a.flows[f].drops, b.flows[f].drops) << "flow " << f;
+    EXPECT_EQ(a.flows[f].throughput_mbps, b.flows[f].throughput_mbps)
+        << "flow " << f;
+    EXPECT_EQ(a.flows[f].mean_delay_s, b.flows[f].mean_delay_s)
+        << "flow " << f;
+    EXPECT_EQ(a.flows[f].mean_data_rate_mbps, b.flows[f].mean_data_rate_mbps)
+        << "flow " << f;
+  }
+  EXPECT_EQ(a.total_delivered, b.total_delivered);
+  EXPECT_EQ(a.aggregate_throughput_mbps, b.aggregate_throughput_mbps);
+  EXPECT_EQ(a.data_tx_count, b.data_tx_count);
+  EXPECT_EQ(a.data_failures, b.data_failures);
+  EXPECT_EQ(a.rts_tx_count, b.rts_tx_count);
+  EXPECT_EQ(a.rts_failures, b.rts_failures);
+  EXPECT_EQ(a.simultaneous_starts, b.simultaneous_starts);
+}
+
+// --- Planner geometry ------------------------------------------------
+
+TEST(ShardPlan, UnboundedMarginKeepsEveryPairInOneShard) {
+  net::NetworkConfig cfg;
+  const Deployment d = multibss63(cfg);
+  const net::ShardPlan plan = net::plan_shards(cfg, d.nodes, monolithic());
+  ASSERT_EQ(plan.shards.size(), 1u);
+  EXPECT_EQ(plan.shards[0].size(), d.nodes.size());
+  EXPECT_EQ(plan.n_edges(), d.nodes.size() * (d.nodes.size() - 1));
+  for (std::size_t i = 0; i < d.nodes.size(); ++i) {
+    EXPECT_EQ(plan.degree(i), d.nodes.size() - 1);
+    EXPECT_EQ(plan.shard_of[i], 0u);
+  }
+}
+
+TEST(ShardPlan, DistantClustersFormSeparateShards) {
+  net::NetworkConfig cfg;
+  Deployment d = make_grid(1, 0.0, 2, 10.0);
+  const Deployment far = make_grid(1, 0.0, 2, 10.0, 5000.0);
+  const std::size_t offset = d.nodes.size();
+  d.nodes.insert(d.nodes.end(), far.nodes.begin(), far.nodes.end());
+  for (const net::Flow& f : far.flows) {
+    d.flows.push_back({f.source + offset, f.destination + offset});
+  }
+  const net::ShardPlan plan =
+      net::plan_shards(cfg, d.nodes, net::ShardOptions{});
+  ASSERT_EQ(plan.shards.size(), 2u);
+  EXPECT_EQ(plan.shards[0].size(), offset);
+  EXPECT_EQ(plan.shards[1].size(), far.nodes.size());
+  // Rows are ascending and symmetric; no edge crosses the clusters.
+  for (std::size_t i = 0; i < d.nodes.size(); ++i) {
+    for (std::size_t e = plan.row_offset[i]; e < plan.row_offset[i + 1];
+         ++e) {
+      const std::uint32_t j = plan.nbr[e];
+      if (e > plan.row_offset[i]) {
+        EXPECT_LT(plan.nbr[e - 1], j);
+      }
+      EXPECT_EQ(plan.shard_of[i], plan.shard_of[j]);
+      bool reverse = false;
+      for (std::size_t r = plan.row_offset[j]; r < plan.row_offset[j + 1];
+           ++r) {
+        reverse |= plan.nbr[r] == i;
+      }
+      EXPECT_TRUE(reverse) << i << "->" << j;
+    }
+  }
+}
+
+TEST(ShardPlan, WiderMarginCouplesMorePairs) {
+  net::NetworkConfig cfg;
+  const Deployment d = multibss63(cfg);
+  net::ShardOptions narrow;
+  narrow.cutoff_margin_db = 0.0;
+  net::ShardOptions wide;
+  wide.cutoff_margin_db = 30.0;
+  const net::ShardPlan pn = net::plan_shards(cfg, d.nodes, narrow);
+  const net::ShardPlan pw = net::plan_shards(cfg, d.nodes, wide);
+  EXPECT_GE(pw.n_edges(), pn.n_edges());
+  EXPECT_GT(pw.cutoff_radius_m, pn.cutoff_radius_m);
+  EXPECT_LT(pw.cutoff_rx_dbm, pn.cutoff_rx_dbm);
+}
+
+// --- Shard vs monolith equivalence ----------------------------------
+
+TEST(ShardEquivalence, Multibss63BitwiseIdenticalToMonolith) {
+  net::NetworkConfig cfg;
+  cfg.duration_s = 0.2;
+  cfg.payload_bytes = 1000;
+  cfg.rts_cts = true;
+  cfg.error_model.model = net::RxModel::kPerModel;
+  cfg.error_model.shadowing_sigma_db = 4.0;
+  cfg.error_model.realizations = 8;
+  cfg.rate_control = net::RateControlMode::kArf;
+  const Deployment d = multibss63(cfg);
+
+  obs::Registry mono_reg;
+  cfg.registry = &mono_reg;
+  Rng mono_rng(11);
+  const auto mono = simulate_network(cfg, d.nodes, d.flows, mono_rng);
+
+  for (const unsigned jobs : {1u, 8u}) {
+    obs::Registry shard_reg;
+    cfg.registry = &shard_reg;
+    net::ShardOptions opt = monolithic();
+    opt.jobs = jobs;
+    Rng rng(11);
+    const auto sharded =
+        net::simulate_network_sharded(cfg, d.nodes, d.flows, opt, rng);
+    expect_flows_bitwise(mono, sharded);
+    EXPECT_EQ(mono_reg.snapshot_json(), shard_reg.snapshot_json());
+  }
+}
+
+TEST(ShardEquivalence, HiddenTerminalTriangleBitwiseIdentical) {
+  const auto setup = net::make_hidden_terminal_setup(80.0);
+  net::NetworkConfig cfg;
+  cfg.duration_s = 0.5;
+  cfg.rts_cts = false;
+
+  obs::Registry mono_reg;
+  cfg.registry = &mono_reg;
+  Rng mono_rng(7);
+  const auto mono = simulate_network(cfg, setup.nodes, setup.flows, mono_rng);
+
+  // At 80 m spacing every pair stays above the default cutoff, so even
+  // the bounded plan is a single shard and must reproduce the monolith
+  // bitwise (it runs inline on the caller's rng).
+  for (const double margin : {kInf, 15.0}) {
+    obs::Registry shard_reg;
+    cfg.registry = &shard_reg;
+    net::ShardOptions opt;
+    opt.cutoff_margin_db = margin;
+    opt.jobs = 8;
+    Rng rng(7);
+    const net::ShardPlan plan = net::plan_shards(cfg, setup.nodes, opt);
+    ASSERT_EQ(plan.shards.size(), 1u);
+    const auto sharded = net::simulate_network_sharded(
+        cfg, setup.nodes, setup.flows, opt, rng, &plan);
+    expect_flows_bitwise(mono, sharded);
+    EXPECT_EQ(mono_reg.snapshot_json(), shard_reg.snapshot_json());
+  }
+}
+
+/// Two multibss cells 5 km apart: a genuinely multi-shard run.
+Deployment two_cells(const net::NetworkConfig& cfg) {
+  Deployment d = multibss63(cfg);
+  d.nodes.resize(7);  // one BSS: AP + 6 clients
+  d.flows.resize(6);
+  const std::size_t offset = d.nodes.size();
+  Deployment far = d;
+  for (net::NodeConfig& n : far.nodes) n.position.x += 5000.0;
+  d.nodes.insert(d.nodes.end(), far.nodes.begin(), far.nodes.end());
+  for (const net::Flow& f : far.flows) {
+    d.flows.push_back({f.source + offset, f.destination + offset});
+  }
+  return d;
+}
+
+TEST(ShardEquivalence, MultiShardRunIsThreadCountInvariant) {
+  net::NetworkConfig cfg;
+  cfg.duration_s = 0.2;
+  cfg.error_model.model = net::RxModel::kPerModel;
+  cfg.error_model.shadowing_sigma_db = 4.0;
+  cfg.error_model.realizations = 8;
+  cfg.lifecycle.enabled = true;
+  cfg.airtime = true;
+  const Deployment d = two_cells(cfg);
+
+  net::ShardOptions opt;
+  {
+    const net::ShardPlan plan = net::plan_shards(cfg, d.nodes, opt);
+    ASSERT_EQ(plan.shards.size(), 2u);
+  }
+
+  obs::Registry reg1;
+  cfg.registry = &reg1;
+  opt.jobs = 1;
+  Rng rng1(3);
+  const auto r1 = net::simulate_network_sharded(cfg, d.nodes, d.flows, opt,
+                                                rng1);
+  obs::Registry reg8;
+  cfg.registry = &reg8;
+  opt.jobs = 8;
+  Rng rng8(3);
+  const auto r8 = net::simulate_network_sharded(cfg, d.nodes, d.flows, opt,
+                                                rng8);
+  expect_flows_bitwise(r1, r8);
+  EXPECT_EQ(reg1.snapshot_json(), reg8.snapshot_json());
+  EXPECT_EQ(r1.lifecycle.breaches, 0u);
+  EXPECT_EQ(r8.lifecycle.breaches, 0u);
+}
+
+TEST(ShardEquivalence, ShardZeroMatchesMonolithOfItsSubset) {
+  net::NetworkConfig cfg;
+  cfg.duration_s = 0.2;
+  const Deployment d = two_cells(cfg);
+  const std::size_t cell_nodes = 7;
+  const std::size_t cell_flows = 6;
+
+  net::ShardOptions opt;
+  Rng rng(99);
+  const auto sharded =
+      net::simulate_network_sharded(cfg, d.nodes, d.flows, opt, rng);
+
+  // Shard 0 ran under Rng(derive_seed(root, 0, 0)) where root is the
+  // first draw off the caller's rng; its members are exactly cell 0,
+  // whose local indices equal the global ones. A monolithic run of that
+  // subset under the same derived rng must agree bitwise.
+  Rng replay(99);
+  const std::uint64_t root = replay.next_u64();
+  Rng shard0_rng(par::derive_seed(root, 0, 0));
+  const std::vector<net::NodeConfig> sub_nodes(
+      d.nodes.begin(), d.nodes.begin() + cell_nodes);
+  const std::vector<net::Flow> sub_flows(d.flows.begin(),
+                                         d.flows.begin() + cell_flows);
+  const auto mono = simulate_network(cfg, sub_nodes, sub_flows, shard0_rng);
+  for (std::size_t f = 0; f < cell_flows; ++f) {
+    EXPECT_EQ(sharded.flows[f].delivered, mono.flows[f].delivered);
+    EXPECT_EQ(sharded.flows[f].attempts, mono.flows[f].attempts);
+    EXPECT_EQ(sharded.flows[f].throughput_mbps, mono.flows[f].throughput_mbps);
+  }
+}
+
+TEST(ShardEquivalence, CrossShardFlowThrows) {
+  net::NetworkConfig cfg;
+  Deployment d = two_cells(cfg);
+  d.flows.push_back({0, 7});  // spans the 5 km gap
+  net::ShardOptions opt;
+  Rng rng(1);
+  EXPECT_THROW(
+      net::simulate_network_sharded(cfg, d.nodes, d.flows, opt, rng),
+      ContractError);
+}
+
+TEST(ShardedBooks, MergedLedgersLandInGlobalSlots) {
+  net::NetworkConfig cfg;
+  cfg.duration_s = 0.2;
+  cfg.lifecycle.enabled = true;
+  cfg.airtime = true;
+  const Deployment d = two_cells(cfg);
+  obs::Registry reg;
+  cfg.registry = &reg;
+  net::ShardOptions opt;
+  Rng rng(5);
+  const auto r = net::simulate_network_sharded(cfg, d.nodes, d.flows, opt,
+                                               rng);
+  // Global sizing and conservation across both cells.
+  ASSERT_EQ(r.flows.size(), d.flows.size());
+  ASSERT_EQ(r.airtime.nodes.size(), d.nodes.size());
+  ASSERT_EQ(r.airtime.flows.size(), d.flows.size());
+  ASSERT_EQ(r.lifecycle.ledger.flows.size(), d.flows.size());
+  std::uint64_t delivered = 0;
+  for (const auto& f : r.flows) delivered += f.delivered;
+  EXPECT_EQ(delivered, r.total_delivered);
+  EXPECT_GT(delivered, 0u);
+  for (std::size_t f = 0; f < d.flows.size(); ++f) {
+    EXPECT_EQ(r.airtime.flows[f].delivered, r.flows[f].delivered);
+    EXPECT_EQ(r.lifecycle.ledger.flows[f].delivered, r.flows[f].delivered);
+  }
+  // The merged channel-time partition closes over both shards' channels.
+  EXPECT_NEAR(r.airtime.idle_s + r.airtime.busy_s + r.airtime.collision_s,
+              r.airtime.duration_s, 1e-9 * r.airtime.duration_s);
+  // Per-flow instruments carry global ids: flows 6.. are the far cell.
+  EXPECT_NE(reg.find_counter("net.delivered", {{"flow", "7"}}), nullptr);
+  EXPECT_NE(reg.find_counter("lifecycle.delivered", {{"flow", "7"}}),
+            nullptr);
+  EXPECT_NE(reg.find_counter("airtime.flow_delivered", {{"flow", "7"}}),
+            nullptr);
+  EXPECT_NE(reg.find_counter("airtime.node_tx_frames", {{"node", "13"}}),
+            nullptr);
+  EXPECT_EQ(r.lifecycle.breaches, 0u);
+}
+
+// --- Event-bookkeeping regressions ----------------------------------
+
+// Long-churn soak: hours of simulated saturated contention with RTS/CTS
+// exercises millions of interference add/subtract pairs. The engine
+// asserts (check) that no running sum ever goes negative beyond FP
+// rounding, so drift or double-subtraction aborts the run.
+TEST(Bookkeeping, LongChurnKeepsInterferenceSumsNonNegative) {
+  // 80 m keeps the senders below each other's CS threshold (hidden)
+  // while the 40 m sender->receiver hop still clears the SINR threshold.
+  const auto setup = net::make_hidden_terminal_setup(80.0);
+  net::NetworkConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.rts_cts = true;  // CTS/ACK cross-traffic maximizes add/subtract churn
+  Rng rng(17);
+  const auto r =
+      simulate_network(cfg, setup.nodes, setup.flows, rng);
+  EXPECT_GT(r.total_delivered, 0u);
+  EXPECT_GT(r.data_failures + r.rts_failures, 0u);  // real contention ran
+}
+
+TEST(Bookkeeping, ManyOverlappingTransmissionsTearDownCleanly) {
+  // Four isolated BSS clusters in one shard-free monolithic run keep
+  // several transmissions in flight at once, exercising the slot arena's
+  // id-checked teardown (stale handles would trip "transmission
+  // bookkeeping lost").
+  net::NetworkConfig cfg;
+  cfg.duration_s = 1.0;
+  Deployment d;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const Deployment cell = make_grid(1, 0.0, 3, 10.0, 5000.0 * c);
+    const std::size_t offset = d.nodes.size();
+    d.nodes.insert(d.nodes.end(), cell.nodes.begin(), cell.nodes.end());
+    for (const net::Flow& f : cell.flows) {
+      d.flows.push_back({f.source + offset, f.destination + offset});
+    }
+  }
+  Rng rng(23);
+  const auto r = simulate_network(cfg, d.nodes, d.flows, rng);
+  EXPECT_GT(r.total_delivered, 0u);
+  for (const auto& f : r.flows) EXPECT_GT(f.delivered, 0u);
+}
+
+// --- Batched EESM ----------------------------------------------------
+
+TEST(EesmGrid, MatchesScalarEvaluationAcrossTheTable) {
+  Rng rng(31);
+  for (const double beta : {0.9, 1.5, 4.0, 11.0}) {
+    RVec gains;
+    for (std::size_t k = 0; k < 48; ++k) {
+      gains.push_back(rng.gaussian(0.0, 6.0));
+    }
+    RVec means;
+    for (double m = -15.0; m <= 50.0; m += 0.5) means.push_back(m);
+    RVec grid(means.size());
+    eesm_effective_snr_grid_db(gains, beta, means, grid);
+    for (std::size_t i = 0; i < means.size(); ++i) {
+      RVec snrs;
+      for (const double g : gains) snrs.push_back(means[i] + g);
+      EXPECT_NEAR(grid[i], eesm_effective_snr_db(snrs, beta), 1e-6)
+          << "beta " << beta << " mean " << means[i];
+    }
+  }
+}
+
+TEST(EesmGrid, PerBatchMatchesScalarLookups) {
+  net::ErrorModelConfig cfg;
+  cfg.model = net::RxModel::kPerModel;
+  cfg.realizations = 8;
+  Rng rng(41);
+  const net::LinkPerModel model(mac::PhyGeneration::kOfdm, 24.0, 1000, cfg,
+                                rng);
+  std::vector<double> sinr;
+  std::vector<std::uint32_t> real;
+  Rng draw(42);
+  for (std::size_t i = 0; i < 256; ++i) {
+    sinr.push_back(-20.0 + 70.0 * draw.uniform());
+    real.push_back(
+        static_cast<std::uint32_t>(draw.uniform_int(model.realizations())));
+  }
+  std::vector<double> batch(sinr.size());
+  model.per_batch(sinr, real, batch);
+  for (std::size_t i = 0; i < sinr.size(); ++i) {
+    EXPECT_EQ(batch[i], model.per(sinr[i], real[i])) << i;
+  }
+}
+
+}  // namespace
+}  // namespace wlan
