@@ -64,6 +64,10 @@ struct Report {
   std::string claim;
   std::vector<Series> series;
   std::vector<std::pair<std::string, double>> metrics;
+  // Informational values ("info" JSON object): wall-clock speedups,
+  // utilization — anything machine-dependent that must NOT be pinned by
+  // the bench_diff regression gate, which reads "metrics" only.
+  std::vector<std::pair<std::string, double>> info;
   bool has_verdict = false;
   bool ok = false;
   std::string verdict_detail;
@@ -73,6 +77,7 @@ struct Report {
   bool latency = false;    // --latency: frame-lifecycle instrumentation on
   std::size_t batch = 0;   // --batch [n]: trial-batched runners, n lanes
   bool quantized = false;  // --quantized: int16 decoder fast paths
+  std::size_t overlap = 0; // --overlap [grid]: one-component border city
   bool profile = false;    // --profile: span profiler armed
   std::string profile_path;       // folded-stack output ("" = derived)
   obs::perf::SpanProfile spans;   // merged span tree (all threads)
@@ -246,6 +251,12 @@ inline void write_report() {
     out << '"' << json_escape(r.metrics[i].first) << "\":";
     json_number(out, r.metrics[i].second);
   }
+  out << "},\"info\":{";
+  for (std::size_t i = 0; i < r.info.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << json_escape(r.info[i].first) << "\":";
+    json_number(out, r.info[i].second);
+  }
   out << "},\"kernels\":[";
   bool first = true;
   for (std::size_t k = 0; k < obs::kKernelCount; ++k) {
@@ -355,11 +366,21 @@ inline void args(int argc, char** argv) {
       }
     } else if (a == "--quantized") {
       r.quantized = true;
+    } else if (a == "--overlap") {
+      r.overlap = 32;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const long n = std::strtol(argv[++i], nullptr, 10);
+        if (n < 2) {
+          std::fprintf(stderr, "--overlap grid must be >= 2\n");
+          std::exit(2);
+        }
+        r.overlap = static_cast<std::size_t>(n);
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json <path>] [--chrome-trace <path>] "
                    "[--profile [path]] [--latency] [--jobs <n>] "
-                   "[--batch [lanes]] [--quantized]\n",
+                   "[--batch [lanes]] [--quantized] [--overlap [grid]]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -396,6 +417,20 @@ inline std::size_t batch_lanes() { return report().batch; }
 /// int16 decoder fast paths on paired seeds and report the worst PER
 /// delta against the double path (the bench_diff gate metric).
 inline bool quantized() { return report().quantized; }
+
+/// Building-grid side from --overlap (0 = overlap mode off; bare
+/// --overlap means the full 32x32 grid = 102,400 nodes). bench_city
+/// then runs ONE connected component through the conservative-time
+/// border exchange instead of disjoint per-building shards.
+inline std::size_t overlap_grid() { return report().overlap; }
+
+/// Records an informational value into the JSON report's "info" object.
+/// Use for wall-clock-derived numbers (speedups, utilization): they are
+/// visible to scripts but invisible to the bench_diff regression gate,
+/// which pins "metrics" only.
+inline void info(std::string name, double value) {
+  report().info.emplace_back(std::move(name), value);
+}
 
 /// Records a trace sink's final dropped() count under `name` in the
 /// --json report ("sinks" array + "sink_dropped" total). Call once per

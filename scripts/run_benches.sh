@@ -9,6 +9,7 @@
 #                               [--only <bench,bench,...>] [--jobs <n>]
 #                               [--batch <n>] [--quantized]
 #                               [--latency] [--profile] [--util-floor <f>]
+#                               [--overlap-grid <n>]
 #
 #   --baseline [file]  After the run, gate the aggregate report against
 #                      the committed baseline (default
@@ -45,6 +46,12 @@
 #                      kept the lanes busy less than this fraction of
 #                      lanes x wall gets a WARN line (informational; the
 #                      exit code is unaffected).
+#   --overlap-grid <n> Building-grid side for the bench_city_overlap
+#                      pseudo-bench (the bench_city binary run with
+#                      --overlap <n>; default 32 = the full 102,400-node
+#                      bordered city). CI smoke passes a small grid; the
+#                      resulting EXT-CITY-OVERLAP-SMOKE report is not
+#                      pinned by the baseline.
 #
 # After the per-bench runs the script prints a summary table (verdict,
 # jobs, wall seconds, pool utilization, lane imbalance per bench) and a
@@ -79,7 +86,16 @@ BENCHES=(
   bench_abstraction
   bench_multibss
   bench_city
+  bench_city_overlap
 )
+
+# Pseudo-benches share a binary with a sibling; map name -> binary.
+bin_of() {
+  case "$1" in
+    bench_city_overlap) echo bench_city ;;
+    *) echo "$1" ;;
+  esac
+}
 
 BUILD=""
 OUT=""
@@ -91,6 +107,7 @@ QUANTIZED=""
 LATENCY=""
 PROFILE=""
 UTIL_FLOOR="0.10"
+OVERLAP_GRID="32"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --baseline)
@@ -129,6 +146,11 @@ while [[ $# -gt 0 ]]; do
       UTIL_FLOOR="$2"
       shift
       ;;
+    --overlap-grid)
+      [[ $# -gt 1 ]] || { echo "--overlap-grid needs a size" >&2; exit 2; }
+      OVERLAP_GRID="$2"
+      shift
+      ;;
     -*)
       echo "unknown flag: $1" >&2
       exit 2
@@ -158,7 +180,15 @@ if [[ -n "$ONLY" ]]; then
 fi
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release || exit 1
-cmake --build "$BUILD" -j "$(nproc)" --target "${BENCHES[@]}" bench_kernels \
+targets=()
+for b in "${BENCHES[@]}"; do
+  t="$(bin_of "$b")"
+  case " ${targets[*]-} " in
+    *" $t "*) ;;
+    *) targets+=("$t") ;;
+  esac
+done
+cmake --build "$BUILD" -j "$(nproc)" --target "${targets[@]}" bench_kernels \
   bench_diff || exit 1
 
 mkdir -p "$OUT"
@@ -185,8 +215,9 @@ for bench in "${BENCHES[@]}"; do
   [[ -n "$QUANTIZED" ]] && bench_args+=(--quantized)
   [[ -n "$LATENCY" ]] && bench_args+=(--latency)
   [[ -n "$PROFILE" ]] && bench_args+=(--profile "$OUT/$bench.folded")
+  [[ "$bench" == bench_city_overlap ]] && bench_args+=(--overlap "$OVERLAP_GRID")
   start_s=$(date +%s.%N)
-  "$BUILD/bench/$bench" "${bench_args[@]}" > "$log" 2>&1
+  "$BUILD/bench/$(bin_of "$bench")" "${bench_args[@]}" > "$log" 2>&1
   status=$?
   wall_s=$(echo "$(date +%s.%N) $start_s" | awk '{printf "%.2f", $1 - $2}')
   if [[ ! -s "$json" ]]; then
@@ -228,6 +259,21 @@ for bench in "${BENCHES[@]}"; do
   else
     util="-"
     imb="-"
+  fi
+  if [[ "$bench" == bench_city_overlap ]]; then
+    # Border-exchange vitals: routed messages are deterministic; epoch
+    # utilization/imbalance and the speedup are wall-clock ("info").
+    b_msgs=$(json_field "$json" border_messages)
+    b_util=$(json_field "$json" epoch_utilization)
+    b_imb=$(json_field "$json" epoch_imbalance)
+    b_speedup=$(json_field "$json" speedup_8v1)
+    b_par=$(json_field "$json" epoch_parallelism)
+    echo "   border: ${b_msgs:-?} msgs," \
+         "epoch util $(awk -v u="${b_util:-0}" 'BEGIN{printf "%.2f", u}')," \
+         "imbalance $(awk -v i="${b_imb:-0}" 'BEGIN{printf "%.2f", i}')," \
+         "speedup $(awk -v s="${b_speedup:-0}" 'BEGIN{printf "%.2f", s}')x," \
+         "schedule parallelism" \
+         "$(awk -v p="${b_par:-0}" 'BEGIN{printf "%.1f", p}')x"
   fi
   summary_rows+=("$(printf '%-26s %-9s %5s %9s %6s %6s  %s' \
       "$bench" "$verdict" "${jobs:--}" "$wall_s" "$util" "$imb" "$warn")")

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <map>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -16,6 +19,7 @@
 #include "net/shard.h"
 #include "obs/perf.h"
 #include "par/montecarlo.h"
+#include "par/pool.h"
 #include "phy/ofdm.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
@@ -60,6 +64,44 @@ struct Transmission {
 
 enum class WaitKind { kNone, kCts, kAck };
 
+// ---- border exchange (conservative time) ----
+//
+// Zero propagation delay makes the true lookahead of this model zero,
+// so border mode *defines* cross-tile influence — ambient power, NAV,
+// interference on ongoing receptions — to act exactly `delay_s` (the
+// plan's lookahead) after the transmission event that caused it, while
+// intra-tile influence stays immediate. That uniform delay is part of
+// the model's semantics, not an approximation knob: the fused reference
+// (one engine over every tile, same delayed records) and the per-tile
+// lockstep run implement the *same* model and agree bitwise.
+
+/// One transmission's influence on one neighboring tile. Emitted at TX
+/// start (the end time is already determined then), routed between
+/// epochs, expanded by the receiver into a start record applied at
+/// `start_s + delay` and an end record at `(start_s + duration_s) +
+/// delay` — the identical floating-point expressions the fused engine
+/// evaluates, so both modes schedule the identical apply times.
+struct BorderMsg {
+  std::uint32_t origin = 0;       // global node id of the transmitter
+  std::uint32_t target_tile = 0;  // shard the influence lands in
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double nav_until_s = 0.0;
+};
+
+/// How an Engine participates in border exchange (all defaults = the
+/// legacy component-sharded behavior, untouched).
+struct BorderMode {
+  bool enabled = false;  ///< delayed cross-tile influence semantics
+  bool fused = false;    ///< one engine simulates every tile (reference)
+  double delay_s = 0.0;  ///< = ShardPlan::lookahead_s
+  /// Root for the per-entity RNG streams border mode uses instead of
+  /// the shared sequential Rng (per-node MAC backoff, per-node
+  /// reception, per-flow arrivals/fading, per-pair shadowing) so fused
+  /// and per-tile runs consume identical randomness.
+  std::uint64_t root_seed = 0;
+};
+
 /// Subtracts an interferer's power from a running sum. Incremental
 /// add/subtract leaves rounding residues, so the result can dip below
 /// zero legitimately — but only by an amount set by machine epsilon and
@@ -91,13 +133,36 @@ void subtract_clamped(double& sum_w, double term_w, double peak_w,
 /// striding over cold per-station protocol state.
 class Engine {
  public:
+  /// A pending remote-influence record (border mode). Declared up top so
+  /// member-function parameter lists can name it.
+  struct InfluenceRec {
+    std::uint32_t origin;     // global node id of the transmitter
+    std::uint32_t tile;       // target tile (sort key; fused spans many)
+    std::uint8_t kind;        // 0 = start, 1 = end
+    double nav_until_s;       // end records carry the duration promise
+  };
+
   Engine(const NetworkConfig& config, const std::vector<NodeConfig>& nodes,
          const std::vector<Flow>& flows, const ShardPlan& plan,
          std::size_t shard, Rng& rng, obs::Registry* registry,
-         obs::TraceSink* trace, std::uint64_t frame_id_base)
-      : config_(config), rng_(rng), frame_id_base_(frame_id_base) {
+         obs::TraceSink* trace, std::uint64_t frame_id_base,
+         const BorderMode& border = {})
+      : config_(config),
+        rng_(rng),
+        frame_id_base_(frame_id_base),
+        border_(border) {
     timing_ = mac::mac_timing(config.generation);
-    const std::vector<std::uint32_t>& members = plan.shards[shard];
+    per_model_ = config.error_model.model == RxModel::kPerModel;
+    n_tiles_ = plan.shards.size();
+    // The fused border reference simulates every tile in one engine;
+    // everything else runs the members of its own shard.
+    std::vector<std::uint32_t> fused_members;
+    if (border_.enabled && border_.fused) {
+      fused_members.resize(nodes.size());
+      std::iota(fused_members.begin(), fused_members.end(), 0u);
+    }
+    const std::vector<std::uint32_t>& members =
+        border_.enabled && border_.fused ? fused_members : plan.shards[shard];
     n_ = members.size();
     node_id_.assign(members.begin(), members.end());
     std::vector<std::uint32_t> g2l(nodes.size(), kNil);
@@ -113,49 +178,132 @@ class Engine {
       cs_w_[l] = dbm_to_watt(node.cs_threshold_dbm);
     }
 
-    // Neighbor CSR restricted to the shard, with deterministic received
-    // powers per edge — the sparse replacement for the dense gain
-    // matrix. A member's plan row stays inside the component by
-    // definition, so every neighbor has a local index.
-    row_off_.assign(n_ + 1, 0);
-    std::size_t edges = 0;
-    for (std::size_t l = 0; l < n_; ++l) {
-      row_off_[l] = edges;
-      edges += plan.degree(node_id_[l]);
-    }
-    row_off_[n_] = edges;
-    row_nbr_.resize(edges);
-    row_gain_.resize(edges);
-    for (std::size_t l = 0; l < n_; ++l) {
-      const std::size_t g = node_id_[l];
-      std::size_t out = row_off_[l];
-      for (std::size_t e = plan.row_offset[g]; e < plan.row_offset[g + 1];
-           ++e, ++out) {
-        const std::uint32_t nbr_g = plan.nbr[e];
-        const std::uint32_t nbr_l = g2l[nbr_g];
-        check(nbr_l != kNil, "shard plan row escapes its component");
-        row_nbr_[out] = nbr_l;
-        const double d = std::max(
-            mesh::distance(nodes[g].position, nodes[nbr_g].position), 0.5);
-        row_gain_[out] = dbm_to_watt(nodes[g].tx_power_dbm -
-                                     config.pathloss.path_loss_db(d));
-      }
-    }
-    per_model_ = config.error_model.model == RxModel::kPerModel;
-    if (per_model_ && config.error_model.shadowing_sigma_db > 0.0) {
-      // Log-normal shadowing: one draw per coupled unordered pair, in
-      // ascending (i, j) order, applied to both directions (large-scale
-      // fading is reciprocal). On the unbounded plan every pair is
-      // coupled, so this is the legacy all-pairs draw sequence.
+    if (!border_.enabled) {
+      // Neighbor CSR restricted to the shard, with deterministic
+      // received powers per edge — the sparse replacement for the dense
+      // gain matrix. A member's plan row stays inside the component by
+      // definition, so every neighbor has a local index.
+      row_off_.assign(n_ + 1, 0);
+      std::size_t edges = 0;
       for (std::size_t l = 0; l < n_; ++l) {
-        for (std::size_t e = row_off_[l]; e < row_off_[l + 1]; ++e) {
-          const std::uint32_t m = row_nbr_[e];
-          if (m <= l) continue;
-          const double f = db_to_lin(
-              -rng.gaussian(0.0, config.error_model.shadowing_sigma_db));
-          row_gain_[e] *= f;
-          row_gain_[edge_index(m, static_cast<std::uint32_t>(l))] *= f;
+        row_off_[l] = edges;
+        edges += plan.degree(node_id_[l]);
+      }
+      row_off_[n_] = edges;
+      row_nbr_.resize(edges);
+      row_gain_.resize(edges);
+      for (std::size_t l = 0; l < n_; ++l) {
+        const std::size_t g = node_id_[l];
+        std::size_t out = row_off_[l];
+        for (std::size_t e = plan.row_offset[g]; e < plan.row_offset[g + 1];
+             ++e, ++out) {
+          const std::uint32_t nbr_g = plan.nbr[e];
+          const std::uint32_t nbr_l = g2l[nbr_g];
+          check(nbr_l != kNil, "shard plan row escapes its component");
+          row_nbr_[out] = nbr_l;
+          const double d = std::max(
+              mesh::distance(nodes[g].position, nodes[nbr_g].position), 0.5);
+          row_gain_[out] = dbm_to_watt(nodes[g].tx_power_dbm -
+                                       config.pathloss.path_loss_db(d));
         }
+      }
+      if (per_model_ && config.error_model.shadowing_sigma_db > 0.0) {
+        // Log-normal shadowing: one draw per coupled unordered pair, in
+        // ascending (i, j) order, applied to both directions (large-scale
+        // fading is reciprocal). On the unbounded plan every pair is
+        // coupled, so this is the legacy all-pairs draw sequence.
+        for (std::size_t l = 0; l < n_; ++l) {
+          for (std::size_t e = row_off_[l]; e < row_off_[l + 1]; ++e) {
+            const std::uint32_t m = row_nbr_[e];
+            if (m <= l) continue;
+            const double f = db_to_lin(
+                -rng.gaussian(0.0, config.error_model.shadowing_sigma_db));
+            row_gain_[e] *= f;
+            row_gain_[edge_index(m, static_cast<std::uint32_t>(l))] *= f;
+          }
+        }
+      }
+    } else {
+      // Border mode: the local CSR keeps only same-tile edges, so
+      // rx_power_w is exactly zero across tiles in every engine —
+      // cross-tile power arrives solely through delayed influence
+      // records, built from the cross tables below. Shadowing factors
+      // come from per-pair derived streams (keyed by global ids) so the
+      // fused reference and every per-tile engine compute the identical
+      // factor without a shared draw sequence.
+      const std::uint64_t shadow_root =
+          par::derive_seed(border_.root_seed, 4, 0);
+      const bool shadowed =
+          per_model_ && config.error_model.shadowing_sigma_db > 0.0;
+      auto pair_factor = [&](std::uint32_t a, std::uint32_t b) {
+        if (!shadowed) return 1.0;
+        if (b < a) std::swap(a, b);
+        Rng pr(par::derive_seed(shadow_root, a, b));
+        return db_to_lin(
+            -pr.gaussian(0.0, config.error_model.shadowing_sigma_db));
+      };
+      auto gain_w = [&](std::uint32_t from_g, std::uint32_t to_g) {
+        const double d = std::max(
+            mesh::distance(nodes[from_g].position, nodes[to_g].position),
+            0.5);
+        return dbm_to_watt(nodes[from_g].tx_power_dbm -
+                           config.pathloss.path_loss_db(d)) *
+               pair_factor(from_g, to_g);
+      };
+      row_off_.assign(n_ + 1, 0);
+      out_off_.assign(n_ + 1, 0);
+      std::unordered_map<std::uint64_t,
+                         std::vector<std::pair<std::uint32_t, double>>>
+          inbound_rows;
+      std::vector<std::uint32_t> out_scratch;
+      for (std::size_t l = 0; l < n_; ++l) {
+        row_off_[l] = row_nbr_.size();
+        out_off_[l] = out_tile_.size();
+        const std::size_t g = node_id_[l];
+        const std::uint32_t my_tile = plan.shard_of[g];
+        out_scratch.clear();
+        for (std::size_t e = plan.row_offset[g]; e < plan.row_offset[g + 1];
+             ++e) {
+          const std::uint32_t nbr_g = plan.nbr[e];
+          const std::uint32_t nbr_tile = plan.shard_of[nbr_g];
+          if (nbr_tile == my_tile) {
+            const std::uint32_t nbr_l = g2l[nbr_g];
+            check(nbr_l != kNil, "same-tile neighbor missing locally");
+            row_nbr_.push_back(nbr_l);
+            row_gain_.push_back(gain_w(static_cast<std::uint32_t>(g), nbr_g));
+          } else {
+            // Outbound: l's transmissions influence nbr_tile. Inbound:
+            // nbr_g's transmissions deposit power at l (ascending l per
+            // origin because the outer loop ascends).
+            out_scratch.push_back(nbr_tile);
+            inbound_rows[static_cast<std::uint64_t>(nbr_g) * n_tiles_ +
+                         my_tile]
+                .emplace_back(static_cast<std::uint32_t>(l),
+                              gain_w(nbr_g, static_cast<std::uint32_t>(g)));
+          }
+        }
+        std::sort(out_scratch.begin(), out_scratch.end());
+        out_scratch.erase(
+            std::unique(out_scratch.begin(), out_scratch.end()),
+            out_scratch.end());
+        out_tile_.insert(out_tile_.end(), out_scratch.begin(),
+                         out_scratch.end());
+      }
+      row_off_[n_] = row_nbr_.size();
+      out_off_[n_] = out_tile_.size();
+      inbound_flat_.reserve(inbound_rows.size());
+      for (auto& [key, row] : inbound_rows) {
+        inbound_[key] = Span{inbound_flat_.size(), row.size()};
+        inbound_flat_.insert(inbound_flat_.end(), row.begin(), row.end());
+      }
+      // Per-node RNG streams, keyed by global id (see BorderMode).
+      mac_rng_.reserve(n_);
+      rx_rng_.reserve(n_);
+      for (std::size_t l = 0; l < n_; ++l) {
+        mac_rng_.emplace_back(
+            par::derive_seed(border_.root_seed, 1, node_id_[l]));
+        rx_rng_.emplace_back(
+            par::derive_seed(border_.root_seed, 2, node_id_[l]));
       }
     }
 
@@ -200,6 +348,13 @@ class Engine {
     }
     n_flows_ = flow_id_.size();
     result_.flows.resize(n_flows_);
+    if (border_.enabled) {
+      arrival_rng_.reserve(n_flows_);
+      for (std::size_t f = 0; f < n_flows_; ++f) {
+        arrival_rng_.emplace_back(
+            par::derive_seed(border_.root_seed, 3, flow_id_[f]));
+      }
+    }
 
     // All counters live in a metrics registry (the caller's, if given);
     // NetworkResult is populated from it after the run. Per-flow labels
@@ -251,6 +406,12 @@ class Engine {
     rts_tx_ = &registry_->counter("net.rts_tx");
     rts_failures_ = &registry_->counter("net.rts_failures");
     simultaneous_starts_ = &registry_->counter("net.simultaneous_starts");
+    if (border_.enabled) {
+      // One count per (transmission, influenced tile); emitted at the
+      // same TX-start instants in fused and per-tile runs, so totals
+      // agree across modes and snapshots agree across --jobs.
+      border_msgs_ = &registry_->counter("net.border.msgs");
+    }
     for (std::size_t f = 0; f < n_flows_; ++f) {
       const std::vector<obs::Label> label{
           {"flow", std::to_string(flow_id_[f])}};
@@ -306,17 +467,26 @@ class Engine {
               ? mac::PhyGeneration::kOfdm
               : config.generation;
       models_.reserve(n_flows_);
+      const std::uint64_t flow_root =
+          border_.enabled ? par::derive_seed(border_.root_seed, 5, 0) : 0;
       for (std::size_t f = 0; f < n_flows_; ++f) {
+        // Border mode builds each flow's dictionaries from a per-flow
+        // derived stream (keyed by global flow id) so fused and
+        // per-tile engines freeze identical fading realizations.
+        std::optional<Rng> flow_rng;
+        if (border_.enabled)
+          flow_rng.emplace(par::derive_seed(flow_root, flow_id_[f], 0));
+        Rng& mrng = border_.enabled ? *flow_rng : rng_;
         FlowErrorModels m;
         m.data.reserve(data_rates_.size());
         for (const double rate : data_rates_) {
           m.data.emplace_back(config.generation, rate, data_mpdu,
-                              config.error_model, rng_);
+                              config.error_model, mrng);
         }
         m.ctrl_fwd = LinkPerModel(ctrl_gen, config.basic_rate_mbps,
-                                  mac::kRtsBytes, config.error_model, rng_);
+                                  mac::kRtsBytes, config.error_model, mrng);
         m.ctrl_rev = LinkPerModel(ctrl_gen, config.basic_rate_mbps,
-                                  mac::kAckBytes, config.error_model, rng_);
+                                  mac::kAckBytes, config.error_model, mrng);
         models_.push_back(std::move(m));
       }
     }
@@ -330,17 +500,50 @@ class Engine {
   NetworkResult run() {
     {
       const obs::perf::ScopedSpan span("net.events");
-      // Poisson arrival processes for non-saturated flows.
-      for (std::size_t f = 0; f < n_flows_; ++f) {
-        if (arrival_rate_[f] > 0.0) {
-          schedule_arrival(flow_src_[f], arrival_rate_[f]);
-        }
-      }
-      for (std::size_t n = 0; n < n_; ++n) {
-        maybe_start_countdown(n);
-      }
+      start();
       sched_.run_until(config_.duration_s);
     }
+    return finalize();
+  }
+
+  // ---- epoch-driver surface (the lockstep border driver calls these;
+  // run() composes the same phases for every single-engine mode) ----
+
+  /// Seeds arrivals and initial countdowns without running the clock.
+  void start() {
+    // Poisson arrival processes for non-saturated flows.
+    for (std::size_t f = 0; f < n_flows_; ++f) {
+      if (arrival_rate_[f] > 0.0) {
+        schedule_arrival(flow_src_[f], arrival_rate_[f]);
+      }
+    }
+    for (std::size_t n = 0; n < n_; ++n) {
+      maybe_start_countdown(n);
+    }
+  }
+
+  /// Runs events strictly before `t` (one epoch's private horizon).
+  std::size_t run_before(double t) { return sched_.run_before(t); }
+  /// Runs the final, inclusive round up to `t`.
+  std::size_t run_final(double t) { return sched_.run_until(t); }
+  /// Earliest pending event (+inf when drained); for epoch skipping.
+  double next_time() const { return sched_.next_time(); }
+  /// Border messages generated since the last drain (epoch driver only).
+  std::vector<BorderMsg>& outbox() { return outbox_; }
+
+  /// Expands a routed border message into its start/end records. Called
+  /// by the epoch driver between rounds; the apply times land at or
+  /// after the next epoch boundary by the lookahead's power-of-two
+  /// rounding guarantee, so they are always in this engine's future.
+  void inject_border(const BorderMsg& msg) {
+    add_influence(msg.start_s + border_.delay_s,
+                  InfluenceRec{msg.origin, msg.target_tile, 0, 0.0});
+    add_influence((msg.start_s + msg.duration_s) + border_.delay_s,
+                  InfluenceRec{msg.origin, msg.target_tile, 1,
+                               msg.nav_until_s});
+  }
+
+  NetworkResult finalize() {
     const obs::perf::ScopedSpan span("net.finalize");
     // Populate the result struct from the registry.
     result_.data_tx_count = data_tx_->value();
@@ -421,8 +624,21 @@ class Engine {
     if (auditor_) auditor_->record(e);
   }
 
+  // Border mode replaces the single sequential Rng with per-entity
+  // streams so the draw sequence does not depend on how nodes are split
+  // into engines; legacy modes keep the shared rng_ untouched.
+  Rng& mac_stream(std::size_t n) {
+    return border_.enabled ? mac_rng_[n] : rng_;
+  }
+  Rng& rx_stream(std::size_t n) {
+    return border_.enabled ? rx_rng_[n] : rng_;
+  }
+  Rng& arrival_stream(std::size_t n) {
+    return border_.enabled ? arrival_rng_[flow_of_[n]] : rng_;
+  }
+
   unsigned draw_backoff(std::size_t n) {
-    return static_cast<unsigned>(rng_.uniform_int(cw_[n] + 1));
+    return static_cast<unsigned>(mac_stream(n).uniform_int(cw_[n] + 1));
   }
 
   /// Data-frame airtime at station `n`'s current rate.
@@ -501,7 +717,8 @@ class Engine {
   }
 
   void schedule_arrival(std::size_t n, double rate_pps) {
-    sched_.schedule(rng_.exponential(1.0 / rate_pps), [this, n, rate_pps] {
+    sched_.schedule(arrival_stream(n).exponential(1.0 / rate_pps),
+                    [this, n, rate_pps] {
       queue_[n].push_back(sched_.now());
       emit(obs::EventType::kArrival, n, kNone, flow_of_[n],
            static_cast<double>(queue_[n].size()));
@@ -607,6 +824,146 @@ class Engine {
     });
   }
 
+  // ---- border influence (border_.enabled only) ----
+
+  /// Queues one influence unit per tile this transmission couples into.
+  /// Fused: the start/end records go straight onto the local influence
+  /// map. Per-tile: a BorderMsg goes to the outbox for the epoch driver
+  /// to route; the receiver expands it into the same two records with
+  /// the same floating-point apply times.
+  void queue_influence(std::size_t n, double duration_s, double end_s,
+                       double nav_until_s) {
+    const std::size_t b = out_off_[n];
+    const std::size_t e = out_off_[n + 1];
+    if (b == e) return;
+    const auto g = static_cast<std::uint32_t>(node_id_[n]);
+    for (std::size_t i = b; i < e; ++i) {
+      const std::uint32_t tile = out_tile_[i];
+      border_msgs_->add();
+      if (border_.fused) {
+        add_influence(sched_.now() + border_.delay_s,
+                      InfluenceRec{g, tile, 0, 0.0});
+        add_influence(end_s + border_.delay_s,
+                      InfluenceRec{g, tile, 1, nav_until_s});
+      } else {
+        outbox_.push_back(
+            BorderMsg{g, tile, sched_.now(), duration_s, nav_until_s});
+      }
+    }
+  }
+
+  void add_influence(double w, const InfluenceRec& rec) {
+    auto [it, inserted] = influence_.try_emplace(w);
+    it->second.push_back(rec);
+    // One urgent apply event per distinct time: influence lands before
+    // any normal event at the same instant, in every execution mode.
+    if (inserted) {
+      sched_.schedule_at_urgent(w, [this, w] { apply_influence(w); });
+    }
+  }
+
+  /// Applies every influence record stamped `w` in the canonical
+  /// (origin, kind, tile) order — a strict total order, since a node's
+  /// transmissions never share a start or an end instant — so ambient
+  /// and interference sums see the identical operation sequence in the
+  /// fused and per-tile runs. Affected nodes then re-evaluate their
+  /// medium ascending, with the same fire discipline as
+  /// update_medium_set.
+  void apply_influence(double w) {
+    const auto found = influence_.find(w);
+    check(found != influence_.end(), "influence records lost");
+    std::vector<InfluenceRec> recs = std::move(found->second);
+    influence_.erase(found);
+    std::sort(recs.begin(), recs.end(),
+              [](const InfluenceRec& a, const InfluenceRec& b) {
+                if (a.origin != b.origin) return a.origin < b.origin;
+                if (a.kind != b.kind) return a.kind < b.kind;
+                return a.tile < b.tile;
+              });
+    affected_.clear();
+    for (const InfluenceRec& rec : recs) {
+      const auto span = inbound_.find(
+          static_cast<std::uint64_t>(rec.origin) * n_tiles_ + rec.tile);
+      check(span != inbound_.end(), "border influence without inbound edges");
+      const std::size_t off = span->second.off;
+      const std::size_t len = span->second.len;
+      if (rec.kind == 0) {
+        for (std::size_t i = off; i < off + len; ++i) {
+          const auto [m, gain] = inbound_flat_[i];
+          ambient_w_[m] += gain;
+          ambient_peak_w_[m] = std::max(ambient_peak_w_[m], ambient_w_[m]);
+        }
+      } else {
+        for (std::size_t i = off; i < off + len; ++i) {
+          const auto [m, gain] = inbound_flat_[i];
+          subtract_clamped(ambient_w_[m], gain, ambient_peak_w_[m],
+                           "remote ambient power went negative");
+        }
+      }
+      // Ongoing receptions addressed inside the span gain or lose the
+      // remote interference (insertion-order walk, like the local one).
+      for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+        Transmission& other = slots_[s];
+        if (other.dest == kNone) continue;
+        const double gain = span_gain(off, len, other.dest);
+        if (gain <= 0.0) continue;
+        if (rec.kind == 0) {
+          other.current_interference_w += gain;
+          other.worst_interference_w = std::max(other.worst_interference_w,
+                                                other.current_interference_w);
+        } else {
+          subtract_clamped(other.current_interference_w, gain,
+                           std::max(other.worst_interference_w,
+                                    ambient_peak_w_[other.dest]),
+                           "remote reception interference went negative");
+        }
+      }
+      // Remote NAV from the transmission's duration field, applied at
+      // the end record like the local overhear path. Already-expired
+      // promises are skipped (deterministically — the record carries
+      // the same values in both modes).
+      if (rec.kind == 1 && rec.nav_until_s > w) {
+        for (std::size_t i = off; i < off + len; ++i) {
+          const auto [m, gain] = inbound_flat_[i];
+          if (gain >= cs_w_[m] && rec.nav_until_s > nav_until_[m]) {
+            nav_until_[m] = rec.nav_until_s;
+            emit(obs::EventType::kNavSet, m, kNone, kNone, rec.nav_until_s,
+                 "REMOTE");
+            arm_nav_wakeup(m);
+          }
+        }
+      }
+      for (std::size_t i = off; i < off + len; ++i)
+        affected_.push_back(inbound_flat_[i].first);
+    }
+    std::sort(affected_.begin(), affected_.end());
+    affected_.erase(std::unique(affected_.begin(), affected_.end()),
+                    affected_.end());
+    const std::size_t depth = fire_depth_++;
+    if (fire_pool_.size() <= depth) fire_pool_.emplace_back();
+    fire_pool_[depth].clear();
+    for (const std::uint32_t m : affected_) visit_medium(m, depth);
+    simultaneous_starts_->add(fire_pool_[depth].size());
+    for (const std::uint32_t m : fire_pool_[depth]) {
+      emit(obs::EventType::kCollision, m, kNone, flow_of_[m], 0.0);
+      begin_exchange(m);
+    }
+    --fire_depth_;
+  }
+
+  /// Binary search of an inbound span (ascending local node) for `dest`.
+  double span_gain(std::size_t off, std::size_t len, std::size_t dest) const {
+    const auto begin = inbound_flat_.begin() + static_cast<std::ptrdiff_t>(off);
+    const auto end = begin + static_cast<std::ptrdiff_t>(len);
+    const auto it = std::lower_bound(
+        begin, end, dest,
+        [](const std::pair<std::uint32_t, double>& p, std::size_t d) {
+          return p.first < d;
+        });
+    if (it == end || it->first != dest) return 0.0;
+    return it->second;
+  }
+
   // ---- transmissions ----
 
   void start_transmission(std::size_t n, std::size_t dest,
@@ -646,6 +1003,7 @@ class Engine {
     }
     emit(obs::EventType::kTxStart, n, dest, flow, duration_s,
          frame_name(kind), t.id);
+    if (border_.enabled) queue_influence(n, duration_s, t.end_s, nav_until_s);
     const std::size_t id = t.id;
     const std::uint32_t slot = push_active(t);
     // Fold this signal into the running ambient sums of every neighbor
@@ -718,9 +1076,10 @@ class Engine {
           // table is already scaled to this frame type's PSDU size),
           // survive a Bernoulli draw.
           const LinkPerModel& model = model_for(t);
+          Rng& rx_rng = rx_stream(t.dest);
           const auto realization = static_cast<std::size_t>(
-              rng_.uniform_int(model.realizations()));
-          delivered = !rng_.bernoulli(model.per(sinr_db, realization));
+              rx_rng.uniform_int(model.realizations()));
+          delivered = !rx_rng.bernoulli(model.per(sinr_db, realization));
         }
       } else {
         const double required = t.kind == mac::FrameType::kData
@@ -1025,6 +1384,29 @@ class Engine {
   };
   std::vector<RateStats> rate_stats_;
   NetworkResult result_;
+  // ---- border exchange (border_.enabled only; empty otherwise) ----
+  BorderMode border_;
+  std::size_t n_tiles_ = 0;
+  struct Span {
+    std::size_t off = 0;
+    std::size_t len = 0;
+  };
+  /// (origin global id * n_tiles + target tile) -> span of
+  /// (local node, received power W), ascending by local node.
+  std::unordered_map<std::uint64_t, Span> inbound_;
+  std::vector<std::pair<std::uint32_t, double>> inbound_flat_;
+  /// Per local node: the tiles its transmissions influence (CSR).
+  std::vector<std::size_t> out_off_;
+  std::vector<std::uint32_t> out_tile_;
+  /// Pending influence by apply time; one urgent event armed per key.
+  std::map<double, std::vector<InfluenceRec>> influence_;
+  std::vector<BorderMsg> outbox_;
+  std::vector<std::uint32_t> affected_;  // apply-time scratch
+  // Per-entity RNG streams (see BorderMode::root_seed).
+  std::vector<Rng> mac_rng_;
+  std::vector<Rng> rx_rng_;
+  std::vector<Rng> arrival_rng_;
+  obs::Counter* border_msgs_ = nullptr;
 };
 
 void validate_network(const std::vector<NodeConfig>& nodes,
@@ -1104,6 +1486,238 @@ void merge_lifecycle(NetworkResult::LifecycleResult& into,
     into.flight_recorder_json = part.flight_recorder_json;
 }
 
+/// One shard engine's complete output, ready for shard-order assembly.
+struct ShardOutput {
+  NetworkResult result;
+  std::unique_ptr<obs::Registry> registry;
+  std::vector<std::size_t> node_ids;
+  std::vector<std::size_t> flow_ids;
+};
+
+/// Shard-order assembly shared by the component sweep and the border
+/// driver: scalar sums, global slot placement for per-flow stats,
+/// registry merge (merge order — not thread schedule — defines gauges
+/// and instrument creation order).
+NetworkResult merge_shard_outputs(const NetworkConfig& config,
+                                  std::size_t n_nodes, std::size_t n_flows,
+                                  const std::vector<ShardOutput>& outputs) {
+  const std::size_t n_shards = outputs.size();
+  NetworkResult total;
+  total.flows.resize(n_flows);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const ShardOutput& out = outputs[s];
+    const NetworkResult& r = out.result;
+    for (std::size_t i = 0; i < out.flow_ids.size(); ++i)
+      total.flows[out.flow_ids[i]] = r.flows[i];
+    total.total_delivered += r.total_delivered;
+    total.data_tx_count += r.data_tx_count;
+    total.data_failures += r.data_failures;
+    total.rts_tx_count += r.rts_tx_count;
+    total.rts_failures += r.rts_failures;
+    total.simultaneous_starts += r.simultaneous_starts;
+    if (config.airtime) {
+      merge_airtime(total.airtime, r.airtime, out.node_ids, out.flow_ids,
+                    n_nodes, n_flows);
+    }
+    if (config.lifecycle.enabled) {
+      merge_lifecycle(total.lifecycle, r.lifecycle, out.flow_ids, n_flows, s);
+    }
+    if (config.registry) config.registry->merge(*out.registry);
+  }
+  // Summed in global flow order — the exact FP order a fused engine
+  // over the same nodes uses, so border mode matches its reference
+  // bitwise (per-shard partial sums would differ in the low bits).
+  for (const FlowStats& fs : total.flows)
+    total.aggregate_throughput_mbps += fs.throughput_mbps;
+  if (config.lifecycle.enabled) {
+    // collision_rate accumulated per-shard rates; report the mean. The
+    // stationarity hint is recomputed over the merged goodput series.
+    obs::LifecycleSeries& series = total.lifecycle.series;
+    for (double& c : series.collision_rate)
+      c /= static_cast<double>(n_shards);
+    const std::size_t n = series.goodput_mbps.size();
+    if (n >= 2) {
+      const std::size_t half = n / 2;
+      double first = 0.0;
+      double second = 0.0;
+      for (std::size_t w = 0; w < half; ++w) first += series.goodput_mbps[w];
+      for (std::size_t w = half; w < n; ++w) second += series.goodput_mbps[w];
+      first /= static_cast<double>(half);
+      second /= static_cast<double>(n - half);
+      series.stationarity_ratio = first > 0.0 ? second / first : 1.0;
+    }
+  }
+  return total;
+}
+
+/// Conservative-time lockstep driver over coupled spatial tiles.
+///
+/// Per-tile engines each simulate their private horizon [t, t+L) — one
+/// parallel_for call per round IS the epoch barrier — then the driver,
+/// single-threaded, routes every outbox in ascending tile order into
+/// the target engines' influence maps. L is the plan's lookahead:
+/// influence stamped inside round k applies at or after boundary
+/// (k+1)*L, so everything a round needs was already routed when it
+/// starts, and the message order seen by any engine is a pure function
+/// of the plan — bitwise identical at any jobs count, and identical to
+/// the fused reference engine that queues the same records locally.
+NetworkResult run_border_exchange(const NetworkConfig& config,
+                                  const std::vector<NodeConfig>& nodes,
+                                  const std::vector<Flow>& flows,
+                                  const ShardPlan& plan,
+                                  const ShardOptions& options,
+                                  std::uint64_t root) {
+  const std::size_t n_tiles = plan.shards.size();
+  const double lookahead = plan.lookahead_s;
+  check(lookahead > 0.0, "border plan carries no lookahead");
+
+  std::optional<obs::SynchronizedTraceSink> synced;
+  if (config.trace) synced.emplace(*config.trace);
+
+  par::ThreadPool pool(options.jobs == 0 ? par::default_jobs()
+                                         : options.jobs);
+  const unsigned lanes = pool.size();
+
+  BorderMode mode;
+  mode.enabled = true;
+  mode.delay_s = lookahead;
+  mode.root_seed = root;
+
+  // Border engines draw only from derived per-entity streams, so
+  // construction commutes and can run on the pool. The per-engine Rngs
+  // exist only to satisfy the constructor reference; never drawn.
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(n_tiles);
+  for (std::size_t s = 0; s < n_tiles; ++s)
+    shard_rngs.emplace_back(par::derive_seed(root, s, 0));
+  std::vector<ShardOutput> outputs(n_tiles);
+  std::vector<std::unique_ptr<Engine>> engines(n_tiles);
+  const std::uint64_t setup0 = par::detail::monotonic_ns();
+  {
+    const obs::perf::ScopedSpan span("net.setup");
+    pool.parallel_for(n_tiles, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t s = b; s < e; ++s) {
+        outputs[s].registry = std::make_unique<obs::Registry>();
+        engines[s] = std::make_unique<Engine>(
+            config, nodes, flows, plan, s, shard_rngs[s],
+            outputs[s].registry.get(), synced ? &*synced : nullptr,
+            static_cast<std::uint64_t>(s) << 40, mode);
+      }
+    });
+  }
+  const double setup_s =
+      static_cast<double>(par::detail::monotonic_ns() - setup0) * 1e-9;
+
+  par::EpochStats epochs;
+  std::vector<double> busy_s(n_tiles, 0.0);
+  std::uint64_t messages = 0;
+  std::size_t rounds = 0;
+  {
+    const obs::perf::ScopedSpan span("net.events");
+    for (std::size_t s = 0; s < n_tiles; ++s) engines[s]->start();
+    // Chunk several tiles per task: thousands of rounds of per-tile
+    // dispatch would otherwise eat the speedup in queue traffic.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, n_tiles / (8 * static_cast<std::size_t>(
+                                                    std::max(1u, lanes))));
+    const auto n_full = static_cast<std::size_t>(
+        std::floor(config.duration_s / lookahead));
+    std::size_t k = 0;
+    for (;;) {
+      const bool final_round = k >= n_full;
+      const double bound = final_round
+                               ? config.duration_s
+                               : static_cast<double>(k + 1) * lookahead;
+      const std::uint64_t wall0 = par::detail::monotonic_ns();
+      pool.parallel_for(n_tiles, chunk, [&](std::size_t b, std::size_t e) {
+        for (std::size_t s = b; s < e; ++s) {
+          const std::uint64_t t0 = par::detail::monotonic_ns();
+          if (final_round) {
+            engines[s]->run_final(bound);
+          } else {
+            engines[s]->run_before(bound);
+          }
+          busy_s[s] = static_cast<double>(par::detail::monotonic_ns() - t0) *
+                      1e-9;
+        }
+      });
+      epochs.record_round(
+          static_cast<double>(par::detail::monotonic_ns() - wall0) * 1e-9,
+          busy_s.data(), n_tiles);
+      ++rounds;
+      if (final_round) break;
+      // Route in ascending tile order, each outbox in generation order:
+      // the delivery sequence every engine sees is schedule-independent.
+      bool any = false;
+      for (std::size_t s = 0; s < n_tiles; ++s) {
+        for (const BorderMsg& msg : engines[s]->outbox()) {
+          engines[msg.target_tile]->inject_border(msg);
+          ++messages;
+          any = true;
+        }
+        engines[s]->outbox().clear();
+      }
+      if (any) {
+        ++k;
+        continue;
+      }
+      // Idle skip: nothing is in flight and run_before drained every
+      // event below the boundary, so the earliest pending event bounds
+      // the next epoch that can do work. Messages travel exactly one
+      // epoch, so skipping empty ones cannot reorder anything.
+      double min_next = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < n_tiles; ++s)
+        min_next = std::min(min_next, engines[s]->next_time());
+      std::size_t k_next = k + 1;
+      if (std::isfinite(min_next)) {
+        const double r = std::floor(min_next / lookahead);
+        if (r >= static_cast<double>(n_full)) {
+          k_next = n_full;
+        } else if (r > static_cast<double>(k + 1)) {
+          k_next = static_cast<std::size_t>(r);
+        }
+      } else {
+        k_next = n_full;
+      }
+      k = k_next;
+    }
+  }
+
+  // Finalize commutes: each engine folds only its own state into its
+  // private registry, so the tiles can drain on the pool.
+  const std::uint64_t fin0 = par::detail::monotonic_ns();
+  {
+    const obs::perf::ScopedSpan span("net.finalize");
+    pool.parallel_for(n_tiles, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t s = b; s < e; ++s) {
+        outputs[s].result = engines[s]->finalize();
+        outputs[s].node_ids = engines[s]->node_ids();
+        outputs[s].flow_ids = engines[s]->flow_ids();
+        engines[s].reset();
+      }
+    });
+  }
+  const double finalize_s =
+      static_cast<double>(par::detail::monotonic_ns() - fin0) * 1e-9;
+  const std::uint64_t merge0 = par::detail::monotonic_ns();
+  NetworkResult total =
+      merge_shard_outputs(config, nodes.size(), flows.size(), outputs);
+  total.border.tiles = n_tiles;
+  total.border.epochs = rounds;
+  total.border.messages = messages;
+  total.border.lookahead_s = lookahead;
+  total.border.wall_s = epochs.wall_s;
+  total.border.utilization = epochs.utilization(lanes);
+  total.border.imbalance = epochs.imbalance();
+  total.border.setup_s = setup_s;
+  total.border.busy_s = epochs.busy_s;
+  total.border.critical_path_s = epochs.max_busy_s;
+  total.border.finalize_s = finalize_s;
+  total.border.merge_s =
+      static_cast<double>(par::detail::monotonic_ns() - merge0) * 1e-9;
+  return total;
+}
+
 }  // namespace
 
 NetworkResult simulate_network(const NetworkConfig& config,
@@ -1133,12 +1747,55 @@ NetworkResult simulate_network_sharded(const NetworkConfig& config,
   ShardPlan local_plan;
   if (!plan) {
     const obs::perf::ScopedSpan span("net.plan");
-    local_plan = plan_shards(config, nodes, options);
+    local_plan = plan_shards(config, nodes, options, &flows);
     plan = &local_plan;
   }
-  for (const Flow& f : flows) {
-    check(plan->shard_of[f.source] == plan->shard_of[f.destination],
-          "flow endpoints fall in different shards; widen cutoff_margin_db");
+
+  if (plan->border) {
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      check(plan->shard_of[flows[f].source] ==
+                plan->shard_of[flows[f].destination],
+            "border plan left flow " + std::to_string(f) +
+                " crossing tiles; pass the flows to plan_shards so "
+                "endpoint clusters share a tile");
+    }
+    // The same single draw as the component sweep: both paths consume
+    // one u64 from the caller's rng, so switching modes never shifts
+    // the caller's stream.
+    const std::uint64_t root = rng.next_u64();
+    if (options.border_reference || plan->shards.size() == 1) {
+      // Fused reference: one engine over every tile, same derived
+      // per-entity streams, influence records looped back locally —
+      // the bitwise ground truth for the lockstep exchange.
+      BorderMode mode;
+      mode.enabled = true;
+      mode.fused = true;
+      mode.delay_s = plan->lookahead_s;
+      mode.root_seed = root;
+      std::optional<Engine> engine;
+      {
+        const obs::perf::ScopedSpan span("net.setup");
+        engine.emplace(config, nodes, flows, *plan, 0, rng, config.registry,
+                       config.trace, 0, mode);
+      }
+      NetworkResult result = engine->run();
+      result.border.tiles = plan->shards.size();
+      result.border.lookahead_s = plan->lookahead_s;
+      return result;
+    }
+    return run_border_exchange(config, nodes, flows, *plan, options, root);
+  }
+
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const Flow& flow = flows[f];
+    check(plan->shard_of[flow.source] == plan->shard_of[flow.destination],
+          "flow " + std::to_string(f) + " (" + std::to_string(flow.source) +
+              " -> " + std::to_string(flow.destination) +
+              ") spans shards " +
+              std::to_string(plan->shard_of[flow.source]) + " and " +
+              std::to_string(plan->shard_of[flow.destination]) +
+              "; component sharding cannot couple them — widen "
+              "cutoff_margin_db or enable ShardOptions::border");
   }
 
   const std::size_t n_shards = plan->shards.size();
@@ -1158,13 +1815,6 @@ NetworkResult simulate_network_sharded(const NetworkConfig& config,
   // never touched from two threads at once.
   std::optional<obs::SynchronizedTraceSink> synced;
   if (config.trace) synced.emplace(*config.trace);
-
-  struct ShardOutput {
-    NetworkResult result;
-    std::unique_ptr<obs::Registry> registry;
-    std::vector<std::size_t> node_ids;
-    std::vector<std::size_t> flow_ids;
-  };
 
   // One derived Rng per shard from a single root draw — the sweep is a
   // pure function of the caller's rng state and the plan, bitwise
@@ -1190,52 +1840,7 @@ NetworkResult simulate_network_sharded(const NetworkConfig& config,
         return out;
       });
 
-  // Shard-order assembly: scalar sums, global slot placement for
-  // per-flow stats, registry merge (merge order — not thread schedule —
-  // defines gauges and instrument creation order).
-  NetworkResult total;
-  total.flows.resize(flows.size());
-  for (std::size_t s = 0; s < n_shards; ++s) {
-    const ShardOutput& out = outputs[s];
-    const NetworkResult& r = out.result;
-    for (std::size_t i = 0; i < out.flow_ids.size(); ++i)
-      total.flows[out.flow_ids[i]] = r.flows[i];
-    total.total_delivered += r.total_delivered;
-    total.aggregate_throughput_mbps += r.aggregate_throughput_mbps;
-    total.data_tx_count += r.data_tx_count;
-    total.data_failures += r.data_failures;
-    total.rts_tx_count += r.rts_tx_count;
-    total.rts_failures += r.rts_failures;
-    total.simultaneous_starts += r.simultaneous_starts;
-    if (config.airtime) {
-      merge_airtime(total.airtime, r.airtime, out.node_ids, out.flow_ids,
-                    nodes.size(), flows.size());
-    }
-    if (config.lifecycle.enabled) {
-      merge_lifecycle(total.lifecycle, r.lifecycle, out.flow_ids,
-                      flows.size(), s);
-    }
-    if (config.registry) config.registry->merge(*out.registry);
-  }
-  if (config.lifecycle.enabled) {
-    // collision_rate accumulated per-shard rates; report the mean. The
-    // stationarity hint is recomputed over the merged goodput series.
-    obs::LifecycleSeries& series = total.lifecycle.series;
-    for (double& c : series.collision_rate)
-      c /= static_cast<double>(n_shards);
-    const std::size_t n = series.goodput_mbps.size();
-    if (n >= 2) {
-      const std::size_t half = n / 2;
-      double first = 0.0;
-      double second = 0.0;
-      for (std::size_t w = 0; w < half; ++w) first += series.goodput_mbps[w];
-      for (std::size_t w = half; w < n; ++w) second += series.goodput_mbps[w];
-      first /= static_cast<double>(half);
-      second /= static_cast<double>(n - half);
-      series.stationarity_ratio = first > 0.0 ? second / first : 1.0;
-    }
-  }
-  return total;
+  return merge_shard_outputs(config, nodes.size(), flows.size(), outputs);
 }
 
 std::vector<NetworkResult> simulate_network_batch(

@@ -162,6 +162,28 @@ struct NetworkResult {
     std::string flight_recorder_json;
   };
   LifecycleResult lifecycle;
+  /// Border-exchange bookkeeping (populated only by border-mode runs of
+  /// `simulate_network_sharded`; see net/shard.h).
+  struct BorderStats {
+    std::size_t tiles = 0;        ///< spatial shards run in lockstep
+    std::size_t epochs = 0;       ///< lockstep rounds actually executed
+    std::uint64_t messages = 0;   ///< border messages routed (deterministic)
+    double lookahead_s = 0.0;     ///< epoch length used
+    // Wall-clock epoch telemetry — NOT deterministic; never compare
+    // across runs or fold into gated metrics.
+    double wall_s = 0.0;          ///< total time inside epoch barriers
+    double utilization = 0.0;     ///< busy / (wall * lanes), 0..1
+    double imbalance = 0.0;       ///< per-round max/mean shard busy
+    double setup_s = 0.0;         ///< engine construction (parallel)
+    double finalize_s = 0.0;      ///< per-tile finalize (parallel)
+    double merge_s = 0.0;         ///< serial shard-order merge
+    double busy_s = 0.0;          ///< summed per-tile epoch busy time
+    /// Summed per-round slowest-tile times: the lockstep schedule's
+    /// critical path. busy_s / critical_path_s is the speedup an
+    /// unlimited-core host could extract from this schedule.
+    double critical_path_s = 0.0;
+  };
+  BorderStats border;
   /// Fraction of *data* frames lost — the expensive failures; RTS losses
   /// cost only a 20-byte frame.
   double data_failure_rate() const {

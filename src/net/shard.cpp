@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "mac/timing.h"
 
 namespace wlan::net {
 namespace {
@@ -57,11 +58,21 @@ class UnionFind {
   std::vector<std::uint32_t> parent_;
 };
 
+/// Largest power of two <= x. Epoch boundaries k * lookahead must be
+/// exact doubles so that a record stamped at u >= j*L, once delayed by
+/// L, can never round below the (j+1)*L boundary (monotone rounding of
+/// u + L with L a power of two guarantees fl(u + L) >= (j+1)*L).
+double pow2_floor(double x) {
+  check(x > 0.0 && std::isfinite(x), "pow2_floor needs a finite positive x");
+  return std::exp2(std::floor(std::log2(x)));
+}
+
 }  // namespace
 
 ShardPlan plan_shards(const NetworkConfig& config,
                       const std::vector<NodeConfig>& nodes,
-                      const ShardOptions& options) {
+                      const ShardOptions& options,
+                      const std::vector<Flow>* flows) {
   const std::size_t n = nodes.size();
   check(n >= 1, "plan_shards needs at least one node");
   check(n < std::numeric_limits<std::uint32_t>::max(),
@@ -167,21 +178,106 @@ ShardPlan plan_shards(const NetworkConfig& config,
   for (std::size_t i = 0; i < n; ++i)
     plan.nbr.insert(plan.nbr.end(), rows[i].begin(), rows[i].end());
 
-  // Connected components = shards, numbered by smallest member.
-  UnionFind uf(n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t e = plan.row_offset[i]; e < plan.row_offset[i + 1]; ++e)
-      uf.unite(static_cast<std::uint32_t>(i), plan.nbr[e]);
-  plan.shard_of.assign(n, 0);
-  std::unordered_map<std::uint32_t, std::uint32_t> shard_index;
-  shard_index.reserve(64);
+  if (!options.border) {
+    // Connected components = shards, numbered by smallest member.
+    UnionFind uf(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t e = plan.row_offset[i]; e < plan.row_offset[i + 1];
+           ++e)
+        uf.unite(static_cast<std::uint32_t>(i), plan.nbr[e]);
+    plan.shard_of.assign(n, 0);
+    std::unordered_map<std::uint32_t, std::uint32_t> shard_index;
+    shard_index.reserve(64);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t root = uf.find(static_cast<std::uint32_t>(i));
+      auto [it, inserted] = shard_index.emplace(
+          root, static_cast<std::uint32_t>(plan.shards.size()));
+      if (inserted) plan.shards.emplace_back();
+      plan.shard_of[i] = it->second;
+      plan.shards[it->second].push_back(static_cast<std::uint32_t>(i));
+    }
+  } else {
+    // Border mode: uniform spatial tiles, coupled across boundaries.
+    plan.border = true;
+    const double border_tile =
+        options.border_tile_m > 0.0 ? options.border_tile_m
+                                    : plan.cutoff_radius_m;
+    check(std::isfinite(border_tile) && border_tile > 0.0,
+          "border mode needs a finite tile: set border_tile_m or use a "
+          "finite cutoff_margin_db");
+    const double inv_border = 1.0 / border_tile;
+    auto tile_of = [inv_border](const mesh::Point& p) {
+      return CellKey{
+          static_cast<std::int64_t>(std::floor(p.x * inv_border)),
+          static_cast<std::int64_t>(std::floor(p.y * inv_border))};
+    };
+    // Flow endpoints (and, transitively, flows sharing endpoints) must
+    // land in one tile: every node of a flow-connected cluster adopts
+    // the tile of the cluster's smallest member.
+    UnionFind cluster(n);
+    if (flows) {
+      for (const Flow& f : *flows)
+        cluster.unite(static_cast<std::uint32_t>(f.source),
+                      static_cast<std::uint32_t>(f.destination));
+    }
+    plan.shard_of.assign(n, 0);
+    std::unordered_map<CellKey, std::uint32_t, CellHash> tile_index;
+    tile_index.reserve(256);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t rep = cluster.find(static_cast<std::uint32_t>(i));
+      const CellKey key = tile_of(nodes[rep].position);
+      auto [it, inserted] = tile_index.emplace(
+          key, static_cast<std::uint32_t>(plan.shards.size()));
+      if (inserted) plan.shards.emplace_back();
+      plan.shard_of[i] = it->second;
+      plan.shards[it->second].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // Lookahead: the minimum cross-border reaction time of a NAV or
+    // interference change — one slot (the fastest a station acts on new
+    // channel state) plus the shortest cross-tile coupled distance at
+    // the speed of light — rounded down to a power of two (see
+    // pow2_floor). A user-supplied delay is rounded the same way.
+    double min_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t e = plan.row_offset[i]; e < plan.row_offset[i + 1];
+           ++e) {
+        const std::uint32_t j = plan.nbr[e];
+        if (plan.shard_of[i] == plan.shard_of[j]) continue;
+        const double d = std::max(
+            mesh::distance(nodes[i].position, nodes[j].position), 0.5);
+        min_d = std::min(min_d, d);
+      }
+    }
+    plan.min_border_m = std::isfinite(min_d) ? min_d : 0.0;
+    const double slot_s = mac::mac_timing(config.generation).slot_s;
+    const double phys =
+        options.border_delay_s > 0.0
+            ? options.border_delay_s
+            : slot_s + plan.min_border_m / kSpeedOfLight;
+    plan.lookahead_s = pow2_floor(phys);
+  }
+
+  // Per-shard load estimates: nodes, flows, and neighbor-pair counts
+  // (directed CSR edges, split into same-shard and cross-shard).
+  plan.load.assign(plan.shards.size(), ShardLoad{});
+  for (std::size_t s = 0; s < plan.shards.size(); ++s)
+    plan.load[s].nodes = plan.shards[s].size();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint32_t root = uf.find(static_cast<std::uint32_t>(i));
-    auto [it, inserted] = shard_index.emplace(
-        root, static_cast<std::uint32_t>(plan.shards.size()));
-    if (inserted) plan.shards.emplace_back();
-    plan.shard_of[i] = it->second;
-    plan.shards[it->second].push_back(static_cast<std::uint32_t>(i));
+    ShardLoad& l = plan.load[plan.shard_of[i]];
+    for (std::size_t e = plan.row_offset[i]; e < plan.row_offset[i + 1]; ++e) {
+      if (plan.shard_of[plan.nbr[e]] == plan.shard_of[i])
+        ++l.intra_edges;
+      else
+        ++l.border_edges;
+    }
+  }
+  if (flows) {
+    for (const Flow& f : *flows) {
+      check(f.source < n && f.destination < n,
+            "plan_shards: flow endpoint out of range");
+      ++plan.load[plan.shard_of[f.source]].flows;
+    }
   }
   return plan;
 }

@@ -30,6 +30,19 @@
 // coupled, the plan is one shard, and the engine reproduces the
 // monolithic simulation exactly — `simulate_network` itself runs on
 // that degenerate plan.
+//
+// Border mode (`ShardOptions::border`) handles the case components
+// cannot: one giant connected deployment. Instead of components, nodes
+// are tiled into uniform spatial shards whose coupling edges may cross
+// tile boundaries. Per-tile engines then run in conservative-time
+// lockstep epochs of length `ShardPlan::lookahead_s`, exchanging
+// cross-tile influence (ambient power, NAV, interference) through
+// border messages applied one epoch later in a canonical order — see
+// DESIGN.md "Border exchange & conservative time". The lookahead is the
+// minimum cross-border reaction time of a NAV/interference change: one
+// slot (the fastest a station can act on new channel state) plus the
+// shortest cross-tile coupled distance over the speed of light, rounded
+// down to a power of two so epoch boundaries are exact doubles.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +63,35 @@ struct ShardOptions {
   double tile_m = 0.0;
   /// Worker lanes for the shard sweep; 0 = the process default pool.
   unsigned jobs = 0;
+
+  /// Border mode: shard by uniform spatial tiles instead of connected
+  /// components and run per-tile engines in conservative-time lockstep
+  /// epochs with cross-tile influence delayed by the plan's lookahead.
+  bool border = false;
+  /// Border tile edge length in metres; 0 = the cutoff radius (requires
+  /// a finite cutoff).
+  double border_tile_m = 0.0;
+  /// Override for the cross-tile influence delay; 0 = derive it from
+  /// slot time + minimum cross-tile coupled distance. Either way the
+  /// value is rounded down to a power of two seconds.
+  double border_delay_s = 0.0;
+  /// Run the border semantics on a single fused engine instead of
+  /// per-tile engines (same tile assignment, same RNG streams, same
+  /// delayed influence). The reference for bitwise-equivalence tests.
+  bool border_reference = false;
+};
+
+/// Per-shard load estimate, for diagnosing epoch-barrier imbalance.
+struct ShardLoad {
+  std::size_t nodes = 0;
+  std::size_t flows = 0;
+  /// Directed CSR edges whose endpoints share this shard.
+  std::size_t intra_edges = 0;
+  /// Directed CSR edges leaving this shard (0 in component mode).
+  std::size_t border_edges = 0;
+  double weight() const {
+    return static_cast<double>(nodes) + static_cast<double>(flows);
+  }
 };
 
 /// The precomputed coupling structure of a deployment.
@@ -74,6 +116,15 @@ struct ShardPlan {
   /// Member nodes per shard, ascending within each shard.
   std::vector<std::vector<std::uint32_t>> shards;
 
+  /// True when the plan shards by spatial tiles for border exchange.
+  bool border = false;
+  /// Conservative-time epoch length (s); 0 in component mode.
+  double lookahead_s = 0.0;
+  /// Shortest cross-tile coupled distance found (m); 0 when none.
+  double min_border_m = 0.0;
+  /// Per-shard load estimates (filled when flows were supplied).
+  std::vector<ShardLoad> load;
+
   std::size_t degree(std::size_t i) const {
     return row_offset[i + 1] - row_offset[i];
   }
@@ -90,23 +141,56 @@ struct ShardPlan {
       m = std::max(m, degree(i));
     return m;
   }
+
+  /// Heaviest shard weight (nodes + flows); 0 without load estimates.
+  double max_load_weight() const {
+    double m = 0.0;
+    for (const ShardLoad& l : load) m = std::max(m, l.weight());
+    return m;
+  }
+  double mean_load_weight() const {
+    if (load.empty()) return 0.0;
+    double s = 0.0;
+    for (const ShardLoad& l : load) s += l.weight();
+    return s / static_cast<double>(load.size());
+  }
+  /// max/mean shard weight; 1.0 = perfectly balanced.
+  double load_imbalance() const {
+    const double mean = mean_load_weight();
+    return mean > 0.0 ? max_load_weight() / mean : 0.0;
+  }
+  std::size_t total_border_edges() const {
+    std::size_t s = 0;
+    for (const ShardLoad& l : load) s += l.border_edges;
+    return s;
+  }
 };
 
 /// Builds the coupling plan for a deployment (no RNG, pure geometry).
+/// Supplying `flows` fills per-shard load estimates; in border mode it
+/// additionally clusters each flow's endpoints into one tile (every
+/// node of a flow-connected cluster adopts the tile of its smallest
+/// member), guaranteeing flows never span tiles.
 ShardPlan plan_shards(const NetworkConfig& config,
                       const std::vector<NodeConfig>& nodes,
-                      const ShardOptions& options);
+                      const ShardOptions& options,
+                      const std::vector<Flow>* flows = nullptr);
 
 /// Runs the network sharded: plans (unless `plan` is supplied), checks
 /// every flow's endpoints share a shard (throws ContractError
-/// otherwise — widen `cutoff_margin_db`), then simulates each shard
-/// independently on the worker pool under
+/// otherwise — widen `cutoff_margin_db` or enable `options.border`),
+/// then simulates each shard independently on the worker pool under
 /// Rng(par::derive_seed(rng.next_u64(), shard, 0)) with a private
 /// registry, and merges results, registries (into `config.registry`),
 /// airtime and lifecycle books in shard order. A single-shard plan
 /// runs inline on the caller's `rng` and is bitwise identical to
 /// `simulate_network`. Results are bitwise identical for any
 /// `options.jobs`.
+///
+/// With `options.border` the shards are coupled spatial tiles run in
+/// conservative-time lockstep epochs (see the header comment); results
+/// are bitwise identical at any `options.jobs` and to the fused
+/// single-engine reference (`options.border_reference`).
 NetworkResult simulate_network_sharded(const NetworkConfig& config,
                                        const std::vector<NodeConfig>& nodes,
                                        const std::vector<Flow>& flows,

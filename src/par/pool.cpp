@@ -121,6 +121,39 @@ void publish_telemetry(obs::Registry& registry, const PoolTelemetry& pool,
       .set(static_cast<double>(chunks.max_ns) * 1e-9);
 }
 
+void EpochStats::record_round(double round_wall_s, const double* task_busy_s,
+                              std::size_t n) {
+  ++rounds;
+  tasks = n;
+  wall_s += round_wall_s;
+  double max_busy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    busy_s += task_busy_s[i];
+    max_busy = std::max(max_busy, task_busy_s[i]);
+  }
+  max_busy_s += max_busy;
+}
+
+double EpochStats::utilization(unsigned lanes) const {
+  if (lanes == 0 || wall_s <= 0.0) return 0.0;
+  const double u = busy_s / (wall_s * static_cast<double>(lanes));
+  return std::min(1.0, std::max(0.0, u));
+}
+
+double EpochStats::imbalance() const {
+  if (tasks == 0 || busy_s <= 0.0) return 0.0;
+  const double mean_busy_s = busy_s / static_cast<double>(tasks);
+  return max_busy_s / mean_busy_s;
+}
+
+void publish_epoch_stats(obs::Registry& registry, const EpochStats& stats,
+                         unsigned lanes) {
+  registry.gauge("par.epoch.rounds").set(static_cast<double>(stats.rounds));
+  registry.gauge("par.epoch.wall_s").set(stats.wall_s);
+  registry.gauge("par.epoch.utilization").set(stats.utilization(lanes));
+  registry.gauge("par.epoch.imbalance").set(stats.imbalance());
+}
+
 ThreadPool::ThreadPool(unsigned jobs)
     : jobs_(std::max(1u, jobs == 0 ? hardware_jobs() : jobs)) {
   const unsigned workers = jobs_ - 1;

@@ -1,17 +1,24 @@
 #include "sim/scheduler.h"
 
+#include <limits>
+
 #include "common/check.h"
 
 namespace wlan::sim {
 
 void Scheduler::schedule(double delay, Action action) {
   check(delay >= 0.0, "Scheduler::schedule requires non-negative delay");
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+  queue_.push(Event{now_ + delay, 1, next_seq_++, std::move(action)});
 }
 
 void Scheduler::schedule_at(double time, Action action) {
   check(time >= now_, "Scheduler::schedule_at requires a future time");
-  queue_.push(Event{time, next_seq_++, std::move(action)});
+  queue_.push(Event{time, 1, next_seq_++, std::move(action)});
+}
+
+void Scheduler::schedule_at_urgent(double time, Action action) {
+  check(time >= now_, "Scheduler::schedule_at_urgent requires a future time");
+  queue_.push(Event{time, 0, next_seq_++, std::move(action)});
 }
 
 std::size_t Scheduler::run_until(double end_time) {
@@ -27,6 +34,24 @@ std::size_t Scheduler::run_until(double end_time) {
   }
   if (now_ < end_time) now_ = end_time;
   return executed;
+}
+
+std::size_t Scheduler::run_before(double end_time) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time < end_time) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+    ++executed;
+    after_event();
+  }
+  return executed;
+}
+
+double Scheduler::next_time() const {
+  if (queue_.empty()) return std::numeric_limits<double>::infinity();
+  return queue_.top().time;
 }
 
 std::size_t Scheduler::run() {

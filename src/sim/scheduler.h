@@ -1,7 +1,11 @@
 // Discrete-event simulation core: a time-ordered event queue.
 //
 // Events at equal timestamps run in scheduling (FIFO) order, which keeps
-// protocol simulations deterministic.
+// protocol simulations deterministic. A small "urgent" priority lane
+// runs ahead of normally scheduled events at the same timestamp — the
+// border-exchange engine uses it to apply cross-shard influence records
+// before any local event at the same instant, in every execution mode,
+// so fused and per-shard runs order same-time work identically.
 #pragma once
 
 #include <cstdint>
@@ -30,15 +34,31 @@ class Scheduler {
   /// Schedules an action at an absolute time (>= now()).
   void schedule_at(double time, Action action);
 
+  /// Schedules an urgent action at an absolute time (>= now()). Urgent
+  /// actions run before every normally scheduled action at the same
+  /// timestamp (still FIFO among themselves).
+  void schedule_at_urgent(double time, Action action);
+
   /// Runs events until the queue is empty or the clock passes `end_time`.
   /// Returns the number of events executed.
   std::size_t run_until(double end_time);
+
+  /// Runs events with time strictly less than `end_time` and leaves the
+  /// clock wherever the last executed event put it (it does NOT advance
+  /// to `end_time`). Used by the epoch driver: each epoch simulates
+  /// [t, t+lookahead) exclusively so the boundary instant itself is
+  /// processed in the next epoch, after border messages arrive.
+  std::size_t run_before(double end_time);
 
   /// Runs until the queue drains completely.
   std::size_t run();
 
   /// Number of pending events.
   std::size_t pending() const { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event, or +infinity when the
+  /// queue is empty. Lets the epoch driver skip fully idle epochs.
+  double next_time() const;
 
   /// Total events executed over the scheduler's lifetime.
   std::uint64_t executed() const { return executed_; }
@@ -55,12 +75,14 @@ class Scheduler {
  private:
   struct Event {
     double time;
+    int priority;  // 0 = urgent, 1 = normal; urgent first at equal time.
     std::uint64_t seq;
     Action action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
       return a.seq > b.seq;
     }
   };

@@ -299,6 +299,37 @@ TEST(NetsimBatch, PerModelResultsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial_snapshot, parallel_snapshot);
 }
 
+TEST(EpochStats, AggregatesRoundsAndPublishesGauges) {
+  par::EpochStats stats;
+  EXPECT_EQ(stats.utilization(8), 0.0);
+  EXPECT_EQ(stats.imbalance(), 0.0);
+
+  // Two rounds of 4 shards: busy sums and per-round maxima accumulate.
+  const double round1[4] = {1.0, 1.0, 1.0, 1.0};
+  const double round2[4] = {2.0, 1.0, 1.0, 0.0};
+  stats.record_round(2.0, round1, 4);
+  stats.record_round(2.0, round2, 4);
+  EXPECT_EQ(stats.rounds, 2u);
+  EXPECT_EQ(stats.tasks, 4u);
+  EXPECT_DOUBLE_EQ(stats.wall_s, 4.0);
+  EXPECT_DOUBLE_EQ(stats.busy_s, 8.0);
+  EXPECT_DOUBLE_EQ(stats.max_busy_s, 3.0);  // 1.0 + 2.0
+  // busy / (wall * lanes) = 8 / (4 * 4)
+  EXPECT_DOUBLE_EQ(stats.utilization(4), 0.5);
+  // max_busy / (busy / tasks) = 3 / 2
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 1.5);
+  // Clamped to 1 when busy exceeds lanes * wall (timer skew).
+  EXPECT_DOUBLE_EQ(stats.utilization(1), 1.0);
+
+  obs::Registry reg;
+  par::publish_epoch_stats(reg, stats, 4);
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("par.epoch.rounds"), std::string::npos);
+  EXPECT_NE(json.find("par.epoch.wall_s"), std::string::npos);
+  EXPECT_NE(json.find("par.epoch.utilization"), std::string::npos);
+  EXPECT_NE(json.find("par.epoch.imbalance"), std::string::npos);
+}
+
 TEST(NetsimBatch, RunsDifferFromEachOther) {
   std::vector<net::NodeConfig> nodes(2);
   nodes[1].position = {10.0, 0.0};

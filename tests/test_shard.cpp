@@ -316,6 +316,23 @@ TEST(ShardEquivalence, CrossShardFlowThrows) {
       ContractError);
 }
 
+TEST(ShardEquivalence, CrossShardFlowErrorNamesTheFlowAndTheRemedy) {
+  net::NetworkConfig cfg;
+  Deployment d = two_cells(cfg);
+  d.flows.push_back({0, 7});  // flow 12: spans the 5 km gap
+  net::ShardOptions opt;
+  Rng rng(1);
+  try {
+    net::simulate_network_sharded(cfg, d.nodes, d.flows, opt, rng);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("flow 12"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("0 -> 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ShardOptions::border"), std::string::npos) << msg;
+  }
+}
+
 TEST(ShardedBooks, MergedLedgersLandInGlobalSlots) {
   net::NetworkConfig cfg;
   cfg.duration_s = 0.2;
